@@ -1,0 +1,127 @@
+//===- bench/common/BenchCommon.h - Shared bench harness --------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure/table benches: run N trials of a workload
+/// under a configuration, accumulate total/GC/mutator samples, and print
+/// rows the way the paper's figures report them (normalized to Base, with
+/// 90% confidence intervals — §3.1.1's methodology: fixed workloads, 20
+/// trials, error bars at 90% confidence).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_BENCH_COMMON_H
+#define GCASSERT_BENCH_COMMON_H
+
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/support/Stats.h"
+#include "gcassert/workloads/Harness.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+namespace bench {
+
+/// The 19 performance workloads (the paper's DaCapo 2006 + SPECjvm98 +
+/// pseudojbb suites); the leak-variant workloads are excluded from timing
+/// runs.
+inline std::vector<std::string> perfWorkloads() {
+  return {"compress", "jess",  "db",      "javac",   "mpegaudio",
+          "mtrt",     "jack",  "antlr",   "bloat",   "chart",
+          "eclipse",  "fop",   "hsqldb",  "jython",  "luindex",
+          "lusearch", "pmd",   "xalan",   "pseudojbb"};
+}
+
+/// Samples from repeated runs of one workload/configuration pair.
+struct ConfigSamples {
+  SampleSet TotalMs;
+  SampleSet GcMs;
+  SampleSet MutatorMs;
+  EngineCounters LastCounters;
+};
+
+/// Runs \p Trials timed trials (each a fresh VM) and collects samples.
+inline ConfigSamples runTrials(const std::string &Workload,
+                               BenchConfig Config, int Trials,
+                               HarnessOptions Options = HarnessOptions()) {
+  ConfigSamples Samples;
+  RecordingViolationSink Sink; // Suppress console output during timing.
+  Options.Sink = &Sink;
+  for (int Trial = 0; Trial != Trials; ++Trial) {
+    Options.Seed = 0x5eed + static_cast<uint64_t>(Trial);
+    RunResult Result = runWorkload(Workload, Config, Options);
+    Samples.TotalMs.add(Result.TotalMillis);
+    Samples.GcMs.add(Result.GcMillis);
+    Samples.MutatorMs.add(Result.MutatorMillis);
+    Samples.LastCounters = Result.Counters;
+  }
+  return Samples;
+}
+
+/// Runs \p Trials trials of every configuration in \p Configs with the
+/// configurations interleaved (trial 0 of each, then trial 1 of each, ...),
+/// which cancels slow machine drift out of the between-config comparison.
+inline std::vector<ConfigSamples>
+runPairedTrials(const std::string &Workload,
+                const std::vector<BenchConfig> &Configs, int Trials,
+                HarnessOptions Options = HarnessOptions()) {
+  std::vector<ConfigSamples> Samples(Configs.size());
+  RecordingViolationSink Sink;
+  Options.Sink = &Sink;
+  for (int Trial = 0; Trial != Trials; ++Trial) {
+    Options.Seed = 0x5eed + static_cast<uint64_t>(Trial);
+    // Rotate the starting configuration each trial: running the same
+    // configuration first every time hands its successors systematically
+    // warmer caches and branch predictors, biasing the comparison.
+    for (size_t I = 0; I != Configs.size(); ++I) {
+      size_t C = (I + static_cast<size_t>(Trial)) % Configs.size();
+      RunResult Result = runWorkload(Workload, Configs[C], Options);
+      Samples[C].TotalMs.add(Result.TotalMillis);
+      Samples[C].GcMs.add(Result.GcMillis);
+      Samples[C].MutatorMs.add(Result.MutatorMillis);
+      Samples[C].LastCounters = Result.Counters;
+    }
+  }
+  return Samples;
+}
+
+/// Number of trials: 20 by default like the paper, overridable with
+/// GCASSERT_BENCH_TRIALS or the first CLI argument for quicker runs.
+inline int trialCount(int Argc, char **Argv, int Default = 20) {
+  if (const char *Env = std::getenv("GCASSERT_BENCH_TRIALS"))
+    return std::max(2, std::atoi(Env));
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strncmp(Argv[I], "--trials=", 9))
+      return std::max(2, std::atoi(Argv[I] + 9));
+  return Default;
+}
+
+/// Percent overhead of \p Test over \p Base means.
+inline double overheadPercent(const SampleSet &Base, const SampleSet &Test) {
+  return (Test.mean() / Base.mean() - 1.0) * 100.0;
+}
+
+/// Combined 90% CI half-width of the normalized ratio, in percent — a
+/// first-order error propagation of the two means' intervals.
+inline double ratioConfidence(const SampleSet &Base, const SampleSet &Test) {
+  double RelBase = Base.confidence90() / Base.mean();
+  double RelTest = Test.confidence90() / Test.mean();
+  return (RelBase + RelTest) * (Test.mean() / Base.mean()) * 100.0;
+}
+
+inline void printRule() {
+  outs() << "------------------------------------------------------------"
+            "------------------\n";
+}
+
+} // namespace bench
+} // namespace gcassert
+
+#endif // GCASSERT_BENCH_COMMON_H

@@ -1,0 +1,61 @@
+//===- fig2_runtime_overhead.cpp - Figure 2 reproduction -----------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// FIG2 (DESIGN.md §4): total-execution-time overhead of the GC assertion
+// infrastructure, Base vs Infrastructure, across the benchmark suite.
+//
+// Paper result (§3.1.2, Figure 2): overall execution time increases by
+// 2.75% (geometric mean); mutator time increases 1.12%, within the noise.
+//
+// Usage: fig2_runtime_overhead [--trials=N]   (default 10; paper used 20)
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+  int Trials = trialCount(Argc, Argv, 10);
+
+  outs() << "Figure 2: run-time overhead of the GC assertion "
+            "infrastructure (Base -> Infrastructure)\n";
+  outs() << format("trials per configuration: %d\n\n", Trials);
+  outs() << format("%-12s %12s %12s %14s %9s %14s\n", "benchmark",
+                   "base (ms)", "infra (ms)", "total ovh (%)", "+-90% CI",
+                   "mutator ovh(%)");
+  printRule();
+
+  std::vector<double> TotalRatios;
+  std::vector<double> MutatorRatios;
+  for (const std::string &Workload : perfWorkloads()) {
+    std::vector<ConfigSamples> Samples = runPairedTrials(
+        Workload, {BenchConfig::Base, BenchConfig::Infrastructure}, Trials);
+    ConfigSamples &Base = Samples[0];
+    ConfigSamples &Infra = Samples[1];
+
+    double TotalOvh = overheadPercent(Base.TotalMs, Infra.TotalMs);
+    double MutatorOvh = overheadPercent(Base.MutatorMs, Infra.MutatorMs);
+    outs() << format("%-12s %12.2f %12.2f %14.2f %9.2f %14.2f\n",
+                     Workload.c_str(), Base.TotalMs.mean(),
+                     Infra.TotalMs.mean(), TotalOvh,
+                     ratioConfidence(Base.TotalMs, Infra.TotalMs),
+                     MutatorOvh);
+    outs().flush();
+    TotalRatios.push_back(Infra.TotalMs.mean() / Base.TotalMs.mean());
+    MutatorRatios.push_back(Infra.MutatorMs.mean() / Base.MutatorMs.mean());
+  }
+
+  printRule();
+  outs() << format("geomean total overhead:   %+6.2f %%   (paper: +2.75 %%)\n",
+                   (geometricMean(TotalRatios) - 1.0) * 100.0);
+  outs() << format("geomean mutator overhead: %+6.2f %%   (paper: +1.12 %%, "
+                   "within noise)\n",
+                   (geometricMean(MutatorRatios) - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- fig3_gc_overhead.cpp - Figure 3 reproduction -----------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// FIG3 (DESIGN.md §4): GC-time overhead of the GC assertion infrastructure,
+// Base vs Infrastructure, across the benchmark suite.
+//
+// Paper result (§3.1.2, Figure 3): overall GC time increases by 13.36%
+// (geometric mean) and 30% in the worst case (bloat).
+//
+// Usage: fig3_gc_overhead [--trials=N]   (default 10; paper used 20)
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+
+#include <algorithm>
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+  int Trials = trialCount(Argc, Argv, 10);
+
+  outs() << "Figure 3: GC-time overhead of the GC assertion infrastructure "
+            "(Base -> Infrastructure)\n";
+  outs() << format("trials per configuration: %d\n\n", Trials);
+  outs() << format("%-12s %12s %12s %12s %9s\n", "benchmark", "base (ms)",
+                   "infra (ms)", "gc ovh (%)", "+-90% CI");
+  printRule();
+
+  std::vector<double> GcRatios;
+  std::string WorstName;
+  double WorstOvh = -1e9;
+  for (const std::string &Workload : perfWorkloads()) {
+    std::vector<ConfigSamples> Samples = runPairedTrials(
+        Workload, {BenchConfig::Base, BenchConfig::Infrastructure}, Trials);
+    ConfigSamples &Base = Samples[0];
+    ConfigSamples &Infra = Samples[1];
+
+    // mpegaudio-style workloads can have a zero-GC measured window; skip
+    // them from the ratio (no GC to slow down).
+    if (Base.GcMs.mean() <= 0.01) {
+      outs() << format("%-12s %12.2f %12.2f %12s %9s\n", Workload.c_str(),
+                       Base.GcMs.mean(), Infra.GcMs.mean(), "(no gc)", "-");
+      continue;
+    }
+
+    double GcOvh = overheadPercent(Base.GcMs, Infra.GcMs);
+    outs() << format("%-12s %12.2f %12.2f %12.2f %9.2f\n", Workload.c_str(),
+                     Base.GcMs.mean(), Infra.GcMs.mean(), GcOvh,
+                     ratioConfidence(Base.GcMs, Infra.GcMs));
+    outs().flush();
+    GcRatios.push_back(Infra.GcMs.mean() / Base.GcMs.mean());
+    if (GcOvh > WorstOvh) {
+      WorstOvh = GcOvh;
+      WorstName = Workload;
+    }
+  }
+
+  printRule();
+  outs() << format(
+      "geomean GC-time overhead: %+6.2f %%   (paper: +13.36 %%)\n",
+      (geometricMean(GcRatios) - 1.0) * 100.0);
+  outs() << format("worst case: %s %+.2f %%          (paper: bloat, ~+30 %%)\n",
+                   WorstName.c_str(), WorstOvh);
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- fig4_assertions_runtime.cpp - Figure 4 reproduction ----------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// FIG4 (DESIGN.md §4): total execution time with a non-trivial set of GC
+// assertions added, for the two benchmarks the paper instruments: _209_db
+// (Entry objects owned by their Database + assert-dead at removal sites)
+// and pseudojbb (assert-ownedby at District.addOrder + one
+// assert-instances).
+//
+// Paper result (§3.1.2, Figure 4): run time increases by 1.02% (db) and
+// 1.84% (pseudojbb) over Base — "even with a large number of assertions to
+// check (over 100,000 for _209_db), run-time increases by less than 2%".
+//
+// Usage: fig4_assertions_runtime [--trials=N]   (default 10; paper used 20)
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+  int Trials = trialCount(Argc, Argv, 10);
+
+  outs() << "Figure 4: run-time overhead with GC assertions added\n";
+  outs() << format("trials per configuration: %d\n\n", Trials);
+  outs() << format("%-12s %11s %11s %11s %15s %15s\n", "benchmark",
+                   "base (ms)", "infra (ms)", "assert (ms)",
+                   "vs base (%)", "vs infra (%)");
+  printRule();
+
+  struct PaperRow {
+    const char *Workload;
+    double PaperVsBase;
+    double PaperVsInfra;
+  };
+  const PaperRow PaperRows[] = {{"db", 1.02, 0.47}, {"pseudojbb", 1.84, 2.47}};
+
+  for (const PaperRow &Row : PaperRows) {
+    std::vector<ConfigSamples> Samples = runPairedTrials(
+        Row.Workload,
+        {BenchConfig::Base, BenchConfig::Infrastructure,
+         BenchConfig::WithAssertions},
+        Trials);
+    ConfigSamples &Base = Samples[0];
+    ConfigSamples &Infra = Samples[1];
+    ConfigSamples &Assert = Samples[2];
+
+    outs() << format("%-12s %11.2f %11.2f %11.2f %15.2f %15.2f\n",
+                     Row.Workload, Base.TotalMs.mean(), Infra.TotalMs.mean(),
+                     Assert.TotalMs.mean(),
+                     overheadPercent(Base.TotalMs, Assert.TotalMs),
+                     overheadPercent(Infra.TotalMs, Assert.TotalMs));
+    outs() << format("%-12s %11s %11s %11s %15.2f %15.2f   (paper)\n", "",
+                     "", "", "", Row.PaperVsBase, Row.PaperVsInfra);
+    outs().flush();
+  }
+
+  printRule();
+  outs() << "Assertion volume per run (WithAssertions):\n";
+  for (const PaperRow &Row : PaperRows) {
+    HarnessOptions Options;
+    ConfigSamples Assert =
+        runTrials(Row.Workload, BenchConfig::WithAssertions, 1, Options);
+    const EngineCounters &C = Assert.LastCounters;
+    outs() << format("  %-10s assert-dead calls: %-8llu assert-ownedby "
+                     "calls: %-8llu assert-instances: %llu\n",
+                     Row.Workload,
+                     static_cast<unsigned long long>(C.AssertDeadCalls),
+                     static_cast<unsigned long long>(C.AssertOwnedByCalls),
+                     static_cast<unsigned long long>(C.AssertInstancesCalls));
+  }
+  outs() << "  (paper: db 695 assert-dead + 15,553 assert-ownedby; "
+            "pseudojbb 1 assert-instances + 31,038 assert-ownedby)\n";
+  return 0;
+}

@@ -1,0 +1,164 @@
+//===- micro_primitives.cpp - Microbenchmarks of assertion primitives -----------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MICRO (DESIGN.md §4): google-benchmark measurements of the individual
+// mechanisms the paper's overhead numbers are built from:
+//
+//   * allocation with and without an open region (§2.3.2's per-allocation
+//     flag check + queue append),
+//   * the assertion calls themselves (mutator-side cost),
+//   * a full collection with and without the checking trace loop (the
+//     Base -> Infrastructure delta in its purest form),
+//   * ownee binary-search lookups at several table sizes (§2.5.2's
+//     "n log n" check),
+//   * the pending-pair merge performed at GC start.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/workloads/Common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcassert;
+
+namespace {
+
+/// A VM + node type shared by one benchmark run.
+struct MicroVm {
+  explicit MicroVm(size_t HeapBytes = 64u << 20) : TheVm(makeConfig(HeapBytes)) {
+    TypeBuilder B(TheVm.types(), "LNode;");
+    NextField = B.addRef("next");
+    B.addScalar("value", 8);
+    Node = B.build();
+  }
+
+  static VmConfig makeConfig(size_t HeapBytes) {
+    VmConfig Config;
+    Config.HeapBytes = HeapBytes;
+    return Config;
+  }
+
+  Vm TheVm;
+  TypeId Node = InvalidTypeId;
+  uint32_t NextField = 0;
+};
+
+void BM_AllocateNoRegion(benchmark::State &State) {
+  MicroVm M;
+  MutatorThread &T = M.TheVm.mainThread();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.TheVm.allocate(T, M.Node));
+}
+BENCHMARK(BM_AllocateNoRegion);
+
+void BM_AllocateInRegion(benchmark::State &State) {
+  MicroVm M;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(M.TheVm, &Sink);
+  MutatorThread &T = M.TheVm.mainThread();
+  Engine.startRegion(T);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.TheVm.allocate(T, M.Node));
+  // Close the region without asserting millions of dead objects: entries
+  // for dead objects were pruned at each GC anyway (runs after timing).
+  M.TheVm.collectNow();
+  Engine.assertAllDead(T);
+}
+BENCHMARK(BM_AllocateInRegion);
+
+void BM_AssertDeadCall(benchmark::State &State) {
+  MicroVm M;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(M.TheVm, &Sink);
+  MutatorThread &T = M.TheVm.mainThread();
+  ObjRef Obj = M.TheVm.allocate(T, M.Node);
+  for (auto _ : State) {
+    Engine.assertDead(Obj);
+    benchmark::DoNotOptimize(Obj);
+    Obj->header().clearFlag(HF_Dead);
+  }
+}
+BENCHMARK(BM_AssertDeadCall);
+
+void BM_AssertOwnedByCall(benchmark::State &State) {
+  MicroVm M;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(M.TheVm, &Sink);
+  MutatorThread &T = M.TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(M.TheVm.allocate(T, M.Node));
+  Local Ownee = Scope.handle(M.TheVm.allocate(T, M.Node));
+  Owner.get()->setRef(M.NextField, Ownee.get());
+  for (auto _ : State)
+    Engine.assertOwnedBy(Owner.get(), Ownee.get());
+  // Drain the pending buffer (runs after timing).
+  M.TheVm.collectNow();
+}
+BENCHMARK(BM_AssertOwnedByCall);
+
+/// Builds a rooted linked list of N nodes and times one full collection.
+template <bool WithEngine>
+void gcCostBenchmark(benchmark::State &State) {
+  MicroVm M;
+  std::unique_ptr<RecordingViolationSink> Sink;
+  std::unique_ptr<AssertionEngine> Engine;
+  if (WithEngine) {
+    Sink = std::make_unique<RecordingViolationSink>();
+    Engine = std::make_unique<AssertionEngine>(M.TheVm, Sink.get());
+  }
+  MutatorThread &T = M.TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Head = Scope.handle();
+  const int64_t LiveObjects = State.range(0);
+  for (int64_t I = 0; I != LiveObjects; ++I) {
+    ObjRef NewNode = M.TheVm.allocate(T, M.Node);
+    NewNode->setRef(M.NextField, Head.get());
+    Head.set(NewNode);
+  }
+  for (auto _ : State)
+    M.TheVm.collectNow();
+  State.SetItemsProcessed(State.iterations() * LiveObjects);
+}
+
+void BM_GcTraceBase(benchmark::State &State) {
+  gcCostBenchmark<false>(State);
+}
+BENCHMARK(BM_GcTraceBase)->Arg(10000)->Arg(100000);
+
+void BM_GcTraceInfrastructure(benchmark::State &State) {
+  gcCostBenchmark<true>(State);
+}
+BENCHMARK(BM_GcTraceInfrastructure)->Arg(10000)->Arg(100000);
+
+/// GC cost when every live object is an ownee of one owner (the §2.5.2
+/// ownership phase plus per-ownee binary searches).
+void BM_GcOwnershipChecked(benchmark::State &State) {
+  MicroVm M;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(M.TheVm, &Sink);
+  MutatorThread &T = M.TheVm.mainThread();
+  TypeId ObjArray = ensureObjectArrayType(M.TheVm.types());
+  HandleScope Scope(T);
+  const int64_t Ownees = State.range(0);
+  Local Owner = Scope.handle(M.TheVm.allocate(T, M.Node));
+  Local Arr = Scope.handle(
+      M.TheVm.allocate(T, ObjArray, static_cast<uint64_t>(Ownees)));
+  Owner.get()->setRef(M.NextField, Arr.get());
+  for (int64_t I = 0; I != Ownees; ++I) {
+    ObjRef Ownee = M.TheVm.allocate(T, M.Node);
+    Arr.get()->setElement(static_cast<uint64_t>(I), Ownee);
+    Engine.assertOwnedBy(Owner.get(), Ownee);
+  }
+  for (auto _ : State)
+    M.TheVm.collectNow();
+  State.SetItemsProcessed(State.iterations() * Ownees);
+}
+BENCHMARK(BM_GcOwnershipChecked)->Arg(10000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

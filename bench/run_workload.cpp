@@ -1,0 +1,90 @@
+//===- run_workload.cpp - Manual workload runner --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Developer utility: runs one workload under one configuration and prints
+// its timing and engine counters. Used to calibrate the benchmark suite.
+//
+//   run_workload <name|all> [base|infra|assert] [measured-iters]
+//                [marksweep|semispace|markcompact|generational]
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/workloads/Harness.h"
+
+#include <cstring>
+
+using namespace gcassert;
+
+static void runOne(const std::string &Name, BenchConfig Config,
+                   int Iterations, CollectorKind Collector) {
+  HarnessOptions Options;
+  Options.MeasuredIterations = Iterations;
+  Options.Collector = Collector;
+  RecordingViolationSink Sink;
+  Options.Sink = &Sink;
+
+  RunResult Result = runWorkload(Name, Config, Options);
+  outs() << format(
+      "%-28s %-15s total %8.1f ms  gc %8.1f ms (%4.1f%%)  cycles %4llu",
+      Name.c_str(), benchConfigName(Config), Result.TotalMillis,
+      Result.GcMillis, 100.0 * Result.GcMillis / Result.TotalMillis,
+      static_cast<unsigned long long>(Result.GcCycles));
+  if (Config == BenchConfig::WithAssertions) {
+    const EngineCounters &C = Result.Counters;
+    outs() << format(
+        "  dead=%llu ownedby=%llu inst=%llu ownees/gc=%llu viol=%llu",
+        static_cast<unsigned long long>(C.AssertDeadCalls),
+        static_cast<unsigned long long>(C.AssertOwnedByCalls),
+        static_cast<unsigned long long>(C.AssertInstancesCalls),
+        static_cast<unsigned long long>(
+            C.GcCycles ? C.OwneesCheckedTotal / C.GcCycles : 0),
+        static_cast<unsigned long long>(C.ViolationsReported));
+    if (!Sink.violations().empty()) {
+      outs() << "\n  violation kinds:";
+      for (size_t K = 0; K != NumAssertionKinds; ++K) {
+        size_t N = Sink.countOf(static_cast<AssertionKind>(K));
+        if (N)
+          outs() << ' ' << assertionKindName(static_cast<AssertionKind>(K))
+                 << '=' << static_cast<uint64_t>(N);
+      }
+    }
+  }
+  outs() << '\n';
+  outs().flush();
+}
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+
+  std::string Name = Argc > 1 ? Argv[1] : "all";
+  BenchConfig Config = BenchConfig::Base;
+  if (Argc > 2) {
+    if (!std::strcmp(Argv[2], "infra"))
+      Config = BenchConfig::Infrastructure;
+    else if (!std::strcmp(Argv[2], "assert"))
+      Config = BenchConfig::WithAssertions;
+  }
+  int Iterations = Argc > 3 ? std::atoi(Argv[3]) : 2;
+  CollectorKind Collector = CollectorKind::MarkSweep;
+  if (Argc > 4) {
+    if (!std::strcmp(Argv[4], "semispace"))
+      Collector = CollectorKind::SemiSpace;
+    else if (!std::strcmp(Argv[4], "markcompact"))
+      Collector = CollectorKind::MarkCompact;
+    else if (!std::strcmp(Argv[4], "generational"))
+      Collector = CollectorKind::Generational;
+  }
+
+  if (Name == "all") {
+    for (const std::string &WorkloadName : WorkloadRegistry::names())
+      runOne(WorkloadName, Config, Iterations, Collector);
+    return 0;
+  }
+  runOne(Name, Config, Iterations, Collector);
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- tab_assertion_counts.cpp - In-text count reproduction --------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// TAB-CNT (DESIGN.md §4): reproduces the assertion-volume numbers the paper
+// quotes in §3.1.2:
+//
+//   _209_db:   695 calls to assert-dead, 15,553 calls to assert-ownedby,
+//              and "during each GC we check on average 15,274 ownee objects".
+//   pseudojbb: 1 call to assert-instances, 31,038 calls to assert-ownedby,
+//              but "during each GC only 420 ownee objects are checked"
+//              because Orders churn through the orderTable quickly.
+//
+// The bench runs each workload WithAssertions for the paper's iteration
+// discipline and prints measured vs paper counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+int main() {
+  registerBuiltinWorkloads();
+
+  outs() << "Assertion-volume counts (WithAssertions runs)\n\n";
+  outs() << format("%-12s %16s %16s %16s %16s\n", "benchmark", "assert-dead",
+                   "assert-ownedby", "assert-inst", "ownees/GC");
+  printRule();
+
+  struct PaperRow {
+    const char *Workload;
+    int Warmup;
+    int Measured;
+    const char *PaperLine;
+  };
+  // The iteration counts bring each workload's total transaction volume to
+  // the paper's run length (db ran 3 iterations' worth of removals for its
+  // 695 assert-dead calls; pseudojbb's 31,038 assert-ownedby calls are
+  // about one iteration of order insertions).
+  const PaperRow Rows[] = {
+      {"db", 1, 2,
+       "paper:            695           15,553                0 "
+       "          15,274"},
+      {"pseudojbb", 0, 1,
+       "paper:              0           31,038              "
+       "  1              420"},
+  };
+
+  for (const PaperRow &Row : Rows) {
+    HarnessOptions Options;
+    Options.WarmupIterations = Row.Warmup;
+    Options.MeasuredIterations = Row.Measured;
+    ConfigSamples Samples =
+        runTrials(Row.Workload, BenchConfig::WithAssertions, 1, Options);
+    const EngineCounters &C = Samples.LastCounters;
+    uint64_t OwneesPerGc =
+        C.GcCycles ? C.OwneesCheckedTotal / C.GcCycles : 0;
+    outs() << format("%-12s %16llu %16llu %16llu %16llu\n", Row.Workload,
+                     static_cast<unsigned long long>(C.AssertDeadCalls),
+                     static_cast<unsigned long long>(C.AssertOwnedByCalls),
+                     static_cast<unsigned long long>(C.AssertInstancesCalls),
+                     static_cast<unsigned long long>(OwneesPerGc));
+    outs() << Row.PaperLine << "\n";
+    outs().flush();
+  }
+
+  printRule();
+  outs() << "db's ownee checks track its full 15,000-entry table; "
+            "pseudojbb's Orders\nchurn out of the orderTable before most "
+            "GCs see them (§3.1.2).\n";
+  return 0;
+}

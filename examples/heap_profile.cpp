@@ -1,0 +1,67 @@
+//===- heap_profile.cpp - heap histograms, diffing, and leak triage -------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The "what is my heap full of?" workflow, and how GC assertions shortcut
+// it. The example runs the pseudojbb orderTable leak and triages it three
+// ways, escalating in precision:
+//
+//   1. a heap histogram (what dominates the heap right now),
+//   2. a histogram diff across iterations (which types are growing — the
+//      heap-differencing idea behind JRockit/LeakBot/Cork),
+//   3. an assert-dead report (the exact object and the path that retains
+//      it — the paper's contribution).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/heap/HeapDiff.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/workloads/Workload.h"
+
+using namespace gcassert;
+
+int main() {
+  registerBuiltinWorkloads();
+  std::unique_ptr<Workload> TheWorkload =
+      WorkloadRegistry::create("pseudojbb-ordertable-leak");
+  VmConfig Config;
+  Config.HeapBytes = TheWorkload->heapBytes();
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  WorkloadContext Ctx(TheVm, &Engine, /*UseAssertions=*/true, 0x5eed);
+
+  TheWorkload->setUp(Ctx);
+  TheWorkload->runIteration(Ctx);
+  TheVm.collectNow();
+  Sink.clear(); // Focus on growth first; assertions come back in step 3.
+
+  outs() << "=== 1. heap histogram after one iteration (top 8 types)\n";
+  std::vector<TypeOccupancy> Before = takeHeapHistogram(TheVm.heap());
+  printHeapHistogram(outs(), Before, 8);
+
+  TheWorkload->runIteration(Ctx);
+  TheVm.collectNow();
+  size_t AssertionReports = Sink.violations().size();
+
+  outs() << "\n=== 2. growth over the next iteration (heap differencing)\n";
+  std::vector<TypeOccupancy> After = takeHeapHistogram(TheVm.heap());
+  printHeapDiff(outs(), diffHeapHistograms(Before, After), 8);
+  outs() << "\nOrders (and their lines/addresses) grow steadily - a leak "
+            "suspect, but only a\n*type*: which Orders, and who retains "
+            "them?\n";
+
+  outs() << "\n=== 3. the GC assertion answer (" << AssertionReports
+         << " reports this iteration; the first)\n\n";
+  if (!Sink.violations().empty())
+    printViolation(outs(), Sink.violations().front());
+  outs() << "\nThe assert-dead report names the exact Order and the exact "
+            "retaining path\n(the orderTable B-tree it was never removed "
+            "from) - no aging, no guessing.\n";
+
+  TheWorkload->tearDown(Ctx);
+  return 0;
+}

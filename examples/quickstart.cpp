@@ -1,0 +1,74 @@
+//===- quickstart.cpp - GC assertions in 60 lines ------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: build a tiny object graph, assert that an object will be
+// reclaimed, and watch the collector catch the stale reference that keeps it
+// alive — including the full heap path to the offending object (the paper's
+// Figure 1 reporting).
+//
+// Build & run:   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/support/OStream.h"
+
+using namespace gcassert;
+
+int main() {
+  // 1. Bring up a VM: 16 MiB heap, full-heap mark-sweep collector (the
+  //    configuration the paper evaluates).
+  VmConfig Config;
+  Config.HeapBytes = 16u << 20;
+  Vm TheVm(Config);
+  MutatorThread &Main = TheVm.mainThread();
+
+  // 2. Declare a managed type: class Session { Session next; long id; }.
+  TypeBuilder Builder(TheVm.types(), "LSession;");
+  uint32_t NextField = Builder.addRef("next");
+  uint32_t IdField = Builder.addScalar("id", 8);
+  TypeId Session = Builder.build();
+
+  // 3. Attach the assertion engine (violations print to stderr).
+  AssertionEngine Assertions(TheVm);
+
+  // 4. Build: registry -> s1 -> s2, plus a "cache" that also points at s2.
+  HandleScope Scope(Main);
+  Local Registry = Scope.handle(TheVm.allocate(Main, Session));
+  Registry.get()->setScalar<int64_t>(IdField, 0);
+
+  Local Cache = Scope.handle(TheVm.allocate(Main, Session));
+  Cache.get()->setScalar<int64_t>(IdField, 999);
+
+  ObjRef S1 = TheVm.allocate(Main, Session);
+  S1->setScalar<int64_t>(IdField, 1);
+  Registry.get()->setRef(NextField, S1);
+
+  ObjRef S2 = TheVm.allocate(Main, Session);
+  S2->setScalar<int64_t>(IdField, 2);
+  S1->setRef(NextField, S2);
+  Cache.get()->setRef(NextField, S2); // The bug: a forgotten cache entry.
+
+  // 5. "Close" session 2: drop it from the list and assert it dies.
+  outs() << "Closing session 2 and asserting it is reclaimed...\n";
+  Assertions.assertDead(S2);
+  S1->setRef(NextField, nullptr);
+
+  // 6. Collect. The assertion fires: s2 is still reachable via the cache,
+  //    and the report shows the exact path (Session -> Session).
+  TheVm.collectNow();
+
+  // 7. Fix the bug and collect again: no report this time.
+  outs() << "\nClearing the cache entry and collecting again...\n";
+  Cache.get()->setRef(NextField, nullptr);
+  TheVm.collectNow();
+  outs() << "No warning: session 2 was reclaimed.\n";
+
+  outs() << "\nGC ran " << TheVm.gcStats().Cycles << " times; "
+         << Assertions.counters().ViolationsReported
+         << " violation(s) reported.\n";
+  return 0;
+}

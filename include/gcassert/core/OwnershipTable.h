@@ -1,0 +1,116 @@
+//===- gcassert/core/OwnershipTable.h - Owner/ownee pairs -------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for assert-ownedby pairs (§2.5.2).
+///
+/// Following the paper, the table is "a pair of arrays": a sorted array of
+/// (ownee, owner) pairs searched by binary search during tracing (the
+/// paper's "ownee arrays are sorted, so we do a binary search"), plus the
+/// list of distinct owners the ownership phase iterates. Mutator-side
+/// assertOwnedBy calls append to a pending buffer that is merged at the
+/// start of the next collection, so the mutator never pays for sorting.
+///
+/// The table holds weak references: pairs do not keep objects alive and are
+/// pruned after every collection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_CORE_OWNERSHIPTABLE_H
+#define GCASSERT_CORE_OWNERSHIPTABLE_H
+
+#include "gcassert/heap/Object.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace gcassert {
+
+/// Sorted owner/ownee pair table with deferred insertion.
+class OwnershipTable {
+public:
+  struct Pair {
+    ObjRef Ownee;
+    ObjRef Owner;
+  };
+
+  /// Registers "\p Ownee is owned by \p Owner". Sets the HF_Owner /
+  /// HF_Ownee header bits immediately; the pair becomes searchable after the
+  /// next mergePending(). Re-asserting an ownee replaces its owner.
+  void add(ObjRef Owner, ObjRef Ownee);
+
+  /// Folds the pending buffer into the sorted array and rebuilds the owner
+  /// list. Called at the start of every collection. Also clears every
+  /// ownee's HF_Owned bit for the new cycle.
+  void beginCycle();
+
+  /// Binary-searches the sorted array for \p Ownee's owner; null if \p Ownee
+  /// is not registered. Counts the lookup (the paper reports "ownee objects
+  /// checked" per GC).
+  ObjRef lookupOwner(ObjRef Ownee);
+
+  /// Distinct owners, in address order. Valid after beginCycle().
+  const std::vector<ObjRef> &owners() const { return Owners; }
+
+  /// Number of merged pairs (pending additions not included).
+  size_t size() const { return Pairs.size(); }
+  bool empty() const { return Pairs.empty() && PendingAdds.empty(); }
+
+  /// Calls \p Fn for every merged pair.
+  void forEachPair(const std::function<void(const Pair &)> &Fn) const;
+
+  /// Post-GC maintenance: translates both sides of each pair through
+  /// \p CurrentAddress (which returns null for dead objects and the new
+  /// address under a moving collector).
+  ///
+  ///  * ownee dead            -> pair removed (paper §3.1.2: "we must
+  ///                             remove each unreachable ownee after a GC");
+  ///  * owner dead, ownee live-> pair removed and \p OnOwneeOutlivedOwner
+  ///                             called (extension, see DESIGN.md §6);
+  ///  * both live             -> pair kept at the new addresses.
+  ///
+  /// Header bits are maintained: removed ownees lose HF_Ownee/HF_Owned and
+  /// owners that lose their last pair lose HF_Owner.
+  void pruneAfterGc(
+      const std::function<ObjRef(ObjRef)> &CurrentAddress,
+      const std::function<void(ObjRef Owner, ObjRef Ownee)>
+          &OnOwneeOutlivedOwner);
+
+  /// Translates the pending (not yet merged) additions through
+  /// \p CurrentAddress. Pairs whose ownee died are dropped; pairs whose
+  /// owner died with a live ownee are dropped after calling
+  /// \p OnOwneeOutlivedOwner. Needed by generational minor collections,
+  /// which move objects between the mutator's assertOwnedBy call and the
+  /// next merge.
+  void translatePending(
+      const std::function<ObjRef(ObjRef)> &CurrentAddress,
+      const std::function<void(ObjRef Owner, ObjRef Ownee)>
+          &OnOwneeOutlivedOwner);
+
+  /// \name Counters
+  /// @{
+  uint64_t lookupsThisCycle() const { return CycleLookups; }
+  uint64_t lookupsTotal() const { return TotalLookups; }
+  /// @}
+
+private:
+  void rebuildOwners();
+
+  /// Merged pairs, sorted by ownee address.
+  std::vector<Pair> Pairs;
+  /// Pairs added since the last beginCycle(), unsorted.
+  std::vector<Pair> PendingAdds;
+  /// Distinct owners of the merged pairs, sorted.
+  std::vector<ObjRef> Owners;
+
+  uint64_t CycleLookups = 0;
+  uint64_t TotalLookups = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_CORE_OWNERSHIPTABLE_H

@@ -1,0 +1,57 @@
+//===- gcassert/core/PathFinder.h - Post-hoc path queries -------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-demand heap path reconstruction.
+///
+/// The paper notes (§2.7) that assert-instances and assert-unshared cannot
+/// print a useful path because the offending paths "may have been traced
+/// earlier": the collector only knows about the problem after the fact.
+/// PathFinder closes that gap as an extension: it runs a breadth-first
+/// search over the current heap graph from the VM's roots and reconstructs
+/// the shortest path to any target object. It is a mutator-time facility —
+/// run it between collections, never from inside a hook.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_CORE_PATHFINDER_H
+#define GCASSERT_CORE_PATHFINDER_H
+
+#include "gcassert/core/Violation.h"
+#include "gcassert/runtime/Vm.h"
+
+#include <optional>
+#include <vector>
+
+namespace gcassert {
+
+/// BFS-based heap path queries over a Vm's object graph.
+class PathFinder {
+public:
+  explicit PathFinder(Vm &TheVm) : TheVm(TheVm) {}
+
+  /// Finds a shortest root-to-\p Target path. Returns std::nullopt if
+  /// \p Target is unreachable from the roots.
+  std::optional<std::vector<PathStep>> findPath(ObjRef Target);
+
+  /// Collects up to \p MaxInstances live (root-reachable) instances of
+  /// \p Type, in BFS discovery order. Useful for diagnosing
+  /// assert-instances violations.
+  std::vector<ObjRef> findReachableInstances(TypeId Type,
+                                             size_t MaxInstances);
+
+  /// Counts incoming references to \p Target from root-reachable objects
+  /// (roots themselves count as one each). Useful for diagnosing
+  /// assert-unshared violations.
+  size_t countIncomingReferences(ObjRef Target);
+
+private:
+  Vm &TheVm;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_CORE_PATHFINDER_H

@@ -1,0 +1,132 @@
+//===- gcassert/core/Violation.h - Assertion violations ---------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Violation records, reaction policies (§2.6) and the reporting sinks
+/// (§2.7). The default console sink prints the Figure-1 format: a warning
+/// line, the offending object's type, and the complete path through the heap
+/// from the scan origin to the object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_CORE_VIOLATION_H
+#define GCASSERT_CORE_VIOLATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+class OStream;
+
+/// Which assertion was violated.
+enum class AssertionKind : uint8_t {
+  /// assert-dead / assert-alldead: a DEAD-flagged object is reachable.
+  Dead,
+  /// assert-unshared: more than one incoming reference.
+  Unshared,
+  /// assert-instances: live-instance count exceeds the limit.
+  Instances,
+  /// assert-volume: live bytes of a type exceed the limit (§2.4's "total
+  /// volume" form).
+  Volume,
+  /// assert-ownedby: ownee not reachable from its owner.
+  OwnedBy,
+  /// assert-ownedby misuse: owner regions overlap (§2.5.2's "improper use
+  /// of the assertion" warning).
+  OwnershipOverlap,
+  /// Extension: an ownee is still reachable although its owner died.
+  OwneeOutlivedOwner,
+};
+
+/// Number of AssertionKind values, for reaction tables.
+inline constexpr size_t NumAssertionKinds = 7;
+
+/// Returns a short human-readable name ("assert-dead", ...).
+const char *assertionKindName(AssertionKind Kind);
+
+/// How the system reacts when an assertion fires (§2.6).
+enum class ReactionPolicy : uint8_t {
+  /// Report and keep executing — the paper's default, preserving the
+  /// semantics of the assertion-free program.
+  LogAndContinue,
+  /// Report and abort the process; for non-recoverable errors.
+  LogAndHalt,
+  /// Force the assertion to be true. For assert-dead the collector severs
+  /// (nulls) every reference to the object so it is reclaimed this cycle.
+  /// Listed as future work in the paper; implemented here.
+  ForceTrue,
+};
+
+/// One edge of a heap path: the type of the object, and the name of the
+/// field in the *previous* path object that points to it (empty for the
+/// first step or when unresolvable).
+struct PathStep {
+  std::string TypeName;
+  std::string FieldName;
+};
+
+/// A single assertion failure.
+struct Violation {
+  AssertionKind Kind;
+  /// Collection cycle in which the violation was detected.
+  uint64_t Cycle = 0;
+  /// Type name of the offending object (empty for type-level violations
+  /// where Message carries everything).
+  std::string ObjectType;
+  /// One-line description.
+  std::string Message;
+  /// Path from the scan origin to the offending object, inclusive. Empty if
+  /// no path is available (e.g. assert-instances).
+  std::vector<PathStep> Path;
+  /// True when the path starts at an owner object (ownership phase) rather
+  /// than at a root.
+  bool PathFromOwner = false;
+};
+
+/// Receives violations as the collector detects them.
+class ViolationSink {
+public:
+  virtual ~ViolationSink();
+
+  virtual void report(const Violation &V) = 0;
+};
+
+/// Prints violations in the paper's Figure 1 format.
+class ConsoleViolationSink : public ViolationSink {
+public:
+  /// Writes to \p Out; defaults to the process stderr stream.
+  explicit ConsoleViolationSink(OStream *Out = nullptr) : Out(Out) {}
+
+  void report(const Violation &V) override;
+
+private:
+  OStream *Out;
+};
+
+/// Collects violations in memory; used by tests and the benches.
+class RecordingViolationSink : public ViolationSink {
+public:
+  void report(const Violation &V) override { Violations.push_back(V); }
+
+  const std::vector<Violation> &violations() const { return Violations; }
+
+  /// Number of recorded violations of \p Kind.
+  size_t countOf(AssertionKind Kind) const;
+
+  void clear() { Violations.clear(); }
+
+private:
+  std::vector<Violation> Violations;
+};
+
+/// Renders \p V in the Figure-1 textual format into \p Out.
+void printViolation(OStream &Out, const Violation &V);
+
+} // namespace gcassert
+
+#endif // GCASSERT_CORE_VIOLATION_H

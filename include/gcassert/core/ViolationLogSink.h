@@ -1,0 +1,87 @@
+//===- gcassert/core/ViolationLogSink.h - Structured logging ---*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sinks for deployed use (the paper's target setting: overhead "low
+/// enough for use in a deployed setting" implies violations land in logs,
+/// not on a developer's terminal):
+///
+///   * LineLogSink — one machine-parsable line per violation:
+///       gc-assert|<cycle>|<kind>|<object type>|<message>|<path with ->`s>
+///   * TeeViolationSink — fans a violation out to several sinks (e.g.
+///       record in memory *and* log).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_CORE_VIOLATIONLOGSINK_H
+#define GCASSERT_CORE_VIOLATIONLOGSINK_H
+
+#include "gcassert/core/Violation.h"
+
+#include <vector>
+
+namespace gcassert {
+
+class OStream;
+
+/// One line per violation, machine-parsable, '|'-separated.
+class LineLogSink : public ViolationSink {
+public:
+  explicit LineLogSink(OStream &Out) : Out(Out) {}
+
+  void report(const Violation &V) override;
+
+  /// Renders the line format without a sink (used by tests and tools).
+  static std::string formatLine(const Violation &V);
+
+private:
+  OStream &Out;
+};
+
+/// Adapts a callable into a sink — the paper's §2.6 future-work
+/// "programmatic interface that would allow the programmer to test the
+/// conditions directly and take action in an application-specific manner".
+///
+/// \code
+///   CallbackViolationSink Sink([&](const Violation &V) {
+///     if (V.Kind == AssertionKind::Dead)
+///       Cache.clear(); // Application-specific recovery.
+///   });
+///   AssertionEngine Engine(TheVm, &Sink);
+/// \endcode
+template <typename CallbackT>
+class CallbackViolationSink : public ViolationSink {
+public:
+  explicit CallbackViolationSink(CallbackT Callback)
+      : Callback(std::move(Callback)) {}
+
+  void report(const Violation &V) override { Callback(V); }
+
+private:
+  CallbackT Callback;
+};
+
+/// Forwards each violation to every registered sink, in order.
+class TeeViolationSink : public ViolationSink {
+public:
+  TeeViolationSink() = default;
+  TeeViolationSink(std::initializer_list<ViolationSink *> Targets)
+      : Sinks(Targets) {}
+
+  void addSink(ViolationSink *Sink) { Sinks.push_back(Sink); }
+
+  void report(const Violation &V) override {
+    for (ViolationSink *Sink : Sinks)
+      Sink->report(V);
+  }
+
+private:
+  std::vector<ViolationSink *> Sinks;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_CORE_VIOLATIONLOGSINK_H

@@ -1,0 +1,93 @@
+//===- gcassert/gc/Collector.h - Collector interface -------------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract collector interface plus the root-enumeration contract the
+/// runtime fulfills, and the cumulative GC statistics the benchmark harness
+/// reads (the paper reports GC time separately from total time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_GC_COLLECTOR_H
+#define GCASSERT_GC_COLLECTOR_H
+
+#include "gcassert/gc/TraceHooks.h"
+#include "gcassert/heap/Object.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace gcassert {
+
+/// Enumerates strong root slots. The runtime (global roots + every thread's
+/// handle slots) implements this. Slots are passed by address so a moving
+/// collector can update them.
+class RootProvider {
+public:
+  virtual ~RootProvider();
+
+  virtual void
+  forEachRootSlot(const std::function<void(ObjRef *)> &Fn) = 0;
+};
+
+/// Cumulative statistics across all collections of one collector.
+struct GcStats {
+  uint64_t Cycles = 0;
+  /// Wall time spent inside collect(), nanoseconds.
+  uint64_t TotalGcNanos = 0;
+  /// Portion of TotalGcNanos spent in the ownership (pre-root) phase.
+  uint64_t OwnershipNanos = 0;
+  /// Objects visited (marked or copied) across all cycles.
+  uint64_t ObjectsVisited = 0;
+  /// Bytes reclaimed across all cycles.
+  uint64_t BytesReclaimed = 0;
+  /// Duration of the most recent cycle, nanoseconds.
+  uint64_t LastGcNanos = 0;
+  /// Generational collectors only: how many of Cycles were minor (nursery)
+  /// collections. Full-heap collectors leave this at zero.
+  uint64_t MinorCycles = 0;
+};
+
+/// A stop-the-world tracing collector.
+///
+/// The assertion infrastructure is attached with setHooks(): a collector
+/// with hooks runs the checking trace loop ("Infrastructure" /
+/// "WithAssertions" in the paper's figures); without hooks it runs a loop
+/// with no per-object checks at all ("Base").
+class Collector {
+public:
+  explicit Collector(RootProvider &Roots) : Roots(Roots) {}
+  virtual ~Collector();
+
+  Collector(const Collector &) = delete;
+  Collector &operator=(const Collector &) = delete;
+
+  /// Runs one stop-the-world collection. \p Cause is a short label for
+  /// logging ("allocation failure", "explicit", ...).
+  virtual void collect(const char *Cause) = 0;
+
+  /// Installs (or removes, with null) the assertion engine's trace hooks.
+  void setHooks(TraceHooks *NewHooks) { Hooks = NewHooks; }
+  TraceHooks *hooks() const { return Hooks; }
+
+  /// Enables or disables §2.7 path recording. Only meaningful when hooks
+  /// are installed; on by default, can be turned off to measure its cost
+  /// (the ABL-PATH ablation).
+  void setPathRecording(bool Enable) { RecordPaths = Enable; }
+  bool pathRecording() const { return RecordPaths; }
+
+  const GcStats &stats() const { return Stats; }
+
+protected:
+  RootProvider &Roots;
+  TraceHooks *Hooks = nullptr;
+  bool RecordPaths = true;
+  GcStats Stats;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_COLLECTOR_H

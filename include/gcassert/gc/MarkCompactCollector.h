@@ -1,0 +1,38 @@
+//===- gcassert/gc/MarkCompactCollector.h - Sliding compactor --*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mark-compact collector over CompactHeap. The checking trace (with the
+/// full assertion hook surface) is identical to MarkSweep's; afterwards a
+/// relocation plan is computed, the engine's weak tables and every
+/// reference are rewritten against it, and the live prefix slides down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_GC_MARKCOMPACTCOLLECTOR_H
+#define GCASSERT_GC_MARKCOMPACTCOLLECTOR_H
+
+#include "gcassert/gc/Collector.h"
+#include "gcassert/heap/CompactHeap.h"
+
+namespace gcassert {
+
+class MarkCompactCollector : public Collector {
+public:
+  MarkCompactCollector(CompactHeap &TheHeap, RootProvider &Roots)
+      : Collector(Roots), TheHeap(TheHeap) {}
+
+  void collect(const char *Cause) override;
+
+private:
+  template <bool EnableChecks, bool RecordPathsT> void runCycle();
+
+  CompactHeap &TheHeap;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_MARKCOMPACTCOLLECTOR_H

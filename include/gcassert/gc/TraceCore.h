@@ -1,0 +1,217 @@
+//===- gcassert/gc/TraceCore.h - The tracing loop ----------------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TraceCore is the collector-independent tracing loop, templated on:
+///
+///  * SpaceOpsT — how the underlying space visits an object (set the mark
+///    bit for mark-sweep; evacuate and forward for semispace);
+///  * EnableChecks — whether the assertion infrastructure's per-object
+///    checks are compiled in ("Infrastructure"/"WithAssertions" in the
+///    paper's figures) or not ("Base");
+///  * RecordPaths — whether the worklist maintains the paper's §2.7 path
+///    reconstruction: the currently-scanned object stays on the worklist
+///    with its pointer's low-order bit set, so the tagged subsequence of the
+///    worklist is always the exact path from the scan origin to the current
+///    object. Objects are 8-byte aligned, so the low bit is free — the same
+///    trick the paper plays with Jikes RVM's word-aligned references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_GC_TRACECORE_H
+#define GCASSERT_GC_TRACECORE_H
+
+#include "gcassert/gc/TraceHooks.h"
+#include "gcassert/heap/TypeRegistry.h"
+#include "gcassert/support/Compiler.h"
+
+#include <vector>
+
+namespace gcassert {
+
+/// SpaceOps for a non-moving mark-bit space (FreeListHeap + MarkSweep).
+struct MarkSpaceOps {
+  bool isVisited(ObjRef Obj) const { return Obj->header().isMarked(); }
+
+  /// Marks \p Obj; non-moving, so the address is unchanged.
+  ObjRef visitNew(ObjRef Obj) const {
+    Obj->header().setMarked();
+    return Obj;
+  }
+
+  /// Address of an already-visited object (unchanged).
+  ObjRef visitedAddress(ObjRef Obj) const { return Obj; }
+};
+
+/// The tracing work engine shared by all collectors.
+template <typename SpaceOpsT, bool EnableChecks, bool RecordPaths>
+class TraceCore {
+public:
+  TraceCore(SpaceOpsT Space, TypeRegistry &Types, TraceHooks *Hooks)
+      : Space(Space), Types(Types), Hooks(Hooks) {
+    assert((!EnableChecks || Hooks) && "checks enabled without hooks");
+  }
+
+  void setPhase(TracePhase NewPhase) { Phase = NewPhase; }
+
+  /// Processes one reference slot: visits the referent if new, updates the
+  /// slot under a moving space, and performs the assertion checks.
+  void processSlot(ObjRef *Slot) {
+    ObjRef Obj = *Slot;
+    if (!Obj)
+      return;
+
+    if (GCA_LIKELY(!Space.isVisited(Obj))) {
+      if constexpr (EnableChecks) {
+        if (!checkFirstEncounter(Obj, Slot))
+          return; // Reference was severed.
+      }
+      ObjRef NewAddr = Space.visitNew(Obj);
+      if (NewAddr != Obj)
+        *Slot = NewAddr;
+      ++Visited;
+      push(NewAddr);
+      return;
+    }
+
+    ObjRef NewAddr = Space.visitedAddress(Obj);
+    if (NewAddr != Obj)
+      *Slot = NewAddr;
+    if constexpr (EnableChecks)
+      if (GCA_UNLIKELY(NewAddr->header().testFlag(HF_Unshared)))
+        Hooks->onUnsharedShared(NewAddr, capturePath(NewAddr));
+  }
+
+  /// Scans every reference field of \p Obj through processSlot.
+  void scanObjectFields(ObjRef Obj) {
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    switch (Type.kind()) {
+    case TypeKind::Class:
+      for (uint32_t Offset : Type.refOffsets())
+        processSlot(Obj->refSlot(Offset));
+      break;
+    case TypeKind::RefArray:
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        processSlot(Obj->elementSlot(I));
+      break;
+    case TypeKind::DataArray:
+      break;
+    }
+  }
+
+  /// Drains the worklist to empty.
+  void drain() {
+    while (!Worklist.empty()) {
+      uintptr_t Entry = Worklist.back();
+      if constexpr (RecordPaths) {
+        if (Entry & 1) {
+          // All children of this object have been traced; it leaves the
+          // current path.
+          Worklist.pop_back();
+          continue;
+        }
+        // Keep the object on the worklist, tagged, while its children are
+        // traced: the tagged entries form the live path (§2.7).
+        Worklist.back() = Entry | 1;
+      } else {
+        Worklist.pop_back();
+      }
+      scanObjectFields(reinterpret_cast<ObjRef>(Entry));
+    }
+  }
+
+  /// Like scanObjectFields + drain, but for an unvisited scan origin (an
+  /// owner in the ownership phase): with path recording the origin is pushed
+  /// tagged so reports include it, without ever marking it.
+  void scanChildrenAndDrain(ObjRef Origin) {
+    if constexpr (RecordPaths) {
+      Worklist.push_back(reinterpret_cast<uintptr_t>(Origin) | 1);
+      scanObjectFields(Origin);
+      drain();
+      // drain() pops the tagged origin itself once its subtree completes,
+      // so nothing is left to clean up.
+    } else {
+      scanObjectFields(Origin);
+      drain();
+    }
+  }
+
+  /// Materializes the current path: the tagged worklist entries from the
+  /// scan origin to the parent of \p Leaf, plus \p Leaf. Without path
+  /// recording, just {Leaf}.
+  std::vector<ObjRef> capturePath(ObjRef Leaf) const {
+    std::vector<ObjRef> Path;
+    if constexpr (RecordPaths) {
+      for (uintptr_t Entry : Worklist)
+        if (Entry & 1)
+          Path.push_back(reinterpret_cast<ObjRef>(Entry & ~uintptr_t(1)));
+    }
+    Path.push_back(Leaf);
+    return Path;
+  }
+
+  /// Number of objects visited (marked or copied) so far this cycle.
+  uint64_t objectsVisited() const { return Visited; }
+
+private:
+  void push(ObjRef Obj) { Worklist.push_back(reinterpret_cast<uintptr_t>(Obj)); }
+
+  /// The slow(er) path for first encounters when checks are enabled.
+  /// Returns false if the reference was severed and the object must not be
+  /// visited.
+  bool checkFirstEncounter(ObjRef Obj, ObjRef *Slot) {
+    ObjectHeader &Hdr = Obj->header();
+    uint32_t Flags = Hdr.Flags;
+
+    if (GCA_UNLIKELY(Flags & HF_Dead)) {
+      if (Hooks->severDeadReferences()) {
+        *Slot = nullptr;
+        return false;
+      }
+      Hooks->onDeadReachable(Obj, capturePath(Obj), Phase);
+    }
+
+    TypeInfo &Type = Types.get(Obj->typeId());
+    if (GCA_UNLIKELY(Type.isInstanceTracked()))
+      Type.incrementLiveCount();
+    if (GCA_UNLIKELY(Type.isVolumeTracked()))
+      Type.addLiveBytes(Types.allocationSize(
+          Obj->typeId(), Type.isArray() ? Obj->arrayLength() : 0));
+
+    if (Phase == TracePhase::Ownership) {
+      if (GCA_UNLIKELY(Flags & (HF_Owner | HF_Ownee))) {
+        switch (Hooks->classifyPreRoot(Obj)) {
+        case PreRootAction::Continue:
+          break;
+        case PreRootAction::Truncate: {
+          // Visit (mark/copy) without scanning children.
+          ObjRef NewAddr = Space.visitNew(Obj);
+          if (NewAddr != Obj)
+            *Slot = NewAddr;
+          ++Visited;
+          return false;
+        }
+        case PreRootAction::Skip:
+          return false;
+        }
+      }
+    } else if (GCA_UNLIKELY((Flags & HF_Ownee) && !(Flags & HF_Owned))) {
+      Hooks->onUnownedOwnee(Obj, capturePath(Obj));
+    }
+    return true;
+  }
+
+  SpaceOpsT Space;
+  TypeRegistry &Types;
+  TraceHooks *Hooks;
+  std::vector<uintptr_t> Worklist;
+  TracePhase Phase = TracePhase::Roots;
+  uint64_t Visited = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_TRACECORE_H

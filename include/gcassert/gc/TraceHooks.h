@@ -1,0 +1,142 @@
+//===- gcassert/gc/TraceHooks.h - Collector/assertion interface -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface between the collectors and the assertion engine.
+///
+/// The paper piggybacks assertion checking on the collector's tracing loop
+/// (§2). The fast checks — header bits, tracked-type instance counts — are
+/// performed inline by the trace core; everything rare (a violation, an
+/// ownee/owner encounter in the ownership phase) escapes to these virtual
+/// hooks. A collector built without hooks ("Base" in the paper's Figures 2-5)
+/// compiles a trace loop with no checks at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_GC_TRACEHOOKS_H
+#define GCASSERT_GC_TRACEHOOKS_H
+
+#include "gcassert/heap/Object.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gcassert {
+
+/// Which tracing phase the collector is in.
+///
+/// The ownership phase (paper §2.5.2, "Phase 1") traces from owner objects
+/// before the roots are scanned; the root phase is the normal collection
+/// trace.
+enum class TracePhase : uint8_t { Ownership, Roots };
+
+/// What the trace core should do with an owner/ownee-flagged object first
+/// encountered during the ownership phase.
+enum class PreRootAction : uint8_t {
+  /// Keep scanning through the object.
+  Continue,
+  /// Mark (or copy) the object but do not scan its children now. Used to
+  /// truncate at ownees and to stop at other owners.
+  Truncate,
+  /// Do not visit the object at all. Used when a scan reaches the very
+  /// owner it started from through a cycle: the owner's liveness must come
+  /// from the root scan, never from its own data structure.
+  Skip,
+};
+
+/// Engine-facing view of one collection's liveness result, valid during
+/// TraceHooks::onTraceComplete (after tracing, before reclamation).
+class PostTraceContext {
+public:
+  virtual ~PostTraceContext();
+
+  /// Returns the object's post-GC address: the object itself (mark-sweep),
+  /// its to-space copy (semispace), or null if it was found dead. Engine
+  /// tables that hold weak references use this to prune and rewrite.
+  virtual ObjRef currentAddress(ObjRef Obj) const = 0;
+
+  /// The collection cycle number, for violation records.
+  virtual uint64_t cycle() const = 0;
+};
+
+/// Engine-facing driver for the ownership phase. The engine decides *what*
+/// to scan (owners, then deferred ownees); the collector performs the actual
+/// tracing work through this interface.
+class OwnershipScanDriver {
+public:
+  virtual ~OwnershipScanDriver();
+
+  /// Scans the fields of \p Owner and drains all work that becomes
+  /// reachable, without marking \p Owner itself (paper §2.5.2: the owner's
+  /// own liveness must come from the root scan).
+  virtual void scanChildrenOf(ObjRef Owner) = 0;
+
+  /// Scans \p Obj (a deferred ownee) like a normal traced object.
+  virtual void scanObject(ObjRef Obj) = 0;
+
+  /// Translates \p Obj to its current address under a moving collector
+  /// (identity for mark-sweep). Returns null only if \p Obj is a from-space
+  /// original that was never visited, which cannot happen for queued work.
+  virtual ObjRef resolve(ObjRef Obj) const = 0;
+};
+
+/// Callbacks from the trace core into the assertion engine. All paths are
+/// object chains from the scan origin (a root or an owner) to the offending
+/// object; they are materialized only when a violation actually fires.
+class TraceHooks {
+public:
+  virtual ~TraceHooks();
+
+  /// A collection cycle is starting. The engine resets per-cycle state
+  /// (instance counts, Owned bits, report deduplication).
+  virtual void onGcBegin(uint64_t Cycle) = 0;
+
+  /// The collector is ready to run the ownership phase (before root
+  /// scanning). The engine iterates its owners through \p Driver. Only
+  /// called when hooks are installed; the engine returns immediately if no
+  /// ownership assertions are registered.
+  virtual void runOwnershipPhase(OwnershipScanDriver &Driver) = 0;
+
+  /// A DEAD-flagged object was found reachable. \p Path runs from the scan
+  /// origin to the object itself (inclusive).
+  virtual void onDeadReachable(ObjRef Obj, const std::vector<ObjRef> &Path,
+                               TracePhase Phase) = 0;
+
+  /// If true, the tracer nulls the reference to a DEAD-flagged object
+  /// instead of tracing through it — the paper's "force the assertion to be
+  /// true" reaction (§2.6).
+  virtual bool severDeadReferences() const = 0;
+
+  /// An UNSHARED-flagged object was reached through a second path.
+  virtual void onUnsharedShared(ObjRef Obj,
+                                const std::vector<ObjRef> &Path) = 0;
+
+  /// The root phase reached an ownee that the ownership phase did not mark
+  /// as owned: the object is not reachable from its owner (§2.5.2 Phase 2).
+  virtual void onUnownedOwnee(ObjRef Obj,
+                              const std::vector<ObjRef> &Path) = 0;
+
+  /// Ownership-phase classification of a first-encountered object whose
+  /// header carries the Owner or Ownee flag.
+  virtual PreRootAction classifyPreRoot(ObjRef Obj) = 0;
+
+  /// Tracing is complete; reclamation has not happened yet. The engine
+  /// checks instance limits, prunes tables of dead entries, and reports
+  /// deferred violations.
+  virtual void onTraceComplete(PostTraceContext &Ctx) = 0;
+
+  /// A generational *minor* collection finished: nursery survivors moved to
+  /// the old generation; no assertions were checked (the paper's §2.2
+  /// observation — a generational collector checks assertions only at
+  /// full-heap collections). The engine must translate its weak tables
+  /// through \p Ctx (nursery objects forward or die; old objects are
+  /// stable).
+  virtual void onMinorGcComplete(PostTraceContext &Ctx) = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_TRACEHOOKS_H

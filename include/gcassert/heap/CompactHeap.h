@@ -1,0 +1,92 @@
+//===- gcassert/heap/CompactHeap.h - Sliding-compaction heap ---*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single contiguous bump-allocated space collected by sliding (LISP2
+/// style) compaction: live objects are slid down toward the base in address
+/// order, leaving one dense prefix and a bump frontier.
+///
+/// Third collector mechanic for the §2.2 collector-independence claim:
+/// unlike mark-sweep (no motion) and semispace (evacuation during trace),
+/// compaction moves objects *after* the checking trace completes, so the
+/// assertion engine's address translation happens on a finished plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_COMPACTHEAP_H
+#define GCASSERT_HEAP_COMPACTHEAP_H
+
+#include "gcassert/heap/Heap.h"
+
+#include <memory>
+#include <vector>
+
+namespace gcassert {
+
+/// Configuration for a CompactHeap.
+struct CompactHeapConfig {
+  size_t CapacityBytes = 64u << 20;
+};
+
+/// The relocation plan computed between marking and sliding: (old, new)
+/// address pairs for every live object, sorted by old address.
+class CompactionPlan {
+public:
+  /// The post-compaction address of \p Obj, or null if \p Obj is not in the
+  /// plan (i.e. dead). Binary search.
+  ObjRef lookup(ObjRef Obj) const;
+
+  size_t liveObjects() const { return Moves.size(); }
+
+private:
+  friend class CompactHeap;
+  struct Move {
+    ObjRef From;
+    ObjRef To;
+  };
+  std::vector<Move> Moves;
+};
+
+/// Contiguous bump heap with sliding compaction.
+class CompactHeap : public Heap {
+public:
+  CompactHeap(TypeRegistry &Types, const CompactHeapConfig &Config);
+
+  ObjRef allocate(TypeId Id, uint64_t ArrayLength) override;
+  void forEachObject(const std::function<void(ObjRef)> &Fn) override;
+  bool contains(const void *Ptr) const override;
+
+  /// \name Collector interface
+  /// @{
+
+  /// Walks the (marked) heap in address order and assigns each live object
+  /// its slide-down target. Mark bits must be set (i.e. call after
+  /// tracing, before any movement).
+  CompactionPlan planCompaction();
+
+  /// Slides every planned object to its target (ascending order, so the
+  /// copies never overlap destructively), clears mark bits, and resets the
+  /// bump frontier to the end of the compacted prefix. All references must
+  /// already have been rewritten against \p Plan.
+  void executeCompaction(const CompactionPlan &Plan);
+
+  /// Bytes an object occupies (allocation size rounded to pointer
+  /// alignment).
+  size_t objectSize(ObjRef Obj) const;
+
+  uint64_t liveBytesAfterLastCollection() const { return LiveBytesAfterGc; }
+  /// @}
+
+private:
+  std::unique_ptr<uint8_t[]> Storage;
+  size_t CapacityBytes;
+  uint8_t *Bump;
+  uint64_t LiveBytesAfterGc = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_COMPACTHEAP_H

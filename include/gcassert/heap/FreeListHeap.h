@@ -1,0 +1,109 @@
+//===- gcassert/heap/FreeListHeap.h - Segregated free-list heap -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-moving heap that backs the MarkSweep collector, mirroring the
+/// MMTk MarkSweep space the paper uses in Jikes RVM.
+///
+/// Organization: a fixed arena carved into 64 KiB blocks. Each carved block
+/// belongs to one size class and is divided into equal cells. Free cells are
+/// threaded onto per-class free lists; a cell is free iff its header's type
+/// id is 0. Objects larger than the largest size class go to a malloc-backed
+/// large-object space charged against the same capacity budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_FREELISTHEAP_H
+#define GCASSERT_HEAP_FREELISTHEAP_H
+
+#include "gcassert/heap/Heap.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace gcassert {
+
+/// Configuration for a FreeListHeap.
+struct FreeListHeapConfig {
+  /// Total capacity in bytes (arena plus large-object budget).
+  size_t CapacityBytes = 64u << 20;
+};
+
+/// Segregated-fit free-list heap. Objects never move.
+class FreeListHeap : public Heap {
+public:
+  FreeListHeap(TypeRegistry &Types, const FreeListHeapConfig &Config);
+  ~FreeListHeap() override;
+
+  ObjRef allocate(TypeId Id, uint64_t ArrayLength) override;
+  void forEachObject(const std::function<void(ObjRef)> &Fn) override;
+  bool contains(const void *Ptr) const override;
+
+  /// Reclaims every unmarked object and clears the mark bit on survivors.
+  /// Rebuilds the free lists; fully-free blocks are returned to the block
+  /// pool so another size class can reuse them. Returns bytes reclaimed.
+  size_t sweep();
+
+  /// Bytes occupied by live objects after the last sweep.
+  uint64_t liveBytesAfterLastSweep() const { return LiveBytesAfterSweep; }
+
+  /// Unoccupied bytes in the small-object arena (excludes the large-object
+  /// budget). An estimate: carved-block slack is not reclaimed until those
+  /// cells free up, so treat this as an upper bound on what allocation can
+  /// still deliver.
+  uint64_t arenaBytesFree() const {
+    uint64_t ArenaInUse = Stats.BytesInUse - LargeBytesInUse;
+    return ArenaBytes > ArenaInUse ? ArenaBytes - ArenaInUse : 0;
+  }
+
+  /// Number of 64 KiB blocks currently carved for some size class.
+  size_t carvedBlockCount() const;
+
+  /// Size-class cell size used for an allocation of \p Bytes, or 0 if the
+  /// request goes to the large-object space. Exposed for tests.
+  static size_t sizeClassCellSize(size_t Bytes);
+
+private:
+  struct BlockInfo {
+    /// Index into the size-class table; ~0u when the block is uncarved.
+    uint32_t SizeClass = ~0u;
+  };
+
+  static constexpr size_t BlockSize = 64u * 1024;
+
+  uint8_t *blockBase(size_t BlockIndex) const {
+    return Arena.get() + BlockIndex * BlockSize;
+  }
+
+  ObjRef allocateSmall(size_t CellSize, uint32_t ClassIndex);
+  ObjRef allocateLarge(size_t Size);
+  bool carveBlock(uint32_t ClassIndex);
+  void sweepLargeObjects(size_t &Reclaimed);
+
+  std::unique_ptr<uint8_t[]> Arena;
+  size_t ArenaBytes;
+  std::vector<BlockInfo> Blocks;
+  std::vector<size_t> FreeBlocks;
+  /// Head of the free-cell list per size class (null when empty). The next
+  /// pointer of a free cell is stored in its first payload word.
+  std::vector<void *> FreeLists;
+
+  struct LargeObject {
+    void *Storage;
+    size_t Size;
+  };
+  std::vector<LargeObject> LargeObjects;
+  std::unordered_set<const void *> LargeObjectSet;
+  size_t LargeBytesInUse = 0;
+  size_t LargeBudget;
+
+  uint64_t LiveBytesAfterSweep = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_FREELISTHEAP_H

@@ -1,0 +1,120 @@
+//===- gcassert/heap/GenerationalHeap.h - Nursery + old gen ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-generation heap: a bump-pointer nursery for new objects and a
+/// free-list old generation for survivors, with a store barrier feeding the
+/// old-to-nursery remembered set.
+///
+/// The paper discusses generational collectors explicitly (§2.2): the
+/// technique works with any tracing collector, "a generational collector,
+/// however, performs full-heap collections infrequently, allowing some
+/// assertions to go unchecked for long periods of time". This heap (and
+/// GenerationalCollector) exists to reproduce that trade-off — see the
+/// ablation_generational bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_GENERATIONALHEAP_H
+#define GCASSERT_HEAP_GENERATIONALHEAP_H
+
+#include "gcassert/heap/FreeListHeap.h"
+#include "gcassert/heap/WriteBarrier.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace gcassert {
+
+/// Configuration for a GenerationalHeap.
+struct GenerationalHeapConfig {
+  /// Total capacity (nursery + old generation budget).
+  size_t CapacityBytes = 64u << 20;
+  /// Nursery size; 0 picks CapacityBytes / 8 clamped to [256 KiB, 4 MiB].
+  size_t NurseryBytes = 0;
+};
+
+/// Nursery + old generation. Installs itself as the process store barrier
+/// for its lifetime (one generational heap per process).
+class GenerationalHeap : public Heap, public StoreBarrier {
+public:
+  GenerationalHeap(TypeRegistry &Types, const GenerationalHeapConfig &Config);
+  ~GenerationalHeap() override;
+
+  /// \name Heap interface
+  /// @{
+  ObjRef allocate(TypeId Id, uint64_t ArrayLength) override;
+  void forEachObject(const std::function<void(ObjRef)> &Fn) override;
+  bool contains(const void *Ptr) const override;
+  /// @}
+
+  /// StoreBarrier: records old-to-nursery stores.
+  void recordStore(Object *Holder, Object *Value) override {
+    if (inNursery(Value) && !inNursery(Holder))
+      RememberedSet.insert(Holder);
+  }
+
+  /// \name Collector interface
+  /// @{
+  bool inNursery(const void *Ptr) const {
+    const uint8_t *P = static_cast<const uint8_t *>(Ptr);
+    return P >= Nursery.get() && P < Nursery.get() + NurseryBytes;
+  }
+
+  /// Copies the nursery object \p Obj into the old generation and installs
+  /// a forwarding pointer. Aborts if the old generation is full (the
+  /// collector's major-GC heuristic exists to prevent that).
+  ObjRef promote(ObjRef Obj);
+
+  /// Resets the nursery bump pointer (all survivors must have been
+  /// promoted) and clears the remembered set.
+  void finishMinorCollection();
+
+  /// Old objects holding (potential) nursery references.
+  const std::unordered_set<Object *> &rememberedSet() const {
+    return RememberedSet;
+  }
+
+  /// Drops remembered-set entries whose object is unmarked. Must run after
+  /// a full-graph trace and before the old generation's sweep (afterwards
+  /// the dead entries would be dangling).
+  void pruneRememberedSetUnmarked() {
+    for (auto It = RememberedSet.begin(); It != RememberedSet.end();)
+      It = (*It)->header().isMarked() ? std::next(It)
+                                      : RememberedSet.erase(It);
+  }
+
+  /// Clears mark bits on every nursery object (a full-graph trace marks
+  /// nursery objects too, but only the old generation's sweep clears bits).
+  void clearNurseryMarks();
+
+  /// The old generation, for the major (mark-sweep) collection.
+  FreeListHeap &oldGen() { return *OldGen; }
+
+  uint64_t nurseryBytesUsed() const {
+    return static_cast<uint64_t>(NurseryBump - Nursery.get());
+  }
+  uint64_t nurseryCapacity() const { return NurseryBytes; }
+
+  /// Free-space estimate for the old generation's small-object arena —
+  /// the space promotions actually draw from (the large-object budget is
+  /// deliberately excluded; large objects are pretenured, never promoted).
+  uint64_t oldGenFreeEstimate() const { return OldGen->arenaBytesFree(); }
+  /// @}
+
+private:
+  ObjRef allocateInNursery(size_t Size);
+
+  std::unique_ptr<FreeListHeap> OldGen;
+  std::unique_ptr<uint8_t[]> Nursery;
+  size_t NurseryBytes;
+  uint8_t *NurseryBump;
+  std::unordered_set<Object *> RememberedSet;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_GENERATIONALHEAP_H

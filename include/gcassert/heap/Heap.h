@@ -1,0 +1,73 @@
+//===- gcassert/heap/Heap.h - Managed heap interface ------------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap is the interface both heap organizations implement: the segregated
+/// free-list heap that backs the MarkSweep collector (the paper's
+/// configuration) and the semispace heap that backs the copying collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_HEAP_H
+#define GCASSERT_HEAP_HEAP_H
+
+#include "gcassert/heap/Object.h"
+#include "gcassert/heap/TypeRegistry.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace gcassert {
+
+/// Allocation and occupancy counters for one heap.
+struct HeapStats {
+  /// Cumulative bytes requested by successful allocations (rounded sizes).
+  uint64_t BytesAllocated = 0;
+  /// Cumulative number of successful allocations.
+  uint64_t ObjectsAllocated = 0;
+  /// Bytes currently held by live-or-unswept objects (rounded sizes).
+  uint64_t BytesInUse = 0;
+  /// Configured capacity in bytes.
+  uint64_t BytesCapacity = 0;
+};
+
+/// Abstract managed heap.
+///
+/// allocate() returns null when the heap cannot satisfy the request; the
+/// runtime responds by running a collection and retrying. Payloads of new
+/// objects are zero-filled, so every reference field starts as null.
+class Heap {
+public:
+  explicit Heap(TypeRegistry &Types) : Types(Types) {}
+  virtual ~Heap();
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Allocates an object of type \p Id (with \p ArrayLength elements for
+  /// array types). Returns null if the heap is full.
+  virtual ObjRef allocate(TypeId Id, uint64_t ArrayLength) = 0;
+
+  /// Calls \p Fn for every object currently in the heap (live or not yet
+  /// swept). Used by leak detectors, auditors, and tests.
+  virtual void forEachObject(const std::function<void(ObjRef)> &Fn) = 0;
+
+  /// True if \p Ptr points into heap-managed storage.
+  virtual bool contains(const void *Ptr) const = 0;
+
+  TypeRegistry &types() { return Types; }
+  const TypeRegistry &types() const { return Types; }
+
+  const HeapStats &stats() const { return Stats; }
+
+protected:
+  TypeRegistry &Types;
+  HeapStats Stats;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_HEAP_H

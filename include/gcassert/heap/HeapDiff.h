@@ -1,0 +1,42 @@
+//===- gcassert/heap/HeapDiff.h - Histogram differencing -------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differencing of two heap histograms — the core operation of the
+/// heap-differencing leak tools the paper relates to (JRockit, LeakBot,
+/// Cork, …): take a snapshot before and after, and ask which types grew.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_HEAPDIFF_H
+#define GCASSERT_HEAP_HEAPDIFF_H
+
+#include "gcassert/heap/HeapHistogram.h"
+
+namespace gcassert {
+
+/// Per-type growth between two snapshots.
+struct TypeDelta {
+  std::string TypeName;
+  int64_t InstanceDelta;
+  int64_t ByteDelta;
+};
+
+/// Computes After − Before per type (types absent from one side count as
+/// zero there), dropping all-zero rows and sorting by byte growth
+/// descending.
+std::vector<TypeDelta> diffHeapHistograms(
+    const std::vector<TypeOccupancy> &Before,
+    const std::vector<TypeOccupancy> &After);
+
+/// Renders a diff as an aligned text table into \p Out (at most \p MaxRows
+/// rows; 0 = all).
+void printHeapDiff(OStream &Out, const std::vector<TypeDelta> &Diff,
+                   size_t MaxRows = 0);
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_HEAPDIFF_H

@@ -1,0 +1,46 @@
+//===- gcassert/heap/HeapHistogram.h - Per-type occupancy ------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-type heap occupancy snapshots, the standard first question of any
+/// leak hunt ("what is the heap full of?") and the raw material of
+/// Cork-style heap differencing. Run right after a collection for a
+/// live-set snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_HEAPHISTOGRAM_H
+#define GCASSERT_HEAP_HEAPHISTOGRAM_H
+
+#include "gcassert/heap/Heap.h"
+
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+class OStream;
+
+/// One histogram row.
+struct TypeOccupancy {
+  TypeId Type;
+  std::string TypeName;
+  uint64_t Instances;
+  uint64_t Bytes;
+};
+
+/// Snapshots the heap's per-type occupancy, sorted by bytes descending.
+std::vector<TypeOccupancy> takeHeapHistogram(Heap &TheHeap);
+
+/// Renders a histogram as an aligned text table into \p Out. At most
+/// \p MaxRows rows are printed (0 = all), followed by a totals line.
+void printHeapHistogram(OStream &Out,
+                        const std::vector<TypeOccupancy> &Histogram,
+                        size_t MaxRows = 0);
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_HEAPHISTOGRAM_H

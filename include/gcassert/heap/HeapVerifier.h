@@ -1,0 +1,54 @@
+//===- gcassert/heap/HeapVerifier.h - Heap integrity checks ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HeapVerifier audits the structural invariants of a managed heap: every
+/// object carries a registered type, every reference field points at a
+/// well-formed object inside the heap, and (outside a collection) no mark
+/// or forwarding state is left behind. Tests run it after collections; it
+/// is also a useful debugging aid for new collector work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_HEAPVERIFIER_H
+#define GCASSERT_HEAP_HEAPVERIFIER_H
+
+#include "gcassert/heap/Heap.h"
+
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/// One invariant violation found by the verifier.
+struct HeapDefect {
+  ObjRef Obj;
+  std::string Description;
+};
+
+/// Structural heap auditor.
+class HeapVerifier {
+public:
+  explicit HeapVerifier(Heap &TheHeap) : TheHeap(TheHeap) {}
+
+  /// Audits every object in the heap. Mutator-time invariants are checked:
+  /// valid type ids, in-heap well-formed reference targets, no residual
+  /// mark or forwarding bits. Returns all defects found (empty = clean).
+  std::vector<HeapDefect> verify();
+
+  /// Convenience: true if verify() found nothing.
+  bool isClean() { return verify().empty(); }
+
+private:
+  void checkReference(ObjRef Holder, const char *What, ObjRef Target,
+                      std::vector<HeapDefect> &Defects);
+
+  Heap &TheHeap;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_HEAPVERIFIER_H

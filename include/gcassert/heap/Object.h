@@ -1,0 +1,146 @@
+//===- gcassert/heap/Object.h - Managed object accessors --------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Object is the in-heap representation of a managed object: an ObjectHeader
+/// followed by the payload. For Class types the payload is the fixed field
+/// area; for array types it is a 64-bit length followed by the elements.
+///
+/// Object is deliberately layout-only: it performs no type checking of its
+/// own (debug builds assert on obvious misuse). Typed, checked access lives
+/// in the runtime layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_OBJECT_H
+#define GCASSERT_HEAP_OBJECT_H
+
+#include "gcassert/heap/ObjectHeader.h"
+#include "gcassert/heap/WriteBarrier.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace gcassert {
+
+class Object;
+
+/// A reference to a managed object. Mark-sweep never moves objects, so a
+/// reference is simply the object's address; the semispace collector updates
+/// every reference slot it can enumerate when it moves objects.
+using ObjRef = Object *;
+
+class Object {
+public:
+  Object() = delete;
+  Object(const Object &) = delete;
+  Object &operator=(const Object &) = delete;
+
+  ObjectHeader &header() { return Hdr; }
+  const ObjectHeader &header() const { return Hdr; }
+
+  TypeId typeId() const { return Hdr.Type; }
+
+  /// Start of the payload area, immediately after the header.
+  uint8_t *payload() { return reinterpret_cast<uint8_t *>(this + 1); }
+  const uint8_t *payload() const {
+    return reinterpret_cast<const uint8_t *>(this + 1);
+  }
+
+  /// \name Class-type field access (byte offsets into the payload)
+  /// @{
+  ObjRef getRef(uint32_t Offset) const {
+    ObjRef Value;
+    std::memcpy(&Value, payload() + Offset, sizeof(ObjRef));
+    return Value;
+  }
+
+  void setRef(uint32_t Offset, ObjRef Value) {
+    storeBarrier(this, Value);
+    std::memcpy(payload() + Offset, &Value, sizeof(ObjRef));
+  }
+
+  /// Address of the reference slot at \p Offset. Slots are 8-byte aligned
+  /// because all reference fields are laid out at aligned offsets.
+  ObjRef *refSlot(uint32_t Offset) {
+    assert(Offset % sizeof(ObjRef) == 0 && "misaligned reference slot");
+    return reinterpret_cast<ObjRef *>(payload() + Offset);
+  }
+
+  template <typename T> T getScalar(uint32_t Offset) const {
+    T Value;
+    std::memcpy(&Value, payload() + Offset, sizeof(T));
+    return Value;
+  }
+
+  template <typename T> void setScalar(uint32_t Offset, T Value) {
+    std::memcpy(payload() + Offset, &Value, sizeof(T));
+  }
+  /// @}
+
+  /// \name Array access (RefArray and DataArray types)
+  /// @{
+  uint64_t arrayLength() const {
+    uint64_t Length;
+    std::memcpy(&Length, payload(), sizeof(Length));
+    return Length;
+  }
+
+  void setArrayLength(uint64_t Length) {
+    std::memcpy(payload(), &Length, sizeof(Length));
+  }
+
+  /// Start of array element storage (after the length word).
+  uint8_t *arrayData() { return payload() + sizeof(uint64_t); }
+  const uint8_t *arrayData() const { return payload() + sizeof(uint64_t); }
+
+  ObjRef getElement(uint64_t Index) const {
+    assert(Index < arrayLength() && "array index out of bounds");
+    ObjRef Value;
+    std::memcpy(&Value, arrayData() + Index * sizeof(ObjRef), sizeof(ObjRef));
+    return Value;
+  }
+
+  void setElement(uint64_t Index, ObjRef Value) {
+    assert(Index < arrayLength() && "array index out of bounds");
+    storeBarrier(this, Value);
+    std::memcpy(arrayData() + Index * sizeof(ObjRef), &Value, sizeof(ObjRef));
+  }
+
+  /// Address of the reference slot for element \p Index (RefArray only).
+  ObjRef *elementSlot(uint64_t Index) {
+    assert(Index < arrayLength() && "array index out of bounds");
+    return reinterpret_cast<ObjRef *>(arrayData()) + Index;
+  }
+  /// @}
+
+  /// \name Semispace forwarding (stored over the first payload word)
+  /// @{
+  bool isForwarded() const { return Hdr.testFlag(HF_Forwarded); }
+
+  ObjRef forwardingAddress() const {
+    assert(isForwarded() && "object is not forwarded");
+    ObjRef Target;
+    std::memcpy(&Target, payload(), sizeof(ObjRef));
+    return Target;
+  }
+
+  void forwardTo(ObjRef Target) {
+    Hdr.setFlag(HF_Forwarded);
+    std::memcpy(payload(), &Target, sizeof(ObjRef));
+  }
+  /// @}
+
+private:
+  ObjectHeader Hdr;
+};
+
+static_assert(sizeof(Object) == sizeof(ObjectHeader),
+              "Object must add no storage beyond the header");
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_OBJECT_H

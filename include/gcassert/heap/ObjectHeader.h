@@ -1,0 +1,75 @@
+//===- gcassert/heap/ObjectHeader.h - Object header word --------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-object header: type id plus a flag word with the GC mark bit and
+/// the "spare bits" the paper steals for assertion state.
+///
+/// The paper (§2.3.1, §2.5.1) stores assert-dead and assert-unshared state in
+/// spare bits of the Jikes RVM object header so the assertions have no space
+/// overhead. We reproduce that layout: every managed object starts with an
+/// 8-byte header holding a 32-bit type id and a 32-bit flag word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_OBJECTHEADER_H
+#define GCASSERT_HEAP_OBJECTHEADER_H
+
+#include <cstdint>
+
+namespace gcassert {
+
+/// Index of a type in the TypeRegistry. Id 0 is reserved: a cell whose header
+/// has type id 0 is a free cell, not an object.
+using TypeId = uint32_t;
+
+/// The reserved invalid / free-cell type id.
+inline constexpr TypeId InvalidTypeId = 0;
+
+/// Per-object flag bits stored in the header flag word.
+enum HeaderFlag : uint32_t {
+  /// GC mark bit. Set during tracing, cleared by sweep (mark-sweep) or
+  /// implied by forwarding (semispace).
+  HF_Marked = 1u << 0,
+  /// assert-dead: this object must not be reachable at the next GC (§2.3.1).
+  HF_Dead = 1u << 1,
+  /// assert-unshared: this object must have at most one incoming reference
+  /// (§2.5.1).
+  HF_Unshared = 1u << 2,
+  /// This object is the ownee of some assert-ownedby pair (§2.5.2).
+  HF_Ownee = 1u << 3,
+  /// Set during the ownership phase when the ownee was reached from its
+  /// owner; cleared at the start of every GC.
+  HF_Owned = 1u << 4,
+  /// This object is the owner of some assert-ownedby pair (§2.5.2).
+  HF_Owner = 1u << 5,
+  /// Semispace collector: the object has been copied; the first payload word
+  /// holds the forwarding pointer.
+  HF_Forwarded = 1u << 6,
+};
+
+/// The 8-byte header that precedes every managed object's payload.
+struct ObjectHeader {
+  TypeId Type;
+  uint32_t Flags;
+
+  bool testFlag(HeaderFlag F) const { return (Flags & F) != 0; }
+  void setFlag(HeaderFlag F) { Flags |= F; }
+  void clearFlag(HeaderFlag F) { Flags &= ~static_cast<uint32_t>(F); }
+
+  bool isMarked() const { return testFlag(HF_Marked); }
+  void setMarked() { setFlag(HF_Marked); }
+  void clearMarked() { clearFlag(HF_Marked); }
+
+  /// True if this header belongs to a live object (not a free cell).
+  bool isObject() const { return Type != InvalidTypeId; }
+};
+
+static_assert(sizeof(ObjectHeader) == 8, "object header must be one word");
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_OBJECTHEADER_H

@@ -1,0 +1,132 @@
+//===- gcassert/heap/TypeInfo.h - Managed type descriptors ------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TypeInfo describes the layout of a managed type: which payload offsets
+/// hold references (so the tracer can scan them) and, following the paper's
+/// RVMClass modification (§2.4.1), two extra words per type for the
+/// assert-instances limit and the per-GC live-instance count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_TYPEINFO_H
+#define GCASSERT_HEAP_TYPEINFO_H
+
+#include "gcassert/heap/ObjectHeader.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/// Shape of a managed type.
+enum class TypeKind : uint8_t {
+  /// Fixed-size object with named fields.
+  Class,
+  /// Variable-length array of references.
+  RefArray,
+  /// Variable-length array of raw (untraced) bytes.
+  DataArray,
+};
+
+/// One named field of a Class type.
+struct FieldInfo {
+  std::string Name;
+  /// Byte offset from the start of the payload.
+  uint32_t Offset;
+  /// Size in bytes (8 for references).
+  uint32_t Size;
+  bool IsRef;
+};
+
+/// Layout and assertion metadata for one managed type. Instances are owned
+/// by the TypeRegistry and referenced by TypeId.
+class TypeInfo {
+public:
+  TypeId id() const { return Id; }
+  const std::string &name() const { return Name; }
+  TypeKind kind() const { return Kind; }
+
+  bool isArray() const { return Kind != TypeKind::Class; }
+
+  /// Size in bytes of the fixed payload (Class types only).
+  uint32_t payloadSize() const { return PayloadSize; }
+
+  /// Element size in bytes (array types only).
+  uint32_t elementSize() const { return ElementSize; }
+
+  /// Payload offsets of all reference fields (Class types only).
+  const std::vector<uint32_t> &refOffsets() const { return RefOffsets; }
+
+  /// All declared fields, in declaration order (Class types only).
+  const std::vector<FieldInfo> &fields() const { return Fields; }
+
+  /// Returns the field that starts at \p Offset, or null. Used to print
+  /// field names on heap paths.
+  const FieldInfo *fieldAtOffset(uint32_t Offset) const;
+
+  /// \name assert-instances storage (the paper's two words per loaded class)
+  /// @{
+  bool isInstanceTracked() const { return InstanceTracked; }
+  uint32_t instanceLimit() const { return InstanceLimit; }
+  uint32_t liveCount() const { return LiveCount; }
+
+  void setInstanceLimit(uint32_t Limit) {
+    InstanceTracked = true;
+    InstanceLimit = Limit;
+  }
+  void clearInstanceLimit() {
+    InstanceTracked = false;
+    InstanceLimit = 0;
+  }
+  void resetLiveCount() { LiveCount = 0; }
+  void incrementLiveCount() { ++LiveCount; }
+  /// @}
+
+  /// \name assert-volume storage (§2.4 also allows limits on "total volume")
+  /// @{
+  bool isVolumeTracked() const { return VolumeTracked; }
+  uint64_t volumeLimit() const { return VolumeLimit; }
+  uint64_t liveBytes() const { return LiveBytes; }
+
+  void setVolumeLimit(uint64_t LimitBytes) {
+    VolumeTracked = true;
+    VolumeLimit = LimitBytes;
+  }
+  void clearVolumeLimit() {
+    VolumeTracked = false;
+    VolumeLimit = 0;
+  }
+  void resetLiveBytes() { LiveBytes = 0; }
+  void addLiveBytes(uint64_t Bytes) { LiveBytes += Bytes; }
+  /// @}
+
+private:
+  friend class TypeRegistry;
+  friend class TypeBuilder;
+
+  TypeId Id = InvalidTypeId;
+  std::string Name;
+  TypeKind Kind = TypeKind::Class;
+  uint32_t PayloadSize = 0;
+  uint32_t ElementSize = 0;
+  std::vector<uint32_t> RefOffsets;
+  std::vector<FieldInfo> Fields;
+
+  bool InstanceTracked = false;
+  uint32_t InstanceLimit = 0;
+  uint32_t LiveCount = 0;
+
+  bool VolumeTracked = false;
+  uint64_t VolumeLimit = 0;
+  uint64_t LiveBytes = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_TYPEINFO_H

@@ -1,0 +1,108 @@
+//===- gcassert/heap/TypeRegistry.h - Type registration ---------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TypeRegistry owns all TypeInfo descriptors for one virtual machine and
+/// assigns TypeIds. TypeBuilder is the fluent layout builder workloads use
+/// to declare class types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_TYPEREGISTRY_H
+#define GCASSERT_HEAP_TYPEREGISTRY_H
+
+#include "gcassert/heap/TypeInfo.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gcassert {
+
+/// Owns the TypeInfo table of one VM. TypeIds index into the table; id 0 is
+/// reserved and never assigned.
+class TypeRegistry {
+public:
+  TypeRegistry();
+
+  /// Registers a reference-array type with the given name.
+  TypeId registerRefArray(const std::string &Name);
+
+  /// Registers a raw-data array type with \p ElementSize byte elements.
+  TypeId registerDataArray(const std::string &Name, uint32_t ElementSize);
+
+  /// Returns the descriptor for \p Id. \p Id must be valid.
+  TypeInfo &get(TypeId Id) {
+    assert(Id != InvalidTypeId && Id < Types.size() && "invalid type id");
+    return *Types[Id];
+  }
+  const TypeInfo &get(TypeId Id) const {
+    assert(Id != InvalidTypeId && Id < Types.size() && "invalid type id");
+    return *Types[Id];
+  }
+
+  /// Looks a type up by name; returns null if not registered.
+  const TypeInfo *lookup(const std::string &Name) const;
+
+  /// Number of registered types (excluding the reserved id 0).
+  size_t size() const { return Types.size() - 1; }
+
+  /// Calls \p Fn for every registered type.
+  template <typename FnT> void forEach(FnT Fn) {
+    for (size_t I = 1, E = Types.size(); I != E; ++I)
+      Fn(*Types[I]);
+  }
+
+  /// Total bytes an object of type \p Id with \p ArrayLength elements
+  /// occupies, including the header, before size-class rounding.
+  size_t allocationSize(TypeId Id, uint64_t ArrayLength) const;
+
+private:
+  friend class TypeBuilder;
+
+  TypeId add(std::unique_ptr<TypeInfo> Type);
+
+  std::vector<std::unique_ptr<TypeInfo>> Types;
+  std::unordered_map<std::string, TypeId> ByName;
+};
+
+/// Fluent builder for Class-type layouts.
+///
+/// \code
+///   TypeBuilder B(Registry, "Lspec/jbb/Order;");
+///   uint32_t CustomerField = B.addRef("customer");
+///   uint32_t TotalField = B.addScalar("total", 8);
+///   TypeId OrderType = B.build();
+/// \endcode
+///
+/// Reference fields are 8 bytes and 8-byte aligned; scalar fields are aligned
+/// to min(size, 8). addRef/addScalar return the field's payload offset, which
+/// is what Object::getRef / setRef take.
+class TypeBuilder {
+public:
+  TypeBuilder(TypeRegistry &Registry, const std::string &Name);
+
+  /// Appends a reference field and returns its payload offset.
+  uint32_t addRef(const std::string &FieldName);
+
+  /// Appends a \p Size byte scalar field and returns its payload offset.
+  uint32_t addScalar(const std::string &FieldName, uint32_t Size);
+
+  /// Finalizes the layout and registers the type. The builder must not be
+  /// reused afterwards.
+  TypeId build();
+
+private:
+  TypeRegistry &Registry;
+  std::unique_ptr<TypeInfo> Type;
+  uint32_t NextOffset = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_TYPEREGISTRY_H

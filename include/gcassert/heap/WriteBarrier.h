@@ -1,0 +1,50 @@
+//===- gcassert/heap/WriteBarrier.h - Store barrier hook --------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutator store barrier used by the generational heap.
+///
+/// Every mutator reference store (Object::setRef / setElement) consults a
+/// process-wide hook. The non-generational heaps leave it null — one
+/// predictable branch per store — while a GenerationalHeap installs itself
+/// to record old-to-nursery references in its remembered set. GC-internal
+/// slot updates write through raw slots and deliberately bypass the barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_WRITEBARRIER_H
+#define GCASSERT_HEAP_WRITEBARRIER_H
+
+#include "gcassert/support/Compiler.h"
+
+namespace gcassert {
+
+class Object;
+
+/// Observer of mutator reference stores.
+class StoreBarrier {
+public:
+  virtual ~StoreBarrier();
+
+  /// \p Holder just stored a reference to \p Value (non-null).
+  virtual void recordStore(Object *Holder, Object *Value) = 0;
+};
+
+namespace detail {
+/// The active barrier, or null. At most one generational heap may be live
+/// per process.
+extern StoreBarrier *ActiveStoreBarrier;
+} // namespace detail
+
+/// Called from every mutator reference store.
+inline void storeBarrier(Object *Holder, Object *Value) {
+  if (GCA_UNLIKELY(detail::ActiveStoreBarrier != nullptr) && Value)
+    detail::ActiveStoreBarrier->recordStore(Holder, Value);
+}
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_WRITEBARRIER_H

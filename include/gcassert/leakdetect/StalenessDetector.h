@@ -1,0 +1,76 @@
+//===- gcassert/leakdetect/StalenessDetector.h - Staleness -----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A staleness-based leak detector in the style of SWAT (Chilimbi &
+/// Hauswirth, ASPLOS 2004) and Bell (Bond & McKinley, ASPLOS 2006) — the
+/// heuristic tools the paper contrasts with GC assertions (§1, §4): "objects
+/// that have not been accessed in a long time are probably memory leaks".
+///
+/// The detector keeps a logical clock (advanced by the program at meaningful
+/// steps), records each object's allocation tick, and is told about accesses
+/// via touch() — standing in for SWAT's sampled read barriers. A scan then
+/// reports live objects whose last access is older than a threshold.
+///
+/// This is a *baseline* for the BASE-LEAK bench: unlike GC assertions it
+/// reports suspicions, not errors — it has false positives (rarely-read but
+/// needed data) and detection latency (a leak must age before it is
+/// flagged). Supports the non-moving heap only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_LEAKDETECT_STALENESSDETECTOR_H
+#define GCASSERT_LEAKDETECT_STALENESSDETECTOR_H
+
+#include "gcassert/runtime/Vm.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gcassert {
+
+/// A live object whose last access is older than the scan threshold.
+struct StaleCandidate {
+  ObjRef Obj;
+  std::string TypeName;
+  /// Ticks since the object was last touched (or allocated).
+  uint64_t Age;
+};
+
+/// Staleness-based heuristic leak detector (SWAT/Bell-style baseline).
+class StalenessDetector {
+public:
+  /// Attaches to \p TheVm's allocation path. Requires the mark-sweep
+  /// (non-moving) collector.
+  explicit StalenessDetector(Vm &TheVm);
+  ~StalenessDetector();
+
+  StalenessDetector(const StalenessDetector &) = delete;
+  StalenessDetector &operator=(const StalenessDetector &) = delete;
+
+  /// Advances the logical clock by one tick.
+  void tick() { ++Clock; }
+
+  uint64_t now() const { return Clock; }
+
+  /// Records an access to \p Obj (the read-barrier stand-in).
+  void touch(ObjRef Obj) { LastAccess[Obj] = Clock; }
+
+  /// Scans the heap and returns every live object not touched for at least
+  /// \p StaleAge ticks. Also prunes bookkeeping for objects that died.
+  /// Call after a collection so the walk sees only live objects.
+  std::vector<StaleCandidate> scan(uint64_t StaleAge);
+
+private:
+  Vm &TheVm;
+  uint64_t Clock = 0;
+  std::unordered_map<ObjRef, uint64_t> LastAccess;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_LEAKDETECT_STALENESSDETECTOR_H

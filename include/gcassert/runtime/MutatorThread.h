@@ -1,0 +1,146 @@
+//===- gcassert/runtime/MutatorThread.h - Mutator contexts ------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MutatorThread is a logical mutator context: a stack of handle (local
+/// root) slots plus the per-thread region hook the paper's assert-alldead
+/// needs ("Each thread in Jikes RVM has a boolean flag to indicate whether
+/// it is currently in an alldead region, and a queue...", §2.3.2).
+///
+/// Threads are cooperative: the runtime is single-OS-threaded, and a
+/// workload drives any number of logical threads deterministically. This
+/// substitutes for Jikes RVM's stop-the-world threading while preserving the
+/// per-thread region semantics (see DESIGN.md §5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_RUNTIME_MUTATORTHREAD_H
+#define GCASSERT_RUNTIME_MUTATORTHREAD_H
+
+#include "gcassert/heap/Object.h"
+
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+class MutatorThread;
+
+/// A stable local root slot. Copyable; the referenced slot lives until the
+/// enclosing HandleScope closes.
+class Local {
+public:
+  Local() = default;
+
+  ObjRef get() const;
+  void set(ObjRef Obj);
+
+  explicit operator bool() const { return get() != nullptr; }
+
+private:
+  friend class MutatorThread;
+  Local(MutatorThread *Thread, uint32_t Index)
+      : Thread(Thread), Index(Index) {}
+
+  MutatorThread *Thread = nullptr;
+  uint32_t Index = 0;
+};
+
+/// One logical mutator thread.
+class MutatorThread {
+public:
+  MutatorThread(uint32_t Id, std::string Name)
+      : Id(Id), Name(std::move(Name)) {}
+
+  MutatorThread(const MutatorThread &) = delete;
+  MutatorThread &operator=(const MutatorThread &) = delete;
+
+  uint32_t id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  /// \name Handle (local root) stack
+  /// @{
+  size_t handleCount() const { return Handles.size(); }
+
+  Local pushHandle(ObjRef Obj) {
+    Handles.push_back(Obj);
+    return Local(this, static_cast<uint32_t>(Handles.size() - 1));
+  }
+
+  void truncateHandles(size_t NewCount) {
+    assert(NewCount <= Handles.size() && "cannot grow by truncation");
+    Handles.resize(NewCount);
+  }
+
+  ObjRef handleValue(uint32_t Index) const {
+    assert(Index < Handles.size() && "handle index out of range");
+    return Handles[Index];
+  }
+
+  void setHandleValue(uint32_t Index, ObjRef Obj) {
+    assert(Index < Handles.size() && "handle index out of range");
+    Handles[Index] = Obj;
+  }
+
+  /// Calls \p Fn with the address of every handle slot, for root scanning.
+  template <typename FnT> void forEachHandleSlot(FnT Fn) {
+    for (ObjRef &Slot : Handles)
+      Fn(&Slot);
+  }
+  /// @}
+
+  /// \name Region hook (assert-alldead support, §2.3.2)
+  ///
+  /// When the assertion engine opens a region on this thread it points
+  /// RegionLog at the region's allocation queue; the VM's allocation path
+  /// appends every new object while the pointer is set. This is the paper's
+  /// per-thread flag + queue, with the flag folded into the pointer's
+  /// nullness. The queue holds weak references: entries do not keep objects
+  /// alive and are pruned by the engine after each GC.
+  /// @{
+  std::vector<ObjRef> *regionLog() const { return RegionLog; }
+  void setRegionLog(std::vector<ObjRef> *Log) { RegionLog = Log; }
+  /// @}
+
+private:
+  uint32_t Id;
+  std::string Name;
+  std::vector<ObjRef> Handles;
+  std::vector<ObjRef> *RegionLog = nullptr;
+};
+
+inline ObjRef Local::get() const {
+  assert(Thread && "reading an empty Local");
+  return Thread->handleValue(Index);
+}
+
+inline void Local::set(ObjRef Obj) {
+  assert(Thread && "writing an empty Local");
+  Thread->setHandleValue(Index, Obj);
+}
+
+/// RAII scope that releases all handles created within it.
+class HandleScope {
+public:
+  explicit HandleScope(MutatorThread &Thread)
+      : Thread(Thread), SavedCount(Thread.handleCount()) {}
+
+  ~HandleScope() { Thread.truncateHandles(SavedCount); }
+
+  HandleScope(const HandleScope &) = delete;
+  HandleScope &operator=(const HandleScope &) = delete;
+
+  /// Creates a new local root slot holding \p Obj.
+  Local handle(ObjRef Obj = nullptr) { return Thread.pushHandle(Obj); }
+
+private:
+  MutatorThread &Thread;
+  size_t SavedCount;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_MUTATORTHREAD_H

@@ -1,0 +1,133 @@
+//===- gcassert/runtime/Vm.h - Virtual machine facade -----------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vm wires a heap, a collector, the type registry and the mutator threads
+/// into one runtime — the role Jikes RVM plays for the paper. Programs (the
+/// workloads, examples and tests) allocate through Vm::allocate, which runs
+/// a collection on exhaustion and retries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_RUNTIME_VM_H
+#define GCASSERT_RUNTIME_VM_H
+
+#include "gcassert/gc/Collector.h"
+#include "gcassert/heap/Heap.h"
+#include "gcassert/runtime/MutatorThread.h"
+#include "gcassert/support/Compiler.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace gcassert {
+
+/// Which collector/heap pair the VM runs.
+enum class CollectorKind : uint8_t {
+  /// Full-heap mark-sweep over the segregated free-list heap (the paper's
+  /// evaluated configuration).
+  MarkSweep,
+  /// Copying collector over a two-space heap (collector-independence
+  /// demonstration).
+  SemiSpace,
+  /// Mark-compact collector: checking trace, then sliding compaction of
+  /// the single contiguous space (a third collector mechanic for §2.2).
+  MarkCompact,
+  /// Two-generation collector: nursery evacuation on allocation pressure,
+  /// full checking mark-sweep on explicit collections or old-gen pressure.
+  /// Assertions are checked only at the major collections (§2.2). At most
+  /// one generational VM may be live per process (it owns the store
+  /// barrier).
+  Generational,
+};
+
+/// VM construction parameters.
+struct VmConfig {
+  size_t HeapBytes = 64u << 20;
+  CollectorKind Collector = CollectorKind::MarkSweep;
+};
+
+/// A stable global root slot, releasable by id.
+using GlobalRootId = uint32_t;
+
+/// The virtual machine: heap + collector + threads + roots.
+class Vm : public RootProvider {
+public:
+  explicit Vm(const VmConfig &Config = VmConfig());
+  ~Vm() override;
+
+  TypeRegistry &types() { return Types; }
+  Heap &heap() { return *TheHeap; }
+  Collector &collector() { return *TheCollector; }
+  CollectorKind collectorKind() const { return Kind; }
+
+  /// \name Threads
+  /// @{
+  MutatorThread &mainThread() { return *Threads.front(); }
+
+  /// Creates a new logical mutator thread owned by the VM.
+  MutatorThread &spawnThread(const std::string &Name);
+
+  /// Calls \p Fn for every thread.
+  void forEachThread(const std::function<void(MutatorThread &)> &Fn);
+  /// @}
+
+  /// \name Allocation
+  /// @{
+
+  /// Allocates an object of \p Id on behalf of \p Thread, collecting and
+  /// retrying on exhaustion. Aborts the process if the heap is still full
+  /// after a collection. Array types require \p ArrayLength.
+  ObjRef allocate(MutatorThread &Thread, TypeId Id, uint64_t ArrayLength = 0) {
+    ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
+    if (GCA_UNLIKELY(!Obj))
+      Obj = allocateSlowPath(Id, ArrayLength);
+    if (GCA_UNLIKELY(Thread.regionLog() != nullptr))
+      Thread.regionLog()->push_back(Obj);
+    if (GCA_UNLIKELY(HasAllocListener))
+      AllocListener(Obj);
+    return Obj;
+  }
+
+  /// Installs an observer for every successful allocation (used by the
+  /// heuristic leak detectors; null to remove).
+  void setAllocationListener(std::function<void(ObjRef)> Listener);
+  /// @}
+
+  /// Runs a collection immediately.
+  void collectNow(const char *Cause = "explicit");
+
+  /// \name Global roots
+  /// @{
+  GlobalRootId addGlobalRoot(ObjRef Obj = nullptr);
+  void removeGlobalRoot(GlobalRootId Id);
+  ObjRef globalRoot(GlobalRootId Id) const { return GlobalRoots[Id]; }
+  void setGlobalRoot(GlobalRootId Id, ObjRef Obj) { GlobalRoots[Id] = Obj; }
+  /// @}
+
+  /// RootProvider: globals plus every thread's handles.
+  void forEachRootSlot(const std::function<void(ObjRef *)> &Fn) override;
+
+  const GcStats &gcStats() const { return TheCollector->stats(); }
+
+private:
+  GCA_NOINLINE ObjRef allocateSlowPath(TypeId Id, uint64_t ArrayLength);
+
+  TypeRegistry Types;
+  CollectorKind Kind;
+  std::unique_ptr<Heap> TheHeap;
+  std::unique_ptr<Collector> TheCollector;
+  std::vector<std::unique_ptr<MutatorThread>> Threads;
+  std::vector<ObjRef> GlobalRoots;
+  std::vector<GlobalRootId> FreeGlobalSlots;
+  bool HasAllocListener = false;
+  std::function<void(ObjRef)> AllocListener;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_VM_H

@@ -1,0 +1,27 @@
+//===- gcassert/support/Compiler.h - Compiler abstraction macros -*- C++ -*-==//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portability and optimization-hint macros used throughout gcassert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_COMPILER_H
+#define GCASSERT_SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GCA_LIKELY(Expr) (__builtin_expect(!!(Expr), 1))
+#define GCA_UNLIKELY(Expr) (__builtin_expect(!!(Expr), 0))
+#define GCA_NOINLINE __attribute__((noinline))
+#define GCA_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define GCA_LIKELY(Expr) (Expr)
+#define GCA_UNLIKELY(Expr) (Expr)
+#define GCA_NOINLINE
+#define GCA_ALWAYS_INLINE inline
+#endif
+
+#endif // GCASSERT_SUPPORT_COMPILER_H

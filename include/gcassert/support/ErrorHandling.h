@@ -1,0 +1,38 @@
+//===- gcassert/support/ErrorHandling.h - Fatal error reporting -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting for programmatic errors and unreachable code.
+///
+/// gcassert library code does not use exceptions. Invariant violations abort
+/// through reportFatalError / gcaUnreachable with a diagnostic message, in the
+/// style of llvm::report_fatal_error and llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_ERRORHANDLING_H
+#define GCASSERT_SUPPORT_ERRORHANDLING_H
+
+namespace gcassert {
+
+/// Prints \p Msg to stderr and aborts the process.
+///
+/// Use for unrecoverable environment errors (e.g. the managed heap is
+/// exhausted and cannot grow). Never returns.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+/// Internal helper for the gcaUnreachable macro. Never returns.
+[[noreturn]] void gcaUnreachableInternal(const char *Msg, const char *File,
+                                         unsigned Line);
+
+} // namespace gcassert
+
+/// Marks a point in code that must never be executed. Prints the message,
+/// file and line, then aborts.
+#define gcaUnreachable(Msg)                                                    \
+  ::gcassert::gcaUnreachableInternal(Msg, __FILE__, __LINE__)
+
+#endif // GCASSERT_SUPPORT_ERRORHANDLING_H

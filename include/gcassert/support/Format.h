@@ -1,0 +1,29 @@
+//===- gcassert/support/Format.h - printf-style string building -*- C++ -*-==//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string, used for diagnostics and
+/// benchmark table rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_FORMAT_H
+#define GCASSERT_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace gcassert {
+
+/// Formats like printf and returns the result as a std::string.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+format(const char *Fmt, ...);
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_FORMAT_H

@@ -1,0 +1,95 @@
+//===- gcassert/support/OStream.h - Lightweight output streams -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream-style output abstraction.
+///
+/// Library code never includes <iostream> (which injects static constructors
+/// into every translation unit). OStream provides the small subset of
+/// formatted output the runtime needs: strings, integers, floating point, and
+/// pointers. Two concrete sinks are provided: FileOStream (stdout/stderr or
+/// any FILE*) and StringOStream (accumulates into a std::string, used by
+/// tests and by the violation reporter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_OSTREAM_H
+#define GCASSERT_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace gcassert {
+
+/// Abstract byte sink with formatted insertion operators.
+class OStream {
+public:
+  virtual ~OStream();
+
+  /// Writes \p Size bytes from \p Data to the underlying sink.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Flushes buffered output, if the sink buffers.
+  virtual void flush() {}
+
+  OStream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+  OStream &operator<<(const char *S) { return *this << std::string_view(S); }
+  OStream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+  OStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+  OStream &operator<<(int64_t N);
+  OStream &operator<<(uint64_t N);
+  OStream &operator<<(int32_t N) { return *this << static_cast<int64_t>(N); }
+  OStream &operator<<(uint32_t N) { return *this << static_cast<uint64_t>(N); }
+  OStream &operator<<(double D);
+  OStream &operator<<(const void *P);
+};
+
+/// Writes to a FILE*. Does not own the handle.
+class FileOStream : public OStream {
+public:
+  explicit FileOStream(std::FILE *Handle) : Handle(Handle) {}
+
+  void write(const char *Data, size_t Size) override;
+  void flush() override;
+
+private:
+  std::FILE *Handle;
+};
+
+/// Accumulates output into an owned std::string.
+class StringOStream : public OStream {
+public:
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  const std::string &str() const { return Buffer; }
+  void clear() { Buffer.clear(); }
+
+private:
+  std::string Buffer;
+};
+
+/// Returns a process-wide stream bound to stdout.
+OStream &outs();
+
+/// Returns a process-wide stream bound to stderr.
+OStream &errs();
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_OSTREAM_H

@@ -1,0 +1,71 @@
+//===- gcassert/support/Random.h - Deterministic PRNG ----------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic random number generation.
+///
+/// All workloads and property tests seed their own generator so that runs are
+/// reproducible bit-for-bit; nothing in the library reads global entropy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_RANDOM_H
+#define GCASSERT_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gcassert {
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood, OOPSLA 2014).
+///
+/// Fast, tiny state, and good enough statistical quality for workload
+/// generation. Not suitable for cryptography.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be positive");
+    // Lemire's multiply-shift rejection-free reduction (slightly biased for
+    // huge bounds; fine for workload shaping).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(uint32_t Percent) {
+    assert(Percent <= 100 && "percent out of range");
+    return nextBelow(100) < Percent;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_RANDOM_H

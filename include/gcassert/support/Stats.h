@@ -1,0 +1,64 @@
+//===- gcassert/support/Stats.h - Sample statistics -------------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sample statistics for the benchmark harness: mean, standard deviation,
+/// geometric mean, and Student-t 90% confidence intervals.
+///
+/// The paper's methodology reports each benchmark as the mean of 20 trials
+/// with 90% confidence error bars and aggregates across benchmarks with the
+/// geometric mean; this module supplies exactly those reductions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_STATS_H
+#define GCASSERT_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace gcassert {
+
+/// Accumulates scalar samples and computes summary statistics.
+class SampleSet {
+public:
+  void add(double Value) { Values.push_back(Value); }
+
+  size_t size() const { return Values.size(); }
+  bool empty() const { return Values.empty(); }
+  const std::vector<double> &values() const { return Values; }
+
+  /// Arithmetic mean. Requires at least one sample.
+  double mean() const;
+
+  /// Minimum sample. Requires at least one sample.
+  double min() const;
+
+  /// Maximum sample. Requires at least one sample.
+  double max() const;
+
+  /// Unbiased (n-1) sample standard deviation. Returns 0 for n < 2.
+  double stddev() const;
+
+  /// Half-width of the two-sided 90% confidence interval of the mean,
+  /// using the Student-t distribution. Returns 0 for n < 2.
+  double confidence90() const;
+
+private:
+  std::vector<double> Values;
+};
+
+/// Geometric mean of \p Values. All values must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Two-sided Student-t critical value at 90% confidence for \p DegreesFreedom
+/// degrees of freedom (i.e. the 0.95 quantile). Interpolates a fixed table;
+/// exact for the small trial counts the harness uses.
+double studentT90(size_t DegreesFreedom);
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_STATS_H

@@ -1,0 +1,56 @@
+//===- gcassert/support/Timer.h - Monotonic timing --------------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic clock access and simple accumulation timers used by the GC and
+/// the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_TIMER_H
+#define GCASSERT_SUPPORT_TIMER_H
+
+#include <cstdint>
+
+namespace gcassert {
+
+/// Returns the current monotonic time in nanoseconds.
+uint64_t monotonicNanos();
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+class AccumulatingTimer {
+public:
+  void start() { StartNanos = monotonicNanos(); }
+
+  void stop() { TotalNanos += monotonicNanos() - StartNanos; }
+
+  uint64_t totalNanos() const { return TotalNanos; }
+  double totalMillis() const { return static_cast<double>(TotalNanos) / 1e6; }
+  void reset() { TotalNanos = 0; }
+
+private:
+  uint64_t StartNanos = 0;
+  uint64_t TotalNanos = 0;
+};
+
+/// RAII interval that adds its lifetime to an AccumulatingTimer.
+class TimerScope {
+public:
+  explicit TimerScope(AccumulatingTimer &Timer) : Timer(Timer) {
+    Timer.start();
+  }
+  ~TimerScope() { Timer.stop(); }
+
+  TimerScope(const TimerScope &) = delete;
+  TimerScope &operator=(const TimerScope &) = delete;
+
+private:
+  AccumulatingTimer &Timer;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_TIMER_H

@@ -1,0 +1,108 @@
+//===- gcassert/workloads/BTree.h - Managed-heap B+ tree --------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A B+ tree stored entirely in the managed heap — the analog of SPEC
+/// JBB2000's longBTree, which appears in the paper's Figure 1 path
+/// (longBTree -> longBTreeNode -> [Ljava/lang/Object; -> ...). Nodes are
+/// managed objects whose key and entry arrays are separate managed arrays,
+/// so error-report paths through the tree look exactly like the paper's.
+///
+/// The host-side ManagedBTree class is only a manipulation handle: all data
+/// lives in the heap, rooted through a VM global root (and through whatever
+/// managed structure the workload links the tree object into). Operations
+/// are GC-safe under both collectors: every reference held across an
+/// allocation lives in a handle or global root.
+///
+/// Deletion is lazy (no rebalancing): entries are removed from leaves and
+/// separator keys may go stale, which preserves search correctness and is
+/// all the workloads need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_WORKLOADS_BTREE_H
+#define GCASSERT_WORKLOADS_BTREE_H
+
+#include "gcassert/runtime/Vm.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace gcassert {
+
+/// Host-side handle to a managed B+ tree keyed by int64.
+class ManagedBTree {
+public:
+  /// Managed type ids and field offsets of the tree representation; shared
+  /// per registry.
+  struct Layout {
+    TypeId Tree;
+    TypeId Node;
+    TypeId KeyArray;
+    TypeId EntryArray;
+    uint32_t TreeRootField;
+    uint32_t TreeSizeField;
+    uint32_t NodeCountField;
+    uint32_t NodeLeafField;
+    uint32_t NodeKeysField;
+    uint32_t NodeEntriesField;
+  };
+
+  /// Max keys per node (fan-out 16).
+  static constexpr uint32_t MaxKeys = 15;
+
+  /// Registers the tree's managed types in \p Types, or reconstructs the
+  /// layout from an existing registration (keyed by type name, so multiple
+  /// trees and multiple VM instances coexist safely).
+  static Layout ensureTypes(TypeRegistry &Types);
+
+  /// Allocates an empty tree in \p TheVm's heap, rooted via a VM global
+  /// root for the lifetime of this handle.
+  ManagedBTree(Vm &TheVm, MutatorThread &Thread);
+  ~ManagedBTree();
+
+  ManagedBTree(const ManagedBTree &) = delete;
+  ManagedBTree &operator=(const ManagedBTree &) = delete;
+
+  /// The managed tree object (e.g. to pass as an assert-ownedby owner or to
+  /// store into another managed object).
+  ObjRef treeObject() const { return TheVm.globalRoot(Root); }
+
+  /// Inserts \p Key -> the object in \p Value (a handle, so the value
+  /// survives the allocations insertion may perform). Duplicate keys
+  /// overwrite.
+  void insert(int64_t Key, Local Value);
+
+  /// Returns the value for \p Key, or null.
+  ObjRef find(int64_t Key) const;
+
+  /// Removes \p Key; returns true if it was present.
+  bool erase(int64_t Key);
+
+  /// Returns the value with the smallest key (null if empty); the key is
+  /// stored through \p KeyOut when non-null.
+  ObjRef minValue(int64_t *KeyOut = nullptr) const;
+
+  /// Number of key/value pairs.
+  uint64_t size() const;
+
+  /// Calls \p Fn(Key, Value) for every pair in ascending key order.
+  void forEach(const std::function<void(int64_t, ObjRef)> &Fn) const;
+
+private:
+  ObjRef rootNode() const;
+  ObjRef allocNode(bool IsLeaf, HandleScope &Scope, Local &Out);
+  void splitChild(Local Parent, uint32_t Index, HandleScope &Scope);
+
+  Vm &TheVm;
+  MutatorThread &Thread;
+  Layout L;
+  GlobalRootId Root;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_BTREE_H

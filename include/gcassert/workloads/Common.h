@@ -1,0 +1,79 @@
+//===- gcassert/workloads/Common.h - Shared workload helpers ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers shared by the benchmark workloads: the common object/byte
+/// array types (registered once per registry under their Java-style names)
+/// and RootedArray, a host-side handle to a managed array kept alive through
+/// a VM global root — the idiom workloads use for long-lived structures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_WORKLOADS_COMMON_H
+#define GCASSERT_WORKLOADS_COMMON_H
+
+#include "gcassert/runtime/Vm.h"
+
+namespace gcassert {
+
+/// Returns the "[Ljava/lang/Object;" reference-array type, registering it on
+/// first use.
+inline TypeId ensureObjectArrayType(TypeRegistry &Types) {
+  if (const TypeInfo *Info = Types.lookup("[Ljava/lang/Object;"))
+    return Info->id();
+  return Types.registerRefArray("[Ljava/lang/Object;");
+}
+
+/// Returns the "[B" byte-array type, registering it on first use.
+inline TypeId ensureByteArrayType(TypeRegistry &Types) {
+  if (const TypeInfo *Info = Types.lookup("[B"))
+    return Info->id();
+  return Types.registerDataArray("[B", 1);
+}
+
+/// Returns the "[J" long-array type, registering it on first use.
+inline TypeId ensureLongArrayType(TypeRegistry &Types) {
+  if (const TypeInfo *Info = Types.lookup("[J"))
+    return Info->id();
+  return Types.registerDataArray("[J", 8);
+}
+
+/// A managed object array pinned by a VM global root. Survives collections
+/// (the root slot is updated under a moving collector); elements are read
+/// back through the root on every access, so the handle is always current.
+class RootedArray {
+public:
+  RootedArray(Vm &TheVm, MutatorThread &Thread, uint64_t Length)
+      : TheVm(TheVm) {
+    Root = TheVm.addGlobalRoot(
+        TheVm.allocate(Thread, ensureObjectArrayType(TheVm.types()), Length));
+  }
+
+  ~RootedArray() { TheVm.removeGlobalRoot(Root); }
+
+  RootedArray(const RootedArray &) = delete;
+  RootedArray &operator=(const RootedArray &) = delete;
+
+  ObjRef array() const { return TheVm.globalRoot(Root); }
+  uint64_t length() const { return array()->arrayLength(); }
+  ObjRef get(uint64_t Index) const { return array()->getElement(Index); }
+  void set(uint64_t Index, ObjRef Value) {
+    array()->setElement(Index, Value);
+  }
+  void clear() {
+    ObjRef Arr = array();
+    for (uint64_t I = 0, E = Arr->arrayLength(); I != E; ++I)
+      Arr->setElement(I, nullptr);
+  }
+
+private:
+  Vm &TheVm;
+  GlobalRootId Root;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_COMMON_H

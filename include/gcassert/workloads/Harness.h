@@ -1,0 +1,74 @@
+//===- gcassert/workloads/Harness.h - Benchmark harness ---------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a workload under one of the paper's three configurations and
+/// reports timing split into total / GC / mutator time, the way Figures 2-5
+/// present results. Trials and confidence intervals are layered on top by
+/// the bench binaries using support/Stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_WORKLOADS_HARNESS_H
+#define GCASSERT_WORKLOADS_HARNESS_H
+
+#include "gcassert/workloads/Workload.h"
+
+#include <string>
+
+namespace gcassert {
+
+class RecordingViolationSink;
+
+/// The paper's three measurement configurations (§3.1.1).
+enum class BenchConfig : uint8_t {
+  /// Unmodified runtime: the collector runs the no-checks trace loop.
+  Base,
+  /// Assertion engine installed (checking trace loop, path recording), but
+  /// the program registers no assertions.
+  Infrastructure,
+  /// Engine installed and the workload's assertions active.
+  WithAssertions,
+};
+
+const char *benchConfigName(BenchConfig Config);
+
+/// Knobs for one measured run.
+struct HarnessOptions {
+  /// Iterations run before timing starts (the paper warms up and times a
+  /// later iteration).
+  int WarmupIterations = 1;
+  /// Iterations included in the timed window.
+  int MeasuredIterations = 2;
+  uint64_t Seed = 0x5eed;
+  CollectorKind Collector = CollectorKind::MarkSweep;
+  /// §2.7 path recording (on in the paper's Infrastructure configuration;
+  /// the ABL-PATH ablation turns it off).
+  bool RecordPaths = true;
+  /// Overrides the workload's heap size when nonzero.
+  size_t HeapBytesOverride = 0;
+  /// When set, violations are recorded here instead of printed.
+  RecordingViolationSink *Sink = nullptr;
+};
+
+/// Timing and counters from one measured run.
+struct RunResult {
+  double TotalMillis = 0;
+  double GcMillis = 0;
+  double MutatorMillis = 0;
+  uint64_t GcCycles = 0;
+  /// Engine counters at the end of the run (zeros under Base).
+  EngineCounters Counters;
+};
+
+/// Builds a VM, runs \p WorkloadName under \p Config, and returns the timing
+/// of the measured window.
+RunResult runWorkload(const std::string &WorkloadName, BenchConfig Config,
+                      const HarnessOptions &Options = HarnessOptions());
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_HARNESS_H

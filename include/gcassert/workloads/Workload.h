@@ -1,0 +1,137 @@
+//===- gcassert/workloads/Workload.h - Benchmark workloads ------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload framework for the benchmark suite.
+///
+/// The paper evaluates on DaCapo 2006, SPECjvm98 and pseudojbb. Those are
+/// Java programs we cannot run; each workload here is a C++ program against
+/// the managed heap that reproduces the relevant allocation and connectivity
+/// profile (see DESIGN.md §5, substitution 2). Workloads run identically
+/// under three configurations — Base, Infrastructure, WithAssertions — so
+/// the harness can reproduce Figures 2-5: a workload only calls the
+/// assertion interface through WorkloadContext, which drops the calls unless
+/// the WithAssertions configuration is active.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_WORKLOADS_WORKLOAD_H
+#define GCASSERT_WORKLOADS_WORKLOAD_H
+
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/runtime/Vm.h"
+#include "gcassert/support/Random.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+
+/// Everything a workload sees at run time. The assertion helpers are no-ops
+/// unless assertions are enabled, so a single workload source serves all
+/// three benchmark configurations.
+class WorkloadContext {
+public:
+  WorkloadContext(Vm &TheVm, AssertionEngine *Engine, bool UseAssertions,
+                  uint64_t Seed)
+      : TheVm(TheVm), Engine(Engine), UseAssertions(UseAssertions),
+        Rng(Seed) {}
+
+  Vm &vm() { return TheVm; }
+  TypeRegistry &types() { return TheVm.types(); }
+  MutatorThread &mainThread() { return TheVm.mainThread(); }
+  SplitMix64 &rng() { return Rng; }
+
+  /// The engine, or null under the Base configuration. Most workloads never
+  /// need it directly — use the helpers below.
+  AssertionEngine *engine() { return Engine; }
+
+  /// True only under the WithAssertions configuration.
+  bool assertionsEnabled() const { return UseAssertions && Engine; }
+
+  /// \name Assertion helpers (no-ops unless assertions are enabled)
+  /// @{
+  void assertDead(ObjRef Obj) {
+    if (assertionsEnabled())
+      Engine->assertDead(Obj);
+  }
+  void assertUnshared(ObjRef Obj) {
+    if (assertionsEnabled())
+      Engine->assertUnshared(Obj);
+  }
+  void assertInstances(TypeId Type, uint32_t Limit) {
+    if (assertionsEnabled())
+      Engine->assertInstances(Type, Limit);
+  }
+  void assertOwnedBy(ObjRef Owner, ObjRef Ownee) {
+    if (assertionsEnabled())
+      Engine->assertOwnedBy(Owner, Ownee);
+  }
+  void startRegion(MutatorThread &Thread) {
+    if (assertionsEnabled())
+      Engine->startRegion(Thread);
+  }
+  void assertAllDead(MutatorThread &Thread) {
+    if (assertionsEnabled())
+      Engine->assertAllDead(Thread);
+  }
+  /// @}
+
+private:
+  Vm &TheVm;
+  AssertionEngine *Engine;
+  bool UseAssertions;
+  SplitMix64 Rng;
+};
+
+/// One benchmark program. Lifecycle: construct -> setUp -> runIteration* ->
+/// tearDown -> destruct, all against the same VM.
+class Workload {
+public:
+  virtual ~Workload();
+
+  /// Short name ("db", "pseudojbb", "bloat", ...).
+  virtual const char *name() const = 0;
+
+  /// Heap size this workload runs with. Calibrated to roughly twice the
+  /// workload's minimum live size, mirroring the paper's "heap size fixed
+  /// at two times the minimum possible".
+  virtual size_t heapBytes() const = 0;
+
+  /// Registers types and builds long-lived structures.
+  virtual void setUp(WorkloadContext &Ctx) = 0;
+
+  /// Runs one benchmark iteration.
+  virtual void runIteration(WorkloadContext &Ctx) = 0;
+
+  /// Releases long-lived structures (optional).
+  virtual void tearDown(WorkloadContext &Ctx) { (void)Ctx; }
+};
+
+/// Global name -> factory table for the benchmark suite.
+class WorkloadRegistry {
+public:
+  using Factory = std::function<std::unique_ptr<Workload>()>;
+
+  /// Registers \p MakeWorkload under \p Name. Names must be unique.
+  static void add(const std::string &Name, Factory MakeWorkload);
+
+  /// Instantiates the named workload; aborts if unknown.
+  static std::unique_ptr<Workload> create(const std::string &Name);
+
+  /// All registered names, sorted.
+  static std::vector<std::string> names();
+};
+
+/// Registers every built-in workload (idempotent). Call before using the
+/// registry; bench/example binaries do this once at startup.
+void registerBuiltinWorkloads();
+
+} // namespace gcassert
+
+#endif // GCASSERT_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,445 @@
+//===- AssertionEngine.cpp - GC assertions ------------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/AssertionEngine.h"
+
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/Format.h"
+
+#include <algorithm>
+
+using namespace gcassert;
+
+AssertionEngine::AssertionEngine(Vm &TheVm, ViolationSink *Sink)
+    : TheVm(TheVm), Sink(Sink) {
+  if (!this->Sink) {
+    DefaultSink = std::make_unique<ConsoleViolationSink>();
+    this->Sink = DefaultSink.get();
+  }
+  for (ReactionPolicy &Policy : Reactions)
+    Policy = ReactionPolicy::LogAndContinue;
+  TheVm.collector().setHooks(this);
+}
+
+AssertionEngine::~AssertionEngine() {
+  if (TheVm.collector().hooks() == this)
+    TheVm.collector().setHooks(nullptr);
+  // Detach any open region logs from their threads; the allocation path
+  // must not write into freed storage.
+  for (ThreadRegionState &State : RegionStates)
+    State.Thread->setRegionLog(nullptr);
+}
+
+void AssertionEngine::setSink(ViolationSink *NewSink) {
+  if (NewSink) {
+    Sink = NewSink;
+    return;
+  }
+  if (!DefaultSink)
+    DefaultSink = std::make_unique<ConsoleViolationSink>();
+  Sink = DefaultSink.get();
+}
+
+//===----------------------------------------------------------------------===//
+// Assertion interface
+//===----------------------------------------------------------------------===//
+
+void AssertionEngine::assertDead(ObjRef Obj) {
+  assert(Obj && "assert-dead requires a non-null object");
+  ++Counters.AssertDeadCalls;
+  Obj->header().setFlag(HF_Dead);
+}
+
+void AssertionEngine::assertUnshared(ObjRef Obj) {
+  assert(Obj && "assert-unshared requires a non-null object");
+  ++Counters.AssertUnsharedCalls;
+  Obj->header().setFlag(HF_Unshared);
+}
+
+void AssertionEngine::assertInstances(TypeId Type, uint32_t Limit) {
+  ++Counters.AssertInstancesCalls;
+  TheVm.types().get(Type).setInstanceLimit(Limit);
+  if (std::find(TrackedTypes.begin(), TrackedTypes.end(), Type) ==
+      TrackedTypes.end())
+    TrackedTypes.push_back(Type);
+}
+
+void AssertionEngine::clearInstances(TypeId Type) {
+  TheVm.types().get(Type).clearInstanceLimit();
+  TrackedTypes.erase(
+      std::remove(TrackedTypes.begin(), TrackedTypes.end(), Type),
+      TrackedTypes.end());
+}
+
+void AssertionEngine::assertVolume(TypeId Type, uint64_t LimitBytes) {
+  ++Counters.AssertVolumeCalls;
+  TheVm.types().get(Type).setVolumeLimit(LimitBytes);
+  if (std::find(VolumeTrackedTypes.begin(), VolumeTrackedTypes.end(),
+                Type) == VolumeTrackedTypes.end())
+    VolumeTrackedTypes.push_back(Type);
+}
+
+void AssertionEngine::clearVolume(TypeId Type) {
+  TheVm.types().get(Type).clearVolumeLimit();
+  VolumeTrackedTypes.erase(std::remove(VolumeTrackedTypes.begin(),
+                                       VolumeTrackedTypes.end(), Type),
+                           VolumeTrackedTypes.end());
+}
+
+void AssertionEngine::assertOwnedBy(ObjRef Owner, ObjRef Ownee) {
+  ++Counters.AssertOwnedByCalls;
+  Ownership.add(Owner, Ownee);
+}
+
+AssertionEngine::ThreadRegionState &
+AssertionEngine::regionStateFor(MutatorThread &Thread) {
+  for (ThreadRegionState &State : RegionStates)
+    if (State.Thread == &Thread)
+      return State;
+  RegionStates.push_back(ThreadRegionState{&Thread, {}});
+  return RegionStates.back();
+}
+
+void AssertionEngine::startRegion(MutatorThread &Thread) {
+  ++Counters.RegionsOpened;
+  ThreadRegionState &State = regionStateFor(Thread);
+  State.Stack.push_back(std::make_unique<std::vector<ObjRef>>());
+  Thread.setRegionLog(State.Stack.back().get());
+}
+
+void AssertionEngine::assertAllDead(MutatorThread &Thread) {
+  ThreadRegionState &State = regionStateFor(Thread);
+  if (State.Stack.empty())
+    reportFatalError("assert-alldead without a matching start-region");
+
+  ++Counters.RegionsClosed;
+  std::unique_ptr<std::vector<ObjRef>> Log = std::move(State.Stack.back());
+  State.Stack.pop_back();
+  Thread.setRegionLog(State.Stack.empty() ? nullptr
+                                          : State.Stack.back().get());
+
+  // The paper implements assert-alldead by "calling assert-dead on each
+  // object in the queue" (§2.3.2). Entries whose objects already died were
+  // pruned after each intervening GC, so everything left is still live.
+  Counters.RegionObjectsLogged += Log->size();
+  for (ObjRef Obj : *Log)
+    assertDead(Obj);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceHooks implementation
+//===----------------------------------------------------------------------===//
+
+void AssertionEngine::onGcBegin(uint64_t Cycle) {
+  CurrentCycle = Cycle;
+  ++Counters.GcCycles;
+  CurrentOwner = nullptr;
+  DeferredOwnees.clear();
+  UnsharedReportedThisCycle.clear();
+  OverlapReportedThisCycle.clear();
+
+  Ownership.beginCycle();
+  for (TypeId Type : TrackedTypes)
+    TheVm.types().get(Type).resetLiveCount();
+  for (TypeId Type : VolumeTrackedTypes)
+    TheVm.types().get(Type).resetLiveBytes();
+}
+
+void AssertionEngine::runOwnershipPhase(OwnershipScanDriver &Driver) {
+  if (Ownership.size() == 0)
+    return;
+
+  for (ObjRef Owner : Ownership.owners()) {
+    CurrentOwner = Owner;
+    ++Counters.OwnersScannedTotal;
+    Driver.scanChildrenOf(Owner);
+    // Resume scanning below the ownees this owner's region truncated at;
+    // the truncation exists to keep owner regions from bleeding into each
+    // other through back edges (§2.5.2), not to skip the ownees' subtrees.
+    InDeferredScan = true;
+    while (!DeferredOwnees.empty()) {
+      ObjRef Ownee = DeferredOwnees.back();
+      DeferredOwnees.pop_back();
+      Driver.scanObject(Ownee);
+    }
+    InDeferredScan = false;
+  }
+  CurrentOwner = nullptr;
+}
+
+PreRootAction AssertionEngine::classifyPreRoot(ObjRef Obj) {
+  uint32_t Flags = Obj->header().Flags;
+
+  if (Flags & HF_Ownee) {
+    ObjRef Owner = Ownership.lookupOwner(Obj);
+    if (Owner == CurrentOwner) {
+      Obj->header().setFlag(HF_Owned);
+      DeferredOwnees.push_back(Obj);
+      return PreRootAction::Truncate;
+    }
+    if (Owner) {
+      // Reached an ownee of a *different* owner. When this happens while
+      // scanning directly out of the current owner's region, the owner
+      // regions overlap — the paper's "improper use of the assertion"
+      // warning (§2.5.2). When it happens below a deferred ownee (e.g. an
+      // application back-reference from one collection's element to
+      // another's), it is an ordinary truncation boundary: the foreign
+      // ownee is marked here, and its own owner's scan — if it ran earlier
+      // — already established its Owned bit. Either way the object is
+      // never deferred into the *current* owner's queue and its Owned bit
+      // is left alone, so overlap can hide a missing-path violation for
+      // that ownee this cycle (the paper's disjointness restriction) but
+      // never fabricates one.
+      if (!InDeferredScan && OverlapReportedThisCycle.insert(Obj).second) {
+        Violation V;
+        V.Kind = AssertionKind::OwnershipOverlap;
+        V.Cycle = CurrentCycle;
+        V.ObjectType = TheVm.types().get(Obj->typeId()).name();
+        V.Message = "improper use of assert-ownedby: ownee reached from a "
+                    "different owner's region (owner regions overlap)";
+        emit(std::move(V));
+      }
+      // Still defer it: once marked here, its own owner's scan will skip
+      // it, so this is the only chance to scan its children (soundness).
+      DeferredOwnees.push_back(Obj);
+      return PreRootAction::Truncate;
+    }
+    // Stale ownee bit (should not happen; be conservative and continue).
+  }
+
+  if (Obj == CurrentOwner) {
+    // The owner's region cycles back to the owner. Never visit the owner
+    // from its own scan: its liveness must be established by the root scan.
+    return PreRootAction::Skip;
+  }
+
+  if (Flags & HF_Owner) {
+    // Another owner: mark it and stop — it gets its own scan (§2.5.2
+    // Phase 1).
+    return PreRootAction::Truncate;
+  }
+
+  return PreRootAction::Continue;
+}
+
+void AssertionEngine::onDeadReachable(ObjRef Obj,
+                                      const std::vector<ObjRef> &Path,
+                                      TracePhase Phase) {
+  Violation V;
+  V.Kind = AssertionKind::Dead;
+  V.Cycle = CurrentCycle;
+  V.ObjectType = TheVm.types().get(Obj->typeId()).name();
+  V.Message = "an object that was asserted dead is reachable";
+  V.Path = buildPath(Path);
+  V.PathFromOwner = Phase == TracePhase::Ownership;
+  emit(std::move(V));
+}
+
+bool AssertionEngine::severDeadReferences() const {
+  return reaction(AssertionKind::Dead) == ReactionPolicy::ForceTrue;
+}
+
+void AssertionEngine::onUnsharedShared(ObjRef Obj,
+                                       const std::vector<ObjRef> &Path) {
+  // An object with many incoming edges would otherwise be reported once per
+  // extra edge; one report per object per collection is enough.
+  if (!UnsharedReportedThisCycle.insert(Obj).second)
+    return;
+
+  Violation V;
+  V.Kind = AssertionKind::Unshared;
+  V.Cycle = CurrentCycle;
+  V.ObjectType = TheVm.types().get(Obj->typeId()).name();
+  V.Message = "an object that was asserted unshared has more than one "
+              "incoming reference (second path shown)";
+  V.Path = buildPath(Path);
+  emit(std::move(V));
+}
+
+void AssertionEngine::onUnownedOwnee(ObjRef Obj,
+                                     const std::vector<ObjRef> &Path) {
+  Violation V;
+  V.Kind = AssertionKind::OwnedBy;
+  V.Cycle = CurrentCycle;
+  V.ObjectType = TheVm.types().get(Obj->typeId()).name();
+  V.Message = "an object is reachable but not through its asserted owner";
+  V.Path = buildPath(Path);
+  emit(std::move(V));
+}
+
+void AssertionEngine::onTraceComplete(PostTraceContext &Ctx) {
+  // assert-instances: compare the counts tracing accumulated against the
+  // limits (§2.4.1: "at the end of GC, we iterate through our list of
+  // tracked types").
+  for (TypeId Type : TrackedTypes) {
+    TypeInfo &Info = TheVm.types().get(Type);
+    if (Info.liveCount() > Info.instanceLimit()) {
+      Violation V;
+      V.Kind = AssertionKind::Instances;
+      V.Cycle = CurrentCycle;
+      V.ObjectType = Info.name();
+      V.Message =
+          format("type %s has %u live instances at GC (limit %u)",
+                 Info.name().c_str(), Info.liveCount(), Info.instanceLimit());
+      emit(std::move(V));
+    }
+  }
+
+  // assert-volume: §2.4's "total volume" constraint, checked like the
+  // instance limits.
+  for (TypeId Type : VolumeTrackedTypes) {
+    TypeInfo &Info = TheVm.types().get(Type);
+    if (Info.liveBytes() > Info.volumeLimit()) {
+      Violation V;
+      V.Kind = AssertionKind::Volume;
+      V.Cycle = CurrentCycle;
+      V.ObjectType = Info.name();
+      V.Message = format(
+          "type %s occupies %llu live bytes at GC (limit %llu)",
+          Info.name().c_str(),
+          static_cast<unsigned long long>(Info.liveBytes()),
+          static_cast<unsigned long long>(Info.volumeLimit()));
+      emit(std::move(V));
+    }
+  }
+
+  Counters.OwneesCheckedLastGc = Ownership.lookupsThisCycle();
+  Counters.OwneesCheckedTotal += Ownership.lookupsThisCycle();
+
+  // Resolve last cycle's orphaned ownees: their owner died then, and their
+  // pair is gone, so this cycle's liveness is genuine (no ownership phase
+  // scanned from the dead owner any more).
+  for (ObjRef Orphan : OrphanedOwnees) {
+    ObjRef Current = Ctx.currentAddress(Orphan);
+    if (!Current)
+      continue; // Died with (or shortly after) its owner: fine.
+    Violation V;
+    V.Kind = AssertionKind::OwneeOutlivedOwner;
+    V.Cycle = CurrentCycle;
+    V.ObjectType = TheVm.types().get(Current->typeId()).name();
+    V.Message = "an owned object is still reachable although its owner "
+                "was collected";
+    emit(std::move(V));
+  }
+  OrphanedOwnees.clear();
+
+  // Prune and translate the ownership table (§3.1.2: "we must remove each
+  // unreachable ownee after a GC"). Ownees whose owner died are watched
+  // for one cycle (see OrphanedOwnees).
+  Ownership.pruneAfterGc(
+      [&](ObjRef Obj) { return Ctx.currentAddress(Obj); },
+      [&](ObjRef Owner, ObjRef Ownee) {
+        (void)Owner;
+        OrphanedOwnees.push_back(Ownee);
+      });
+
+  // Prune region logs: entries for objects that died are dropped, and under
+  // a moving collector surviving entries are rewritten to the new address.
+  for (ThreadRegionState &State : RegionStates) {
+    for (std::unique_ptr<std::vector<ObjRef>> &Log : State.Stack) {
+      size_t Out = 0;
+      std::vector<ObjRef> &Entries = *Log;
+      for (ObjRef Entry : Entries)
+        if (ObjRef Current = Ctx.currentAddress(Entry))
+          Entries[Out++] = Current;
+      Entries.resize(Out);
+    }
+  }
+}
+
+void AssertionEngine::onMinorGcComplete(PostTraceContext &Ctx) {
+  // A generational minor collection: nursery survivors moved to the old
+  // generation and the rest died. No assertion is *checked* here (§2.2 —
+  // only full-heap collections check), but every weak table must follow
+  // the moves. Owners that died in the nursery hand their live ownees to
+  // the orphan watch, resolved at the next major collection.
+  auto Translate = [&](ObjRef Obj) { return Ctx.currentAddress(Obj); };
+  auto Orphan = [&](ObjRef, ObjRef Ownee) {
+    OrphanedOwnees.push_back(Ownee);
+  };
+  Ownership.translatePending(Translate, Orphan);
+  Ownership.pruneAfterGc(Translate, Orphan);
+
+  size_t Out = 0;
+  for (ObjRef Entry : OrphanedOwnees)
+    if (ObjRef Current = Ctx.currentAddress(Entry))
+      OrphanedOwnees[Out++] = Current;
+  OrphanedOwnees.resize(Out);
+
+  for (ThreadRegionState &State : RegionStates) {
+    for (std::unique_ptr<std::vector<ObjRef>> &Log : State.Stack) {
+      size_t LogOut = 0;
+      std::vector<ObjRef> &Entries = *Log;
+      for (ObjRef Entry : Entries)
+        if (ObjRef Current = Ctx.currentAddress(Entry))
+          Entries[LogOut++] = Current;
+      Entries.resize(LogOut);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting
+//===----------------------------------------------------------------------===//
+
+/// True if \p SlotValue refers to \p Target, looking through a forwarding
+/// pointer in either direction (a path captured mid-copying-trace mixes
+/// from-space and to-space addresses).
+static bool refersTo(ObjRef SlotValue, ObjRef Target) {
+  if (!SlotValue)
+    return false;
+  if (SlotValue == Target)
+    return true;
+  if (SlotValue->isForwarded() && SlotValue->forwardingAddress() == Target)
+    return true;
+  if (Target->isForwarded() && Target->forwardingAddress() == SlotValue)
+    return true;
+  return false;
+}
+
+std::vector<PathStep>
+AssertionEngine::buildPath(const std::vector<ObjRef> &Chain) const {
+  std::vector<PathStep> Steps;
+  Steps.reserve(Chain.size());
+  const TypeRegistry &Types = TheVm.types();
+
+  for (size_t I = 0, E = Chain.size(); I != E; ++I) {
+    PathStep Step;
+    const TypeInfo &Type = Types.get(Chain[I]->typeId());
+    Step.TypeName = Type.name();
+
+    if (ResolveFieldNames && I > 0) {
+      ObjRef Parent = Chain[I - 1];
+      const TypeInfo &ParentType = Types.get(Parent->typeId());
+      if (ParentType.kind() == TypeKind::Class) {
+        for (uint32_t Offset : ParentType.refOffsets()) {
+          if (refersTo(Parent->getRef(Offset), Chain[I])) {
+            if (const FieldInfo *Field = ParentType.fieldAtOffset(Offset))
+              Step.FieldName = Field->Name;
+            break;
+          }
+        }
+      } else if (ParentType.kind() == TypeKind::RefArray) {
+        for (uint64_t J = 0, N = Parent->arrayLength(); J != N; ++J) {
+          if (refersTo(Parent->getElement(J), Chain[I])) {
+            Step.FieldName = format("[%llu]", static_cast<unsigned long long>(J));
+            break;
+          }
+        }
+      }
+    }
+    Steps.push_back(std::move(Step));
+  }
+  return Steps;
+}
+
+void AssertionEngine::emit(Violation V) {
+  ++Counters.ViolationsReported;
+  ReactionPolicy Policy = reaction(V.Kind);
+  Sink->report(V);
+  if (Policy == ReactionPolicy::LogAndHalt)
+    reportFatalError("halting on GC assertion violation (LogAndHalt)");
+}

@@ -1,0 +1,160 @@
+//===- OwnershipTable.cpp - Owner/ownee pairs ---------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/OwnershipTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gcassert;
+
+static bool pairLess(const OwnershipTable::Pair &A,
+                     const OwnershipTable::Pair &B) {
+  return A.Ownee < B.Ownee;
+}
+
+void OwnershipTable::add(ObjRef Owner, ObjRef Ownee) {
+  assert(Owner && Ownee && "assert-ownedby requires non-null objects");
+  assert(Owner != Ownee && "an object cannot own itself");
+  Owner->header().setFlag(HF_Owner);
+  Ownee->header().setFlag(HF_Ownee);
+  PendingAdds.push_back({Ownee, Owner});
+}
+
+void OwnershipTable::beginCycle() {
+  CycleLookups = 0;
+
+  if (!PendingAdds.empty()) {
+    // Apply pending additions: update in place when the ownee is already
+    // registered (re-assertion replaces the owner), otherwise collect the
+    // genuinely new pairs and merge them in sorted order. Later additions
+    // win over earlier ones for the same ownee; a stable sort keyed on the
+    // ownee keeps that property so deduplication is a linear scan rather
+    // than a quadratic lookup (whole benchmark iterations of assertOwnedBy
+    // calls can be pending at once).
+    std::stable_sort(PendingAdds.begin(), PendingAdds.end(), pairLess);
+    std::vector<Pair> NewPairs;
+    NewPairs.reserve(PendingAdds.size());
+    for (const Pair &Add : PendingAdds) {
+      if (!NewPairs.empty() && NewPairs.back().Ownee == Add.Ownee) {
+        NewPairs.back().Owner = Add.Owner; // Later assertion wins.
+        continue;
+      }
+      auto It = std::lower_bound(Pairs.begin(), Pairs.end(), Add, pairLess);
+      if (It != Pairs.end() && It->Ownee == Add.Ownee) {
+        It->Owner = Add.Owner;
+        continue;
+      }
+      NewPairs.push_back(Add);
+    }
+    PendingAdds.clear();
+
+    if (!NewPairs.empty()) {
+      size_t OldSize = Pairs.size();
+      Pairs.insert(Pairs.end(), NewPairs.begin(), NewPairs.end());
+      std::inplace_merge(Pairs.begin(), Pairs.begin() + OldSize, Pairs.end(),
+                         pairLess);
+    }
+    rebuildOwners();
+  }
+
+  // A fresh cycle: no ownee has been proven owned yet.
+  for (const Pair &P : Pairs)
+    P.Ownee->header().clearFlag(HF_Owned);
+}
+
+void OwnershipTable::rebuildOwners() {
+  // Clear the Owner bit on the previous owner set first: an owner whose
+  // pairs were all replaced must stop being treated as an owner.
+  for (ObjRef Owner : Owners)
+    Owner->header().clearFlag(HF_Owner);
+
+  Owners.clear();
+  for (const Pair &P : Pairs)
+    Owners.push_back(P.Owner);
+  std::sort(Owners.begin(), Owners.end());
+  Owners.erase(std::unique(Owners.begin(), Owners.end()), Owners.end());
+  for (ObjRef Owner : Owners)
+    Owner->header().setFlag(HF_Owner);
+}
+
+ObjRef OwnershipTable::lookupOwner(ObjRef Ownee) {
+  ++CycleLookups;
+  ++TotalLookups;
+  Pair Key{Ownee, nullptr};
+  auto It = std::lower_bound(Pairs.begin(), Pairs.end(), Key, pairLess);
+  if (It != Pairs.end() && It->Ownee == Ownee)
+    return It->Owner;
+  return nullptr;
+}
+
+void OwnershipTable::forEachPair(
+    const std::function<void(const Pair &)> &Fn) const {
+  for (const Pair &P : Pairs)
+    Fn(P);
+}
+
+void OwnershipTable::translatePending(
+    const std::function<ObjRef(ObjRef)> &CurrentAddress,
+    const std::function<void(ObjRef, ObjRef)> &OnOwneeOutlivedOwner) {
+  size_t Out = 0;
+  for (const Pair &P : PendingAdds) {
+    ObjRef NewOwnee = CurrentAddress(P.Ownee);
+    if (!NewOwnee)
+      continue;
+    ObjRef NewOwner = CurrentAddress(P.Owner);
+    if (!NewOwner) {
+      OnOwneeOutlivedOwner(P.Owner, NewOwnee);
+      NewOwnee->header().clearFlag(HF_Ownee);
+      NewOwnee->header().clearFlag(HF_Owned);
+      continue;
+    }
+    PendingAdds[Out++] = {NewOwnee, NewOwner};
+  }
+  PendingAdds.resize(Out);
+}
+
+void OwnershipTable::pruneAfterGc(
+    const std::function<ObjRef(ObjRef)> &CurrentAddress,
+    const std::function<void(ObjRef, ObjRef)> &OnOwneeOutlivedOwner) {
+  std::vector<Pair> Survivors;
+  Survivors.reserve(Pairs.size());
+  bool AnyMoved = false;
+
+  for (const Pair &P : Pairs) {
+    ObjRef NewOwnee = CurrentAddress(P.Ownee);
+    if (!NewOwnee)
+      continue; // The ownee died: the assertion is satisfied and retired.
+    AnyMoved |= NewOwnee != P.Ownee;
+
+    ObjRef NewOwner = CurrentAddress(P.Owner);
+    if (!NewOwner) {
+      // The owner died but the ownee is still reachable: the ownee is about
+      // to outlive its owner.
+      OnOwneeOutlivedOwner(P.Owner, NewOwnee);
+      NewOwnee->header().clearFlag(HF_Ownee);
+      NewOwnee->header().clearFlag(HF_Owned);
+      continue;
+    }
+    Survivors.push_back({NewOwnee, NewOwner});
+  }
+
+  // Clear the Owner bit through the *translated* addresses: under a moving
+  // collector the surviving copy carries the stale bit, and a stale Owner
+  // bit would make a future ownership phase truncate scanning at this
+  // object — an under-marking soundness bug. (rebuildOwners() also clears
+  // through the old addresses, which is harmless but not sufficient here.)
+  for (ObjRef Owner : Owners)
+    if (ObjRef NewOwner = CurrentAddress(Owner))
+      NewOwner->header().clearFlag(HF_Owner);
+
+  // Addresses change only under a moving collector; a non-moving cycle
+  // leaves the surviving subsequence already sorted.
+  if (AnyMoved)
+    std::sort(Survivors.begin(), Survivors.end(), pairLess);
+  Pairs = std::move(Survivors);
+  rebuildOwners();
+}

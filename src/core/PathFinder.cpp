@@ -1,0 +1,177 @@
+//===- PathFinder.cpp - Post-hoc path queries ---------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/PathFinder.h"
+
+#include "gcassert/support/Format.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace gcassert;
+
+namespace {
+
+/// Shared BFS over the reachable object graph. Calls \p Visit for every
+/// first-discovered object with its BFS parent (null for root referents);
+/// stops early when Visit returns false.
+template <typename VisitT> void breadthFirst(Vm &TheVm, VisitT Visit) {
+  std::deque<ObjRef> Queue;
+  std::unordered_map<ObjRef, ObjRef> Parent;
+
+  bool Stopped = false;
+  auto Discover = [&](ObjRef Obj, ObjRef From) {
+    if (!Obj || Stopped)
+      return;
+    if (!Parent.emplace(Obj, From).second)
+      return;
+    if (!Visit(Obj, From)) {
+      Stopped = true;
+      return;
+    }
+    Queue.push_back(Obj);
+  };
+
+  TheVm.forEachRootSlot([&](ObjRef *Slot) { Discover(*Slot, nullptr); });
+
+  TypeRegistry &Types = TheVm.types();
+  while (!Queue.empty() && !Stopped) {
+    ObjRef Obj = Queue.front();
+    Queue.pop_front();
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    switch (Type.kind()) {
+    case TypeKind::Class:
+      for (uint32_t Offset : Type.refOffsets())
+        Discover(Obj->getRef(Offset), Obj);
+      break;
+    case TypeKind::RefArray:
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        Discover(Obj->getElement(I), Obj);
+      break;
+    case TypeKind::DataArray:
+      break;
+    }
+  }
+}
+
+/// Field name of the edge From -> To, or "" if unresolvable.
+std::string edgeName(TypeRegistry &Types, ObjRef From, ObjRef To) {
+  const TypeInfo &Type = Types.get(From->typeId());
+  if (Type.kind() == TypeKind::Class) {
+    for (uint32_t Offset : Type.refOffsets())
+      if (From->getRef(Offset) == To)
+        if (const FieldInfo *Field = Type.fieldAtOffset(Offset))
+          return Field->Name;
+  } else if (Type.kind() == TypeKind::RefArray) {
+    for (uint64_t I = 0, E = From->arrayLength(); I != E; ++I)
+      if (From->getElement(I) == To)
+        return format("[%llu]", static_cast<unsigned long long>(I));
+  }
+  return std::string();
+}
+
+} // namespace
+
+std::optional<std::vector<PathStep>> PathFinder::findPath(ObjRef Target) {
+  std::unordered_map<ObjRef, ObjRef> Parent;
+  bool Found = false;
+
+  // Re-run the BFS capturing parents; stop as soon as Target is discovered.
+  std::deque<ObjRef> Queue;
+  auto Discover = [&](ObjRef Obj, ObjRef From) {
+    if (!Obj || Found)
+      return;
+    if (!Parent.emplace(Obj, From).second)
+      return;
+    if (Obj == Target) {
+      Found = true;
+      return;
+    }
+    Queue.push_back(Obj);
+  };
+
+  TheVm.forEachRootSlot([&](ObjRef *Slot) { Discover(*Slot, nullptr); });
+
+  TypeRegistry &Types = TheVm.types();
+  while (!Queue.empty() && !Found) {
+    ObjRef Obj = Queue.front();
+    Queue.pop_front();
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    switch (Type.kind()) {
+    case TypeKind::Class:
+      for (uint32_t Offset : Type.refOffsets())
+        Discover(Obj->getRef(Offset), Obj);
+      break;
+    case TypeKind::RefArray:
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        Discover(Obj->getElement(I), Obj);
+      break;
+    case TypeKind::DataArray:
+      break;
+    }
+  }
+
+  if (!Found)
+    return std::nullopt;
+
+  // Walk parents back to a root and reverse.
+  std::vector<ObjRef> Chain;
+  for (ObjRef Obj = Target; Obj; Obj = Parent[Obj])
+    Chain.push_back(Obj);
+  std::reverse(Chain.begin(), Chain.end());
+
+  std::vector<PathStep> Steps;
+  Steps.reserve(Chain.size());
+  for (size_t I = 0, E = Chain.size(); I != E; ++I) {
+    PathStep Step;
+    Step.TypeName = Types.get(Chain[I]->typeId()).name();
+    if (I > 0)
+      Step.FieldName = edgeName(Types, Chain[I - 1], Chain[I]);
+    Steps.push_back(std::move(Step));
+  }
+  return Steps;
+}
+
+std::vector<ObjRef> PathFinder::findReachableInstances(TypeId Type,
+                                                       size_t MaxInstances) {
+  std::vector<ObjRef> Instances;
+  if (MaxInstances == 0)
+    return Instances;
+  breadthFirst(TheVm, [&](ObjRef Obj, ObjRef) {
+    if (Obj->typeId() == Type) {
+      Instances.push_back(Obj);
+      if (Instances.size() >= MaxInstances)
+        return false;
+    }
+    return true;
+  });
+  return Instances;
+}
+
+size_t PathFinder::countIncomingReferences(ObjRef Target) {
+  size_t Count = 0;
+
+  TheVm.forEachRootSlot([&](ObjRef *Slot) {
+    if (*Slot == Target)
+      ++Count;
+  });
+
+  TypeRegistry &Types = TheVm.types();
+  breadthFirst(TheVm, [&](ObjRef Obj, ObjRef) {
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    if (Type.kind() == TypeKind::Class) {
+      for (uint32_t Offset : Type.refOffsets())
+        if (Obj->getRef(Offset) == Target)
+          ++Count;
+    } else if (Type.kind() == TypeKind::RefArray) {
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        if (Obj->getElement(I) == Target)
+          ++Count;
+    }
+    return true;
+  });
+  return Count;
+}

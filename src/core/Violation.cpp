@@ -1,0 +1,66 @@
+//===- Violation.cpp - Assertion violations ----------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/Violation.h"
+
+#include "gcassert/support/OStream.h"
+
+using namespace gcassert;
+
+ViolationSink::~ViolationSink() = default;
+
+const char *gcassert::assertionKindName(AssertionKind Kind) {
+  switch (Kind) {
+  case AssertionKind::Dead:
+    return "assert-dead";
+  case AssertionKind::Unshared:
+    return "assert-unshared";
+  case AssertionKind::Instances:
+    return "assert-instances";
+  case AssertionKind::Volume:
+    return "assert-volume";
+  case AssertionKind::OwnedBy:
+    return "assert-ownedby";
+  case AssertionKind::OwnershipOverlap:
+    return "assert-ownedby (overlap)";
+  case AssertionKind::OwneeOutlivedOwner:
+    return "assert-ownedby (owner died)";
+  }
+  return "unknown";
+}
+
+void gcassert::printViolation(OStream &Out, const Violation &V) {
+  Out << "Warning: " << V.Message << '\n';
+  if (!V.ObjectType.empty())
+    Out << "Type: " << V.ObjectType << '\n';
+  if (!V.Path.empty()) {
+    Out << (V.PathFromOwner ? "Path from owner to object:" : "Path to object:")
+        << '\n';
+    for (size_t I = 0, E = V.Path.size(); I != E; ++I) {
+      const PathStep &Step = V.Path[I];
+      Out << Step.TypeName;
+      if (!Step.FieldName.empty())
+        Out << " (via " << Step.FieldName << ')';
+      if (I + 1 != E)
+        Out << " ->";
+      Out << '\n';
+    }
+  }
+}
+
+void ConsoleViolationSink::report(const Violation &V) {
+  OStream &Stream = Out ? *Out : errs();
+  printViolation(Stream, V);
+  Stream.flush();
+}
+
+size_t RecordingViolationSink::countOf(AssertionKind Kind) const {
+  size_t Count = 0;
+  for (const Violation &V : Violations)
+    if (V.Kind == Kind)
+      ++Count;
+  return Count;
+}

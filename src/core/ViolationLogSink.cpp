@@ -1,0 +1,35 @@
+//===- ViolationLogSink.cpp - Structured logging -------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/core/ViolationLogSink.h"
+
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+
+using namespace gcassert;
+
+std::string LineLogSink::formatLine(const Violation &V) {
+  std::string Path;
+  for (size_t I = 0, E = V.Path.size(); I != E; ++I) {
+    const PathStep &Step = V.Path[I];
+    if (I)
+      Path += "->";
+    if (!Step.FieldName.empty()) {
+      Path += Step.FieldName;
+      Path += ':';
+    }
+    Path += Step.TypeName;
+  }
+  return format("gc-assert|%llu|%s|%s|%s|%s",
+                static_cast<unsigned long long>(V.Cycle),
+                assertionKindName(V.Kind), V.ObjectType.c_str(),
+                V.Message.c_str(), Path.c_str());
+}
+
+void LineLogSink::report(const Violation &V) {
+  Out << formatLine(V) << '\n';
+  Out.flush();
+}

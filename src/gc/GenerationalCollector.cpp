@@ -1,0 +1,146 @@
+//===- GenerationalCollector.cpp - Two-generation collector --------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/gc/GenerationalCollector.h"
+
+#include "MarkSweepCycle.h"
+
+#include <cstring>
+
+using namespace gcassert;
+
+namespace {
+
+/// SpaceOps for a minor collection: only nursery objects are "new" —
+/// anything already in the old generation terminates the trace (the
+/// remembered set covers old-to-nursery edges).
+struct MinorSpaceOps {
+  GenerationalHeap *TheHeap;
+
+  bool isVisited(ObjRef Obj) const {
+    return !TheHeap->inNursery(Obj) || Obj->isForwarded();
+  }
+
+  ObjRef visitNew(ObjRef Obj) const { return TheHeap->promote(Obj); }
+
+  ObjRef visitedAddress(ObjRef Obj) const {
+    return Obj->isForwarded() ? Obj->forwardingAddress() : Obj;
+  }
+};
+
+/// Liveness view after a minor collection: nursery objects either forwarded
+/// into the old generation or dead; everything else untouched.
+class MinorPostTrace : public PostTraceContext {
+public:
+  MinorPostTrace(GenerationalHeap &TheHeap, uint64_t Cycle)
+      : TheHeap(TheHeap), Cycle(Cycle) {}
+
+  ObjRef currentAddress(ObjRef Obj) const override {
+    if (!TheHeap.inNursery(Obj))
+      return Obj;
+    return Obj->isForwarded() ? Obj->forwardingAddress() : nullptr;
+  }
+
+  uint64_t cycle() const override { return Cycle; }
+
+private:
+  GenerationalHeap &TheHeap;
+  uint64_t Cycle;
+};
+
+} // namespace
+
+void GenerationalCollector::evacuateNursery() {
+  // The minor trace runs with no assertion checks and no path recording:
+  // the paper's generational caveat is exactly that these collections skip
+  // the checking work.
+  using Core = TraceCore<MinorSpaceOps, false, false>;
+  Core Tracer(MinorSpaceOps{&TheHeap}, TheHeap.types(), nullptr);
+
+  Roots.forEachRootSlot([&](ObjRef *Slot) { Tracer.processSlot(Slot); });
+  Tracer.drain();
+
+  // Old-to-nursery edges recorded by the write barrier: rescan the fields
+  // of every remembered old object.
+  for (Object *Remembered : TheHeap.rememberedSet()) {
+    Tracer.scanObjectFields(Remembered);
+    Tracer.drain();
+  }
+
+  Stats.ObjectsVisited += Tracer.objectsVisited();
+
+  if (Hooks) {
+    MinorPostTrace Ctx(TheHeap, Stats.Cycles);
+    Hooks->onMinorGcComplete(Ctx);
+  }
+
+  TheHeap.finishMinorCollection();
+}
+
+void GenerationalCollector::collectMinor() {
+  uint64_t Start = monotonicNanos();
+  evacuateNursery();
+  uint64_t Elapsed = monotonicNanos() - Start;
+  Stats.LastGcNanos = Elapsed;
+  Stats.TotalGcNanos += Elapsed;
+  ++Stats.Cycles;
+  ++Stats.MinorCycles;
+}
+
+void GenerationalCollector::collectMajor() {
+  uint64_t Start = monotonicNanos();
+
+  // Order matters: the checking trace runs over the *whole* graph first
+  // (assertions see every object at its current address), the old
+  // generation is swept — maximizing room — and only then is the nursery
+  // evacuated. Sweeping first also keeps the fatal promotion-failure path
+  // unreachable as long as live data fits the old generation at all.
+  //
+  // The full-graph trace marks nursery objects too; only the old
+  // generation's sweep clears bits, so the nursery's marks are cleared by
+  // hand before evacuation (a marked nursery object would look "visited"
+  // to nothing — the minor trace keys on forwarding, not marks — but stale
+  // bits must not leak into promoted headers).
+  FreeListHeap &OldGen = TheHeap.oldGen();
+  std::function<void()> PruneRemSet = [this] {
+    TheHeap.pruneRememberedSetUnmarked();
+  };
+  if (Hooks) {
+    if (RecordPaths)
+      detail::runMarkSweepCycle<true, true>(OldGen, Roots, Hooks, Stats,
+                                            PruneRemSet);
+    else
+      detail::runMarkSweepCycle<true, false>(OldGen, Roots, Hooks, Stats,
+                                             PruneRemSet);
+  } else {
+    detail::runMarkSweepCycle<false, false>(OldGen, Roots, nullptr, Stats,
+                                            PruneRemSet);
+  }
+  TheHeap.clearNurseryMarks();
+
+  evacuateNursery();
+
+  uint64_t Elapsed = monotonicNanos() - Start;
+  Stats.LastGcNanos = Elapsed;
+  Stats.TotalGcNanos += Elapsed;
+  ++Stats.Cycles;
+}
+
+void GenerationalCollector::collect(const char *Cause) {
+  // Explicit requests are full collections (Vm::collectNow must check the
+  // registered assertions); allocation pressure takes the generational
+  // fast path unless the old generation could not absorb the nursery.
+  // The margin is deliberately wide (four nursery capacities): promotion
+  // failure is fatal, the free estimate ignores size-class fragmentation,
+  // and a worst-case minor collection promotes the whole nursery.
+  bool AllocationFailure = Cause && !std::strcmp(Cause, "allocation failure");
+  if (AllocationFailure &&
+      TheHeap.oldGenFreeEstimate() > 4 * TheHeap.nurseryCapacity()) {
+    collectMinor();
+    return;
+  }
+  collectMajor();
+}

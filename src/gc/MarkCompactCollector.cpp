@@ -1,0 +1,140 @@
+//===- MarkCompactCollector.cpp - Sliding compactor ------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/gc/MarkCompactCollector.h"
+
+#include "gcassert/gc/TraceCore.h"
+#include "gcassert/support/Timer.h"
+
+using namespace gcassert;
+
+namespace {
+
+/// Liveness view between marking and sliding: live objects answer with
+/// their *planned* post-compaction address.
+class CompactPostTrace : public PostTraceContext {
+public:
+  CompactPostTrace(const CompactionPlan &Plan, uint64_t Cycle)
+      : Plan(Plan), Cycle(Cycle) {}
+
+  ObjRef currentAddress(ObjRef Obj) const override {
+    return Obj->header().isMarked() ? Plan.lookup(Obj) : nullptr;
+  }
+
+  uint64_t cycle() const override { return Cycle; }
+
+private:
+  const CompactionPlan &Plan;
+  uint64_t Cycle;
+};
+
+/// Ownership-phase driver (non-moving during marking, like mark-sweep).
+template <typename CoreT>
+class CompactOwnershipDriver : public OwnershipScanDriver {
+public:
+  explicit CompactOwnershipDriver(CoreT &Core) : Core(Core) {}
+
+  void scanChildrenOf(ObjRef Owner) override {
+    Core.scanChildrenAndDrain(Owner);
+  }
+
+  void scanObject(ObjRef Obj) override { Core.scanChildrenAndDrain(Obj); }
+
+  ObjRef resolve(ObjRef Obj) const override { return Obj; }
+
+private:
+  CoreT &Core;
+};
+
+} // namespace
+
+template <bool EnableChecks, bool RecordPathsT>
+void MarkCompactCollector::runCycle() {
+  // Phase 1: the checking trace — identical to mark-sweep's, objects do
+  // not move while assertions are evaluated.
+  using Core = TraceCore<MarkSpaceOps, EnableChecks, RecordPathsT>;
+  Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks);
+
+  uint64_t Cycle = Stats.Cycles;
+
+  if constexpr (EnableChecks) {
+    Hooks->onGcBegin(Cycle);
+
+    uint64_t OwnershipStart = monotonicNanos();
+    Tracer.setPhase(TracePhase::Ownership);
+    CompactOwnershipDriver<Core> Driver(Tracer);
+    Hooks->runOwnershipPhase(Driver);
+    Stats.OwnershipNanos += monotonicNanos() - OwnershipStart;
+  }
+
+  Tracer.setPhase(TracePhase::Roots);
+  Roots.forEachRootSlot([&](ObjRef *Slot) {
+    Tracer.processSlot(Slot);
+    Tracer.drain();
+  });
+
+  // Phase 2: relocation plan.
+  uint64_t BytesBefore = TheHeap.stats().BytesInUse;
+  CompactionPlan Plan = TheHeap.planCompaction();
+
+  // Phase 3: the engine rewrites its weak tables against the plan; no
+  // object may be dereferenced through the new addresses until the slide.
+  if constexpr (EnableChecks) {
+    CompactPostTrace Ctx(Plan, Cycle);
+    Hooks->onTraceComplete(Ctx);
+  }
+
+  // Phase 4: rewrite every reference — root slots and the fields of every
+  // live object (still at their old addresses).
+  Roots.forEachRootSlot([&](ObjRef *Slot) {
+    if (*Slot)
+      *Slot = Plan.lookup(*Slot);
+  });
+  TypeRegistry &Types = TheHeap.types();
+  TheHeap.forEachObject([&](ObjRef Obj) {
+    if (!Obj->header().isMarked())
+      return;
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    auto Rewrite = [&](ObjRef *Slot) {
+      if (*Slot)
+        *Slot = Plan.lookup(*Slot);
+    };
+    if (Type.kind() == TypeKind::Class) {
+      for (uint32_t Offset : Type.refOffsets())
+        Rewrite(Obj->refSlot(Offset));
+    } else if (Type.kind() == TypeKind::RefArray) {
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        Rewrite(Obj->elementSlot(I));
+    }
+  });
+
+  // Phase 5: slide.
+  TheHeap.executeCompaction(Plan);
+
+  Stats.ObjectsVisited += Tracer.objectsVisited();
+  uint64_t BytesAfter = TheHeap.stats().BytesInUse;
+  if (BytesBefore > BytesAfter)
+    Stats.BytesReclaimed += BytesBefore - BytesAfter;
+}
+
+void MarkCompactCollector::collect(const char *Cause) {
+  (void)Cause;
+  uint64_t Start = monotonicNanos();
+
+  if (Hooks) {
+    if (RecordPaths)
+      runCycle<true, true>();
+    else
+      runCycle<true, false>();
+  } else {
+    runCycle<false, false>();
+  }
+
+  uint64_t Elapsed = monotonicNanos() - Start;
+  Stats.LastGcNanos = Elapsed;
+  Stats.TotalGcNanos += Elapsed;
+  ++Stats.Cycles;
+}

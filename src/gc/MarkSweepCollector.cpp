@@ -1,0 +1,36 @@
+//===- MarkSweepCollector.cpp - Mark-sweep collector -------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/gc/MarkSweepCollector.h"
+
+#include "MarkSweepCycle.h"
+
+using namespace gcassert;
+
+Collector::~Collector() = default;
+RootProvider::~RootProvider() = default;
+TraceHooks::~TraceHooks() = default;
+OwnershipScanDriver::~OwnershipScanDriver() = default;
+PostTraceContext::~PostTraceContext() = default;
+
+void MarkSweepCollector::collect(const char *Cause) {
+  (void)Cause;
+  uint64_t Start = monotonicNanos();
+
+  if (Hooks) {
+    if (RecordPaths)
+      detail::runMarkSweepCycle<true, true>(TheHeap, Roots, Hooks, Stats);
+    else
+      detail::runMarkSweepCycle<true, false>(TheHeap, Roots, Hooks, Stats);
+  } else {
+    detail::runMarkSweepCycle<false, false>(TheHeap, Roots, nullptr, Stats);
+  }
+
+  uint64_t Elapsed = monotonicNanos() - Start;
+  Stats.LastGcNanos = Elapsed;
+  Stats.TotalGcNanos += Elapsed;
+  ++Stats.Cycles;
+}

@@ -1,0 +1,107 @@
+//===- src/gc/MarkSweepCycle.h - Shared mark-sweep cycle -------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full mark-sweep collection cycle over a FreeListHeap, shared between
+/// MarkSweepCollector and the major collections of GenerationalCollector.
+/// Private implementation header (not installed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SRC_GC_MARKSWEEPCYCLE_H
+#define GCASSERT_SRC_GC_MARKSWEEPCYCLE_H
+
+#include "gcassert/gc/Collector.h"
+#include "gcassert/gc/TraceCore.h"
+#include "gcassert/heap/FreeListHeap.h"
+#include "gcassert/support/Timer.h"
+
+namespace gcassert {
+namespace detail {
+
+/// Non-moving liveness view handed to the engine after tracing.
+class MarkSweepPostTrace : public PostTraceContext {
+public:
+  explicit MarkSweepPostTrace(uint64_t Cycle) : Cycle(Cycle) {}
+
+  ObjRef currentAddress(ObjRef Obj) const override {
+    return Obj->header().isMarked() ? Obj : nullptr;
+  }
+
+  uint64_t cycle() const override { return Cycle; }
+
+private:
+  uint64_t Cycle;
+};
+
+/// Ownership-phase driver over a (non-moving) TraceCore.
+template <typename CoreT>
+class MarkSweepOwnershipDriver : public OwnershipScanDriver {
+public:
+  explicit MarkSweepOwnershipDriver(CoreT &Core) : Core(Core) {}
+
+  void scanChildrenOf(ObjRef Owner) override {
+    Core.scanChildrenAndDrain(Owner);
+  }
+
+  void scanObject(ObjRef Obj) override { Core.scanChildrenAndDrain(Obj); }
+
+  ObjRef resolve(ObjRef Obj) const override { return Obj; }
+
+private:
+  CoreT &Core;
+};
+
+/// Runs one full mark-sweep cycle over \p TheHeap, updating \p Stats.
+/// \p Hooks must be non-null when EnableChecks is true. \p BeforeSweep, if
+/// set, runs after tracing and the engine's post-trace work but before
+/// reclamation — the window where mark bits still describe liveness (the
+/// generational collector prunes its remembered set there).
+template <bool EnableChecks, bool RecordPathsT>
+void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
+                       TraceHooks *Hooks, GcStats &Stats,
+                       const std::function<void()> &BeforeSweep = {}) {
+  using Core = TraceCore<MarkSpaceOps, EnableChecks, RecordPathsT>;
+  Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks);
+
+  uint64_t Cycle = Stats.Cycles;
+
+  if constexpr (EnableChecks) {
+    Hooks->onGcBegin(Cycle);
+
+    uint64_t OwnershipStart = monotonicNanos();
+    Tracer.setPhase(TracePhase::Ownership);
+    MarkSweepOwnershipDriver<Core> Driver(Tracer);
+    Hooks->runOwnershipPhase(Driver);
+    Stats.OwnershipNanos += monotonicNanos() - OwnershipStart;
+  }
+
+  // Drain after each root so reported paths originate from the first root
+  // that reaches an object (application structure first, bookkeeping roots
+  // later), not from whichever root happens to sit on top of the mark
+  // stack. Draining an empty worklist is a single branch.
+  Tracer.setPhase(TracePhase::Roots);
+  Roots.forEachRootSlot([&](ObjRef *Slot) {
+    Tracer.processSlot(Slot);
+    Tracer.drain();
+  });
+
+  if constexpr (EnableChecks) {
+    MarkSweepPostTrace Ctx(Cycle);
+    Hooks->onTraceComplete(Ctx);
+  }
+
+  if (BeforeSweep)
+    BeforeSweep();
+
+  Stats.ObjectsVisited += Tracer.objectsVisited();
+  Stats.BytesReclaimed += TheHeap.sweep();
+}
+
+} // namespace detail
+} // namespace gcassert
+
+#endif // GCASSERT_SRC_GC_MARKSWEEPCYCLE_H

@@ -1,0 +1,112 @@
+//===- CompactHeap.cpp - Sliding-compaction heap --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/CompactHeap.h"
+
+#include "gcassert/support/Compiler.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace gcassert;
+
+static size_t alignUp(size_t Size) {
+  return (Size + sizeof(void *) - 1) & ~(sizeof(void *) - 1);
+}
+
+CompactHeap::CompactHeap(TypeRegistry &Types, const CompactHeapConfig &Config)
+    : Heap(Types) {
+  CapacityBytes = alignUp(std::max<size_t>(Config.CapacityBytes, 4096));
+  Storage = std::make_unique<uint8_t[]>(CapacityBytes);
+  Bump = Storage.get();
+  Stats.BytesCapacity = CapacityBytes;
+}
+
+ObjRef CompactHeap::allocate(TypeId Id, uint64_t ArrayLength) {
+  size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
+  if (GCA_UNLIKELY(Bump + Size > Storage.get() + CapacityBytes))
+    return nullptr;
+
+  auto *Obj = reinterpret_cast<ObjRef>(Bump);
+  Bump += Size;
+  std::memset(static_cast<void *>(Obj), 0, Size);
+  Obj->header().Type = Id;
+  const TypeInfo &Type = Types.get(Id);
+  if (Type.isArray())
+    Obj->setArrayLength(ArrayLength);
+
+  Stats.BytesAllocated += Size;
+  Stats.BytesInUse += Size;
+  ++Stats.ObjectsAllocated;
+  return Obj;
+}
+
+size_t CompactHeap::objectSize(ObjRef Obj) const {
+  const TypeInfo &Type = Types.get(Obj->typeId());
+  uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+  return alignUp(Types.allocationSize(Obj->typeId(), Length));
+}
+
+ObjRef CompactionPlan::lookup(ObjRef Obj) const {
+  auto It = std::lower_bound(
+      Moves.begin(), Moves.end(), Obj,
+      [](const Move &M, ObjRef Target) { return M.From < Target; });
+  if (It != Moves.end() && It->From == Obj)
+    return It->To;
+  return nullptr;
+}
+
+CompactionPlan CompactHeap::planCompaction() {
+  CompactionPlan Plan;
+  uint8_t *Cursor = Storage.get();
+  uint8_t *Target = Storage.get();
+  while (Cursor < Bump) {
+    auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+    size_t Size = objectSize(Obj);
+    if (Obj->header().isMarked()) {
+      Plan.Moves.push_back(
+          {Obj, reinterpret_cast<ObjRef>(Target)}); // Already address-sorted.
+      Target += Size;
+    }
+    Cursor += Size;
+  }
+  return Plan;
+}
+
+void CompactHeap::executeCompaction(const CompactionPlan &Plan) {
+  uint8_t *Target = Storage.get();
+  for (const CompactionPlan::Move &Move : Plan.Moves) {
+    size_t Size = objectSize(Move.From);
+    assert(reinterpret_cast<uint8_t *>(Move.To) == Target &&
+           "plan must be dense and in address order");
+    // Sliding down in ascending order: the destination never overlaps a
+    // not-yet-moved live object destructively; memmove handles the
+    // self-overlap of a short slide.
+    if (Move.From != Move.To)
+      std::memmove(static_cast<void *>(Move.To),
+                   static_cast<const void *>(Move.From), Size);
+    Move.To->header().clearMarked();
+    Target += Size;
+  }
+  Bump = Target;
+  LiveBytesAfterGc = static_cast<uint64_t>(Bump - Storage.get());
+  Stats.BytesInUse = LiveBytesAfterGc;
+}
+
+void CompactHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  uint8_t *Cursor = Storage.get();
+  while (Cursor < Bump) {
+    auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+    assert(Obj->header().isObject() && "compact-heap walk hit a non-object");
+    Cursor += objectSize(Obj);
+    Fn(Obj);
+  }
+}
+
+bool CompactHeap::contains(const void *Ptr) const {
+  const uint8_t *P = static_cast<const uint8_t *>(Ptr);
+  return P >= Storage.get() && P < Storage.get() + CapacityBytes;
+}

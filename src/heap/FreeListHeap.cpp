@@ -1,0 +1,285 @@
+//===- FreeListHeap.cpp - Segregated free-list heap -------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/FreeListHeap.h"
+
+#include "gcassert/support/Compiler.h"
+#include "gcassert/support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+using namespace gcassert;
+
+Heap::~Heap() = default;
+
+namespace {
+
+/// The segregated-fit size classes: fine-grained steps for small objects,
+/// coarser steps up to 8 KiB. Larger requests go to the large-object space.
+constexpr size_t MaxSmallSize = 8192;
+
+struct SizeClassTable {
+  std::vector<size_t> CellSizes;
+  /// Maps (size + 7) / 8 to a class index, for size in [1, MaxSmallSize].
+  std::vector<uint32_t> ClassForWord;
+
+  SizeClassTable() {
+    for (size_t S = 16; S <= 128; S += 8)
+      CellSizes.push_back(S);
+    for (size_t S = 160; S <= 512; S += 32)
+      CellSizes.push_back(S);
+    for (size_t S = 640; S <= 2048; S += 128)
+      CellSizes.push_back(S);
+    for (size_t S = 2560; S <= MaxSmallSize; S += 512)
+      CellSizes.push_back(S);
+
+    ClassForWord.resize(MaxSmallSize / 8 + 1);
+    uint32_t Class = 0;
+    for (size_t Words = 0; Words <= MaxSmallSize / 8; ++Words) {
+      size_t Size = Words * 8;
+      while (CellSizes[Class] < Size)
+        ++Class;
+      ClassForWord[Words] = Class;
+    }
+  }
+
+  uint32_t classFor(size_t Size) const {
+    assert(Size > 0 && Size <= MaxSmallSize && "not a small allocation");
+    return ClassForWord[(Size + 7) / 8];
+  }
+};
+
+const SizeClassTable &sizeClasses() {
+  static SizeClassTable Table;
+  return Table;
+}
+
+} // namespace
+
+size_t FreeListHeap::sizeClassCellSize(size_t Bytes) {
+  if (Bytes > MaxSmallSize)
+    return 0;
+  const SizeClassTable &Table = sizeClasses();
+  return Table.CellSizes[Table.classFor(Bytes)];
+}
+
+FreeListHeap::FreeListHeap(TypeRegistry &Types,
+                           const FreeListHeapConfig &Config)
+    : Heap(Types) {
+  size_t BlockCount = std::max<size_t>(1, Config.CapacityBytes / BlockSize);
+  ArenaBytes = BlockCount * BlockSize;
+  Arena = std::make_unique<uint8_t[]>(ArenaBytes);
+  Blocks.resize(BlockCount);
+  FreeBlocks.reserve(BlockCount);
+  // Push in reverse so blocks are handed out in ascending address order.
+  for (size_t I = BlockCount; I != 0; --I)
+    FreeBlocks.push_back(I - 1);
+  FreeLists.assign(sizeClasses().CellSizes.size(), nullptr);
+  // The large-object space is a bounded overflow area on top of the arena.
+  LargeBudget = ArenaBytes / 4;
+  Stats.BytesCapacity = ArenaBytes + LargeBudget;
+}
+
+FreeListHeap::~FreeListHeap() {
+  for (LargeObject &Large : LargeObjects)
+    std::free(Large.Storage);
+}
+
+bool FreeListHeap::carveBlock(uint32_t ClassIndex) {
+  if (FreeBlocks.empty())
+    return false;
+  size_t BlockIndex = FreeBlocks.back();
+  FreeBlocks.pop_back();
+  Blocks[BlockIndex].SizeClass = ClassIndex;
+
+  size_t CellSize = sizeClasses().CellSizes[ClassIndex];
+  uint8_t *Base = blockBase(BlockIndex);
+  void *Head = FreeLists[ClassIndex];
+  // Thread the cells back to front so the free list hands them out in
+  // ascending address order.
+  size_t CellCount = BlockSize / CellSize;
+  for (size_t I = CellCount; I != 0; --I) {
+    uint8_t *Cell = Base + (I - 1) * CellSize;
+    auto *Hdr = reinterpret_cast<ObjectHeader *>(Cell);
+    Hdr->Type = InvalidTypeId;
+    Hdr->Flags = 0;
+    std::memcpy(Cell + sizeof(ObjectHeader), &Head, sizeof(void *));
+    Head = Cell;
+  }
+  FreeLists[ClassIndex] = Head;
+  return true;
+}
+
+ObjRef FreeListHeap::allocateSmall(size_t CellSize, uint32_t ClassIndex) {
+  if (GCA_UNLIKELY(!FreeLists[ClassIndex]))
+    if (!carveBlock(ClassIndex))
+      return nullptr;
+
+  uint8_t *Cell = static_cast<uint8_t *>(FreeLists[ClassIndex]);
+  void *Next;
+  std::memcpy(&Next, Cell + sizeof(ObjectHeader), sizeof(void *));
+  FreeLists[ClassIndex] = Next;
+
+  std::memset(Cell + sizeof(ObjectHeader), 0, CellSize - sizeof(ObjectHeader));
+  Stats.BytesAllocated += CellSize;
+  Stats.BytesInUse += CellSize;
+  ++Stats.ObjectsAllocated;
+  return reinterpret_cast<ObjRef>(Cell);
+}
+
+ObjRef FreeListHeap::allocateLarge(size_t Size) {
+  if (LargeBytesInUse + Size > LargeBudget)
+    return nullptr;
+  void *Storage = std::calloc(1, Size);
+  if (!Storage)
+    reportFatalError("host allocation failed for large object");
+  LargeObjects.push_back({Storage, Size});
+  LargeObjectSet.insert(Storage);
+  LargeBytesInUse += Size;
+  Stats.BytesAllocated += Size;
+  Stats.BytesInUse += Size;
+  ++Stats.ObjectsAllocated;
+  return reinterpret_cast<ObjRef>(Storage);
+}
+
+ObjRef FreeListHeap::allocate(TypeId Id, uint64_t ArrayLength) {
+  size_t Size = Types.allocationSize(Id, ArrayLength);
+  ObjRef Obj;
+  if (GCA_LIKELY(Size <= MaxSmallSize)) {
+    uint32_t ClassIndex = sizeClasses().classFor(Size);
+    Obj = allocateSmall(sizeClasses().CellSizes[ClassIndex], ClassIndex);
+  } else {
+    Obj = allocateLarge(Size);
+  }
+  if (GCA_UNLIKELY(!Obj))
+    return nullptr;
+
+  Obj->header().Type = Id;
+  Obj->header().Flags = 0;
+  const TypeInfo &Type = Types.get(Id);
+  if (Type.isArray())
+    Obj->setArrayLength(ArrayLength);
+  return Obj;
+}
+
+size_t FreeListHeap::sweep() {
+  size_t Reclaimed = 0;
+  uint64_t LiveBytes = 0;
+
+  std::fill(FreeLists.begin(), FreeLists.end(), nullptr);
+  const std::vector<size_t> &CellSizes = sizeClasses().CellSizes;
+
+  for (size_t BlockIndex = 0, E = Blocks.size(); BlockIndex != E;
+       ++BlockIndex) {
+    BlockInfo &Info = Blocks[BlockIndex];
+    if (Info.SizeClass == ~0u)
+      continue;
+    size_t CellSize = CellSizes[Info.SizeClass];
+    uint8_t *Base = blockBase(BlockIndex);
+    size_t CellCount = BlockSize / CellSize;
+
+    // First pass: is anything in this block still live?
+    size_t LiveInBlock = 0;
+    for (size_t I = 0; I != CellCount; ++I) {
+      auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
+      if (Hdr->isObject() && Hdr->isMarked())
+        ++LiveInBlock;
+    }
+
+    if (LiveInBlock == 0) {
+      // Return the whole block to the pool so any size class can reuse it.
+      for (size_t I = 0; I != CellCount; ++I) {
+        auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
+        if (Hdr->isObject()) {
+          Reclaimed += CellSize;
+          Hdr->Type = InvalidTypeId;
+          Hdr->Flags = 0;
+        }
+      }
+      Info.SizeClass = ~0u;
+      FreeBlocks.push_back(BlockIndex);
+      continue;
+    }
+
+    // Second pass: reclaim dead cells and rebuild this block's free cells,
+    // threading back to front for ascending hand-out order.
+    void *Head = FreeLists[Info.SizeClass];
+    for (size_t I = CellCount; I != 0; --I) {
+      uint8_t *Cell = Base + (I - 1) * CellSize;
+      auto *Hdr = reinterpret_cast<ObjectHeader *>(Cell);
+      if (Hdr->isObject()) {
+        if (Hdr->isMarked()) {
+          Hdr->clearMarked();
+          LiveBytes += CellSize;
+          continue;
+        }
+        Reclaimed += CellSize;
+        Hdr->Type = InvalidTypeId;
+        Hdr->Flags = 0;
+      }
+      std::memcpy(Cell + sizeof(ObjectHeader), &Head, sizeof(void *));
+      Head = Cell;
+    }
+    FreeLists[Info.SizeClass] = Head;
+  }
+
+  sweepLargeObjects(Reclaimed);
+  LiveBytes += LargeBytesInUse;
+
+  LiveBytesAfterSweep = LiveBytes;
+  Stats.BytesInUse = LiveBytes;
+  return Reclaimed;
+}
+
+void FreeListHeap::sweepLargeObjects(size_t &Reclaimed) {
+  size_t Out = 0;
+  for (size_t I = 0, E = LargeObjects.size(); I != E; ++I) {
+    LargeObject &Large = LargeObjects[I];
+    auto *Hdr = static_cast<ObjectHeader *>(Large.Storage);
+    if (Hdr->isMarked()) {
+      Hdr->clearMarked();
+      LargeObjects[Out++] = Large;
+      continue;
+    }
+    Reclaimed += Large.Size;
+    LargeBytesInUse -= Large.Size;
+    LargeObjectSet.erase(Large.Storage);
+    std::free(Large.Storage);
+  }
+  LargeObjects.resize(Out);
+}
+
+void FreeListHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  const std::vector<size_t> &CellSizes = sizeClasses().CellSizes;
+  for (size_t BlockIndex = 0, E = Blocks.size(); BlockIndex != E;
+       ++BlockIndex) {
+    const BlockInfo &Info = Blocks[BlockIndex];
+    if (Info.SizeClass == ~0u)
+      continue;
+    size_t CellSize = CellSizes[Info.SizeClass];
+    uint8_t *Base = blockBase(BlockIndex);
+    for (size_t I = 0, N = BlockSize / CellSize; I != N; ++I) {
+      auto *Obj = reinterpret_cast<ObjRef>(Base + I * CellSize);
+      if (Obj->header().isObject())
+        Fn(Obj);
+    }
+  }
+  for (const LargeObject &Large : LargeObjects)
+    Fn(static_cast<ObjRef>(Large.Storage));
+}
+
+bool FreeListHeap::contains(const void *Ptr) const {
+  const uint8_t *P = static_cast<const uint8_t *>(Ptr);
+  if (P >= Arena.get() && P < Arena.get() + ArenaBytes)
+    return true;
+  return LargeObjectSet.count(Ptr) != 0;
+}
+
+size_t FreeListHeap::carvedBlockCount() const {
+  return Blocks.size() - FreeBlocks.size();
+}

@@ -1,0 +1,143 @@
+//===- GenerationalHeap.cpp - Nursery + old gen ---------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/GenerationalHeap.h"
+
+#include "gcassert/support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace gcassert;
+
+StoreBarrier::~StoreBarrier() = default;
+
+StoreBarrier *gcassert::detail::ActiveStoreBarrier = nullptr;
+
+static size_t alignUp(size_t Size) {
+  return (Size + sizeof(void *) - 1) & ~(sizeof(void *) - 1);
+}
+
+GenerationalHeap::GenerationalHeap(TypeRegistry &Types,
+                                   const GenerationalHeapConfig &Config)
+    : Heap(Types) {
+  NurseryBytes = Config.NurseryBytes;
+  if (NurseryBytes == 0)
+    NurseryBytes = std::clamp<size_t>(Config.CapacityBytes / 8, 256u * 1024,
+                                      4u * 1024 * 1024);
+  NurseryBytes = alignUp(NurseryBytes);
+  Nursery = std::make_unique<uint8_t[]>(NurseryBytes);
+  NurseryBump = Nursery.get();
+
+  FreeListHeapConfig OldConfig;
+  OldConfig.CapacityBytes = Config.CapacityBytes > NurseryBytes
+                                ? Config.CapacityBytes - NurseryBytes
+                                : Config.CapacityBytes;
+  OldGen = std::make_unique<FreeListHeap>(Types, OldConfig);
+  Stats.BytesCapacity = NurseryBytes + OldGen->stats().BytesCapacity;
+
+  if (detail::ActiveStoreBarrier)
+    reportFatalError("only one generational heap may be live per process");
+  detail::ActiveStoreBarrier = this;
+}
+
+GenerationalHeap::~GenerationalHeap() {
+  assert(detail::ActiveStoreBarrier == this && "barrier hijacked");
+  detail::ActiveStoreBarrier = nullptr;
+}
+
+ObjRef GenerationalHeap::allocateInNursery(size_t Size) {
+  if (GCA_UNLIKELY(NurseryBump + Size > Nursery.get() + NurseryBytes))
+    return nullptr;
+  auto *Obj = reinterpret_cast<ObjRef>(NurseryBump);
+  NurseryBump += Size;
+  std::memset(static_cast<void *>(Obj), 0, Size);
+  return Obj;
+}
+
+ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
+  size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
+
+  // Objects too large for a quarter of the nursery are allocated directly
+  // in the old generation (pretenuring large arrays, the usual policy).
+  if (GCA_UNLIKELY(Size > NurseryBytes / 4)) {
+    ObjRef Pretenured = OldGen->allocate(Id, ArrayLength);
+    if (Pretenured) {
+      Stats.BytesAllocated += Size;
+      ++Stats.ObjectsAllocated;
+    }
+    return Pretenured;
+  }
+
+  ObjRef Obj = allocateInNursery(Size);
+  if (GCA_UNLIKELY(!Obj))
+    return nullptr; // Nursery full: the VM runs a (minor) collection.
+
+  Obj->header().Type = Id;
+  Obj->header().Flags = 0;
+  const TypeInfo &Type = Types.get(Id);
+  if (Type.isArray())
+    Obj->setArrayLength(ArrayLength);
+
+  Stats.BytesAllocated += Size;
+  Stats.BytesInUse += Size;
+  ++Stats.ObjectsAllocated;
+  return Obj;
+}
+
+ObjRef GenerationalHeap::promote(ObjRef Obj) {
+  assert(inNursery(Obj) && "promoting a non-nursery object");
+  assert(!Obj->isForwarded() && "object already promoted");
+
+  const TypeInfo &Type = Types.get(Obj->typeId());
+  uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+  ObjRef To = OldGen->allocate(Obj->typeId(), Length);
+  if (GCA_UNLIKELY(!To))
+    reportFatalError("old generation exhausted during nursery promotion");
+
+  // Copy the payload and carry the assertion bits across generations
+  // (assert-dead, assert-unshared, ownership flags all live in the header).
+  size_t PayloadBytes = Types.allocationSize(Obj->typeId(), Length) -
+                        sizeof(ObjectHeader);
+  std::memcpy(To->payload(), Obj->payload(), PayloadBytes);
+  To->header().Flags = Obj->header().Flags;
+  Obj->forwardTo(To);
+  return To;
+}
+
+void GenerationalHeap::finishMinorCollection() {
+  NurseryBump = Nursery.get();
+  RememberedSet.clear();
+  Stats.BytesInUse = OldGen->stats().BytesInUse;
+}
+
+void GenerationalHeap::clearNurseryMarks() {
+  uint8_t *Cursor = Nursery.get();
+  while (Cursor < NurseryBump) {
+    auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+    Cursor += alignUp(Types.allocationSize(Obj->typeId(), Length));
+    Obj->header().clearMarked();
+  }
+}
+
+void GenerationalHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  OldGen->forEachObject(Fn);
+  uint8_t *Cursor = Nursery.get();
+  while (Cursor < NurseryBump) {
+    auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+    assert(Obj->header().isObject() && "nursery walk hit a non-object");
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+    Cursor += alignUp(Types.allocationSize(Obj->typeId(), Length));
+    Fn(Obj);
+  }
+}
+
+bool GenerationalHeap::contains(const void *Ptr) const {
+  return inNursery(Ptr) || OldGen->contains(Ptr);
+}

@@ -1,0 +1,63 @@
+//===- HeapDiff.cpp - Histogram differencing ------------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/HeapDiff.h"
+
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gcassert;
+
+std::vector<TypeDelta> gcassert::diffHeapHistograms(
+    const std::vector<TypeOccupancy> &Before,
+    const std::vector<TypeOccupancy> &After) {
+  std::map<std::string, TypeDelta> ByName;
+  for (const TypeOccupancy &Row : Before) {
+    TypeDelta &Delta = ByName[Row.TypeName];
+    Delta.TypeName = Row.TypeName;
+    Delta.InstanceDelta -= static_cast<int64_t>(Row.Instances);
+    Delta.ByteDelta -= static_cast<int64_t>(Row.Bytes);
+  }
+  for (const TypeOccupancy &Row : After) {
+    TypeDelta &Delta = ByName[Row.TypeName];
+    Delta.TypeName = Row.TypeName;
+    Delta.InstanceDelta += static_cast<int64_t>(Row.Instances);
+    Delta.ByteDelta += static_cast<int64_t>(Row.Bytes);
+  }
+
+  std::vector<TypeDelta> Diff;
+  for (auto &[Name, Delta] : ByName)
+    if (Delta.InstanceDelta != 0 || Delta.ByteDelta != 0)
+      Diff.push_back(std::move(Delta));
+  std::sort(Diff.begin(), Diff.end(),
+            [](const TypeDelta &A, const TypeDelta &B) {
+              if (A.ByteDelta != B.ByteDelta)
+                return A.ByteDelta > B.ByteDelta;
+              return A.TypeName < B.TypeName;
+            });
+  return Diff;
+}
+
+void gcassert::printHeapDiff(OStream &Out,
+                             const std::vector<TypeDelta> &Diff,
+                             size_t MaxRows) {
+  Out << format("%-48s %12s %14s\n", "type", "d instances", "d bytes");
+  size_t Printed = 0;
+  for (const TypeDelta &Row : Diff) {
+    if (MaxRows != 0 && Printed >= MaxRows)
+      break;
+    Out << format("%-48s %+12lld %+14lld\n", Row.TypeName.c_str(),
+                  static_cast<long long>(Row.InstanceDelta),
+                  static_cast<long long>(Row.ByteDelta));
+    ++Printed;
+  }
+  if (Printed < Diff.size())
+    Out << format("  ... %llu more types\n",
+                  static_cast<unsigned long long>(Diff.size() - Printed));
+}

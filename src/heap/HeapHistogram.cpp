@@ -1,0 +1,68 @@
+//===- HeapHistogram.cpp - Per-type occupancy -----------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/HeapHistogram.h"
+
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace gcassert;
+
+std::vector<TypeOccupancy> gcassert::takeHeapHistogram(Heap &TheHeap) {
+  TypeRegistry &Types = TheHeap.types();
+  std::unordered_map<TypeId, TypeOccupancy> ByType;
+
+  TheHeap.forEachObject([&](ObjRef Obj) {
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+    TypeOccupancy &Row = ByType[Obj->typeId()];
+    if (Row.Instances == 0) {
+      Row.Type = Obj->typeId();
+      Row.TypeName = Type.name();
+    }
+    ++Row.Instances;
+    Row.Bytes += Types.allocationSize(Obj->typeId(), Length);
+  });
+
+  std::vector<TypeOccupancy> Histogram;
+  Histogram.reserve(ByType.size());
+  for (auto &[Type, Row] : ByType)
+    Histogram.push_back(std::move(Row));
+  std::sort(Histogram.begin(), Histogram.end(),
+            [](const TypeOccupancy &A, const TypeOccupancy &B) {
+              if (A.Bytes != B.Bytes)
+                return A.Bytes > B.Bytes;
+              return A.TypeName < B.TypeName;
+            });
+  return Histogram;
+}
+
+void gcassert::printHeapHistogram(
+    OStream &Out, const std::vector<TypeOccupancy> &Histogram,
+    size_t MaxRows) {
+  Out << format("%-48s %12s %14s\n", "type", "instances", "bytes");
+  uint64_t TotalInstances = 0, TotalBytes = 0;
+  size_t Printed = 0;
+  for (const TypeOccupancy &Row : Histogram) {
+    TotalInstances += Row.Instances;
+    TotalBytes += Row.Bytes;
+    if (MaxRows == 0 || Printed < MaxRows) {
+      Out << format("%-48s %12llu %14llu\n", Row.TypeName.c_str(),
+                    static_cast<unsigned long long>(Row.Instances),
+                    static_cast<unsigned long long>(Row.Bytes));
+      ++Printed;
+    }
+  }
+  if (Printed < Histogram.size())
+    Out << format("  ... %llu more types\n",
+                  static_cast<unsigned long long>(Histogram.size() - Printed));
+  Out << format("%-48s %12llu %14llu\n", "(total)",
+                static_cast<unsigned long long>(TotalInstances),
+                static_cast<unsigned long long>(TotalBytes));
+}

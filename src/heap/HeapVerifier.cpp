@@ -1,0 +1,72 @@
+//===- HeapVerifier.cpp - Heap integrity checks --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/HeapVerifier.h"
+
+#include "gcassert/support/Format.h"
+
+using namespace gcassert;
+
+void HeapVerifier::checkReference(ObjRef Holder, const char *What,
+                                  ObjRef Target,
+                                  std::vector<HeapDefect> &Defects) {
+  if (!Target)
+    return;
+  if (reinterpret_cast<uintptr_t>(Target) % sizeof(void *) != 0) {
+    Defects.push_back(
+        {Holder, format("%s holds a misaligned reference %p", What,
+                        static_cast<void *>(Target))});
+    return;
+  }
+  if (!TheHeap.contains(Target)) {
+    Defects.push_back(
+        {Holder, format("%s points outside the heap (%p)", What,
+                        static_cast<void *>(Target))});
+    return;
+  }
+  TypeId TargetType = Target->typeId();
+  if (TargetType == InvalidTypeId || TargetType > TheHeap.types().size())
+    Defects.push_back(
+        {Holder, format("%s points at a non-object (type id %u)", What,
+                        TargetType)});
+}
+
+std::vector<HeapDefect> HeapVerifier::verify() {
+  std::vector<HeapDefect> Defects;
+  TypeRegistry &Types = TheHeap.types();
+
+  TheHeap.forEachObject([&](ObjRef Obj) {
+    TypeId Id = Obj->typeId();
+    if (Id == InvalidTypeId || Id > Types.size()) {
+      Defects.push_back({Obj, format("unregistered type id %u", Id)});
+      return; // Layout unknown: nothing further to check safely.
+    }
+
+    const ObjectHeader &Hdr = Obj->header();
+    if (Hdr.isMarked())
+      Defects.push_back({Obj, "mark bit set outside a collection"});
+    if (Hdr.testFlag(HF_Forwarded))
+      Defects.push_back({Obj, "forwarding bit set outside a collection"});
+
+    const TypeInfo &Type = Types.get(Id);
+    switch (Type.kind()) {
+    case TypeKind::Class:
+      for (uint32_t Offset : Type.refOffsets()) {
+        const FieldInfo *Field = Type.fieldAtOffset(Offset);
+        checkReference(Obj, Field ? Field->Name.c_str() : "field",
+                       Obj->getRef(Offset), Defects);
+      }
+      break;
+    case TypeKind::RefArray:
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        checkReference(Obj, "element", Obj->getElement(I), Defects);
+      break;
+    case TypeKind::DataArray:
+      break;
+    }
+  });
+  return Defects;
+}

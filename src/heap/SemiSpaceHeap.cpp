@@ -1,0 +1,105 @@
+//===- SemiSpaceHeap.cpp - Two-space copying heap ---------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/SemiSpaceHeap.h"
+
+#include "gcassert/support/Compiler.h"
+#include "gcassert/support/ErrorHandling.h"
+
+#include <cstring>
+
+using namespace gcassert;
+
+static size_t alignUp(size_t Size) {
+  return (Size + sizeof(void *) - 1) & ~(sizeof(void *) - 1);
+}
+
+SemiSpaceHeap::SemiSpaceHeap(TypeRegistry &Types,
+                             const SemiSpaceHeapConfig &Config)
+    : Heap(Types) {
+  HalfBytes = alignUp(Config.CapacityBytes / 2);
+  if (HalfBytes < 4096)
+    HalfBytes = 4096;
+  Storage = std::make_unique<uint8_t[]>(HalfBytes * 2);
+  Bump = spaceBase(CurrentSpace);
+  Limit = Bump + HalfBytes;
+  Stats.BytesCapacity = HalfBytes * 2;
+}
+
+ObjRef SemiSpaceHeap::allocate(TypeId Id, uint64_t ArrayLength) {
+  size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
+  if (GCA_UNLIKELY(Bump + Size > Limit))
+    return nullptr;
+
+  auto *Obj = reinterpret_cast<ObjRef>(Bump);
+  Bump += Size;
+  std::memset(static_cast<void *>(Obj), 0, Size);
+  Obj->header().Type = Id;
+  const TypeInfo &Type = Types.get(Id);
+  if (Type.isArray())
+    Obj->setArrayLength(ArrayLength);
+
+  Stats.BytesAllocated += Size;
+  Stats.BytesInUse += Size;
+  ++Stats.ObjectsAllocated;
+  return Obj;
+}
+
+size_t SemiSpaceHeap::objectSize(ObjRef Obj) const {
+  const TypeInfo &Type = Types.get(Obj->typeId());
+  uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+  return alignUp(Types.allocationSize(Obj->typeId(), Length));
+}
+
+void SemiSpaceHeap::beginCollection() {
+  assert(!Collecting && "collection already in progress");
+  Collecting = true;
+  CopyBump = spaceBase(1 - CurrentSpace);
+}
+
+ObjRef SemiSpaceHeap::copyObject(ObjRef From) {
+  assert(Collecting && "copyObject outside a collection");
+  assert(!From->isForwarded() && "object already evacuated");
+  // The object's array length is still intact (forwarding overwrites the
+  // first payload word only after the copy).
+  size_t Size = objectSize(From);
+  uint8_t *ToLimit = spaceBase(1 - CurrentSpace) + HalfBytes;
+  if (CopyBump + Size > ToLimit)
+    reportFatalError("semispace to-space overflow during evacuation");
+
+  auto *To = reinterpret_cast<ObjRef>(CopyBump);
+  CopyBump += Size;
+  std::memcpy(static_cast<void *>(To), static_cast<const void *>(From), Size);
+  From->forwardTo(To);
+  return To;
+}
+
+void SemiSpaceHeap::finishCollection() {
+  assert(Collecting && "no collection in progress");
+  Collecting = false;
+  CurrentSpace = 1 - CurrentSpace;
+  Bump = CopyBump;
+  Limit = spaceBase(CurrentSpace) + HalfBytes;
+  CopyBump = nullptr;
+  LiveBytesAfterGc =
+      static_cast<uint64_t>(Bump - spaceBase(CurrentSpace));
+  Stats.BytesInUse = LiveBytesAfterGc;
+}
+
+void SemiSpaceHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  uint8_t *Cursor = spaceBase(CurrentSpace);
+  while (Cursor < Bump) {
+    auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+    assert(Obj->header().isObject() && "semispace walk hit a non-object");
+    Cursor += objectSize(Obj);
+    Fn(Obj);
+  }
+}
+
+bool SemiSpaceHeap::contains(const void *Ptr) const {
+  const uint8_t *P = static_cast<const uint8_t *>(Ptr);
+  return P >= Storage.get() && P < Storage.get() + HalfBytes * 2;
+}

@@ -1,0 +1,119 @@
+//===- TypeRegistry.cpp - Type registration --------------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/TypeRegistry.h"
+
+#include "gcassert/heap/Object.h"
+#include "gcassert/support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace gcassert;
+
+const FieldInfo *TypeInfo::fieldAtOffset(uint32_t Offset) const {
+  for (const FieldInfo &Field : Fields)
+    if (Field.Offset == Offset)
+      return &Field;
+  return nullptr;
+}
+
+TypeRegistry::TypeRegistry() {
+  // Slot 0 is the reserved invalid id; keep a null placeholder so TypeIds
+  // index the table directly.
+  Types.push_back(nullptr);
+}
+
+TypeId TypeRegistry::add(std::unique_ptr<TypeInfo> Type) {
+  if (ByName.count(Type->Name))
+    reportFatalError("duplicate managed type name");
+  TypeId Id = static_cast<TypeId>(Types.size());
+  Type->Id = Id;
+  ByName.emplace(Type->Name, Id);
+  Types.push_back(std::move(Type));
+  return Id;
+}
+
+TypeId TypeRegistry::registerRefArray(const std::string &Name) {
+  auto Type = std::make_unique<TypeInfo>();
+  Type->Name = Name;
+  Type->Kind = TypeKind::RefArray;
+  Type->ElementSize = sizeof(ObjRef);
+  return add(std::move(Type));
+}
+
+TypeId TypeRegistry::registerDataArray(const std::string &Name,
+                                       uint32_t ElementSize) {
+  assert(ElementSize > 0 && "array elements must have positive size");
+  auto Type = std::make_unique<TypeInfo>();
+  Type->Name = Name;
+  Type->Kind = TypeKind::DataArray;
+  Type->ElementSize = ElementSize;
+  return add(std::move(Type));
+}
+
+const TypeInfo *TypeRegistry::lookup(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return nullptr;
+  return Types[It->second].get();
+}
+
+size_t TypeRegistry::allocationSize(TypeId Id, uint64_t ArrayLength) const {
+  const TypeInfo &Type = get(Id);
+  size_t Size = sizeof(ObjectHeader);
+  switch (Type.kind()) {
+  case TypeKind::Class:
+    assert(ArrayLength == 0 && "class types take no array length");
+    Size += Type.payloadSize();
+    break;
+  case TypeKind::RefArray:
+  case TypeKind::DataArray:
+    Size += sizeof(uint64_t) + ArrayLength * Type.elementSize();
+    break;
+  }
+  // Every object needs at least one payload word: the free-list and the
+  // semispace forwarding pointer both live in the first payload word.
+  const size_t MinObjectSize = sizeof(ObjectHeader) + sizeof(void *);
+  return Size < MinObjectSize ? MinObjectSize : Size;
+}
+
+TypeBuilder::TypeBuilder(TypeRegistry &Registry, const std::string &Name)
+    : Registry(Registry), Type(std::make_unique<TypeInfo>()) {
+  Type->Name = Name;
+  Type->Kind = TypeKind::Class;
+}
+
+static uint32_t alignTo(uint32_t Value, uint32_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+uint32_t TypeBuilder::addRef(const std::string &FieldName) {
+  assert(Type && "builder already consumed");
+  NextOffset = alignTo(NextOffset, sizeof(ObjRef));
+  uint32_t Offset = NextOffset;
+  Type->RefOffsets.push_back(Offset);
+  Type->Fields.push_back(
+      FieldInfo{FieldName, Offset, sizeof(ObjRef), /*IsRef=*/true});
+  NextOffset += sizeof(ObjRef);
+  return Offset;
+}
+
+uint32_t TypeBuilder::addScalar(const std::string &FieldName, uint32_t Size) {
+  assert(Type && "builder already consumed");
+  assert(Size > 0 && Size <= 8 && "scalar fields are 1 to 8 bytes");
+  uint32_t Align = Size >= 8 ? 8 : Size;
+  NextOffset = alignTo(NextOffset, Align);
+  uint32_t Offset = NextOffset;
+  Type->Fields.push_back(FieldInfo{FieldName, Offset, Size, /*IsRef=*/false});
+  NextOffset += Size;
+  return Offset;
+}
+
+TypeId TypeBuilder::build() {
+  assert(Type && "builder already consumed");
+  Type->PayloadSize = alignTo(NextOffset, sizeof(void *));
+  return Registry.add(std::move(Type));
+}

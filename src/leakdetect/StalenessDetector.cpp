@@ -1,0 +1,44 @@
+//===- StalenessDetector.cpp - Staleness-based leak detection ----------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/leakdetect/StalenessDetector.h"
+
+#include "gcassert/support/ErrorHandling.h"
+
+using namespace gcassert;
+
+StalenessDetector::StalenessDetector(Vm &TheVm) : TheVm(TheVm) {
+  if (TheVm.collectorKind() != CollectorKind::MarkSweep)
+    reportFatalError("StalenessDetector requires the non-moving collector");
+  TheVm.setAllocationListener([this](ObjRef Obj) { LastAccess[Obj] = Clock; });
+}
+
+StalenessDetector::~StalenessDetector() {
+  TheVm.setAllocationListener(nullptr);
+}
+
+std::vector<StaleCandidate> StalenessDetector::scan(uint64_t StaleAge) {
+  std::vector<StaleCandidate> Candidates;
+  std::unordered_map<ObjRef, uint64_t> LiveOnly;
+  LiveOnly.reserve(LastAccess.size());
+
+  TheVm.heap().forEachObject([&](ObjRef Obj) {
+    auto It = LastAccess.find(Obj);
+    // Objects allocated while the listener was detached have no record;
+    // treat them as touched now (conservative: never reported).
+    uint64_t Last = It != LastAccess.end() ? It->second : Clock;
+    LiveOnly.emplace(Obj, Last);
+    uint64_t Age = Clock >= Last ? Clock - Last : 0;
+    if (Age >= StaleAge)
+      Candidates.push_back(
+          {Obj, TheVm.types().get(Obj->typeId()).name(), Age});
+  });
+
+  // Drop bookkeeping for objects that no longer exist (their cells may be
+  // reused by future allocations).
+  LastAccess = std::move(LiveOnly);
+  return Candidates;
+}

@@ -1,0 +1,46 @@
+//===- TypeGrowthDetector.cpp - Heap-differencing leak detection --------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/leakdetect/TypeGrowthDetector.h"
+
+using namespace gcassert;
+
+void TypeGrowthDetector::snapshot() {
+  std::unordered_map<TypeId, uint64_t> BytesNow;
+  TypeRegistry &Types = TheVm.types();
+  TheVm.heap().forEachObject([&](ObjRef Obj) {
+    uint64_t Length =
+        Types.get(Obj->typeId()).isArray() ? Obj->arrayLength() : 0;
+    BytesNow[Obj->typeId()] += Types.allocationSize(Obj->typeId(), Length);
+  });
+
+  // Update growth streaks; a type that shrank or vanished resets.
+  for (auto &[Type, Hist] : History) {
+    auto It = BytesNow.find(Type);
+    uint64_t Now = It != BytesNow.end() ? It->second : 0;
+    if (Now > Hist.LastBytes)
+      ++Hist.ConsecutiveGrowth;
+    else
+      Hist.ConsecutiveGrowth = 0;
+    Hist.LastBytes = Now;
+  }
+  // Types seen for the first time start a history at zero growth.
+  for (const auto &[Type, Bytes] : BytesNow)
+    if (!History.count(Type))
+      History[Type] = {Bytes, 0};
+
+  ++Snapshots;
+}
+
+std::vector<GrowthCandidate>
+TypeGrowthDetector::report(size_t MinConsecutive) const {
+  std::vector<GrowthCandidate> Candidates;
+  for (const auto &[Type, Hist] : History)
+    if (Hist.ConsecutiveGrowth >= MinConsecutive && Hist.LastBytes > 0)
+      Candidates.push_back({TheVm.types().get(Type).name(), Hist.LastBytes,
+                            Hist.ConsecutiveGrowth});
+  return Candidates;
+}

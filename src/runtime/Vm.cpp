@@ -1,0 +1,116 @@
+//===- Vm.cpp - Virtual machine facade ---------------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/runtime/Vm.h"
+
+#include "gcassert/gc/GenerationalCollector.h"
+#include "gcassert/gc/MarkCompactCollector.h"
+#include "gcassert/gc/MarkSweepCollector.h"
+#include "gcassert/gc/SemiSpaceCollector.h"
+#include "gcassert/heap/CompactHeap.h"
+#include "gcassert/heap/FreeListHeap.h"
+#include "gcassert/heap/GenerationalHeap.h"
+#include "gcassert/heap/SemiSpaceHeap.h"
+#include "gcassert/support/ErrorHandling.h"
+
+using namespace gcassert;
+
+Vm::Vm(const VmConfig &Config) : Kind(Config.Collector) {
+  switch (Kind) {
+  case CollectorKind::MarkSweep: {
+    FreeListHeapConfig HeapConfig;
+    HeapConfig.CapacityBytes = Config.HeapBytes;
+    auto Heap = std::make_unique<FreeListHeap>(Types, HeapConfig);
+    TheCollector = std::make_unique<MarkSweepCollector>(*Heap, *this);
+    TheHeap = std::move(Heap);
+    break;
+  }
+  case CollectorKind::SemiSpace: {
+    SemiSpaceHeapConfig HeapConfig;
+    HeapConfig.CapacityBytes = Config.HeapBytes;
+    auto Heap = std::make_unique<SemiSpaceHeap>(Types, HeapConfig);
+    TheCollector = std::make_unique<SemiSpaceCollector>(*Heap, *this);
+    TheHeap = std::move(Heap);
+    break;
+  }
+  case CollectorKind::MarkCompact: {
+    CompactHeapConfig HeapConfig;
+    HeapConfig.CapacityBytes = Config.HeapBytes;
+    auto Heap = std::make_unique<CompactHeap>(Types, HeapConfig);
+    TheCollector = std::make_unique<MarkCompactCollector>(*Heap, *this);
+    TheHeap = std::move(Heap);
+    break;
+  }
+  case CollectorKind::Generational: {
+    GenerationalHeapConfig HeapConfig;
+    HeapConfig.CapacityBytes = Config.HeapBytes;
+    auto Heap = std::make_unique<GenerationalHeap>(Types, HeapConfig);
+    TheCollector = std::make_unique<GenerationalCollector>(*Heap, *this);
+    TheHeap = std::move(Heap);
+    break;
+  }
+  }
+  Threads.push_back(std::make_unique<MutatorThread>(0, "main"));
+}
+
+Vm::~Vm() = default;
+
+MutatorThread &Vm::spawnThread(const std::string &Name) {
+  Threads.push_back(std::make_unique<MutatorThread>(
+      static_cast<uint32_t>(Threads.size()), Name));
+  return *Threads.back();
+}
+
+void Vm::forEachThread(const std::function<void(MutatorThread &)> &Fn) {
+  for (auto &Thread : Threads)
+    Fn(*Thread);
+}
+
+ObjRef Vm::allocateSlowPath(TypeId Id, uint64_t ArrayLength) {
+  TheCollector->collect("allocation failure");
+  ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
+  if (Obj)
+    return Obj;
+  // One more chance with an explicit (always full) collection: the first
+  // attempt may have been a generational minor collection that could not
+  // help a full old generation.
+  TheCollector->collect("explicit");
+  Obj = TheHeap->allocate(Id, ArrayLength);
+  if (!Obj)
+    reportFatalError("out of memory: heap exhausted even after collection");
+  return Obj;
+}
+
+void Vm::setAllocationListener(std::function<void(ObjRef)> Listener) {
+  AllocListener = std::move(Listener);
+  HasAllocListener = static_cast<bool>(AllocListener);
+}
+
+void Vm::collectNow(const char *Cause) { TheCollector->collect(Cause); }
+
+GlobalRootId Vm::addGlobalRoot(ObjRef Obj) {
+  if (!FreeGlobalSlots.empty()) {
+    GlobalRootId Id = FreeGlobalSlots.back();
+    FreeGlobalSlots.pop_back();
+    GlobalRoots[Id] = Obj;
+    return Id;
+  }
+  GlobalRoots.push_back(Obj);
+  return static_cast<GlobalRootId>(GlobalRoots.size() - 1);
+}
+
+void Vm::removeGlobalRoot(GlobalRootId Id) {
+  assert(Id < GlobalRoots.size() && "invalid global root id");
+  GlobalRoots[Id] = nullptr;
+  FreeGlobalSlots.push_back(Id);
+}
+
+void Vm::forEachRootSlot(const std::function<void(ObjRef *)> &Fn) {
+  for (ObjRef &Slot : GlobalRoots)
+    Fn(&Slot);
+  for (auto &Thread : Threads)
+    Thread->forEachHandleSlot([&](ObjRef *Slot) { Fn(Slot); });
+}

@@ -1,0 +1,25 @@
+//===- ErrorHandling.cpp - Fatal error reporting --------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gcassert;
+
+void gcassert::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "gcassert fatal error: %s\n", Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void gcassert::gcaUnreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}

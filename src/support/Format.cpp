@@ -1,0 +1,29 @@
+//===- Format.cpp - printf-style string building --------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace gcassert;
+
+std::string gcassert::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+
+  std::string Result;
+  if (Len > 0) {
+    Result.resize(static_cast<size_t>(Len));
+    std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- OStream.cpp - Lightweight output streams ---------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/OStream.h"
+
+#include <cinttypes>
+
+using namespace gcassert;
+
+OStream::~OStream() = default;
+
+OStream &OStream::operator<<(int64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(uint64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(double D) {
+  char Buf[64];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(const void *P) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%p", P);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+void FileOStream::write(const char *Data, size_t Size) {
+  std::fwrite(Data, 1, Size, Handle);
+}
+
+void FileOStream::flush() { std::fflush(Handle); }
+
+OStream &gcassert::outs() {
+  static FileOStream Stream(stdout);
+  return Stream;
+}
+
+OStream &gcassert::errs() {
+  static FileOStream Stream(stderr);
+  return Stream;
+}

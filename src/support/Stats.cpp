@@ -1,0 +1,79 @@
+//===- Stats.cpp - Sample statistics ---------------------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace gcassert;
+
+double SampleSet::mean() const {
+  assert(!Values.empty() && "mean of empty sample set");
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double SampleSet::min() const {
+  assert(!Values.empty() && "min of empty sample set");
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double SampleSet::max() const {
+  assert(!Values.empty() && "max of empty sample set");
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+double SampleSet::stddev() const {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean();
+  double SumSq = 0;
+  for (double V : Values)
+    SumSq += (V - M) * (V - M);
+  return std::sqrt(SumSq / static_cast<double>(Values.size() - 1));
+}
+
+double SampleSet::confidence90() const {
+  if (Values.size() < 2)
+    return 0.0;
+  double T = studentT90(Values.size() - 1);
+  return T * stddev() / std::sqrt(static_cast<double>(Values.size()));
+}
+
+double gcassert::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of empty vector");
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double gcassert::studentT90(size_t DegreesFreedom) {
+  // 0.95 quantile (two-sided 90%) of the Student-t distribution.
+  static const double Table[] = {
+      0.0,   6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+      1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729,
+      1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699,
+      1.697};
+  const size_t TableSize = sizeof(Table) / sizeof(Table[0]);
+  if (DegreesFreedom == 0)
+    return 0.0;
+  if (DegreesFreedom < TableSize)
+    return Table[DegreesFreedom];
+  if (DegreesFreedom < 40)
+    return 1.684;
+  if (DegreesFreedom < 60)
+    return 1.671;
+  if (DegreesFreedom < 120)
+    return 1.658;
+  return 1.645; // Normal limit.
+}

@@ -1,0 +1,17 @@
+//===- Timer.cpp - Monotonic timing ----------------------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/Timer.h"
+
+#include <chrono>
+
+using namespace gcassert;
+
+uint64_t gcassert::monotonicNanos() {
+  auto Now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count());
+}

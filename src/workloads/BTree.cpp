@@ -1,0 +1,341 @@
+//===- BTree.cpp - Managed-heap B+ tree ----------------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/BTree.h"
+
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/workloads/Common.h"
+
+#include <cstring>
+
+using namespace gcassert;
+
+//===----------------------------------------------------------------------===//
+// Layout
+//===----------------------------------------------------------------------===//
+
+/// Byte offset of the named field; aborts if absent (layout mismatch).
+static uint32_t fieldOffset(const TypeInfo &Info, const char *Name) {
+  for (const FieldInfo &Field : Info.fields())
+    if (Field.Name == Name)
+      return Field.Offset;
+  reportFatalError("managed type is missing an expected field");
+}
+
+ManagedBTree::Layout ManagedBTree::ensureTypes(TypeRegistry &Types) {
+  Layout L;
+  L.KeyArray = ensureLongArrayType(Types);
+  L.EntryArray = ensureObjectArrayType(Types);
+
+  // Reconstruct from an existing registration (another tree in this VM
+  // already registered the types), or register fresh.
+  if (const TypeInfo *Node =
+          Types.lookup("Lspec/jbb/infra/Collections/longBTreeNode;")) {
+    L.Node = Node->id();
+    L.NodeKeysField = fieldOffset(*Node, "keys");
+    L.NodeEntriesField = fieldOffset(*Node, "entries");
+    L.NodeCountField = fieldOffset(*Node, "count");
+    L.NodeLeafField = fieldOffset(*Node, "leaf");
+    const TypeInfo *Tree =
+        Types.lookup("Lspec/jbb/infra/Collections/longBTree;");
+    assert(Tree && "node type registered without tree type");
+    L.Tree = Tree->id();
+    L.TreeRootField = fieldOffset(*Tree, "root");
+    L.TreeSizeField = fieldOffset(*Tree, "size");
+    return L;
+  }
+
+  TypeBuilder NodeB(Types, "Lspec/jbb/infra/Collections/longBTreeNode;");
+  L.NodeKeysField = NodeB.addRef("keys");
+  L.NodeEntriesField = NodeB.addRef("entries");
+  L.NodeCountField = NodeB.addScalar("count", 4);
+  L.NodeLeafField = NodeB.addScalar("leaf", 4);
+  L.Node = NodeB.build();
+
+  TypeBuilder TreeB(Types, "Lspec/jbb/infra/Collections/longBTree;");
+  L.TreeRootField = TreeB.addRef("root");
+  L.TreeSizeField = TreeB.addScalar("size", 8);
+  L.Tree = TreeB.build();
+  return L;
+}
+
+namespace {
+
+int64_t keyAt(ObjRef Keys, uint32_t Index) {
+  int64_t Key;
+  std::memcpy(&Key, Keys->arrayData() + Index * sizeof(int64_t), sizeof(Key));
+  return Key;
+}
+
+void setKeyAt(ObjRef Keys, uint32_t Index, int64_t Key) {
+  std::memcpy(Keys->arrayData() + Index * sizeof(int64_t), &Key, sizeof(Key));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Node accessors (all raw; callers re-read through handles after any
+// allocation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct NodeView {
+  const ManagedBTree::Layout &L;
+  ObjRef Node;
+
+  uint32_t count() const { return Node->getScalar<uint32_t>(L.NodeCountField); }
+  void setCount(uint32_t C) { Node->setScalar<uint32_t>(L.NodeCountField, C); }
+  bool isLeaf() const { return Node->getScalar<uint32_t>(L.NodeLeafField) != 0; }
+  ObjRef keys() const { return Node->getRef(L.NodeKeysField); }
+  ObjRef entries() const { return Node->getRef(L.NodeEntriesField); }
+
+  int64_t key(uint32_t I) const { return keyAt(keys(), I); }
+  void setKey(uint32_t I, int64_t K) { setKeyAt(keys(), I, K); }
+  ObjRef entry(uint32_t I) const { return entries()->getElement(I); }
+  void setEntry(uint32_t I, ObjRef V) { entries()->setElement(I, V); }
+
+  /// Index of the child to descend into for \p Key: first separator greater
+  /// than Key. Separator keys[i] is the minimum key of child i+1.
+  uint32_t childIndexFor(int64_t Key) const {
+    uint32_t N = count();
+    uint32_t I = 0;
+    while (I < N && Key >= key(I))
+      ++I;
+    return I;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ManagedBTree
+//===----------------------------------------------------------------------===//
+
+ManagedBTree::ManagedBTree(Vm &TheVm, MutatorThread &Thread)
+    : TheVm(TheVm), Thread(Thread), L(ensureTypes(TheVm.types())) {
+  Root = TheVm.addGlobalRoot();
+  HandleScope Scope(Thread);
+  Local LRoot;
+  allocNode(/*IsLeaf=*/true, Scope, LRoot);
+  ObjRef Tree = TheVm.allocate(Thread, L.Tree);
+  Tree->setRef(L.TreeRootField, LRoot.get());
+  Tree->setScalar<int64_t>(L.TreeSizeField, 0);
+  TheVm.setGlobalRoot(Root, Tree);
+}
+
+ManagedBTree::~ManagedBTree() { TheVm.removeGlobalRoot(Root); }
+
+ObjRef ManagedBTree::rootNode() const {
+  return treeObject()->getRef(L.TreeRootField);
+}
+
+uint64_t ManagedBTree::size() const {
+  return static_cast<uint64_t>(
+      treeObject()->getScalar<int64_t>(L.TreeSizeField));
+}
+
+/// Allocates a node plus its key and entry arrays, each rooted in \p Scope
+/// so the intermediate objects survive the allocations of the later ones.
+ObjRef ManagedBTree::allocNode(bool IsLeaf, HandleScope &Scope, Local &Out) {
+  Local LKeys = Scope.handle(TheVm.allocate(Thread, L.KeyArray, MaxKeys));
+  Local LEntries =
+      Scope.handle(TheVm.allocate(Thread, L.EntryArray, MaxKeys + 1));
+  ObjRef Node = TheVm.allocate(Thread, L.Node);
+  Node->setRef(L.NodeKeysField, LKeys.get());
+  Node->setRef(L.NodeEntriesField, LEntries.get());
+  Node->setScalar<uint32_t>(L.NodeCountField, 0);
+  Node->setScalar<uint32_t>(L.NodeLeafField, IsLeaf ? 1 : 0);
+  Out = Scope.handle(Node);
+  return Node;
+}
+
+/// Splits the full child at \p Index of \p Parent. Allocation-safe: both
+/// nodes are re-read through handles after the sibling is allocated.
+void ManagedBTree::splitChild(Local Parent, uint32_t Index,
+                              HandleScope &Scope) {
+  Local LChild =
+      Scope.handle(NodeView{L, Parent.get()}.entry(Index));
+  bool ChildIsLeaf = NodeView{L, LChild.get()}.isLeaf();
+
+  Local LSib;
+  allocNode(ChildIsLeaf, Scope, LSib);
+
+  NodeView Child{L, LChild.get()};
+  NodeView Sib{L, LSib.get()};
+  assert(Child.count() == MaxKeys && "splitting a non-full node");
+
+  constexpr uint32_t Mid = MaxKeys / 2;
+  int64_t UpKey;
+  if (ChildIsLeaf) {
+    // B+ leaf split: upper half moves to the sibling; the separator is a
+    // copy of the sibling's first key.
+    uint32_t SibCount = MaxKeys - Mid;
+    for (uint32_t I = 0; I != SibCount; ++I) {
+      Sib.setKey(I, Child.key(Mid + I));
+      Sib.setEntry(I, Child.entry(Mid + I));
+      Child.setEntry(Mid + I, nullptr);
+    }
+    Sib.setCount(SibCount);
+    Child.setCount(Mid);
+    UpKey = Sib.key(0);
+  } else {
+    // Internal split: the median separator moves up.
+    UpKey = Child.key(Mid);
+    uint32_t SibCount = MaxKeys - Mid - 1;
+    for (uint32_t I = 0; I != SibCount; ++I)
+      Sib.setKey(I, Child.key(Mid + 1 + I));
+    for (uint32_t I = 0; I != SibCount + 1; ++I) {
+      Sib.setEntry(I, Child.entry(Mid + 1 + I));
+      Child.setEntry(Mid + 1 + I, nullptr);
+    }
+    Sib.setCount(SibCount);
+    Child.setCount(Mid);
+  }
+
+  NodeView P{L, Parent.get()};
+  uint32_t N = P.count();
+  assert(N < MaxKeys && "parent must have room for the split");
+  for (uint32_t I = N; I > Index; --I)
+    P.setKey(I, P.key(I - 1));
+  for (uint32_t I = N + 1; I > Index + 1; --I)
+    P.setEntry(I, P.entry(I - 1));
+  P.setKey(Index, UpKey);
+  P.setEntry(Index + 1, LSib.get());
+  P.setCount(N + 1);
+}
+
+void ManagedBTree::insert(int64_t Key, Local Value) {
+  HandleScope Scope(Thread);
+
+  // Grow the tree if the root is full.
+  if (NodeView{L, rootNode()}.count() == MaxKeys) {
+    Local LOldRoot = Scope.handle(rootNode());
+    Local LNewRoot;
+    allocNode(/*IsLeaf=*/false, Scope, LNewRoot);
+    NodeView NewRoot{L, LNewRoot.get()};
+    NewRoot.setEntry(0, LOldRoot.get());
+    treeObject()->setRef(L.TreeRootField, LNewRoot.get());
+    splitChild(LNewRoot, 0, Scope);
+  }
+
+  Local LCur = Scope.handle(rootNode());
+  while (true) {
+    NodeView Cur{L, LCur.get()};
+    if (Cur.isLeaf())
+      break;
+    uint32_t Index = Cur.childIndexFor(Key);
+    ObjRef Child = Cur.entry(Index);
+    if (NodeView{L, Child}.count() == MaxKeys) {
+      splitChild(LCur, Index, Scope);
+      continue; // Re-derive the child index against the updated node.
+    }
+    LCur.set(Child);
+  }
+
+  // Insert into the leaf (no allocation from here on).
+  NodeView Leaf{L, LCur.get()};
+  uint32_t N = Leaf.count();
+  uint32_t Pos = 0;
+  while (Pos < N && Leaf.key(Pos) < Key)
+    ++Pos;
+  if (Pos < N && Leaf.key(Pos) == Key) {
+    Leaf.setEntry(Pos, Value.get()); // Overwrite existing binding.
+    return;
+  }
+  assert(N < MaxKeys && "leaf must have room after preemptive splitting");
+  for (uint32_t I = N; I > Pos; --I) {
+    Leaf.setKey(I, Leaf.key(I - 1));
+    Leaf.setEntry(I, Leaf.entry(I - 1));
+  }
+  Leaf.setKey(Pos, Key);
+  Leaf.setEntry(Pos, Value.get());
+  Leaf.setCount(N + 1);
+  ObjRef Tree = treeObject();
+  Tree->setScalar<int64_t>(L.TreeSizeField,
+                           Tree->getScalar<int64_t>(L.TreeSizeField) + 1);
+}
+
+ObjRef ManagedBTree::find(int64_t Key) const {
+  // Search never allocates, so raw references are stable.
+  ObjRef Node = rootNode();
+  while (true) {
+    NodeView Cur{L, Node};
+    if (Cur.isLeaf()) {
+      for (uint32_t I = 0, N = Cur.count(); I != N; ++I)
+        if (Cur.key(I) == Key)
+          return Cur.entry(I);
+      return nullptr;
+    }
+    Node = Cur.entry(Cur.childIndexFor(Key));
+  }
+}
+
+bool ManagedBTree::erase(int64_t Key) {
+  // Lazy deletion: remove from the leaf, never rebalance. Never allocates.
+  ObjRef Node = rootNode();
+  while (true) {
+    NodeView Cur{L, Node};
+    if (Cur.isLeaf()) {
+      uint32_t N = Cur.count();
+      for (uint32_t I = 0; I != N; ++I) {
+        if (Cur.key(I) != Key)
+          continue;
+        for (uint32_t J = I + 1; J != N; ++J) {
+          Cur.setKey(J - 1, Cur.key(J));
+          Cur.setEntry(J - 1, Cur.entry(J));
+        }
+        Cur.setEntry(N - 1, nullptr);
+        Cur.setCount(N - 1);
+        ObjRef Tree = treeObject();
+        Tree->setScalar<int64_t>(
+            L.TreeSizeField, Tree->getScalar<int64_t>(L.TreeSizeField) - 1);
+        return true;
+      }
+      return false;
+    }
+    Node = Cur.entry(Cur.childIndexFor(Key));
+  }
+}
+
+namespace {
+
+/// In-order walk; returns false if \p Fn stopped the iteration.
+bool walk(const ManagedBTree::Layout &L, ObjRef Node,
+          const std::function<bool(int64_t, ObjRef)> &Fn) {
+  NodeView Cur{L, Node};
+  if (Cur.isLeaf()) {
+    for (uint32_t I = 0, N = Cur.count(); I != N; ++I)
+      if (!Fn(Cur.key(I), Cur.entry(I)))
+        return false;
+    return true;
+  }
+  for (uint32_t I = 0, N = Cur.count(); I <= N; ++I)
+    if (!walk(L, Cur.entry(I), Fn))
+      return false;
+  return true;
+}
+
+} // namespace
+
+void ManagedBTree::forEach(
+    const std::function<void(int64_t, ObjRef)> &Fn) const {
+  walk(L, rootNode(), [&](int64_t Key, ObjRef Value) {
+    Fn(Key, Value);
+    return true;
+  });
+}
+
+ObjRef ManagedBTree::minValue(int64_t *KeyOut) const {
+  ObjRef Result = nullptr;
+  walk(L, rootNode(), [&](int64_t Key, ObjRef Value) {
+    Result = Value;
+    if (KeyOut)
+      *KeyOut = Key;
+    return false; // Stop at the first (smallest) pair.
+  });
+  return Result;
+}

@@ -1,0 +1,278 @@
+//===- ExtraWorkloads.cpp - mtrt, chart, eclipse stand-ins ---------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The remaining members of the paper's benchmark suites: SPECjvm98's
+// _227_mtrt (multithreaded raytracer) and DaCapo 2006's chart and eclipse.
+// Same substitution discipline as the other workload files: reproduce the
+// allocation/connectivity profile that matters to the collector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/Common.h"
+#include "gcassert/workloads/Workload.h"
+
+using namespace gcassert;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// _227_mtrt: two render threads trace rays against a shared, persistent
+// scene BVH; every ray allocates short-lived intersection records.
+//===----------------------------------------------------------------------===//
+
+class MtrtWorkload : public Workload {
+public:
+  static constexpr int BvhDepth = 12; // ~4k interior + 4k leaf nodes.
+  static constexpr int RaysPerThread = 350000;
+
+  const char *name() const override { return "mtrt"; }
+  size_t heapBytes() const override { return 6u << 20; }
+
+  void setUp(WorkloadContext &Ctx) override {
+    TypeBuilder NodeB(Ctx.types(), "Lmtrt/BvhNode;");
+    LeftField = NodeB.addRef("left");
+    RightField = NodeB.addRef("right");
+    BoundsField = NodeB.addRef("bounds");
+    BvhNode = NodeB.build();
+
+    TypeBuilder HitB(Ctx.types(), "Lmtrt/Intersection;");
+    HitNode = HitB.addRef("node");
+    HitT = HitB.addScalar("t", 8);
+    Intersection = HitB.build();
+
+    LongArray = ensureLongArrayType(Ctx.types());
+
+    Scene = std::make_unique<RootedArray>(Ctx.vm(), Ctx.mainThread(), 1);
+    Scene->set(0, buildBvh(Ctx, BvhDepth));
+
+    RenderThreads.clear();
+    RenderThreads.push_back(&Ctx.vm().spawnThread("render-0"));
+    RenderThreads.push_back(&Ctx.vm().spawnThread("render-1"));
+  }
+
+  void runIteration(WorkloadContext &Ctx) override {
+    Vm &TheVm = Ctx.vm();
+    SplitMix64 &Rng = Ctx.rng();
+    // Interleave the two render threads in strips, the mtrt pattern.
+    for (int Strip = 0; Strip < 60; ++Strip) {
+      MutatorThread &Worker = *RenderThreads[Strip % 2];
+      for (int Ray = 0; Ray < RaysPerThread / 60; ++Ray) {
+        HandleScope Scope(Worker);
+        // Walk the BVH; at the leaf, record an intersection (garbage as
+        // soon as the ray is shaded).
+        ObjRef Node = Scene->get(0);
+        while (ObjRef Next = Rng.chancePercent(50)
+                                 ? Node->getRef(LeftField)
+                                 : Node->getRef(RightField))
+          Node = Next;
+        Local Held = Scope.handle(Node);
+        ObjRef Hit = TheVm.allocate(Worker, Intersection);
+        Hit->setRef(HitNode, Held.get());
+        Hit->setScalar<int64_t>(HitT, static_cast<int64_t>(Rng.next()));
+      }
+    }
+  }
+
+  void tearDown(WorkloadContext &) override { Scene.reset(); }
+
+private:
+  ObjRef buildBvh(WorkloadContext &Ctx, int Depth) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &T = Ctx.mainThread();
+    HandleScope Scope(T);
+    Local Bounds = Scope.handle(TheVm.allocate(T, LongArray, 6));
+    Local Node = Scope.handle(TheVm.allocate(T, BvhNode));
+    Node.get()->setRef(BoundsField, Bounds.get());
+    if (Depth > 0) {
+      Local Left = Scope.handle(buildBvh(Ctx, Depth - 1));
+      Node.get()->setRef(LeftField, Left.get());
+      Local Right = Scope.handle(buildBvh(Ctx, Depth - 1));
+      Node.get()->setRef(RightField, Right.get());
+    }
+    return Node.get();
+  }
+
+  TypeId BvhNode = InvalidTypeId, Intersection = InvalidTypeId,
+         LongArray = InvalidTypeId;
+  uint32_t LeftField = 0, RightField = 0, BoundsField = 0;
+  uint32_t HitNode = 0, HitT = 0;
+  std::unique_ptr<RootedArray> Scene;
+  std::vector<MutatorThread *> RenderThreads;
+};
+
+//===----------------------------------------------------------------------===//
+// chart: dataset -> renderer -> raster. Medium-lived shape objects per
+// plot, one big pixel buffer reused.
+//===----------------------------------------------------------------------===//
+
+class ChartWorkload : public Workload {
+public:
+  static constexpr uint64_t PointsPerSeries = 4000;
+
+  const char *name() const override { return "chart"; }
+  size_t heapBytes() const override { return 6u << 20; }
+
+  void setUp(WorkloadContext &Ctx) override {
+    TypeBuilder ShapeB(Ctx.types(), "Lchart/Shape;");
+    ShapeNext = ShapeB.addRef("next");
+    ShapeCoords = ShapeB.addRef("coords");
+    Shape = ShapeB.build();
+
+    ObjArray = ensureObjectArrayType(Ctx.types());
+    LongArray = ensureLongArrayType(Ctx.types());
+    ByteArray = ensureByteArrayType(Ctx.types());
+
+    // The dataset: eight series of points, persistent across renders.
+    Series = std::make_unique<RootedArray>(Ctx.vm(), Ctx.mainThread(), 8);
+    MutatorThread &T = Ctx.mainThread();
+    for (uint64_t S = 0; S != 8; ++S)
+      Series->set(S, Ctx.vm().allocate(T, LongArray, PointsPerSeries));
+    Raster = std::make_unique<RootedArray>(Ctx.vm(), T, 1);
+    Raster->set(0, Ctx.vm().allocate(T, ByteArray, 1u << 20));
+  }
+
+  void runIteration(WorkloadContext &Ctx) override {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &T = Ctx.mainThread();
+    for (int Plot = 0; Plot < 400; ++Plot) {
+      HandleScope Scope(T);
+      // Build the shape list for this frame: one Shape per point bucket,
+      // each with a small coordinate array. All garbage after rasterizing.
+      Local Shapes = Scope.handle();
+      for (uint64_t S = 0; S != 8; ++S) {
+        for (uint64_t P = 0; P != PointsPerSeries; P += 40) {
+          HandleScope Inner(T);
+          Local Coords = Inner.handle(TheVm.allocate(T, LongArray, 8));
+          ObjRef NewShape = TheVm.allocate(T, Shape);
+          NewShape->setRef(ShapeCoords, Coords.get());
+          NewShape->setRef(ShapeNext, Shapes.get());
+          Shapes.set(NewShape);
+        }
+      }
+      // Rasterize: walk the shapes, scribbling into the pixel buffer.
+      uint8_t *Pixels = Raster->get(0)->arrayData();
+      uint64_t Cursor = Ctx.rng().nextBelow(1u << 19);
+      for (ObjRef S = Shapes.get(); S; S = S->getRef(ShapeNext))
+        Pixels[(Cursor += 97) & ((1u << 20) - 1)] ^= 1;
+    }
+  }
+
+  void tearDown(WorkloadContext &) override {
+    Raster.reset();
+    Series.reset();
+  }
+
+private:
+  TypeId Shape = InvalidTypeId;
+  TypeId ObjArray = InvalidTypeId, LongArray = InvalidTypeId,
+         ByteArray = InvalidTypeId;
+  uint32_t ShapeNext = 0, ShapeCoords = 0;
+  std::unique_ptr<RootedArray> Series;
+  std::unique_ptr<RootedArray> Raster;
+};
+
+//===----------------------------------------------------------------------===//
+// eclipse: a large persistent workspace model with incremental-build churn
+// — the biggest live set in DaCapo, mutated in place.
+//===----------------------------------------------------------------------===//
+
+class EclipseWorkload : public Workload {
+public:
+  static constexpr uint64_t NumUnits = 4000;
+
+  const char *name() const override { return "eclipse"; }
+  size_t heapBytes() const override { return 12u << 20; }
+
+  void setUp(WorkloadContext &Ctx) override {
+    TypeBuilder UnitB(Ctx.types(), "Leclipse/CompilationUnit;");
+    UnitSource = UnitB.addRef("source");
+    UnitAst = UnitB.addRef("ast");
+    UnitProblems = UnitB.addRef("problems");
+    Unit = UnitB.build();
+
+    TypeBuilder AstB(Ctx.types(), "Leclipse/AstNode;");
+    AstChild = AstB.addRef("child");
+    AstSibling = AstB.addRef("sibling");
+    Ast = AstB.build();
+
+    ObjArray = ensureObjectArrayType(Ctx.types());
+    ByteArray = ensureByteArrayType(Ctx.types());
+
+    Workspace = std::make_unique<RootedArray>(Ctx.vm(), Ctx.mainThread(),
+                                              NumUnits);
+    for (uint64_t I = 0; I != NumUnits; ++I)
+      rebuildUnit(Ctx, I);
+  }
+
+  void runIteration(WorkloadContext &Ctx) override {
+    SplitMix64 &Rng = Ctx.rng();
+    // An incremental build: ~15% of units are "edited" and recompiled,
+    // replacing their ASTs (medium-lived structures die in place).
+    for (int Build = 0; Build < 24; ++Build)
+      for (uint64_t I = 0; I != NumUnits; ++I)
+        if (Rng.chancePercent(15))
+          rebuildUnit(Ctx, I);
+  }
+
+  void tearDown(WorkloadContext &) override { Workspace.reset(); }
+
+private:
+  void rebuildUnit(WorkloadContext &Ctx, uint64_t Index) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &T = Ctx.mainThread();
+    HandleScope Scope(T);
+    Local Source = Scope.handle(
+        TheVm.allocate(T, ByteArray, 120 + Ctx.rng().nextBelow(200)));
+    Local AstRoot = Scope.handle(buildAst(Ctx, 3));
+    Local Problems = Scope.handle(
+        Ctx.rng().chancePercent(20) ? TheVm.allocate(T, ObjArray, 4)
+                                    : nullptr);
+    ObjRef NewUnit = TheVm.allocate(T, Unit);
+    NewUnit->setRef(UnitSource, Source.get());
+    NewUnit->setRef(UnitAst, AstRoot.get());
+    NewUnit->setRef(UnitProblems, Problems.get());
+    Workspace->set(Index, NewUnit);
+  }
+
+  ObjRef buildAst(WorkloadContext &Ctx, int Depth) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &T = Ctx.mainThread();
+    HandleScope Scope(T);
+    Local Node = Scope.handle(TheVm.allocate(T, Ast));
+    if (Depth > 0) {
+      Local First = Scope.handle();
+      for (int I = 0; I < 3; ++I) {
+        HandleScope Inner(T);
+        Local Child = Inner.handle(buildAst(Ctx, Depth - 1));
+        Child.get()->setRef(AstSibling, First.get());
+        First.set(Child.get());
+      }
+      Node.get()->setRef(AstChild, First.get());
+    }
+    return Node.get();
+  }
+
+  TypeId Unit = InvalidTypeId, Ast = InvalidTypeId;
+  TypeId ObjArray = InvalidTypeId, ByteArray = InvalidTypeId;
+  uint32_t UnitSource = 0, UnitAst = 0, UnitProblems = 0;
+  uint32_t AstChild = 0, AstSibling = 0;
+  std::unique_ptr<RootedArray> Workspace;
+};
+
+} // namespace
+
+namespace gcassert {
+
+void registerExtraWorkloads() {
+  WorkloadRegistry::add("mtrt",
+                        [] { return std::make_unique<MtrtWorkload>(); });
+  WorkloadRegistry::add("chart",
+                        [] { return std::make_unique<ChartWorkload>(); });
+  WorkloadRegistry::add("eclipse",
+                        [] { return std::make_unique<EclipseWorkload>(); });
+}
+
+} // namespace gcassert

@@ -1,0 +1,68 @@
+//===- Harness.cpp - Benchmark harness ----------------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/Harness.h"
+
+#include "gcassert/support/Timer.h"
+
+using namespace gcassert;
+
+const char *gcassert::benchConfigName(BenchConfig Config) {
+  switch (Config) {
+  case BenchConfig::Base:
+    return "Base";
+  case BenchConfig::Infrastructure:
+    return "Infrastructure";
+  case BenchConfig::WithAssertions:
+    return "WithAssertions";
+  }
+  return "unknown";
+}
+
+RunResult gcassert::runWorkload(const std::string &WorkloadName,
+                                BenchConfig Config,
+                                const HarnessOptions &Options) {
+  std::unique_ptr<Workload> TheWorkload =
+      WorkloadRegistry::create(WorkloadName);
+
+  VmConfig Config2;
+  Config2.HeapBytes = Options.HeapBytesOverride ? Options.HeapBytesOverride
+                                                : TheWorkload->heapBytes();
+  Config2.Collector = Options.Collector;
+  Vm TheVm(Config2);
+
+  std::unique_ptr<AssertionEngine> Engine;
+  if (Config != BenchConfig::Base) {
+    Engine = std::make_unique<AssertionEngine>(TheVm, Options.Sink);
+    TheVm.collector().setPathRecording(Options.RecordPaths);
+  }
+
+  WorkloadContext Ctx(TheVm, Engine.get(),
+                      Config == BenchConfig::WithAssertions, Options.Seed);
+
+  TheWorkload->setUp(Ctx);
+  for (int I = 0; I < Options.WarmupIterations; ++I)
+    TheWorkload->runIteration(Ctx);
+
+  uint64_t GcNanosBefore = TheVm.gcStats().TotalGcNanos;
+  uint64_t CyclesBefore = TheVm.gcStats().Cycles;
+  uint64_t Start = monotonicNanos();
+  for (int I = 0; I < Options.MeasuredIterations; ++I)
+    TheWorkload->runIteration(Ctx);
+  uint64_t TotalNanos = monotonicNanos() - Start;
+  uint64_t GcNanos = TheVm.gcStats().TotalGcNanos - GcNanosBefore;
+
+  RunResult Result;
+  Result.TotalMillis = static_cast<double>(TotalNanos) / 1e6;
+  Result.GcMillis = static_cast<double>(GcNanos) / 1e6;
+  Result.MutatorMillis = Result.TotalMillis - Result.GcMillis;
+  Result.GcCycles = TheVm.gcStats().Cycles - CyclesBefore;
+  if (Engine)
+    Result.Counters = Engine->counters();
+
+  TheWorkload->tearDown(Ctx);
+  return Result;
+}

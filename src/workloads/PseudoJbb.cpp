@@ -1,0 +1,476 @@
+//===- PseudoJbb.cpp - SPEC JBB2000 stand-in (pseudojbb) -----------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's fixed-workload SPEC JBB2000 ("pseudojbb"): a three-tier
+// business system with data stored in B-trees (§3.2.1). The object graph
+// reproduces the shapes the paper debugs:
+//
+//   Company -> [Object] -> Warehouse -> [Object] -> District
+//     -> longBTree (orderTable) -> longBTreeNode -> [Object] -> Order
+//   Customer.lastOrder -> Order          (the §3.2.1 leak)
+//   Customer.lastAddress -> Address      (the unfixable variant)
+//
+// Four registered variants:
+//   pseudojbb               — correct program, the paper's WithAssertions
+//                             perf configuration (assert-ownedby per order
+//                             insertion + assert-instances(Company, 1)).
+//   pseudojbb-ordertable-leak — the Jump & McKinley leak: delivered orders
+//                             never leave the orderTable; assert-dead at the
+//                             end of delivery reproduces Figure 1's path.
+//   pseudojbb-customer-leak — orders leave the table but Customer.lastOrder
+//                             is not cleared; assert-dead at destroy()
+//                             reports the Customer path.
+//   pseudojbb-drag          — the oldCompany drag: the previous iteration's
+//                             Company stays referenced one iteration too
+//                             long; caught by assert-instances(Company, 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/BTree.h"
+#include "gcassert/workloads/Common.h"
+#include "gcassert/workloads/Workload.h"
+
+using namespace gcassert;
+
+namespace {
+
+/// Which bug (if any) this instance reproduces.
+enum class JbbVariant {
+  Correct,
+  OrderTableLeak,
+  CustomerLeak,
+  CompanyDrag,
+};
+
+class PseudoJbbWorkload : public Workload {
+public:
+  static constexpr uint64_t NumWarehouses = 2;
+  static constexpr uint64_t DistrictsPerWarehouse = 5;
+  static constexpr uint64_t NumCustomers = 60;
+  
+  static constexpr int OrderLines = 5;
+  /// Key offset that separates standing open orders from deliverable ones.
+  static constexpr int64_t StandingBase = int64_t(1) << 40;
+  static constexpr uint64_t ItemsPerWarehouse = 20000;
+
+  explicit PseudoJbbWorkload(JbbVariant Variant) : Variant(Variant) {}
+
+  const char *name() const override {
+    switch (Variant) {
+    case JbbVariant::Correct:
+      return "pseudojbb";
+    case JbbVariant::OrderTableLeak:
+      return "pseudojbb-ordertable-leak";
+    case JbbVariant::CustomerLeak:
+      return "pseudojbb-customer-leak";
+    case JbbVariant::CompanyDrag:
+      return "pseudojbb-drag";
+    }
+    return "pseudojbb";
+  }
+
+  size_t heapBytes() const override {
+    switch (Variant) {
+    case JbbVariant::Correct:
+      return 10u << 20;
+    case JbbVariant::CompanyDrag:
+      return 20u << 20; // Two companies can be live at once.
+    case JbbVariant::CustomerLeak:
+      return 14u << 20;
+    case JbbVariant::OrderTableLeak:
+      return 32u << 20; // The orderTable grows without bound.
+    }
+    return 8u << 20;
+  }
+
+  /// Transactions per iteration: the leak variants run shorter so the
+  /// growing heap stays inside its budget for a few iterations.
+  int ordersPerIteration() const {
+    switch (Variant) {
+    case JbbVariant::Correct:
+    case JbbVariant::CompanyDrag:
+      return 30000;
+    case JbbVariant::CustomerLeak:
+      return 10000;
+    case JbbVariant::OrderTableLeak:
+      return 6000;
+    }
+    return 10000;
+  }
+
+  /// The two leak variants reproduce the paper's §3.2.1 *debugging*
+  /// sessions, which used assert-dead alone; the ownership and instance
+  /// assertions belong to the §3.1.2 performance configuration (and the
+  /// drag variant, whose detector is assert-instances). This also keeps
+  /// Figure-1 reports root-originated: without an ownership phase, the
+  /// leaked Order is first reached from the roots through the Company.
+  bool usesStructuralAssertions() const {
+    return Variant == JbbVariant::Correct ||
+           Variant == JbbVariant::CompanyDrag;
+  }
+
+  void setUp(WorkloadContext &Ctx) override {
+    registerTypes(Ctx.types());
+    CompanyRoot = std::make_unique<RootedArray>(Ctx.vm(), Ctx.mainThread(), 2);
+    Tables.clear();
+    buildCompany(Ctx, /*Slot=*/0);
+    if (usesStructuralAssertions()) {
+      // §3.2.1: "there can only be one Company live in the benchmark at any
+      // given time".
+      Ctx.assertInstances(T.Company, 1);
+
+      // Standing stock: open orders with far-future ids that the delivery
+      // cursor never reaches. These keep a realistic number of live ownees
+      // in the tables — the paper observes ~420 ownee checks per GC on
+      // pseudojbb.
+      for (int I = 0; I < 420; ++I)
+        newOrderTransaction(Ctx, /*Standing=*/true);
+      // Standing orders consumed order ids without being deliverable;
+      // start each district's delivery cursor at the first regular id.
+      for (uint64_t D = 0; D != NumWarehouses * DistrictsPerWarehouse; ++D) {
+        ObjRef District = districtAt(D);
+        District->setScalar<int64_t>(
+            T.DistrictNextDelivery,
+            District->getScalar<int64_t>(T.DistrictNextOrder));
+      }
+    }
+  }
+
+  void runIteration(WorkloadContext &Ctx) override {
+    if (Variant == JbbVariant::CompanyDrag && IterationCount > 0) {
+      // The main-loop bug: destroy the previous Company, but keep it
+      // referenced through the oldCompany slot for the whole iteration.
+      CompanyRoot->set(1, CompanyRoot->get(0)); // oldCompany = company;
+      Tables.clear();
+      buildCompany(Ctx, 0);
+      // (The fixed program would null slot 1 here.)
+    }
+    ++IterationCount;
+
+    SplitMix64 &Rng = Ctx.rng();
+    for (int I = 0, E = ordersPerIteration(); I < E; ++I) {
+      newOrderTransaction(Ctx);
+      if (I % 4 == 3)
+        paymentTransaction(Ctx);
+      if (I % 50 == 49)
+        deliveryTransaction(Ctx);
+      (void)Rng;
+    }
+
+    if (Variant == JbbVariant::CompanyDrag)
+      CompanyRoot->set(1, nullptr); // Released only at iteration end: drag.
+  }
+
+  void tearDown(WorkloadContext &) override {
+    Tables.clear();
+    CompanyRoot.reset();
+  }
+
+private:
+  struct JbbTypes {
+    TypeId Company, Warehouse, District, Customer, Order, OrderLine, Address;
+    TypeId Item;
+    uint32_t CompanyWarehouses, CompanyCustomers;
+    uint32_t WarehouseDistricts, WarehouseStock, WarehouseId;
+    uint32_t ItemName, ItemPrice;
+    uint32_t DistrictTable, DistrictId, DistrictNextOrder, DistrictNextDelivery;
+    uint32_t CustomerLastOrder, CustomerLastAddress, CustomerId;
+    uint32_t OrderCustomer, OrderAddress, OrderLinesField, OrderId;
+    uint32_t LineItem, LineItemRef, LineQty;
+    uint32_t AddressStreet;
+    TypeId ObjArray, ByteArray;
+  };
+
+  void registerTypes(TypeRegistry &Types) {
+    T.ObjArray = ensureObjectArrayType(Types);
+    T.ByteArray = ensureByteArrayType(Types);
+
+    TypeBuilder CompanyB(Types, "Lspec/jbb/Company;");
+    T.CompanyWarehouses = CompanyB.addRef("warehouses");
+    T.CompanyCustomers = CompanyB.addRef("customers");
+    T.Company = CompanyB.build();
+
+    TypeBuilder WarehouseB(Types, "Lspec/jbb/Warehouse;");
+    T.WarehouseDistricts = WarehouseB.addRef("districts");
+    T.WarehouseStock = WarehouseB.addRef("stock");
+    T.WarehouseId = WarehouseB.addScalar("id", 4);
+    T.Warehouse = WarehouseB.build();
+
+    TypeBuilder ItemB(Types, "Lspec/jbb/Item;");
+    T.ItemName = ItemB.addRef("name");
+    T.ItemPrice = ItemB.addScalar("price", 8);
+    T.Item = ItemB.build();
+
+    TypeBuilder DistrictB(Types, "Lspec/jbb/District;");
+    T.DistrictTable = DistrictB.addRef("orderTable");
+    T.DistrictId = DistrictB.addScalar("id", 4);
+    T.DistrictNextOrder = DistrictB.addScalar("nextOrderId", 8);
+    T.DistrictNextDelivery = DistrictB.addScalar("nextDeliveryId", 8);
+    T.District = DistrictB.build();
+
+    TypeBuilder CustomerB(Types, "Lspec/jbb/Customer;");
+    T.CustomerLastOrder = CustomerB.addRef("lastOrder");
+    T.CustomerLastAddress = CustomerB.addRef("lastAddress");
+    T.CustomerId = CustomerB.addScalar("id", 4);
+    T.Customer = CustomerB.build();
+
+    TypeBuilder OrderB(Types, "Lspec/jbb/Order;");
+    T.OrderCustomer = OrderB.addRef("customer");
+    T.OrderAddress = OrderB.addRef("address");
+    T.OrderLinesField = OrderB.addRef("lines");
+    T.OrderId = OrderB.addScalar("id", 8);
+    T.Order = OrderB.build();
+
+    TypeBuilder LineB(Types, "Lspec/jbb/Orderline;");
+    T.LineItemRef = LineB.addRef("item");
+    T.LineItem = LineB.addScalar("itemId", 8);
+    T.LineQty = LineB.addScalar("qty", 4);
+    T.OrderLine = LineB.build();
+
+    TypeBuilder AddressB(Types, "Lspec/jbb/Address;");
+    T.AddressStreet = AddressB.addRef("street");
+    T.Address = AddressB.build();
+  }
+
+  /// Builds the Company object graph into CompanyRoot slot \p Slot and
+  /// (re)creates the per-district order tables.
+  void buildCompany(WorkloadContext &Ctx, uint64_t Slot) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &Thread = Ctx.mainThread();
+    HandleScope Scope(Thread);
+
+    Local Warehouses = Scope.handle(
+        TheVm.allocate(Thread, T.ObjArray, NumWarehouses));
+    for (uint64_t W = 0; W != NumWarehouses; ++W) {
+      HandleScope WScope(Thread);
+      Local Districts = Scope.handle(
+          TheVm.allocate(Thread, T.ObjArray, DistrictsPerWarehouse));
+      for (uint64_t D = 0; D != DistrictsPerWarehouse; ++D) {
+        auto Table = std::make_unique<ManagedBTree>(TheVm, Thread);
+        ObjRef District = TheVm.allocate(Thread, T.District);
+        District->setRef(T.DistrictTable, Table->treeObject());
+        District->setScalar<uint32_t>(T.DistrictId, static_cast<uint32_t>(D));
+        Districts.get()->setElement(D, District);
+        Tables.push_back(std::move(Table));
+      }
+      // The warehouse's item catalog — SPEC JBB2000 keeps ~20k items per
+      // warehouse; this is most of the benchmark's long-lived heap.
+      Local Stock = Scope.handle(
+          TheVm.allocate(Thread, T.ObjArray, ItemsPerWarehouse));
+      for (uint64_t I = 0; I != ItemsPerWarehouse; ++I) {
+        HandleScope ItemScope(Thread);
+        Local Name = ItemScope.handle(TheVm.allocate(Thread, T.ByteArray, 16));
+        ObjRef Item = TheVm.allocate(Thread, T.Item);
+        Item->setRef(T.ItemName, Name.get());
+        Item->setScalar<int64_t>(T.ItemPrice, static_cast<int64_t>(I) * 7);
+        Stock.get()->setElement(I, Item);
+      }
+
+      ObjRef Warehouse = TheVm.allocate(Thread, T.Warehouse);
+      Warehouse->setRef(T.WarehouseDistricts, Districts.get());
+      Warehouse->setRef(T.WarehouseStock, Stock.get());
+      Warehouse->setScalar<uint32_t>(T.WarehouseId, static_cast<uint32_t>(W));
+      Warehouses.get()->setElement(W, Warehouse);
+    }
+
+    Local Customers = Scope.handle(
+        TheVm.allocate(Thread, T.ObjArray, NumCustomers));
+    for (uint64_t C = 0; C != NumCustomers; ++C) {
+      ObjRef Customer = TheVm.allocate(Thread, T.Customer);
+      Customer->setScalar<uint32_t>(T.CustomerId, static_cast<uint32_t>(C));
+      Customers.get()->setElement(C, Customer);
+    }
+
+    ObjRef Company = TheVm.allocate(Thread, T.Company);
+    Company->setRef(T.CompanyWarehouses, Warehouses.get());
+    Company->setRef(T.CompanyCustomers, Customers.get());
+    CompanyRoot->set(Slot, Company);
+  }
+
+  ObjRef company() const { return CompanyRoot->get(0); }
+
+  ObjRef districtAt(uint64_t Index) const {
+    uint64_t W = Index / DistrictsPerWarehouse;
+    uint64_t D = Index % DistrictsPerWarehouse;
+    return company()
+        ->getRef(T.CompanyWarehouses)
+        ->getElement(W)
+        ->getRef(T.WarehouseDistricts)
+        ->getElement(D);
+  }
+
+  /// Creates an Order for a random customer and adds it to a random
+  /// district's orderTable (District.addOrder in the paper, the site that
+  /// carries assert-ownedby in §3.1.2).
+  void newOrderTransaction(WorkloadContext &Ctx, bool Standing = false) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &Thread = Ctx.mainThread();
+    SplitMix64 &Rng = Ctx.rng();
+    HandleScope Scope(Thread);
+
+    // Build the order: address, order lines, then the order itself.
+    Local Street = Scope.handle(TheVm.allocate(Thread, T.ByteArray, 24));
+    Local Address = Scope.handle(TheVm.allocate(Thread, T.Address));
+    Address.get()->setRef(T.AddressStreet, Street.get());
+
+    Local Lines = Scope.handle(
+        TheVm.allocate(Thread, T.ObjArray, OrderLines));
+    for (int L = 0; L < OrderLines; ++L) {
+      ObjRef Line = TheVm.allocate(Thread, T.OrderLine);
+      // Pick a catalog item (read after the allocation: the line's
+      // allocation may have moved the company graph).
+      uint64_t W = Rng.nextBelow(NumWarehouses);
+      uint64_t ItemIndex = Rng.nextBelow(ItemsPerWarehouse);
+      ObjRef Stock = company()
+                         ->getRef(T.CompanyWarehouses)
+                         ->getElement(W)
+                         ->getRef(T.WarehouseStock);
+      Line->setRef(T.LineItemRef, Stock->getElement(ItemIndex));
+      Line->setScalar<int64_t>(T.LineItem, static_cast<int64_t>(ItemIndex));
+      Line->setScalar<uint32_t>(T.LineQty,
+                                static_cast<uint32_t>(1 + Rng.nextBelow(9)));
+      Lines.get()->setElement(static_cast<uint64_t>(L), Line);
+    }
+
+    Local Order = Scope.handle(TheVm.allocate(Thread, T.Order));
+    Order.get()->setRef(T.OrderAddress, Address.get());
+    Order.get()->setRef(T.OrderLinesField, Lines.get());
+
+    // Wire the customer (both directions: the back reference is what makes
+    // the §3.2.1 repair possible).
+    uint64_t C = Rng.nextBelow(NumCustomers);
+    ObjRef Customer = company()->getRef(T.CompanyCustomers)->getElement(C);
+    Order.get()->setRef(T.OrderCustomer, Customer);
+    Customer->setRef(T.CustomerLastOrder, Order.get());
+    Customer->setRef(T.CustomerLastAddress, Address.get());
+
+    // District.addOrder(order).
+    uint64_t DistrictIndex =
+        Rng.nextBelow(NumWarehouses * DistrictsPerWarehouse);
+    ObjRef District = districtAt(DistrictIndex);
+    int64_t OrderId = District->getScalar<int64_t>(T.DistrictNextOrder);
+    District->setScalar<int64_t>(T.DistrictNextOrder, OrderId + 1);
+    if (Standing)
+      OrderId += StandingBase; // Sorts after every regular order.
+    Order.get()->setScalar<int64_t>(T.OrderId, OrderId);
+    ManagedBTree &Table = *Tables[DistrictIndex];
+    Table.insert(OrderId, Order);
+
+    // §3.2.1 WithAssertions: "we instrumented the District.addOrder()
+    // method and asserted that each Order added is owned by its orderTable".
+    if (usesStructuralAssertions())
+      Ctx.assertOwnedBy(Table.treeObject(), Order.get());
+  }
+
+  /// Touches a customer's data (pure reads plus a small temp allocation).
+  void paymentTransaction(WorkloadContext &Ctx) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &Thread = Ctx.mainThread();
+    uint64_t C = Ctx.rng().nextBelow(NumCustomers);
+    ObjRef Customer = company()->getRef(T.CompanyCustomers)->getElement(C);
+    uint32_t Id = Customer->getScalar<uint32_t>(T.CustomerId);
+    ObjRef Receipt = TheVm.allocate(Thread, T.ByteArray, 32);
+    Receipt->arrayData()[0] = static_cast<uint8_t>(Id);
+  }
+
+  /// Processes the oldest undelivered orders of every district
+  /// (DeliveryTransaction.process in the paper). A per-district delivery
+  /// cursor ensures each order is processed exactly once, whether or not
+  /// the buggy variants remove it from the table. Standing open orders
+  /// live in the far-future id range the cursor never reaches.
+  void deliveryTransaction(WorkloadContext &Ctx) {
+    for (uint64_t D = 0; D != NumWarehouses * DistrictsPerWarehouse; ++D) {
+      ManagedBTree &Table = *Tables[D];
+      ObjRef District = districtAt(D);
+      int64_t Cursor = District->getScalar<int64_t>(T.DistrictNextDelivery);
+      for (int Batch = 0; Batch < 8; ++Batch) {
+        ObjRef Order = Table.find(Cursor);
+        if (!Order)
+          break; // Caught up: nothing undelivered.
+        processOrder(Ctx, Table, Order, Cursor);
+        ++Cursor;
+      }
+      District->setScalar<int64_t>(T.DistrictNextDelivery, Cursor);
+    }
+  }
+
+  void processOrder(WorkloadContext &Ctx, ManagedBTree &Table, ObjRef Order,
+                    int64_t Key) {
+    // "Complete" the order: read its lines (no allocation).
+    ObjRef Lines = Order->getRef(T.OrderLinesField);
+    uint64_t Total = 0;
+    for (uint64_t L = 0, E = Lines->arrayLength(); L != E; ++L)
+      Total += Lines->getElement(L)->getScalar<uint32_t>(T.LineQty);
+    (void)Total;
+
+    switch (Variant) {
+    case JbbVariant::OrderTableLeak: {
+      // The Jump & McKinley leak in isolation: the customer back-references
+      // are cleared properly, but the processed order is never removed
+      // from the orderTable. The paper places assert-dead at the end of
+      // DeliveryTransaction.process(); the report's path runs Company ->
+      // Warehouse -> District -> longBTree -> ... -> Order (Figure 1).
+      ObjRef Customer = Order->getRef(T.OrderCustomer);
+      if (Customer->getRef(T.CustomerLastOrder) == Order) {
+        Customer->setRef(T.CustomerLastOrder, nullptr);
+        Customer->setRef(T.CustomerLastAddress, nullptr);
+      }
+      Ctx.assertDead(Order);
+      break;
+    }
+
+    case JbbVariant::CustomerLeak:
+      // destroy(): removed from the table and asserted dead — but
+      // Customer.lastOrder still points at it.
+      Table.erase(Key);
+      Ctx.assertDead(Order);
+      break;
+
+    case JbbVariant::Correct:
+    case JbbVariant::CompanyDrag: {
+      // The repaired program (§3.2.1): clear the customer's back
+      // references through Order.customer, then remove from the table. No
+      // assert-dead here — the paper's performance configuration carries
+      // only the ownership and instance assertions (§3.1.2).
+      ObjRef Customer = Order->getRef(T.OrderCustomer);
+      if (Customer->getRef(T.CustomerLastOrder) == Order) {
+        Customer->setRef(T.CustomerLastOrder, nullptr);
+        Customer->setRef(T.CustomerLastAddress, nullptr);
+      }
+      Table.erase(Key);
+      break;
+    }
+    }
+  }
+
+  JbbVariant Variant;
+  JbbTypes T{};
+  std::unique_ptr<RootedArray> CompanyRoot;
+  /// Host-side handles to the district order tables, in district order.
+  std::vector<std::unique_ptr<ManagedBTree>> Tables;
+  int IterationCount = 0;
+};
+
+} // namespace
+
+namespace gcassert {
+
+void registerPseudoJbbWorkloads() {
+  WorkloadRegistry::add("pseudojbb", [] {
+    return std::make_unique<PseudoJbbWorkload>(JbbVariant::Correct);
+  });
+  WorkloadRegistry::add("pseudojbb-ordertable-leak", [] {
+    return std::make_unique<PseudoJbbWorkload>(JbbVariant::OrderTableLeak);
+  });
+  WorkloadRegistry::add("pseudojbb-customer-leak", [] {
+    return std::make_unique<PseudoJbbWorkload>(JbbVariant::CustomerLeak);
+  });
+  WorkloadRegistry::add("pseudojbb-drag", [] {
+    return std::make_unique<PseudoJbbWorkload>(JbbVariant::CompanyDrag);
+  });
+}
+
+} // namespace gcassert

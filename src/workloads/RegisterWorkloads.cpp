@@ -1,0 +1,27 @@
+//===- RegisterWorkloads.cpp - Built-in workload registration -------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/Workload.h"
+
+namespace gcassert {
+
+void registerSpecJvm98Workloads();
+void registerDaCapoWorkloads();
+void registerExtraWorkloads();
+void registerPseudoJbbWorkloads();
+
+void registerBuiltinWorkloads() {
+  static bool Done = false;
+  if (Done)
+    return;
+  Done = true;
+  registerSpecJvm98Workloads();
+  registerDaCapoWorkloads();
+  registerExtraWorkloads();
+  registerPseudoJbbWorkloads();
+}
+
+} // namespace gcassert

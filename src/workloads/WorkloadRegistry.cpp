@@ -1,0 +1,46 @@
+//===- WorkloadRegistry.cpp - Workload registry --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/Workload.h"
+
+#include "gcassert/support/ErrorHandling.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gcassert;
+
+Workload::~Workload() = default;
+
+namespace {
+
+std::map<std::string, WorkloadRegistry::Factory> &factoryTable() {
+  static std::map<std::string, WorkloadRegistry::Factory> Table;
+  return Table;
+}
+
+} // namespace
+
+void WorkloadRegistry::add(const std::string &Name, Factory MakeWorkload) {
+  auto [It, Inserted] = factoryTable().emplace(Name, std::move(MakeWorkload));
+  (void)It;
+  if (!Inserted)
+    reportFatalError("duplicate workload name registered");
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::create(const std::string &Name) {
+  auto It = factoryTable().find(Name);
+  if (It == factoryTable().end())
+    reportFatalError("unknown workload name");
+  return It->second();
+}
+
+std::vector<std::string> WorkloadRegistry::names() {
+  std::vector<std::string> Names;
+  for (const auto &[Name, Factory] : factoryTable())
+    Names.push_back(Name);
+  return Names;
+}

@@ -1,0 +1,92 @@
+//===- tests/common/TestGraph.h - Shared test object graphs -----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared managed-type fixtures for the unit tests: a "Node" class with
+/// three reference fields and an integer payload, a reference array and a
+/// byte-blob array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_TESTS_COMMON_TESTGRAPH_H
+#define GCASSERT_TESTS_COMMON_TESTGRAPH_H
+
+#include "gcassert/runtime/Vm.h"
+
+namespace gcassert {
+namespace testgraph {
+
+/// Type ids and field offsets of the shared test types.
+struct GraphTypes {
+  TypeId Node;
+  uint32_t FieldA;
+  uint32_t FieldB;
+  uint32_t FieldC;
+  uint32_t FieldValue;
+  TypeId Array;
+  TypeId Blob;
+
+  /// Registers the test types in \p Types, or reconstructs the descriptor
+  /// from an existing registration (keyed by name: registry addresses can
+  /// be reused across VM instances).
+  static GraphTypes ensure(TypeRegistry &Types) {
+    GraphTypes G;
+    if (const TypeInfo *Node = Types.lookup("LNode;")) {
+      G.Node = Node->id();
+      G.FieldA = Node->fields()[0].Offset;
+      G.FieldB = Node->fields()[1].Offset;
+      G.FieldC = Node->fields()[2].Offset;
+      G.FieldValue = Node->fields()[3].Offset;
+      G.Array = Types.lookup("[LNode;")->id();
+      G.Blob = Types.lookup("[B")->id();
+      return G;
+    }
+    TypeBuilder NodeB(Types, "LNode;");
+    G.FieldA = NodeB.addRef("a");
+    G.FieldB = NodeB.addRef("b");
+    G.FieldC = NodeB.addRef("c");
+    G.FieldValue = NodeB.addScalar("value", 8);
+    G.Node = NodeB.build();
+    G.Array = Types.registerRefArray("[LNode;");
+    G.Blob = Types.registerDataArray("[B", 1);
+    return G;
+  }
+};
+
+/// Allocates a Node with the given payload value.
+inline ObjRef newNode(Vm &TheVm, MutatorThread &Thread, int64_t Value = 0) {
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  ObjRef Node = TheVm.allocate(Thread, G.Node);
+  Node->setScalar<int64_t>(G.FieldValue, Value);
+  return Node;
+}
+
+/// Human-readable collector name for parameterized test labels.
+inline const char *collectorName(CollectorKind Kind) {
+  switch (Kind) {
+  case CollectorKind::MarkSweep:
+    return "MarkSweep";
+  case CollectorKind::SemiSpace:
+    return "SemiSpace";
+  case CollectorKind::MarkCompact:
+    return "MarkCompact";
+  case CollectorKind::Generational:
+    return "Generational";
+  }
+  return "Unknown";
+}
+
+/// Counts the objects currently present in the heap walk.
+inline size_t heapObjectCount(Vm &TheVm) {
+  size_t Count = 0;
+  TheVm.heap().forEachObject([&](ObjRef) { ++Count; });
+  return Count;
+}
+
+} // namespace testgraph
+} // namespace gcassert
+
+#endif // GCASSERT_TESTS_COMMON_TESTGRAPH_H

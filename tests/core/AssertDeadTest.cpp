@@ -1,0 +1,132 @@
+//===- AssertDeadTest.cpp - assert-dead (§2.3.1) unit tests -------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class AssertDeadTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  AssertDeadTest() : TheVm(makeConfig()), Engine(TheVm, &Sink) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  Vm TheVm;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine;
+};
+
+TEST_P(AssertDeadTest, ReclaimedObjectDoesNotFire) {
+  MutatorThread &T = TheVm.mainThread();
+  ObjRef Obj = newNode(TheVm, T); // Never rooted.
+  Engine.assertDead(Obj);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST_P(AssertDeadTest, ReachableObjectFires) {
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  EXPECT_EQ(Sink.violations()[0].Kind, AssertionKind::Dead);
+  EXPECT_EQ(Sink.violations()[0].ObjectType, "LNode;");
+}
+
+TEST_P(AssertDeadTest, FiresAgainEveryGcWhileReachable) {
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  TheVm.collectNow();
+  TheVm.collectNow();
+  // The dead bit persists in the header: the mismatch is re-reported at
+  // every collection until the object actually dies.
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 2u);
+}
+
+TEST_P(AssertDeadTest, DyingLaterStopsReports) {
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+
+  Kept.set(nullptr);
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u) << "no report after death";
+}
+
+TEST_P(AssertDeadTest, NullAssignmentIdiomVerified) {
+  // The paper's motivating use: assigning null to the only reference must
+  // make the object collectable; a second hidden reference is the bug.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T));
+  Local Hidden = Scope.handle(newNode(TheVm, T));
+  ObjRef Victim = newNode(TheVm, T);
+  Holder.get()->setRef(G.FieldA, Victim);
+  Hidden.get()->setRef(G.FieldA, Victim); // The bug.
+
+  Engine.assertDead(Holder.get()->getRef(G.FieldA));
+  Holder.get()->setRef(G.FieldA, nullptr); // "obj = null;"
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+
+  // Fix the bug; the object dies and reports stop.
+  Hidden.get()->setRef(G.FieldA, nullptr);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+}
+
+TEST_P(AssertDeadTest, ManyDeadObjectsNoFalsePositives) {
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local KeptA = Scope.handle(newNode(TheVm, T));
+  Local KeptB = Scope.handle(newNode(TheVm, T));
+  for (int I = 0; I < 500; ++I)
+    Engine.assertDead(newNode(TheVm, T)); // All true garbage.
+  Engine.assertDead(KeptA.get());
+  Engine.assertDead(KeptB.get());
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 2u)
+      << "only the two rooted objects violate";
+  EXPECT_EQ(Engine.counters().AssertDeadCalls, 502u);
+}
+
+TEST_P(AssertDeadTest, CountersTrackCalls) {
+  MutatorThread &T = TheVm.mainThread();
+  Engine.assertDead(newNode(TheVm, T));
+  Engine.assertDead(newNode(TheVm, T));
+  EXPECT_EQ(Engine.counters().AssertDeadCalls, 2u);
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.counters().GcCycles, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, AssertDeadTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

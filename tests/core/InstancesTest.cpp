@@ -1,0 +1,160 @@
+//===- InstancesTest.cpp - assert-instances (§2.4.1) unit tests ---------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class InstancesTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  InstancesTest() : TheVm(makeConfig()), Engine(TheVm, &Sink) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  Vm TheVm;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine;
+};
+
+TEST_P(InstancesTest, UnderLimitPasses) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 3));
+  for (uint64_t I = 0; I < 3; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T));
+
+  Engine.assertInstances(G.Node, 3);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(InstancesTest, OverLimitFires) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 5));
+  for (uint64_t I = 0; I < 5; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T));
+
+  Engine.assertInstances(G.Node, 3);
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Instances), 1u);
+  EXPECT_EQ(Sink.violations()[0].ObjectType, "LNode;");
+  EXPECT_NE(Sink.violations()[0].Message.find("5 live instances"),
+            std::string::npos);
+}
+
+TEST_P(InstancesTest, ZeroLimitChecksNoInstancesExist) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  Engine.assertInstances(G.Node, 0);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Instances), 1u);
+  (void)Kept;
+}
+
+TEST_P(InstancesTest, DeadInstancesDoNotCount) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  for (int I = 0; I < 100; ++I)
+    newNode(TheVm, T); // Garbage: unreachable at GC.
+
+  Engine.assertInstances(G.Node, 1);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u)
+      << "only *live* instances count at GC time";
+}
+
+TEST_P(InstancesTest, SingletonPatternCheck) {
+  // The paper's singleton use-case: assert one instance, then violate it.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local First = Scope.handle(newNode(TheVm, T));
+  Engine.assertInstances(G.Node, 1);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+
+  Local Second = Scope.handle(newNode(TheVm, T)); // Oops: a second one.
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Instances), 1u);
+  (void)First;
+  (void)Second;
+}
+
+TEST_P(InstancesTest, ReportedEveryGcWhileViolated) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local A = Scope.handle(newNode(TheVm, T));
+  Local B = Scope.handle(newNode(TheVm, T));
+  Engine.assertInstances(G.Node, 1);
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Instances), 2u);
+  (void)A;
+  (void)B;
+}
+
+TEST_P(InstancesTest, ClearInstancesStopsChecking) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local A = Scope.handle(newNode(TheVm, T));
+  Local B = Scope.handle(newNode(TheVm, T));
+  Engine.assertInstances(G.Node, 1);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Instances), 1u);
+
+  Engine.clearInstances(G.Node);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Instances), 1u);
+  (void)A;
+  (void)B;
+}
+
+TEST_P(InstancesTest, LimitsAreIndependentPerType) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local N = Scope.handle(newNode(TheVm, T));
+  Local A1 = Scope.handle(TheVm.allocate(T, G.Array, 1));
+  Local A2 = Scope.handle(TheVm.allocate(T, G.Array, 1));
+
+  Engine.assertInstances(G.Node, 5);  // fine: 1 <= 5
+  Engine.assertInstances(G.Array, 1); // violated: 2 > 1
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Instances), 1u);
+  EXPECT_EQ(Sink.violations()[0].ObjectType, "[LNode;");
+  (void)N;
+  (void)A1;
+  (void)A2;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, InstancesTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

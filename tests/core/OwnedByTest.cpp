@@ -1,0 +1,324 @@
+//===- OwnedByTest.cpp - assert-ownedby (§2.5.2) unit tests -------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class OwnedByTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  OwnedByTest() : TheVm(makeConfig()), Engine(TheVm, &Sink) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  Vm TheVm;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine;
+};
+
+TEST_P(OwnedByTest, OwnedThroughContainerPasses) {
+  // The typical shape: owner -> element array -> ownees.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T));
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 10));
+  Owner.get()->setRef(G.FieldA, Arr.get());
+  for (uint64_t I = 0; I < 10; ++I) {
+    ObjRef Ownee = newNode(TheVm, T, static_cast<int64_t>(I));
+    Arr.get()->setElement(I, Ownee);
+    Engine.assertOwnedBy(Owner.get(), Ownee);
+  }
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+  EXPECT_EQ(Engine.counters().OwneesCheckedLastGc, 10u);
+}
+
+TEST_P(OwnedByTest, ExtraReferenceStillPasses) {
+  // The paper's cache example: the ownee may be referenced elsewhere too,
+  // as long as a path through the owner exists.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T));
+  Local Cache = Scope.handle(newNode(TheVm, T));
+  ObjRef Ownee = newNode(TheVm, T);
+  Owner.get()->setRef(G.FieldA, Ownee);
+  Cache.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(Owner.get(), Ownee);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(OwnedByTest, RemovedFromOwnerButCachedFires) {
+  // The leak the assertion exists to catch: element removed from its
+  // collection but kept alive by a stray reference.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T));
+  Local Cache = Scope.handle(newNode(TheVm, T));
+  ObjRef Ownee = newNode(TheVm, T);
+  Owner.get()->setRef(G.FieldA, Ownee);
+  Cache.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(Owner.get(), Ownee);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+
+  Owner.get()->setRef(G.FieldA, nullptr); // "remove from collection"
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::OwnedBy), 1u);
+  const Violation &V = Sink.violations()[0];
+  EXPECT_EQ(V.ObjectType, "LNode;");
+  ASSERT_GE(V.Path.size(), 2u) << "path shows who holds the leak";
+}
+
+TEST_P(OwnedByTest, OwneeDeathRetiresThePair) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T));
+  ObjRef Ownee = newNode(TheVm, T);
+  Owner.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(Owner.get(), Ownee);
+
+  Owner.get()->setRef(G.FieldA, nullptr); // The ownee dies cleanly.
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+  EXPECT_EQ(Engine.ownershipTable().size(), 0u) << "pair pruned";
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(OwnedByTest, OwnerDeathWithLiveOwneeReported) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local OwnerHandle = Scope.handle(newNode(TheVm, T));
+  Local Keeper = Scope.handle(newNode(TheVm, T));
+  ObjRef Ownee = newNode(TheVm, T);
+  OwnerHandle.get()->setRef(G.FieldA, Ownee);
+  Keeper.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(OwnerHandle.get(), Ownee);
+
+  OwnerHandle.set(nullptr); // The owner itself dies; the ownee does not.
+  TheVm.collectNow();
+  // The verdict is deferred one cycle: at the GC where the owner dies, the
+  // ownee's liveness may be an artifact of the ownership phase's
+  // conservative marking (§2.5.2's memory-pressure caveat).
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwneeOutlivedOwner), 0u);
+  EXPECT_EQ(Engine.ownershipTable().size(), 0u);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwneeOutlivedOwner), 1u);
+}
+
+TEST_P(OwnedByTest, OrphanDyingWithOwnerNotReported) {
+  // Ownee reachable only through its owner: when the owner dies, the ownee
+  // survives one conservative cycle (the paper's memory pressure) and then
+  // dies — no OwneeOutlivedOwner report.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local OwnerHandle = Scope.handle(newNode(TheVm, T));
+  ObjRef Ownee = newNode(TheVm, T);
+  OwnerHandle.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(OwnerHandle.get(), Ownee);
+
+  OwnerHandle.set(nullptr);
+  TheVm.collectNow();
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwneeOutlivedOwner), 0u);
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST_P(OwnedByTest, OwnerScanDoesNotKeepOwnerAlive) {
+  // §2.5.2: "we avoid marking the owner object when we do the ownership
+  // scan ... if the owner object is unreachable, it will be collected
+  // during this GC".
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  ObjRef Owner = newNode(TheVm, T, 1); // Unrooted.
+  ObjRef Ownee = newNode(TheVm, T, 2); // Unrooted, reachable from Owner.
+  Owner->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(Owner, Ownee);
+
+  TheVm.collectNow();
+  // The ownership phase marked the ownee (conservatively live one extra
+  // cycle — the paper's "additional memory pressure"), but the owner
+  // itself must die.
+  size_t Live = heapObjectCount(TheVm);
+  EXPECT_LE(Live, 1u) << "owner must not survive via its own scan";
+
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 0u) << "ownee dies the following GC";
+}
+
+TEST_P(OwnedByTest, OwneeSubtreeStaysLive) {
+  // Truncation at ownees must not lose the ownee's own children.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T, 0));
+  ObjRef Ownee = newNode(TheVm, T, 1);
+  Owner.get()->setRef(G.FieldA, Ownee);
+  ObjRef Child = newNode(TheVm, T, 2);
+  Ownee->setRef(G.FieldA, Child);
+  Engine.assertOwnedBy(Owner.get(), Ownee);
+
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 3u);
+  // Verify the chain is intact (addresses may have changed).
+  ObjRef O = Owner.get()->getRef(G.FieldA);
+  ASSERT_NE(O, nullptr);
+  ASSERT_NE(O->getRef(G.FieldA), nullptr);
+  EXPECT_EQ(O->getRef(G.FieldA)->getScalar<int64_t>(G.FieldValue), 2);
+}
+
+TEST_P(OwnedByTest, BackEdgesThroughOwneeHandled) {
+  // Ownee points back into the owner's container — the truncation design
+  // exists exactly for this (§2.5.2 "back edges ... significant overlap").
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T));
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 4));
+  Owner.get()->setRef(G.FieldA, Arr.get());
+  for (uint64_t I = 0; I < 4; ++I) {
+    ObjRef Ownee = newNode(TheVm, T, static_cast<int64_t>(I));
+    Arr.get()->setElement(I, Ownee);
+    Ownee->setRef(G.FieldA, Arr.get()); // Back edge into the container.
+    Engine.assertOwnedBy(Owner.get(), Ownee);
+  }
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+  EXPECT_EQ(heapObjectCount(TheVm), 6u);
+}
+
+TEST_P(OwnedByTest, TwoDisjointOwnersPass) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local O1 = Scope.handle(newNode(TheVm, T, 1));
+  Local O2 = Scope.handle(newNode(TheVm, T, 2));
+  ObjRef E1 = newNode(TheVm, T, 11);
+  O1.get()->setRef(G.FieldA, E1);
+  ObjRef E2 = newNode(TheVm, T, 22);
+  O2.get()->setRef(G.FieldA, E2);
+  Engine.assertOwnedBy(O1.get(), E1);
+  Engine.assertOwnedBy(O2.get(), E2);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(OwnedByTest, OwnerChainStopsAtOtherOwner) {
+  // O1's region contains O2 (another owner): the scan marks O2 and stops;
+  // O2's own region is scanned independently. No spurious reports.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local O1 = Scope.handle(newNode(TheVm, T, 1));
+  ObjRef O2 = newNode(TheVm, T, 2);
+  O1.get()->setRef(G.FieldB, O2);
+  ObjRef E1 = newNode(TheVm, T, 11);
+  O1.get()->setRef(G.FieldA, E1);
+  ObjRef E2 = newNode(TheVm, T, 22);
+  O2->setRef(G.FieldA, E2);
+  Engine.assertOwnedBy(O1.get(), E1);
+  Engine.assertOwnedBy(O2, E2);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+  EXPECT_EQ(heapObjectCount(TheVm), 4u);
+}
+
+TEST_P(OwnedByTest, OverlappingOwnersWarned) {
+  // O1's region reaches E2, which belongs to O2: improper use (§2.5.2).
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local O1 = Scope.handle(newNode(TheVm, T, 1));
+  Local O2 = Scope.handle(newNode(TheVm, T, 2));
+  ObjRef Shared = newNode(TheVm, T, 3); // In both regions.
+  O1.get()->setRef(G.FieldA, Shared);
+  O2.get()->setRef(G.FieldA, Shared);
+  Engine.assertOwnedBy(O2.get(), Shared); // Owned by O2...
+  ObjRef E1 = newNode(TheVm, T, 11);      // ...but O1's region hits it too.
+  O1.get()->setRef(G.FieldB, E1);
+  Engine.assertOwnedBy(O1.get(), E1);
+
+  TheVm.collectNow();
+  // Whether the overlap fires depends on scan order (only the owner that
+  // reaches the foreign ownee first reports); it must never produce a
+  // spurious OwnedBy violation.
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwnedBy), 0u);
+  EXPECT_LE(Sink.countOf(AssertionKind::OwnershipOverlap), 1u);
+}
+
+TEST_P(OwnedByTest, ReassertReplacesOwner) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local O1 = Scope.handle(newNode(TheVm, T, 1));
+  Local O2 = Scope.handle(newNode(TheVm, T, 2));
+  ObjRef Ownee = newNode(TheVm, T, 3);
+  O1.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(O1.get(), Ownee);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+
+  // Hand the ownee over to O2; O1 no longer references it.
+  ObjRef CurrentOwnee = O1.get()->getRef(G.FieldA);
+  O2.get()->setRef(G.FieldA, CurrentOwnee);
+  O1.get()->setRef(G.FieldA, nullptr);
+  Engine.assertOwnedBy(O2.get(), CurrentOwnee);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u) << "new owner satisfies the pair";
+  EXPECT_EQ(Engine.ownershipTable().size(), 1u);
+}
+
+TEST_P(OwnedByTest, ManyPairsCountersMatch) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T));
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 200));
+  Owner.get()->setRef(G.FieldA, Arr.get());
+  for (uint64_t I = 0; I < 200; ++I) {
+    ObjRef Ownee = newNode(TheVm, T, static_cast<int64_t>(I));
+    Arr.get()->setElement(I, Ownee);
+    Engine.assertOwnedBy(Owner.get(), Ownee);
+  }
+
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.counters().AssertOwnedByCalls, 200u);
+  EXPECT_EQ(Engine.counters().OwneesCheckedLastGc, 200u);
+  EXPECT_EQ(Engine.ownershipTable().size(), 200u);
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, OwnedByTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- OwnershipPropertyTest.cpp - assert-ownedby vs a reachability oracle ----===//
+//
+// Property-based test of the §2.5.2 semantics with a single owner (the
+// paper's restriction — owner regions must be disjoint — is trivially met):
+// after a collection,
+//
+//   ownee live and unreachable from the owner  <=>  OwnedBy violation
+//
+// where "reachable from the owner" is computed by an independent BFS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <unordered_set>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+struct PropertyParam {
+  CollectorKind Collector;
+  uint64_t Seed;
+};
+
+class OwnershipPropertyTest : public ::testing::TestWithParam<PropertyParam> {
+};
+
+/// BFS over Node fields from \p From; true if \p To is reachable (proper
+/// paths only: From -> ... -> To with at least one edge... From==To counts
+/// as reachable via the trivial path, matching the tracer's semantics where
+/// the ownee *is* in the owner's region).
+bool reachable(Vm &TheVm, const GraphTypes &G, ObjRef From, ObjRef To) {
+  std::unordered_set<ObjRef> Seen{From};
+  std::deque<ObjRef> Queue{From};
+  while (!Queue.empty()) {
+    ObjRef Obj = Queue.front();
+    Queue.pop_front();
+    if (Obj == To && Obj != From)
+      return true;
+    for (uint32_t Offset : TheVm.types().get(G.Node).refOffsets()) {
+      ObjRef Child = Obj->getRef(Offset);
+      if (Child && Seen.insert(Child).second) {
+        if (Child == To)
+          return true;
+        Queue.push_back(Child);
+      }
+    }
+  }
+  return false;
+}
+
+TEST_P(OwnershipPropertyTest, ViolationIffUnreachableFromOwner) {
+  VmConfig Config;
+  Config.HeapBytes = 16u << 20;
+  Config.Collector = GetParam().Collector;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  SplitMix64 Rng(GetParam().Seed);
+
+  // A rooted random graph with one owner and a set of rooted candidates.
+  HandleScope Scope(T);
+  const int NodeCount = 120;
+  std::vector<Local> Nodes;
+  for (int I = 0; I != NodeCount; ++I)
+    Nodes.push_back(Scope.handle(newNode(TheVm, T, I)));
+  for (int I = 0; I != NodeCount * 2; ++I) {
+    ObjRef From = Nodes[Rng.nextBelow(Nodes.size())].get();
+    ObjRef To = Nodes[Rng.nextBelow(Nodes.size())].get();
+    uint32_t Field =
+        Rng.nextBelow(2) == 0 ? G.FieldA : (Rng.nextBelow(2) ? G.FieldB : G.FieldC);
+    if (From != To)
+      From->setRef(Field, To);
+  }
+
+  Local Owner = Nodes[0];
+  // Pick ~20 distinct ownees (everything is rooted, so all stay live).
+  std::vector<size_t> OwneeIndices;
+  std::unordered_set<size_t> Used{0};
+  while (OwneeIndices.size() < 20) {
+    size_t Index = 1 + Rng.nextBelow(NodeCount - 1);
+    if (Used.insert(Index).second)
+      OwneeIndices.push_back(Index);
+  }
+  for (size_t Index : OwneeIndices)
+    Engine.assertOwnedBy(Owner.get(), Nodes[Index].get());
+
+  // Oracle *before* the collection (the graph does not change during GC
+  // under LogAndContinue; addresses may, so evaluate expectations on
+  // payload identity afterwards).
+  std::unordered_set<int64_t> ExpectedViolations;
+  for (size_t Index : OwneeIndices)
+    if (!reachable(TheVm, G, Owner.get(), Nodes[Index].get()))
+      ExpectedViolations.insert(static_cast<int64_t>(Index));
+
+  TheVm.collectNow();
+
+  std::unordered_set<int64_t> Reported;
+  for (const Violation &V : Sink.violations()) {
+    ASSERT_EQ(V.Kind, AssertionKind::OwnedBy)
+        << "single-owner runs can only produce OwnedBy violations, got: "
+        << V.Message;
+    // The violating object is the path's last step; recover its identity
+    // from the live graph by payload: find the ownee index whose node is
+    // the reported one. Payloads equal indices.
+    ASSERT_FALSE(V.Path.empty());
+  }
+  // Identify violating ownees by checking which asserted ownees are (still)
+  // unreachable from the owner after the GC and cross-check the count.
+  size_t StillUnreachable = 0;
+  for (size_t Index : OwneeIndices)
+    if (!reachable(TheVm, G, Owner.get(), Nodes[Index].get()))
+      ++StillUnreachable;
+
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwnedBy), ExpectedViolations.size());
+  EXPECT_EQ(StillUnreachable, ExpectedViolations.size())
+      << "collection must not change owner-reachability of rooted nodes";
+}
+
+TEST_P(OwnershipPropertyTest, RepeatedGcIsStable) {
+  // Violations must repeat identically across collections when nothing
+  // mutates (the check is per-GC and stateless apart from header bits).
+  VmConfig Config;
+  Config.HeapBytes = 16u << 20;
+  Config.Collector = GetParam().Collector;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T, 0));
+  Local Orphan = Scope.handle(newNode(TheVm, T, 1)); // Never owner-reachable.
+  Local Owned = Scope.handle(newNode(TheVm, T, 2));
+  Owner.get()->setRef(G.FieldA, Owned.get());
+  Engine.assertOwnedBy(Owner.get(), Orphan.get());
+  Engine.assertOwnedBy(Owner.get(), Owned.get());
+
+  for (int I = 1; I <= 3; ++I) {
+    TheVm.collectNow();
+    EXPECT_EQ(Sink.countOf(AssertionKind::OwnedBy), static_cast<size_t>(I));
+  }
+}
+
+std::vector<PropertyParam> propertyParams() {
+  std::vector<PropertyParam> Params;
+  for (CollectorKind Kind : {CollectorKind::MarkSweep,
+                             CollectorKind::SemiSpace,
+                             CollectorKind::MarkCompact})
+    for (uint64_t Seed = 11; Seed <= 18; ++Seed)
+      Params.push_back({Kind, Seed});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, OwnershipPropertyTest,
+    ::testing::ValuesIn(propertyParams()),
+    [](const ::testing::TestParamInfo<PropertyParam> &Info) {
+      return std::string(collectorName(Info.param.Collector)) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+} // namespace

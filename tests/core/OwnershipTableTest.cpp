@@ -1,0 +1,220 @@
+//===- OwnershipTableTest.cpp - core/OwnershipTable unit tests -----------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/OwnershipTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+/// The table only manipulates headers, so a plain VM provides the objects.
+class OwnershipTableTest : public ::testing::Test {
+protected:
+  OwnershipTableTest() : TheVm(makeConfig()) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    return Config;
+  }
+
+  ObjRef node(int64_t Value = 0) {
+    return newNode(TheVm, TheVm.mainThread(), Value);
+  }
+
+  Vm TheVm;
+  OwnershipTable Table;
+};
+
+TEST_F(OwnershipTableTest, AddSetsHeaderBits) {
+  ObjRef Owner = node();
+  ObjRef Ownee = node();
+  Table.add(Owner, Ownee);
+  EXPECT_TRUE(Owner->header().testFlag(HF_Owner));
+  EXPECT_TRUE(Ownee->header().testFlag(HF_Ownee));
+  EXPECT_TRUE(Table.empty() == false);
+  EXPECT_EQ(Table.size(), 0u) << "pending until beginCycle";
+}
+
+TEST_F(OwnershipTableTest, BeginCycleMergesPending) {
+  ObjRef Owner = node();
+  ObjRef A = node(), B = node();
+  Table.add(Owner, A);
+  Table.add(Owner, B);
+  Table.beginCycle();
+  EXPECT_EQ(Table.size(), 2u);
+  EXPECT_EQ(Table.lookupOwner(A), Owner);
+  EXPECT_EQ(Table.lookupOwner(B), Owner);
+  EXPECT_EQ(Table.lookupOwner(Owner), nullptr);
+  ASSERT_EQ(Table.owners().size(), 1u);
+  EXPECT_EQ(Table.owners()[0], Owner);
+}
+
+TEST_F(OwnershipTableTest, ReassertionReplacesOwnerInPending) {
+  ObjRef O1 = node(1), O2 = node(2);
+  ObjRef Ownee = node(3);
+  Table.add(O1, Ownee);
+  Table.add(O2, Ownee); // Later assertion wins.
+  Table.beginCycle();
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.lookupOwner(Ownee), O2);
+}
+
+TEST_F(OwnershipTableTest, ReassertionReplacesOwnerInMerged) {
+  ObjRef O1 = node(1), O2 = node(2);
+  ObjRef Ownee = node(3);
+  Table.add(O1, Ownee);
+  Table.beginCycle();
+  Table.add(O2, Ownee);
+  Table.beginCycle();
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.lookupOwner(Ownee), O2);
+  // O1 lost its last pair: the Owner bit must be gone.
+  EXPECT_FALSE(O1->header().testFlag(HF_Owner));
+  EXPECT_TRUE(O2->header().testFlag(HF_Owner));
+}
+
+TEST_F(OwnershipTableTest, BeginCycleClearsOwnedBits) {
+  ObjRef Owner = node();
+  ObjRef Ownee = node();
+  Table.add(Owner, Ownee);
+  Table.beginCycle();
+  Ownee->header().setFlag(HF_Owned); // As the ownership phase would.
+  Table.beginCycle();
+  EXPECT_FALSE(Ownee->header().testFlag(HF_Owned));
+}
+
+TEST_F(OwnershipTableTest, LookupCountsAreTracked) {
+  ObjRef Owner = node();
+  ObjRef Ownee = node();
+  Table.add(Owner, Ownee);
+  Table.beginCycle();
+  EXPECT_EQ(Table.lookupsThisCycle(), 0u);
+  Table.lookupOwner(Ownee);
+  Table.lookupOwner(Ownee);
+  EXPECT_EQ(Table.lookupsThisCycle(), 2u);
+  EXPECT_EQ(Table.lookupsTotal(), 2u);
+  Table.beginCycle();
+  EXPECT_EQ(Table.lookupsThisCycle(), 0u) << "per-cycle counter resets";
+  EXPECT_EQ(Table.lookupsTotal(), 2u);
+}
+
+TEST_F(OwnershipTableTest, PruneDropsDeadOwnees) {
+  ObjRef Owner = node();
+  ObjRef Live = node(), Dead = node();
+  Table.add(Owner, Live);
+  Table.add(Owner, Dead);
+  Table.beginCycle();
+
+  int Outlived = 0;
+  Table.pruneAfterGc(
+      [&](ObjRef Obj) -> ObjRef { return Obj == Dead ? nullptr : Obj; },
+      [&](ObjRef, ObjRef) { ++Outlived; });
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.lookupOwner(Live), Owner);
+  EXPECT_EQ(Outlived, 0) << "a dead ownee is a satisfied assertion";
+}
+
+TEST_F(OwnershipTableTest, PruneReportsOwneeOutlivingOwner) {
+  ObjRef Owner = node();
+  ObjRef Ownee = node();
+  Table.add(Owner, Ownee);
+  Table.beginCycle();
+
+  std::vector<std::pair<ObjRef, ObjRef>> Outlived;
+  Table.pruneAfterGc(
+      [&](ObjRef Obj) -> ObjRef { return Obj == Owner ? nullptr : Obj; },
+      [&](ObjRef O, ObjRef E) { Outlived.push_back({O, E}); });
+  ASSERT_EQ(Outlived.size(), 1u);
+  EXPECT_EQ(Outlived[0].first, Owner);
+  EXPECT_EQ(Outlived[0].second, Ownee);
+  EXPECT_EQ(Table.size(), 0u);
+  EXPECT_FALSE(Ownee->header().testFlag(HF_Ownee)) << "bits retired";
+}
+
+TEST_F(OwnershipTableTest, PruneTranslatesMovedPairs) {
+  ObjRef Owner = node(1);
+  ObjRef Ownee = node(2);
+  ObjRef NewOwner = node(3);
+  ObjRef NewOwnee = node(4);
+  Table.add(Owner, Ownee);
+  Table.beginCycle();
+
+  Table.pruneAfterGc(
+      [&](ObjRef Obj) -> ObjRef {
+        if (Obj == Owner)
+          return NewOwner;
+        if (Obj == Ownee)
+          return NewOwnee;
+        return Obj;
+      },
+      [&](ObjRef, ObjRef) { FAIL() << "nothing outlived"; });
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.lookupOwner(NewOwnee), NewOwner);
+  EXPECT_EQ(Table.lookupOwner(Ownee), nullptr);
+  // The moved-to owner carries the bit; the stale copy was cleared.
+  EXPECT_TRUE(NewOwner->header().testFlag(HF_Owner));
+}
+
+TEST_F(OwnershipTableTest, TranslatePendingDropsDeadAndRewrites) {
+  ObjRef Owner = node(1);
+  ObjRef Kept = node(2), Dying = node(3), Moved = node(4), MovedTo = node(5);
+  Table.add(Owner, Kept);
+  Table.add(Owner, Dying);
+  Table.add(Owner, Moved);
+
+  int Orphans = 0;
+  Table.translatePending(
+      [&](ObjRef Obj) -> ObjRef {
+        if (Obj == Dying)
+          return nullptr;
+        if (Obj == Moved)
+          return MovedTo;
+        return Obj;
+      },
+      [&](ObjRef, ObjRef) { ++Orphans; });
+  EXPECT_EQ(Orphans, 0);
+
+  Table.beginCycle();
+  EXPECT_EQ(Table.size(), 2u);
+  EXPECT_EQ(Table.lookupOwner(Kept), Owner);
+  EXPECT_EQ(Table.lookupOwner(MovedTo), Owner);
+  EXPECT_EQ(Table.lookupOwner(Dying), nullptr);
+}
+
+TEST_F(OwnershipTableTest, ManyPairsSortedLookup) {
+  ObjRef Owner = node();
+  std::vector<ObjRef> Ownees;
+  for (int I = 0; I < 500; ++I) {
+    Ownees.push_back(node(I));
+    Table.add(Owner, Ownees.back());
+  }
+  Table.beginCycle();
+  EXPECT_EQ(Table.size(), 500u);
+  for (ObjRef Ownee : Ownees)
+    ASSERT_EQ(Table.lookupOwner(Ownee), Owner);
+  // Non-ownees miss.
+  EXPECT_EQ(Table.lookupOwner(Owner), nullptr);
+  EXPECT_EQ(Table.lookupOwner(node()), nullptr);
+}
+
+TEST_F(OwnershipTableTest, IncrementalMergeKeepsSortedOrder) {
+  ObjRef Owner = node();
+  // Merge in three waves; lookups must stay correct throughout.
+  std::vector<ObjRef> All;
+  for (int Wave = 0; Wave < 3; ++Wave) {
+    for (int I = 0; I < 100; ++I) {
+      All.push_back(node(Wave * 100 + I));
+      Table.add(Owner, All.back());
+    }
+    Table.beginCycle();
+    for (ObjRef Ownee : All)
+      ASSERT_EQ(Table.lookupOwner(Ownee), Owner);
+  }
+  EXPECT_EQ(Table.size(), 300u);
+}
+
+} // namespace

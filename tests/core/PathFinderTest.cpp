@@ -1,0 +1,116 @@
+//===- PathFinderTest.cpp - core/PathFinder unit tests ------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/PathFinder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig smallVm() {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  return Config;
+}
+
+TEST(PathFinderTest, FindsDirectRoot) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Obj = Scope.handle(newNode(TheVm, T));
+
+  PathFinder Finder(TheVm);
+  auto Path = Finder.findPath(Obj.get());
+  ASSERT_TRUE(Path.has_value());
+  ASSERT_EQ(Path->size(), 1u);
+  EXPECT_EQ((*Path)[0].TypeName, "LNode;");
+}
+
+TEST(PathFinderTest, FindsChainWithFieldNames) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Head = Scope.handle(newNode(TheVm, T));
+  ObjRef Mid = newNode(TheVm, T);
+  Head.get()->setRef(G.FieldB, Mid);
+  ObjRef Tail = newNode(TheVm, T);
+  Mid->setRef(G.FieldC, Tail);
+
+  PathFinder Finder(TheVm);
+  auto Path = Finder.findPath(Tail);
+  ASSERT_TRUE(Path.has_value());
+  ASSERT_EQ(Path->size(), 3u);
+  EXPECT_EQ((*Path)[1].FieldName, "b");
+  EXPECT_EQ((*Path)[2].FieldName, "c");
+}
+
+TEST(PathFinderTest, ShortestPathPreferred) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  // Long path: root -> a -> b -> target; short path: root2 -> target.
+  Local LongRoot = Scope.handle(newNode(TheVm, T));
+  ObjRef A = newNode(TheVm, T);
+  LongRoot.get()->setRef(G.FieldA, A);
+  ObjRef Target = newNode(TheVm, T);
+  A->setRef(G.FieldA, Target);
+  Local ShortRoot = Scope.handle(newNode(TheVm, T));
+  ShortRoot.get()->setRef(G.FieldA, Target);
+
+  PathFinder Finder(TheVm);
+  auto Path = Finder.findPath(Target);
+  ASSERT_TRUE(Path.has_value());
+  EXPECT_EQ(Path->size(), 2u) << "BFS returns the shortest path";
+}
+
+TEST(PathFinderTest, UnreachableReturnsNullopt) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  ObjRef Garbage = newNode(TheVm, T); // Unrooted (and no GC ran yet).
+
+  PathFinder Finder(TheVm);
+  EXPECT_FALSE(Finder.findPath(Garbage).has_value());
+}
+
+TEST(PathFinderTest, FindReachableInstances) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 10));
+  for (uint64_t I = 0; I < 10; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T, static_cast<int64_t>(I)));
+  newNode(TheVm, T, 99); // Unreachable: must not be returned.
+
+  PathFinder Finder(TheVm);
+  EXPECT_EQ(Finder.findReachableInstances(G.Node, 100).size(), 10u);
+  EXPECT_EQ(Finder.findReachableInstances(G.Node, 4).size(), 4u)
+      << "cap respected";
+  EXPECT_EQ(Finder.findReachableInstances(G.Blob, 10).size(), 0u);
+}
+
+TEST(PathFinderTest, CountIncomingReferences) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local P1 = Scope.handle(newNode(TheVm, T));
+  Local P2 = Scope.handle(newNode(TheVm, T));
+  Local Direct = Scope.handle(); // Root slot pointing at the target.
+  ObjRef Target = newNode(TheVm, T);
+  P1.get()->setRef(G.FieldA, Target);
+  P2.get()->setRef(G.FieldA, Target);
+  P2.get()->setRef(G.FieldB, Target); // Two edges from the same object.
+  Direct.set(Target);
+
+  PathFinder Finder(TheVm);
+  EXPECT_EQ(Finder.countIncomingReferences(Target), 4u)
+      << "3 heap edges + 1 root slot";
+}
+
+} // namespace

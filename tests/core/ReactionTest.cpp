@@ -1,0 +1,165 @@
+//===- ReactionTest.cpp - reaction policies (§2.6) unit tests -----------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig smallVm(CollectorKind Kind = CollectorKind::MarkSweep) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = Kind;
+  return Config;
+}
+
+TEST(ReactionTest, DefaultIsLogAndContinue) {
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  for (size_t I = 0; I < NumAssertionKinds; ++I)
+    EXPECT_EQ(Engine.reaction(static_cast<AssertionKind>(I)),
+              ReactionPolicy::LogAndContinue);
+}
+
+TEST(ReactionTest, LogAndContinueKeepsObjectAlive) {
+  // The paper's default "retains the semantics of the program without any
+  // assertions": a violating object is reported but not reclaimed.
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T, 5));
+  Engine.assertDead(Kept.get());
+  TheVm.collectNow();
+
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  EXPECT_EQ(Kept.get()->getScalar<int64_t>(G.FieldValue), 5)
+      << "object survives untouched";
+}
+
+TEST(ReactionTest, ForceTrueSeversReferencesAndReclaims) {
+  // §2.6 "Force the assertion to be true ... by nulling out all incoming
+  // references".
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  Engine.setReaction(AssertionKind::Dead, ReactionPolicy::ForceTrue);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local P1 = Scope.handle(newNode(TheVm, T));
+  Local P2 = Scope.handle(newNode(TheVm, T));
+  ObjRef Victim = newNode(TheVm, T);
+  P1.get()->setRef(G.FieldA, Victim);
+  P2.get()->setRef(G.FieldA, Victim);
+
+  Engine.assertDead(Victim);
+  TheVm.collectNow();
+
+  EXPECT_EQ(P1.get()->getRef(G.FieldA), nullptr) << "reference severed";
+  EXPECT_EQ(P2.get()->getRef(G.FieldA), nullptr) << "reference severed";
+  EXPECT_EQ(heapObjectCount(TheVm), 2u) << "victim reclaimed this cycle";
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 0u)
+      << "forcing replaces reporting";
+}
+
+TEST(ReactionTest, ForceTrueSeversRootSlots) {
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  Engine.setReaction(AssertionKind::Dead, ReactionPolicy::ForceTrue);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Handle = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Handle.get());
+  TheVm.collectNow();
+
+  EXPECT_EQ(Handle.get(), nullptr) << "the handle itself is nulled";
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST(ReactionTest, ForceTrueReclaimsSubtreeToo) {
+  // Severed object's exclusive children die with it.
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  Engine.setReaction(AssertionKind::Dead, ReactionPolicy::ForceTrue);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T));
+  ObjRef Victim = newNode(TheVm, T);
+  Holder.get()->setRef(G.FieldA, Victim);
+  ObjRef Child = newNode(TheVm, T);
+  Victim->setRef(G.FieldA, Child);
+
+  Engine.assertDead(Victim);
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 1u) << "victim and child both reclaimed";
+}
+
+TEST(ReactionTest, ForceTrueUnderSemiSpace) {
+  Vm TheVm(smallVm(CollectorKind::SemiSpace));
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  Engine.setReaction(AssertionKind::Dead, ReactionPolicy::ForceTrue);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T));
+  ObjRef Victim = newNode(TheVm, T);
+  Holder.get()->setRef(G.FieldA, Victim);
+
+  Engine.assertDead(Victim);
+  TheVm.collectNow();
+  EXPECT_EQ(Holder.get()->getRef(G.FieldA), nullptr);
+  EXPECT_EQ(heapObjectCount(TheVm), 1u);
+}
+
+TEST(ReactionDeathTest, LogAndHaltAborts) {
+  Vm TheVm(smallVm());
+  AssertionEngine Engine(TheVm); // Console sink; output goes to stderr.
+  Engine.setReaction(AssertionKind::Dead, ReactionPolicy::LogAndHalt);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  EXPECT_DEATH(TheVm.collectNow(), "halting on GC assertion violation");
+}
+
+TEST(ReactionTest, PoliciesArePerKind) {
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  Engine.setReaction(AssertionKind::Dead, ReactionPolicy::ForceTrue);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  // An unshared violation still logs normally while Dead is set to force.
+  HandleScope Scope(T);
+  Local P1 = Scope.handle(newNode(TheVm, T));
+  Local P2 = Scope.handle(newNode(TheVm, T));
+  ObjRef Shared = newNode(TheVm, T);
+  P1.get()->setRef(G.FieldA, Shared);
+  P2.get()->setRef(G.FieldA, Shared);
+  Engine.assertUnshared(Shared);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Unshared), 1u);
+  EXPECT_EQ(heapObjectCount(TheVm), 3u);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- UnsharedTest.cpp - assert-unshared (§2.5.1) unit tests -----------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class UnsharedTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  UnsharedTest() : TheVm(makeConfig()), Engine(TheVm, &Sink) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  Vm TheVm;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine;
+};
+
+TEST_P(UnsharedTest, SingleParentPasses) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Parent = Scope.handle(newNode(TheVm, T));
+  ObjRef Child = newNode(TheVm, T);
+  Parent.get()->setRef(G.FieldA, Child);
+
+  Engine.assertUnshared(Child);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(UnsharedTest, TwoParentsFire) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local P1 = Scope.handle(newNode(TheVm, T));
+  Local P2 = Scope.handle(newNode(TheVm, T));
+  ObjRef Child = newNode(TheVm, T);
+  P1.get()->setRef(G.FieldA, Child);
+  P2.get()->setRef(G.FieldA, Child);
+
+  Engine.assertUnshared(Child);
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Unshared), 1u);
+  EXPECT_EQ(Sink.violations()[0].ObjectType, "LNode;");
+}
+
+TEST_P(UnsharedTest, ManyParentsReportOncePerGc) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 64));
+  ObjRef Child = newNode(TheVm, T);
+  for (uint64_t I = 0; I < 64; ++I)
+    Arr.get()->setElement(I, Child);
+
+  Engine.assertUnshared(Child);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Unshared), 1u)
+      << "63 extra edges still produce one report per GC";
+}
+
+TEST_P(UnsharedTest, TreeVersusDagDetection) {
+  // The paper's use-case: verify a tree has not silently become a DAG.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local RootNode = Scope.handle(newNode(TheVm, T));
+  ObjRef L = newNode(TheVm, T);
+  RootNode.get()->setRef(G.FieldA, L);
+  ObjRef R = newNode(TheVm, T);
+  RootNode.get()->setRef(G.FieldB, R);
+  ObjRef Leaf = newNode(TheVm, T);
+  L->setRef(G.FieldA, Leaf);
+
+  Engine.assertUnshared(L);
+  Engine.assertUnshared(R);
+  Engine.assertUnshared(Leaf);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u) << "still a tree";
+
+  // Re-read through the root handle: the collection may have moved the
+  // nodes under the copying collector.
+  ObjRef NewL = RootNode.get()->getRef(G.FieldA);
+  ObjRef NewR = RootNode.get()->getRef(G.FieldB);
+  NewR->setRef(G.FieldA, NewL->getRef(G.FieldA)); // Now a DAG.
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Unshared), 1u);
+}
+
+TEST_P(UnsharedTest, RootPlusHeapEdgeCountsAsShared) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Parent = Scope.handle(newNode(TheVm, T));
+  Local DirectRoot = Scope.handle(newNode(TheVm, T));
+  Parent.get()->setRef(G.FieldA, DirectRoot.get());
+
+  Engine.assertUnshared(DirectRoot.get());
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Unshared), 1u)
+      << "a root reference plus a heap reference is two incoming pointers";
+}
+
+TEST_P(UnsharedTest, SecondPathReported) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local P1 = Scope.handle(newNode(TheVm, T));
+  Local P2 = Scope.handle(newNode(TheVm, T));
+  ObjRef Child = newNode(TheVm, T);
+  P1.get()->setRef(G.FieldA, Child);
+  P2.get()->setRef(G.FieldB, Child);
+
+  Engine.assertUnshared(Child);
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Unshared), 1u);
+  const Violation &V = Sink.violations()[0];
+  // The path shown is the *second* path (§2.7: "We can print the second
+  // path"); it ends at the asserted object.
+  ASSERT_GE(V.Path.size(), 2u);
+  EXPECT_EQ(V.Path.back().TypeName, "LNode;");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, UnsharedTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

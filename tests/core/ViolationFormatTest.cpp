@@ -1,0 +1,92 @@
+//===- ViolationFormatTest.cpp - Figure-1 report format tests -----------------===//
+
+#include "gcassert/core/Violation.h"
+#include "gcassert/support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+
+namespace {
+
+Violation sampleDeadViolation() {
+  Violation V;
+  V.Kind = AssertionKind::Dead;
+  V.Cycle = 3;
+  V.ObjectType = "Lspec/jbb/Order;";
+  V.Message = "an object that was asserted dead is reachable";
+  V.Path = {{"Lspec/jbb/Company;", ""},
+            {"[Ljava/lang/Object;", "warehouses"},
+            {"Lspec/jbb/Order;", "[2]"}};
+  return V;
+}
+
+TEST(ViolationFormatTest, Figure1Shape) {
+  StringOStream Out;
+  printViolation(Out, sampleDeadViolation());
+  const std::string &Text = Out.str();
+
+  // The format mirrors the paper's Figure 1: a warning line, the type, and
+  // the path with " ->" separators.
+  EXPECT_NE(Text.find("Warning: an object that was asserted dead is "
+                      "reachable"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Type: Lspec/jbb/Order;"), std::string::npos);
+  EXPECT_NE(Text.find("Path to object:"), std::string::npos);
+  EXPECT_NE(Text.find("Lspec/jbb/Company; ->"), std::string::npos);
+  EXPECT_NE(Text.find("[Ljava/lang/Object; (via warehouses) ->"),
+            std::string::npos);
+  // The last step has no arrow.
+  EXPECT_EQ(Text.find("Lspec/jbb/Order; (via [2]) ->"), std::string::npos);
+}
+
+TEST(ViolationFormatTest, OwnerOriginatedPathLabeled) {
+  Violation V = sampleDeadViolation();
+  V.PathFromOwner = true;
+  StringOStream Out;
+  printViolation(Out, V);
+  EXPECT_NE(Out.str().find("Path from owner to object:"), std::string::npos);
+}
+
+TEST(ViolationFormatTest, NoPathSection) {
+  Violation V;
+  V.Kind = AssertionKind::Instances;
+  V.ObjectType = "LIndexSearcher;";
+  V.Message = "type LIndexSearcher; has 32 live instances at GC (limit 1)";
+  StringOStream Out;
+  printViolation(Out, V);
+  EXPECT_EQ(Out.str().find("Path"), std::string::npos);
+  EXPECT_NE(Out.str().find("32 live instances"), std::string::npos);
+}
+
+TEST(ViolationFormatTest, ConsoleSinkWritesToStream) {
+  StringOStream Out;
+  ConsoleViolationSink Sink(&Out);
+  Sink.report(sampleDeadViolation());
+  EXPECT_FALSE(Out.str().empty());
+}
+
+TEST(ViolationFormatTest, RecordingSinkCounts) {
+  RecordingViolationSink Sink;
+  Violation V = sampleDeadViolation();
+  Sink.report(V);
+  V.Kind = AssertionKind::Unshared;
+  Sink.report(V);
+  Sink.report(V);
+  EXPECT_EQ(Sink.violations().size(), 3u);
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+  EXPECT_EQ(Sink.countOf(AssertionKind::Unshared), 2u);
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwnedBy), 0u);
+  Sink.clear();
+  EXPECT_TRUE(Sink.violations().empty());
+}
+
+TEST(ViolationFormatTest, KindNames) {
+  EXPECT_STREQ(assertionKindName(AssertionKind::Dead), "assert-dead");
+  EXPECT_STREQ(assertionKindName(AssertionKind::Unshared), "assert-unshared");
+  EXPECT_STREQ(assertionKindName(AssertionKind::Instances),
+               "assert-instances");
+  EXPECT_STREQ(assertionKindName(AssertionKind::OwnedBy), "assert-ownedby");
+}
+
+} // namespace

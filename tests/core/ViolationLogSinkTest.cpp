@@ -1,0 +1,112 @@
+//===- ViolationLogSinkTest.cpp - core/ViolationLogSink unit tests ------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/core/ViolationLogSink.h"
+#include "gcassert/support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+Violation sampleViolation() {
+  Violation V;
+  V.Kind = AssertionKind::Dead;
+  V.Cycle = 12;
+  V.ObjectType = "Lspec/jbb/Order;";
+  V.Message = "an object that was asserted dead is reachable";
+  V.Path = {{"Lspec/jbb/Company;", ""},
+            {"Lspec/jbb/Warehouse;", "warehouses"},
+            {"Lspec/jbb/Order;", "[3]"}};
+  return V;
+}
+
+TEST(LineLogSinkTest, FormatsOneParsableLine) {
+  std::string Line = LineLogSink::formatLine(sampleViolation());
+  EXPECT_EQ(Line, "gc-assert|12|assert-dead|Lspec/jbb/Order;|an object that "
+                  "was asserted dead is reachable|Lspec/jbb/Company;->"
+                  "warehouses:Lspec/jbb/Warehouse;->[3]:Lspec/jbb/Order;");
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+}
+
+TEST(LineLogSinkTest, EmptyPath) {
+  Violation V = sampleViolation();
+  V.Path.clear();
+  std::string Line = LineLogSink::formatLine(V);
+  EXPECT_EQ(Line.back(), '|') << "empty trailing path field";
+}
+
+TEST(LineLogSinkTest, WritesToStream) {
+  StringOStream Out;
+  LineLogSink Sink(Out);
+  Sink.report(sampleViolation());
+  Sink.report(sampleViolation());
+  // Two lines, each newline-terminated.
+  size_t First = Out.str().find('\n');
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Out.str().find("gc-assert|", First), First + 1);
+}
+
+TEST(TeeViolationSinkTest, FansOut) {
+  RecordingViolationSink A, B;
+  TeeViolationSink Tee{&A, &B};
+  Tee.report(sampleViolation());
+  EXPECT_EQ(A.violations().size(), 1u);
+  EXPECT_EQ(B.violations().size(), 1u);
+
+  RecordingViolationSink C;
+  Tee.addSink(&C);
+  Tee.report(sampleViolation());
+  EXPECT_EQ(A.violations().size(), 2u);
+  EXPECT_EQ(C.violations().size(), 1u);
+}
+
+TEST(CallbackViolationSinkTest, ProgrammaticReaction) {
+  // The paper's §2.6 future-work idea: react to a violation in an
+  // application-specific way. Here the application "recovers" by clearing
+  // the offending reference the next time it runs.
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Vm TheVm(Config);
+  int DeadReports = 0;
+  CallbackViolationSink Sink(
+      [&](const Violation &V) { DeadReports += V.Kind == AssertionKind::Dead; });
+  AssertionEngine Engine(TheVm, &Sink);
+
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  TheVm.collectNow();
+  ASSERT_EQ(DeadReports, 1);
+
+  Kept.set(nullptr); // The application-level reaction.
+  TheVm.collectNow();
+  EXPECT_EQ(DeadReports, 1);
+}
+
+TEST(TeeViolationSinkTest, WorksAsEngineSink) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Vm TheVm(Config);
+  RecordingViolationSink Record;
+  StringOStream LogOut;
+  LineLogSink Log(LogOut);
+  TeeViolationSink Tee{&Record, &Log};
+  AssertionEngine Engine(TheVm, &Tee);
+
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  TheVm.collectNow();
+
+  EXPECT_EQ(Record.countOf(AssertionKind::Dead), 1u);
+  EXPECT_NE(LogOut.str().find("gc-assert|0|assert-dead|LNode;|"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- VolumeTest.cpp - assert-volume (§2.4 "total volume") unit tests --------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class VolumeTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  VolumeTest() : TheVm(makeConfig()), Engine(TheVm, &Sink) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  Vm TheVm;
+  RecordingViolationSink Sink;
+  AssertionEngine Engine;
+};
+
+TEST_P(VolumeTest, UnderLimitPasses) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 4));
+  for (uint64_t I = 0; I < 4; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T));
+
+  // Four nodes: 4 * (header 8 + payload 32) = 160 bytes.
+  Engine.assertVolume(G.Node, 4096);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(VolumeTest, OverLimitFires) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 100));
+  for (uint64_t I = 0; I < 100; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T));
+
+  Engine.assertVolume(G.Node, 1024); // 100 nodes is way past 1 KiB.
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Volume), 1u);
+  EXPECT_EQ(Sink.violations()[0].ObjectType, "LNode;");
+  EXPECT_NE(Sink.violations()[0].Message.find("live bytes"),
+            std::string::npos);
+}
+
+TEST_P(VolumeTest, ArrayVolumeCountsElements) {
+  // A single huge array can violate a volume limit even with an instance
+  // limit of one satisfied — that is what volume limits are for.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Big = Scope.handle(TheVm.allocate(T, G.Blob, 100000));
+  (void)Big;
+
+  Engine.assertInstances(G.Blob, 1); // Satisfied: one array.
+  Engine.assertVolume(G.Blob, 1024); // Violated: 100 KB of payload.
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Instances), 0u);
+  EXPECT_EQ(Sink.countOf(AssertionKind::Volume), 1u);
+}
+
+TEST_P(VolumeTest, DeadBytesDoNotCount) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  for (int I = 0; I < 1000; ++I)
+    newNode(TheVm, T); // All garbage.
+
+  Engine.assertVolume(G.Node, 64);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u);
+}
+
+TEST_P(VolumeTest, GrowthAcrossGcsDetected) {
+  // The leak-ceiling use case: alert when a cache exceeds its budget.
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Head = Scope.handle();
+  Engine.assertVolume(G.Node, 2000); // Budget: 50 nodes.
+
+  for (int Epoch = 0; Epoch < 4; ++Epoch) {
+    for (int I = 0; I < 20; ++I) {
+      ObjRef NewNode = newNode(TheVm, T);
+      NewNode->setRef(G.FieldA, Head.get());
+      Head.set(NewNode);
+    }
+    TheVm.collectNow();
+  }
+  // 20/40 nodes fit in 2000 bytes (40 bytes each); 60/80 do not.
+  EXPECT_EQ(Sink.countOf(AssertionKind::Volume), 2u);
+}
+
+TEST_P(VolumeTest, ClearVolumeStopsChecking) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 100));
+  for (uint64_t I = 0; I < 100; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T));
+
+  Engine.assertVolume(G.Node, 64);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Volume), 1u);
+  Engine.clearVolume(G.Node);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Volume), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, VolumeTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

@@ -1,0 +1,228 @@
+//===- GenerationalCollectorTest.cpp - generational collector tests -----------===//
+//
+// Tests of the two-generation collector: promotion, the write-barrier
+// remembered set, and the paper's §2.2 property that assertions are checked
+// only at full-heap (major) collections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig genVm(size_t HeapBytes = 16u << 20) {
+  VmConfig Config;
+  Config.HeapBytes = HeapBytes;
+  Config.Collector = CollectorKind::Generational;
+  return Config;
+}
+
+TEST(GenerationalCollectorTest, GarbageDiesUnderAllocationPressure) {
+  Vm TheVm(genVm());
+  MutatorThread &T = TheVm.mainThread();
+  // Far more garbage than the nursery holds: minor collections must run.
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+  EXPECT_GT(TheVm.gcStats().MinorCycles, 0u);
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST(GenerationalCollectorTest, SurvivorsPromotedIntact) {
+  Vm TheVm(genVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Head = Scope.handle(newNode(TheVm, T, 0));
+  Local Cur = Scope.handle(Head.get());
+  for (int I = 1; I <= 40; ++I) {
+    ObjRef Next = newNode(TheVm, T, I);
+    Cur.get()->setRef(G.FieldA, Next);
+    Cur.set(Next);
+  }
+
+  // Enough churn to force several minor collections.
+  for (int I = 0; I < 200000; ++I)
+    newNode(TheVm, T);
+  EXPECT_GT(TheVm.gcStats().MinorCycles, 1u);
+
+  // The chain survived promotion with payloads and links intact.
+  ObjRef Node = Head.get();
+  for (int I = 0; I <= 40; ++I) {
+    ASSERT_NE(Node, nullptr);
+    EXPECT_EQ(Node->getScalar<int64_t>(G.FieldValue), I);
+    Node = Node->getRef(G.FieldA);
+  }
+  EXPECT_EQ(Node, nullptr);
+}
+
+TEST(GenerationalCollectorTest, RememberedSetKeepsNurseryObjectAlive) {
+  Vm TheVm(genVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  // Promote a holder into the old generation.
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T, 1));
+  TheVm.collectNow(); // Major: Holder is now in the old generation.
+
+  // Store a fresh (nursery) object into the old holder. Only the write
+  // barrier's remembered set makes it survive a minor collection when no
+  // root points at it.
+  ObjRef Young = newNode(TheVm, T, 99);
+  Holder.get()->setRef(G.FieldA, Young);
+
+  uint64_t MinorsBefore = TheVm.gcStats().MinorCycles;
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+  EXPECT_GT(TheVm.gcStats().MinorCycles, MinorsBefore);
+
+  ObjRef Survivor = Holder.get()->getRef(G.FieldA);
+  ASSERT_NE(Survivor, nullptr);
+  EXPECT_EQ(Survivor->getScalar<int64_t>(G.FieldValue), 99);
+}
+
+TEST(GenerationalCollectorTest, ExplicitCollectIsMajor) {
+  Vm TheVm(genVm());
+  TheVm.collectNow();
+  EXPECT_EQ(TheVm.gcStats().Cycles, 1u);
+  EXPECT_EQ(TheVm.gcStats().MinorCycles, 0u);
+}
+
+TEST(GenerationalCollectorTest, AssertionsUncheckedAtMinorGc) {
+  // The paper's §2.2 caveat, as a test: a violated assert-dead stays
+  // silent through any number of minor collections and fires at the first
+  // major one.
+  Vm TheVm(genVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get()); // Violated: Kept is rooted.
+
+  uint64_t MinorsBefore = TheVm.gcStats().MinorCycles;
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+  EXPECT_GT(TheVm.gcStats().MinorCycles, MinorsBefore);
+  EXPECT_EQ(Sink.violations().size(), 0u)
+      << "minor collections must not check assertions";
+
+  TheVm.collectNow(); // Major.
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+}
+
+TEST(GenerationalCollectorTest, DeadBitSurvivesPromotion) {
+  // assert-dead on a nursery object that gets promoted before the major
+  // collection: the header bit must travel with the object.
+  Vm TheVm(genVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+  for (int I = 0; I < 300000; ++I) // Promote via minor collections.
+    newNode(TheVm, T);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+}
+
+TEST(GenerationalCollectorTest, OwnershipPairsTranslatedAcrossMinors) {
+  Vm TheVm(genVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Owner = Scope.handle(newNode(TheVm, T, 1));
+  Local Cache = Scope.handle(newNode(TheVm, T, 2));
+  ObjRef Ownee = newNode(TheVm, T, 3);
+  Owner.get()->setRef(G.FieldA, Ownee);
+  Cache.get()->setRef(G.FieldA, Ownee);
+  Engine.assertOwnedBy(Owner.get(), Ownee);
+
+  // Everything moves nursery -> old across these minors.
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.violations().size(), 0u) << "still properly owned";
+
+  // Break ownership; the next major must catch it at the new addresses.
+  Owner.get()->setRef(G.FieldA, nullptr);
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::OwnedBy), 1u);
+}
+
+TEST(GenerationalCollectorTest, RegionLogTranslatedAcrossMinors) {
+  Vm TheVm(genVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Escapee = Scope.handle();
+
+  Engine.startRegion(T);
+  Escapee.set(newNode(TheVm, T, 7)); // Logged, then moved by minors.
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+  Engine.assertAllDead(T);
+
+  TheVm.collectNow();
+  EXPECT_EQ(Sink.countOf(AssertionKind::Dead), 1u)
+      << "the escaped region allocation is caught at its promoted address";
+}
+
+TEST(GenerationalCollectorTest, LargeObjectsPretenured) {
+  Vm TheVm(genVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  // Much bigger than a quarter of the nursery: allocated directly in the
+  // old generation, so minors never move it.
+  HandleScope Scope(T);
+  Local Big = Scope.handle(TheVm.allocate(T, G.Blob, 2u << 20));
+  ObjRef Before = Big.get();
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+  EXPECT_EQ(Big.get(), Before) << "pretenured objects are stable";
+  EXPECT_EQ(Big.get()->arrayLength(), 2u << 20);
+}
+
+TEST(GenerationalCollectorTest, MinorCyclesAreFasterThanMajor) {
+  Vm TheVm(genVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  // A sizeable live old generation makes majors expensive; minors only
+  // touch the (mostly dead) nursery.
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 50000));
+  for (uint64_t I = 0; I < 50000; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T, static_cast<int64_t>(I)));
+  TheVm.collectNow(); // Promote the lot.
+
+  uint64_t MajorNanos = TheVm.gcStats().LastGcNanos;
+  for (int I = 0; I < 100000; ++I)
+    newNode(TheVm, T); // Pure nursery churn.
+  ASSERT_GT(TheVm.gcStats().MinorCycles, 0u);
+  uint64_t MinorNanos = TheVm.gcStats().LastGcNanos;
+
+  EXPECT_LT(MinorNanos, MajorNanos)
+      << "minor collections must not pay for the old generation";
+}
+
+} // namespace

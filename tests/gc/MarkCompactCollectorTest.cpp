@@ -1,0 +1,145 @@
+//===- MarkCompactCollectorTest.cpp - gc/MarkCompactCollector unit tests ------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig compactVm() {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::MarkCompact;
+  return Config;
+}
+
+TEST(MarkCompactCollectorTest, UnreachableObjectsReclaimed) {
+  Vm TheVm(compactVm());
+  MutatorThread &T = TheVm.mainThread();
+  for (int I = 0; I < 100; ++I)
+    newNode(TheVm, T);
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST(MarkCompactCollectorTest, SurvivorsSlideDownDense) {
+  Vm TheVm(compactVm());
+  MutatorThread &T = TheVm.mainThread();
+
+  // Interleave live and dead allocations, then collect: the survivors must
+  // end up densely packed in ascending address order.
+  HandleScope Scope(T);
+  std::vector<Local> Kept;
+  for (int I = 0; I < 200; ++I) {
+    ObjRef Obj = newNode(TheVm, T, I);
+    if (I % 3 == 0)
+      Kept.push_back(Scope.handle(Obj));
+  }
+  TheVm.collectNow();
+
+  // Walk the heap: addresses strictly ascend with no gaps between objects.
+  std::vector<ObjRef> Walk;
+  TheVm.heap().forEachObject([&](ObjRef Obj) { Walk.push_back(Obj); });
+  ASSERT_EQ(Walk.size(), Kept.size());
+  for (size_t I = 1; I < Walk.size(); ++I)
+    EXPECT_LT(Walk[I - 1], Walk[I]);
+  // Every handle resolves to a live, value-intact node.
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  for (size_t I = 0; I < Kept.size(); ++I)
+    EXPECT_EQ(Kept[I].get()->getScalar<int64_t>(G.FieldValue),
+              static_cast<int64_t>(I * 3));
+}
+
+TEST(MarkCompactCollectorTest, InteriorReferencesRewritten) {
+  Vm TheVm(compactVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  // A dead object in front forces everything to move.
+  newNode(TheVm, T, -1);
+  Local Head = Scope.handle(newNode(TheVm, T, 0));
+  Local Cur = Scope.handle(Head.get());
+  for (int I = 1; I <= 30; ++I) {
+    newNode(TheVm, T, -1); // Dead spacer: every link crosses a gap.
+    ObjRef Next = newNode(TheVm, T, I);
+    Cur.get()->setRef(G.FieldA, Next);
+    Cur.set(Next);
+  }
+  Cur.set(nullptr);
+
+  ObjRef Before = Head.get();
+  TheVm.collectNow();
+  EXPECT_NE(Head.get(), Before) << "compaction must have moved the chain";
+
+  ObjRef Node = Head.get();
+  for (int I = 0; I <= 30; ++I) {
+    ASSERT_NE(Node, nullptr);
+    EXPECT_EQ(Node->getScalar<int64_t>(G.FieldValue), I);
+    Node = Node->getRef(G.FieldA);
+  }
+  EXPECT_EQ(Node, nullptr);
+}
+
+TEST(MarkCompactCollectorTest, RepeatedCollectionsStable) {
+  Vm TheVm(compactVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 50));
+  for (uint64_t I = 0; I < 50; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T, static_cast<int64_t>(I)));
+
+  TheVm.collectNow();
+  ObjRef Settled = Arr.get();
+  TheVm.collectNow(); // Nothing dead: nothing should move again.
+  EXPECT_EQ(Arr.get(), Settled);
+  for (uint64_t I = 0; I < 50; ++I)
+    EXPECT_EQ(Arr.get()->getElement(I)->getScalar<int64_t>(G.FieldValue),
+              static_cast<int64_t>(I));
+}
+
+TEST(MarkCompactCollectorTest, ViolationPathCapturedBeforeMoving) {
+  // Violations are detected during marking, before any object moves; the
+  // report's types and fields must be correct even though the objects slide
+  // afterwards.
+  Vm TheVm(compactVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  newNode(TheVm, T, -1); // Dead spacer.
+  Local Holder = Scope.handle(newNode(TheVm, T));
+  ObjRef Victim = newNode(TheVm, T);
+  Holder.get()->setRef(G.FieldB, Victim);
+  Engine.assertDead(Victim);
+
+  TheVm.collectNow();
+  ASSERT_EQ(Sink.countOf(AssertionKind::Dead), 1u);
+  const Violation &V = Sink.violations()[0];
+  ASSERT_EQ(V.Path.size(), 2u);
+  EXPECT_EQ(V.Path[1].FieldName, "b");
+  // And the heap is coherent afterwards.
+  EXPECT_EQ(heapObjectCount(TheVm), 2u);
+}
+
+TEST(MarkCompactCollectorTest, AllocationPressureCollects) {
+  VmConfig Config;
+  Config.HeapBytes = 1u << 20;
+  Config.Collector = CollectorKind::MarkCompact;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  for (int I = 0; I < 200000; ++I)
+    newNode(TheVm, T);
+  EXPECT_GT(TheVm.gcStats().Cycles, 0u);
+  EXPECT_GT(TheVm.gcStats().BytesReclaimed, 0u);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- PathRecordingTest.cpp - §2.7 path reconstruction tests -----------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig smallVm(CollectorKind Kind = CollectorKind::MarkSweep) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = Kind;
+  return Config;
+}
+
+/// Builds root -> n0 -> n1 -> ... -> n(len-1) and returns a handle to n0.
+/// Only n0 stays rooted: the cursor handle lives in an inner scope so the
+/// chain is reachable through the "a" fields alone.
+Local buildChain(Vm &TheVm, HandleScope &Scope, int Length) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  Local Head = Scope.handle(newNode(TheVm, T, 0));
+  HandleScope Inner(T);
+  Local Cur = Inner.handle(Head.get());
+  for (int I = 1; I < Length; ++I) {
+    ObjRef Next = newNode(TheVm, T, I);
+    Cur.get()->setRef(G.FieldA, Next);
+    Cur.set(Next);
+  }
+  return Head;
+}
+
+TEST(PathRecordingTest, DeadViolationCarriesFullChain) {
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(TheVm.mainThread());
+  Local Head = buildChain(TheVm, Scope, 6);
+  ObjRef Tail = Head.get();
+  while (Tail->getRef(G.FieldA))
+    Tail = Tail->getRef(G.FieldA);
+
+  Engine.assertDead(Tail);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  const Violation &V = Sink.violations()[0];
+  EXPECT_EQ(V.Kind, AssertionKind::Dead);
+  EXPECT_EQ(V.ObjectType, "LNode;");
+  ASSERT_EQ(V.Path.size(), 6u) << "path spans the whole chain";
+  for (const PathStep &Step : V.Path)
+    EXPECT_EQ(Step.TypeName, "LNode;");
+  // Every edge goes through field "a" except the first step (a root).
+  EXPECT_TRUE(V.Path[0].FieldName.empty());
+  for (size_t I = 1; I < V.Path.size(); ++I)
+    EXPECT_EQ(V.Path[I].FieldName, "a");
+}
+
+TEST(PathRecordingTest, PathThroughArrayShowsIndex) {
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 10));
+  ObjRef Obj = newNode(TheVm, T);
+  Arr.get()->setElement(7, Obj);
+
+  Engine.assertDead(Obj);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  const Violation &V = Sink.violations()[0];
+  ASSERT_EQ(V.Path.size(), 2u);
+  EXPECT_EQ(V.Path[0].TypeName, "[LNode;");
+  EXPECT_EQ(V.Path[1].FieldName, "[7]");
+}
+
+TEST(PathRecordingTest, DisabledPathRecordingYieldsLeafOnly) {
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  TheVm.collector().setPathRecording(false);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(TheVm.mainThread());
+  Local Head = buildChain(TheVm, Scope, 4);
+  ObjRef Tail = Head.get();
+  while (Tail->getRef(G.FieldA))
+    Tail = Tail->getRef(G.FieldA);
+
+  Engine.assertDead(Tail);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  EXPECT_EQ(Sink.violations()[0].Path.size(), 1u)
+      << "without §2.7 recording only the object itself is known";
+  EXPECT_EQ(Sink.violations()[0].Path[0].TypeName, "LNode;");
+}
+
+TEST(PathRecordingTest, SemiSpacePathTypesCorrect) {
+  // The same violation under the copying collector: path entries mix
+  // from-space and to-space objects mid-trace; types must still resolve.
+  Vm TheVm(smallVm(CollectorKind::SemiSpace));
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(TheVm.mainThread());
+  Local Head = buildChain(TheVm, Scope, 5);
+  ObjRef Tail = Head.get();
+  while (Tail->getRef(G.FieldA))
+    Tail = Tail->getRef(G.FieldA);
+
+  Engine.assertDead(Tail);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  const Violation &V = Sink.violations()[0];
+  ASSERT_EQ(V.Path.size(), 5u);
+  for (const PathStep &Step : V.Path)
+    EXPECT_EQ(Step.TypeName, "LNode;");
+}
+
+TEST(PathRecordingTest, PathReflectsDiamondShape) {
+  // Diamond: root -> a -> {b, c} -> d; the violation path must be a single
+  // valid chain (either through b or through c), not a merged mess.
+  Vm TheVm(smallVm());
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local A = Scope.handle(newNode(TheVm, T, 0));
+  ObjRef B = newNode(TheVm, T, 1);
+  A.get()->setRef(G.FieldA, B);
+  ObjRef C = newNode(TheVm, T, 2);
+  A.get()->setRef(G.FieldB, C);
+  ObjRef D = newNode(TheVm, T, 3);
+  B->setRef(G.FieldA, D);
+  C->setRef(G.FieldA, D);
+
+  Engine.assertDead(D);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  const Violation &V = Sink.violations()[0];
+  ASSERT_EQ(V.Path.size(), 3u) << "root chain a -> (b|c) -> d";
+  EXPECT_EQ(V.Path[2].FieldName, "a");
+}
+
+} // namespace

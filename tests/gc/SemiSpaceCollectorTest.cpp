@@ -1,0 +1,159 @@
+//===- SemiSpaceCollectorTest.cpp - gc/SemiSpaceCollector unit tests ----------===//
+
+#include "common/TestGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig smallVm() {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::SemiSpace;
+  return Config;
+}
+
+TEST(SemiSpaceCollectorTest, UnreachableObjectsReclaimed) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  for (int I = 0; I < 100; ++I)
+    newNode(TheVm, T);
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST(SemiSpaceCollectorTest, RootsUpdatedOnMove) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T, 77));
+  ObjRef Before = Kept.get();
+
+  TheVm.collectNow();
+  ObjRef After = Kept.get();
+  EXPECT_NE(After, Before) << "evacuation must move the object";
+  EXPECT_EQ(After->getScalar<int64_t>(G.FieldValue), 77);
+}
+
+TEST(SemiSpaceCollectorTest, InteriorReferencesUpdated) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Head = Scope.handle(newNode(TheVm, T, 0));
+  Local Cur = Scope.handle(Head.get());
+  for (int I = 1; I <= 20; ++I) {
+    ObjRef Next = newNode(TheVm, T, I);
+    Cur.get()->setRef(G.FieldA, Next);
+    Cur.set(Next);
+  }
+
+  TheVm.collectNow();
+  TheVm.collectNow(); // Twice: catches stale to-space references.
+
+  // The chain must still be intact and ordered.
+  ObjRef Node = Head.get();
+  for (int I = 0; I <= 20; ++I) {
+    ASSERT_NE(Node, nullptr);
+    EXPECT_EQ(Node->getScalar<int64_t>(G.FieldValue), I);
+    Node = Node->getRef(G.FieldA);
+  }
+  EXPECT_EQ(Node, nullptr);
+}
+
+TEST(SemiSpaceCollectorTest, SharedObjectCopiedOnce) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local A = Scope.handle(newNode(TheVm, T, 1));
+  Local B = Scope.handle(newNode(TheVm, T, 2));
+  Local Shared = Scope.handle(newNode(TheVm, T, 3));
+  A.get()->setRef(G.FieldA, Shared.get());
+  B.get()->setRef(G.FieldA, Shared.get());
+
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 3u) << "shared object copied exactly once";
+  EXPECT_EQ(A.get()->getRef(G.FieldA), B.get()->getRef(G.FieldA));
+  EXPECT_EQ(A.get()->getRef(G.FieldA), Shared.get());
+}
+
+TEST(SemiSpaceCollectorTest, CyclesSurviveAndCollapse) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local A = Scope.handle(newNode(TheVm, T, 1));
+  {
+    HandleScope Inner(T);
+    Local B = Inner.handle(newNode(TheVm, T, 2));
+    A.get()->setRef(G.FieldA, B.get());
+    B.get()->setRef(G.FieldA, A.get());
+  }
+
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 2u);
+  // The cycle is consistent after moving.
+  ObjRef NewA = A.get();
+  ObjRef NewB = NewA->getRef(G.FieldA);
+  EXPECT_EQ(NewB->getRef(G.FieldA), NewA);
+
+  A.set(nullptr);
+  NewA->setRef(G.FieldA, nullptr); // irrelevant: unrooted anyway
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST(SemiSpaceCollectorTest, ArraysEvacuated) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 5));
+  for (uint64_t I = 0; I < 5; ++I)
+    Arr.get()->setElement(I, newNode(TheVm, T, static_cast<int64_t>(I)));
+
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 6u);
+  for (uint64_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Arr.get()->getElement(I)->getScalar<int64_t>(G.FieldValue),
+              static_cast<int64_t>(I));
+}
+
+TEST(SemiSpaceCollectorTest, AllocationFailureTriggersGc) {
+  VmConfig Config;
+  Config.HeapBytes = 1u << 20;
+  Config.Collector = CollectorKind::SemiSpace;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  for (int I = 0; I < 100000; ++I)
+    newNode(TheVm, T);
+  EXPECT_GT(TheVm.gcStats().Cycles, 0u);
+}
+
+TEST(SemiSpaceCollectorTest, MultipleThreadsRooted) {
+  Vm TheVm(smallVm());
+  MutatorThread &T1 = TheVm.mainThread();
+  MutatorThread &T2 = TheVm.spawnThread("worker");
+
+  HandleScope S1(T1);
+  HandleScope S2(T2);
+  Local A = S1.handle(newNode(TheVm, T1, 1));
+  Local B = S2.handle(newNode(TheVm, T2, 2));
+
+  TheVm.collectNow();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  EXPECT_EQ(A.get()->getScalar<int64_t>(G.FieldValue), 1);
+  EXPECT_EQ(B.get()->getScalar<int64_t>(G.FieldValue), 2);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- TraceInvariantsTest.cpp - property tests of collection correctness -----===//
+//
+// Property-based tests: build pseudo-random object graphs, collect, and
+// check the fundamental tracing invariant against an independent oracle —
+// the set of objects surviving a collection is exactly the set reachable
+// from the roots by BFS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+struct InvariantParam {
+  CollectorKind Collector;
+  uint64_t Seed;
+};
+
+class TraceInvariantsTest : public ::testing::TestWithParam<InvariantParam> {
+};
+
+/// Oracle: multiset of payload values reachable from the roots by BFS.
+/// Values identify objects across moves (every node gets a unique payload).
+std::multiset<int64_t> reachableValues(Vm &TheVm, const GraphTypes &G) {
+  std::multiset<int64_t> Values;
+  std::unordered_set<ObjRef> Seen;
+  std::deque<ObjRef> Queue;
+  TheVm.forEachRootSlot([&](ObjRef *Slot) {
+    if (*Slot && Seen.insert(*Slot).second)
+      Queue.push_back(*Slot);
+  });
+  while (!Queue.empty()) {
+    ObjRef Obj = Queue.front();
+    Queue.pop_front();
+    const TypeInfo &Type = TheVm.types().get(Obj->typeId());
+    if (Type.kind() == TypeKind::Class) {
+      Values.insert(Obj->getScalar<int64_t>(G.FieldValue));
+      for (uint32_t Offset : Type.refOffsets()) {
+        ObjRef Child = Obj->getRef(Offset);
+        if (Child && Seen.insert(Child).second)
+          Queue.push_back(Child);
+      }
+    } else if (Type.kind() == TypeKind::RefArray) {
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I) {
+        ObjRef Child = Obj->getElement(I);
+        if (Child && Seen.insert(Child).second)
+          Queue.push_back(Child);
+      }
+    }
+  }
+  return Values;
+}
+
+/// Multiset of payload values of all Node objects present in the heap.
+std::multiset<int64_t> heapValues(Vm &TheVm, const GraphTypes &G) {
+  std::multiset<int64_t> Values;
+  TheVm.heap().forEachObject([&](ObjRef Obj) {
+    if (Obj->typeId() == G.Node)
+      Values.insert(Obj->getScalar<int64_t>(G.FieldValue));
+  });
+  return Values;
+}
+
+TEST_P(TraceInvariantsTest, SurvivorsEqualReachableSet) {
+  VmConfig Config;
+  Config.HeapBytes = 16u << 20;
+  Config.Collector = GetParam().Collector;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  SplitMix64 Rng(GetParam().Seed);
+
+  // Build a random graph: some nodes rooted, random edges, then randomly
+  // drop roots and cut edges.
+  HandleScope Scope(T);
+  const int NodeCount = 400;
+  std::vector<Local> Roots;
+  std::vector<ObjRef> All;
+  for (int I = 0; I != NodeCount; ++I) {
+    ObjRef Node = newNode(TheVm, T, I);
+    All.push_back(Node);
+    // Root roughly a quarter of the nodes.
+    if (Rng.chancePercent(25))
+      Roots.push_back(Scope.handle(Node));
+  }
+  // Random edges (including self-loops and duplicates).
+  for (int I = 0; I != NodeCount * 3; ++I) {
+    ObjRef From = All[Rng.nextBelow(All.size())];
+    ObjRef To = All[Rng.nextBelow(All.size())];
+    uint32_t Field = Rng.nextBelow(3) == 0   ? G.FieldA
+                     : Rng.nextBelow(2) == 0 ? G.FieldB
+                                             : G.FieldC;
+    From->setRef(Field, To);
+  }
+  // Drop some roots again.
+  for (Local &Root : Roots)
+    if (Rng.chancePercent(30))
+      Root.set(nullptr);
+
+  // The oracle runs over the same graph the collector sees.
+  std::multiset<int64_t> Expected = reachableValues(TheVm, G);
+  TheVm.collectNow();
+  std::multiset<int64_t> Survivors = heapValues(TheVm, G);
+  EXPECT_EQ(Survivors, Expected);
+
+  // A second collection with no mutation must be the identity.
+  TheVm.collectNow();
+  EXPECT_EQ(heapValues(TheVm, G), Expected);
+
+  // Graph integrity: the reachable set (by value) is unchanged too —
+  // interior references survived the collection(s) intact.
+  EXPECT_EQ(reachableValues(TheVm, G), Expected);
+}
+
+std::vector<InvariantParam> invariantParams() {
+  std::vector<InvariantParam> Params;
+  for (CollectorKind Kind :
+       {CollectorKind::MarkSweep, CollectorKind::SemiSpace,
+        CollectorKind::MarkCompact, CollectorKind::Generational})
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+      Params.push_back({Kind, Seed});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, TraceInvariantsTest,
+    ::testing::ValuesIn(invariantParams()),
+    [](const ::testing::TestParamInfo<InvariantParam> &Info) {
+      return std::string(collectorName(Info.param.Collector)) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- FreeListHeapTest.cpp - heap/FreeListHeap unit tests --------------------===//
+
+#include "gcassert/heap/FreeListHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gcassert;
+
+namespace {
+
+class FreeListHeapTest : public ::testing::Test {
+protected:
+  FreeListHeapTest() : Heap(Types, makeConfig()) {
+    TypeBuilder B(Types, "LNode;");
+    RefOffset = B.addRef("next");
+    ValueOffset = B.addScalar("value", 8);
+    Node = B.build();
+    Array = Types.registerRefArray("[LNode;");
+    Blob = Types.registerDataArray("[B", 1);
+  }
+
+  static FreeListHeapConfig makeConfig() {
+    FreeListHeapConfig Config;
+    Config.CapacityBytes = 4u << 20; // 4 MiB keeps tests fast.
+    return Config;
+  }
+
+  TypeRegistry Types;
+  FreeListHeap Heap;
+  TypeId Node = InvalidTypeId;
+  TypeId Array = InvalidTypeId;
+  TypeId Blob = InvalidTypeId;
+  uint32_t RefOffset = 0;
+  uint32_t ValueOffset = 0;
+};
+
+TEST_F(FreeListHeapTest, AllocateSetsHeader) {
+  ObjRef Obj = Heap.allocate(Node, 0);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->typeId(), Node);
+  EXPECT_EQ(Obj->header().Flags, 0u);
+  EXPECT_FALSE(Obj->header().isMarked());
+}
+
+TEST_F(FreeListHeapTest, PayloadIsZeroed) {
+  ObjRef Obj = Heap.allocate(Node, 0);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->getRef(RefOffset), nullptr);
+  EXPECT_EQ(Obj->getScalar<int64_t>(ValueOffset), 0);
+}
+
+TEST_F(FreeListHeapTest, ArrayLengthStored) {
+  ObjRef Arr = Heap.allocate(Array, 17);
+  ASSERT_NE(Arr, nullptr);
+  EXPECT_EQ(Arr->arrayLength(), 17u);
+  for (uint64_t I = 0; I < 17; ++I)
+    EXPECT_EQ(Arr->getElement(I), nullptr);
+}
+
+TEST_F(FreeListHeapTest, DataArrayZeroed) {
+  ObjRef Bytes = Heap.allocate(Blob, 100);
+  ASSERT_NE(Bytes, nullptr);
+  EXPECT_EQ(Bytes->arrayLength(), 100u);
+  for (uint64_t I = 0; I < 100; ++I)
+    EXPECT_EQ(Bytes->arrayData()[I], 0);
+}
+
+TEST_F(FreeListHeapTest, DistinctAddresses) {
+  std::set<ObjRef> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    ObjRef Obj = Heap.allocate(Node, 0);
+    ASSERT_NE(Obj, nullptr);
+    EXPECT_TRUE(Seen.insert(Obj).second) << "address reused while live";
+  }
+}
+
+TEST_F(FreeListHeapTest, EightByteAlignment) {
+  for (int I = 0; I < 64; ++I) {
+    ObjRef Obj = Heap.allocate(Node, 0);
+    ASSERT_NE(Obj, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(Obj) % 8, 0u);
+  }
+}
+
+TEST_F(FreeListHeapTest, SizeClassRounding) {
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(1), 16u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(16), 16u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(17), 24u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(128), 128u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(129), 160u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(512), 512u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(513), 640u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(8192), 8192u);
+  EXPECT_EQ(FreeListHeap::sizeClassCellSize(8193), 0u) << "goes to LOS";
+}
+
+TEST_F(FreeListHeapTest, LargeObjectAllocation) {
+  ObjRef Big = Heap.allocate(Blob, 100000);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_EQ(Big->arrayLength(), 100000u);
+  EXPECT_TRUE(Heap.contains(Big));
+}
+
+TEST_F(FreeListHeapTest, ExhaustionReturnsNull) {
+  // 4 MiB arena of 8 KiB objects: must run out eventually, not crash.
+  ObjRef Obj = nullptr;
+  int Count = 0;
+  do {
+    Obj = Heap.allocate(Blob, 8000);
+    ++Count;
+  } while (Obj && Count < 100000);
+  EXPECT_EQ(Obj, nullptr);
+  EXPECT_GT(Count, 100);
+}
+
+TEST_F(FreeListHeapTest, SweepReclaimsUnmarked) {
+  ObjRef Keep = Heap.allocate(Node, 0);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_NE(Heap.allocate(Node, 0), nullptr);
+
+  Keep->header().setMarked();
+  size_t Reclaimed = Heap.sweep();
+
+  EXPECT_GE(Reclaimed, 100u * 24u);
+  EXPECT_FALSE(Keep->header().isMarked()) << "sweep clears survivor marks";
+  EXPECT_EQ(Keep->typeId(), Node);
+
+  size_t Live = 0;
+  Heap.forEachObject([&](ObjRef) { ++Live; });
+  EXPECT_EQ(Live, 1u);
+}
+
+TEST_F(FreeListHeapTest, SweepRecyclesCells) {
+  std::set<ObjRef> FirstBatch;
+  for (int I = 0; I < 50; ++I)
+    FirstBatch.insert(Heap.allocate(Node, 0));
+  Heap.sweep(); // Nothing marked: everything dies.
+
+  // New allocations of the same size class reuse the reclaimed cells.
+  bool Reused = false;
+  for (int I = 0; I < 50 && !Reused; ++I)
+    Reused = FirstBatch.count(Heap.allocate(Node, 0)) != 0;
+  EXPECT_TRUE(Reused);
+}
+
+TEST_F(FreeListHeapTest, FullyFreeBlocksReturnToPool) {
+  for (int I = 0; I < 10000; ++I)
+    ASSERT_NE(Heap.allocate(Node, 0), nullptr);
+  size_t CarvedBefore = Heap.carvedBlockCount();
+  EXPECT_GT(CarvedBefore, 1u);
+
+  Heap.sweep(); // Everything dies.
+  EXPECT_EQ(Heap.carvedBlockCount(), 0u);
+
+  // Blocks can now serve another size class.
+  ObjRef Big = Heap.allocate(Blob, 4000);
+  EXPECT_NE(Big, nullptr);
+}
+
+TEST_F(FreeListHeapTest, SweepFreesLargeObjects) {
+  ObjRef Keep = Heap.allocate(Blob, 50000);
+  ObjRef Die = Heap.allocate(Blob, 50000);
+  ASSERT_NE(Keep, nullptr);
+  ASSERT_NE(Die, nullptr);
+  Keep->header().setMarked();
+
+  uint64_t InUseBefore = Heap.stats().BytesInUse;
+  Heap.sweep();
+  EXPECT_LT(Heap.stats().BytesInUse, InUseBefore);
+  EXPECT_TRUE(Heap.contains(Keep));
+  EXPECT_FALSE(Heap.contains(Die));
+  EXPECT_EQ(Keep->arrayLength(), 50000u);
+}
+
+TEST_F(FreeListHeapTest, StatsTrackAllocation) {
+  uint64_t Before = Heap.stats().ObjectsAllocated;
+  Heap.allocate(Node, 0);
+  Heap.allocate(Array, 3);
+  EXPECT_EQ(Heap.stats().ObjectsAllocated, Before + 2);
+  EXPECT_GT(Heap.stats().BytesAllocated, 0u);
+  EXPECT_GT(Heap.stats().BytesCapacity, 0u);
+}
+
+TEST_F(FreeListHeapTest, ContainsRejectsForeignPointers) {
+  int Stack = 0;
+  EXPECT_FALSE(Heap.contains(&Stack));
+  ObjRef Obj = Heap.allocate(Node, 0);
+  EXPECT_TRUE(Heap.contains(Obj));
+}
+
+TEST_F(FreeListHeapTest, LiveBytesAfterSweep) {
+  for (int I = 0; I < 10; ++I) {
+    ObjRef Obj = Heap.allocate(Node, 0);
+    Obj->header().setMarked();
+  }
+  Heap.sweep();
+  // 10 nodes: 8-byte header + 16-byte payload (one ref + one i64) = 24.
+  EXPECT_EQ(Heap.liveBytesAfterLastSweep(),
+            10 * FreeListHeap::sizeClassCellSize(8 + 16));
+}
+
+} // namespace

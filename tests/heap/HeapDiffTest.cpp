@@ -1,0 +1,78 @@
+//===- HeapDiffTest.cpp - heap/HeapDiff unit tests -----------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/heap/HeapDiff.h"
+#include "gcassert/support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+TEST(HeapDiffTest, IdenticalSnapshotsDiffEmpty) {
+  std::vector<TypeOccupancy> Snap = {{1, "LNode;", 10, 400}};
+  EXPECT_TRUE(diffHeapHistograms(Snap, Snap).empty());
+}
+
+TEST(HeapDiffTest, GrowthAndShrinkage) {
+  std::vector<TypeOccupancy> Before = {{1, "LNode;", 10, 400},
+                                       {2, "[B", 5, 1000}};
+  std::vector<TypeOccupancy> After = {{1, "LNode;", 30, 1200},
+                                      {2, "[B", 2, 400}};
+  std::vector<TypeDelta> Diff = diffHeapHistograms(Before, After);
+  ASSERT_EQ(Diff.size(), 2u);
+  EXPECT_EQ(Diff[0].TypeName, "LNode;"); // Sorted by byte growth.
+  EXPECT_EQ(Diff[0].InstanceDelta, 20);
+  EXPECT_EQ(Diff[0].ByteDelta, 800);
+  EXPECT_EQ(Diff[1].TypeName, "[B");
+  EXPECT_EQ(Diff[1].ByteDelta, -600);
+}
+
+TEST(HeapDiffTest, AppearingAndVanishingTypes) {
+  std::vector<TypeOccupancy> Before = {{1, "LOld;", 4, 100}};
+  std::vector<TypeOccupancy> After = {{2, "LNew;", 3, 90}};
+  std::vector<TypeDelta> Diff = diffHeapHistograms(Before, After);
+  ASSERT_EQ(Diff.size(), 2u);
+  EXPECT_EQ(Diff[0].TypeName, "LNew;");
+  EXPECT_EQ(Diff[0].InstanceDelta, 3);
+  EXPECT_EQ(Diff[1].TypeName, "LOld;");
+  EXPECT_EQ(Diff[1].InstanceDelta, -4);
+  EXPECT_EQ(Diff[1].ByteDelta, -100);
+}
+
+TEST(HeapDiffTest, EndToEndOverLiveHeap) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Keep = Scope.handle(newNode(TheVm, T));
+  (void)Keep;
+
+  std::vector<TypeOccupancy> Before = takeHeapHistogram(TheVm.heap());
+  std::vector<Local> More;
+  for (int I = 0; I < 25; ++I)
+    More.push_back(Scope.handle(newNode(TheVm, T)));
+  std::vector<TypeOccupancy> After = takeHeapHistogram(TheVm.heap());
+
+  std::vector<TypeDelta> Diff = diffHeapHistograms(Before, After);
+  ASSERT_EQ(Diff.size(), 1u);
+  EXPECT_EQ(Diff[0].TypeName, "LNode;");
+  EXPECT_EQ(Diff[0].InstanceDelta, 25);
+}
+
+TEST(HeapDiffTest, PrintFormat) {
+  std::vector<TypeDelta> Diff = {{"LNode;", 20, 800}, {"[B", -3, -600}};
+  StringOStream Out;
+  printHeapDiff(Out, Diff);
+  EXPECT_NE(Out.str().find("+20"), std::string::npos);
+  EXPECT_NE(Out.str().find("-600"), std::string::npos);
+
+  StringOStream Truncated;
+  printHeapDiff(Truncated, Diff, 1);
+  EXPECT_NE(Truncated.str().find("1 more types"), std::string::npos);
+}
+
+} // namespace

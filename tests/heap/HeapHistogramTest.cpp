@@ -1,0 +1,87 @@
+//===- HeapHistogramTest.cpp - heap/HeapHistogram unit tests ------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/heap/HeapHistogram.h"
+#include "gcassert/support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig smallVm() {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  return Config;
+}
+
+TEST(HeapHistogramTest, EmptyHeap) {
+  Vm TheVm(smallVm());
+  EXPECT_TRUE(takeHeapHistogram(TheVm.heap()).empty());
+}
+
+TEST(HeapHistogramTest, CountsPerType) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  for (int I = 0; I < 10; ++I)
+    Scope.handle(newNode(TheVm, T));
+  Scope.handle(TheVm.allocate(T, G.Array, 100));
+
+  std::vector<TypeOccupancy> Histogram = takeHeapHistogram(TheVm.heap());
+  ASSERT_EQ(Histogram.size(), 2u);
+  // Sorted by bytes: the 100-element array (816 bytes) beats 10 nodes.
+  EXPECT_EQ(Histogram[0].TypeName, "[LNode;");
+  EXPECT_EQ(Histogram[0].Instances, 1u);
+  EXPECT_EQ(Histogram[0].Bytes, 8u + 8u + 800u);
+  EXPECT_EQ(Histogram[1].TypeName, "LNode;");
+  EXPECT_EQ(Histogram[1].Instances, 10u);
+  EXPECT_EQ(Histogram[1].Bytes, 10u * 40u);
+}
+
+TEST(HeapHistogramTest, ReflectsCollections) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Scope.handle(newNode(TheVm, T));
+  for (int I = 0; I < 50; ++I)
+    newNode(TheVm, T); // Garbage.
+
+  EXPECT_EQ(takeHeapHistogram(TheVm.heap())[0].Instances, 51u);
+  TheVm.collectNow();
+  EXPECT_EQ(takeHeapHistogram(TheVm.heap())[0].Instances, 1u);
+}
+
+TEST(HeapHistogramTest, PrintFormat) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Scope.handle(newNode(TheVm, T));
+  Scope.handle(newNode(TheVm, T));
+
+  StringOStream Out;
+  printHeapHistogram(Out, takeHeapHistogram(TheVm.heap()));
+  EXPECT_NE(Out.str().find("LNode;"), std::string::npos);
+  EXPECT_NE(Out.str().find("(total)"), std::string::npos);
+}
+
+TEST(HeapHistogramTest, MaxRowsTruncates) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Scope.handle(newNode(TheVm, T));
+  Scope.handle(TheVm.allocate(T, G.Array, 1));
+  Scope.handle(TheVm.allocate(T, G.Blob, 8));
+
+  StringOStream Out;
+  printHeapHistogram(Out, takeHeapHistogram(TheVm.heap()), 1);
+  EXPECT_NE(Out.str().find("2 more types"), std::string::npos);
+  // Totals still cover everything.
+  EXPECT_NE(Out.str().find("(total)"), std::string::npos);
+}
+
+} // namespace

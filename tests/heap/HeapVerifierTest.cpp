@@ -1,0 +1,123 @@
+//===- HeapVerifierTest.cpp - heap/HeapVerifier unit tests --------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/heap/HeapVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class HeapVerifierTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  HeapVerifierTest() : TheVm(makeConfig()) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  Vm TheVm;
+};
+
+TEST_P(HeapVerifierTest, EmptyHeapIsClean) {
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.isClean());
+}
+
+TEST_P(HeapVerifierTest, WellFormedGraphIsClean) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 16));
+  for (uint64_t I = 0; I < 16; ++I) {
+    ObjRef Node = newNode(TheVm, T, static_cast<int64_t>(I));
+    Arr.get()->setElement(I, Node);
+    if (I > 0)
+      Node->setRef(G.FieldA, Arr.get()->getElement(I - 1));
+  }
+
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.isClean());
+}
+
+TEST_P(HeapVerifierTest, CleanAfterCollections) {
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  (void)Kept;
+  for (int I = 0; I < 500; ++I)
+    newNode(TheVm, T);
+
+  TheVm.collectNow();
+  TheVm.collectNow();
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.isClean())
+      << "no residual mark/forwarding state after GC";
+}
+
+TEST_P(HeapVerifierTest, DetectsForeignPointer) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Node = Scope.handle(newNode(TheVm, T));
+
+  // Corrupt the heap: a field pointing at host memory.
+  int64_t HostValue = 0;
+  Node.get()->setRef(G.FieldA, reinterpret_cast<ObjRef>(&HostValue));
+
+  HeapVerifier Verifier(TheVm.heap());
+  std::vector<HeapDefect> Defects = Verifier.verify();
+  ASSERT_EQ(Defects.size(), 1u);
+  EXPECT_EQ(Defects[0].Obj, Node.get());
+  EXPECT_NE(Defects[0].Description.find("outside the heap"),
+            std::string::npos);
+
+  Node.get()->setRef(G.FieldA, nullptr); // Repair before the VM collects.
+}
+
+TEST_P(HeapVerifierTest, DetectsStaleMarkBit) {
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Node = Scope.handle(newNode(TheVm, T));
+  Node.get()->header().setMarked();
+
+  HeapVerifier Verifier(TheVm.heap());
+  std::vector<HeapDefect> Defects = Verifier.verify();
+  ASSERT_EQ(Defects.size(), 1u);
+  EXPECT_NE(Defects[0].Description.find("mark bit"), std::string::npos);
+  Node.get()->header().clearMarked();
+}
+
+TEST_P(HeapVerifierTest, DetectsMisalignedReference) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T));
+  ObjRef Target = newNode(TheVm, T);
+
+  Holder.get()->setRef(
+      G.FieldB, reinterpret_cast<ObjRef>(
+                    reinterpret_cast<uintptr_t>(Target) + 1));
+
+  HeapVerifier Verifier(TheVm.heap());
+  std::vector<HeapDefect> Defects = Verifier.verify();
+  ASSERT_EQ(Defects.size(), 1u);
+  EXPECT_NE(Defects[0].Description.find("misaligned"), std::string::npos);
+  Holder.get()->setRef(G.FieldB, nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, HeapVerifierTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact,
+                                           CollectorKind::Generational),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- SemiSpaceHeapTest.cpp - heap/SemiSpaceHeap unit tests ------------------===//
+
+#include "gcassert/heap/SemiSpaceHeap.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+
+namespace {
+
+class SemiSpaceHeapTest : public ::testing::Test {
+protected:
+  SemiSpaceHeapTest() : Heap(Types, makeConfig()) {
+    TypeBuilder B(Types, "LNode;");
+    RefOffset = B.addRef("next");
+    ValueOffset = B.addScalar("value", 8);
+    Node = B.build();
+    Array = Types.registerRefArray("[LNode;");
+  }
+
+  static SemiSpaceHeapConfig makeConfig() {
+    SemiSpaceHeapConfig Config;
+    Config.CapacityBytes = 1u << 20;
+    return Config;
+  }
+
+  TypeRegistry Types;
+  SemiSpaceHeap Heap;
+  TypeId Node = InvalidTypeId;
+  TypeId Array = InvalidTypeId;
+  uint32_t RefOffset = 0;
+  uint32_t ValueOffset = 0;
+};
+
+TEST_F(SemiSpaceHeapTest, BumpAllocationIsContiguous) {
+  ObjRef A = Heap.allocate(Node, 0);
+  ObjRef B = Heap.allocate(Node, 0);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(reinterpret_cast<uint8_t *>(B),
+            reinterpret_cast<uint8_t *>(A) + Heap.objectSize(A));
+}
+
+TEST_F(SemiSpaceHeapTest, ExhaustionReturnsNull) {
+  ObjRef Obj;
+  int Count = 0;
+  do {
+    Obj = Heap.allocate(Node, 0);
+    ++Count;
+  } while (Obj && Count < 1000000);
+  EXPECT_EQ(Obj, nullptr);
+  // Half of 1 MiB at 32 bytes per node.
+  EXPECT_GT(Count, 10000);
+}
+
+TEST_F(SemiSpaceHeapTest, CopyPreservesContents) {
+  ObjRef A = Heap.allocate(Node, 0);
+  ObjRef B = Heap.allocate(Node, 0);
+  A->setRef(RefOffset, B);
+  A->setScalar<int64_t>(ValueOffset, 1234);
+
+  Heap.beginCollection();
+  ObjRef NewA = Heap.copyObject(A);
+  Heap.finishCollection();
+
+  EXPECT_NE(NewA, A);
+  EXPECT_EQ(NewA->typeId(), Node);
+  EXPECT_EQ(NewA->getScalar<int64_t>(ValueOffset), 1234);
+  // The field still holds the old (from-space) reference; updating slots is
+  // the collector's job, not the heap's.
+  EXPECT_EQ(NewA->getRef(RefOffset), B);
+}
+
+TEST_F(SemiSpaceHeapTest, ForwardingPointerInstalled) {
+  ObjRef A = Heap.allocate(Node, 0);
+  Heap.beginCollection();
+  ObjRef NewA = Heap.copyObject(A);
+  EXPECT_TRUE(A->isForwarded());
+  EXPECT_EQ(A->forwardingAddress(), NewA);
+  EXPECT_FALSE(NewA->isForwarded());
+  Heap.finishCollection();
+}
+
+TEST_F(SemiSpaceHeapTest, CollectionFreesSpace) {
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_NE(Heap.allocate(Node, 0), nullptr);
+
+  Heap.beginCollection();
+  Heap.finishCollection(); // Copy nothing: everything dies.
+  EXPECT_EQ(Heap.stats().BytesInUse, 0u);
+  EXPECT_EQ(Heap.liveBytesAfterLastCollection(), 0u);
+
+  EXPECT_NE(Heap.allocate(Node, 0), nullptr);
+}
+
+TEST_F(SemiSpaceHeapTest, ArrayCopy) {
+  ObjRef Arr = Heap.allocate(Array, 8);
+  ObjRef Elem = Heap.allocate(Node, 0);
+  Arr->setElement(3, Elem);
+
+  Heap.beginCollection();
+  ObjRef NewArr = Heap.copyObject(Arr);
+  Heap.finishCollection();
+
+  EXPECT_EQ(NewArr->arrayLength(), 8u);
+  EXPECT_EQ(NewArr->getElement(3), Elem);
+}
+
+TEST_F(SemiSpaceHeapTest, ForEachObjectWalksSurvivors) {
+  Heap.allocate(Node, 0);
+  ObjRef B = Heap.allocate(Node, 0);
+  B->setScalar<int64_t>(ValueOffset, 7);
+
+  Heap.beginCollection();
+  Heap.copyObject(B);
+  Heap.finishCollection();
+
+  int Count = 0;
+  int64_t Value = 0;
+  Heap.forEachObject([&](ObjRef Obj) {
+    ++Count;
+    Value = Obj->getScalar<int64_t>(ValueOffset);
+  });
+  EXPECT_EQ(Count, 1);
+  EXPECT_EQ(Value, 7);
+}
+
+TEST_F(SemiSpaceHeapTest, ObjectSizeMatchesAllocationSize) {
+  ObjRef Obj = Heap.allocate(Node, 0);
+  EXPECT_EQ(Heap.objectSize(Obj), Types.allocationSize(Node, 0));
+  ObjRef Arr = Heap.allocate(Array, 5);
+  EXPECT_EQ(Heap.objectSize(Arr), Types.allocationSize(Array, 5));
+}
+
+TEST_F(SemiSpaceHeapTest, ContainsBothSpaces) {
+  ObjRef A = Heap.allocate(Node, 0);
+  EXPECT_TRUE(Heap.contains(A));
+  Heap.beginCollection();
+  ObjRef NewA = Heap.copyObject(A);
+  Heap.finishCollection();
+  EXPECT_TRUE(Heap.contains(NewA));
+  EXPECT_TRUE(Heap.contains(A)) << "from-space is still heap storage";
+  int Stack = 0;
+  EXPECT_FALSE(Heap.contains(&Stack));
+}
+
+} // namespace

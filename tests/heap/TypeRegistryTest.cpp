@@ -1,0 +1,124 @@
+//===- TypeRegistryTest.cpp - heap/TypeRegistry unit tests --------------------===//
+
+#include "gcassert/heap/TypeRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+
+TEST(TypeRegistryTest, IdsStartAtOne) {
+  TypeRegistry Types;
+  TypeId Id = Types.registerRefArray("[LFoo;");
+  EXPECT_EQ(Id, 1u);
+  EXPECT_NE(Id, InvalidTypeId);
+  EXPECT_EQ(Types.size(), 1u);
+}
+
+TEST(TypeRegistryTest, LookupByName) {
+  TypeRegistry Types;
+  TypeId Id = Types.registerRefArray("[LFoo;");
+  const TypeInfo *Info = Types.lookup("[LFoo;");
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->id(), Id);
+  EXPECT_EQ(Types.lookup("[LBar;"), nullptr);
+}
+
+TEST(TypeRegistryTest, BuilderLaysOutRefFields) {
+  TypeRegistry Types;
+  TypeBuilder B(Types, "LPoint;");
+  uint32_t A = B.addRef("a");
+  uint32_t C = B.addRef("b");
+  TypeId Id = B.build();
+
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(C, 8u);
+  const TypeInfo &Info = Types.get(Id);
+  EXPECT_EQ(Info.kind(), TypeKind::Class);
+  EXPECT_EQ(Info.payloadSize(), 16u);
+  ASSERT_EQ(Info.refOffsets().size(), 2u);
+  EXPECT_EQ(Info.refOffsets()[0], 0u);
+  EXPECT_EQ(Info.refOffsets()[1], 8u);
+}
+
+TEST(TypeRegistryTest, ScalarAlignment) {
+  TypeRegistry Types;
+  TypeBuilder B(Types, "LMixed;");
+  uint32_t Byte = B.addScalar("b1", 1);
+  uint32_t Word = B.addScalar("w", 8); // must align to 8
+  uint32_t Ref = B.addRef("r");
+  TypeId Id = B.build();
+
+  EXPECT_EQ(Byte, 0u);
+  EXPECT_EQ(Word, 8u);
+  EXPECT_EQ(Ref, 16u);
+  EXPECT_EQ(Types.get(Id).payloadSize(), 24u);
+}
+
+TEST(TypeRegistryTest, FieldAtOffset) {
+  TypeRegistry Types;
+  TypeBuilder B(Types, "LThing;");
+  uint32_t R = B.addRef("next");
+  TypeId Id = B.build();
+
+  const FieldInfo *Field = Types.get(Id).fieldAtOffset(R);
+  ASSERT_NE(Field, nullptr);
+  EXPECT_EQ(Field->Name, "next");
+  EXPECT_TRUE(Field->IsRef);
+  EXPECT_EQ(Types.get(Id).fieldAtOffset(1234), nullptr);
+}
+
+TEST(TypeRegistryTest, AllocationSizeClass) {
+  TypeRegistry Types;
+  TypeBuilder B(Types, "LPair;");
+  B.addRef("a");
+  B.addRef("b");
+  TypeId Id = B.build();
+  // Header (8) + two refs (16).
+  EXPECT_EQ(Types.allocationSize(Id, 0), 24u);
+}
+
+TEST(TypeRegistryTest, AllocationSizeEmptyClassHasForwardingWord) {
+  TypeRegistry Types;
+  TypeBuilder B(Types, "LEmpty;");
+  TypeId Id = B.build();
+  // Even a fieldless object needs one payload word for the free-list /
+  // forwarding pointer.
+  EXPECT_EQ(Types.allocationSize(Id, 0), 16u);
+}
+
+TEST(TypeRegistryTest, AllocationSizeArrays) {
+  TypeRegistry Types;
+  TypeId Refs = Types.registerRefArray("[LX;");
+  TypeId Bytes = Types.registerDataArray("[B", 1);
+  // Header (8) + length (8) + elements.
+  EXPECT_EQ(Types.allocationSize(Refs, 4), 8u + 8u + 32u);
+  EXPECT_EQ(Types.allocationSize(Bytes, 5), 8u + 8u + 5u);
+  // Zero-length arrays still carry the length word.
+  EXPECT_EQ(Types.allocationSize(Refs, 0), 16u);
+}
+
+TEST(TypeRegistryTest, InstanceTrackingWords) {
+  TypeRegistry Types;
+  TypeBuilder B(Types, "LSingleton;");
+  TypeId Id = B.build();
+  TypeInfo &Info = Types.get(Id);
+
+  EXPECT_FALSE(Info.isInstanceTracked());
+  Info.setInstanceLimit(1);
+  EXPECT_TRUE(Info.isInstanceTracked());
+  EXPECT_EQ(Info.instanceLimit(), 1u);
+
+  Info.resetLiveCount();
+  Info.incrementLiveCount();
+  Info.incrementLiveCount();
+  EXPECT_EQ(Info.liveCount(), 2u);
+
+  Info.clearInstanceLimit();
+  EXPECT_FALSE(Info.isInstanceTracked());
+}
+
+TEST(TypeRegistryDeathTest, DuplicateNameAborts) {
+  TypeRegistry Types;
+  Types.registerRefArray("[LDup;");
+  EXPECT_DEATH(Types.registerRefArray("[LDup;"), "duplicate");
+}

@@ -1,0 +1,155 @@
+//===- StressTest.cpp - randomized whole-system stress tests -------------------===//
+//
+// Randomized integration stress: a pseudo-random mutator that allocates,
+// mutates, roots/unroots, and sprays assertions, interleaved with
+// collections under all three collectors. Invariants checked:
+//
+//   * the heap verifier finds no structural defects after any collection,
+//   * the run terminates without crashes or fatal errors,
+//   * violations only ever come from assertions this mutator planted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/heap/HeapVerifier.h"
+#include "gcassert/support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+struct StressParam {
+  CollectorKind Collector;
+  uint64_t Seed;
+};
+
+class StressTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(StressTest, RandomMutatorSurvives) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = GetParam().Collector;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  SplitMix64 Rng(GetParam().Seed);
+
+  // A bounded set of long-lived roots the mutator shuffles objects through.
+  HandleScope Scope(T);
+  std::vector<Local> Roots;
+  for (int I = 0; I < 32; ++I)
+    Roots.push_back(Scope.handle());
+
+  bool RegionOpen = false;
+  uint32_t RefFields[3] = {G.FieldA, G.FieldB, G.FieldC};
+
+  for (int Step = 0; Step < 30000; ++Step) {
+    switch (Rng.nextBelow(100)) {
+    default: { // Allocate, often linking into a rooted structure.
+      ObjRef Fresh = newNode(TheVm, T, Step);
+      Local &Root = Roots[Rng.nextBelow(Roots.size())];
+      if (Rng.chancePercent(60)) {
+        if (ObjRef Holder = Root.get())
+          Holder->setRef(RefFields[Rng.nextBelow(3)], Fresh);
+      } else {
+        Root.set(Fresh);
+      }
+      break;
+    }
+    case 80: case 81: case 82: case 83: { // Drop a root.
+      Roots[Rng.nextBelow(Roots.size())].set(nullptr);
+      break;
+    }
+    case 84: case 85: case 86: { // Cut a random edge.
+      if (ObjRef Holder = Roots[Rng.nextBelow(Roots.size())].get())
+        Holder->setRef(RefFields[Rng.nextBelow(3)], nullptr);
+      break;
+    }
+    case 87: case 88: { // Cross-link two rooted structures.
+      ObjRef A = Roots[Rng.nextBelow(Roots.size())].get();
+      ObjRef B = Roots[Rng.nextBelow(Roots.size())].get();
+      if (A && B && A != B)
+        A->setRef(RefFields[Rng.nextBelow(3)], B);
+      break;
+    }
+    case 89: case 90: { // Assert something dead (may or may not hold).
+      if (ObjRef Obj = Roots[Rng.nextBelow(Roots.size())].get())
+        Engine.assertDead(Obj);
+      break;
+    }
+    case 91: { // Assert unshared.
+      if (ObjRef Obj = Roots[Rng.nextBelow(Roots.size())].get())
+        Engine.assertUnshared(Obj);
+      break;
+    }
+    case 92: case 93: { // Assert ownership between rooted objects.
+      ObjRef Owner = Roots[Rng.nextBelow(Roots.size())].get();
+      ObjRef Ownee = Roots[Rng.nextBelow(Roots.size())].get();
+      if (Owner && Ownee && Owner != Ownee)
+        Engine.assertOwnedBy(Owner, Ownee);
+      break;
+    }
+    case 94: { // Toggle a region.
+      if (RegionOpen)
+        Engine.assertAllDead(T);
+      else
+        Engine.startRegion(T);
+      RegionOpen = !RegionOpen;
+      break;
+    }
+    case 95: { // Track instances with a random limit.
+      Engine.assertInstances(G.Node, static_cast<uint32_t>(Rng.nextBelow(64)));
+      break;
+    }
+    case 96: { // Explicit full collection + heap audit.
+      TheVm.collectNow();
+      HeapVerifier Verifier(TheVm.heap());
+      std::vector<HeapDefect> Defects = Verifier.verify();
+      ASSERT_TRUE(Defects.empty())
+          << "step " << Step << ": " << Defects.front().Description;
+      break;
+    }
+    }
+  }
+
+  if (RegionOpen)
+    Engine.assertAllDead(T);
+  TheVm.collectNow();
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.isClean());
+
+  // Sanity on the reports: only kinds this mutator can produce.
+  for (const Violation &V : Sink.violations())
+    EXPECT_TRUE(V.Kind == AssertionKind::Dead ||
+                V.Kind == AssertionKind::Unshared ||
+                V.Kind == AssertionKind::Instances ||
+                V.Kind == AssertionKind::OwnedBy ||
+                V.Kind == AssertionKind::OwnershipOverlap ||
+                V.Kind == AssertionKind::OwneeOutlivedOwner)
+        << V.Message;
+}
+
+std::vector<StressParam> stressParams() {
+  std::vector<StressParam> Params;
+  for (CollectorKind Kind :
+       {CollectorKind::MarkSweep, CollectorKind::SemiSpace,
+        CollectorKind::MarkCompact, CollectorKind::Generational})
+    for (uint64_t Seed = 100; Seed < 104; ++Seed)
+      Params.push_back({Kind, Seed});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomRuns, StressTest, ::testing::ValuesIn(stressParams()),
+    [](const ::testing::TestParamInfo<StressParam> &Info) {
+      return std::string(collectorName(Info.param.Collector)) + "_seed" +
+             std::to_string(Info.param.Seed);
+    });
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- VmTest.cpp - runtime/Vm unit tests --------------------------------------===//
+
+#include "common/TestGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig smallVm() {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  return Config;
+}
+
+TEST(VmTest, MainThreadExists) {
+  Vm TheVm(smallVm());
+  EXPECT_EQ(TheVm.mainThread().id(), 0u);
+  EXPECT_EQ(TheVm.mainThread().name(), "main");
+}
+
+TEST(VmTest, SpawnThreads) {
+  Vm TheVm(smallVm());
+  MutatorThread &A = TheVm.spawnThread("worker-a");
+  MutatorThread &B = TheVm.spawnThread("worker-b");
+  EXPECT_EQ(A.id(), 1u);
+  EXPECT_EQ(B.id(), 2u);
+
+  int Count = 0;
+  TheVm.forEachThread([&](MutatorThread &) { ++Count; });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(VmTest, GlobalRootSlotReuse) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  GlobalRootId A = TheVm.addGlobalRoot(newNode(TheVm, T, 1));
+  GlobalRootId B = TheVm.addGlobalRoot(newNode(TheVm, T, 2));
+  EXPECT_NE(A, B);
+
+  TheVm.removeGlobalRoot(A);
+  GlobalRootId C = TheVm.addGlobalRoot(newNode(TheVm, T, 3));
+  EXPECT_EQ(C, A) << "freed slots are reused";
+  EXPECT_NE(TheVm.globalRoot(C), nullptr);
+  EXPECT_NE(TheVm.globalRoot(B), nullptr);
+}
+
+TEST(VmTest, SetGlobalRoot) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  GlobalRootId Id = TheVm.addGlobalRoot();
+  EXPECT_EQ(TheVm.globalRoot(Id), nullptr);
+  ObjRef Obj = newNode(TheVm, T);
+  TheVm.setGlobalRoot(Id, Obj);
+  EXPECT_EQ(TheVm.globalRoot(Id), Obj);
+}
+
+TEST(VmTest, AllocationListenerObservesEveryAllocation) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  int Observed = 0;
+  TheVm.setAllocationListener([&](ObjRef) { ++Observed; });
+  for (int I = 0; I < 10; ++I)
+    newNode(TheVm, T);
+  EXPECT_EQ(Observed, 10);
+
+  TheVm.setAllocationListener(nullptr);
+  newNode(TheVm, T);
+  EXPECT_EQ(Observed, 10) << "removed listener must not fire";
+}
+
+TEST(VmTest, HandleScopesNest) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Outer(T);
+  Local A = Outer.handle(newNode(TheVm, T, 1));
+  {
+    HandleScope Inner(T);
+    Inner.handle(newNode(TheVm, T, 2));
+    EXPECT_EQ(T.handleCount(), 2u);
+  }
+  EXPECT_EQ(T.handleCount(), 1u);
+  EXPECT_NE(A.get(), nullptr);
+}
+
+TEST(VmTest, LocalReadWrite) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local L = Scope.handle();
+  EXPECT_FALSE(L);
+  L.set(newNode(TheVm, T, 5));
+  EXPECT_TRUE(L);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  EXPECT_EQ(L.get()->getScalar<int64_t>(G.FieldValue), 5);
+}
+
+TEST(VmTest, GcStatsAccumulate) {
+  Vm TheVm(smallVm());
+  EXPECT_EQ(TheVm.gcStats().Cycles, 0u);
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(TheVm.gcStats().Cycles, 2u);
+}
+
+TEST(VmTest, CollectorKindMatchesConfig) {
+  Vm MarkSweep(smallVm());
+  EXPECT_EQ(MarkSweep.collectorKind(), CollectorKind::MarkSweep);
+
+  VmConfig Config = smallVm();
+  Config.Collector = CollectorKind::SemiSpace;
+  Vm SemiSpace(Config);
+  EXPECT_EQ(SemiSpace.collectorKind(), CollectorKind::SemiSpace);
+}
+
+TEST(VmDeathTest, OutOfMemoryAborts) {
+  VmConfig Config;
+  Config.HeapBytes = 1u << 20;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  // An unbreakable chain of live objects must exhaust the heap and abort
+  // with a diagnostic rather than corrupting memory.
+  EXPECT_DEATH(
+      {
+        HandleScope Scope(T);
+        Local Head = Scope.handle(newNode(TheVm, T));
+        while (true) {
+          ObjRef NewNode = newNode(TheVm, T);
+          NewNode->setRef(G.FieldA, Head.get());
+          Head.set(NewNode);
+        }
+      },
+      "out of memory");
+}
+
+TEST(VmTest, RegionLogPointerRoundTrip) {
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  EXPECT_EQ(T.regionLog(), nullptr);
+  std::vector<ObjRef> Log;
+  T.setRegionLog(&Log);
+  newNode(TheVm, T);
+  newNode(TheVm, T);
+  EXPECT_EQ(Log.size(), 2u);
+  T.setRegionLog(nullptr);
+  newNode(TheVm, T);
+  EXPECT_EQ(Log.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,29 @@
+//===- FormatTest.cpp - support/Format unit tests ----------------------------===//
+
+#include "gcassert/support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+
+TEST(FormatTest, PlainString) { EXPECT_EQ(format("hello"), "hello"); }
+
+TEST(FormatTest, Integers) {
+  EXPECT_EQ(format("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+  EXPECT_EQ(format("%u", 4000000000u), "4000000000");
+}
+
+TEST(FormatTest, Strings) {
+  EXPECT_EQ(format("type %s limit %u", "LOrder;", 3u), "type LOrder; limit 3");
+}
+
+TEST(FormatTest, Floats) {
+  EXPECT_EQ(format("%.2f%%", 2.746), "2.75%");
+}
+
+TEST(FormatTest, EmptyResult) { EXPECT_EQ(format("%s", ""), ""); }
+
+TEST(FormatTest, LongOutput) {
+  std::string Long(1000, 'x');
+  EXPECT_EQ(format("%s", Long.c_str()), Long);
+}

@@ -1,0 +1,53 @@
+//===- OStreamTest.cpp - support/OStream unit tests ---------------------------===//
+
+#include "gcassert/support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+
+TEST(StringOStreamTest, Strings) {
+  StringOStream S;
+  S << "hello" << ' ' << std::string("world");
+  EXPECT_EQ(S.str(), "hello world");
+}
+
+TEST(StringOStreamTest, Integers) {
+  StringOStream S;
+  S << int64_t(-42) << '/' << uint64_t(42) << '/' << int32_t(7)
+    << '/' << uint32_t(8);
+  EXPECT_EQ(S.str(), "-42/42/7/8");
+}
+
+TEST(StringOStreamTest, Bool) {
+  StringOStream S;
+  S << true << ' ' << false;
+  EXPECT_EQ(S.str(), "true false");
+}
+
+TEST(StringOStreamTest, Double) {
+  StringOStream S;
+  S << 2.5;
+  EXPECT_EQ(S.str(), "2.5");
+}
+
+TEST(StringOStreamTest, Pointer) {
+  StringOStream S;
+  S << static_cast<const void *>(nullptr);
+  EXPECT_FALSE(S.str().empty());
+}
+
+TEST(StringOStreamTest, Clear) {
+  StringOStream S;
+  S << "abc";
+  S.clear();
+  EXPECT_EQ(S.str(), "");
+  S << "def";
+  EXPECT_EQ(S.str(), "def");
+}
+
+TEST(OStreamTest, GlobalStreamsExist) {
+  // Smoke test: the process-wide streams are usable.
+  outs().flush();
+  errs().flush();
+}

@@ -1,0 +1,74 @@
+//===- RandomTest.cpp - support/Random unit tests ----------------------------===//
+
+#include "gcassert/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gcassert;
+
+TEST(SplitMix64Test, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, SeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, NextBelowInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(Rng.nextBelow(13), 13u);
+}
+
+TEST(SplitMix64Test, NextBelowCoversAllValues) {
+  SplitMix64 Rng(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(Rng.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(SplitMix64Test, NextInRangeInclusive) {
+  SplitMix64 Rng(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = Rng.nextInRange(5, 7);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 7u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 3u);
+}
+
+TEST(SplitMix64Test, ChancePercentExtremes) {
+  SplitMix64 Rng(9);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Rng.chancePercent(0));
+    EXPECT_TRUE(Rng.chancePercent(100));
+  }
+}
+
+TEST(SplitMix64Test, ChancePercentRoughlyCalibrated) {
+  SplitMix64 Rng(123);
+  int Hits = 0;
+  const int Trials = 20000;
+  for (int I = 0; I < Trials; ++I)
+    if (Rng.chancePercent(25))
+      ++Hits;
+  double Rate = static_cast<double>(Hits) / Trials;
+  EXPECT_NEAR(Rate, 0.25, 0.02);
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 Rng(77);
+  for (int I = 0; I < 10000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}

@@ -1,0 +1,83 @@
+//===- StatsTest.cpp - support/Stats unit tests ------------------------------===//
+
+#include "gcassert/support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace gcassert;
+
+TEST(SampleSetTest, MeanOfConstantSamples) {
+  SampleSet S;
+  for (int I = 0; I < 10; ++I)
+    S.add(4.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(S.confidence90(), 0.0);
+}
+
+TEST(SampleSetTest, MeanAndStddevKnownValues) {
+  SampleSet S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample (n-1) standard deviation of this classic data set.
+  EXPECT_NEAR(S.stddev(), 2.138, 1e-3);
+}
+
+TEST(SampleSetTest, MinMax) {
+  SampleSet S;
+  S.add(3.0);
+  S.add(-1.0);
+  S.add(7.5);
+  EXPECT_DOUBLE_EQ(S.min(), -1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 7.5);
+}
+
+TEST(SampleSetTest, Confidence90TwoSamples) {
+  SampleSet S;
+  S.add(1.0);
+  S.add(3.0);
+  // n=2: stddev = sqrt(2), CI half-width = t(1) * stddev / sqrt(2)
+  //     = 6.314 * sqrt(2) / sqrt(2) = 6.314.
+  EXPECT_NEAR(S.confidence90(), 6.314, 1e-3);
+}
+
+TEST(SampleSetTest, ConfidenceShrinksWithSamples) {
+  SampleSet Small, Large;
+  for (int I = 0; I < 5; ++I)
+    Small.add(I % 2 ? 10.0 : 12.0);
+  for (int I = 0; I < 50; ++I)
+    Large.add(I % 2 ? 10.0 : 12.0);
+  EXPECT_GT(Small.confidence90(), Large.confidence90());
+}
+
+TEST(GeometricMeanTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(geometricMean({7.0}), 7.0);
+}
+
+TEST(GeometricMeanTest, KnownValues) {
+  EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(GeometricMeanTest, BelowArithmeticMean) {
+  std::vector<double> Values = {1.0, 2.0, 3.0, 10.0};
+  double Arith = (1.0 + 2.0 + 3.0 + 10.0) / 4.0;
+  EXPECT_LT(geometricMean(Values), Arith);
+}
+
+TEST(StudentTTest, TableValues) {
+  EXPECT_DOUBLE_EQ(studentT90(1), 6.314);
+  EXPECT_DOUBLE_EQ(studentT90(10), 1.812);
+  EXPECT_DOUBLE_EQ(studentT90(19), 1.729); // 20 trials, the paper's count.
+  EXPECT_DOUBLE_EQ(studentT90(30), 1.697);
+  EXPECT_DOUBLE_EQ(studentT90(1000), 1.645);
+}
+
+TEST(StudentTTest, MonotonicallyDecreasing) {
+  for (size_t Df = 1; Df < 200; ++Df)
+    EXPECT_GE(studentT90(Df), studentT90(Df + 1)) << "df=" << Df;
+}

@@ -1,0 +1,227 @@
+//===- BTreeTest.cpp - managed B+ tree unit tests -----------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/support/Random.h"
+#include "gcassert/workloads/BTree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class BTreeTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  BTreeTest() : TheVm(makeConfig()) {}
+
+  VmConfig makeConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 16u << 20;
+    Config.Collector = GetParam();
+    return Config;
+  }
+
+  /// Allocates a handle-rooted Node value with the given payload.
+  Local newValue(HandleScope &Scope, int64_t Payload) {
+    return Scope.handle(newNode(TheVm, TheVm.mainThread(), Payload));
+  }
+
+  int64_t payloadOf(ObjRef Value) {
+    const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+    return Value->getScalar<int64_t>(G.FieldValue);
+  }
+
+  Vm TheVm;
+};
+
+TEST_P(BTreeTest, EmptyTree) {
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  EXPECT_EQ(Tree.size(), 0u);
+  EXPECT_EQ(Tree.find(42), nullptr);
+  EXPECT_EQ(Tree.minValue(), nullptr);
+  EXPECT_FALSE(Tree.erase(42));
+}
+
+TEST_P(BTreeTest, InsertAndFind) {
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  for (int64_t Key = 0; Key < 100; ++Key)
+    Tree.insert(Key * 3, newValue(Scope, Key));
+
+  EXPECT_EQ(Tree.size(), 100u);
+  for (int64_t Key = 0; Key < 100; ++Key) {
+    ObjRef Value = Tree.find(Key * 3);
+    ASSERT_NE(Value, nullptr) << "key " << Key * 3;
+    EXPECT_EQ(payloadOf(Value), Key);
+    EXPECT_EQ(Tree.find(Key * 3 + 1), nullptr);
+  }
+}
+
+TEST_P(BTreeTest, DuplicateInsertOverwrites) {
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  Tree.insert(7, newValue(Scope, 1));
+  Tree.insert(7, newValue(Scope, 2));
+  EXPECT_EQ(Tree.size(), 1u);
+  EXPECT_EQ(payloadOf(Tree.find(7)), 2);
+}
+
+TEST_P(BTreeTest, SplitsPreserveOrder) {
+  // More than MaxKeys^2 entries forces multi-level splits.
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  const int64_t N = 400;
+  for (int64_t Key = N - 1; Key >= 0; --Key) // Descending insertion.
+    Tree.insert(Key, newValue(Scope, Key));
+
+  EXPECT_EQ(Tree.size(), static_cast<uint64_t>(N));
+  int64_t Expected = 0;
+  Tree.forEach([&](int64_t Key, ObjRef Value) {
+    EXPECT_EQ(Key, Expected);
+    EXPECT_EQ(payloadOf(Value), Expected);
+    ++Expected;
+  });
+  EXPECT_EQ(Expected, N);
+}
+
+TEST_P(BTreeTest, MinValue) {
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  Tree.insert(50, newValue(Scope, 50));
+  Tree.insert(10, newValue(Scope, 10));
+  Tree.insert(90, newValue(Scope, 90));
+
+  int64_t Key = 0;
+  ObjRef Value = Tree.minValue(&Key);
+  ASSERT_NE(Value, nullptr);
+  EXPECT_EQ(Key, 10);
+  EXPECT_EQ(payloadOf(Value), 10);
+}
+
+TEST_P(BTreeTest, EraseRemoves) {
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  for (int64_t Key = 0; Key < 200; ++Key)
+    Tree.insert(Key, newValue(Scope, Key));
+
+  for (int64_t Key = 0; Key < 200; Key += 2)
+    EXPECT_TRUE(Tree.erase(Key));
+  EXPECT_EQ(Tree.size(), 100u);
+  for (int64_t Key = 0; Key < 200; ++Key)
+    EXPECT_EQ(Tree.find(Key) != nullptr, Key % 2 == 1) << "key " << Key;
+  EXPECT_FALSE(Tree.erase(0)) << "already erased";
+}
+
+TEST_P(BTreeTest, MinAfterErasingLeadingKeys) {
+  // Lazy deletion leaves empty leading leaves; minValue must skip them.
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  for (int64_t Key = 0; Key < 100; ++Key)
+    Tree.insert(Key, newValue(Scope, Key));
+  for (int64_t Key = 0; Key < 60; ++Key)
+    EXPECT_TRUE(Tree.erase(Key));
+
+  int64_t Key = 0;
+  ObjRef Value = Tree.minValue(&Key);
+  ASSERT_NE(Value, nullptr);
+  EXPECT_EQ(Key, 60);
+}
+
+TEST_P(BTreeTest, ValuesSurviveCollection) {
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  for (int64_t Key = 0; Key < 300; ++Key)
+    Tree.insert(Key, newValue(Scope, Key * 11));
+  // Drop the construction handles: the tree's global root keeps it alive.
+  TheVm.mainThread().truncateHandles(0);
+
+  TheVm.collectNow();
+  TheVm.collectNow();
+
+  EXPECT_EQ(Tree.size(), 300u);
+  for (int64_t Key = 0; Key < 300; Key += 17)
+    EXPECT_EQ(payloadOf(Tree.find(Key)), Key * 11);
+}
+
+TEST_P(BTreeTest, TreeIsGarbageOnceHandleDies) {
+  {
+    ManagedBTree Tree(TheVm, TheVm.mainThread());
+    HandleScope Scope(TheVm.mainThread());
+    for (int64_t Key = 0; Key < 50; ++Key)
+      Tree.insert(Key, newValue(Scope, Key));
+  } // ~ManagedBTree removes the global root.
+  TheVm.collectNow();
+  EXPECT_EQ(heapObjectCount(TheVm), 0u);
+}
+
+TEST_P(BTreeTest, MatchesReferenceMapUnderRandomOps) {
+  // Property test: the managed tree agrees with std::map under a random
+  // insert/find/erase mix, with periodic collections in between.
+  ManagedBTree Tree(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  std::map<int64_t, int64_t> Reference;
+  SplitMix64 Rng(GetParam() == CollectorKind::MarkSweep ? 101 : 202);
+
+  for (int Op = 0; Op < 4000; ++Op) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBelow(500));
+    switch (Rng.nextBelow(3)) {
+    case 0: { // insert
+      int64_t Payload = static_cast<int64_t>(Rng.next() >> 1);
+      Tree.insert(Key, newValue(Scope, Payload));
+      Reference[Key] = Payload;
+      break;
+    }
+    case 1: { // find
+      ObjRef Value = Tree.find(Key);
+      auto It = Reference.find(Key);
+      ASSERT_EQ(Value != nullptr, It != Reference.end()) << "key " << Key;
+      if (Value) {
+        ASSERT_EQ(payloadOf(Value), It->second);
+      }
+      break;
+    }
+    case 2: { // erase
+      bool Erased = Tree.erase(Key);
+      ASSERT_EQ(Erased, Reference.erase(Key) == 1) << "key " << Key;
+      break;
+    }
+    }
+    if (Op % 512 == 511) {
+      TheVm.mainThread().truncateHandles(0); // Values live via the tree.
+      TheVm.collectNow();
+    }
+  }
+
+  ASSERT_EQ(Tree.size(), Reference.size());
+  auto It = Reference.begin();
+  Tree.forEach([&](int64_t Key, ObjRef Value) {
+    ASSERT_NE(It, Reference.end());
+    EXPECT_EQ(Key, It->first);
+    EXPECT_EQ(payloadOf(Value), It->second);
+    ++It;
+  });
+  EXPECT_EQ(It, Reference.end());
+}
+
+TEST_P(BTreeTest, TwoTreesShareTypes) {
+  ManagedBTree A(TheVm, TheVm.mainThread());
+  ManagedBTree B(TheVm, TheVm.mainThread());
+  HandleScope Scope(TheVm.mainThread());
+  A.insert(1, newValue(Scope, 100));
+  B.insert(1, newValue(Scope, 200));
+  EXPECT_EQ(payloadOf(A.find(1)), 100);
+  EXPECT_EQ(payloadOf(B.find(1)), 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, BTreeTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+} // namespace

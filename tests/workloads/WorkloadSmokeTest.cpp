@@ -1,0 +1,106 @@
+//===- WorkloadSmokeTest.cpp - every workload runs under every config ---------===//
+
+#include "gcassert/workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+
+namespace {
+
+struct SmokeParam {
+  std::string Workload;
+  BenchConfig Config;
+};
+
+class WorkloadSmokeTest : public ::testing::TestWithParam<SmokeParam> {};
+
+TEST_P(WorkloadSmokeTest, RunsToCompletion) {
+  registerBuiltinWorkloads();
+  HarnessOptions Options;
+  Options.WarmupIterations = 0;
+  Options.MeasuredIterations = 1;
+  RecordingViolationSink Sink;
+  Options.Sink = &Sink;
+
+  RunResult Result =
+      runWorkload(GetParam().Workload, GetParam().Config, Options);
+  EXPECT_GT(Result.TotalMillis, 0.0);
+  EXPECT_GE(Result.TotalMillis, Result.GcMillis);
+
+  // The *performance* workloads must be violation-free under assertions;
+  // the leak variants are tested separately. lusearch is the exception:
+  // its assert-instances violation *is* the §3.2.2 finding.
+  if (GetParam().Config == BenchConfig::WithAssertions &&
+      GetParam().Workload != "lusearch") {
+    EXPECT_TRUE(Sink.violations().empty())
+        << "unexpected violation: " << Sink.violations().front().Message;
+  }
+}
+
+std::vector<SmokeParam> smokeParams() {
+  registerBuiltinWorkloads();
+  std::vector<SmokeParam> Params;
+  for (const std::string &Name : WorkloadRegistry::names()) {
+    if (Name.find("-") != std::string::npos)
+      continue; // Leak variants have their own tests.
+    Params.push_back({Name, BenchConfig::Base});
+    Params.push_back({Name, BenchConfig::WithAssertions});
+  }
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSmokeTest, ::testing::ValuesIn(smokeParams()),
+    [](const ::testing::TestParamInfo<SmokeParam> &Info) {
+      return Info.param.Workload + "_" +
+             benchConfigName(Info.param.Config);
+    });
+
+TEST(WorkloadRegistryTest, AllExpectedWorkloadsRegistered) {
+  registerBuiltinWorkloads();
+  std::vector<std::string> Names = WorkloadRegistry::names();
+  for (const char *Expected :
+       {"compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack",
+        "antlr", "bloat", "chart", "eclipse", "fop", "hsqldb", "jython",
+        "luindex", "lusearch", "pmd", "xalan", "pseudojbb",
+        "pseudojbb-ordertable-leak", "pseudojbb-customer-leak",
+        "pseudojbb-drag"}) {
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Expected), Names.end())
+        << "missing workload " << Expected;
+  }
+}
+
+TEST(WorkloadRegistryTest, RegistrationIsIdempotent) {
+  registerBuiltinWorkloads();
+  size_t Before = WorkloadRegistry::names().size();
+  registerBuiltinWorkloads();
+  EXPECT_EQ(WorkloadRegistry::names().size(), Before);
+}
+
+TEST(WorkloadRegistryDeathTest, UnknownWorkloadAborts) {
+  registerBuiltinWorkloads();
+  EXPECT_DEATH((void)WorkloadRegistry::create("no-such-workload"),
+               "unknown workload");
+}
+
+TEST(HarnessTest, DeterministicSeedsGiveIdenticalCounters) {
+  registerBuiltinWorkloads();
+  HarnessOptions Options;
+  Options.WarmupIterations = 0;
+  Options.MeasuredIterations = 1;
+  Options.Seed = 77;
+  RecordingViolationSink SinkA, SinkB;
+
+  Options.Sink = &SinkA;
+  RunResult A = runWorkload("db", BenchConfig::WithAssertions, Options);
+  Options.Sink = &SinkB;
+  RunResult B = runWorkload("db", BenchConfig::WithAssertions, Options);
+
+  EXPECT_EQ(A.Counters.AssertDeadCalls, B.Counters.AssertDeadCalls);
+  EXPECT_EQ(A.Counters.AssertOwnedByCalls, B.Counters.AssertOwnedByCalls);
+  EXPECT_EQ(A.Counters.OwneesCheckedTotal, B.Counters.OwneesCheckedTotal);
+  EXPECT_EQ(A.GcCycles, B.GcCycles);
+}
+
+} // namespace
