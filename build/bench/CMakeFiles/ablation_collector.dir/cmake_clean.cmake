@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_collector.dir/ablation_collector.cpp.o"
+  "CMakeFiles/ablation_collector.dir/ablation_collector.cpp.o.d"
+  "ablation_collector"
+  "ablation_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generational.dir/ablation_generational.cpp.o"
+  "CMakeFiles/ablation_generational.dir/ablation_generational.cpp.o.d"
+  "ablation_generational"
+  "ablation_generational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

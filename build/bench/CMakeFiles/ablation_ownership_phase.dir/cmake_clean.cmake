@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ownership_phase.dir/ablation_ownership_phase.cpp.o"
+  "CMakeFiles/ablation_ownership_phase.dir/ablation_ownership_phase.cpp.o.d"
+  "ablation_ownership_phase"
+  "ablation_ownership_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ownership_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

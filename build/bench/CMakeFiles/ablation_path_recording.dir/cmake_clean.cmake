@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_recording.dir/ablation_path_recording.cpp.o"
+  "CMakeFiles/ablation_path_recording.dir/ablation_path_recording.cpp.o.d"
+  "ablation_path_recording"
+  "ablation_path_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

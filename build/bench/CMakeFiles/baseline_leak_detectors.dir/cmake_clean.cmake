@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_leak_detectors.dir/baseline_leak_detectors.cpp.o"
+  "CMakeFiles/baseline_leak_detectors.dir/baseline_leak_detectors.cpp.o.d"
+  "baseline_leak_detectors"
+  "baseline_leak_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_leak_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

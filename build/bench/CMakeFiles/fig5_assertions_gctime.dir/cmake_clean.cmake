@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_assertions_gctime.dir/fig5_assertions_gctime.cpp.o"
+  "CMakeFiles/fig5_assertions_gctime.dir/fig5_assertions_gctime.cpp.o.d"
+  "fig5_assertions_gctime"
+  "fig5_assertions_gctime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_assertions_gctime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_assertion_counts.dir/tab_assertion_counts.cpp.o"
+  "CMakeFiles/tab_assertion_counts.dir/tab_assertion_counts.cpp.o.d"
+  "tab_assertion_counts"
+  "tab_assertion_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_assertion_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

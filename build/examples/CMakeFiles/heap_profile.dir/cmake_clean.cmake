@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_profile.dir/heap_profile.cpp.o"
+  "CMakeFiles/heap_profile.dir/heap_profile.cpp.o.d"
+  "heap_profile"
+  "heap_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

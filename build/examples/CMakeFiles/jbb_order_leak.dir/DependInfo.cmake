@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/jbb_order_leak.cpp" "examples/CMakeFiles/jbb_order_leak.dir/jbb_order_leak.cpp.o" "gcc" "examples/CMakeFiles/jbb_order_leak.dir/jbb_order_leak.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gcassert_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakdetect/CMakeFiles/gcassert_leakdetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcassert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gcassert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gcassert_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gcassert_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbb_order_leak.dir/jbb_order_leak.cpp.o"
+  "CMakeFiles/jbb_order_leak.dir/jbb_order_leak.cpp.o.d"
+  "jbb_order_leak"
+  "jbb_order_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbb_order_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lusearch_singleton.dir/lusearch_singleton.cpp.o"
+  "CMakeFiles/lusearch_singleton.dir/lusearch_singleton.cpp.o.d"
+  "lusearch_singleton"
+  "lusearch_singleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lusearch_singleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lusearch_singleton.
+# This may be replaced when dependencies are built.

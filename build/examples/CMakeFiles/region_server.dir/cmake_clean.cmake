@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_server.dir/region_server.cpp.o"
+  "CMakeFiles/region_server.dir/region_server.cpp.o.d"
+  "region_server"
+  "region_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swapleak.dir/swapleak.cpp.o"
+  "CMakeFiles/swapleak.dir/swapleak.cpp.o.d"
+  "swapleak"
+  "swapleak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swapleak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

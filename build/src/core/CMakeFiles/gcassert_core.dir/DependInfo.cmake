@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AssertionEngine.cpp" "src/core/CMakeFiles/gcassert_core.dir/AssertionEngine.cpp.o" "gcc" "src/core/CMakeFiles/gcassert_core.dir/AssertionEngine.cpp.o.d"
+  "/root/repo/src/core/OwnershipTable.cpp" "src/core/CMakeFiles/gcassert_core.dir/OwnershipTable.cpp.o" "gcc" "src/core/CMakeFiles/gcassert_core.dir/OwnershipTable.cpp.o.d"
+  "/root/repo/src/core/PathFinder.cpp" "src/core/CMakeFiles/gcassert_core.dir/PathFinder.cpp.o" "gcc" "src/core/CMakeFiles/gcassert_core.dir/PathFinder.cpp.o.d"
+  "/root/repo/src/core/Violation.cpp" "src/core/CMakeFiles/gcassert_core.dir/Violation.cpp.o" "gcc" "src/core/CMakeFiles/gcassert_core.dir/Violation.cpp.o.d"
+  "/root/repo/src/core/ViolationLogSink.cpp" "src/core/CMakeFiles/gcassert_core.dir/ViolationLogSink.cpp.o" "gcc" "src/core/CMakeFiles/gcassert_core.dir/ViolationLogSink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/gcassert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gcassert_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gcassert_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_core.dir/AssertionEngine.cpp.o"
+  "CMakeFiles/gcassert_core.dir/AssertionEngine.cpp.o.d"
+  "CMakeFiles/gcassert_core.dir/OwnershipTable.cpp.o"
+  "CMakeFiles/gcassert_core.dir/OwnershipTable.cpp.o.d"
+  "CMakeFiles/gcassert_core.dir/PathFinder.cpp.o"
+  "CMakeFiles/gcassert_core.dir/PathFinder.cpp.o.d"
+  "CMakeFiles/gcassert_core.dir/Violation.cpp.o"
+  "CMakeFiles/gcassert_core.dir/Violation.cpp.o.d"
+  "CMakeFiles/gcassert_core.dir/ViolationLogSink.cpp.o"
+  "CMakeFiles/gcassert_core.dir/ViolationLogSink.cpp.o.d"
+  "libgcassert_core.a"
+  "libgcassert_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

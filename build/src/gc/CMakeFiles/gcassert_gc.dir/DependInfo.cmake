@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/GenerationalCollector.cpp" "src/gc/CMakeFiles/gcassert_gc.dir/GenerationalCollector.cpp.o" "gcc" "src/gc/CMakeFiles/gcassert_gc.dir/GenerationalCollector.cpp.o.d"
+  "/root/repo/src/gc/MarkCompactCollector.cpp" "src/gc/CMakeFiles/gcassert_gc.dir/MarkCompactCollector.cpp.o" "gcc" "src/gc/CMakeFiles/gcassert_gc.dir/MarkCompactCollector.cpp.o.d"
+  "/root/repo/src/gc/MarkSweepCollector.cpp" "src/gc/CMakeFiles/gcassert_gc.dir/MarkSweepCollector.cpp.o" "gcc" "src/gc/CMakeFiles/gcassert_gc.dir/MarkSweepCollector.cpp.o.d"
+  "/root/repo/src/gc/SemiSpaceCollector.cpp" "src/gc/CMakeFiles/gcassert_gc.dir/SemiSpaceCollector.cpp.o" "gcc" "src/gc/CMakeFiles/gcassert_gc.dir/SemiSpaceCollector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/gcassert_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

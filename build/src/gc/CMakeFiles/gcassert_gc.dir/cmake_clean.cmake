@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_gc.dir/GenerationalCollector.cpp.o"
+  "CMakeFiles/gcassert_gc.dir/GenerationalCollector.cpp.o.d"
+  "CMakeFiles/gcassert_gc.dir/MarkCompactCollector.cpp.o"
+  "CMakeFiles/gcassert_gc.dir/MarkCompactCollector.cpp.o.d"
+  "CMakeFiles/gcassert_gc.dir/MarkSweepCollector.cpp.o"
+  "CMakeFiles/gcassert_gc.dir/MarkSweepCollector.cpp.o.d"
+  "CMakeFiles/gcassert_gc.dir/SemiSpaceCollector.cpp.o"
+  "CMakeFiles/gcassert_gc.dir/SemiSpaceCollector.cpp.o.d"
+  "libgcassert_gc.a"
+  "libgcassert_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/CompactHeap.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/CompactHeap.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/CompactHeap.cpp.o.d"
+  "/root/repo/src/heap/FreeListHeap.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/FreeListHeap.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/FreeListHeap.cpp.o.d"
+  "/root/repo/src/heap/GenerationalHeap.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/GenerationalHeap.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/GenerationalHeap.cpp.o.d"
+  "/root/repo/src/heap/HeapDiff.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/HeapDiff.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/HeapDiff.cpp.o.d"
+  "/root/repo/src/heap/HeapHistogram.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/HeapHistogram.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/HeapHistogram.cpp.o.d"
+  "/root/repo/src/heap/HeapVerifier.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/HeapVerifier.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/HeapVerifier.cpp.o.d"
+  "/root/repo/src/heap/SemiSpaceHeap.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/SemiSpaceHeap.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/SemiSpaceHeap.cpp.o.d"
+  "/root/repo/src/heap/TypeRegistry.cpp" "src/heap/CMakeFiles/gcassert_heap.dir/TypeRegistry.cpp.o" "gcc" "src/heap/CMakeFiles/gcassert_heap.dir/TypeRegistry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

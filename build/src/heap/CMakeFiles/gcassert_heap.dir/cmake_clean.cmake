@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_heap.dir/CompactHeap.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/CompactHeap.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/FreeListHeap.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/FreeListHeap.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/GenerationalHeap.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/GenerationalHeap.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/HeapDiff.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/HeapDiff.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/HeapHistogram.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/HeapHistogram.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/HeapVerifier.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/HeapVerifier.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/SemiSpaceHeap.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/SemiSpaceHeap.cpp.o.d"
+  "CMakeFiles/gcassert_heap.dir/TypeRegistry.cpp.o"
+  "CMakeFiles/gcassert_heap.dir/TypeRegistry.cpp.o.d"
+  "libgcassert_heap.a"
+  "libgcassert_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

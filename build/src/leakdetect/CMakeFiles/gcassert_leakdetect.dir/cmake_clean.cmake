@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_leakdetect.dir/StalenessDetector.cpp.o"
+  "CMakeFiles/gcassert_leakdetect.dir/StalenessDetector.cpp.o.d"
+  "CMakeFiles/gcassert_leakdetect.dir/TypeGrowthDetector.cpp.o"
+  "CMakeFiles/gcassert_leakdetect.dir/TypeGrowthDetector.cpp.o.d"
+  "libgcassert_leakdetect.a"
+  "libgcassert_leakdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_leakdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gcassert_leakdetect.
+# This may be replaced when dependencies are built.

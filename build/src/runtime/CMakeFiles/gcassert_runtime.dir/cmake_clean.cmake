@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_runtime.dir/Vm.cpp.o"
+  "CMakeFiles/gcassert_runtime.dir/Vm.cpp.o.d"
+  "libgcassert_runtime.a"
+  "libgcassert_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcassert_runtime.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ErrorHandling.cpp" "src/support/CMakeFiles/gcassert_support.dir/ErrorHandling.cpp.o" "gcc" "src/support/CMakeFiles/gcassert_support.dir/ErrorHandling.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/support/CMakeFiles/gcassert_support.dir/Format.cpp.o" "gcc" "src/support/CMakeFiles/gcassert_support.dir/Format.cpp.o.d"
+  "/root/repo/src/support/OStream.cpp" "src/support/CMakeFiles/gcassert_support.dir/OStream.cpp.o" "gcc" "src/support/CMakeFiles/gcassert_support.dir/OStream.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/gcassert_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/gcassert_support.dir/Stats.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/support/CMakeFiles/gcassert_support.dir/Timer.cpp.o" "gcc" "src/support/CMakeFiles/gcassert_support.dir/Timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

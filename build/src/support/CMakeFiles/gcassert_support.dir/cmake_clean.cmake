@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/gcassert_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/gcassert_support.dir/Format.cpp.o"
+  "CMakeFiles/gcassert_support.dir/Format.cpp.o.d"
+  "CMakeFiles/gcassert_support.dir/OStream.cpp.o"
+  "CMakeFiles/gcassert_support.dir/OStream.cpp.o.d"
+  "CMakeFiles/gcassert_support.dir/Stats.cpp.o"
+  "CMakeFiles/gcassert_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/gcassert_support.dir/Timer.cpp.o"
+  "CMakeFiles/gcassert_support.dir/Timer.cpp.o.d"
+  "libgcassert_support.a"
+  "libgcassert_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

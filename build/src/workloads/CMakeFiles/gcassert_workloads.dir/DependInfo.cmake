@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BTree.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/BTree.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/BTree.cpp.o.d"
+  "/root/repo/src/workloads/DaCapoWorkloads.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/DaCapoWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/DaCapoWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/ExtraWorkloads.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/ExtraWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/ExtraWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/Harness.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/Harness.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/Harness.cpp.o.d"
+  "/root/repo/src/workloads/PseudoJbb.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/PseudoJbb.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/PseudoJbb.cpp.o.d"
+  "/root/repo/src/workloads/RegisterWorkloads.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/RegisterWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/RegisterWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/SpecJvm98Workloads.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/SpecJvm98Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/SpecJvm98Workloads.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadRegistry.cpp" "src/workloads/CMakeFiles/gcassert_workloads.dir/WorkloadRegistry.cpp.o" "gcc" "src/workloads/CMakeFiles/gcassert_workloads.dir/WorkloadRegistry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gcassert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gcassert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gcassert_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gcassert_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

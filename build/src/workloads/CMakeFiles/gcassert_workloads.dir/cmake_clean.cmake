@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcassert_workloads.dir/BTree.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/BTree.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/DaCapoWorkloads.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/DaCapoWorkloads.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/ExtraWorkloads.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/ExtraWorkloads.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/Harness.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/Harness.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/PseudoJbb.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/PseudoJbb.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/RegisterWorkloads.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/RegisterWorkloads.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/SpecJvm98Workloads.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/SpecJvm98Workloads.cpp.o.d"
+  "CMakeFiles/gcassert_workloads.dir/WorkloadRegistry.cpp.o"
+  "CMakeFiles/gcassert_workloads.dir/WorkloadRegistry.cpp.o.d"
+  "libgcassert_workloads.a"
+  "libgcassert_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcassert_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

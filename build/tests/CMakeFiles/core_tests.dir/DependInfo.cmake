@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/AssertDeadTest.cpp" "tests/CMakeFiles/core_tests.dir/core/AssertDeadTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/AssertDeadTest.cpp.o.d"
+  "/root/repo/tests/core/InstancesTest.cpp" "tests/CMakeFiles/core_tests.dir/core/InstancesTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/InstancesTest.cpp.o.d"
+  "/root/repo/tests/core/OwnedByTest.cpp" "tests/CMakeFiles/core_tests.dir/core/OwnedByTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/OwnedByTest.cpp.o.d"
+  "/root/repo/tests/core/OwnershipPropertyTest.cpp" "tests/CMakeFiles/core_tests.dir/core/OwnershipPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/OwnershipPropertyTest.cpp.o.d"
+  "/root/repo/tests/core/OwnershipTableTest.cpp" "tests/CMakeFiles/core_tests.dir/core/OwnershipTableTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/OwnershipTableTest.cpp.o.d"
+  "/root/repo/tests/core/PathFinderTest.cpp" "tests/CMakeFiles/core_tests.dir/core/PathFinderTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/PathFinderTest.cpp.o.d"
+  "/root/repo/tests/core/ReactionTest.cpp" "tests/CMakeFiles/core_tests.dir/core/ReactionTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ReactionTest.cpp.o.d"
+  "/root/repo/tests/core/RegionTest.cpp" "tests/CMakeFiles/core_tests.dir/core/RegionTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/RegionTest.cpp.o.d"
+  "/root/repo/tests/core/UnsharedTest.cpp" "tests/CMakeFiles/core_tests.dir/core/UnsharedTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/UnsharedTest.cpp.o.d"
+  "/root/repo/tests/core/ViolationFormatTest.cpp" "tests/CMakeFiles/core_tests.dir/core/ViolationFormatTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ViolationFormatTest.cpp.o.d"
+  "/root/repo/tests/core/ViolationLogSinkTest.cpp" "tests/CMakeFiles/core_tests.dir/core/ViolationLogSinkTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ViolationLogSinkTest.cpp.o.d"
+  "/root/repo/tests/core/VolumeTest.cpp" "tests/CMakeFiles/core_tests.dir/core/VolumeTest.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/VolumeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gcassert_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakdetect/CMakeFiles/gcassert_leakdetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcassert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gcassert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gcassert_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gcassert_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

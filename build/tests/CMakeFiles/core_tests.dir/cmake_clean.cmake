@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/AssertDeadTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/AssertDeadTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/InstancesTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/InstancesTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/OwnedByTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/OwnedByTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/OwnershipPropertyTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/OwnershipPropertyTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/OwnershipTableTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/OwnershipTableTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/PathFinderTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/PathFinderTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ReactionTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ReactionTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/RegionTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/RegionTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/UnsharedTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/UnsharedTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ViolationFormatTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ViolationFormatTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ViolationLogSinkTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ViolationLogSinkTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/VolumeTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/VolumeTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_tests.dir/gc/GenerationalCollectorTest.cpp.o"
+  "CMakeFiles/gc_tests.dir/gc/GenerationalCollectorTest.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/gc/MarkCompactCollectorTest.cpp.o"
+  "CMakeFiles/gc_tests.dir/gc/MarkCompactCollectorTest.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/gc/MarkSweepCollectorTest.cpp.o"
+  "CMakeFiles/gc_tests.dir/gc/MarkSweepCollectorTest.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/gc/PathRecordingTest.cpp.o"
+  "CMakeFiles/gc_tests.dir/gc/PathRecordingTest.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/gc/SemiSpaceCollectorTest.cpp.o"
+  "CMakeFiles/gc_tests.dir/gc/SemiSpaceCollectorTest.cpp.o.d"
+  "CMakeFiles/gc_tests.dir/gc/TraceInvariantsTest.cpp.o"
+  "CMakeFiles/gc_tests.dir/gc/TraceInvariantsTest.cpp.o.d"
+  "gc_tests"
+  "gc_tests.pdb"
+  "gc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/heap/CompactHeapTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/CompactHeapTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/CompactHeapTest.cpp.o.d"
+  "/root/repo/tests/heap/FreeListHeapTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/FreeListHeapTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/FreeListHeapTest.cpp.o.d"
+  "/root/repo/tests/heap/GenerationalHeapTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/GenerationalHeapTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/GenerationalHeapTest.cpp.o.d"
+  "/root/repo/tests/heap/HeapDiffTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/HeapDiffTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/HeapDiffTest.cpp.o.d"
+  "/root/repo/tests/heap/HeapHistogramTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/HeapHistogramTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/HeapHistogramTest.cpp.o.d"
+  "/root/repo/tests/heap/HeapVerifierTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/HeapVerifierTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/HeapVerifierTest.cpp.o.d"
+  "/root/repo/tests/heap/SemiSpaceHeapTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/SemiSpaceHeapTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/SemiSpaceHeapTest.cpp.o.d"
+  "/root/repo/tests/heap/TypeRegistryTest.cpp" "tests/CMakeFiles/heap_tests.dir/heap/TypeRegistryTest.cpp.o" "gcc" "tests/CMakeFiles/heap_tests.dir/heap/TypeRegistryTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/gcassert_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/leakdetect/CMakeFiles/gcassert_leakdetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gcassert_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gcassert_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gcassert_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/gcassert_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcassert_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_tests.dir/heap/CompactHeapTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/CompactHeapTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/FreeListHeapTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/FreeListHeapTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/GenerationalHeapTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/GenerationalHeapTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/HeapDiffTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/HeapDiffTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/HeapHistogramTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/HeapHistogramTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/HeapVerifierTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/HeapVerifierTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/SemiSpaceHeapTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/SemiSpaceHeapTest.cpp.o.d"
+  "CMakeFiles/heap_tests.dir/heap/TypeRegistryTest.cpp.o"
+  "CMakeFiles/heap_tests.dir/heap/TypeRegistryTest.cpp.o.d"
+  "heap_tests"
+  "heap_tests.pdb"
+  "heap_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

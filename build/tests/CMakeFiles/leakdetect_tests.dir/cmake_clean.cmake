@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakdetect_tests.dir/leakdetect/StalenessDetectorTest.cpp.o"
+  "CMakeFiles/leakdetect_tests.dir/leakdetect/StalenessDetectorTest.cpp.o.d"
+  "CMakeFiles/leakdetect_tests.dir/leakdetect/TypeGrowthDetectorTest.cpp.o"
+  "CMakeFiles/leakdetect_tests.dir/leakdetect/TypeGrowthDetectorTest.cpp.o.d"
+  "leakdetect_tests"
+  "leakdetect_tests.pdb"
+  "leakdetect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakdetect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

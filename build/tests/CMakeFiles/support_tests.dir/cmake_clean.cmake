@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/FormatTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/FormatTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/OStreamTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/OStreamTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/RandomTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/RandomTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/StatsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/StatsTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_tests.dir/workloads/BTreeTest.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/BTreeTest.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/GenerationalWorkloadTest.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/GenerationalWorkloadTest.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/PseudoJbbLeakTest.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/PseudoJbbLeakTest.cpp.o.d"
+  "CMakeFiles/workloads_tests.dir/workloads/WorkloadSmokeTest.cpp.o"
+  "CMakeFiles/workloads_tests.dir/workloads/WorkloadSmokeTest.cpp.o.d"
+  "workloads_tests"
+  "workloads_tests.pdb"
+  "workloads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
