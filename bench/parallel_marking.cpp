@@ -1,0 +1,102 @@
+//===- parallel_marking.cpp - Parallel mark/sweep scaling ----------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Scaling of the work-stealing parallel mark and sweep phases (DESIGN.md,
+// "Parallel collection"): runs trace-heavy workloads under the mark-sweep
+// collector at 1/2/4/8 GC threads and reports mark-phase and sweep-phase
+// time plus the speedup over the sequential (1-thread) configuration.
+//
+// Two configurations are measured: Base (no assertion checks — the pure
+// tracing loop) and Infrastructure with path recording off (checks
+// piggybacked on the parallel trace; path recording on would fall back to
+// the sequential tracer, see DESIGN.md).
+//
+// NOTE on hosts: speedup is bounded by the machine's core count. The header
+// of the output records std::thread::hardware_concurrency() — on a 1-core
+// host every multi-thread configuration is oversubscribed and the numbers
+// show the coordination overhead instead of a speedup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+
+#include <thread>
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+const unsigned ThreadCounts[] = {1, 2, 4, 8};
+
+struct PhaseSamples {
+  SampleSet MarkMs;
+  SampleSet SweepMs;
+  SampleSet GcMs;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+  int Trials = trialCount(Argc, Argv, 10);
+  unsigned HostCores = std::thread::hardware_concurrency();
+
+  outs() << "Parallel marking & sweeping: scaling over GC thread count\n";
+  outs() << format("host cores: %u   trials per configuration: %d\n",
+                   HostCores, Trials);
+  outs() << "collector: marksweep   path recording: off (parallel trace)\n\n";
+
+  for (bool WithChecks : {false, true}) {
+    outs() << (WithChecks
+                   ? "Infrastructure (assertion checks on the parallel trace)"
+                   : "Base (no assertion checks)")
+           << '\n';
+    outs() << format("%-11s %8s %12s %12s %12s %10s %10s\n", "benchmark",
+                     "threads", "gc (ms)", "mark (ms)", "sweep (ms)",
+                     "mark spd", "sweep spd");
+    printRule();
+
+    for (const std::string &Workload :
+         {std::string("bloat"), std::string("hsqldb"),
+          std::string("pseudojbb")}) {
+      PhaseSamples Samples[sizeof(ThreadCounts) / sizeof(ThreadCounts[0])];
+      for (int Trial = 0; Trial != Trials; ++Trial) {
+        // Rotate which thread count runs first (position bias, see
+        // BenchCommon.h).
+        for (size_t I = 0; I != std::size(ThreadCounts); ++I) {
+          size_t C = (I + static_cast<size_t>(Trial)) % std::size(ThreadCounts);
+          HarnessOptions Options;
+          Options.Seed = 0x5eed + static_cast<uint64_t>(Trial);
+          Options.GcThreads = ThreadCounts[C];
+          Options.RecordPaths = false;
+          RecordingViolationSink Sink;
+          Options.Sink = &Sink;
+          RunResult Result = runWorkload(
+              Workload,
+              WithChecks ? BenchConfig::Infrastructure : BenchConfig::Base,
+              Options);
+          Samples[C].MarkMs.add(Result.MarkMillis);
+          Samples[C].SweepMs.add(Result.SweepMillis);
+          Samples[C].GcMs.add(Result.GcMillis);
+        }
+      }
+
+      for (size_t C = 0; C != std::size(ThreadCounts); ++C) {
+        double MarkSpeedup = Samples[0].MarkMs.mean() / Samples[C].MarkMs.mean();
+        double SweepSpeedup =
+            Samples[0].SweepMs.mean() / Samples[C].SweepMs.mean();
+        outs() << format("%-11s %8u %12.2f %12.2f %12.2f %9.2fx %9.2fx\n",
+                         C ? "" : Workload.c_str(), ThreadCounts[C],
+                         Samples[C].GcMs.mean(), Samples[C].MarkMs.mean(),
+                         Samples[C].SweepMs.mean(), MarkSpeedup, SweepSpeedup);
+      }
+    }
+    outs() << '\n';
+  }
+  outs().flush();
+  return 0;
+}

@@ -8,7 +8,7 @@
 // its timing and engine counters. Used to calibrate the benchmark suite.
 //
 //   run_workload <name|all> [base|infra|assert] [measured-iters]
-//                [marksweep|semispace|markcompact|generational]
+//                [marksweep|semispace|markcompact|generational] [gc-threads]
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,18 +21,22 @@
 using namespace gcassert;
 
 static void runOne(const std::string &Name, BenchConfig Config,
-                   int Iterations, CollectorKind Collector) {
+                   int Iterations, CollectorKind Collector,
+                   unsigned GcThreads) {
   HarnessOptions Options;
   Options.MeasuredIterations = Iterations;
   Options.Collector = Collector;
+  Options.GcThreads = GcThreads;
   RecordingViolationSink Sink;
   Options.Sink = &Sink;
 
   RunResult Result = runWorkload(Name, Config, Options);
   outs() << format(
-      "%-28s %-15s total %8.1f ms  gc %8.1f ms (%4.1f%%)  cycles %4llu",
+      "%-28s %-15s total %8.1f ms  gc %8.1f ms (%4.1f%%)  mark %7.1f ms  "
+      "sweep %6.1f ms  cycles %4llu",
       Name.c_str(), benchConfigName(Config), Result.TotalMillis,
       Result.GcMillis, 100.0 * Result.GcMillis / Result.TotalMillis,
+      Result.MarkMillis, Result.SweepMillis,
       static_cast<unsigned long long>(Result.GcCycles));
   if (Config == BenchConfig::WithAssertions) {
     const EngineCounters &C = Result.Counters;
@@ -79,12 +83,13 @@ int main(int Argc, char **Argv) {
     else if (!std::strcmp(Argv[4], "generational"))
       Collector = CollectorKind::Generational;
   }
+  unsigned GcThreads = Argc > 5 ? static_cast<unsigned>(std::atoi(Argv[5])) : 1;
 
   if (Name == "all") {
     for (const std::string &WorkloadName : WorkloadRegistry::names())
-      runOne(WorkloadName, Config, Iterations, Collector);
+      runOne(WorkloadName, Config, Iterations, Collector, GcThreads);
     return 0;
   }
-  runOne(Name, Config, Iterations, Collector);
+  runOne(Name, Config, Iterations, Collector, GcThreads);
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "gcassert/runtime/Vm.h"
 
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 
 namespace gcassert {
@@ -187,6 +188,12 @@ private:
   std::vector<ObjRef> DeferredOwnees;
   std::unordered_set<ObjRef> UnsharedReportedThisCycle;
   std::unordered_set<ObjRef> OverlapReportedThisCycle;
+
+  /// Serializes the three hooks a parallel mark phase may fire from several
+  /// workers at once (onDeadReachable, onUnsharedShared, onUnownedOwnee):
+  /// they mutate the dedup sets, the counters, and the sink. All other
+  /// engine entry points run on the collecting thread only.
+  std::mutex ParallelHookMutex;
 
   EngineCounters Counters;
 };

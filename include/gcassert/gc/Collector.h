@@ -19,8 +19,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace gcassert {
+
+class WorkerPool;
 
 /// Enumerates strong root slots. The runtime (global roots + every thread's
 /// handle slots) implements this. Slots are passed by address so a moving
@@ -33,6 +36,18 @@ public:
   forEachRootSlot(const std::function<void(ObjRef *)> &Fn) = 0;
 };
 
+/// Tuning knobs shared by all collectors.
+struct GcConfig {
+  /// Number of GC worker threads for the parallel mark and sweep phases of
+  /// the mark-sweep family (MarkSweep, and the major collections of
+  /// Generational). 1 (the default) runs the original sequential collector
+  /// bit-for-bit; higher values spawn Threads-1 parked worker threads on
+  /// first use. Cycles that need §2.7 path recording always run
+  /// sequentially regardless of this knob (see DESIGN.md, "Parallel
+  /// collection"). The copying collectors ignore it.
+  unsigned Threads = 1;
+};
+
 /// Cumulative statistics across all collections of one collector.
 struct GcStats {
   uint64_t Cycles = 0;
@@ -40,6 +55,12 @@ struct GcStats {
   uint64_t TotalGcNanos = 0;
   /// Portion of TotalGcNanos spent in the ownership (pre-root) phase.
   uint64_t OwnershipNanos = 0;
+  /// Portion spent tracing from the roots (the mark phase). Currently
+  /// recorded by the mark-sweep family only; the copying collectors leave
+  /// it at zero.
+  uint64_t MarkNanos = 0;
+  /// Portion spent reclaiming (the sweep phase). Mark-sweep family only.
+  uint64_t SweepNanos = 0;
   /// Objects visited (marked or copied) across all cycles.
   uint64_t ObjectsVisited = 0;
   /// Bytes reclaimed across all cycles.
@@ -59,11 +80,16 @@ struct GcStats {
 /// with no per-object checks at all ("Base").
 class Collector {
 public:
-  explicit Collector(RootProvider &Roots) : Roots(Roots) {}
+  explicit Collector(RootProvider &Roots);
   virtual ~Collector();
 
   Collector(const Collector &) = delete;
   Collector &operator=(const Collector &) = delete;
+
+  /// Replaces the GC configuration. Takes effect at the next collection;
+  /// the worker pool is re-sized lazily. Thread count 0 is clamped to 1.
+  void setGcConfig(const GcConfig &NewConfig);
+  const GcConfig &gcConfig() const { return Config; }
 
   /// Runs one stop-the-world collection. \p Cause is a short label for
   /// logging ("allocation failure", "explicit", ...).
@@ -82,10 +108,19 @@ public:
   const GcStats &stats() const { return Stats; }
 
 protected:
+  /// The worker pool for parallel phases, or null when Config.Threads <= 1.
+  /// Spawned on first use and parked between cycles; re-spawned when the
+  /// configured thread count changes.
+  WorkerPool *workerPool();
+
   RootProvider &Roots;
   TraceHooks *Hooks = nullptr;
   bool RecordPaths = true;
+  GcConfig Config;
   GcStats Stats;
+
+private:
+  std::unique_ptr<WorkerPool> Pool;
 };
 
 } // namespace gcassert

@@ -27,6 +27,8 @@
 
 namespace gcassert {
 
+class WorkerPool;
+
 /// Configuration for a FreeListHeap.
 struct FreeListHeapConfig {
   /// Total capacity in bytes (arena plus large-object budget).
@@ -46,7 +48,14 @@ public:
   /// Reclaims every unmarked object and clears the mark bit on survivors.
   /// Rebuilds the free lists; fully-free blocks are returned to the block
   /// pool so another size class can reuse them. Returns bytes reclaimed.
-  size_t sweep();
+  ///
+  /// With a non-null \p Pool of more than one worker, blocks are swept in
+  /// parallel: workers claim fixed-size chunks of blocks and build per-chunk
+  /// free-list segments that are spliced afterwards in the exact order the
+  /// sequential sweep would have produced — the resulting heap state is
+  /// byte-identical for any worker count. The large-object sweep stays
+  /// sequential (it frees host memory and is a short list).
+  size_t sweep(WorkerPool *Pool = nullptr);
 
   /// Bytes occupied by live objects after the last sweep.
   uint64_t liveBytesAfterLastSweep() const { return LiveBytesAfterSweep; }
@@ -74,6 +83,9 @@ private:
   };
 
   static constexpr size_t BlockSize = 64u * 1024;
+  /// Blocks per parallel-sweep work unit: small enough to balance load,
+  /// large enough that the per-chunk segment merge stays cheap.
+  static constexpr size_t SweepChunkBlocks = 8;
 
   uint8_t *blockBase(size_t BlockIndex) const {
     return Arena.get() + BlockIndex * BlockSize;
@@ -82,6 +94,12 @@ private:
   ObjRef allocateSmall(size_t CellSize, uint32_t ClassIndex);
   ObjRef allocateLarge(size_t Size);
   bool carveBlock(uint32_t ClassIndex);
+  bool sweepCarvedBlock(size_t BlockIndex, size_t CellSize, void **Head,
+                        void **TailOut, size_t &Reclaimed,
+                        uint64_t &LiveBytes);
+  void sweepBlocksSequential(size_t &Reclaimed, uint64_t &LiveBytes);
+  void sweepBlocksParallel(WorkerPool &Pool, size_t &Reclaimed,
+                           uint64_t &LiveBytes);
   void sweepLargeObjects(size_t &Reclaimed);
 
   std::unique_ptr<uint8_t[]> Arena;

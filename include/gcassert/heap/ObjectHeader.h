@@ -18,6 +18,7 @@
 #ifndef GCASSERT_HEAP_OBJECTHEADER_H
 #define GCASSERT_HEAP_OBJECTHEADER_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace gcassert {
@@ -63,6 +64,31 @@ struct ObjectHeader {
   bool isMarked() const { return testFlag(HF_Marked); }
   void setMarked() { setFlag(HF_Marked); }
   void clearMarked() { clearFlag(HF_Marked); }
+
+  /// \name Atomic flag access for the parallel mark phase
+  ///
+  /// During a parallel trace, the mark bit is the only mutating header state
+  /// and every worker accesses the flag word through these (std::atomic_ref
+  /// over the plain field, so the sequential collectors keep their
+  /// zero-overhead non-atomic accesses). The acquire/release pairing makes
+  /// an object's fields visible to whichever worker wins the claim.
+  /// @{
+
+  /// Atomically sets the mark bit; returns true iff this call claimed the
+  /// object (the bit was clear before). Two workers racing on the same
+  /// object get exactly one winner, so no object is scanned twice.
+  bool tryMarkAtomic() {
+    uint32_t Old = std::atomic_ref<uint32_t>(Flags).fetch_or(
+        static_cast<uint32_t>(HF_Marked), std::memory_order_acq_rel);
+    return (Old & HF_Marked) == 0;
+  }
+
+  /// Atomic snapshot of the flag word.
+  uint32_t loadFlagsAcquire() const {
+    return std::atomic_ref<uint32_t>(const_cast<uint32_t &>(Flags))
+        .load(std::memory_order_acquire);
+  }
+  /// @}
 
   /// True if this header belongs to a live object (not a free cell).
   bool isObject() const { return Type != InvalidTypeId; }

@@ -17,6 +17,7 @@
 
 #include "gcassert/heap/ObjectHeader.h"
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -86,6 +87,12 @@ public:
   }
   void resetLiveCount() { LiveCount = 0; }
   void incrementLiveCount() { ++LiveCount; }
+  /// Parallel-trace variant: relaxed atomic increment. The count is only
+  /// read after the trace joins, so no ordering is needed beyond atomicity.
+  void incrementLiveCountAtomic() {
+    std::atomic_ref<uint32_t>(LiveCount).fetch_add(1,
+                                                   std::memory_order_relaxed);
+  }
   /// @}
 
   /// \name assert-volume storage (§2.4 also allows limits on "total volume")
@@ -104,6 +111,11 @@ public:
   }
   void resetLiveBytes() { LiveBytes = 0; }
   void addLiveBytes(uint64_t Bytes) { LiveBytes += Bytes; }
+  /// Parallel-trace variant of addLiveBytes.
+  void addLiveBytesAtomic(uint64_t Bytes) {
+    std::atomic_ref<uint64_t>(LiveBytes).fetch_add(Bytes,
+                                                   std::memory_order_relaxed);
+  }
   /// @}
 
 private:

@@ -49,6 +49,8 @@ enum class CollectorKind : uint8_t {
 struct VmConfig {
   size_t HeapBytes = 64u << 20;
   CollectorKind Collector = CollectorKind::MarkSweep;
+  /// GC tuning (worker-thread count, ...), forwarded to the collector.
+  GcConfig Gc;
 };
 
 /// A stable global root slot, releasable by id.

@@ -1,0 +1,152 @@
+//===- gcassert/support/WorkStealingDeque.h - Chase-Lev deque ---*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chase-Lev work-stealing deque of uintptr_t entries, the per-worker
+/// worklist of the parallel mark phase. The owning worker pushes and pops at
+/// the bottom (LIFO, cache-friendly depth-first tracing); idle workers steal
+/// from the top (FIFO, taking the oldest — and usually widest — subtrees).
+///
+/// Memory ordering follows the C11 formulation of Lê, Pop, Cohen &
+/// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+/// Models" (PPoPP'13). The buffer grows by doubling; retired buffers are
+/// kept alive until reset() because a concurrent thief may still hold a
+/// pointer into one mid-steal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_WORKSTEALINGDEQUE_H
+#define GCASSERT_SUPPORT_WORKSTEALINGDEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gcassert {
+
+/// Single-owner, multi-thief lock-free deque. push/pop/reset are owner-only;
+/// steal and empty may be called from any thread.
+class WorkStealingDeque {
+public:
+  explicit WorkStealingDeque(size_t InitialCapacity = 1u << 12) {
+    Buffers.push_back(std::make_unique<Buffer>(roundUp(InitialCapacity)));
+    Buf.store(Buffers.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque &) = delete;
+  WorkStealingDeque &operator=(const WorkStealingDeque &) = delete;
+
+  /// Owner: pushes \p Value at the bottom.
+  void push(uintptr_t Value) {
+    int64_t B = Bottom.load(std::memory_order_relaxed);
+    int64_t T = Top.load(std::memory_order_acquire);
+    Buffer *A = Buf.load(std::memory_order_relaxed);
+    if (B - T > A->Capacity - 1)
+      A = grow(A, T, B);
+    A->at(B).store(Value, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    Bottom.store(B + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner: pops the most recently pushed entry. Returns false when empty.
+  bool pop(uintptr_t &Out) {
+    int64_t B = Bottom.load(std::memory_order_relaxed) - 1;
+    Buffer *A = Buf.load(std::memory_order_relaxed);
+    Bottom.store(B, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t T = Top.load(std::memory_order_relaxed);
+    if (T > B) {
+      // Deque was already empty; restore the canonical empty state.
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return false;
+    }
+    Out = A->at(B).load(std::memory_order_relaxed);
+    if (T == B) {
+      // Last entry: race against thieves for it.
+      bool Won = Top.compare_exchange_strong(
+          T, T + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      Bottom.store(B + 1, std::memory_order_relaxed);
+      return Won;
+    }
+    return true;
+  }
+
+  /// Thief: steals the oldest entry. Returns false when empty or when the
+  /// steal raced with another thief (the caller just tries elsewhere).
+  bool steal(uintptr_t &Out) {
+    int64_t T = Top.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_acquire);
+    if (T >= B)
+      return false;
+    Buffer *A = Buf.load(std::memory_order_acquire);
+    Out = A->at(T).load(std::memory_order_relaxed);
+    return Top.compare_exchange_strong(T, T + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed);
+  }
+
+  /// Conservative emptiness check for termination detection: may report a
+  /// transiently non-empty deque as non-empty, never hides present work.
+  bool empty() const {
+    int64_t T = Top.load(std::memory_order_seq_cst);
+    int64_t B = Bottom.load(std::memory_order_seq_cst);
+    return B <= T;
+  }
+
+  /// Owner (quiescent): frees buffers retired by growth, keeping the
+  /// current one. Call between tracing cycles, never while thieves run.
+  void reset() {
+    if (Buffers.size() > 1) {
+      std::unique_ptr<Buffer> Current = std::move(Buffers.back());
+      Buffers.clear();
+      Buffers.push_back(std::move(Current));
+    }
+  }
+
+private:
+  struct Buffer {
+    explicit Buffer(int64_t Capacity)
+        : Capacity(Capacity),
+          Slots(std::make_unique<std::atomic<uintptr_t>[]>(
+              static_cast<size_t>(Capacity))) {}
+
+    std::atomic<uintptr_t> &at(int64_t Index) {
+      return Slots[static_cast<size_t>(Index & (Capacity - 1))];
+    }
+
+    const int64_t Capacity; // Always a power of two.
+    std::unique_ptr<std::atomic<uintptr_t>[]> Slots;
+  };
+
+  static size_t roundUp(size_t N) {
+    size_t P = 16;
+    while (P < N)
+      P <<= 1;
+    return P;
+  }
+
+  Buffer *grow(Buffer *Old, int64_t T, int64_t B) {
+    Buffers.push_back(std::make_unique<Buffer>(Old->Capacity * 2));
+    Buffer *New = Buffers.back().get();
+    for (int64_t I = T; I != B; ++I)
+      New->at(I).store(Old->at(I).load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    Buf.store(New, std::memory_order_release);
+    return New;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Buffer *> Buf{nullptr};
+  /// All buffers ever allocated, oldest first; the last is current. Retired
+  /// ones stay mapped until reset() (thieves may still be reading them).
+  std::vector<std::unique_ptr<Buffer>> Buffers;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_WORKSTEALINGDEQUE_H

@@ -1,0 +1,69 @@
+//===- gcassert/support/WorkerPool.h - Parked GC worker pool ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reusable pool of GC worker threads. Threads are spawned once and
+/// parked on a condition variable between collection cycles, so a parallel
+/// collector pays thread-creation cost once per process, not once per GC.
+///
+/// The caller of run() participates as worker 0 (a pool of N workers owns
+/// N-1 OS threads), which keeps the single-thread configuration free of any
+/// cross-thread hand-off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_WORKERPOOL_H
+#define GCASSERT_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcassert {
+
+/// Fork-join worker pool: run(Fn) invokes Fn(WorkerIndex) on every worker
+/// concurrently and returns when all invocations complete. Not reentrant;
+/// one run() at a time.
+class WorkerPool {
+public:
+  /// Creates a pool of \p WorkerCount workers (at least 1). WorkerCount - 1
+  /// OS threads are spawned immediately and parked.
+  explicit WorkerPool(unsigned WorkerCount);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned workerCount() const { return Workers; }
+
+  /// Runs \p Fn(WorkerIndex) on all workers; the calling thread is worker 0.
+  /// Returns after every worker finished. Establishes happens-before edges
+  /// both into and out of the parallel region (via the pool's mutex), so
+  /// plain memory written before run() is visible to workers and plain
+  /// memory written by workers is visible to the caller afterwards.
+  void run(const std::function<void(unsigned Worker)> &Fn);
+
+private:
+  void threadMain(unsigned Worker);
+
+  const unsigned Workers;
+  std::vector<std::thread> Threads;
+
+  std::mutex Mutex;
+  std::condition_variable WakeCv;
+  std::condition_variable DoneCv;
+  const std::function<void(unsigned)> *Job = nullptr;
+  uint64_t Generation = 0;
+  unsigned Running = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_WORKERPOOL_H

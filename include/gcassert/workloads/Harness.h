@@ -50,6 +50,9 @@ struct HarnessOptions {
   bool RecordPaths = true;
   /// Overrides the workload's heap size when nonzero.
   size_t HeapBytesOverride = 0;
+  /// GC worker threads (GcConfig::Threads): >1 enables parallel marking and
+  /// sweeping for the mark-sweep family.
+  unsigned GcThreads = 1;
   /// When set, violations are recorded here instead of printed.
   RecordingViolationSink *Sink = nullptr;
 };
@@ -59,6 +62,10 @@ struct RunResult {
   double TotalMillis = 0;
   double GcMillis = 0;
   double MutatorMillis = 0;
+  /// Phase split of GcMillis over the measured window (mark-sweep family
+  /// only; zero for the copying collectors).
+  double MarkMillis = 0;
+  double SweepMillis = 0;
   uint64_t GcCycles = 0;
   /// Engine counters at the end of the run (zeros under Base).
   EngineCounters Counters;

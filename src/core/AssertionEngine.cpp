@@ -228,6 +228,7 @@ PreRootAction AssertionEngine::classifyPreRoot(ObjRef Obj) {
 void AssertionEngine::onDeadReachable(ObjRef Obj,
                                       const std::vector<ObjRef> &Path,
                                       TracePhase Phase) {
+  std::lock_guard<std::mutex> Lock(ParallelHookMutex);
   Violation V;
   V.Kind = AssertionKind::Dead;
   V.Cycle = CurrentCycle;
@@ -244,6 +245,7 @@ bool AssertionEngine::severDeadReferences() const {
 
 void AssertionEngine::onUnsharedShared(ObjRef Obj,
                                        const std::vector<ObjRef> &Path) {
+  std::lock_guard<std::mutex> Lock(ParallelHookMutex);
   // An object with many incoming edges would otherwise be reported once per
   // extra edge; one report per object per collection is enough.
   if (!UnsharedReportedThisCycle.insert(Obj).second)
@@ -261,6 +263,7 @@ void AssertionEngine::onUnsharedShared(ObjRef Obj,
 
 void AssertionEngine::onUnownedOwnee(ObjRef Obj,
                                      const std::vector<ObjRef> &Path) {
+  std::lock_guard<std::mutex> Lock(ParallelHookMutex);
   Violation V;
   V.Kind = AssertionKind::OwnedBy;
   V.Cycle = CurrentCycle;

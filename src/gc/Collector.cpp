@@ -1,0 +1,37 @@
+//===- Collector.cpp - Collector interface bits --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/gc/Collector.h"
+
+#include "gcassert/support/WorkerPool.h"
+
+using namespace gcassert;
+
+Collector::Collector(RootProvider &Roots) : Roots(Roots) {}
+Collector::~Collector() = default;
+RootProvider::~RootProvider() = default;
+TraceHooks::~TraceHooks() = default;
+OwnershipScanDriver::~OwnershipScanDriver() = default;
+PostTraceContext::~PostTraceContext() = default;
+
+void Collector::setGcConfig(const GcConfig &NewConfig) {
+  Config = NewConfig;
+  if (Config.Threads < 1)
+    Config.Threads = 1;
+  // Drop a pool of the wrong size; workerPool() re-spawns on demand.
+  if (Pool && Pool->workerCount() != Config.Threads)
+    Pool.reset();
+  if (Config.Threads <= 1)
+    Pool.reset();
+}
+
+WorkerPool *Collector::workerPool() {
+  if (Config.Threads <= 1)
+    return nullptr;
+  if (!Pool)
+    Pool = std::make_unique<WorkerPool>(Config.Threads);
+  return Pool.get();
+}

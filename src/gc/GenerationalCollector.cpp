@@ -108,16 +108,19 @@ void GenerationalCollector::collectMajor() {
   std::function<void()> PruneRemSet = [this] {
     TheHeap.pruneRememberedSetUnmarked();
   };
+  WorkerPool *Pool = workerPool();
   if (Hooks) {
+    // As in MarkSweepCollector: §2.7 path recording forces the sequential
+    // tracer, so RecordPaths major cycles get no pool.
     if (RecordPaths)
       detail::runMarkSweepCycle<true, true>(OldGen, Roots, Hooks, Stats,
-                                            PruneRemSet);
+                                            nullptr, PruneRemSet);
     else
-      detail::runMarkSweepCycle<true, false>(OldGen, Roots, Hooks, Stats,
+      detail::runMarkSweepCycle<true, false>(OldGen, Roots, Hooks, Stats, Pool,
                                              PruneRemSet);
   } else {
     detail::runMarkSweepCycle<false, false>(OldGen, Roots, nullptr, Stats,
-                                            PruneRemSet);
+                                            Pool, PruneRemSet);
   }
   TheHeap.clearNurseryMarks();
 

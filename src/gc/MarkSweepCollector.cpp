@@ -10,23 +10,24 @@
 
 using namespace gcassert;
 
-Collector::~Collector() = default;
-RootProvider::~RootProvider() = default;
-TraceHooks::~TraceHooks() = default;
-OwnershipScanDriver::~OwnershipScanDriver() = default;
-PostTraceContext::~PostTraceContext() = default;
-
 void MarkSweepCollector::collect(const char *Cause) {
   (void)Cause;
   uint64_t Start = monotonicNanos();
 
+  WorkerPool *Pool = workerPool();
   if (Hooks) {
+    // §2.7 path recording needs the tagged-LIFO worklist invariant, which a
+    // stealable deque cannot provide: RecordPaths cycles always run the
+    // sequential tracer (see DESIGN.md, "Parallel collection").
     if (RecordPaths)
-      detail::runMarkSweepCycle<true, true>(TheHeap, Roots, Hooks, Stats);
+      detail::runMarkSweepCycle<true, true>(TheHeap, Roots, Hooks, Stats,
+                                            nullptr);
     else
-      detail::runMarkSweepCycle<true, false>(TheHeap, Roots, Hooks, Stats);
+      detail::runMarkSweepCycle<true, false>(TheHeap, Roots, Hooks, Stats,
+                                             Pool);
   } else {
-    detail::runMarkSweepCycle<false, false>(TheHeap, Roots, nullptr, Stats);
+    detail::runMarkSweepCycle<false, false>(TheHeap, Roots, nullptr, Stats,
+                                            Pool);
   }
 
   uint64_t Elapsed = monotonicNanos() - Start;

@@ -14,10 +14,12 @@
 #ifndef GCASSERT_SRC_GC_MARKSWEEPCYCLE_H
 #define GCASSERT_SRC_GC_MARKSWEEPCYCLE_H
 
+#include "ParallelMark.h"
 #include "gcassert/gc/Collector.h"
 #include "gcassert/gc/TraceCore.h"
 #include "gcassert/heap/FreeListHeap.h"
 #include "gcassert/support/Timer.h"
+#include "gcassert/support/WorkerPool.h"
 
 namespace gcassert {
 namespace detail {
@@ -56,13 +58,22 @@ private:
 };
 
 /// Runs one full mark-sweep cycle over \p TheHeap, updating \p Stats.
-/// \p Hooks must be non-null when EnableChecks is true. \p BeforeSweep, if
-/// set, runs after tracing and the engine's post-trace work but before
-/// reclamation — the window where mark bits still describe liveness (the
-/// generational collector prunes its remembered set there).
+/// \p Hooks must be non-null when EnableChecks is true.
+///
+/// When \p Pool is non-null (and path recording is off — callers pass null
+/// for RecordPaths cycles), the root phase runs on the pool's workers with
+/// work-stealing (ParallelMark.h) and the sweep claims block chunks in
+/// parallel; the ownership phase is engine-driven and stays sequential.
+/// Heap state and, with checks, the violation multiset are identical either
+/// way.
+///
+/// \p BeforeSweep, if set, runs after tracing and the engine's post-trace
+/// work but before reclamation — the window where mark bits still describe
+/// liveness (the generational collector prunes its remembered set there).
 template <bool EnableChecks, bool RecordPathsT>
 void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
                        TraceHooks *Hooks, GcStats &Stats,
+                       WorkerPool *Pool = nullptr,
                        const std::function<void()> &BeforeSweep = {}) {
   using Core = TraceCore<MarkSpaceOps, EnableChecks, RecordPathsT>;
   Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks);
@@ -79,15 +90,30 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
     Stats.OwnershipNanos += monotonicNanos() - OwnershipStart;
   }
 
-  // Drain after each root so reported paths originate from the first root
-  // that reaches an object (application structure first, bookkeeping roots
-  // later), not from whichever root happens to sit on top of the mark
-  // stack. Draining an empty worklist is a single branch.
-  Tracer.setPhase(TracePhase::Roots);
-  Roots.forEachRootSlot([&](ObjRef *Slot) {
-    Tracer.processSlot(Slot);
-    Tracer.drain();
-  });
+  uint64_t MarkStart = monotonicNanos();
+  uint64_t RootVisited = 0;
+  bool RanParallel = false;
+  if constexpr (!RecordPathsT) {
+    if (Pool && Pool->workerCount() > 1) {
+      ParallelMarker<EnableChecks> Marker(
+          TheHeap.types(), Hooks, static_cast<unsigned>(Pool->workerCount()));
+      Marker.markFromRoots(*Pool, Roots);
+      RootVisited = Marker.objectsVisited();
+      RanParallel = true;
+    }
+  }
+  if (!RanParallel) {
+    // Drain after each root so reported paths originate from the first root
+    // that reaches an object (application structure first, bookkeeping roots
+    // later), not from whichever root happens to sit on top of the mark
+    // stack. Draining an empty worklist is a single branch.
+    Tracer.setPhase(TracePhase::Roots);
+    Roots.forEachRootSlot([&](ObjRef *Slot) {
+      Tracer.processSlot(Slot);
+      Tracer.drain();
+    });
+  }
+  Stats.MarkNanos += monotonicNanos() - MarkStart;
 
   if constexpr (EnableChecks) {
     MarkSweepPostTrace Ctx(Cycle);
@@ -97,8 +123,11 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
   if (BeforeSweep)
     BeforeSweep();
 
-  Stats.ObjectsVisited += Tracer.objectsVisited();
-  Stats.BytesReclaimed += TheHeap.sweep();
+  Stats.ObjectsVisited += Tracer.objectsVisited() + RootVisited;
+
+  uint64_t SweepStart = monotonicNanos();
+  Stats.BytesReclaimed += TheHeap.sweep(Pool);
+  Stats.SweepNanos += monotonicNanos() - SweepStart;
 }
 
 } // namespace detail

@@ -1,0 +1,217 @@
+//===- src/gc/ParallelMark.h - Parallel mark phase -------------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work-stealing parallel mark phase for the non-moving (mark-sweep)
+/// spaces. Private implementation header (not installed).
+///
+/// Each pool worker owns a Chase-Lev deque (support/WorkStealingDeque.h).
+/// Root slots are claimed in chunks off a shared cursor; gray objects go on
+/// the claiming worker's deque; idle workers steal from the top of other
+/// deques. Mark bits are claimed with an atomic fetch-or
+/// (ObjectHeader::tryMarkAtomic), so exactly one worker scans each object
+/// and the per-object assertion bookkeeping of the checking configuration
+/// runs exactly once per first encounter — which keeps violation multisets
+/// and live-instance counts identical to the sequential tracer's.
+///
+/// The assertion checks mirror TraceCore::processSlot for the Roots phase
+/// with path recording off (parallel cycles never record §2.7 paths — the
+/// tagged-LIFO worklist invariant does not survive stealing, so RecordPaths
+/// cycles fall back to the sequential tracer; violation paths here are just
+/// the offending object, exactly like the sequential RecordPaths=false
+/// mode). The ownership pre-root phase also stays sequential: it is driven
+/// owner-by-owner by the engine with truncation state per owner region.
+///
+/// Termination: a worker increments the shared idle counter only when its
+/// own deque is empty and decrements it before attempting a steal it
+/// believes will succeed. A worker therefore never holds unprocessed work
+/// while counted idle, and IdleWorkers == WorkerCount implies every deque
+/// is empty and no scan is in flight — global termination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SRC_GC_PARALLELMARK_H
+#define GCASSERT_SRC_GC_PARALLELMARK_H
+
+#include "gcassert/gc/Collector.h"
+#include "gcassert/gc/TraceCore.h"
+#include "gcassert/support/WorkStealingDeque.h"
+#include "gcassert/support/WorkerPool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gcassert {
+namespace detail {
+
+/// One parallel root-phase trace over a non-moving space. Construct, then
+/// markFromRoots(); objectsVisited() afterwards.
+template <bool EnableChecks>
+class ParallelMarker {
+public:
+  ParallelMarker(TypeRegistry &Types, TraceHooks *Hooks, unsigned Workers)
+      : Types(Types), Hooks(Hooks) {
+    assert((!EnableChecks || Hooks) && "checks enabled without hooks");
+    Deques.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Deques.push_back(std::make_unique<WorkStealingDeque>());
+  }
+
+  /// Collects every root slot, then traces the full graph on \p Pool.
+  /// \p Pool's worker count must match the constructor's.
+  void markFromRoots(WorkerPool &Pool, RootProvider &Roots) {
+    assert(Pool.workerCount() == Deques.size() && "pool/deque mismatch");
+    RootSlots.clear();
+    Roots.forEachRootSlot([&](ObjRef *Slot) { RootSlots.push_back(Slot); });
+    NextRootChunk.store(0, std::memory_order_relaxed);
+    IdleWorkers.store(0, std::memory_order_relaxed);
+    Pool.run([this](unsigned W) { workerMain(W); });
+  }
+
+  uint64_t objectsVisited() const {
+    return Visited.load(std::memory_order_relaxed);
+  }
+
+private:
+  static constexpr size_t RootChunkSize = 16;
+
+  void workerMain(unsigned W) {
+    // Phase A: claim and process root-slot chunks. Gray children pile up on
+    // this worker's deque; draining starts only once all roots are claimed,
+    // which seeds every deque before stealing begins.
+    const size_t NumSlots = RootSlots.size();
+    for (;;) {
+      size_t Begin =
+          NextRootChunk.fetch_add(RootChunkSize, std::memory_order_relaxed);
+      if (Begin >= NumSlots)
+        break;
+      size_t End = Begin + RootChunkSize < NumSlots ? Begin + RootChunkSize
+                                                    : NumSlots;
+      for (size_t I = Begin; I != End; ++I)
+        processSlot(W, RootSlots[I]);
+    }
+
+    // Phase B: drain own deque, steal when empty, stop at termination.
+    WorkStealingDeque &Mine = *Deques[W];
+    for (;;) {
+      uintptr_t Entry;
+      while (Mine.pop(Entry))
+        scanObjectFields(W, reinterpret_cast<ObjRef>(Entry));
+      if (!stealOrTerminate(W))
+        return;
+    }
+  }
+
+  /// Steals one object and scans it (returning true), or detects global
+  /// termination (returning false). See the file comment for the protocol.
+  bool stealOrTerminate(unsigned W) {
+    const unsigned N = static_cast<unsigned>(Deques.size());
+    IdleWorkers.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      for (unsigned I = 1; I != N; ++I) {
+        WorkStealingDeque &Victim = *Deques[(W + I) % N];
+        if (Victim.empty())
+          continue;
+        // Leave the idle state *before* the steal so work never travels
+        // while everyone is counted idle.
+        IdleWorkers.fetch_sub(1, std::memory_order_seq_cst);
+        uintptr_t Entry;
+        if (Victim.steal(Entry)) {
+          scanObjectFields(W, reinterpret_cast<ObjRef>(Entry));
+          return true;
+        }
+        IdleWorkers.fetch_add(1, std::memory_order_seq_cst);
+      }
+      if (IdleWorkers.load(std::memory_order_seq_cst) == N)
+        return false;
+      std::this_thread::yield();
+    }
+  }
+
+  /// The parallel counterpart of TraceCore::processSlot (non-moving space,
+  /// Roots phase, no path recording).
+  void processSlot(unsigned W, ObjRef *Slot) {
+    ObjRef Obj = *Slot;
+    if (!Obj)
+      return;
+
+    uint32_t Flags = Obj->header().loadFlagsAcquire();
+    if (GCA_LIKELY(!(Flags & HF_Marked))) {
+      if constexpr (EnableChecks) {
+        if (GCA_UNLIKELY(Flags & HF_Dead) && Hooks->severDeadReferences()) {
+          // Each slot is processed by exactly one worker (roots are
+          // partitioned; fields are scanned only by the claim winner), so
+          // this plain store never races.
+          *Slot = nullptr;
+          return;
+        }
+      }
+      if (Obj->header().tryMarkAtomic()) {
+        // Claimed: first-encounter bookkeeping runs here and only here.
+        if constexpr (EnableChecks)
+          checkFirstEncounter(Obj, Flags);
+        Visited.fetch_add(1, std::memory_order_relaxed);
+        Deques[W]->push(reinterpret_cast<uintptr_t>(Obj));
+        return;
+      }
+      // Lost the claim race: another worker owns the first encounter, this
+      // one is a second path to the object.
+    }
+
+    if constexpr (EnableChecks)
+      if (GCA_UNLIKELY(Flags & HF_Unshared))
+        Hooks->onUnsharedShared(Obj, {Obj});
+  }
+
+  /// First-encounter checks, mirroring TraceCore::checkFirstEncounter for
+  /// TracePhase::Roots. \p Flags is the pre-claim snapshot; the assertion
+  /// bits in it are stable for the whole stop-the-world phase (only the
+  /// mark bit mutates).
+  void checkFirstEncounter(ObjRef Obj, uint32_t Flags) {
+    if (GCA_UNLIKELY(Flags & HF_Dead))
+      Hooks->onDeadReachable(Obj, {Obj}, TracePhase::Roots);
+
+    TypeInfo &Type = Types.get(Obj->typeId());
+    if (GCA_UNLIKELY(Type.isInstanceTracked()))
+      Type.incrementLiveCountAtomic();
+    if (GCA_UNLIKELY(Type.isVolumeTracked()))
+      Type.addLiveBytesAtomic(Types.allocationSize(
+          Obj->typeId(), Type.isArray() ? Obj->arrayLength() : 0));
+
+    if (GCA_UNLIKELY((Flags & HF_Ownee) && !(Flags & HF_Owned)))
+      Hooks->onUnownedOwnee(Obj, {Obj});
+  }
+
+  void scanObjectFields(unsigned W, ObjRef Obj) {
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    switch (Type.kind()) {
+    case TypeKind::Class:
+      for (uint32_t Offset : Type.refOffsets())
+        processSlot(W, Obj->refSlot(Offset));
+      break;
+    case TypeKind::RefArray:
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        processSlot(W, Obj->elementSlot(I));
+      break;
+    case TypeKind::DataArray:
+      break;
+    }
+  }
+
+  TypeRegistry &Types;
+  TraceHooks *Hooks;
+  std::vector<ObjRef *> RootSlots;
+  std::vector<std::unique_ptr<WorkStealingDeque>> Deques;
+  std::atomic<size_t> NextRootChunk{0};
+  std::atomic<unsigned> IdleWorkers{0};
+  std::atomic<uint64_t> Visited{0};
+};
+
+} // namespace detail
+} // namespace gcassert
+
+#endif // GCASSERT_SRC_GC_PARALLELMARK_H

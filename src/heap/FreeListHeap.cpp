@@ -8,8 +8,10 @@
 
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/WorkerPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
@@ -167,66 +169,151 @@ ObjRef FreeListHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   return Obj;
 }
 
-size_t FreeListHeap::sweep() {
-  size_t Reclaimed = 0;
-  uint64_t LiveBytes = 0;
+bool FreeListHeap::sweepCarvedBlock(size_t BlockIndex, size_t CellSize,
+                                    void **Head, void **TailOut,
+                                    size_t &Reclaimed, uint64_t &LiveBytes) {
+  uint8_t *Base = blockBase(BlockIndex);
+  size_t CellCount = BlockSize / CellSize;
 
-  std::fill(FreeLists.begin(), FreeLists.end(), nullptr);
+  // First pass: is anything in this block still live?
+  size_t LiveInBlock = 0;
+  for (size_t I = 0; I != CellCount; ++I) {
+    auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
+    if (Hdr->isObject() && Hdr->isMarked())
+      ++LiveInBlock;
+  }
+
+  if (LiveInBlock == 0) {
+    // Return the whole block to the pool so any size class can reuse it.
+    for (size_t I = 0; I != CellCount; ++I) {
+      auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
+      if (Hdr->isObject()) {
+        Reclaimed += CellSize;
+        Hdr->Type = InvalidTypeId;
+        Hdr->Flags = 0;
+      }
+    }
+    Blocks[BlockIndex].SizeClass = ~0u;
+    return false;
+  }
+
+  // Second pass: reclaim dead cells and rebuild this block's free cells,
+  // threading back to front for ascending hand-out order.
+  for (size_t I = CellCount; I != 0; --I) {
+    uint8_t *Cell = Base + (I - 1) * CellSize;
+    auto *Hdr = reinterpret_cast<ObjectHeader *>(Cell);
+    if (Hdr->isObject()) {
+      if (Hdr->isMarked()) {
+        Hdr->clearMarked();
+        LiveBytes += CellSize;
+        continue;
+      }
+      Reclaimed += CellSize;
+      Hdr->Type = InvalidTypeId;
+      Hdr->Flags = 0;
+    }
+    // The deepest cell threaded while the list is still empty is the
+    // eventual tail — the parallel merge needs it to splice segments.
+    if (TailOut && !*Head)
+      *TailOut = Cell;
+    std::memcpy(Cell + sizeof(ObjectHeader), Head, sizeof(void *));
+    *Head = Cell;
+  }
+  return true;
+}
+
+void FreeListHeap::sweepBlocksSequential(size_t &Reclaimed,
+                                         uint64_t &LiveBytes) {
   const std::vector<size_t> &CellSizes = sizeClasses().CellSizes;
-
   for (size_t BlockIndex = 0, E = Blocks.size(); BlockIndex != E;
        ++BlockIndex) {
     BlockInfo &Info = Blocks[BlockIndex];
     if (Info.SizeClass == ~0u)
       continue;
-    size_t CellSize = CellSizes[Info.SizeClass];
-    uint8_t *Base = blockBase(BlockIndex);
-    size_t CellCount = BlockSize / CellSize;
-
-    // First pass: is anything in this block still live?
-    size_t LiveInBlock = 0;
-    for (size_t I = 0; I != CellCount; ++I) {
-      auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
-      if (Hdr->isObject() && Hdr->isMarked())
-        ++LiveInBlock;
-    }
-
-    if (LiveInBlock == 0) {
-      // Return the whole block to the pool so any size class can reuse it.
-      for (size_t I = 0; I != CellCount; ++I) {
-        auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
-        if (Hdr->isObject()) {
-          Reclaimed += CellSize;
-          Hdr->Type = InvalidTypeId;
-          Hdr->Flags = 0;
-        }
-      }
-      Info.SizeClass = ~0u;
+    if (!sweepCarvedBlock(BlockIndex, CellSizes[Info.SizeClass],
+                          &FreeLists[Info.SizeClass], nullptr, Reclaimed,
+                          LiveBytes))
       FreeBlocks.push_back(BlockIndex);
-      continue;
-    }
-
-    // Second pass: reclaim dead cells and rebuild this block's free cells,
-    // threading back to front for ascending hand-out order.
-    void *Head = FreeLists[Info.SizeClass];
-    for (size_t I = CellCount; I != 0; --I) {
-      uint8_t *Cell = Base + (I - 1) * CellSize;
-      auto *Hdr = reinterpret_cast<ObjectHeader *>(Cell);
-      if (Hdr->isObject()) {
-        if (Hdr->isMarked()) {
-          Hdr->clearMarked();
-          LiveBytes += CellSize;
-          continue;
-        }
-        Reclaimed += CellSize;
-        Hdr->Type = InvalidTypeId;
-        Hdr->Flags = 0;
-      }
-      std::memcpy(Cell + sizeof(ObjectHeader), &Head, sizeof(void *));
-      Head = Cell;
-    }
-    FreeLists[Info.SizeClass] = Head;
   }
+}
+
+void FreeListHeap::sweepBlocksParallel(WorkerPool &Pool, size_t &Reclaimed,
+                                       uint64_t &LiveBytes) {
+  const std::vector<size_t> &CellSizes = sizeClasses().CellSizes;
+  const size_t NumClasses = FreeLists.size();
+  const size_t NumBlocks = Blocks.size();
+  const size_t NumChunks =
+      (NumBlocks + SweepChunkBlocks - 1) / SweepChunkBlocks;
+
+  // Per-chunk accumulators, disjoint per worker: free-cell segments per
+  // size class (head + tail), fully-freed block indices, and byte counts.
+  std::vector<void *> Heads(NumChunks * NumClasses, nullptr);
+  std::vector<void *> Tails(NumChunks * NumClasses, nullptr);
+  std::vector<std::vector<size_t>> FreedPerChunk(NumChunks);
+  std::vector<size_t> ReclaimedPerChunk(NumChunks, 0);
+  std::vector<uint64_t> LivePerChunk(NumChunks, 0);
+
+  std::atomic<size_t> NextChunk{0};
+  Pool.run([&](unsigned) {
+    for (;;) {
+      size_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (Chunk >= NumChunks)
+        return;
+      size_t Begin = Chunk * SweepChunkBlocks;
+      size_t End = std::min(Begin + SweepChunkBlocks, NumBlocks);
+      for (size_t BlockIndex = Begin; BlockIndex != End; ++BlockIndex) {
+        BlockInfo &Info = Blocks[BlockIndex];
+        if (Info.SizeClass == ~0u)
+          continue;
+        size_t Slot = Chunk * NumClasses + Info.SizeClass;
+        if (!sweepCarvedBlock(BlockIndex, CellSizes[Info.SizeClass],
+                              &Heads[Slot], &Tails[Slot],
+                              ReclaimedPerChunk[Chunk], LivePerChunk[Chunk]))
+          FreedPerChunk[Chunk].push_back(BlockIndex);
+      }
+    }
+  });
+
+  // Merge, reproducing the sequential sweep's exact results. The sequential
+  // loop prepends each later block's cells in front of the class list, so
+  // the final list runs from the highest block downward: splice segments in
+  // DESCENDING chunk order. Freed blocks were pushed in ascending order, so
+  // they append in ASCENDING chunk order.
+  for (size_t Class = 0; Class != NumClasses; ++Class) {
+    void *Head = nullptr;
+    void *PrevTail = nullptr;
+    for (size_t Chunk = NumChunks; Chunk != 0; --Chunk) {
+      void *SegHead = Heads[(Chunk - 1) * NumClasses + Class];
+      if (!SegHead)
+        continue;
+      if (!Head)
+        Head = SegHead;
+      else
+        std::memcpy(static_cast<uint8_t *>(PrevTail) + sizeof(ObjectHeader),
+                    &SegHead, sizeof(void *));
+      PrevTail = Tails[(Chunk - 1) * NumClasses + Class];
+    }
+    FreeLists[Class] = Head;
+  }
+  for (size_t Chunk = 0; Chunk != NumChunks; ++Chunk)
+    FreeBlocks.insert(FreeBlocks.end(), FreedPerChunk[Chunk].begin(),
+                      FreedPerChunk[Chunk].end());
+  for (size_t Chunk = 0; Chunk != NumChunks; ++Chunk) {
+    Reclaimed += ReclaimedPerChunk[Chunk];
+    LiveBytes += LivePerChunk[Chunk];
+  }
+}
+
+size_t FreeListHeap::sweep(WorkerPool *Pool) {
+  size_t Reclaimed = 0;
+  uint64_t LiveBytes = 0;
+
+  std::fill(FreeLists.begin(), FreeLists.end(), nullptr);
+
+  if (Pool && Pool->workerCount() > 1)
+    sweepBlocksParallel(*Pool, Reclaimed, LiveBytes);
+  else
+    sweepBlocksSequential(Reclaimed, LiveBytes);
 
   sweepLargeObjects(Reclaimed);
   LiveBytes += LargeBytesInUse;

@@ -53,6 +53,7 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector) {
     break;
   }
   }
+  TheCollector->setGcConfig(Config.Gc);
   Threads.push_back(std::make_unique<MutatorThread>(0, "main"));
 }
 

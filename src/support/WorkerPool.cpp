@@ -1,0 +1,70 @@
+//===- WorkerPool.cpp - Parked GC worker pool ----------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/WorkerPool.h"
+
+#include <cassert>
+
+using namespace gcassert;
+
+WorkerPool::WorkerPool(unsigned WorkerCount)
+    : Workers(WorkerCount < 1 ? 1 : WorkerCount) {
+  Threads.reserve(Workers - 1);
+  for (unsigned W = 1; W < Workers; ++W)
+    Threads.emplace_back([this, W] { threadMain(W); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::run(const std::function<void(unsigned)> &Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Job && "WorkerPool::run is not reentrant");
+    Job = &Fn;
+    Running = Workers - 1;
+    ++Generation;
+  }
+  WakeCv.notify_all();
+
+  Fn(0);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCv.wait(Lock, [this] { return Running == 0; });
+  Job = nullptr;
+}
+
+void WorkerPool::threadMain(unsigned Worker) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *MyJob;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCv.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+    }
+
+    (*MyJob)(Worker);
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Running;
+    }
+    DoneCv.notify_one();
+  }
+}

@@ -32,6 +32,7 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
   Config2.HeapBytes = Options.HeapBytesOverride ? Options.HeapBytesOverride
                                                 : TheWorkload->heapBytes();
   Config2.Collector = Options.Collector;
+  Config2.Gc.Threads = Options.GcThreads;
   Vm TheVm(Config2);
 
   std::unique_ptr<AssertionEngine> Engine;
@@ -48,6 +49,8 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
     TheWorkload->runIteration(Ctx);
 
   uint64_t GcNanosBefore = TheVm.gcStats().TotalGcNanos;
+  uint64_t MarkNanosBefore = TheVm.gcStats().MarkNanos;
+  uint64_t SweepNanosBefore = TheVm.gcStats().SweepNanos;
   uint64_t CyclesBefore = TheVm.gcStats().Cycles;
   uint64_t Start = monotonicNanos();
   for (int I = 0; I < Options.MeasuredIterations; ++I)
@@ -59,6 +62,10 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
   Result.TotalMillis = static_cast<double>(TotalNanos) / 1e6;
   Result.GcMillis = static_cast<double>(GcNanos) / 1e6;
   Result.MutatorMillis = Result.TotalMillis - Result.GcMillis;
+  Result.MarkMillis =
+      static_cast<double>(TheVm.gcStats().MarkNanos - MarkNanosBefore) / 1e6;
+  Result.SweepMillis =
+      static_cast<double>(TheVm.gcStats().SweepNanos - SweepNanosBefore) / 1e6;
   Result.GcCycles = TheVm.gcStats().Cycles - CyclesBefore;
   if (Engine)
     Result.Counters = Engine->counters();

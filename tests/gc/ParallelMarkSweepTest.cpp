@@ -1,0 +1,324 @@
+//===- ParallelMarkSweepTest.cpp - Parallel vs sequential equivalence ---------===//
+//
+// Stress tests for the parallel mark & sweep: build identical heaps in two
+// VMs, collect one sequentially and one with N GC threads, and require
+// identical results — same surviving objects in the same address order,
+// same reclaimed bytes, same free-list hand-out order afterwards, and with
+// assertions installed the same violation multiset. The parallel sweep is
+// designed to be byte-identical to the sequential one (see DESIGN.md,
+// "Parallel collection"), so these comparisons are exact, not approximate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+/// Deterministic split-free PRNG so both VMs build bit-identical graphs.
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 33;
+  }
+  uint64_t next(uint64_t Bound) { return next() % Bound; }
+};
+
+VmConfig makeConfig(unsigned Threads,
+                    CollectorKind Kind = CollectorKind::MarkSweep) {
+  VmConfig Config;
+  Config.HeapBytes = 16u << 20;
+  Config.Collector = Kind;
+  Config.Gc.Threads = Threads;
+  return Config;
+}
+
+/// Builds a deterministic tangled graph: a rooted array of entry points, a
+/// web of random links (cycles included), blob ballast, and garbage (nodes
+/// whose array slot was overwritten and that no link happens to reach).
+/// MarkSweep only — objects never move, so raw ObjRefs stay valid.
+void buildGraph(Vm &TheVm, unsigned Nodes, unsigned Roots,
+                std::vector<ObjRef> *AllOut = nullptr) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  ObjRef Arr = TheVm.allocate(T, G.Array, Roots);
+  TheVm.addGlobalRoot(Arr);
+
+  Lcg Rng(0x6ca55e ^ 0x5eed);
+  std::vector<ObjRef> All;
+  All.reserve(Nodes);
+  for (unsigned I = 0; I != Nodes; ++I) {
+    ObjRef N = TheVm.allocate(T, G.Node);
+    N->setScalar<int64_t>(G.FieldValue, static_cast<int64_t>(I));
+    All.push_back(N);
+    // Later nodes overwrite earlier root slots: overwritten ones survive
+    // only if some link reaches them.
+    Arr->setElement(Rng.next(Roots), N);
+    if (Rng.next(8) == 0)
+      TheVm.allocate(T, G.Blob, 64 + Rng.next(512));
+  }
+  for (ObjRef N : All) {
+    N->setRef(G.FieldA, All[Rng.next(All.size())]);
+    if (Rng.next(2))
+      N->setRef(G.FieldB, All[Rng.next(All.size())]);
+    if (Rng.next(4) == 0)
+      N->setRef(G.FieldC, All[Rng.next(All.size())]);
+  }
+  if (AllOut)
+    *AllOut = std::move(All);
+}
+
+/// The heap contents in address order: (type, payload) per object. Two VMs
+/// with identical allocation histories yield directly comparable sequences.
+std::vector<std::tuple<TypeId, uint64_t>> snapshot(Vm &TheVm) {
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  std::vector<std::tuple<TypeId, uint64_t>> Result;
+  TheVm.heap().forEachObject([&](ObjRef Obj) {
+    uint64_t Payload = 0;
+    if (Obj->typeId() == G.Node)
+      Payload = static_cast<uint64_t>(Obj->getScalar<int64_t>(G.FieldValue));
+    else if (TheVm.types().get(Obj->typeId()).isArray())
+      Payload = Obj->arrayLength();
+    Result.emplace_back(Obj->typeId(), Payload);
+  });
+  return Result;
+}
+
+/// Probes the post-sweep free-list order: allocates \p Count cells and
+/// returns each address relative to the first. Identical free lists give
+/// identical deltas regardless of where the two arenas sit in memory.
+std::vector<ptrdiff_t> allocationProbe(Vm &TheVm, unsigned Count) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  std::vector<ptrdiff_t> Deltas;
+  uint8_t *First = reinterpret_cast<uint8_t *>(TheVm.allocate(T, G.Node));
+  for (unsigned I = 1; I != Count; ++I)
+    Deltas.push_back(reinterpret_cast<uint8_t *>(TheVm.allocate(T, G.Node)) -
+                     First);
+  return Deltas;
+}
+
+/// Order-insensitive view of the reported violations.
+std::vector<std::pair<int, std::string>>
+violationMultiset(const RecordingViolationSink &Sink) {
+  std::vector<std::pair<int, std::string>> Result;
+  for (const Violation &V : Sink.violations())
+    Result.emplace_back(static_cast<int>(V.Kind), V.ObjectType);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+class ParallelMarkSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelMarkSweepTest, HeapStateMatchesSequential) {
+  Vm Seq(makeConfig(1));
+  Vm Par(makeConfig(GetParam()));
+  buildGraph(Seq, 20000, 64);
+  buildGraph(Par, 20000, 64);
+
+  Seq.collectNow();
+  Par.collectNow();
+
+  EXPECT_EQ(snapshot(Seq), snapshot(Par));
+  EXPECT_EQ(Seq.gcStats().BytesReclaimed, Par.gcStats().BytesReclaimed);
+  EXPECT_EQ(Seq.gcStats().ObjectsVisited, Par.gcStats().ObjectsVisited);
+  EXPECT_GT(Par.gcStats().ObjectsVisited, 0u);
+}
+
+TEST_P(ParallelMarkSweepTest, FreeListOrderMatchesSequential) {
+  // The parallel sweep must splice its per-chunk segments into the exact
+  // list the sequential sweep builds: probe by allocating out of it.
+  Vm Seq(makeConfig(1));
+  Vm Par(makeConfig(GetParam()));
+  buildGraph(Seq, 20000, 64);
+  buildGraph(Par, 20000, 64);
+
+  Seq.collectNow();
+  Par.collectNow();
+  EXPECT_EQ(allocationProbe(Seq, 512), allocationProbe(Par, 512));
+}
+
+TEST_P(ParallelMarkSweepTest, RepeatedCyclesStayEquivalent) {
+  Vm Seq(makeConfig(1));
+  Vm Par(makeConfig(GetParam()));
+  std::vector<ObjRef> SeqAll, ParAll;
+  buildGraph(Seq, 12000, 48, &SeqAll);
+  buildGraph(Par, 12000, 48, &ParAll);
+
+  const GraphTypes &G = GraphTypes::ensure(Seq.types());
+  for (int Round = 0; Round != 3; ++Round) {
+    Seq.collectNow();
+    Par.collectNow();
+    ASSERT_EQ(snapshot(Seq), snapshot(Par)) << "round " << Round;
+    ASSERT_EQ(Seq.gcStats().BytesReclaimed, Par.gcStats().BytesReclaimed)
+        << "round " << Round;
+    // Mutate both graphs identically: cut a deterministic set of links so
+    // the next cycle reclaims a different slice.
+    Lcg Rng(1000 + Round);
+    for (int I = 0; I != 2000; ++I) {
+      size_t Victim = Rng.next(SeqAll.size());
+      SeqAll[Victim]->setRef(G.FieldA, nullptr);
+      ParAll[Victim]->setRef(G.FieldA, nullptr);
+    }
+  }
+}
+
+TEST_P(ParallelMarkSweepTest, ViolationMultisetMatchesSequential) {
+  Vm Seq(makeConfig(1));
+  Vm Par(makeConfig(GetParam()));
+  RecordingViolationSink SeqSink, ParSink;
+  AssertionEngine SeqEngine(Seq, &SeqSink);
+  AssertionEngine ParEngine(Par, &ParSink);
+  // Parallel marking requires path recording off; turn it off on both so
+  // the comparison is apples to apples (violation paths are {leaf} either
+  // way).
+  Seq.collector().setPathRecording(false);
+  Par.collector().setPathRecording(false);
+
+  const GraphTypes &G = GraphTypes::ensure(Seq.types());
+  for (int Which = 0; Which != 2; ++Which) {
+    Vm &TheVm = Which ? Par : Seq;
+    AssertionEngine &Engine = Which ? ParEngine : SeqEngine;
+    std::vector<ObjRef> All;
+    buildGraph(TheVm, 20000, 64, &All);
+    MutatorThread &T = TheVm.mainThread();
+
+    // Dead-but-reachable: rooted nodes asserted dead.
+    ObjRef DeadArr = TheVm.allocate(T, G.Array, 3);
+    TheVm.addGlobalRoot(DeadArr);
+    for (uint64_t I = 0; I != 3; ++I) {
+      ObjRef Doomed = newNode(TheVm, T, 7000 + static_cast<int64_t>(I));
+      DeadArr->setElement(I, Doomed);
+      Engine.assertDead(Doomed);
+    }
+
+    // Unshared-but-shared: two rooted parents point at the same child.
+    for (int I = 0; I != 2; ++I) {
+      ObjRef P1 = newNode(TheVm, T);
+      ObjRef P2 = newNode(TheVm, T);
+      TheVm.addGlobalRoot(P1);
+      TheVm.addGlobalRoot(P2);
+      ObjRef Child = newNode(TheVm, T, 8000 + I);
+      P1->setRef(G.FieldA, Child);
+      P2->setRef(G.FieldA, Child);
+      Engine.assertUnshared(Child);
+    }
+
+    // Owned-by with the path through the owner severed: only a cache keeps
+    // the ownee alive.
+    ObjRef Owner = newNode(TheVm, T);
+    ObjRef Cache = newNode(TheVm, T);
+    TheVm.addGlobalRoot(Owner);
+    TheVm.addGlobalRoot(Cache);
+    ObjRef Ownee = newNode(TheVm, T, 9000);
+    Cache->setRef(G.FieldA, Ownee);
+    Engine.assertOwnedBy(Owner, Ownee);
+
+    // Instance limit exceeded: counted with atomic increments under the
+    // parallel trace, compared against the limit after it.
+    Engine.assertInstances(G.Node, 1);
+  }
+
+  Seq.collectNow();
+  Par.collectNow();
+
+  EXPECT_GT(ParSink.violations().size(), 0u);
+  EXPECT_EQ(violationMultiset(SeqSink), violationMultiset(ParSink));
+  EXPECT_EQ(SeqSink.countOf(AssertionKind::Dead), 3u);
+  EXPECT_EQ(SeqSink.countOf(AssertionKind::Unshared), 2u);
+  EXPECT_EQ(SeqSink.countOf(AssertionKind::OwnedBy), 1u);
+  EXPECT_EQ(SeqSink.countOf(AssertionKind::Instances), 1u);
+  EXPECT_EQ(snapshot(Seq), snapshot(Par));
+  EXPECT_EQ(SeqEngine.counters().ViolationsReported,
+            ParEngine.counters().ViolationsReported);
+}
+
+TEST_P(ParallelMarkSweepTest, GenerationalMajorCycleMatchesSequential) {
+  // End-to-end over a real workload: the generational collector's major
+  // cycles take the same parallel path. Same seed, same iteration count —
+  // the runs must agree on every observable counter.
+  registerBuiltinWorkloads();
+  HarnessOptions Seq, Par;
+  Seq.Collector = Par.Collector = CollectorKind::Generational;
+  Seq.RecordPaths = Par.RecordPaths = false;
+  Seq.WarmupIterations = Par.WarmupIterations = 0;
+  Seq.MeasuredIterations = Par.MeasuredIterations = 1;
+  Par.GcThreads = GetParam();
+  RecordingViolationSink SeqSink, ParSink;
+  Seq.Sink = &SeqSink;
+  Par.Sink = &ParSink;
+
+  RunResult SeqResult =
+      runWorkload("hsqldb", BenchConfig::WithAssertions, Seq);
+  RunResult ParResult =
+      runWorkload("hsqldb", BenchConfig::WithAssertions, Par);
+
+  EXPECT_EQ(SeqResult.GcCycles, ParResult.GcCycles);
+  EXPECT_EQ(SeqResult.Counters.ViolationsReported,
+            ParResult.Counters.ViolationsReported);
+  EXPECT_EQ(SeqResult.Counters.OwneesCheckedTotal,
+            ParResult.Counters.OwneesCheckedTotal);
+  EXPECT_EQ(violationMultiset(SeqSink), violationMultiset(ParSink));
+}
+
+TEST_P(ParallelMarkSweepTest, PhaseTimingsRecorded) {
+  Vm TheVm(makeConfig(GetParam()));
+  buildGraph(TheVm, 20000, 64);
+  TheVm.collectNow();
+  EXPECT_GT(TheVm.gcStats().MarkNanos, 0u);
+  EXPECT_GT(TheVm.gcStats().SweepNanos, 0u);
+  EXPECT_LE(TheVm.gcStats().MarkNanos + TheVm.gcStats().SweepNanos,
+            TheVm.gcStats().TotalGcNanos);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelMarkSweepTest,
+                         ::testing::Values(2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned> &Info) {
+                           return "Threads" + std::to_string(Info.param);
+                         });
+
+TEST(ParallelConfigTest, SingleThreadUsesNoPool) {
+  // Threads=1 must be bit-for-bit the original sequential collector: the
+  // knob is clamped and no worker pool is ever created.
+  Vm TheVm(makeConfig(1));
+  EXPECT_EQ(TheVm.collector().gcConfig().Threads, 1u);
+  buildGraph(TheVm, 2000, 16);
+  TheVm.collectNow();
+  EXPECT_GT(TheVm.gcStats().ObjectsVisited, 0u);
+
+  GcConfig Zero;
+  Zero.Threads = 0;
+  TheVm.collector().setGcConfig(Zero);
+  EXPECT_EQ(TheVm.collector().gcConfig().Threads, 1u) << "0 clamps to 1";
+}
+
+TEST(ParallelConfigTest, ThreadCountCanChangeBetweenCycles) {
+  Vm TheVm(makeConfig(2));
+  buildGraph(TheVm, 4000, 16);
+  TheVm.collectNow();
+
+  GcConfig Wider;
+  Wider.Threads = 4;
+  TheVm.collector().setGcConfig(Wider);
+  TheVm.collectNow();
+
+  GcConfig Narrow;
+  Narrow.Threads = 1;
+  TheVm.collector().setGcConfig(Narrow);
+  TheVm.collectNow();
+  EXPECT_EQ(TheVm.gcStats().Cycles, 3u);
+}
+
+} // namespace

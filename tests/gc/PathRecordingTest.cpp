@@ -130,6 +130,62 @@ TEST(PathRecordingTest, SemiSpacePathTypesCorrect) {
     EXPECT_EQ(Step.TypeName, "LNode;");
 }
 
+TEST(PathRecordingTest, ParallelConfigFallsBackToExactPaths) {
+  // §2.7 path recording needs the tagged-LIFO worklist invariant, which a
+  // stealable deque cannot maintain: with path recording on, a multi-thread
+  // GC configuration must fall back to the sequential tracer and still
+  // deliver the exact root-to-object chain, not the {leaf} shorthand of the
+  // parallel marker.
+  VmConfig Config = smallVm();
+  Config.Gc.Threads = 4;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(TheVm.mainThread());
+  Local Head = buildChain(TheVm, Scope, 6);
+  ObjRef Tail = Head.get();
+  while (Tail->getRef(G.FieldA))
+    Tail = Tail->getRef(G.FieldA);
+
+  Engine.assertDead(Tail);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  const Violation &V = Sink.violations()[0];
+  ASSERT_EQ(V.Path.size(), 6u) << "full chain despite Threads=4";
+  for (size_t I = 1; I < V.Path.size(); ++I)
+    EXPECT_EQ(V.Path[I].FieldName, "a");
+}
+
+TEST(PathRecordingTest, ParallelConfigWithRecordingOffYieldsLeafOnly) {
+  // The complementary case: once path recording is explicitly disabled the
+  // same configuration takes the parallel trace, whose violation paths are
+  // the offending object alone — identical to the sequential
+  // RecordPaths=false shape.
+  VmConfig Config = smallVm();
+  Config.Gc.Threads = 4;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  TheVm.collector().setPathRecording(false);
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(TheVm.mainThread());
+  Local Head = buildChain(TheVm, Scope, 6);
+  ObjRef Tail = Head.get();
+  while (Tail->getRef(G.FieldA))
+    Tail = Tail->getRef(G.FieldA);
+
+  Engine.assertDead(Tail);
+  TheVm.collectNow();
+
+  ASSERT_EQ(Sink.violations().size(), 1u);
+  EXPECT_EQ(Sink.violations()[0].Path.size(), 1u);
+  EXPECT_EQ(Sink.violations()[0].Path[0].TypeName, "LNode;");
+}
+
 TEST(PathRecordingTest, PathReflectsDiamondShape) {
   // Diamond: root -> a -> {b, c} -> d; the violation path must be a single
   // valid chain (either through b or through c), not a merged mess.
