@@ -60,6 +60,39 @@ struct EngineCounters {
   uint64_t GcCycles = 0;
 };
 
+/// How much optional work the engine has shed under memory pressure. The
+/// ladder only ever sheds extras — the paper's core checks (dead, unshared,
+/// instances, volume, ownedby) stay live at every level, so the violation
+/// multiset for those kinds is pressure-independent.
+enum class DegradationLevel : uint8_t {
+  /// Everything on: §2.7 path recording, orphan watch, overlap warnings.
+  Full = 0,
+  /// Path recording shed (violations carry no heap paths; the collectors
+  /// also regain the parallel tracer, see DESIGN.md §7).
+  NoPaths = 1,
+  /// Per-assertion bookkeeping shed too: no ownee-outlived-owner watch, no
+  /// ownership-overlap warnings. Core checks only.
+  CoreOnly = 2,
+};
+
+/// Occupancy thresholds for the degradation ladder. Occupancy is live
+/// bytes after the previous collection over heap capacity — what the heap
+/// *keeps* across collections, not the transient fullness that precedes
+/// every allocation-triggered GC.
+struct ShedConfig {
+  /// Shed path recording at or above this live-occupancy fraction.
+  double ShedPathsAt = 0.85;
+  /// Shed per-assertion bookkeeping too at or above this fraction.
+  double ShedBookkeepingAt = 0.95;
+  /// Hysteresis: a level is restored only once occupancy falls this far
+  /// below its shed threshold (and one level per cycle), so the ladder
+  /// cannot flap around a threshold.
+  double RestoreMargin = 0.05;
+  /// How many cycles an onMemoryPressure escalation is held before
+  /// occupancy alone decides again.
+  uint32_t PressureHoldCycles = 2;
+};
+
 /// The GC assertion engine. Constructing one installs it as the Vm
 /// collector's trace hooks (turning "Base" into "Infrastructure" in the
 /// paper's terms); destroying it uninstalls.
@@ -122,6 +155,17 @@ public:
   /// When true (default), path steps resolve the field name of each edge.
   /// Figure 1 of the paper prints types only; field names are an extension.
   void setResolveFieldNames(bool Enable) { ResolveFieldNames = Enable; }
+
+  /// Replaces the degradation ladder's thresholds. Escalation the new
+  /// thresholds demand applies immediately (the collector samples
+  /// allowPathRecording() before the cycle begins); de-escalation waits
+  /// for the hysteresis at the next collection.
+  void setShedConfig(const ShedConfig &Config);
+  const ShedConfig &shedConfig() const { return Shed; }
+
+  /// The current degradation level (updated at each onGcBegin and by
+  /// memory-pressure notifications between collections).
+  DegradationLevel degradationLevel() const { return Level; }
   /// @}
 
   const EngineCounters &counters() const { return Counters; }
@@ -141,9 +185,24 @@ public:
   PreRootAction classifyPreRoot(ObjRef Obj) override;
   void onTraceComplete(PostTraceContext &Ctx) override;
   void onMinorGcComplete(PostTraceContext &Ctx) override;
+  bool allowPathRecording() const override {
+    return Level == DegradationLevel::Full;
+  }
+  void onMemoryPressure(MemoryPressure Pressure) override;
   /// @}
 
 private:
+  /// The level the current live occupancy alone asks for.
+  struct DegradationTarget {
+    DegradationLevel Level;
+    double Occupancy;
+  };
+  DegradationTarget occupancyTarget() const;
+
+  /// Recomputes Level from occupancy, the pressure latch, and the
+  /// "engine.shed" failpoint; called at the top of each cycle.
+  void updateDegradationLevel();
+
   /// Converts an object chain into named path steps.
   std::vector<PathStep> buildPath(const std::vector<ObjRef> &Chain) const;
 
@@ -177,6 +236,14 @@ private:
 
   ReactionPolicy Reactions[NumAssertionKinds];
   bool ResolveFieldNames = true;
+
+  /// Degradation ladder state.
+  ShedConfig Shed;
+  DegradationLevel Level = DegradationLevel::Full;
+  /// Highest level demanded by onMemoryPressure, held for
+  /// Shed.PressureHoldCycles collections.
+  DegradationLevel PressureLatch = DegradationLevel::Full;
+  uint32_t PressureHoldRemaining = 0;
 
   /// Per-cycle state.
   uint64_t CurrentCycle = 0;

@@ -11,6 +11,9 @@
 ///
 ///   * LineLogSink — one machine-parsable line per violation:
 ///       gc-assert|<cycle>|<kind>|<object type>|<message>|<path with ->`s>
+///   * BoundedLogSink — LineLogSink with a per-cycle line budget, a
+///       dropped-violation counter, and a bounded in-memory tail that is
+///       appended to crash diagnostics.
 ///   * TeeViolationSink — fans a violation out to several sinks (e.g.
 ///       record in memory *and* log).
 ///
@@ -20,7 +23,10 @@
 #define GCASSERT_CORE_VIOLATIONLOGSINK_H
 
 #include "gcassert/core/Violation.h"
+#include "gcassert/support/ErrorHandling.h"
 
+#include <deque>
+#include <string>
 #include <vector>
 
 namespace gcassert {
@@ -39,6 +45,54 @@ public:
 
 private:
   OStream &Out;
+};
+
+/// LineLogSink with backpressure: a misbehaving assertion (or a storm of
+/// violations under memory pressure) cannot flood the log or stall the
+/// collector on a slow stream. At most Config::MaxLinesPerCycle lines are
+/// written per GC cycle; the rest are counted in droppedViolations(). A
+/// write failure (I/O error, or the "sink.write" failpoint) drops that
+/// line too rather than aborting. The last Config::TailCapacity formatted
+/// lines — including dropped ones — are kept in memory and printed into
+/// crash diagnostics by reportFatalErrorWithDiagnostics().
+class BoundedLogSink : public ViolationSink {
+public:
+  struct Config {
+    /// Lines actually written to the stream per GC cycle; violations past
+    /// the budget are counted and kept in the tail only.
+    uint64_t MaxLinesPerCycle = 256;
+    /// Formatted lines retained in memory for crash diagnostics.
+    size_t TailCapacity = 32;
+  };
+
+  explicit BoundedLogSink(OStream &Out);
+  BoundedLogSink(OStream &Out, Config Cfg);
+
+  void report(const Violation &V) override;
+
+  /// Violations whose line reached the stream / was dropped (budget
+  /// exhausted or write failure). Together they count every report().
+  uint64_t writtenViolations() const { return Written; }
+  uint64_t droppedViolations() const { return Dropped; }
+
+  const std::deque<std::string> &tailLines() const { return Tail; }
+
+  /// Prints the retained tail (the crash-dump provider's body).
+  void dumpTail(OStream &To) const;
+
+private:
+  OStream &Out;
+  Config Cfg;
+  std::deque<std::string> Tail;
+  uint64_t Written = 0;
+  uint64_t Dropped = 0;
+  /// Cycle the current line budget belongs to; reset when V.Cycle moves.
+  uint64_t BudgetCycle = 0;
+  uint64_t LinesThisCycle = 0;
+  bool BudgetCycleValid = false;
+  /// Declared last so the provider (which reads the members above) is
+  /// unregistered before any of them is destroyed.
+  ScopedCrashDumpProvider CrashDump;
 };
 
 /// Adapts a callable into a sink — the paper's §2.6 future-work

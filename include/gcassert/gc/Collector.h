@@ -70,6 +70,29 @@ struct GcStats {
   /// Generational collectors only: how many of Cycles were minor (nursery)
   /// collections. Full-heap collectors leave this at zero.
   uint64_t MinorCycles = 0;
+
+  /// \name Resilience counters
+  /// Accounting for the fault-tolerance layer (DESIGN.md §8): how often
+  /// the runtime had to escalate, degrade, or route around a failure.
+  /// @{
+
+  /// Emergency full collections run by Vm::allocateSlowPath's cascade
+  /// (stage 2+: a first collect-and-retry already failed).
+  uint64_t EmergencyCollections = 0;
+  /// Registered OOM handlers that freed something and triggered a retry.
+  uint64_t OomHandlerRuns = 0;
+  /// Cycles the assertion engine ran with §2.7 path recording shed.
+  uint64_t PathShedCycles = 0;
+  /// Cycles the engine ran at the core-checks-only level (per-assertion
+  /// bookkeeping shed too). Always <= PathShedCycles.
+  uint64_t BookkeepingShedCycles = 0;
+  /// Pre-flight occupancy guards that fired (semispace evacuation /
+  /// generational promotion) and rerouted the cycle.
+  uint64_t GuardTrips = 0;
+  /// GC worker threads that failed to spawn; the pool degraded to fewer
+  /// workers instead of aborting.
+  uint64_t WorkerStartFailures = 0;
+  /// @}
 };
 
 /// A stop-the-world tracing collector.
@@ -106,6 +129,22 @@ public:
   bool pathRecording() const { return RecordPaths; }
 
   const GcStats &stats() const { return Stats; }
+
+  /// \name Resilience accounting
+  /// Narrow mutators for the stats() counters owned by other layers: the
+  /// runtime's emergency cascade and the engine's degradation ladder report
+  /// here so every resilience event lands in one place.
+  /// @{
+  void noteEmergencyCollection() { ++Stats.EmergencyCollections; }
+  void noteOomHandlerRun() { ++Stats.OomHandlerRuns; }
+  /// One cycle ran degraded: paths shed, and with \p BookkeepingToo the
+  /// per-assertion bookkeeping as well.
+  void noteShedCycle(bool BookkeepingToo) {
+    ++Stats.PathShedCycles;
+    if (BookkeepingToo)
+      ++Stats.BookkeepingShedCycles;
+  }
+  /// @}
 
 protected:
   /// The worker pool for parallel phases, or null when Config.Threads <= 1.

@@ -26,6 +26,17 @@
 
 namespace gcassert {
 
+/// How hard the runtime's emergency allocation cascade is leaning on the
+/// heap (see Vm::allocateSlowPath). Delivered to the assertion engine via
+/// TraceHooks::onMemoryPressure so it can shed optional work.
+enum class MemoryPressure : uint8_t {
+  /// A first retry failed; an emergency full collection is about to run.
+  High,
+  /// The heap is still exhausted after the emergency collection; the
+  /// configured OomPolicy is about to engage.
+  Critical,
+};
+
 /// Which tracing phase the collector is in.
 ///
 /// The ownership phase (paper §2.5.2, "Phase 1") traces from owner objects
@@ -135,6 +146,17 @@ public:
   /// through \p Ctx (nursery objects forward or die; old objects are
   /// stable).
   virtual void onMinorGcComplete(PostTraceContext &Ctx) = 0;
+
+  /// Degradation gate for §2.7 path recording: collectors consult this at
+  /// the start of each cycle and skip path recording when it returns false,
+  /// even if Collector::setPathRecording is on. The engine's degradation
+  /// ladder sheds paths first under memory pressure; the default keeps
+  /// them.
+  virtual bool allowPathRecording() const { return true; }
+
+  /// Memory-pressure notice from the runtime's emergency cascade or a
+  /// collector's pre-flight occupancy guard. Default: ignore.
+  virtual void onMemoryPressure(MemoryPressure Pressure) { (void)Pressure; }
 };
 
 } // namespace gcassert

@@ -78,6 +78,8 @@ public:
   size_t objectSize(ObjRef Obj) const;
 
   uint64_t liveBytesAfterLastCollection() const { return LiveBytesAfterGc; }
+
+  uint64_t liveBytesAfterLastGc() const override { return LiveBytesAfterGc; }
   /// @}
 
 private:

@@ -60,6 +60,10 @@ public:
   /// Bytes occupied by live objects after the last sweep.
   uint64_t liveBytesAfterLastSweep() const { return LiveBytesAfterSweep; }
 
+  uint64_t liveBytesAfterLastGc() const override {
+    return LiveBytesAfterSweep;
+  }
+
   /// Unoccupied bytes in the small-object arena (excludes the large-object
   /// budget). An estimate: carved-block slack is not reclaimed until those
   /// cells free up, so treat this as an upper bound on what allocation can

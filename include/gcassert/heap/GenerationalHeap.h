@@ -64,9 +64,15 @@ public:
     return P >= Nursery.get() && P < Nursery.get() + NurseryBytes;
   }
 
+  /// Marks the start of a nursery evacuation: until
+  /// finishMinorCollection(), forwarded nursery shells make the heap
+  /// unsafe to enumerate.
+  void beginMinorCollection() { EvacuationActive = true; }
+
   /// Copies the nursery object \p Obj into the old generation and installs
-  /// a forwarding pointer. Aborts if the old generation is full (the
-  /// collector's major-GC heuristic exists to prevent that).
+  /// a forwarding pointer. Aborts (with crash diagnostics) if the old
+  /// generation is full — the collector's pre-flight promotion guard
+  /// exists to prevent ever getting here.
   ObjRef promote(ObjRef Obj);
 
   /// Resets the nursery bump pointer (all survivors must have been
@@ -103,6 +109,14 @@ public:
   /// the space promotions actually draw from (the large-object budget is
   /// deliberately excluded; large objects are pretenured, never promoted).
   uint64_t oldGenFreeEstimate() const { return OldGen->arenaBytesFree(); }
+
+  /// Occupancy for the degradation ladder: what survives collections is
+  /// old-generation data (the nursery empties every minor cycle).
+  uint64_t liveBytesAfterLastGc() const override {
+    return OldGen->liveBytesAfterLastSweep();
+  }
+
+  bool safeToEnumerate() const override { return !EvacuationActive; }
   /// @}
 
 private:
@@ -113,6 +127,7 @@ private:
   size_t NurseryBytes;
   uint8_t *NurseryBump;
   std::unordered_set<Object *> RememberedSet;
+  bool EvacuationActive = false;
 };
 
 } // namespace gcassert

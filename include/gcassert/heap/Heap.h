@@ -34,10 +34,23 @@ struct HeapStats {
   uint64_t BytesCapacity = 0;
 };
 
+/// Why the most recent allocate() call returned null.
+enum class AllocFailureKind : uint8_t {
+  /// The most recent allocation succeeded.
+  None,
+  /// Managed space is exhausted; a collection may reclaim room.
+  HeapFull,
+  /// The host allocator refused backing storage (large-object path). A
+  /// collection of the managed heap cannot help directly, but freeing
+  /// large objects can.
+  HostAllocFailed,
+};
+
 /// Abstract managed heap.
 ///
 /// allocate() returns null when the heap cannot satisfy the request; the
-/// runtime responds by running a collection and retrying. Payloads of new
+/// runtime responds by running a collection and retrying, escalating
+/// through the emergency cascade in Vm::allocateSlowPath. Payloads of new
 /// objects are zero-filled, so every reference field starts as null.
 class Heap {
 public:
@@ -48,7 +61,8 @@ public:
   Heap &operator=(const Heap &) = delete;
 
   /// Allocates an object of type \p Id (with \p ArrayLength elements for
-  /// array types). Returns null if the heap is full.
+  /// array types). Returns null if the heap is full (and records why in
+  /// lastAllocFailure()).
   virtual ObjRef allocate(TypeId Id, uint64_t ArrayLength) = 0;
 
   /// Calls \p Fn for every object currently in the heap (live or not yet
@@ -58,6 +72,21 @@ public:
   /// True if \p Ptr points into heap-managed storage.
   virtual bool contains(const void *Ptr) const = 0;
 
+  /// Why the most recent allocate() returned null (None after a success).
+  AllocFailureKind lastAllocFailure() const { return LastAllocFailure; }
+
+  /// Live bytes measured by the most recent completed collection (0 before
+  /// the first). The assertion engine's degradation ladder reads this as
+  /// its occupancy signal: unlike stats().BytesInUse — which saturates
+  /// right before every exhaustion-triggered collection — it reflects how
+  /// full the heap stays after reclaim.
+  virtual uint64_t liveBytesAfterLastGc() const { return 0; }
+
+  /// True when forEachObject is safe right now. Moving heaps return false
+  /// mid-evacuation (forwarding overwrites payload words); crash
+  /// diagnostics consult this before dumping a histogram.
+  virtual bool safeToEnumerate() const { return true; }
+
   TypeRegistry &types() { return Types; }
   const TypeRegistry &types() const { return Types; }
 
@@ -66,6 +95,7 @@ public:
 protected:
   TypeRegistry &Types;
   HeapStats Stats;
+  AllocFailureKind LastAllocFailure = AllocFailureKind::None;
 };
 
 } // namespace gcassert

@@ -45,8 +45,10 @@ public:
   void beginCollection();
 
   /// Copies \p From into the to-space and returns the new address. \p From
-  /// must not already be forwarded. Aborts if the to-space overflows (live
-  /// data can never exceed a semispace by construction of allocate()).
+  /// must not already be forwarded. Aborts (with crash diagnostics) if the
+  /// to-space overflows: live data can never exceed a semispace by
+  /// construction of allocate(), and mid-copy there is nothing left to
+  /// recover to.
   ObjRef copyObject(ObjRef From);
 
   /// Flips the spaces: the to-space becomes the allocation space.
@@ -70,6 +72,21 @@ public:
 
   /// Bytes of live data after the last collection.
   uint64_t liveBytesAfterLastCollection() const { return LiveBytesAfterGc; }
+
+  uint64_t liveBytesAfterLastGc() const override { return LiveBytesAfterGc; }
+
+  /// Mid-evacuation the from-space holds forwarded shells whose payload
+  /// words are overwritten; walking is unsafe until finishCollection().
+  bool safeToEnumerate() const override { return !Collecting; }
+
+  /// True when the bytes currently allocated exceed what one semispace can
+  /// absorb — the evacuation-overflow invariant is at risk and the
+  /// collector should shed pressure before moving anything. By
+  /// construction of allocate() this never triggers; the
+  /// "semispace.guard" failpoint simulates it.
+  bool evacuationAtRisk() const {
+    return static_cast<uint64_t>(Bump - spaceBase(CurrentSpace)) > HalfBytes;
+  }
   /// @}
 
 private:

@@ -19,9 +19,11 @@
 #include "gcassert/heap/Heap.h"
 #include "gcassert/runtime/MutatorThread.h"
 #include "gcassert/support/Compiler.h"
+#include "gcassert/support/ErrorHandling.h"
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 namespace gcassert {
@@ -45,12 +47,28 @@ enum class CollectorKind : uint8_t {
   Generational,
 };
 
+/// What Vm::allocate does when the emergency cascade (collection, emergency
+/// full collection, OOM handlers) cannot free enough memory.
+enum class OomPolicy : uint8_t {
+  /// Abort the process with crash diagnostics (the historical behavior and
+  /// the default — library code stays exception-free).
+  Abort,
+  /// Return null from Vm::allocate; the caller sheds load.
+  ReturnNull,
+  /// Run the registered OOM handlers (each may free memory and request a
+  /// retry); if none succeeds, return null.
+  RunOomHandlers,
+};
+
 /// VM construction parameters.
 struct VmConfig {
   size_t HeapBytes = 64u << 20;
   CollectorKind Collector = CollectorKind::MarkSweep;
   /// GC tuning (worker-thread count, ...), forwarded to the collector.
   GcConfig Gc;
+  /// Out-of-memory policy; see OomPolicy (changeable later with
+  /// Vm::setOomPolicy).
+  OomPolicy OnOom = OomPolicy::Abort;
 };
 
 /// A stable global root slot, releasable by id.
@@ -82,8 +100,12 @@ public:
   /// @{
 
   /// Allocates an object of \p Id on behalf of \p Thread, collecting and
-  /// retrying on exhaustion. Aborts the process if the heap is still full
-  /// after a collection. Array types require \p ArrayLength.
+  /// retrying on exhaustion through the emergency cascade (collection →
+  /// emergency full collection → OOM handlers, per the configured
+  /// OomPolicy). Returns null only under OomPolicy::ReturnNull /
+  /// RunOomHandlers once the cascade is exhausted; under OomPolicy::Abort
+  /// (the default) the process aborts with crash diagnostics instead.
+  /// Array types require \p ArrayLength.
   ObjRef allocate(MutatorThread &Thread, TypeId Id, uint64_t ArrayLength = 0) {
     ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
     if (GCA_UNLIKELY(!Obj))
@@ -103,6 +125,27 @@ public:
   /// Runs a collection immediately.
   void collectNow(const char *Cause = "explicit");
 
+  /// \name Out-of-memory handling
+  /// @{
+
+  void setOomPolicy(OomPolicy Policy) { OnOom = Policy; }
+  OomPolicy oomPolicy() const { return OnOom; }
+
+  /// Registers an OOM handler for OomPolicy::RunOomHandlers. When the
+  /// emergency cascade fails, handlers run in registration order with the
+  /// needed byte count; a handler returns true if it released memory
+  /// (dropped caches, cleared a global root, ...), which triggers another
+  /// collection and retry before the next handler is consulted. Handlers
+  /// must not allocate from this VM. Returns an id for removeOomHandler.
+  using OomHandlerId = uint32_t;
+  OomHandlerId addOomHandler(std::function<bool(uint64_t NeededBytes)> Fn);
+  void removeOomHandler(OomHandlerId Id);
+
+  /// How many allocations returned null to the mutator after the cascade
+  /// (OomPolicy::ReturnNull, or RunOomHandlers with no handler helping).
+  uint64_t oomNullReturns() const { return OomNullReturns; }
+  /// @}
+
   /// \name Global roots
   /// @{
   GlobalRootId addGlobalRoot(ObjRef Obj = nullptr);
@@ -118,6 +161,10 @@ public:
 
 private:
   GCA_NOINLINE ObjRef allocateSlowPath(TypeId Id, uint64_t ArrayLength);
+  GCA_NOINLINE ObjRef handleAllocationExhausted(TypeId Id,
+                                                uint64_t ArrayLength);
+  void notifyMemoryPressure(MemoryPressure Pressure);
+  void dumpCrashDiagnostics();
 
   TypeRegistry Types;
   CollectorKind Kind;
@@ -128,6 +175,20 @@ private:
   std::vector<GlobalRootId> FreeGlobalSlots;
   bool HasAllocListener = false;
   std::function<void(ObjRef)> AllocListener;
+
+  OomPolicy OnOom;
+  struct OomHandler {
+    OomHandlerId Id;
+    std::function<bool(uint64_t)> Fn;
+  };
+  std::vector<OomHandler> OomHandlers;
+  OomHandlerId NextOomHandlerId = 1;
+  bool InOomHandlers = false;
+  uint64_t OomNullReturns = 0;
+
+  /// Declared last: destroyed first, so the crash-dump callback (which
+  /// reads the members above) can never run against a dead VM.
+  std::optional<ScopedCrashDumpProvider> CrashDump;
 };
 
 } // namespace gcassert

@@ -16,6 +16,8 @@
 #ifndef GCASSERT_SUPPORT_ERRORHANDLING_H
 #define GCASSERT_SUPPORT_ERRORHANDLING_H
 
+#include <functional>
+
 namespace gcassert {
 
 /// Prints \p Msg to stderr and aborts the process.
@@ -23,6 +25,38 @@ namespace gcassert {
 /// Use for unrecoverable environment errors (e.g. the managed heap is
 /// exhausted and cannot grow). Never returns.
 [[noreturn]] void reportFatalError(const char *Msg);
+
+/// Like reportFatalError, but first runs every registered crash-dump
+/// provider so the abort carries diagnostic state (heap histogram, GC
+/// statistics, violation-log tail). A provider that itself hits a fatal
+/// error does not recurse: the nested call prints its message and aborts
+/// without re-running providers. Never returns.
+[[noreturn]] void reportFatalErrorWithDiagnostics(const char *Msg);
+
+/// Registers a crash-dump provider: a callback that prints one section of
+/// diagnostic state to stderr when reportFatalErrorWithDiagnostics runs.
+/// \p Label heads the section ("vm", "violations", ...). Returns an id for
+/// unregisterCrashDumpProvider. Providers run newest-first.
+unsigned registerCrashDumpProvider(const char *Label, std::function<void()> Fn);
+
+/// Removes a provider registered with registerCrashDumpProvider. Unknown
+/// ids are ignored.
+void unregisterCrashDumpProvider(unsigned Id);
+
+/// RAII registration of a crash-dump provider, for objects whose dump
+/// callback must not outlive them (the Vm, a bounded violation sink).
+class ScopedCrashDumpProvider {
+public:
+  ScopedCrashDumpProvider(const char *Label, std::function<void()> Fn)
+      : Id(registerCrashDumpProvider(Label, std::move(Fn))) {}
+  ~ScopedCrashDumpProvider() { unregisterCrashDumpProvider(Id); }
+
+  ScopedCrashDumpProvider(const ScopedCrashDumpProvider &) = delete;
+  ScopedCrashDumpProvider &operator=(const ScopedCrashDumpProvider &) = delete;
+
+private:
+  unsigned Id;
+};
 
 /// Internal helper for the gcaUnreachable macro. Never returns.
 [[noreturn]] void gcaUnreachableInternal(const char *Msg, const char *File,

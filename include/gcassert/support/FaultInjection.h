@@ -1,0 +1,169 @@
+//===- gcassert/support/FaultInjection.h - Deterministic failpoints -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the runtime's resource-failure paths.
+///
+/// A Failpoint is a named site compiled into the production binary. Disarmed
+/// (the default) it costs one relaxed atomic load; armed it consults a
+/// deterministic policy — fail always, fail once (after an optional number of
+/// skipped hits), fail every Nth hit, or fail with a seeded probability via
+/// support/Random — so stress tests can drive every recovery path
+/// reproducibly from a fixed seed.
+///
+/// Sites self-register in a global registry at static-initialization time, so
+/// tests and the GCASSERT_FAILPOINTS environment variable can arm them by
+/// name without the site's translation unit exporting anything else.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_FAULTINJECTION_H
+#define GCASSERT_SUPPORT_FAULTINJECTION_H
+
+#include "gcassert/support/Compiler.h"
+#include "gcassert/support/Random.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace gcassert {
+
+/// One named fault-injection site.
+///
+/// shouldFail() is safe to call from any thread. Arming, disarming and
+/// counter access take a per-failpoint mutex; the disarmed fast path is a
+/// single relaxed atomic load and no fence, so sites may sit on moderately
+/// hot paths (allocation slow paths, per-object copy loops) without
+/// measurable cost — see bench/failpoint_overhead.cpp.
+class Failpoint {
+public:
+  /// Registers the site under \p SiteName. The name must outlive the
+  /// failpoint (sites use string literals).
+  explicit Failpoint(const char *SiteName);
+  ~Failpoint();
+
+  Failpoint(const Failpoint &) = delete;
+  Failpoint &operator=(const Failpoint &) = delete;
+
+  const char *name() const { return SiteName; }
+
+  /// Returns true when the site should simulate a failure this hit.
+  /// The disarmed fast path is one relaxed load.
+  bool shouldFail() {
+    if (GCA_LIKELY(!Armed.load(std::memory_order_relaxed)))
+      return false;
+    return evaluateSlow();
+  }
+
+  /// \name Policies
+  /// Arming replaces any previous policy and resets the policy's internal
+  /// progress (but not the cumulative hit/fired counters).
+  /// @{
+
+  /// Fail on every hit.
+  void armAlways();
+
+  /// Fail exactly once, after skipping the first \p SkipHits armed hits.
+  void armOnce(uint64_t SkipHits = 0);
+
+  /// Fail on every \p N-th armed hit (the Nth, 2Nth, ...). \p N >= 1.
+  void armEveryNth(uint64_t N);
+
+  /// Fail each armed hit with probability \p Percent/100, drawn from a
+  /// SplitMix64 stream seeded with \p Seed (deterministic per arming).
+  void armProbabilityPercent(uint32_t Percent, uint64_t Seed);
+
+  void disarm();
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+  /// @}
+
+  /// \name Counters
+  /// Hits count shouldFail() evaluations while armed (the disarmed fast
+  /// path does not count); Fired counts hits that returned true.
+  /// @{
+  uint64_t hitCount() const;
+  uint64_t firedCount() const;
+  void resetCounters();
+  /// @}
+
+private:
+  enum class Policy : uint8_t { Disabled, Always, Once, EveryNth, Probability };
+
+  GCA_NOINLINE bool evaluateSlow();
+
+  const char *SiteName;
+  std::atomic<bool> Armed{false};
+
+  mutable std::mutex StateMutex;
+  Policy ActivePolicy = Policy::Disabled;
+  uint64_t SkipRemaining = 0; ///< Once: armed hits left before firing.
+  bool OnceFired = false;     ///< Once: already delivered its failure.
+  uint64_t Interval = 0;      ///< EveryNth: fire when PolicyHits % N == 0.
+  uint64_t PolicyHits = 0;    ///< Hits since the current arming.
+  uint32_t Percent = 0;       ///< Probability: chance per hit.
+  SplitMix64 Rng{0};          ///< Probability: seeded per arming.
+  uint64_t Hits = 0;
+  uint64_t Fired = 0;
+
+  friend void registerFailpoint(Failpoint &FP);
+  friend void unregisterFailpoint(Failpoint &FP);
+  friend Failpoint *findFailpoint(std::string_view Name);
+  friend void forEachFailpoint(const std::function<void(Failpoint &)> &Fn);
+  Failpoint *NextRegistered = nullptr;
+};
+
+/// \name Registry
+/// @{
+
+/// Returns the failpoint registered under \p Name, or null.
+Failpoint *findFailpoint(std::string_view Name);
+
+/// Calls \p Fn for every registered failpoint.
+void forEachFailpoint(const std::function<void(Failpoint &)> &Fn);
+
+/// Disarms every registered failpoint (test teardown).
+void disarmAllFailpoints();
+
+/// Arms failpoints from a spec string:
+///
+///   spec    ::= site '=' policy (',' site '=' policy)*
+///   policy  ::= 'off' | 'always' | 'once' [':' skip]
+///             | 'every' ':' n | 'prob' ':' percent [':' seed]
+///
+/// e.g. "heap.host_alloc=once,heap.block_acquire=prob:25:42". Unknown sites
+/// or malformed policies stop parsing; already-parsed clauses stay armed.
+/// Returns true on full success; on failure *Error (if non-null) describes
+/// the first bad clause.
+bool armFailpointsFromSpec(std::string_view Spec, std::string *Error = nullptr);
+
+/// Arms failpoints from the GCASSERT_FAILPOINTS environment variable.
+/// Returns the number of clauses applied (0 when unset or empty); parse
+/// errors are reported on stderr and do not abort.
+size_t armFailpointsFromEnv();
+/// @}
+
+/// The named sites wired into the runtime. See DESIGN.md §8 for the
+/// catalog of what each site simulates and whether the runtime survives it.
+namespace faults {
+extern Failpoint HeapHostAlloc;     ///< "heap.host_alloc"
+extern Failpoint HeapBlockAcquire;  ///< "heap.block_acquire"
+extern Failpoint SemispaceEvacuate; ///< "semispace.evacuate"
+extern Failpoint SemispaceGuard;    ///< "semispace.guard"
+extern Failpoint GenPromote;        ///< "gen.promote"
+extern Failpoint GenPromoteGuard;   ///< "gen.promote.guard"
+extern Failpoint GcWorkerStart;     ///< "gc.worker.start"
+extern Failpoint SinkWrite;         ///< "sink.write"
+extern Failpoint EngineShed;        ///< "engine.shed"
+} // namespace faults
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_FAULTINJECTION_H

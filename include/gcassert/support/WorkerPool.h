@@ -33,14 +33,22 @@ namespace gcassert {
 class WorkerPool {
 public:
   /// Creates a pool of \p WorkerCount workers (at least 1). WorkerCount - 1
-  /// OS threads are spawned immediately and parked.
+  /// OS threads are spawned immediately and parked. A thread that fails to
+  /// spawn (std::system_error, or the "gc.worker.start" failpoint) shrinks
+  /// the pool instead of aborting: worker indices stay contiguous and
+  /// workerCount() reports the achieved size, so parallel phases degrade to
+  /// fewer workers — in the worst case the caller alone.
   explicit WorkerPool(unsigned WorkerCount);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool &) = delete;
   WorkerPool &operator=(const WorkerPool &) = delete;
 
+  /// Achieved worker count (requested count minus spawn failures, >= 1).
   unsigned workerCount() const { return Workers; }
+
+  /// How many of the requested workers failed to spawn.
+  unsigned spawnFailures() const { return SpawnFailures; }
 
   /// Runs \p Fn(WorkerIndex) on all workers; the calling thread is worker 0.
   /// Returns after every worker finished. Establishes happens-before edges
@@ -52,7 +60,8 @@ public:
 private:
   void threadMain(unsigned Worker);
 
-  const unsigned Workers;
+  unsigned Workers;
+  unsigned SpawnFailures = 0;
   std::vector<std::thread> Threads;
 
   std::mutex Mutex;

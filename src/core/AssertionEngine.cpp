@@ -7,6 +7,7 @@
 #include "gcassert/core/AssertionEngine.h"
 
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Format.h"
 
 #include <algorithm>
@@ -133,7 +134,82 @@ void AssertionEngine::assertAllDead(MutatorThread &Thread) {
 // TraceHooks implementation
 //===----------------------------------------------------------------------===//
 
+void AssertionEngine::setShedConfig(const ShedConfig &Config) {
+  Shed = Config;
+  DegradationLevel Target = occupancyTarget().Level;
+  if (Target > Level)
+    Level = Target;
+}
+
+AssertionEngine::DegradationTarget AssertionEngine::occupancyTarget() const {
+  uint64_t Capacity = TheVm.heap().stats().BytesCapacity;
+  double Occupancy =
+      Capacity == 0 ? 0.0
+                    : static_cast<double>(TheVm.heap().liveBytesAfterLastGc()) /
+                          static_cast<double>(Capacity);
+  if (Occupancy >= Shed.ShedBookkeepingAt)
+    return {DegradationLevel::CoreOnly, Occupancy};
+  if (Occupancy >= Shed.ShedPathsAt)
+    return {DegradationLevel::NoPaths, Occupancy};
+  return {DegradationLevel::Full, Occupancy};
+}
+
+void AssertionEngine::updateDegradationLevel() {
+  auto [Target, Occupancy] = occupancyTarget();
+
+  // Hysteresis: hold the current level until occupancy clears its shed
+  // threshold by RestoreMargin, then step down one level per cycle.
+  if (Target < Level) {
+    double Gate = (Level == DegradationLevel::CoreOnly ? Shed.ShedBookkeepingAt
+                                                       : Shed.ShedPathsAt) -
+                  Shed.RestoreMargin;
+    if (Occupancy >= Gate)
+      Target = Level;
+    else if (static_cast<uint8_t>(Level) - static_cast<uint8_t>(Target) > 1)
+      Target = static_cast<DegradationLevel>(static_cast<uint8_t>(Level) - 1);
+  }
+
+  // Escalations latched from the runtime's emergency cascade outrank the
+  // occupancy signal for a few cycles.
+  if (PressureHoldRemaining > 0) {
+    --PressureHoldRemaining;
+    if (PressureLatch > Target)
+      Target = PressureLatch;
+  } else {
+    PressureLatch = DegradationLevel::Full;
+  }
+
+  // Injected pressure: each "engine.shed" firing pushes one level down.
+  if (faults::EngineShed.shouldFail()) {
+    DegradationLevel Next =
+        Level == DegradationLevel::CoreOnly
+            ? DegradationLevel::CoreOnly
+            : static_cast<DegradationLevel>(static_cast<uint8_t>(Level) + 1);
+    if (Next > Target)
+      Target = Next;
+  }
+
+  Level = Target;
+}
+
+void AssertionEngine::onMemoryPressure(MemoryPressure Pressure) {
+  DegradationLevel Wanted = Pressure == MemoryPressure::Critical
+                                ? DegradationLevel::CoreOnly
+                                : DegradationLevel::NoPaths;
+  if (Wanted > PressureLatch)
+    PressureLatch = Wanted;
+  PressureHoldRemaining = Shed.PressureHoldCycles;
+  // Escalate immediately, not just at the next onGcBegin: the emergency
+  // collection that follows samples allowPathRecording() first.
+  if (Wanted > Level)
+    Level = Wanted;
+}
+
 void AssertionEngine::onGcBegin(uint64_t Cycle) {
+  updateDegradationLevel();
+  if (Level != DegradationLevel::Full)
+    TheVm.collector().noteShedCycle(Level == DegradationLevel::CoreOnly);
+
   CurrentCycle = Cycle;
   ++Counters.GcCycles;
   CurrentOwner = nullptr;
@@ -193,7 +269,8 @@ PreRootAction AssertionEngine::classifyPreRoot(ObjRef Obj) {
       // is left alone, so overlap can hide a missing-path violation for
       // that ownee this cycle (the paper's disjointness restriction) but
       // never fabricates one.
-      if (!InDeferredScan && OverlapReportedThisCycle.insert(Obj).second) {
+      if (!InDeferredScan && Level != DegradationLevel::CoreOnly &&
+          OverlapReportedThisCycle.insert(Obj).second) {
         Violation V;
         V.Kind = AssertionKind::OwnershipOverlap;
         V.Cycle = CurrentCycle;
@@ -315,17 +392,22 @@ void AssertionEngine::onTraceComplete(PostTraceContext &Ctx) {
   // Resolve last cycle's orphaned ownees: their owner died then, and their
   // pair is gone, so this cycle's liveness is genuine (no ownership phase
   // scanned from the dead owner any more).
-  for (ObjRef Orphan : OrphanedOwnees) {
-    ObjRef Current = Ctx.currentAddress(Orphan);
-    if (!Current)
-      continue; // Died with (or shortly after) its owner: fine.
-    Violation V;
-    V.Kind = AssertionKind::OwneeOutlivedOwner;
-    V.Cycle = CurrentCycle;
-    V.ObjectType = TheVm.types().get(Current->typeId()).name();
-    V.Message = "an owned object is still reachable although its owner "
-                "was collected";
-    emit(std::move(V));
+  // The orphan watch is optional bookkeeping: CoreOnly cycles neither
+  // resolve pending orphans nor enqueue new ones (the list is still
+  // cleared — stale entries must not resurface at a later address).
+  if (Level != DegradationLevel::CoreOnly) {
+    for (ObjRef Orphan : OrphanedOwnees) {
+      ObjRef Current = Ctx.currentAddress(Orphan);
+      if (!Current)
+        continue; // Died with (or shortly after) its owner: fine.
+      Violation V;
+      V.Kind = AssertionKind::OwneeOutlivedOwner;
+      V.Cycle = CurrentCycle;
+      V.ObjectType = TheVm.types().get(Current->typeId()).name();
+      V.Message = "an owned object is still reachable although its owner "
+                  "was collected";
+      emit(std::move(V));
+    }
   }
   OrphanedOwnees.clear();
 
@@ -336,7 +418,8 @@ void AssertionEngine::onTraceComplete(PostTraceContext &Ctx) {
       [&](ObjRef Obj) { return Ctx.currentAddress(Obj); },
       [&](ObjRef Owner, ObjRef Ownee) {
         (void)Owner;
-        OrphanedOwnees.push_back(Ownee);
+        if (Level != DegradationLevel::CoreOnly)
+          OrphanedOwnees.push_back(Ownee);
       });
 
   // Prune region logs: entries for objects that died are dropped, and under
@@ -361,7 +444,8 @@ void AssertionEngine::onMinorGcComplete(PostTraceContext &Ctx) {
   // the orphan watch, resolved at the next major collection.
   auto Translate = [&](ObjRef Obj) { return Ctx.currentAddress(Obj); };
   auto Orphan = [&](ObjRef, ObjRef Ownee) {
-    OrphanedOwnees.push_back(Ownee);
+    if (Level != DegradationLevel::CoreOnly)
+      OrphanedOwnees.push_back(Ownee);
   };
   Ownership.translatePending(Translate, Orphan);
   Ownership.pruneAfterGc(Translate, Orphan);
@@ -406,6 +490,11 @@ static bool refersTo(ObjRef SlotValue, ObjRef Target) {
 std::vector<PathStep>
 AssertionEngine::buildPath(const std::vector<ObjRef> &Chain) const {
   std::vector<PathStep> Steps;
+  // Shed levels drop the §2.7 path entirely. The tracer already ran
+  // without recording, so Chain holds at most the leaf object; resolving
+  // even that would report a misleading one-step "path".
+  if (Level != DegradationLevel::Full)
+    return Steps;
   Steps.reserve(Chain.size());
   const TypeRegistry &Types = TheVm.types();
 

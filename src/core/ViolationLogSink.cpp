@@ -6,6 +6,7 @@
 
 #include "gcassert/core/ViolationLogSink.h"
 
+#include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Format.h"
 #include "gcassert/support/OStream.h"
 
@@ -32,4 +33,45 @@ std::string LineLogSink::formatLine(const Violation &V) {
 void LineLogSink::report(const Violation &V) {
   Out << formatLine(V) << '\n';
   Out.flush();
+}
+
+BoundedLogSink::BoundedLogSink(OStream &Out)
+    : BoundedLogSink(Out, Config()) {}
+
+BoundedLogSink::BoundedLogSink(OStream &Out, Config Cfg)
+    : Out(Out), Cfg(Cfg),
+      CrashDump("violation log tail", [this] { dumpTail(errs()); }) {}
+
+void BoundedLogSink::report(const Violation &V) {
+  std::string Line = LineLogSink::formatLine(V);
+
+  // The tail keeps the newest lines even when the stream budget is spent:
+  // crash diagnostics should show what was dropped, not what was lucky.
+  if (Cfg.TailCapacity > 0) {
+    if (Tail.size() == Cfg.TailCapacity)
+      Tail.pop_front();
+    Tail.push_back(Line);
+  }
+
+  if (!BudgetCycleValid || V.Cycle != BudgetCycle) {
+    BudgetCycle = V.Cycle;
+    BudgetCycleValid = true;
+    LinesThisCycle = 0;
+  }
+
+  if (LinesThisCycle >= Cfg.MaxLinesPerCycle ||
+      faults::SinkWrite.shouldFail()) {
+    ++Dropped;
+    return;
+  }
+  ++LinesThisCycle;
+  ++Written;
+  Out << Line << '\n';
+  Out.flush();
+}
+
+void BoundedLogSink::dumpTail(OStream &To) const {
+  To << "violations: written=" << Written << " dropped=" << Dropped << "\n";
+  for (const std::string &Line : Tail)
+    To << Line << '\n';
 }

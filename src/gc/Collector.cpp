@@ -31,7 +31,11 @@ void Collector::setGcConfig(const GcConfig &NewConfig) {
 WorkerPool *Collector::workerPool() {
   if (Config.Threads <= 1)
     return nullptr;
-  if (!Pool)
+  if (!Pool) {
     Pool = std::make_unique<WorkerPool>(Config.Threads);
+    // Spawn failures shrink the pool rather than aborting; surface the
+    // degradation in the stats.
+    Stats.WorkerStartFailures += Pool->spawnFailures();
+  }
   return Pool.get();
 }

@@ -8,6 +8,8 @@
 
 #include "MarkSweepCycle.h"
 
+#include "gcassert/support/FaultInjection.h"
+
 #include <cstring>
 
 using namespace gcassert;
@@ -60,6 +62,7 @@ void GenerationalCollector::evacuateNursery() {
   using Core = TraceCore<MinorSpaceOps, false, false>;
   Core Tracer(MinorSpaceOps{&TheHeap}, TheHeap.types(), nullptr);
 
+  TheHeap.beginMinorCollection();
   Roots.forEachRootSlot([&](ObjRef *Slot) { Tracer.processSlot(Slot); });
   Tracer.drain();
 
@@ -81,6 +84,20 @@ void GenerationalCollector::evacuateNursery() {
 }
 
 void GenerationalCollector::collectMinor() {
+  // Pre-flight promotion guard: a worst-case minor collection promotes
+  // every nursery byte. If the old generation cannot absorb that — or the
+  // "gen.promote.guard" failpoint simulates the prediction — run a major
+  // collection instead of risking a fatal promotion failure mid-evacuation
+  // (collectMajor sweeps the old generation before evacuating).
+  if (TheHeap.oldGenFreeEstimate() < TheHeap.nurseryBytesUsed() ||
+      faults::GenPromoteGuard.shouldFail()) {
+    ++Stats.GuardTrips;
+    if (Hooks)
+      Hooks->onMemoryPressure(MemoryPressure::High);
+    collectMajor();
+    return;
+  }
+
   uint64_t Start = monotonicNanos();
   evacuateNursery();
   uint64_t Elapsed = monotonicNanos() - Start;
@@ -111,8 +128,9 @@ void GenerationalCollector::collectMajor() {
   WorkerPool *Pool = workerPool();
   if (Hooks) {
     // As in MarkSweepCollector: §2.7 path recording forces the sequential
-    // tracer, so RecordPaths major cycles get no pool.
-    if (RecordPaths)
+    // tracer, so RecordPaths major cycles get no pool. The engine's
+    // degradation ladder can veto path recording per cycle.
+    if (RecordPaths && Hooks->allowPathRecording())
       detail::runMarkSweepCycle<true, true>(OldGen, Roots, Hooks, Stats,
                                             nullptr, PruneRemSet);
     else

@@ -125,7 +125,7 @@ void MarkCompactCollector::collect(const char *Cause) {
   uint64_t Start = monotonicNanos();
 
   if (Hooks) {
-    if (RecordPaths)
+    if (RecordPaths && Hooks->allowPathRecording())
       runCycle<true, true>();
     else
       runCycle<true, false>();

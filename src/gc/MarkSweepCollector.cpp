@@ -18,8 +18,9 @@ void MarkSweepCollector::collect(const char *Cause) {
   if (Hooks) {
     // §2.7 path recording needs the tagged-LIFO worklist invariant, which a
     // stealable deque cannot provide: RecordPaths cycles always run the
-    // sequential tracer (see DESIGN.md, "Parallel collection").
-    if (RecordPaths)
+    // sequential tracer (see DESIGN.md, "Parallel collection"). The
+    // engine's degradation ladder can veto path recording per cycle.
+    if (RecordPaths && Hooks->allowPathRecording())
       detail::runMarkSweepCycle<true, true>(TheHeap, Roots, Hooks, Stats,
                                             nullptr);
     else

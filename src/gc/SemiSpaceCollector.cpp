@@ -7,6 +7,8 @@
 #include "gcassert/gc/SemiSpaceCollector.h"
 
 #include "gcassert/gc/TraceCore.h"
+#include "gcassert/support/Compiler.h"
+#include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Timer.h"
 
 using namespace gcassert;
@@ -120,8 +122,20 @@ void SemiSpaceCollector::collect(const char *Cause) {
   (void)Cause;
   uint64_t Start = monotonicNanos();
 
+  // Pre-flight occupancy guard: evacuation copies at most the bytes
+  // allocate() admitted into the current space, which is bounded by one
+  // semispace — so a predicted overflow means the invariant broke (or the
+  // "semispace.guard" failpoint simulates it). Shed the engine's optional
+  // work before anything moves; a real mid-copy overflow is fatal.
+  if (GCA_UNLIKELY(TheHeap.evacuationAtRisk()) ||
+      GCA_UNLIKELY(faults::SemispaceGuard.shouldFail())) {
+    ++Stats.GuardTrips;
+    if (Hooks)
+      Hooks->onMemoryPressure(MemoryPressure::Critical);
+  }
+
   if (Hooks) {
-    if (RecordPaths)
+    if (RecordPaths && Hooks->allowPathRecording())
       runCycle<true, true>();
     else
       runCycle<true, false>();

@@ -27,8 +27,11 @@ CompactHeap::CompactHeap(TypeRegistry &Types, const CompactHeapConfig &Config)
 
 ObjRef CompactHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
-  if (GCA_UNLIKELY(Bump + Size > Storage.get() + CapacityBytes))
+  if (GCA_UNLIKELY(Bump + Size > Storage.get() + CapacityBytes)) {
+    LastAllocFailure = AllocFailureKind::HeapFull;
     return nullptr;
+  }
+  LastAllocFailure = AllocFailureKind::None;
 
   auto *Obj = reinterpret_cast<ObjRef>(Bump);
   Bump += Size;

@@ -8,6 +8,7 @@
 
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/WorkerPool.h"
 
 #include <algorithm>
@@ -93,7 +94,10 @@ FreeListHeap::~FreeListHeap() {
 }
 
 bool FreeListHeap::carveBlock(uint32_t ClassIndex) {
-  if (FreeBlocks.empty())
+  // "heap.block_acquire" simulates the block pool running dry — the same
+  // observable failure as genuine arena exhaustion, so the emergency
+  // cascade above us can be driven deterministically.
+  if (FreeBlocks.empty() || GCA_UNLIKELY(faults::HeapBlockAcquire.shouldFail()))
     return false;
   size_t BlockIndex = FreeBlocks.back();
   FreeBlocks.pop_back();
@@ -137,9 +141,16 @@ ObjRef FreeListHeap::allocateSmall(size_t CellSize, uint32_t ClassIndex) {
 ObjRef FreeListHeap::allocateLarge(size_t Size) {
   if (LargeBytesInUse + Size > LargeBudget)
     return nullptr;
-  void *Storage = std::calloc(1, Size);
-  if (!Storage)
-    reportFatalError("host allocation failed for large object");
+  void *Storage = GCA_UNLIKELY(faults::HeapHostAlloc.shouldFail())
+                      ? nullptr
+                      : std::calloc(1, Size);
+  if (!Storage) {
+    // Not fatal: report the failure kind and let the cascade retry after
+    // collections free large objects (sweepLargeObjects returns their
+    // storage to the host allocator).
+    LastAllocFailure = AllocFailureKind::HostAllocFailed;
+    return nullptr;
+  }
   LargeObjects.push_back({Storage, Size});
   LargeObjectSet.insert(Storage);
   LargeBytesInUse += Size;
@@ -152,6 +163,9 @@ ObjRef FreeListHeap::allocateLarge(size_t Size) {
 ObjRef FreeListHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   size_t Size = Types.allocationSize(Id, ArrayLength);
   ObjRef Obj;
+  // allocateLarge refines this to HostAllocFailed when the host, not the
+  // budget, is what failed.
+  LastAllocFailure = AllocFailureKind::HeapFull;
   if (GCA_LIKELY(Size <= MaxSmallSize)) {
     uint32_t ClassIndex = sizeClasses().classFor(Size);
     Obj = allocateSmall(sizeClasses().CellSizes[ClassIndex], ClassIndex);
@@ -160,6 +174,7 @@ ObjRef FreeListHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   }
   if (GCA_UNLIKELY(!Obj))
     return nullptr;
+  LastAllocFailure = AllocFailureKind::None;
 
   Obj->header().Type = Id;
   Obj->header().Flags = 0;

@@ -7,6 +7,7 @@
 #include "gcassert/heap/GenerationalHeap.h"
 
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
 
 #include <algorithm>
 #include <cstring>
@@ -68,13 +69,20 @@ ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
     if (Pretenured) {
       Stats.BytesAllocated += Size;
       ++Stats.ObjectsAllocated;
+      LastAllocFailure = AllocFailureKind::None;
+    } else {
+      LastAllocFailure = OldGen->lastAllocFailure();
     }
     return Pretenured;
   }
 
   ObjRef Obj = allocateInNursery(Size);
-  if (GCA_UNLIKELY(!Obj))
-    return nullptr; // Nursery full: the VM runs a (minor) collection.
+  if (GCA_UNLIKELY(!Obj)) {
+    // Nursery full: the VM runs a (minor) collection.
+    LastAllocFailure = AllocFailureKind::HeapFull;
+    return nullptr;
+  }
+  LastAllocFailure = AllocFailureKind::None;
 
   Obj->header().Type = Id;
   Obj->header().Flags = 0;
@@ -94,9 +102,15 @@ ObjRef GenerationalHeap::promote(ObjRef Obj) {
 
   const TypeInfo &Type = Types.get(Obj->typeId());
   uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+  // Some nursery objects are already forwarded by the time this one fails,
+  // so there is no graph to fall back to — abort with diagnostics. The
+  // collector's pre-flight guard (gen.promote.guard) exists to route
+  // around this by forcing a major collection first; "gen.promote" injects
+  // the failure the guard is supposed to make unreachable.
   ObjRef To = OldGen->allocate(Obj->typeId(), Length);
-  if (GCA_UNLIKELY(!To))
-    reportFatalError("old generation exhausted during nursery promotion");
+  if (GCA_UNLIKELY(!To) || GCA_UNLIKELY(faults::GenPromote.shouldFail()))
+    reportFatalErrorWithDiagnostics(
+        "old generation exhausted during nursery promotion");
 
   // Copy the payload and carry the assertion bits across generations
   // (assert-dead, assert-unshared, ownership flags all live in the header).
@@ -109,6 +123,7 @@ ObjRef GenerationalHeap::promote(ObjRef Obj) {
 }
 
 void GenerationalHeap::finishMinorCollection() {
+  EvacuationActive = false;
   NurseryBump = Nursery.get();
   RememberedSet.clear();
   Stats.BytesInUse = OldGen->stats().BytesInUse;

@@ -8,6 +8,7 @@
 
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
 
 #include <cstring>
 
@@ -31,8 +32,11 @@ SemiSpaceHeap::SemiSpaceHeap(TypeRegistry &Types,
 
 ObjRef SemiSpaceHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
-  if (GCA_UNLIKELY(Bump + Size > Limit))
+  if (GCA_UNLIKELY(Bump + Size > Limit)) {
+    LastAllocFailure = AllocFailureKind::HeapFull;
     return nullptr;
+  }
+  LastAllocFailure = AllocFailureKind::None;
 
   auto *Obj = reinterpret_cast<ObjRef>(Bump);
   Bump += Size;
@@ -67,8 +71,14 @@ ObjRef SemiSpaceHeap::copyObject(ObjRef From) {
   // first payload word only after the copy).
   size_t Size = objectSize(From);
   uint8_t *ToLimit = spaceBase(1 - CurrentSpace) + HalfBytes;
-  if (CopyBump + Size > ToLimit)
-    reportFatalError("semispace to-space overflow during evacuation");
+  // Once forwarding pointers are installed the from-space graph is gone, so
+  // an overflow here (impossible unless the pre-flight guard's invariant
+  // broke, but injectable via "semispace.evacuate") cannot be recovered —
+  // abort with diagnostics instead of a bare abort.
+  if (GCA_UNLIKELY(CopyBump + Size > ToLimit) ||
+      GCA_UNLIKELY(faults::SemispaceEvacuate.shouldFail()))
+    reportFatalErrorWithDiagnostics(
+        "semispace to-space overflow during evacuation");
 
   auto *To = reinterpret_cast<ObjRef>(CopyBump);
   CopyBump += Size;

@@ -13,12 +13,35 @@
 #include "gcassert/heap/CompactHeap.h"
 #include "gcassert/heap/FreeListHeap.h"
 #include "gcassert/heap/GenerationalHeap.h"
+#include "gcassert/heap/HeapHistogram.h"
 #include "gcassert/heap/SemiSpaceHeap.h"
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/OStream.h"
+
+#include <mutex>
 
 using namespace gcassert;
 
-Vm::Vm(const VmConfig &Config) : Kind(Config.Collector) {
+static const char *collectorKindName(CollectorKind Kind) {
+  switch (Kind) {
+  case CollectorKind::MarkSweep:
+    return "marksweep";
+  case CollectorKind::SemiSpace:
+    return "semispace";
+  case CollectorKind::MarkCompact:
+    return "markcompact";
+  case CollectorKind::Generational:
+    return "generational";
+  }
+  return "unknown";
+}
+
+Vm::Vm(const VmConfig &Config) : Kind(Config.Collector), OnOom(Config.OnOom) {
+  // First VM in the process picks up GCASSERT_FAILPOINTS, so any workload
+  // binary can be fault-injected without code changes.
+  static std::once_flag EnvFailpointsOnce;
+  std::call_once(EnvFailpointsOnce, [] { armFailpointsFromEnv(); });
   switch (Kind) {
   case CollectorKind::MarkSweep: {
     FreeListHeapConfig HeapConfig;
@@ -55,6 +78,7 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector) {
   }
   TheCollector->setGcConfig(Config.Gc);
   Threads.push_back(std::make_unique<MutatorThread>(0, "main"));
+  CrashDump.emplace("vm state", [this] { dumpCrashDiagnostics(); });
 }
 
 Vm::~Vm() = default;
@@ -71,18 +95,103 @@ void Vm::forEachThread(const std::function<void(MutatorThread &)> &Fn) {
 }
 
 ObjRef Vm::allocateSlowPath(TypeId Id, uint64_t ArrayLength) {
+  // Stage 1: the cheapest collection that can help — a generational minor
+  // collection under allocation pressure, a full collection otherwise.
   TheCollector->collect("allocation failure");
   ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
   if (Obj)
     return Obj;
-  // One more chance with an explicit (always full) collection: the first
-  // attempt may have been a generational minor collection that could not
-  // help a full old generation.
-  TheCollector->collect("explicit");
+
+  // Stage 2: emergency full collection. For the generational collector
+  // this forces a major cycle (old-gen sweep + nursery evacuation); for
+  // mark-compact the collection itself defragments. The engine is told
+  // first so it can shed optional work for this cycle.
+  TheCollector->noteEmergencyCollection();
+  notifyMemoryPressure(MemoryPressure::High);
+  TheCollector->collect("emergency");
   Obj = TheHeap->allocate(Id, ArrayLength);
-  if (!Obj)
-    reportFatalError("out of memory: heap exhausted even after collection");
-  return Obj;
+  if (Obj)
+    return Obj;
+
+  return handleAllocationExhausted(Id, ArrayLength);
+}
+
+ObjRef Vm::handleAllocationExhausted(TypeId Id, uint64_t ArrayLength) {
+  // Stage 3: the heap stayed full through the whole cascade. Tell the
+  // engine (it drops to core-checks-only), then apply the OOM policy.
+  notifyMemoryPressure(MemoryPressure::Critical);
+
+  if (OnOom == OomPolicy::RunOomHandlers && !InOomHandlers) {
+    uint64_t Needed = Types.allocationSize(Id, ArrayLength);
+    InOomHandlers = true;
+    // Index-based: a handler may add or remove handlers, and must not be
+    // re-entered if its own work allocates (InOomHandlers guards that).
+    for (size_t I = 0; I < OomHandlers.size(); ++I) {
+      auto Fn = OomHandlers[I].Fn;
+      if (!Fn || !Fn(Needed))
+        continue;
+      TheCollector->noteOomHandlerRun();
+      TheCollector->collect("emergency");
+      if (ObjRef Obj = TheHeap->allocate(Id, ArrayLength)) {
+        InOomHandlers = false;
+        return Obj;
+      }
+    }
+    InOomHandlers = false;
+  }
+
+  if (OnOom != OomPolicy::Abort) {
+    ++OomNullReturns;
+    return nullptr;
+  }
+  reportFatalErrorWithDiagnostics(
+      TheHeap->lastAllocFailure() == AllocFailureKind::HostAllocFailed
+          ? "out of memory: host allocation failed for large object"
+          : "out of memory: heap exhausted even after collection");
+}
+
+Vm::OomHandlerId Vm::addOomHandler(std::function<bool(uint64_t)> Fn) {
+  OomHandlerId Id = NextOomHandlerId++;
+  OomHandlers.push_back({Id, std::move(Fn)});
+  return Id;
+}
+
+void Vm::removeOomHandler(OomHandlerId Id) {
+  for (size_t I = 0; I < OomHandlers.size(); ++I) {
+    if (OomHandlers[I].Id == Id) {
+      OomHandlers.erase(OomHandlers.begin() + static_cast<ptrdiff_t>(I));
+      return;
+    }
+  }
+}
+
+void Vm::notifyMemoryPressure(MemoryPressure Pressure) {
+  if (TraceHooks *H = TheCollector->hooks())
+    H->onMemoryPressure(Pressure);
+}
+
+void Vm::dumpCrashDiagnostics() {
+  OStream &Out = errs();
+  const HeapStats &HS = TheHeap->stats();
+  const GcStats &GS = TheCollector->stats();
+  Out << "collector: " << collectorKindName(Kind)
+      << " threads=" << TheCollector->gcConfig().Threads << "\n";
+  Out << "heap: in-use=" << HS.BytesInUse << " capacity=" << HS.BytesCapacity
+      << " allocated=" << HS.BytesAllocated
+      << " objects=" << HS.ObjectsAllocated
+      << " live-after-gc=" << TheHeap->liveBytesAfterLastGc() << "\n";
+  Out << "gc: cycles=" << GS.Cycles << " minor=" << GS.MinorCycles
+      << " emergency=" << GS.EmergencyCollections
+      << " oom-handler-runs=" << GS.OomHandlerRuns
+      << " guard-trips=" << GS.GuardTrips
+      << " shed-cycles=" << GS.PathShedCycles << "/"
+      << GS.BookkeepingShedCycles
+      << " worker-start-failures=" << GS.WorkerStartFailures << "\n";
+  if (TheHeap->safeToEnumerate()) {
+    printHeapHistogram(Out, takeHeapHistogram(*TheHeap), 10);
+  } else {
+    Out << "heap histogram unavailable (collection in progress)\n";
+  }
 }
 
 void Vm::setAllocationListener(std::function<void(ObjRef)> Listener) {
@@ -105,6 +214,21 @@ GlobalRootId Vm::addGlobalRoot(ObjRef Obj) {
 
 void Vm::removeGlobalRoot(GlobalRootId Id) {
   assert(Id < GlobalRoots.size() && "invalid global root id");
+  if (Id >= GlobalRoots.size())
+    return;
+  // Guard against double removal: a duplicate entry in FreeGlobalSlots
+  // would hand the same slot to two later addGlobalRoot calls, silently
+  // aliasing unrelated roots. Asserts in debug; no-op in release (the
+  // linear scan is fine — the free list is short-lived by design).
+  bool AlreadyFree = false;
+  for (GlobalRootId Free : FreeGlobalSlots)
+    if (Free == Id) {
+      AlreadyFree = true;
+      break;
+    }
+  assert(!AlreadyFree && "global root removed twice");
+  if (AlreadyFree)
+    return;
   GlobalRoots[Id] = nullptr;
   FreeGlobalSlots.push_back(Id);
 }

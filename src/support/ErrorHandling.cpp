@@ -6,8 +6,11 @@
 
 #include "gcassert/support/ErrorHandling.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 using namespace gcassert;
 
@@ -21,5 +24,80 @@ void gcassert::gcaUnreachableInternal(const char *Msg, const char *File,
                                       unsigned Line) {
   std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
   std::fflush(stderr);
+  std::abort();
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-dump providers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CrashDumpProvider {
+  unsigned Id;
+  const char *Label;
+  std::function<void()> Fn;
+};
+
+struct CrashDumpRegistry {
+  std::mutex Mutex;
+  std::vector<CrashDumpProvider> Providers;
+  unsigned NextId = 1;
+};
+
+CrashDumpRegistry &crashDumpRegistry() {
+  static CrashDumpRegistry R;
+  return R;
+}
+
+// Set once a fatal-with-diagnostics report is in flight: a provider that
+// itself dies must not re-enter the provider walk.
+std::atomic<bool> FatalInProgress{false};
+
+} // namespace
+
+unsigned gcassert::registerCrashDumpProvider(const char *Label,
+                                             std::function<void()> Fn) {
+  CrashDumpRegistry &R = crashDumpRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  unsigned Id = R.NextId++;
+  R.Providers.push_back({Id, Label, std::move(Fn)});
+  return Id;
+}
+
+void gcassert::unregisterCrashDumpProvider(unsigned Id) {
+  CrashDumpRegistry &R = crashDumpRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (size_t I = 0; I < R.Providers.size(); ++I) {
+    if (R.Providers[I].Id == Id) {
+      R.Providers.erase(R.Providers.begin() + static_cast<ptrdiff_t>(I));
+      return;
+    }
+  }
+}
+
+void gcassert::reportFatalErrorWithDiagnostics(const char *Msg) {
+  std::fprintf(stderr, "gcassert fatal error: %s\n", Msg);
+  std::fflush(stderr);
+  if (!FatalInProgress.exchange(true)) {
+    std::fprintf(stderr, "-- crash diagnostics --\n");
+    // Walk a snapshot newest-first without holding the lock, so a provider
+    // blocked on the registry mutex cannot deadlock the abort path.
+    std::vector<CrashDumpProvider> Snapshot;
+    {
+      CrashDumpRegistry &R = crashDumpRegistry();
+      std::lock_guard<std::mutex> Lock(R.Mutex);
+      Snapshot = R.Providers;
+    }
+    for (size_t I = Snapshot.size(); I-- > 0;) {
+      std::fprintf(stderr, "-- %s --\n", Snapshot[I].Label);
+      std::fflush(stderr);
+      if (Snapshot[I].Fn)
+        Snapshot[I].Fn();
+      std::fflush(stderr);
+    }
+    std::fprintf(stderr, "-- end crash diagnostics --\n");
+    std::fflush(stderr);
+  }
   std::abort();
 }

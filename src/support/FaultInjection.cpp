@@ -1,0 +1,319 @@
+//===- FaultInjection.cpp - Deterministic failpoints ----------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/FaultInjection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gcassert;
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+// Intrusive singly-linked list. The head is a plain pointer so it is
+// zero-initialized before any dynamic initializer runs; the named sites in
+// this TU register themselves during static initialization, user-defined
+// failpoints (tests) at construction time.
+namespace {
+Failpoint *RegistryHead = nullptr;
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+} // namespace
+
+namespace gcassert {
+
+void registerFailpoint(Failpoint &FP) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  FP.NextRegistered = RegistryHead;
+  RegistryHead = &FP;
+}
+
+void unregisterFailpoint(Failpoint &FP) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  for (Failpoint **Cursor = &RegistryHead; *Cursor;
+       Cursor = &(*Cursor)->NextRegistered) {
+    if (*Cursor == &FP) {
+      *Cursor = FP.NextRegistered;
+      return;
+    }
+  }
+}
+
+} // namespace gcassert
+
+//===----------------------------------------------------------------------===//
+// Failpoint
+//===----------------------------------------------------------------------===//
+
+Failpoint::Failpoint(const char *SiteName) : SiteName(SiteName) {
+  registerFailpoint(*this);
+}
+
+Failpoint::~Failpoint() { unregisterFailpoint(*this); }
+
+bool Failpoint::evaluateSlow() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  if (ActivePolicy == Policy::Disabled)
+    return false; // Raced with disarm().
+  ++Hits;
+  ++PolicyHits;
+  bool Fail = false;
+  switch (ActivePolicy) {
+  case Policy::Disabled:
+    break;
+  case Policy::Always:
+    Fail = true;
+    break;
+  case Policy::Once:
+    if (!OnceFired) {
+      if (SkipRemaining > 0)
+        --SkipRemaining;
+      else {
+        OnceFired = true;
+        Fail = true;
+      }
+    }
+    break;
+  case Policy::EveryNth:
+    Fail = PolicyHits % Interval == 0;
+    break;
+  case Policy::Probability:
+    Fail = Rng.chancePercent(Percent);
+    break;
+  }
+  if (Fail)
+    ++Fired;
+  return Fail;
+}
+
+void Failpoint::armAlways() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ActivePolicy = Policy::Always;
+  PolicyHits = 0;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::armOnce(uint64_t SkipHits) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ActivePolicy = Policy::Once;
+  SkipRemaining = SkipHits;
+  OnceFired = false;
+  PolicyHits = 0;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::armEveryNth(uint64_t N) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ActivePolicy = Policy::EveryNth;
+  Interval = N < 1 ? 1 : N;
+  PolicyHits = 0;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::armProbabilityPercent(uint32_t Percent, uint64_t Seed) {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ActivePolicy = Policy::Probability;
+  this->Percent = Percent > 100 ? 100 : Percent;
+  Rng = SplitMix64(Seed);
+  PolicyHits = 0;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::disarm() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  ActivePolicy = Policy::Disabled;
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t Failpoint::hitCount() const {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  return Hits;
+}
+
+uint64_t Failpoint::firedCount() const {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  return Fired;
+}
+
+void Failpoint::resetCounters() {
+  std::lock_guard<std::mutex> Lock(StateMutex);
+  Hits = 0;
+  Fired = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry queries
+//===----------------------------------------------------------------------===//
+
+Failpoint *gcassert::findFailpoint(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(registryMutex());
+  for (Failpoint *FP = RegistryHead; FP; FP = FP->NextRegistered)
+    if (Name == FP->name())
+      return FP;
+  return nullptr;
+}
+
+void gcassert::forEachFailpoint(const std::function<void(Failpoint &)> &Fn) {
+  // Snapshot under the lock, call outside it so Fn may arm/disarm.
+  Failpoint *Snapshot[64];
+  size_t Count = 0;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    for (Failpoint *FP = RegistryHead; FP && Count < 64;
+         FP = FP->NextRegistered)
+      Snapshot[Count++] = FP;
+  }
+  for (size_t I = 0; I < Count; ++I)
+    Fn(*Snapshot[I]);
+}
+
+void gcassert::disarmAllFailpoints() {
+  forEachFailpoint([](Failpoint &FP) { FP.disarm(); });
+}
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parseUint(std::string_view Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = Value;
+  return true;
+}
+
+bool applyPolicy(Failpoint &FP, std::string_view Policy, std::string *Error) {
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = std::string(Why) + " in policy '" + std::string(Policy) +
+               "' for failpoint '" + FP.name() + "'";
+    return false;
+  };
+
+  std::string_view Head = Policy;
+  std::string_view Arg1, Arg2;
+  if (size_t Colon = Policy.find(':'); Colon != std::string_view::npos) {
+    Head = Policy.substr(0, Colon);
+    Arg1 = Policy.substr(Colon + 1);
+    if (size_t Colon2 = Arg1.find(':'); Colon2 != std::string_view::npos) {
+      Arg2 = Arg1.substr(Colon2 + 1);
+      Arg1 = Arg1.substr(0, Colon2);
+    }
+  }
+
+  if (Head == "off") {
+    FP.disarm();
+    return true;
+  }
+  if (Head == "always") {
+    FP.armAlways();
+    return true;
+  }
+  if (Head == "once") {
+    uint64_t Skip = 0;
+    if (!Arg1.empty() && !parseUint(Arg1, Skip))
+      return Fail("bad skip count");
+    FP.armOnce(Skip);
+    return true;
+  }
+  if (Head == "every") {
+    uint64_t N = 0;
+    if (!parseUint(Arg1, N) || N == 0)
+      return Fail("bad interval");
+    FP.armEveryNth(N);
+    return true;
+  }
+  if (Head == "prob") {
+    uint64_t Percent = 0, Seed = 1;
+    if (!parseUint(Arg1, Percent) || Percent > 100)
+      return Fail("bad percentage");
+    if (!Arg2.empty() && !parseUint(Arg2, Seed))
+      return Fail("bad seed");
+    FP.armProbabilityPercent(static_cast<uint32_t>(Percent), Seed);
+    return true;
+  }
+  return Fail("unknown policy");
+}
+
+} // namespace
+
+bool gcassert::armFailpointsFromSpec(std::string_view Spec,
+                                     std::string *Error) {
+  while (!Spec.empty()) {
+    std::string_view Clause = Spec;
+    if (size_t Comma = Spec.find(','); Comma != std::string_view::npos) {
+      Clause = Spec.substr(0, Comma);
+      Spec = Spec.substr(Comma + 1);
+    } else {
+      Spec = {};
+    }
+    if (Clause.empty())
+      continue;
+    size_t Eq = Clause.find('=');
+    if (Eq == std::string_view::npos) {
+      if (Error)
+        *Error = "missing '=' in clause '" + std::string(Clause) + "'";
+      return false;
+    }
+    std::string_view Site = Clause.substr(0, Eq);
+    Failpoint *FP = findFailpoint(Site);
+    if (!FP) {
+      if (Error)
+        *Error = "unknown failpoint '" + std::string(Site) + "'";
+      return false;
+    }
+    if (!applyPolicy(*FP, Clause.substr(Eq + 1), Error))
+      return false;
+  }
+  return true;
+}
+
+size_t gcassert::armFailpointsFromEnv() {
+  const char *Spec = std::getenv("GCASSERT_FAILPOINTS");
+  if (!Spec || !*Spec)
+    return 0;
+  std::string Error;
+  if (!armFailpointsFromSpec(Spec, &Error)) {
+    std::fprintf(stderr, "gcassert: GCASSERT_FAILPOINTS: %s\n", Error.c_str());
+    return 0;
+  }
+  size_t Clauses = 1;
+  for (const char *C = Spec; *C; ++C)
+    if (*C == ',')
+      ++Clauses;
+  return Clauses;
+}
+
+//===----------------------------------------------------------------------===//
+// Named sites
+//===----------------------------------------------------------------------===//
+
+namespace gcassert {
+namespace faults {
+Failpoint HeapHostAlloc("heap.host_alloc");
+Failpoint HeapBlockAcquire("heap.block_acquire");
+Failpoint SemispaceEvacuate("semispace.evacuate");
+Failpoint SemispaceGuard("semispace.guard");
+Failpoint GenPromote("gen.promote");
+Failpoint GenPromoteGuard("gen.promote.guard");
+Failpoint GcWorkerStart("gc.worker.start");
+Failpoint SinkWrite("sink.write");
+Failpoint EngineShed("engine.shed");
+} // namespace faults
+} // namespace gcassert

@@ -6,15 +6,32 @@
 
 #include "gcassert/support/WorkerPool.h"
 
+#include "gcassert/support/FaultInjection.h"
+
 #include <cassert>
+#include <system_error>
 
 using namespace gcassert;
 
 WorkerPool::WorkerPool(unsigned WorkerCount)
     : Workers(WorkerCount < 1 ? 1 : WorkerCount) {
-  Threads.reserve(Workers - 1);
-  for (unsigned W = 1; W < Workers; ++W)
-    Threads.emplace_back([this, W] { threadMain(W); });
+  unsigned Requested = Workers;
+  Threads.reserve(Requested - 1);
+  for (unsigned W = 1; W < Requested; ++W) {
+    // A failed spawn shrinks the pool; the next spawned thread takes the
+    // skipped index so worker ids stay contiguous in [0, workerCount()).
+    unsigned Index = static_cast<unsigned>(Threads.size()) + 1;
+    if (faults::GcWorkerStart.shouldFail()) {
+      ++SpawnFailures;
+      continue;
+    }
+    try {
+      Threads.emplace_back([this, Index] { threadMain(Index); });
+    } catch (const std::system_error &) {
+      ++SpawnFailures;
+    }
+  }
+  Workers = static_cast<unsigned>(Threads.size()) + 1;
 }
 
 WorkerPool::~WorkerPool() {

@@ -1,0 +1,261 @@
+//===- DegradationTest.cpp - Assertion-engine degradation ladder --------------===//
+//
+// The engine sheds optional work under memory pressure — §2.7 path
+// recording first, then per-assertion bookkeeping — while the paper's core
+// checks stay live at every level. Driven here by the "engine.shed"
+// failpoint, by real occupancy, and verified to keep core violation
+// detection intact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/core/ViolationLogSink.h"
+#include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/OStream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+class DegradationTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+TEST_F(DegradationTest, EngineShedFaultEscalatesOneLevelPerCycle) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::Full);
+  EXPECT_TRUE(Engine.allowPathRecording());
+
+  faults::EngineShed.armAlways();
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::NoPaths);
+  EXPECT_FALSE(Engine.allowPathRecording());
+
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::CoreOnly);
+
+  TheVm.collectNow(); // Saturates at CoreOnly.
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::CoreOnly);
+
+  const GcStats &Stats = TheVm.gcStats();
+  EXPECT_EQ(Stats.PathShedCycles, 3u);
+  EXPECT_EQ(Stats.BookkeepingShedCycles, 2u);
+}
+
+TEST_F(DegradationTest, RecoveryStepsDownOneLevelPerCycle) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+
+  faults::EngineShed.armAlways();
+  TheVm.collectNow();
+  TheVm.collectNow();
+  ASSERT_EQ(Engine.degradationLevel(), DegradationLevel::CoreOnly);
+  faults::EngineShed.disarm();
+
+  // Occupancy is near zero, so each cycle restores exactly one level.
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::NoPaths);
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::Full);
+  EXPECT_TRUE(Engine.allowPathRecording());
+}
+
+TEST_F(DegradationTest, OccupancyShedsPathsAndHysteresisRestores) {
+  VmConfig Config;
+  Config.HeapBytes = 2u << 20;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  ShedConfig Shed;
+  Shed.ShedPathsAt = 0.3;
+  Shed.ShedBookkeepingAt = 0.9;
+  Shed.RestoreMargin = 0.05;
+  Engine.setShedConfig(Shed);
+
+  // Root roughly 60% of capacity in small blobs (small enough for the
+  // free-list heap's segregated small path, not its large-object budget).
+  uint64_t Capacity = TheVm.heap().stats().BytesCapacity;
+  std::vector<GlobalRootId> Roots;
+  for (uint64_t Held = 0; Held < Capacity * 6 / 10; Held += 4096)
+    Roots.push_back(TheVm.addGlobalRoot(TheVm.allocate(T, G.Blob, 4096)));
+
+  // First collection records the live occupancy; the second acts on it.
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::NoPaths);
+  EXPECT_GE(TheVm.gcStats().PathShedCycles, 1u);
+
+  // Drop the ballast: one cycle to observe the new occupancy, one to
+  // clear the hysteresis gate.
+  for (GlobalRootId Id : Roots)
+    TheVm.removeGlobalRoot(Id);
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::Full);
+}
+
+/// The set of (kind, object type) pairs a sink saw for the paper's core
+/// assertion kinds.
+std::set<std::pair<int, std::string>>
+coreKindsSeen(const RecordingViolationSink &Sink) {
+  std::set<std::pair<int, std::string>> Seen;
+  for (const Violation &V : Sink.violations()) {
+    switch (V.Kind) {
+    case AssertionKind::Dead:
+    case AssertionKind::Unshared:
+    case AssertionKind::Instances:
+    case AssertionKind::Volume:
+    case AssertionKind::OwnedBy:
+      Seen.insert({static_cast<int>(V.Kind), V.ObjectType});
+      break;
+    default:
+      break;
+    }
+  }
+  return Seen;
+}
+
+/// Sets up three core violations (dead, unshared, instances) and collects.
+void runCoreViolationWorkload(Vm &TheVm, AssertionEngine &Engine) {
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  Engine.assertDead(Kept.get());
+
+  Local Shared = Scope.handle(newNode(TheVm, T));
+  Local RefA = Scope.handle(newNode(TheVm, T));
+  Local RefB = Scope.handle(newNode(TheVm, T));
+  RefA.get()->setRef(G.FieldA, Shared.get());
+  RefB.get()->setRef(G.FieldA, Shared.get());
+  Engine.assertUnshared(Shared.get());
+
+  Engine.assertInstances(G.Node, 1);
+
+  TheVm.collectNow();
+}
+
+TEST_F(DegradationTest, CoreOnlyCyclesDetectTheSameCoreViolations) {
+  std::set<std::pair<int, std::string>> Baseline;
+  {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Vm TheVm(Config);
+    RecordingViolationSink Sink;
+    AssertionEngine Engine(TheVm, &Sink);
+    runCoreViolationWorkload(TheVm, Engine);
+    ASSERT_EQ(Engine.degradationLevel(), DegradationLevel::Full);
+    Baseline = coreKindsSeen(Sink);
+    ASSERT_EQ(Baseline.size(), 3u);
+    // Full mode records §2.7 paths for path-bearing kinds.
+    bool SawPath = false;
+    for (const Violation &V : Sink.violations())
+      SawPath |= !V.Path.empty();
+    EXPECT_TRUE(SawPath);
+  }
+
+  // Same workload with the engine pinned at CoreOnly from the first cycle.
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  ShedConfig Shed;
+  Shed.ShedPathsAt = 0.0;
+  Shed.ShedBookkeepingAt = 0.0;
+  Engine.setShedConfig(Shed);
+  runCoreViolationWorkload(TheVm, Engine);
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::CoreOnly);
+
+  // Identical core detections; no paths anywhere.
+  EXPECT_EQ(coreKindsSeen(Sink), Baseline);
+  for (const Violation &V : Sink.violations())
+    EXPECT_TRUE(V.Path.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// BoundedLogSink
+//===----------------------------------------------------------------------===//
+
+Violation makeViolation(uint64_t Cycle, const char *Message) {
+  Violation V;
+  V.Kind = AssertionKind::Dead;
+  V.Cycle = Cycle;
+  V.ObjectType = "LNode;";
+  V.Message = Message;
+  return V;
+}
+
+TEST_F(DegradationTest, BoundedSinkCapsLinesPerCycle) {
+  StringOStream Out;
+  BoundedLogSink::Config Cfg;
+  Cfg.MaxLinesPerCycle = 2;
+  Cfg.TailCapacity = 3;
+  BoundedLogSink Sink(Out, Cfg);
+
+  for (int I = 0; I < 5; ++I)
+    Sink.report(makeViolation(1, "cycle one"));
+  EXPECT_EQ(Sink.writtenViolations(), 2u);
+  EXPECT_EQ(Sink.droppedViolations(), 3u);
+  EXPECT_EQ(Sink.tailLines().size(), 3u); // Bounded, keeps the newest.
+
+  // A new cycle resets the line budget.
+  Sink.report(makeViolation(2, "cycle two"));
+  EXPECT_EQ(Sink.writtenViolations(), 3u);
+  EXPECT_NE(Out.str().find("cycle two"), std::string::npos);
+}
+
+TEST_F(DegradationTest, BoundedSinkDropsOnWriteFault) {
+  StringOStream Out;
+  BoundedLogSink Sink(Out);
+
+  faults::SinkWrite.armAlways();
+  Sink.report(makeViolation(1, "lost"));
+  EXPECT_EQ(Sink.writtenViolations(), 0u);
+  EXPECT_EQ(Sink.droppedViolations(), 1u);
+  EXPECT_TRUE(Out.str().empty());
+  // Dropped lines still reach the in-memory tail for crash diagnostics.
+  ASSERT_EQ(Sink.tailLines().size(), 1u);
+
+  faults::SinkWrite.disarm();
+  Sink.report(makeViolation(1, "kept"));
+  EXPECT_EQ(Sink.writtenViolations(), 1u);
+  EXPECT_NE(Out.str().find("kept"), std::string::npos);
+}
+
+TEST_F(DegradationTest, BoundedSinkDumpsTail) {
+  StringOStream Out;
+  BoundedLogSink Sink(Out);
+  Sink.report(makeViolation(1, "first"));
+  Sink.report(makeViolation(1, "second"));
+
+  StringOStream Tail;
+  Sink.dumpTail(Tail);
+  EXPECT_NE(Tail.str().find("written=2"), std::string::npos);
+  EXPECT_NE(Tail.str().find("first"), std::string::npos);
+  EXPECT_NE(Tail.str().find("second"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- FaultInjectionTest.cpp - Failpoint policy & registry unit tests --------===//
+
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace gcassert;
+
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedNeverFiresAndCountsNothing) {
+  Failpoint FP("test.disarmed");
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(FP.shouldFail());
+  EXPECT_EQ(FP.hitCount(), 0u);
+  EXPECT_EQ(FP.firedCount(), 0u);
+  EXPECT_FALSE(FP.armed());
+}
+
+TEST_F(FaultInjectionTest, AlwaysFiresEveryHit) {
+  Failpoint FP("test.always");
+  FP.armAlways();
+  EXPECT_TRUE(FP.armed());
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(FP.shouldFail());
+  EXPECT_EQ(FP.hitCount(), 10u);
+  EXPECT_EQ(FP.firedCount(), 10u);
+  FP.disarm();
+  EXPECT_FALSE(FP.shouldFail());
+  EXPECT_EQ(FP.hitCount(), 10u); // Disarmed fast path does not count.
+}
+
+TEST_F(FaultInjectionTest, OnceFiresExactlyOnce) {
+  Failpoint FP("test.once");
+  FP.armOnce();
+  EXPECT_TRUE(FP.shouldFail());
+  for (int I = 0; I < 20; ++I)
+    EXPECT_FALSE(FP.shouldFail());
+  EXPECT_EQ(FP.firedCount(), 1u);
+}
+
+TEST_F(FaultInjectionTest, OnceSkipsRequestedHits) {
+  Failpoint FP("test.once.skip");
+  FP.armOnce(/*SkipHits=*/2);
+  EXPECT_FALSE(FP.shouldFail());
+  EXPECT_FALSE(FP.shouldFail());
+  EXPECT_TRUE(FP.shouldFail());
+  EXPECT_FALSE(FP.shouldFail());
+  EXPECT_EQ(FP.firedCount(), 1u);
+  // Re-arming resets the policy's progress.
+  FP.armOnce(/*SkipHits=*/1);
+  EXPECT_FALSE(FP.shouldFail());
+  EXPECT_TRUE(FP.shouldFail());
+  EXPECT_EQ(FP.firedCount(), 2u);
+}
+
+TEST_F(FaultInjectionTest, EveryNthFiresOnMultiples) {
+  Failpoint FP("test.every");
+  FP.armEveryNth(3);
+  std::vector<bool> Outcomes;
+  for (int I = 0; I < 9; ++I)
+    Outcomes.push_back(FP.shouldFail());
+  std::vector<bool> Expected = {false, false, true,  false, false,
+                                true,  false, false, true};
+  EXPECT_EQ(Outcomes, Expected);
+  EXPECT_EQ(FP.firedCount(), 3u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  Failpoint FP("test.prob");
+  FP.armProbabilityPercent(50, /*Seed=*/1234);
+  std::vector<bool> First;
+  for (int I = 0; I < 64; ++I)
+    First.push_back(FP.shouldFail());
+
+  FP.armProbabilityPercent(50, /*Seed=*/1234);
+  std::vector<bool> Second;
+  for (int I = 0; I < 64; ++I)
+    Second.push_back(FP.shouldFail());
+
+  EXPECT_EQ(First, Second);
+  // With p = 0.5 over 64 draws, both outcomes must occur.
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 0);
+  EXPECT_NE(std::count(First.begin(), First.end(), true), 64);
+
+  // A different seed produces a different stream.
+  FP.armProbabilityPercent(50, /*Seed=*/99);
+  std::vector<bool> Third;
+  for (int I = 0; I < 64; ++I)
+    Third.push_back(FP.shouldFail());
+  EXPECT_NE(First, Third);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremes) {
+  Failpoint FP("test.prob.extreme");
+  FP.armProbabilityPercent(100, 7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_TRUE(FP.shouldFail());
+  FP.armProbabilityPercent(0, 7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_FALSE(FP.shouldFail());
+}
+
+TEST_F(FaultInjectionTest, RegistryFindsLiveSitesOnly) {
+  EXPECT_EQ(findFailpoint("test.scoped"), nullptr);
+  {
+    Failpoint FP("test.scoped");
+    EXPECT_EQ(findFailpoint("test.scoped"), &FP);
+  }
+  EXPECT_EQ(findFailpoint("test.scoped"), nullptr);
+}
+
+TEST_F(FaultInjectionTest, RuntimeSitesAreRegistered) {
+  EXPECT_EQ(findFailpoint("heap.host_alloc"), &faults::HeapHostAlloc);
+  EXPECT_EQ(findFailpoint("heap.block_acquire"), &faults::HeapBlockAcquire);
+  EXPECT_EQ(findFailpoint("semispace.evacuate"), &faults::SemispaceEvacuate);
+  EXPECT_EQ(findFailpoint("semispace.guard"), &faults::SemispaceGuard);
+  EXPECT_EQ(findFailpoint("gen.promote"), &faults::GenPromote);
+  EXPECT_EQ(findFailpoint("gen.promote.guard"), &faults::GenPromoteGuard);
+  EXPECT_EQ(findFailpoint("gc.worker.start"), &faults::GcWorkerStart);
+  EXPECT_EQ(findFailpoint("sink.write"), &faults::SinkWrite);
+  EXPECT_EQ(findFailpoint("engine.shed"), &faults::EngineShed);
+}
+
+TEST_F(FaultInjectionTest, DisarmAllDisarmsEverything) {
+  Failpoint A("test.a"), B("test.b");
+  A.armAlways();
+  B.armEveryNth(2);
+  disarmAllFailpoints();
+  EXPECT_FALSE(A.armed());
+  EXPECT_FALSE(B.armed());
+}
+
+TEST_F(FaultInjectionTest, SpecArmsMultipleSites) {
+  Failpoint A("test.spec.a"), B("test.spec.b"), C("test.spec.c");
+  std::string Error;
+  ASSERT_TRUE(armFailpointsFromSpec(
+      "test.spec.a=always,test.spec.b=every:2,test.spec.c=once:1", &Error))
+      << Error;
+  EXPECT_TRUE(A.armed());
+  EXPECT_TRUE(B.armed());
+  EXPECT_TRUE(C.armed());
+  EXPECT_TRUE(A.shouldFail());
+  EXPECT_FALSE(B.shouldFail());
+  EXPECT_TRUE(B.shouldFail());
+  EXPECT_FALSE(C.shouldFail());
+  EXPECT_TRUE(C.shouldFail());
+}
+
+TEST_F(FaultInjectionTest, SpecProbabilityWithSeedIsDeterministic) {
+  Failpoint FP("test.spec.prob");
+  ASSERT_TRUE(armFailpointsFromSpec("test.spec.prob=prob:50:42"));
+  std::vector<bool> First;
+  for (int I = 0; I < 32; ++I)
+    First.push_back(FP.shouldFail());
+  ASSERT_TRUE(armFailpointsFromSpec("test.spec.prob=prob:50:42"));
+  std::vector<bool> Second;
+  for (int I = 0; I < 32; ++I)
+    Second.push_back(FP.shouldFail());
+  EXPECT_EQ(First, Second);
+}
+
+TEST_F(FaultInjectionTest, SpecOffDisarms) {
+  Failpoint FP("test.spec.off");
+  FP.armAlways();
+  ASSERT_TRUE(armFailpointsFromSpec("test.spec.off=off"));
+  EXPECT_FALSE(FP.armed());
+}
+
+TEST_F(FaultInjectionTest, SpecRejectsUnknownSite) {
+  std::string Error;
+  EXPECT_FALSE(armFailpointsFromSpec("no.such.site=always", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST_F(FaultInjectionTest, SpecRejectsMalformedClauses) {
+  Failpoint FP("test.spec.bad");
+  std::string Error;
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.bad", &Error));
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.bad=", &Error));
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.bad=nope", &Error));
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.bad=every", &Error));
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.bad=every:x", &Error));
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.bad=prob", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST_F(FaultInjectionTest, SpecEarlierClausesSurviveLaterError) {
+  Failpoint A("test.spec.first");
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.first=always,bogus=always"));
+  EXPECT_TRUE(A.armed());
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+//===- FaultStressTest.cpp - Fault-driven stress across all collectors --------===//
+//
+// Storms: deterministic fault injection plus a tight heap, across every
+// collector family and GC thread count. The runtime must shed load (null
+// returns under OomPolicy::ReturnNull) but never abort, keep detecting
+// core assertion violations, and recover fully once the faults clear.
+// The genuinely unrecoverable mid-copy paths stay fatal and are pinned by
+// death tests, including their crash diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+struct StormParam {
+  CollectorKind Kind;
+  unsigned GcThreads;
+};
+
+std::string stormName(const ::testing::TestParamInfo<StormParam> &Info) {
+  return std::string(collectorName(Info.param.Kind)) + "_T" +
+         std::to_string(Info.param.GcThreads);
+}
+
+/// Arms the fault set for \p Kind. The free-list families get allocation
+/// failures injected directly; promotion stays un-faulted (a failed
+/// promotion is unrecoverable by design, covered by the death tests and
+/// routed around by the pre-flight guard). The copying families exercise
+/// their guard sites and natural bump-space exhaustion.
+void armStormFaults(CollectorKind Kind) {
+  switch (Kind) {
+  case CollectorKind::MarkSweep:
+    faults::HeapBlockAcquire.armProbabilityPercent(20, /*Seed=*/2024);
+    faults::HeapHostAlloc.armProbabilityPercent(50, /*Seed=*/4048);
+    break;
+  case CollectorKind::Generational:
+    faults::HeapHostAlloc.armProbabilityPercent(50, /*Seed=*/4048);
+    break;
+  case CollectorKind::SemiSpace:
+    faults::SemispaceGuard.armEveryNth(3);
+    break;
+  case CollectorKind::MarkCompact:
+    break; // Natural exhaustion only.
+  }
+}
+
+class FaultStormTest : public ::testing::TestWithParam<StormParam> {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+TEST_P(FaultStormTest, SurvivesAllocationFailureStorm) {
+  VmConfig Config;
+  Config.HeapBytes = 2u << 20;
+  Config.Collector = GetParam().Kind;
+  Config.Gc.Threads = GetParam().GcThreads;
+  Config.OnOom = OomPolicy::ReturnNull;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  // A core violation planted before the storm: it must keep firing no
+  // matter how degraded the engine gets.
+  GlobalRootId KeptRoot = TheVm.addGlobalRoot(newNode(TheVm, T));
+  Engine.assertDead(TheVm.globalRoot(KeptRoot));
+
+  armStormFaults(GetParam().Kind);
+
+  // Churn: a rotating live window of blobs plus transient nodes. Under
+  // injected faults and a tight heap many of these allocations fail; every
+  // failure must surface as a null, never an abort.
+  std::vector<GlobalRootId> Window;
+  uint64_t Nulls = 0, Survived = 0;
+  for (int I = 0; I < 400; ++I) {
+    uint64_t Size = (I % 3 == 0) ? (96u << 10) : 4096;
+    ObjRef Blob = TheVm.allocate(T, G.Blob, Size);
+    if (!Blob) {
+      ++Nulls;
+      continue;
+    }
+    ++Survived;
+    if (I % 4 == 0) {
+      Window.push_back(TheVm.addGlobalRoot(Blob));
+      if (Window.size() > 8) {
+        TheVm.removeGlobalRoot(Window.front());
+        Window.erase(Window.begin());
+      }
+    }
+  }
+
+  // The storm was survivable: the process is alive, some allocations
+  // succeeded, and the planted violation kept being detected.
+  EXPECT_GT(Survived, 0u);
+  EXPECT_EQ(TheVm.oomNullReturns(), Nulls);
+  EXPECT_GT(Sink.countOf(AssertionKind::Dead), 0u);
+  if (GetParam().Kind == CollectorKind::SemiSpace)
+    EXPECT_GT(TheVm.gcStats().GuardTrips, 0u);
+
+  // Faults cleared: the runtime recovers completely.
+  disarmAllFailpoints();
+  for (GlobalRootId Id : Window)
+    TheVm.removeGlobalRoot(Id);
+  TheVm.removeGlobalRoot(KeptRoot);
+  TheVm.collectNow();
+  ObjRef After = TheVm.allocate(T, G.Blob, 96u << 10);
+  EXPECT_NE(After, nullptr);
+  EXPECT_EQ(TheVm.oomNullReturns(), Nulls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectorsAllThreadCounts, FaultStormTest,
+    ::testing::Values(StormParam{CollectorKind::MarkSweep, 1},
+                      StormParam{CollectorKind::MarkSweep, 2},
+                      StormParam{CollectorKind::MarkSweep, 4},
+                      StormParam{CollectorKind::SemiSpace, 1},
+                      StormParam{CollectorKind::SemiSpace, 2},
+                      StormParam{CollectorKind::SemiSpace, 4},
+                      StormParam{CollectorKind::MarkCompact, 1},
+                      StormParam{CollectorKind::MarkCompact, 2},
+                      StormParam{CollectorKind::MarkCompact, 4},
+                      StormParam{CollectorKind::Generational, 1},
+                      StormParam{CollectorKind::Generational, 2},
+                      StormParam{CollectorKind::Generational, 4}),
+    stormName);
+
+//===----------------------------------------------------------------------===//
+// Worker spawn failures
+//===----------------------------------------------------------------------===//
+
+class WorkerStartFaultTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+TEST_F(WorkerStartFaultTest, CollectionDegradesToFewerWorkers) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.Gc.Threads = 4;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+
+  // Build a graph: 50 rooted nodes each keeping one child, plus garbage.
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  for (int I = 0; I < 50; ++I) {
+    ObjRef Parent = newNode(TheVm, T, I);
+    Parent->setRef(G.FieldA, newNode(TheVm, T, 1000 + I));
+    TheVm.addGlobalRoot(Parent);
+    newNode(TheVm, T, -I); // Garbage.
+  }
+
+  // Every worker spawn fails: the pool degrades to the calling thread
+  // alone, and the collection must still be exact.
+  faults::GcWorkerStart.armAlways();
+  TheVm.collectNow();
+
+  EXPECT_EQ(TheVm.gcStats().WorkerStartFailures, 3u);
+  EXPECT_EQ(heapObjectCount(TheVm), 100u); // 50 parents + 50 children.
+}
+
+//===----------------------------------------------------------------------===//
+// Unrecoverable paths stay fatal — with diagnostics
+//===----------------------------------------------------------------------===//
+
+using FaultDeathTest = WorkerStartFaultTest;
+
+TEST_F(FaultDeathTest, SemispaceEvacuationFailureAbortsWithDiagnostics) {
+  VmConfig Config;
+  Config.HeapBytes = 2u << 20;
+  Config.Collector = CollectorKind::SemiSpace;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  TheVm.addGlobalRoot(newNode(TheVm, T));
+
+  // Arm inside the death statement so only the forked child sees it.
+  EXPECT_DEATH(
+      {
+        faults::SemispaceEvacuate.armAlways();
+        TheVm.collectNow();
+      },
+      "to-space overflow during evacuation");
+  EXPECT_DEATH(
+      {
+        faults::SemispaceEvacuate.armAlways();
+        TheVm.collectNow();
+      },
+      "crash diagnostics");
+}
+
+TEST_F(FaultDeathTest, PromotionFailureAbortsWithDiagnostics) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::Generational;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  TheVm.addGlobalRoot(newNode(TheVm, T));
+
+  EXPECT_DEATH(
+      {
+        faults::GenPromote.armAlways();
+        TheVm.collector().collect("allocation failure");
+      },
+      "old generation exhausted during nursery promotion");
+}
+
+TEST_F(FaultDeathTest, AbortPolicyDumpsHeapHistogram) {
+  VmConfig Config;
+  Config.HeapBytes = 1u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  Vm TheVm(Config); // Default OomPolicy::Abort.
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  EXPECT_DEATH(
+      {
+        for (int I = 0; I < 64; ++I)
+          TheVm.addGlobalRoot(TheVm.allocate(T, G.Blob, 96u << 10));
+      },
+      "out of memory");
+  // The diagnostics include the collector/heap/gc state lines.
+  EXPECT_DEATH(
+      {
+        for (int I = 0; I < 64; ++I)
+          TheVm.addGlobalRoot(TheVm.allocate(T, G.Blob, 96u << 10));
+      },
+      "collector: marksweep");
+}
+
+} // namespace

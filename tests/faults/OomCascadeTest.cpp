@@ -1,0 +1,265 @@
+//===- OomCascadeTest.cpp - Recoverable allocation-failure cascade ------------===//
+//
+// Exercises Vm::allocate's emergency cascade: collection → emergency full
+// collection → OOM handlers → OomPolicy, across all four collector
+// families, plus the pre-flight copy-reserve guards that route around the
+// formerly-fatal mid-copy failure paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+/// Blob size chosen to stress every family's slowest allocation path: it is
+/// pretenured by the generational heap (> nursery/4) and takes the
+/// large-object path in the free-list heap (> block size).
+constexpr uint64_t BlobBytes = 96u << 10;
+
+class OomCascadeTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+
+  VmConfig makeConfig(OomPolicy Policy) {
+    VmConfig Config;
+    Config.HeapBytes = 1u << 20;
+    Config.Collector = GetParam();
+    Config.OnOom = Policy;
+    return Config;
+  }
+};
+
+TEST_P(OomCascadeTest, ReturnNullWhenExhaustedThenRecovers) {
+  Vm TheVm(makeConfig(OomPolicy::ReturnNull));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  // Fill the heap with rooted blobs until the cascade gives up.
+  std::vector<GlobalRootId> Roots;
+  ObjRef Blob = nullptr;
+  for (int I = 0; I < 64; ++I) {
+    Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+    if (!Blob)
+      break;
+    Roots.push_back(TheVm.addGlobalRoot(Blob));
+  }
+  ASSERT_EQ(Blob, nullptr) << "heap never filled";
+  // The generational heap fits a single pretenured blob in its large-object
+  // budget; every family must land at least one before exhaustion.
+  EXPECT_GE(Roots.size(), 1u);
+  EXPECT_GE(TheVm.oomNullReturns(), 1u);
+  // The cascade ran its emergency stage before giving up.
+  EXPECT_GE(TheVm.gcStats().EmergencyCollections, 1u);
+
+  // Releasing memory makes allocation work again — the failure was a
+  // result, not a poisoned state.
+  for (GlobalRootId Id : Roots)
+    TheVm.removeGlobalRoot(Id);
+  ObjRef After = TheVm.allocate(T, G.Blob, BlobBytes);
+  EXPECT_NE(After, nullptr);
+}
+
+TEST_P(OomCascadeTest, OomHandlerReleasesMemoryAndAllocationSucceeds) {
+  Vm TheVm(makeConfig(OomPolicy::RunOomHandlers));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  std::vector<GlobalRootId> Roots;
+  ObjRef Blob = nullptr;
+  for (int I = 0; I < 64; ++I) {
+    Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+    if (!Blob)
+      break;
+    Roots.push_back(TheVm.addGlobalRoot(Blob));
+  }
+  ASSERT_EQ(Blob, nullptr);
+  ASSERT_GE(Roots.size(), 1u);
+
+  // An application-level load shedder: drop the oldest rooted blob.
+  TheVm.addOomHandler([&](uint64_t) {
+    if (Roots.empty())
+      return false;
+    TheVm.removeGlobalRoot(Roots.front());
+    Roots.erase(Roots.begin());
+    return true;
+  });
+
+  uint64_t NullsBefore = TheVm.oomNullReturns();
+  ObjRef Rescued = TheVm.allocate(T, G.Blob, BlobBytes);
+  EXPECT_NE(Rescued, nullptr);
+  EXPECT_GE(TheVm.gcStats().OomHandlerRuns, 1u);
+  EXPECT_EQ(TheVm.oomNullReturns(), NullsBefore);
+}
+
+TEST_P(OomCascadeTest, UnhelpfulOomHandlerFallsBackToNull) {
+  Vm TheVm(makeConfig(OomPolicy::RunOomHandlers));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  uint64_t HandlerCalls = 0;
+  uint64_t LastNeeded = 0;
+  TheVm.addOomHandler([&](uint64_t Needed) {
+    ++HandlerCalls;
+    LastNeeded = Needed;
+    return false; // Nothing to shed.
+  });
+
+  std::vector<GlobalRootId> Roots;
+  ObjRef Blob = nullptr;
+  for (int I = 0; I < 64; ++I) {
+    Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+    if (!Blob)
+      break;
+    Roots.push_back(TheVm.addGlobalRoot(Blob));
+  }
+  ASSERT_EQ(Blob, nullptr);
+  EXPECT_GE(HandlerCalls, 1u);
+  EXPECT_GE(LastNeeded, BlobBytes);
+  EXPECT_EQ(TheVm.gcStats().OomHandlerRuns, 0u); // Returned false: no run.
+  EXPECT_GE(TheVm.oomNullReturns(), 1u);
+}
+
+TEST_P(OomCascadeTest, RemovedOomHandlerDoesNotRun) {
+  Vm TheVm(makeConfig(OomPolicy::RunOomHandlers));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  bool Ran = false;
+  Vm::OomHandlerId Id = TheVm.addOomHandler([&](uint64_t) {
+    Ran = true;
+    return false;
+  });
+  TheVm.removeOomHandler(Id);
+
+  std::vector<GlobalRootId> Roots;
+  for (int I = 0; I < 64; ++I) {
+    ObjRef Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+    if (!Blob)
+      break;
+    Roots.push_back(TheVm.addGlobalRoot(Blob));
+  }
+  EXPECT_FALSE(Ran);
+  EXPECT_GE(TheVm.oomNullReturns(), 1u);
+}
+
+TEST_P(OomCascadeTest, ExhaustionDegradesAttachedEngineToCoreOnly) {
+  Vm TheVm(makeConfig(OomPolicy::ReturnNull));
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  std::vector<GlobalRootId> Roots;
+  for (int I = 0; I < 64; ++I) {
+    ObjRef Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+    if (!Blob)
+      break;
+    Roots.push_back(TheVm.addGlobalRoot(Blob));
+  }
+  ASSERT_GE(TheVm.oomNullReturns(), 1u);
+  // The Critical pressure notification dropped the ladder all the way.
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::CoreOnly);
+  EXPECT_FALSE(Engine.allowPathRecording());
+  EXPECT_GE(TheVm.gcStats().PathShedCycles +
+                TheVm.gcStats().BookkeepingShedCycles,
+            1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, OomCascadeTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact,
+                                           CollectorKind::Generational),
+                         [](const auto &Info) {
+                           return collectorName(Info.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Pre-flight guards
+//===----------------------------------------------------------------------===//
+
+class GuardTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+TEST_F(GuardTest, GenPromoteGuardConvertsMinorIntoMajor) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::Generational;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+  (void)Kept;
+
+  // A fresh heap would normally take the minor fast path for allocation
+  // pressure; the armed guard predicts a promotion failure and routes the
+  // cycle into a major collection instead of risking a mid-copy abort.
+  faults::GenPromoteGuard.armOnce();
+  TheVm.collector().collect("allocation failure");
+
+  const GcStats &Stats = TheVm.gcStats();
+  EXPECT_EQ(Stats.GuardTrips, 1u);
+  EXPECT_EQ(Stats.MinorCycles, 0u);
+  EXPECT_EQ(Stats.Cycles, 1u);
+
+  // With the guard disarmed the fast path is back.
+  TheVm.collector().collect("allocation failure");
+  EXPECT_EQ(TheVm.gcStats().MinorCycles, 1u);
+}
+
+TEST_F(GuardTest, SemispaceGuardTripsAndShedsEngine) {
+  VmConfig Config;
+  Config.HeapBytes = 4u << 20;
+  Config.Collector = CollectorKind::SemiSpace;
+  Vm TheVm(Config);
+  RecordingViolationSink Sink;
+  AssertionEngine Engine(TheVm, &Sink);
+  MutatorThread &T = TheVm.mainThread();
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T));
+
+  faults::SemispaceGuard.armOnce();
+  TheVm.collectNow();
+
+  EXPECT_EQ(TheVm.gcStats().GuardTrips, 1u);
+  // Critical pressure: the engine shed everything optional, but the
+  // collection itself completed and the object survived.
+  EXPECT_EQ(Engine.degradationLevel(), DegradationLevel::CoreOnly);
+  EXPECT_NE(Kept.get(), nullptr);
+  EXPECT_EQ(heapObjectCount(TheVm), 1u);
+}
+
+TEST_F(GuardTest, LargeObjectHostAllocFailureIsRecoverable) {
+  // The satellite fix: a failed host allocation for a large object used to
+  // call reportFatalError; now it surfaces as an allocation failure that
+  // the cascade (and OomPolicy) handles like heap exhaustion.
+  VmConfig Config;
+  Config.HeapBytes = 4u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.OnOom = OomPolicy::ReturnNull;
+  Vm TheVm(Config);
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &T = TheVm.mainThread();
+
+  faults::HeapHostAlloc.armAlways();
+  ObjRef Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+  EXPECT_EQ(Blob, nullptr);
+  EXPECT_GE(TheVm.oomNullReturns(), 1u);
+
+  faults::HeapHostAlloc.disarm();
+  Blob = TheVm.allocate(T, G.Blob, BlobBytes);
+  EXPECT_NE(Blob, nullptr);
+}
+
+} // namespace

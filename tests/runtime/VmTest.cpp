@@ -47,6 +47,35 @@ TEST(VmTest, GlobalRootSlotReuse) {
   EXPECT_NE(TheVm.globalRoot(B), nullptr);
 }
 
+TEST(VmTest, DoubleRemoveGlobalRootDoesNotDuplicateFreeSlot) {
+  // Regression: removing the same root twice used to push its slot onto
+  // the free list twice, handing the slot to two later addGlobalRoot
+  // calls — two live roots silently aliased. Release builds treat the
+  // second removal as a no-op (debug builds assert).
+#ifdef NDEBUG
+  Vm TheVm(smallVm());
+  MutatorThread &T = TheVm.mainThread();
+  GlobalRootId A = TheVm.addGlobalRoot(newNode(TheVm, T, 1));
+  TheVm.removeGlobalRoot(A);
+  TheVm.removeGlobalRoot(A);
+
+  GlobalRootId B = TheVm.addGlobalRoot(newNode(TheVm, T, 2));
+  GlobalRootId C = TheVm.addGlobalRoot(newNode(TheVm, T, 3));
+  EXPECT_NE(B, C) << "duplicate free-list entry aliased two roots";
+  EXPECT_NE(TheVm.globalRoot(B), TheVm.globalRoot(C));
+#else
+  EXPECT_DEATH(
+      {
+        Vm TheVm(smallVm());
+        MutatorThread &T = TheVm.mainThread();
+        GlobalRootId A = TheVm.addGlobalRoot(newNode(TheVm, T, 1));
+        TheVm.removeGlobalRoot(A);
+        TheVm.removeGlobalRoot(A);
+      },
+      "removed twice");
+#endif
+}
+
 TEST(VmTest, SetGlobalRoot) {
   Vm TheVm(smallVm());
   MutatorThread &T = TheVm.mainThread();
