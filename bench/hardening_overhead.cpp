@@ -1,0 +1,108 @@
+//===- hardening_overhead.cpp - Cost of the hardened heap mode ----------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// ABL-HARD (DESIGN.md §9): run-time cost of the hardened heap mode across
+// the four collector families, Off vs Check vs Full. Check adds one
+// classify-edge call per traced edge plus a header stamp per allocation;
+// Full adds pointer plausibility before every header read and a structural
+// audit per cycle. The acceptance bar tracks the paper's ~3% infrastructure
+// overhead (§3.1.2): Check should stay in that neighborhood; Full is the
+// belt-and-suspenders diagnosis mode and may cost more.
+//
+// Usage: hardening_overhead [--trials=N]   (default 10)
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+struct FamilyRow {
+  CollectorKind Collector;
+  const char *Name;
+};
+
+constexpr FamilyRow Families[] = {
+    {CollectorKind::MarkSweep, "marksweep"},
+    {CollectorKind::SemiSpace, "semispace"},
+    {CollectorKind::MarkCompact, "markcompact"},
+    {CollectorKind::Generational, "generational"},
+};
+
+constexpr HardeningMode Modes[] = {HardeningMode::Off, HardeningMode::Check,
+                                   HardeningMode::Full};
+
+/// A GC-heavy subset of the suite: hardening's cost is per traced edge and
+/// per allocation, so the allocation-bound workloads bound it from above.
+std::vector<std::string> hardeningWorkloads() {
+  return {"compress", "db", "mtrt", "pseudojbb"};
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+  int Trials = trialCount(Argc, Argv, 10);
+
+  outs() << "ABL-HARD: run-time overhead of the hardened heap mode "
+            "(Off -> Check -> Full)\n";
+  outs() << format("trials per cell: %d; GC threads: 1\n\n", Trials);
+  outs() << format("%-14s %-12s %12s %13s %9s %13s %9s\n", "collector",
+                   "benchmark", "off (ms)", "check ovh(%)", "+-90% CI",
+                   "full ovh(%)", "+-90% CI");
+  printRule();
+
+  for (const FamilyRow &Family : Families) {
+    std::vector<double> CheckRatios;
+    std::vector<double> FullRatios;
+    for (const std::string &Workload : hardeningWorkloads()) {
+      // Interleave the three modes per trial (rotating the start) so
+      // machine drift cancels out of the comparison, mirroring
+      // runPairedTrials.
+      ConfigSamples Samples[3];
+      RecordingViolationSink Sink;
+      for (int Trial = 0; Trial != Trials; ++Trial) {
+        for (size_t I = 0; I != 3; ++I) {
+          size_t M = (I + static_cast<size_t>(Trial)) % 3;
+          HarnessOptions Options;
+          Options.Sink = &Sink;
+          Options.Seed = 0x5eed + static_cast<uint64_t>(Trial);
+          Options.Collector = Family.Collector;
+          Options.Hardening = Modes[M];
+          RunResult Result =
+              runWorkload(Workload, BenchConfig::Base, Options);
+          Samples[M].TotalMs.add(Result.TotalMillis);
+          Samples[M].GcMs.add(Result.GcMillis);
+          Samples[M].MutatorMs.add(Result.MutatorMillis);
+        }
+      }
+      ConfigSamples &Off = Samples[0];
+      ConfigSamples &Check = Samples[1];
+      ConfigSamples &Full = Samples[2];
+      outs() << format(
+          "%-14s %-12s %12.2f %13.2f %9.2f %13.2f %9.2f\n", Family.Name,
+          Workload.c_str(), Off.TotalMs.mean(),
+          overheadPercent(Off.TotalMs, Check.TotalMs),
+          ratioConfidence(Off.TotalMs, Check.TotalMs),
+          overheadPercent(Off.TotalMs, Full.TotalMs),
+          ratioConfidence(Off.TotalMs, Full.TotalMs));
+      outs().flush();
+      CheckRatios.push_back(Check.TotalMs.mean() / Off.TotalMs.mean());
+      FullRatios.push_back(Full.TotalMs.mean() / Off.TotalMs.mean());
+    }
+    outs() << format("%-14s %-12s %12s %+12.2f%% %9s %+12.2f%%\n",
+                     Family.Name, "geomean", "",
+                     (geometricMean(CheckRatios) - 1.0) * 100.0, "",
+                     (geometricMean(FullRatios) - 1.0) * 100.0);
+    printRule();
+  }
+  outs() << "bar: Check-mode geomean tracks the paper's ~3% "
+            "infrastructure overhead (paper Fig. 2: +2.75%)\n";
+  return 0;
+}

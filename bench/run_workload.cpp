@@ -9,24 +9,33 @@
 //
 //   run_workload <name|all> [base|infra|assert] [measured-iters]
 //                [marksweep|semispace|markcompact|generational] [gc-threads]
+//                [--hardening=off|check|full] [--verify-heap]
+//
+// The -- flags may appear anywhere; --verify-heap runs a full HeapVerifier
+// pass after every collection and aborts on any defect.
 //
 //===----------------------------------------------------------------------===//
 
+#include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/Format.h"
 #include "gcassert/support/OStream.h"
 #include "gcassert/workloads/Harness.h"
 
 #include <cstring>
+#include <vector>
 
 using namespace gcassert;
 
 static void runOne(const std::string &Name, BenchConfig Config,
                    int Iterations, CollectorKind Collector,
-                   unsigned GcThreads) {
+                   unsigned GcThreads, HardeningMode Hardening,
+                   bool VerifyHeap) {
   HarnessOptions Options;
   Options.MeasuredIterations = Iterations;
   Options.Collector = Collector;
   Options.GcThreads = GcThreads;
+  Options.Hardening = Hardening;
+  Options.VerifyHeapAfterGc = VerifyHeap;
   RecordingViolationSink Sink;
   Options.Sink = &Sink;
 
@@ -65,31 +74,58 @@ static void runOne(const std::string &Name, BenchConfig Config,
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
 
-  std::string Name = Argc > 1 ? Argv[1] : "all";
+  // Pull the position-independent -- flags out first; what remains keeps
+  // the historical positional grammar.
+  HardeningMode Hardening = HardeningMode::Off;
+  bool VerifyHeap = false;
+  std::vector<char *> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--verify-heap")) {
+      VerifyHeap = true;
+    } else if (!std::strncmp(Argv[I], "--hardening=", 12)) {
+      const char *Mode = Argv[I] + 12;
+      if (!std::strcmp(Mode, "off"))
+        Hardening = HardeningMode::Off;
+      else if (!std::strcmp(Mode, "check"))
+        Hardening = HardeningMode::Check;
+      else if (!std::strcmp(Mode, "full"))
+        Hardening = HardeningMode::Full;
+      else
+        reportFatalError("--hardening expects off, check or full");
+    } else {
+      Positional.push_back(Argv[I]);
+    }
+  }
+  size_t N = Positional.size();
+
+  std::string Name = N > 0 ? Positional[0] : "all";
   BenchConfig Config = BenchConfig::Base;
-  if (Argc > 2) {
-    if (!std::strcmp(Argv[2], "infra"))
+  if (N > 1) {
+    if (!std::strcmp(Positional[1], "infra"))
       Config = BenchConfig::Infrastructure;
-    else if (!std::strcmp(Argv[2], "assert"))
+    else if (!std::strcmp(Positional[1], "assert"))
       Config = BenchConfig::WithAssertions;
   }
-  int Iterations = Argc > 3 ? std::atoi(Argv[3]) : 2;
+  int Iterations = N > 2 ? std::atoi(Positional[2]) : 2;
   CollectorKind Collector = CollectorKind::MarkSweep;
-  if (Argc > 4) {
-    if (!std::strcmp(Argv[4], "semispace"))
+  if (N > 3) {
+    if (!std::strcmp(Positional[3], "semispace"))
       Collector = CollectorKind::SemiSpace;
-    else if (!std::strcmp(Argv[4], "markcompact"))
+    else if (!std::strcmp(Positional[3], "markcompact"))
       Collector = CollectorKind::MarkCompact;
-    else if (!std::strcmp(Argv[4], "generational"))
+    else if (!std::strcmp(Positional[3], "generational"))
       Collector = CollectorKind::Generational;
   }
-  unsigned GcThreads = Argc > 5 ? static_cast<unsigned>(std::atoi(Argv[5])) : 1;
+  unsigned GcThreads =
+      N > 4 ? static_cast<unsigned>(std::atoi(Positional[4])) : 1;
 
   if (Name == "all") {
     for (const std::string &WorkloadName : WorkloadRegistry::names())
-      runOne(WorkloadName, Config, Iterations, Collector, GcThreads);
+      runOne(WorkloadName, Config, Iterations, Collector, GcThreads,
+             Hardening, VerifyHeap);
     return 0;
   }
-  runOne(Name, Config, Iterations, Collector, GcThreads);
+  runOne(Name, Config, Iterations, Collector, GcThreads, Hardening,
+         VerifyHeap);
   return 0;
 }

@@ -15,6 +15,7 @@
 #define GCASSERT_GC_COLLECTOR_H
 
 #include "gcassert/gc/TraceHooks.h"
+#include "gcassert/heap/Hardening.h"
 #include "gcassert/heap/Object.h"
 
 #include <cstdint>
@@ -46,6 +47,22 @@ struct GcConfig {
   /// sequentially regardless of this knob (see DESIGN.md, "Parallel
   /// collection"). The copying collectors ignore it.
   unsigned Threads = 1;
+
+  /// Hardened heap mode (DESIGN.md §9). Off: no corruption checking, no
+  /// per-allocation stamping — the pre-hardening allocation and trace
+  /// paths, bit for bit. Check: header checksums, poison-on-free, and
+  /// per-edge validation piggybacked on the trace. Full: Check plus
+  /// pointer-plausibility on every edge and structural audits (free
+  /// lists, remembered set) after every cycle.
+  HardeningMode Hardening = HardeningMode::Off;
+
+  /// What to do when the hardened heap detects corruption: abort with
+  /// diagnostics, quarantine and keep running, or hand each defect to
+  /// OnDefectCallback (which also quarantines).
+  HardeningPolicy OnDefect = HardeningPolicy::Quarantine;
+
+  /// Invoked per defect under HardeningPolicy::Callback.
+  HeapHardening::DefectCallback OnDefectCallback;
 };
 
 /// Cumulative statistics across all collections of one collector.
@@ -92,6 +109,11 @@ struct GcStats {
   /// GC worker threads that failed to spawn; the pool degraded to fewer
   /// workers instead of aborting.
   uint64_t WorkerStartFailures = 0;
+  /// Objects ever quarantined by the hardened heap (cumulative — entries
+  /// whose storage a moving collector later reclaimed still count).
+  uint64_t Quarantined = 0;
+  /// Heap defects the hardened heap has detected (all kinds).
+  uint64_t HeapDefects = 0;
   /// @}
 };
 
@@ -146,7 +168,18 @@ public:
   }
   /// @}
 
+  /// Attaches (or detaches, with null) the hardened-heap subsystem: the
+  /// trace loops validate every edge through it and collect() finishes
+  /// each cycle with finishHardenedCycle().
+  void setHardening(HeapHardening *H) { Hard = H; }
+  HeapHardening *hardening() const { return Hard; }
+
 protected:
+  /// Cycle epilogue under hardening: in Full mode runs the structural
+  /// audits (with repair) over \p TheHeap, routing any defects through the
+  /// hardening policy, then mirrors the hardening counters into stats().
+  void finishHardenedCycle(Heap &TheHeap);
+
   /// The worker pool for parallel phases, or null when Config.Threads <= 1.
   /// Spawned on first use and parked between cycles; re-spawned when the
   /// configured thread count changes.
@@ -154,6 +187,7 @@ protected:
 
   RootProvider &Roots;
   TraceHooks *Hooks = nullptr;
+  HeapHardening *Hard = nullptr;
   bool RecordPaths = true;
   GcConfig Config;
   GcStats Stats;

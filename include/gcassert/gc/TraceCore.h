@@ -25,6 +25,7 @@
 #define GCASSERT_GC_TRACECORE_H
 
 #include "gcassert/gc/TraceHooks.h"
+#include "gcassert/heap/Hardening.h"
 #include "gcassert/heap/TypeRegistry.h"
 #include "gcassert/support/Compiler.h"
 
@@ -50,8 +51,9 @@ struct MarkSpaceOps {
 template <typename SpaceOpsT, bool EnableChecks, bool RecordPaths>
 class TraceCore {
 public:
-  TraceCore(SpaceOpsT Space, TypeRegistry &Types, TraceHooks *Hooks)
-      : Space(Space), Types(Types), Hooks(Hooks) {
+  TraceCore(SpaceOpsT Space, TypeRegistry &Types, TraceHooks *Hooks,
+            HeapHardening *Hard = nullptr)
+      : Space(Space), Types(Types), Hooks(Hooks), Hard(Hard) {
     assert((!EnableChecks || Hooks) && "checks enabled without hooks");
   }
 
@@ -64,7 +66,33 @@ public:
     if (!Obj)
       return;
 
+    // Hardened mode: the paper's insight that the trace already touches
+    // every live edge makes this the one place a full integrity sweep
+    // costs a single predictable branch. Every edge passes the screen
+    // (which in Full mode validates the whole header before isVisited may
+    // read a fake flag word); Check mode defers header validation to the
+    // first encounter below — a damaged object enters the cycle unmarked,
+    // so whichever edge reaches it first detects it, and later edges trip
+    // the quarantine screen. A defective edge is severed so the corruption
+    // cannot propagate through the rest of the cycle.
+    if (GCA_UNLIKELY(Hard != nullptr)) {
+      EdgeVerdict V = Hard->screenEdge(Obj);
+      if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
+        Hard->reportEdgeDefect(V, Obj, capturePath(Obj));
+        *Slot = nullptr;
+        return;
+      }
+    }
+
     if (GCA_LIKELY(!Space.isVisited(Obj))) {
+      if (GCA_UNLIKELY(Hard != nullptr) && !Hard->full()) {
+        EdgeVerdict V = Hard->classifyObjectHeader(Obj);
+        if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
+          Hard->reportEdgeDefect(V, Obj, capturePath(Obj));
+          *Slot = nullptr;
+          return;
+        }
+      }
       if constexpr (EnableChecks) {
         if (!checkFirstEncounter(Obj, Slot))
           return; // Reference was severed.
@@ -207,6 +235,7 @@ private:
   SpaceOpsT Space;
   TypeRegistry &Types;
   TraceHooks *Hooks;
+  HeapHardening *Hard;
   std::vector<uintptr_t> Worklist;
   TracePhase Phase = TracePhase::Roots;
   uint64_t Visited = 0;

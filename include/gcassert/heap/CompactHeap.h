@@ -87,6 +87,12 @@ private:
   size_t CapacityBytes;
   uint8_t *Bump;
   uint64_t LiveBytesAfterGc = 0;
+
+  /// Hardened mode only: per-object allocation sizes in address order, so
+  /// planCompaction / forEachObject can step over a corrupt header instead
+  /// of deriving a garbage stride from it. Rebuilt from the plan at every
+  /// compaction (survivors, in slide order).
+  std::vector<uint32_t> SizeLog;
 };
 
 } // namespace gcassert

@@ -80,6 +80,12 @@ public:
   /// request goes to the large-object space. Exposed for tests.
   static size_t sizeClassCellSize(size_t Bytes);
 
+  /// Audits every per-class free list: cycle bound (block metadata gives
+  /// the true cell capacity per class), in-arena bounds, cell-boundary
+  /// alignment, class membership, and that every entry is actually a free
+  /// cell. With \p Repair, a corrupt list is truncated at the bad link.
+  void auditStructure(std::vector<HeapDefect> &Defects, bool Repair) override;
+
 private:
   struct BlockInfo {
     /// Index into the size-class table; ~0u when the block is uncarved.

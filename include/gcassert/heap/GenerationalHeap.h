@@ -51,11 +51,20 @@ public:
   bool contains(const void *Ptr) const override;
   /// @}
 
-  /// StoreBarrier: records old-to-nursery stores.
-  void recordStore(Object *Holder, Object *Value) override {
-    if (inNursery(Value) && !inNursery(Holder))
-      RememberedSet.insert(Holder);
+  /// StoreBarrier: records old-to-nursery stores. Out of line for the
+  /// "corrupt.remset" failpoint (validation of the remembered-set audit).
+  void recordStore(Object *Holder, Object *Value) override;
+
+  /// Attaches hardening to the nursery bookkeeping and the old generation.
+  void setHardening(HeapHardening *H) override {
+    Heap::setHardening(H);
+    OldGen->setHardening(H);
   }
+
+  /// Audits the remembered set (every entry must be a well-formed old
+  /// generation object) and forwards to the old generation's free-list
+  /// audit. With \p Repair, bad entries are dropped.
+  void auditStructure(std::vector<HeapDefect> &Defects, bool Repair) override;
 
   /// \name Collector interface
   /// @{
@@ -128,6 +137,11 @@ private:
   uint8_t *NurseryBump;
   std::unordered_set<Object *> RememberedSet;
   bool EvacuationActive = false;
+
+  /// Hardened mode only: nursery allocation sizes in address order, so the
+  /// nursery walks (clearNurseryMarks, forEachObject) can step over a
+  /// corrupt header. Cleared when the nursery resets.
+  std::vector<uint32_t> NurserySizeLog;
 };
 
 } // namespace gcassert

@@ -1,0 +1,411 @@
+//===- gcassert/heap/Hardening.h - Hardened heap mode -----------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardened heap mode (DESIGN.md §9): corruption *detection* (header
+/// checksums, poison-on-free, structural audits), trace-piggybacked
+/// *verification* (every edge the collector follows is validated before the
+/// target header is trusted — the paper's piggyback trick applied to
+/// runtime-level integrity), and *containment* (corrupted objects are
+/// quarantined and every reference to them severed, so the VM keeps serving
+/// traffic instead of walking into undefined behavior).
+///
+/// Layering: heaps stamp and poison, the trace loops classify edges, and
+/// HeapHardening centralizes verdicts, quarantine state and policy. The
+/// whole subsystem is attachment-gated — with no HeapHardening attached
+/// (`GcConfig::Hardening == Off`) every hook compiles down to one
+/// pointer-null branch and the allocation path is untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_HARDENING_H
+#define GCASSERT_HEAP_HARDENING_H
+
+#include "gcassert/heap/Object.h"
+#include "gcassert/heap/TypeRegistry.h"
+#include "gcassert/support/Checksum.h"
+#include "gcassert/support/Compiler.h"
+#include "gcassert/support/ErrorHandling.h"
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace gcassert {
+
+class Heap;
+
+/// How much integrity checking the runtime performs (GcConfig::Hardening).
+enum class HardeningMode : uint8_t {
+  /// No checking. Headers are not stamped; all hooks are dead branches.
+  Off,
+  /// Trace-piggybacked checking: every edge the collector follows passes
+  /// the quarantine screen, every object is header-validated (type-id
+  /// range, header checksum) on first encounter, and free-cell reuse
+  /// checks its poison. One extra branch per visited edge.
+  Check,
+  /// Everything in Check, but validated on *every* edge (pointer range and
+  /// alignment before any header read, then the full header — so even a
+  /// garbage pointer whose fake flags impersonate a visited object is
+  /// caught), plus structural audits (free lists, remembered set) with
+  /// repair after every collection.
+  Full,
+};
+
+/// What to do when a defect is detected.
+enum class HardeningPolicy : uint8_t {
+  /// reportFatalErrorWithDiagnostics with the defect description — fail
+  /// stop, with the crash dump carrying the defect log.
+  Abort,
+  /// Quarantine the object, sever references to it, keep running.
+  Quarantine,
+  /// Invoke the user callback with the defect, then quarantine and keep
+  /// running (the callback observes; containment still happens).
+  Callback,
+};
+
+/// Classification of a detected defect.
+enum class DefectKind : uint8_t {
+  /// Header type id is 0 or beyond the registry.
+  BadTypeId,
+  /// Header checksum does not match the (type id, length) it covers.
+  ChecksumMismatch,
+  /// A poisoned free cell was scribbled on between free and reuse.
+  PoisonDamage,
+  /// An edge target is outside the heap or misaligned (Full mode).
+  BadReference,
+  /// A free-list invariant failed (cycle, out-of-arena link, live entry).
+  FreeListCorrupt,
+  /// A remembered-set entry is not a well-formed old-generation object.
+  RememberedSetCorrupt,
+  /// Residual GC state (stale mark / forwarding bit) outside a collection.
+  StaleGcState,
+};
+
+const char *defectKindName(DefectKind Kind);
+
+/// One detected integrity violation. Richer than a log line: carries the
+/// object (null when the bad address is not a readable object), the kind,
+/// and — when the collector ran with RecordPaths — the root-to-object path
+/// that reached it, in the paper's Figure-1 spirit.
+struct HeapDefect {
+  ObjRef Obj = nullptr;
+  DefectKind Kind = DefectKind::BadTypeId;
+  std::string Description;
+  std::vector<ObjRef> Path;
+};
+
+/// Fast-path verdict for one trace edge. Ok is the only verdict that lets
+/// the collector trust the target header; everything else severs the edge.
+enum class EdgeVerdict : uint8_t {
+  Ok,
+  Quarantined,
+  BadReference,
+  BadTypeId,
+  ChecksumMismatch,
+};
+
+/// Monotone detection counters (mirrored into GcStats at cycle end).
+struct HardeningCounters {
+  uint64_t DefectsDetected = 0;
+  uint64_t ChecksumFailures = 0;
+  uint64_t BadTypeIds = 0;
+  uint64_t PoisonTrips = 0;
+  uint64_t BadReferences = 0;
+  uint64_t StructuralDefects = 0;
+  uint64_t SeveredEdges = 0;
+  /// Objects ever quarantined (monotone; quarantine entries for storage the
+  /// collector has since reclaimed and recycled are dropped from the live
+  /// set but stay counted here).
+  uint64_t QuarantinedTotal = 0;
+};
+
+/// Central state of the hardened heap mode. One instance per Vm, attached to
+/// the heap (which stamps and poisons through it) and the collector (whose
+/// trace loops screen edges and classify headers through it). Thread-safe
+/// where the parallel mark phase touches it: screenEdge is lock-free until
+/// a quarantined object exists, and all mutation funnels through one mutex.
+class HeapHardening {
+public:
+  /// Byte written over freed storage. 0xDB reads as a garbage pointer and
+  /// as type id 0xDBDBDBDB — far outside any registry.
+  static constexpr uint8_t PoisonByte = 0xDB;
+  /// How many leading payload bytes are re-checked when a poisoned free
+  /// cell is reused (bounded so allocation stays O(1)).
+  static constexpr size_t PoisonCheckLimit = 64;
+  /// Defect-log capacity; later defects are counted but not retained.
+  static constexpr size_t DefectLogCapacity = 32;
+
+  using DefectCallback = std::function<void(const HeapDefect &)>;
+
+  explicit HeapHardening(HardeningMode Mode,
+                         HardeningPolicy Policy = HardeningPolicy::Quarantine,
+                         DefectCallback Callback = {});
+  ~HeapHardening();
+
+  HeapHardening(const HeapHardening &) = delete;
+  HeapHardening &operator=(const HeapHardening &) = delete;
+
+  /// Binds the heap whose pointers screenEdge range-checks in Full mode.
+  /// Must happen before the first allocation (headers are stamped from
+  /// allocation onward, and a half-stamped heap cannot be verified).
+  void attachHeap(Heap &H);
+
+  HardeningMode mode() const { return Mode; }
+  bool full() const { return Mode == HardeningMode::Full; }
+  HardeningPolicy policy() const { return Policy; }
+
+  /// \name Header checksums
+  /// @{
+
+  /// The checksum stamped into a header: 16-bit CRC-32C over the type id
+  /// and the logical allocation length (array length for arrays, else 0).
+  static uint16_t headerChecksum(TypeId Id, uint64_t Length) {
+    return checksum16Pair(Id, Length);
+  }
+
+  /// Stamps a freshly allocated object's header. \p Length is the array
+  /// length for array types and 0 otherwise. Called once per allocation by
+  /// every heap when hardening is attached, so it is served from the
+  /// per-type cache like the verification side (a CRC per allocation is
+  /// measurable on allocation-heavy workloads). A miss syncs the cache in
+  /// place: stamping is mutator work, so no trace is reading the cache
+  /// concurrently — without this, every allocation of a type registered
+  /// after VM construction would pay the full CRC until the first cycle.
+  void stampObject(ObjRef Obj, uint64_t Length) {
+    TypeId Id = Obj->header().Type;
+    if (GCA_UNLIKELY(Id >= ChecksumCache.size()))
+      syncChecksumCache();
+    Obj->header().setStoredChecksum(cachedChecksum(ChecksumCache[Id], Length));
+  }
+
+  /// Recomputes the checksum a well-typed header should carry. Requires a
+  /// valid type id (callers check the range first). The hot path is served
+  /// from the per-type cache (a CRC per traced edge costs ~30% on
+  /// trace-heavy workloads; a table load costs nothing): non-array types
+  /// are a single lookup, arrays below SmallLenTableSize too, and longer
+  /// arrays chain the cached id-prefix CRC over the 8 length bytes. Ids
+  /// registered since the last cache sync fall back to the full
+  /// computation.
+  uint16_t expectedChecksum(ObjRef Obj) const {
+    TypeId Id = Obj->header().Type;
+    if (GCA_LIKELY(Id < ChecksumCache.size())) {
+      const TypeChecksum &Cached = ChecksumCache[Id];
+      return cachedChecksum(Cached,
+                            Cached.IsArray ? Obj->arrayLength() : 0);
+    }
+    uint64_t Length = Types->get(Id).isArray() ? Obj->arrayLength() : 0;
+    return headerChecksum(Id, Length);
+  }
+
+  /// Extends the per-type checksum cache to cover every registered type.
+  /// Must run while no trace is in flight (the parallel mark workers read
+  /// the cache lock-free): the VM calls it at the start of every collector
+  /// cycle, and attachHeap seeds it.
+  void syncChecksumCache();
+  /// @}
+
+  /// \name Trace-piggybacked edge validation
+  /// @{
+
+  /// The per-edge containment screen, run on every edge the collector is
+  /// about to follow. Both modes check the quarantine set (fast path: one
+  /// relaxed load while it is empty). Full mode then validates alignment,
+  /// heap containment and the whole header *before* the collector reads
+  /// any bit of it — a garbage pointer's fake flag word could otherwise
+  /// impersonate a visited object and smuggle a bogus forwarding address
+  /// into the slot. Check mode defers the header checks to the collector's
+  /// first-encounter path: its threat model is in-place header damage, and
+  /// a damaged object enters a cycle unmarked, so the first edge to reach
+  /// it still detects, quarantines, and has every later edge caught right
+  /// here. Pure and thread-safe (parallel mark workers call it
+  /// concurrently).
+  EdgeVerdict screenEdge(ObjRef Obj) const {
+    if (GCA_UNLIKELY(LiveQuarantined.load(std::memory_order_relaxed) != 0) &&
+        isQuarantined(Obj))
+      return EdgeVerdict::Quarantined;
+    if (Mode == HardeningMode::Full)
+      return classifyObjectHeader(Obj);
+    return EdgeVerdict::Ok;
+  }
+
+  /// Slow path after a non-Ok verdict: records the defect, applies the
+  /// policy (abort / callback / quarantine) and counts the severed edge.
+  /// The caller nulls the slot. \p Path is the root-to-object path when the
+  /// trace recorded one (may be empty).
+  void reportEdgeDefect(EdgeVerdict Verdict, ObjRef Obj,
+                        std::vector<ObjRef> Path);
+
+  /// True if \p Obj has a well-formed header (valid type id + matching
+  /// checksum, forwarding-aware). Used where a raw address must be
+  /// validated before scanning (remembered-set entries, audits).
+  bool validObjectHeader(ObjRef Obj) const {
+    return classifyObjectHeader(Obj) == EdgeVerdict::Ok;
+  }
+
+  /// Classifies the header itself: type-id range, then the header checksum
+  /// (skipped on forwarded shells — their first payload word now holds the
+  /// forwarding pointer, and they were validated when first reached). In
+  /// Full mode alignment and containment are re-screened first, so raw
+  /// addresses (remembered-set entries, audit candidates) can be classified
+  /// without a prior screenEdge. Pure and thread-safe.
+  EdgeVerdict classifyObjectHeader(ObjRef Obj) const {
+    if (Mode == HardeningMode::Full && GCA_UNLIKELY(!pointerPlausible(Obj)))
+      return EdgeVerdict::BadReference;
+    // Atomic flag snapshot: parallel mark workers fetch_or the mark bit on
+    // this word concurrently.
+    uint32_t Flags = Obj->header().loadFlagsAcquire();
+    TypeId Id = Obj->header().Type;
+    if (GCA_UNLIKELY(Id == InvalidTypeId || Id > Types->size()))
+      return EdgeVerdict::BadTypeId;
+    if ((Flags & HF_Forwarded) == 0 &&
+        GCA_UNLIKELY(static_cast<uint16_t>(Flags >> HF_ChecksumShift) !=
+                     expectedChecksum(Obj)))
+      return EdgeVerdict::ChecksumMismatch;
+    return EdgeVerdict::Ok;
+  }
+  /// @}
+
+  /// \name Poison-on-free
+  /// @{
+  static void poisonRange(void *Ptr, size_t Size) {
+    std::memset(Ptr, PoisonByte, Size);
+  }
+
+  /// Checks up to PoisonCheckLimit bytes of a poisoned range. Returns the
+  /// offset of the first non-poison byte, or nullopt if intact. Word-at-a-
+  /// time: this runs on every small-cell reuse, so a byte loop is a
+  /// measurable per-allocation tax; the byte loop only runs to pinpoint
+  /// the damaged offset after a word mismatch (and for the sub-word tail).
+  static std::optional<size_t> findPoisonDamage(const void *Ptr, size_t Size) {
+    const uint8_t *Bytes = static_cast<const uint8_t *>(Ptr);
+    size_t Limit = Size < PoisonCheckLimit ? Size : PoisonCheckLimit;
+    uint64_t Pattern;
+    std::memset(&Pattern, PoisonByte, sizeof(Pattern));
+    size_t I = 0;
+    for (; I + sizeof(uint64_t) <= Limit; I += sizeof(uint64_t)) {
+      uint64_t Word;
+      std::memcpy(&Word, Bytes + I, sizeof(Word));
+      if (GCA_UNLIKELY(Word != Pattern))
+        break;
+    }
+    for (; I < Limit; ++I)
+      if (Bytes[I] != PoisonByte)
+        return I;
+    return std::nullopt;
+  }
+  /// @}
+
+  /// \name Quarantine
+  /// @{
+
+  /// Adds \p Ptr to the quarantine set (idempotent).
+  void quarantine(const void *Ptr);
+
+  /// True if \p Ptr is quarantined. Lock-free false while the set is empty.
+  bool isQuarantined(const void *Ptr) const {
+    if (LiveQuarantined.load(std::memory_order_relaxed) == 0)
+      return false;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Quarantine.count(Ptr) != 0;
+  }
+
+  /// Objects currently quarantined (drops as moving collectors recycle the
+  /// storage; see QuarantinedTotal for the monotone count).
+  uint64_t quarantinedCount() const {
+    return LiveQuarantined.load(std::memory_order_relaxed);
+  }
+
+  /// Drops quarantine entries in [Lo, Hi): the collector reclaimed and is
+  /// about to recycle that storage (semispace flip, compaction slide), so
+  /// stale entries must not taint fresh objects at the same addresses.
+  void dropQuarantinedInRange(const void *Lo, const void *Hi);
+  /// @}
+
+  /// \name Defect reporting
+  /// @{
+
+  /// Records \p Defect and applies the policy. Quarantines Defect.Obj when
+  /// the policy continues (and the defect names an object).
+  void reportDefect(HeapDefect Defect);
+
+  /// Counts an edge severed by a trace loop (the containment action that
+  /// accompanies a quarantine verdict).
+  void noteSeveredEdge() {
+    SeveredEdges.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HardeningCounters counters() const;
+
+  /// Copy of the bounded defect log.
+  std::vector<HeapDefect> defects() const;
+
+  /// Multi-line human-readable state (counters + defect log), used by the
+  /// crash-dump provider and tests.
+  std::string describeState() const;
+  /// @}
+
+private:
+  bool pointerPlausible(const void *Ptr) const;
+  void applyPolicy(const HeapDefect &Defect);
+
+  /// One cache row per type id: the CRC-32C state after the 4 id bytes
+  /// (arrays chain the length over it), the finished folded checksum for
+  /// the Length == 0 case, and for array types a precomputed fold per
+  /// length below SmallLenTableSize. Indexed by id; slot 0 (InvalidTypeId)
+  /// unused.
+  struct TypeChecksum {
+    uint32_t IdCrc = 0;
+    uint16_t NonArray = 0;
+    bool IsArray = false;
+    std::vector<uint16_t> SmallLens;
+  };
+  static constexpr uint64_t SmallLenTableSize = 1024;
+
+  /// Checksum for (type row, length), preferring the precomputed tables;
+  /// only arrays longer than SmallLenTableSize pay a CRC.
+  static uint16_t cachedChecksum(const TypeChecksum &Cached, uint64_t Length) {
+    if (GCA_LIKELY(!Cached.IsArray))
+      return Cached.NonArray;
+    if (GCA_LIKELY(Length < Cached.SmallLens.size()))
+      return Cached.SmallLens[static_cast<size_t>(Length)];
+    return foldChecksum16(crc32c(&Length, sizeof(Length), Cached.IdCrc));
+  }
+  /// Grown only between collections (syncChecksumCache), read lock-free by
+  /// the trace loops and parallel mark workers.
+  std::vector<TypeChecksum> ChecksumCache;
+
+  HardeningMode Mode;
+  HardeningPolicy Policy;
+  DefectCallback Callback;
+  Heap *AttachedHeap = nullptr;
+  const TypeRegistry *Types = nullptr;
+
+  mutable std::mutex Mutex;
+  std::unordered_set<const void *> Quarantine;
+  std::vector<HeapDefect> DefectLog;
+  std::atomic<uint64_t> LiveQuarantined{0};
+
+  std::atomic<uint64_t> Defects{0};
+  std::atomic<uint64_t> ChecksumFailures{0};
+  std::atomic<uint64_t> BadTypeIds{0};
+  std::atomic<uint64_t> PoisonTrips{0};
+  std::atomic<uint64_t> BadReferences{0};
+  std::atomic<uint64_t> StructuralDefects{0};
+  std::atomic<uint64_t> SeveredEdges{0};
+  std::atomic<uint64_t> QuarantinedTotal{0};
+
+  std::optional<ScopedCrashDumpProvider> CrashDump;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_HARDENING_H

@@ -14,11 +14,14 @@
 #ifndef GCASSERT_HEAP_HEAP_H
 #define GCASSERT_HEAP_HEAP_H
 
+#include "gcassert/heap/Hardening.h"
 #include "gcassert/heap/Object.h"
 #include "gcassert/heap/TypeRegistry.h"
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace gcassert {
 
@@ -92,10 +95,36 @@ public:
 
   const HeapStats &stats() const { return Stats; }
 
+  /// \name Hardened heap mode (DESIGN.md §9)
+  /// @{
+
+  /// Attaches the hardening subsystem. From here on the heap stamps header
+  /// checksums at allocation, poisons freed storage, and keeps whatever
+  /// side metadata its organization needs to walk past corrupt headers.
+  /// Must be called before the first allocation (headers allocated earlier
+  /// would carry no stamp and fail verification). Null detaches.
+  virtual void setHardening(HeapHardening *H) {
+    assert((!H || Stats.ObjectsAllocated == 0) &&
+           "hardening must attach before the first allocation");
+    Hard = H;
+  }
+  HeapHardening *hardening() const { return Hard; }
+
+  /// Audits heap-organization-specific structures (free lists, remembered
+  /// sets) and appends one HeapDefect per violation. With \p Repair set,
+  /// additionally contains the damage (e.g. truncates a corrupt free list)
+  /// so the mutator can continue. Default: nothing to audit.
+  virtual void auditStructure(std::vector<HeapDefect> &Defects, bool Repair) {
+    (void)Defects;
+    (void)Repair;
+  }
+  /// @}
+
 protected:
   TypeRegistry &Types;
   HeapStats Stats;
   AllocFailureKind LastAllocFailure = AllocFailureKind::None;
+  HeapHardening *Hard = nullptr;
 };
 
 } // namespace gcassert

@@ -23,11 +23,8 @@
 
 namespace gcassert {
 
-/// One invariant violation found by the verifier.
-struct HeapDefect {
-  ObjRef Obj;
-  std::string Description;
-};
+// HeapDefect lives in gcassert/heap/Hardening.h (pulled in through Heap.h):
+// the verifier and the hardened heap mode share one defect vocabulary.
 
 /// Structural heap auditor.
 class HeapVerifier {

@@ -52,6 +52,20 @@ enum HeaderFlag : uint32_t {
   HF_Forwarded = 1u << 6,
 };
 
+/// \name Hardened-mode header checksum (DESIGN.md §9)
+///
+/// The hardened heap mode stores a 16-bit checksum of the immutable header
+/// state (type id + logical allocation length) in the otherwise-spare upper
+/// half of the flag word. Bits 0–6 carry the HeaderFlag bits above; bits
+/// 7–15 remain free. The checksum bits are never touched by setFlag /
+/// clearFlag / tryMarkAtomic (those only OR or AND-NOT the low bits), so the
+/// stamp survives the full life of the object, including copying and
+/// compaction (which memcpy / memmove the whole header).
+/// @{
+inline constexpr unsigned HF_ChecksumShift = 16;
+inline constexpr uint32_t HF_ChecksumMask = 0xFFFF0000u;
+/// @}
+
 /// The 8-byte header that precedes every managed object's payload.
 struct ObjectHeader {
   TypeId Type;
@@ -92,6 +106,17 @@ struct ObjectHeader {
 
   /// True if this header belongs to a live object (not a free cell).
   bool isObject() const { return Type != InvalidTypeId; }
+
+  /// \name Hardened-mode checksum accessors
+  /// @{
+  uint16_t storedChecksum() const {
+    return static_cast<uint16_t>(Flags >> HF_ChecksumShift);
+  }
+  void setStoredChecksum(uint16_t Sum) {
+    Flags = (Flags & ~HF_ChecksumMask) |
+            (static_cast<uint32_t>(Sum) << HF_ChecksumShift);
+  }
+  /// @}
 };
 
 static_assert(sizeof(ObjectHeader) == 8, "object header must be one word");

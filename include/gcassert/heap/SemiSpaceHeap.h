@@ -19,6 +19,7 @@
 #include "gcassert/heap/Heap.h"
 
 #include <memory>
+#include <vector>
 
 namespace gcassert {
 
@@ -103,6 +104,13 @@ private:
   uint8_t *CopyBump = nullptr;
   uint64_t LiveBytesAfterGc = 0;
   bool Collecting = false;
+
+  /// Hardened mode only: per-object allocation sizes in address order for
+  /// the current space, so forEachObject can step over an object with a
+  /// corrupt header instead of deriving a garbage stride from it.
+  /// Evacuation rebuilds the log in copy order (= to-space address order).
+  std::vector<uint32_t> SizeLog;
+  std::vector<uint32_t> CopySizeLog;
 };
 
 } // namespace gcassert

@@ -20,6 +20,7 @@
 #include "gcassert/runtime/MutatorThread.h"
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
 
 #include <functional>
 #include <memory>
@@ -110,6 +111,14 @@ public:
     ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
     if (GCA_UNLIKELY(!Obj))
       Obj = allocateSlowPath(Id, ArrayLength);
+    // "corrupt.header" / "corrupt.ref" simulate the memory errors the
+    // hardened heap exists to catch: a flipped header bit and a scribbled
+    // reference slot. Out of line — the disarmed cost is the two relaxed
+    // loads in shouldFail().
+    if (GCA_UNLIKELY(faults::CorruptHeader.shouldFail()) && Obj)
+      injectHeaderCorruption(Obj);
+    if (GCA_UNLIKELY(faults::CorruptRef.shouldFail()) && Obj)
+      injectRefCorruption(Obj);
     if (GCA_UNLIKELY(Thread.regionLog() != nullptr))
       Thread.regionLog()->push_back(Obj);
     if (GCA_UNLIKELY(HasAllocListener))
@@ -159,10 +168,26 @@ public:
 
   const GcStats &gcStats() const { return TheCollector->stats(); }
 
+  /// The hardened-heap subsystem, or null when VmConfig::Gc.Hardening is
+  /// Off.
+  HeapHardening *hardening() const { return Hard.get(); }
+
+  /// Installs a callback run after every completed collection, whatever
+  /// triggered it (explicit, allocation pressure, emergency cascade).
+  /// The harness's --verify-heap hangs a full HeapVerifier pass here.
+  void setPostGcCallback(std::function<void()> Fn) {
+    PostGcCallback = std::move(Fn);
+  }
+
 private:
   GCA_NOINLINE ObjRef allocateSlowPath(TypeId Id, uint64_t ArrayLength);
   GCA_NOINLINE ObjRef handleAllocationExhausted(TypeId Id,
                                                 uint64_t ArrayLength);
+  GCA_NOINLINE void injectHeaderCorruption(ObjRef Obj);
+  GCA_NOINLINE void injectRefCorruption(ObjRef Obj);
+  /// All collections funnel through here so PostGcCallback fires on every
+  /// completed cycle.
+  void runCollectorCycle(const char *Cause);
   void notifyMemoryPressure(MemoryPressure Pressure);
   void dumpCrashDiagnostics();
 
@@ -170,6 +195,8 @@ private:
   CollectorKind Kind;
   std::unique_ptr<Heap> TheHeap;
   std::unique_ptr<Collector> TheCollector;
+  std::unique_ptr<HeapHardening> Hard;
+  std::function<void()> PostGcCallback;
   std::vector<std::unique_ptr<MutatorThread>> Threads;
   std::vector<ObjRef> GlobalRoots;
   std::vector<GlobalRootId> FreeGlobalSlots;

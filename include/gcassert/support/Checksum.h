@@ -1,0 +1,74 @@
+//===- Checksum.h - CRC-32C and header checksum folding ------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// Small constexpr CRC-32C (Castagnoli) implementation used by the hardened
+// heap mode (DESIGN.md §9) to checksum object headers. The full 32-bit CRC
+// is folded to 16 bits so it fits in the spare upper half of the header flag
+// word without growing the 8-byte header.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SUPPORT_CHECKSUM_H
+#define GCASSERT_SUPPORT_CHECKSUM_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace gcassert {
+
+namespace detail {
+
+/// Byte-at-a-time table for CRC-32C (polynomial 0x1EDC6F41, reflected
+/// 0x82F63B78) — the same polynomial the SSE4.2 crc32 instruction uses,
+/// computed in portable code so the checksum is identical on every host.
+constexpr std::array<uint32_t, 256> makeCrc32cTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? (0x82F63B78u ^ (C >> 1)) : (C >> 1);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+inline constexpr std::array<uint32_t, 256> Crc32cTable = makeCrc32cTable();
+
+} // namespace detail
+
+/// CRC-32C over \p Size bytes starting at \p Data. \p Seed allows chaining;
+/// pass the previous return value to continue a running checksum.
+inline uint32_t crc32c(const void *Data, size_t Size, uint32_t Seed = 0) {
+  const uint8_t *Bytes = static_cast<const uint8_t *>(Data);
+  uint32_t C = ~Seed;
+  for (size_t I = 0; I < Size; ++I)
+    C = detail::Crc32cTable[(C ^ Bytes[I]) & 0xFF] ^ (C >> 8);
+  return ~C;
+}
+
+/// Fold a 32-bit CRC to 16 bits by xoring the halves. Keeps the error
+/// detection properties good enough for a tamper check while fitting in the
+/// header's spare bits.
+inline uint16_t foldChecksum16(uint32_t Crc) {
+  return static_cast<uint16_t>((Crc >> 16) ^ (Crc & 0xFFFF));
+}
+
+/// Convenience: 16-bit CRC-32C over two little-endian words. This is the
+/// exact domain of the object-header checksum: the type id and the logical
+/// allocation length (array length for arrays, 0 otherwise). Mutable flag
+/// bits are deliberately *outside* the domain — the assertion engine and
+/// ownership table flip HF_Dead/HF_Unshared/HF_Owner/HF_Ownee/HF_Owned at
+/// runtime, and the collector itself owns HF_Marked/HF_Forwarded.
+inline uint16_t checksum16Pair(uint32_t A, uint64_t B) {
+  uint8_t Buf[12];
+  std::memcpy(Buf, &A, 4);
+  std::memcpy(Buf + 4, &B, 8);
+  return foldChecksum16(crc32c(Buf, sizeof(Buf)));
+}
+
+} // namespace gcassert
+
+#endif // GCASSERT_SUPPORT_CHECKSUM_H

@@ -141,12 +141,16 @@ void disarmAllFailpoints();
 /// e.g. "heap.host_alloc=once,heap.block_acquire=prob:25:42". Unknown sites
 /// or malformed policies stop parsing; already-parsed clauses stay armed.
 /// Returns true on full success; on failure *Error (if non-null) describes
-/// the first bad clause.
+/// the first bad clause and enumerates the registered site names (for an
+/// unknown site) or the policy grammar (for a malformed policy), so a typo
+/// in a test matrix cannot silently disarm a fault campaign.
 bool armFailpointsFromSpec(std::string_view Spec, std::string *Error = nullptr);
 
 /// Arms failpoints from the GCASSERT_FAILPOINTS environment variable.
-/// Returns the number of clauses applied (0 when unset or empty); parse
-/// errors are reported on stderr and do not abort.
+/// Returns the number of clauses applied (0 when unset or empty). A
+/// malformed spec is fatal: a misspelled site or policy would otherwise
+/// run the program with no faults armed while the harness believes it is
+/// injecting — exactly the silent failure this variable exists to prevent.
 size_t armFailpointsFromEnv();
 /// @}
 
@@ -162,6 +166,11 @@ extern Failpoint GenPromoteGuard;   ///< "gen.promote.guard"
 extern Failpoint GcWorkerStart;     ///< "gc.worker.start"
 extern Failpoint SinkWrite;         ///< "sink.write"
 extern Failpoint EngineShed;        ///< "engine.shed"
+extern Failpoint CorruptHeader;     ///< "corrupt.header"
+extern Failpoint CorruptRef;        ///< "corrupt.ref"
+extern Failpoint CorruptFreeCell;   ///< "corrupt.freelist"
+extern Failpoint CorruptFreeLink;   ///< "corrupt.freelist.link"
+extern Failpoint CorruptRemSet;     ///< "corrupt.remset"
 } // namespace faults
 
 } // namespace gcassert

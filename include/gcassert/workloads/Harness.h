@@ -53,6 +53,14 @@ struct HarnessOptions {
   /// GC worker threads (GcConfig::Threads): >1 enables parallel marking and
   /// sweeping for the mark-sweep family.
   unsigned GcThreads = 1;
+  /// Hardened heap mode (GcConfig::Hardening): Check stamps header
+  /// checksums and validates every traced edge; Full adds pointer
+  /// plausibility and post-cycle structural audits.
+  HardeningMode Hardening = HardeningMode::Off;
+  /// Runs HeapVerifier::verify() after every collection and aborts on any
+  /// defect — the belt-and-suspenders mode behind the harness's
+  /// --verify-heap flag.
+  bool VerifyHeapAfterGc = false;
   /// When set, violations are recorded here instead of printed.
   RecordingViolationSink *Sink = nullptr;
 };

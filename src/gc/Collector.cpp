@@ -6,6 +6,7 @@
 
 #include "gcassert/gc/Collector.h"
 
+#include "gcassert/heap/Heap.h"
 #include "gcassert/support/WorkerPool.h"
 
 using namespace gcassert;
@@ -26,6 +27,24 @@ void Collector::setGcConfig(const GcConfig &NewConfig) {
     Pool.reset();
   if (Config.Threads <= 1)
     Pool.reset();
+}
+
+void Collector::finishHardenedCycle(Heap &TheHeap) {
+  if (!Hard)
+    return;
+  if (Hard->full()) {
+    // The per-edge checks only see reachable objects; the structural
+    // audits cover what the trace cannot — free-list links, remembered-set
+    // entries. Repair=true so a detected cycle or cross-link is truncated
+    // rather than rediscovered every collection.
+    std::vector<HeapDefect> Defects;
+    TheHeap.auditStructure(Defects, /*Repair=*/true);
+    for (HeapDefect &D : Defects)
+      Hard->reportDefect(std::move(D));
+  }
+  const HardeningCounters &C = Hard->counters();
+  Stats.Quarantined = C.QuarantinedTotal;
+  Stats.HeapDefects = C.DefectsDetected;
 }
 
 WorkerPool *Collector::workerPool() {

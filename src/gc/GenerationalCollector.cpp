@@ -9,6 +9,7 @@
 #include "MarkSweepCycle.h"
 
 #include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/Format.h"
 
 #include <cstring>
 
@@ -60,15 +61,28 @@ void GenerationalCollector::evacuateNursery() {
   // the paper's generational caveat is exactly that these collections skip
   // the checking work.
   using Core = TraceCore<MinorSpaceOps, false, false>;
-  Core Tracer(MinorSpaceOps{&TheHeap}, TheHeap.types(), nullptr);
+  Core Tracer(MinorSpaceOps{&TheHeap}, TheHeap.types(), nullptr, Hard);
 
   TheHeap.beginMinorCollection();
   Roots.forEachRootSlot([&](ObjRef *Slot) { Tracer.processSlot(Slot); });
   Tracer.drain();
 
   // Old-to-nursery edges recorded by the write barrier: rescan the fields
-  // of every remembered old object.
+  // of every remembered old object. Under hardening each entry is vetted
+  // first — scanning through a corrupt entry (e.g. the interior pointer
+  // "corrupt.remset" injects) would read a garbage ref map.
   for (Object *Remembered : TheHeap.rememberedSet()) {
+    if (GCA_UNLIKELY(Hard != nullptr) &&
+        GCA_UNLIKELY(!Hard->validObjectHeader(Remembered))) {
+      HeapDefect D;
+      D.Kind = DefectKind::RememberedSetCorrupt;
+      D.Description =
+          format("remembered-set entry %p does not carry a well-formed "
+                 "object header; entry skipped",
+                 static_cast<void *>(Remembered));
+      Hard->reportDefect(std::move(D));
+      continue;
+    }
     Tracer.scanObjectFields(Remembered);
     Tracer.drain();
   }
@@ -100,6 +114,7 @@ void GenerationalCollector::collectMinor() {
 
   uint64_t Start = monotonicNanos();
   evacuateNursery();
+  finishHardenedCycle(TheHeap);
   uint64_t Elapsed = monotonicNanos() - Start;
   Stats.LastGcNanos = Elapsed;
   Stats.TotalGcNanos += Elapsed;
@@ -132,17 +147,18 @@ void GenerationalCollector::collectMajor() {
     // degradation ladder can veto path recording per cycle.
     if (RecordPaths && Hooks->allowPathRecording())
       detail::runMarkSweepCycle<true, true>(OldGen, Roots, Hooks, Stats,
-                                            nullptr, PruneRemSet);
+                                            nullptr, PruneRemSet, Hard);
     else
       detail::runMarkSweepCycle<true, false>(OldGen, Roots, Hooks, Stats, Pool,
-                                             PruneRemSet);
+                                             PruneRemSet, Hard);
   } else {
     detail::runMarkSweepCycle<false, false>(OldGen, Roots, nullptr, Stats,
-                                            Pool, PruneRemSet);
+                                            Pool, PruneRemSet, Hard);
   }
   TheHeap.clearNurseryMarks();
 
   evacuateNursery();
+  finishHardenedCycle(TheHeap);
 
   uint64_t Elapsed = monotonicNanos() - Start;
   Stats.LastGcNanos = Elapsed;

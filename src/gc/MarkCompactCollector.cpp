@@ -56,7 +56,7 @@ void MarkCompactCollector::runCycle() {
   // Phase 1: the checking trace — identical to mark-sweep's, objects do
   // not move while assertions are evaluated.
   using Core = TraceCore<MarkSpaceOps, EnableChecks, RecordPathsT>;
-  Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks);
+  Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks, Hard);
 
   uint64_t Cycle = Stats.Cycles;
 
@@ -132,6 +132,7 @@ void MarkCompactCollector::collect(const char *Cause) {
   } else {
     runCycle<false, false>();
   }
+  finishHardenedCycle(TheHeap);
 
   uint64_t Elapsed = monotonicNanos() - Start;
   Stats.LastGcNanos = Elapsed;

@@ -22,14 +22,15 @@ void MarkSweepCollector::collect(const char *Cause) {
     // engine's degradation ladder can veto path recording per cycle.
     if (RecordPaths && Hooks->allowPathRecording())
       detail::runMarkSweepCycle<true, true>(TheHeap, Roots, Hooks, Stats,
-                                            nullptr);
+                                            nullptr, {}, Hard);
     else
       detail::runMarkSweepCycle<true, false>(TheHeap, Roots, Hooks, Stats,
-                                             Pool);
+                                             Pool, {}, Hard);
   } else {
     detail::runMarkSweepCycle<false, false>(TheHeap, Roots, nullptr, Stats,
-                                            Pool);
+                                            Pool, {}, Hard);
   }
+  finishHardenedCycle(TheHeap);
 
   uint64_t Elapsed = monotonicNanos() - Start;
   Stats.LastGcNanos = Elapsed;

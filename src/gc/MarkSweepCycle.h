@@ -74,9 +74,10 @@ template <bool EnableChecks, bool RecordPathsT>
 void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
                        TraceHooks *Hooks, GcStats &Stats,
                        WorkerPool *Pool = nullptr,
-                       const std::function<void()> &BeforeSweep = {}) {
+                       const std::function<void()> &BeforeSweep = {},
+                       HeapHardening *Hard = nullptr) {
   using Core = TraceCore<MarkSpaceOps, EnableChecks, RecordPathsT>;
-  Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks);
+  Core Tracer(MarkSpaceOps(), TheHeap.types(), Hooks, Hard);
 
   uint64_t Cycle = Stats.Cycles;
 
@@ -96,7 +97,8 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
   if constexpr (!RecordPathsT) {
     if (Pool && Pool->workerCount() > 1) {
       ParallelMarker<EnableChecks> Marker(
-          TheHeap.types(), Hooks, static_cast<unsigned>(Pool->workerCount()));
+          TheHeap.types(), Hooks, static_cast<unsigned>(Pool->workerCount()),
+          Hard);
       Marker.markFromRoots(*Pool, Roots);
       RootVisited = Marker.objectsVisited();
       RanParallel = true;

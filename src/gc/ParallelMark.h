@@ -53,8 +53,9 @@ namespace detail {
 template <bool EnableChecks>
 class ParallelMarker {
 public:
-  ParallelMarker(TypeRegistry &Types, TraceHooks *Hooks, unsigned Workers)
-      : Types(Types), Hooks(Hooks) {
+  ParallelMarker(TypeRegistry &Types, TraceHooks *Hooks, unsigned Workers,
+                 HeapHardening *Hard = nullptr)
+      : Types(Types), Hooks(Hooks), Hard(Hard) {
     assert((!EnableChecks || Hooks) && "checks enabled without hooks");
     Deques.reserve(Workers);
     for (unsigned W = 0; W != Workers; ++W)
@@ -139,8 +140,32 @@ private:
     if (!Obj)
       return;
 
+    // Hardened mode: every slot passes the screen (Full mode validates the
+    // whole header per edge); in Check mode the header validation runs
+    // pre-claim on unmarked objects only (see TraceCore::processSlot for
+    // the mode split). Each slot is visited by exactly one worker, so the
+    // severing store never races; the quarantine set has its own lock, so
+    // concurrent detection of the same object from two slots is safe
+    // (both report, the quarantine set dedupes).
+    if (GCA_UNLIKELY(Hard != nullptr)) {
+      EdgeVerdict V = Hard->screenEdge(Obj);
+      if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
+        Hard->reportEdgeDefect(V, Obj, {Obj});
+        *Slot = nullptr;
+        return;
+      }
+    }
+
     uint32_t Flags = Obj->header().loadFlagsAcquire();
     if (GCA_LIKELY(!(Flags & HF_Marked))) {
+      if (GCA_UNLIKELY(Hard != nullptr) && !Hard->full()) {
+        EdgeVerdict V = Hard->classifyObjectHeader(Obj);
+        if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
+          Hard->reportEdgeDefect(V, Obj, {Obj});
+          *Slot = nullptr;
+          return;
+        }
+      }
       if constexpr (EnableChecks) {
         if (GCA_UNLIKELY(Flags & HF_Dead) && Hooks->severDeadReferences()) {
           // Each slot is processed by exactly one worker (roots are
@@ -204,6 +229,7 @@ private:
 
   TypeRegistry &Types;
   TraceHooks *Hooks;
+  HeapHardening *Hard;
   std::vector<ObjRef *> RootSlots;
   std::vector<std::unique_ptr<WorkStealingDeque>> Deques;
   std::atomic<size_t> NextRootChunk{0};

@@ -82,7 +82,7 @@ void SemiSpaceCollector::runCycle() {
 
   uint64_t BytesBefore = TheHeap.stats().BytesInUse;
   TheHeap.beginCollection();
-  Core Tracer(CopySpaceOps{&TheHeap}, TheHeap.types(), Hooks);
+  Core Tracer(CopySpaceOps{&TheHeap}, TheHeap.types(), Hooks, Hard);
 
   uint64_t Cycle = Stats.Cycles;
 
@@ -142,6 +142,7 @@ void SemiSpaceCollector::collect(const char *Cause) {
   } else {
     runCycle<false, false>();
   }
+  finishHardenedCycle(TheHeap);
 
   uint64_t Elapsed = monotonicNanos() - Start;
   Stats.LastGcNanos = Elapsed;

@@ -40,6 +40,10 @@ ObjRef CompactHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   const TypeInfo &Type = Types.get(Id);
   if (Type.isArray())
     Obj->setArrayLength(ArrayLength);
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    Hard->stampObject(Obj, Type.isArray() ? ArrayLength : 0);
+    SizeLog.push_back(static_cast<uint32_t>(Size));
+  }
 
   Stats.BytesAllocated += Size;
   Stats.BytesInUse += Size;
@@ -66,6 +70,25 @@ CompactionPlan CompactHeap::planCompaction() {
   CompactionPlan Plan;
   uint8_t *Cursor = Storage.get();
   uint8_t *Target = Storage.get();
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    // Hardened plan walk: strides from the size log, and an object only
+    // enters the plan with a validated header. A corrupt object (already
+    // quarantined by the trace, its incoming edges severed) is treated as
+    // dead — the slide reclaims its storage, curing the quarantine.
+    for (uint32_t Size : SizeLog) {
+      auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+      Cursor += Size;
+      if (GCA_UNLIKELY(!Hard->validObjectHeader(Obj)) ||
+          GCA_UNLIKELY(Hard->isQuarantined(Obj)))
+        continue;
+      if (Obj->header().isMarked()) {
+        Plan.Moves.push_back({Obj, reinterpret_cast<ObjRef>(Target)});
+        Target += Size;
+      }
+    }
+    assert(Cursor == Bump && "size log out of sync with bump pointer");
+    return Plan;
+  }
   while (Cursor < Bump) {
     auto *Obj = reinterpret_cast<ObjRef>(Cursor);
     size_t Size = objectSize(Obj);
@@ -97,9 +120,32 @@ void CompactHeap::executeCompaction(const CompactionPlan &Plan) {
   Bump = Target;
   LiveBytesAfterGc = static_cast<uint64_t>(Bump - Storage.get());
   Stats.BytesInUse = LiveBytesAfterGc;
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    // Rebuild the size log from the survivors (slide order = address
+    // order), and drop all quarantine entries: compaction reclaimed every
+    // corrupt object's storage, so the heap is clean again.
+    SizeLog.clear();
+    for (const CompactionPlan::Move &Move : Plan.Moves)
+      SizeLog.push_back(static_cast<uint32_t>(objectSize(Move.To)));
+    Hard->dropQuarantinedInRange(Storage.get(),
+                                 Storage.get() + CapacityBytes);
+  }
 }
 
 void CompactHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    uint8_t *Cursor = Storage.get();
+    for (uint32_t Size : SizeLog) {
+      auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+      Cursor += Size;
+      if (GCA_UNLIKELY(!Hard->validObjectHeader(Obj)) ||
+          GCA_UNLIKELY(Hard->isQuarantined(Obj)))
+        continue;
+      Fn(Obj);
+    }
+    assert(Cursor == Bump && "size log out of sync with bump pointer");
+    return;
+  }
   uint8_t *Cursor = Storage.get();
   while (Cursor < Bump) {
     auto *Obj = reinterpret_cast<ObjRef>(Cursor);

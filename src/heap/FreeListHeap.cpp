@@ -9,12 +9,14 @@
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/Format.h"
 #include "gcassert/support/WorkerPool.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 using namespace gcassert;
 
@@ -71,6 +73,18 @@ size_t FreeListHeap::sizeClassCellSize(size_t Bytes) {
   return Table.CellSizes[Table.classFor(Bytes)];
 }
 
+/// A free cell's first 16 bytes are structural (header + free-list next
+/// pointer); hardened mode poisons up to PoisonCheckLimit bytes after them.
+/// Both the write and the reuse check are bounded to the same window so the
+/// sweep does not degrade into an O(heap) memset per collection — a scribble
+/// past the window is the detection trade-off, not a correctness hole.
+static constexpr size_t PoisonOffset = sizeof(ObjectHeader) + sizeof(void *);
+
+/// Bytes of a free cell hardened mode actually poisons.
+static size_t poisonSpan(size_t CellSize) {
+  return std::min(CellSize - PoisonOffset, HeapHardening::PoisonCheckLimit);
+}
+
 FreeListHeap::FreeListHeap(TypeRegistry &Types,
                            const FreeListHeapConfig &Config)
     : Heap(Types) {
@@ -115,6 +129,8 @@ bool FreeListHeap::carveBlock(uint32_t ClassIndex) {
     Hdr->Type = InvalidTypeId;
     Hdr->Flags = 0;
     std::memcpy(Cell + sizeof(ObjectHeader), &Head, sizeof(void *));
+    if (GCA_UNLIKELY(Hard != nullptr) && CellSize > PoisonOffset)
+      HeapHardening::poisonRange(Cell + PoisonOffset, poisonSpan(CellSize));
     Head = Cell;
   }
   FreeLists[ClassIndex] = Head;
@@ -122,20 +138,57 @@ bool FreeListHeap::carveBlock(uint32_t ClassIndex) {
 }
 
 ObjRef FreeListHeap::allocateSmall(size_t CellSize, uint32_t ClassIndex) {
-  if (GCA_UNLIKELY(!FreeLists[ClassIndex]))
-    if (!carveBlock(ClassIndex))
-      return nullptr;
+  for (;;) {
+    if (GCA_UNLIKELY(!FreeLists[ClassIndex]))
+      if (!carveBlock(ClassIndex))
+        return nullptr;
 
-  uint8_t *Cell = static_cast<uint8_t *>(FreeLists[ClassIndex]);
-  void *Next;
-  std::memcpy(&Next, Cell + sizeof(ObjectHeader), sizeof(void *));
-  FreeLists[ClassIndex] = Next;
+    uint8_t *Cell = static_cast<uint8_t *>(FreeLists[ClassIndex]);
 
-  std::memset(Cell + sizeof(ObjectHeader), 0, CellSize - sizeof(ObjectHeader));
-  Stats.BytesAllocated += CellSize;
-  Stats.BytesInUse += CellSize;
-  ++Stats.ObjectsAllocated;
-  return reinterpret_cast<ObjRef>(Cell);
+    // "corrupt.freelist" scribbles the head cell's poisoned area right
+    // before reuse — a deterministic stand-in for a use-after-free write.
+    // The hardened poison check below must trip on it; without hardening
+    // the scribble is erased by the zero-fill and stays inert.
+    if (GCA_UNLIKELY(faults::CorruptFreeCell.shouldFail()) &&
+        CellSize > PoisonOffset)
+      std::memset(Cell + PoisonOffset, 0x5C,
+                  std::min<size_t>(8, CellSize - PoisonOffset));
+    // "corrupt.freelist.link" points the head cell's next link back at the
+    // cell itself — the classic cross-linked free list. The pop below then
+    // leaves the class list pointing at an allocated (live) cell, which
+    // the structural audit detects and repairs.
+    if (GCA_UNLIKELY(faults::CorruptFreeLink.shouldFail()))
+      std::memcpy(Cell + sizeof(ObjectHeader), &FreeLists[ClassIndex],
+                  sizeof(void *));
+
+    void *Next;
+    std::memcpy(&Next, Cell + sizeof(ObjectHeader), sizeof(void *));
+    FreeLists[ClassIndex] = Next;
+
+    if (GCA_UNLIKELY(Hard != nullptr) && CellSize > PoisonOffset) {
+      if (std::optional<size_t> Damage = HeapHardening::findPoisonDamage(
+              Cell + PoisonOffset, CellSize - PoisonOffset)) {
+        // Someone wrote through a dangling pointer into this free cell.
+        // Quarantine the cell (it is never reused) and try the next one.
+        HeapDefect D;
+        D.Obj = reinterpret_cast<ObjRef>(Cell);
+        D.Kind = DefectKind::PoisonDamage;
+        D.Description =
+            format("free cell %p (class %u) poison damaged at offset %zu",
+                   static_cast<void *>(Cell), ClassIndex,
+                   PoisonOffset + *Damage);
+        Hard->reportDefect(std::move(D));
+        continue;
+      }
+    }
+
+    std::memset(Cell + sizeof(ObjectHeader), 0,
+                CellSize - sizeof(ObjectHeader));
+    Stats.BytesAllocated += CellSize;
+    Stats.BytesInUse += CellSize;
+    ++Stats.ObjectsAllocated;
+    return reinterpret_cast<ObjRef>(Cell);
+  }
 }
 
 ObjRef FreeListHeap::allocateLarge(size_t Size) {
@@ -181,6 +234,8 @@ ObjRef FreeListHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   const TypeInfo &Type = Types.get(Id);
   if (Type.isArray())
     Obj->setArrayLength(ArrayLength);
+  if (GCA_UNLIKELY(Hard != nullptr))
+    Hard->stampObject(Obj, Type.isArray() ? ArrayLength : 0);
   return Obj;
 }
 
@@ -190,10 +245,20 @@ bool FreeListHeap::sweepCarvedBlock(size_t BlockIndex, size_t CellSize,
   uint8_t *Base = blockBase(BlockIndex);
   size_t CellCount = BlockSize / CellSize;
 
+  // Quarantined cells are pinned: corrupt headers make their cell state
+  // untrustworthy, so they count as live (the block can never be returned
+  // to the pool) and both passes step over them without touching memory.
+  // The guard is one relaxed load per block while nothing is quarantined.
+  bool AnyQuarantined = Hard && Hard->quarantinedCount() != 0;
+
   // First pass: is anything in this block still live?
   size_t LiveInBlock = 0;
   for (size_t I = 0; I != CellCount; ++I) {
     auto *Hdr = reinterpret_cast<ObjectHeader *>(Base + I * CellSize);
+    if (GCA_UNLIKELY(AnyQuarantined) && Hard->isQuarantined(Hdr)) {
+      ++LiveInBlock;
+      continue;
+    }
     if (Hdr->isObject() && Hdr->isMarked())
       ++LiveInBlock;
   }
@@ -217,6 +282,10 @@ bool FreeListHeap::sweepCarvedBlock(size_t BlockIndex, size_t CellSize,
   for (size_t I = CellCount; I != 0; --I) {
     uint8_t *Cell = Base + (I - 1) * CellSize;
     auto *Hdr = reinterpret_cast<ObjectHeader *>(Cell);
+    if (GCA_UNLIKELY(AnyQuarantined) && Hard->isQuarantined(Cell)) {
+      LiveBytes += CellSize;
+      continue;
+    }
     if (Hdr->isObject()) {
       if (Hdr->isMarked()) {
         Hdr->clearMarked();
@@ -226,6 +295,13 @@ bool FreeListHeap::sweepCarvedBlock(size_t BlockIndex, size_t CellSize,
       Reclaimed += CellSize;
       Hdr->Type = InvalidTypeId;
       Hdr->Flags = 0;
+      // Poison only on the live->free transition. Cells that were already
+      // free keep the poison stamped when they died: re-poisoning them
+      // every sweep would cost a memset per free cell per cycle (swamping
+      // the mode's overhead on free-heavy workloads) and would erase the
+      // dangling-write evidence the reuse check exists to find.
+      if (GCA_UNLIKELY(Hard != nullptr) && CellSize > PoisonOffset)
+        HeapHardening::poisonRange(Cell + PoisonOffset, poisonSpan(CellSize));
     }
     // The deepest cell threaded while the list is still empty is the
     // eventual tail — the parallel merge needs it to splice segments.
@@ -339,10 +415,17 @@ size_t FreeListHeap::sweep(WorkerPool *Pool) {
 }
 
 void FreeListHeap::sweepLargeObjects(size_t &Reclaimed) {
+  bool AnyQuarantined = Hard && Hard->quarantinedCount() != 0;
   size_t Out = 0;
   for (size_t I = 0, E = LargeObjects.size(); I != E; ++I) {
     LargeObject &Large = LargeObjects[I];
     auto *Hdr = static_cast<ObjectHeader *>(Large.Storage);
+    if (GCA_UNLIKELY(AnyQuarantined) && Hard->isQuarantined(Large.Storage)) {
+      // Pinned: the storage stays resident (so no fresh object can alias
+      // the quarantined address) but is excluded from enumeration.
+      LargeObjects[Out++] = Large;
+      continue;
+    }
     if (Hdr->isMarked()) {
       Hdr->clearMarked();
       LargeObjects[Out++] = Large;
@@ -351,12 +434,19 @@ void FreeListHeap::sweepLargeObjects(size_t &Reclaimed) {
     Reclaimed += Large.Size;
     LargeBytesInUse -= Large.Size;
     LargeObjectSet.erase(Large.Storage);
+    // Poison before returning to the host so dangling reads surface as
+    // poison, not as stale-but-plausible object bytes.
+    if (GCA_UNLIKELY(Hard != nullptr))
+      HeapHardening::poisonRange(Large.Storage, Large.Size);
     std::free(Large.Storage);
   }
   LargeObjects.resize(Out);
 }
 
 void FreeListHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  // Quarantined cells carry untrustworthy headers and are excluded from
+  // enumeration (and so from assertion accounting and histograms).
+  bool AnyQuarantined = Hard && Hard->quarantinedCount() != 0;
   const std::vector<size_t> &CellSizes = sizeClasses().CellSizes;
   for (size_t BlockIndex = 0, E = Blocks.size(); BlockIndex != E;
        ++BlockIndex) {
@@ -367,12 +457,17 @@ void FreeListHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
     uint8_t *Base = blockBase(BlockIndex);
     for (size_t I = 0, N = BlockSize / CellSize; I != N; ++I) {
       auto *Obj = reinterpret_cast<ObjRef>(Base + I * CellSize);
+      if (GCA_UNLIKELY(AnyQuarantined) && Hard->isQuarantined(Obj))
+        continue;
       if (Obj->header().isObject())
         Fn(Obj);
     }
   }
-  for (const LargeObject &Large : LargeObjects)
+  for (const LargeObject &Large : LargeObjects) {
+    if (GCA_UNLIKELY(AnyQuarantined) && Hard->isQuarantined(Large.Storage))
+      continue;
     Fn(static_cast<ObjRef>(Large.Storage));
+  }
 }
 
 bool FreeListHeap::contains(const void *Ptr) const {
@@ -384,4 +479,57 @@ bool FreeListHeap::contains(const void *Ptr) const {
 
 size_t FreeListHeap::carvedBlockCount() const {
   return Blocks.size() - FreeBlocks.size();
+}
+
+void FreeListHeap::auditStructure(std::vector<HeapDefect> &Defects,
+                                  bool Repair) {
+  const std::vector<size_t> &CellSizes = sizeClasses().CellSizes;
+
+  // True cell capacity per class (from block metadata, not headers): any
+  // list longer than its class capacity must contain a cycle.
+  std::vector<size_t> ClassCapacity(FreeLists.size(), 0);
+  for (const BlockInfo &Info : Blocks)
+    if (Info.SizeClass != ~0u)
+      ClassCapacity[Info.SizeClass] += BlockSize / CellSizes[Info.SizeClass];
+
+  for (size_t Class = 0; Class != FreeLists.size(); ++Class) {
+    size_t CellSize = CellSizes[Class];
+    void **Link = &FreeLists[Class];
+    size_t Count = 0;
+    while (*Link) {
+      uint8_t *Cell = static_cast<uint8_t *>(*Link);
+      const char *Problem = nullptr;
+      if (++Count > ClassCapacity[Class])
+        Problem = "longer than the class's carved cell capacity (cycle)";
+      else if (Cell < Arena.get() || Cell >= Arena.get() + ArenaBytes)
+        Problem = "links outside the arena";
+      else if (reinterpret_cast<uintptr_t>(Cell) % alignof(ObjectHeader) != 0)
+        Problem = "links to a misaligned address";
+      else {
+        size_t Offset = static_cast<size_t>(Cell - Arena.get());
+        const BlockInfo &Info = Blocks[Offset / BlockSize];
+        if (Info.SizeClass != Class)
+          Problem = "links into a block of another size class";
+        else if (Offset % BlockSize % CellSize != 0)
+          Problem = "links to a non-cell boundary";
+        else if (reinterpret_cast<ObjectHeader *>(Cell)->isObject())
+          Problem = "links to a live object (cross-linked list)";
+      }
+      if (!Problem) {
+        Link = reinterpret_cast<void **>(Cell + sizeof(ObjectHeader));
+        continue;
+      }
+      HeapDefect D;
+      D.Kind = DefectKind::FreeListCorrupt;
+      D.Description =
+          format("free list for size class %zu (%zu-byte cells) %s at %p",
+                 Class, CellSize, Problem, static_cast<void *>(Cell));
+      Defects.push_back(std::move(D));
+      // Nothing after a bad link can be trusted; containment truncates the
+      // list there (losing free cells, never corrupting allocation).
+      if (Repair)
+        *Link = nullptr;
+      break;
+    }
+  }
 }

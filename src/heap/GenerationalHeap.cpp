@@ -8,6 +8,7 @@
 
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/Format.h"
 
 #include <algorithm>
 #include <cstring>
@@ -89,11 +90,27 @@ ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   const TypeInfo &Type = Types.get(Id);
   if (Type.isArray())
     Obj->setArrayLength(ArrayLength);
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    Hard->stampObject(Obj, Type.isArray() ? ArrayLength : 0);
+    NurserySizeLog.push_back(static_cast<uint32_t>(Size));
+  }
 
   Stats.BytesAllocated += Size;
   Stats.BytesInUse += Size;
   ++Stats.ObjectsAllocated;
   return Obj;
+}
+
+void GenerationalHeap::recordStore(Object *Holder, Object *Value) {
+  if (inNursery(Value) && !inNursery(Holder)) {
+    RememberedSet.insert(Holder);
+    // "corrupt.remset" slips an interior pointer into the remembered set —
+    // the kind of entry a buggy barrier would record. It points into the
+    // holder's payload, so it is in-heap but reads as a garbage header;
+    // the minor-GC entry validation / structural audit must catch it.
+    if (GCA_UNLIKELY(faults::CorruptRemSet.shouldFail()))
+      RememberedSet.insert(reinterpret_cast<Object *>(Holder->payload()));
+  }
 }
 
 ObjRef GenerationalHeap::promote(ObjRef Obj) {
@@ -127,9 +144,28 @@ void GenerationalHeap::finishMinorCollection() {
   NurseryBump = Nursery.get();
   RememberedSet.clear();
   Stats.BytesInUse = OldGen->stats().BytesInUse;
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    NurserySizeLog.clear();
+    // The nursery reset recycles every nursery address: corrupt nursery
+    // objects (edges already severed) are gone, so their quarantine
+    // entries must not taint the next batch of allocations.
+    Hard->dropQuarantinedInRange(Nursery.get(), Nursery.get() + NurseryBytes);
+  }
 }
 
 void GenerationalHeap::clearNurseryMarks() {
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    uint8_t *Cursor = Nursery.get();
+    for (uint32_t Size : NurserySizeLog) {
+      auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+      Cursor += Size;
+      if (GCA_UNLIKELY(!Hard->validObjectHeader(Obj)))
+        continue;
+      Obj->header().clearMarked();
+    }
+    assert(Cursor == NurseryBump && "size log out of sync with nursery bump");
+    return;
+  }
   uint8_t *Cursor = Nursery.get();
   while (Cursor < NurseryBump) {
     auto *Obj = reinterpret_cast<ObjRef>(Cursor);
@@ -142,6 +178,19 @@ void GenerationalHeap::clearNurseryMarks() {
 
 void GenerationalHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
   OldGen->forEachObject(Fn);
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    uint8_t *Cursor = Nursery.get();
+    for (uint32_t Size : NurserySizeLog) {
+      auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+      Cursor += Size;
+      if (GCA_UNLIKELY(!Hard->validObjectHeader(Obj)) ||
+          GCA_UNLIKELY(Hard->isQuarantined(Obj)))
+        continue;
+      Fn(Obj);
+    }
+    assert(Cursor == NurseryBump && "size log out of sync with nursery bump");
+    return;
+  }
   uint8_t *Cursor = Nursery.get();
   while (Cursor < NurseryBump) {
     auto *Obj = reinterpret_cast<ObjRef>(Cursor);
@@ -151,6 +200,32 @@ void GenerationalHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
     Cursor += alignUp(Types.allocationSize(Obj->typeId(), Length));
     Fn(Obj);
   }
+}
+
+void GenerationalHeap::auditStructure(std::vector<HeapDefect> &Defects,
+                                      bool Repair) {
+  for (auto It = RememberedSet.begin(); It != RememberedSet.end();) {
+    Object *Entry = *It;
+    const char *Problem = nullptr;
+    if (!OldGen->contains(Entry))
+      Problem = "is not an old-generation address";
+    else if (Hard && !Hard->validObjectHeader(Entry))
+      Problem = "does not carry a well-formed object header";
+    else if (!Hard && (!Entry->header().isObject() ||
+                       Entry->typeId() > Types.size()))
+      Problem = "does not carry a registered type id";
+    if (!Problem) {
+      ++It;
+      continue;
+    }
+    HeapDefect D;
+    D.Kind = DefectKind::RememberedSetCorrupt;
+    D.Description = format("remembered-set entry %p %s",
+                           static_cast<void *>(Entry), Problem);
+    Defects.push_back(std::move(D));
+    It = Repair ? RememberedSet.erase(It) : std::next(It);
+  }
+  OldGen->auditStructure(Defects, Repair);
 }
 
 bool GenerationalHeap::contains(const void *Ptr) const {

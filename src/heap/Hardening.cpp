@@ -1,0 +1,243 @@
+//===- Hardening.cpp - Hardened heap mode ---------------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/heap/Hardening.h"
+
+#include "gcassert/heap/Heap.h"
+#include "gcassert/support/Format.h"
+
+#include <cstdio>
+
+using namespace gcassert;
+
+const char *gcassert::defectKindName(DefectKind Kind) {
+  switch (Kind) {
+  case DefectKind::BadTypeId:
+    return "bad-type-id";
+  case DefectKind::ChecksumMismatch:
+    return "checksum-mismatch";
+  case DefectKind::PoisonDamage:
+    return "poison-damage";
+  case DefectKind::BadReference:
+    return "bad-reference";
+  case DefectKind::FreeListCorrupt:
+    return "free-list-corrupt";
+  case DefectKind::RememberedSetCorrupt:
+    return "remembered-set-corrupt";
+  case DefectKind::StaleGcState:
+    return "stale-gc-state";
+  }
+  return "unknown";
+}
+
+HeapHardening::HeapHardening(HardeningMode Mode, HardeningPolicy Policy,
+                             DefectCallback Callback)
+    : Mode(Mode), Policy(Policy), Callback(std::move(Callback)) {
+  CrashDump.emplace("hardening", [this] {
+    std::fputs(describeState().c_str(), stderr);
+  });
+}
+
+HeapHardening::~HeapHardening() = default;
+
+void HeapHardening::attachHeap(Heap &H) {
+  AttachedHeap = &H;
+  Types = &H.types();
+  syncChecksumCache();
+}
+
+void HeapHardening::syncChecksumCache() {
+  size_t Rows = Types->size() + 1; // Indexed by id; slot 0 unused.
+  if (ChecksumCache.size() >= Rows)
+    return;
+  ChecksumCache.reserve(Rows);
+  while (ChecksumCache.size() < Rows) {
+    TypeId Id = static_cast<TypeId>(ChecksumCache.size());
+    TypeChecksum Row;
+    if (Id != InvalidTypeId) {
+      Row.IdCrc = crc32c(&Id, sizeof(Id));
+      Row.NonArray = headerChecksum(Id, 0);
+      Row.IsArray = Types->get(Id).isArray();
+      if (Row.IsArray) {
+        // Precompute the folded checksum for every small length: the
+        // 8-byte length CRC per first-visited array otherwise dominates
+        // Check-mode mark time on array-heavy workloads. 2 KiB per array
+        // type buys CRC-free verification for the common case.
+        Row.SmallLens.resize(SmallLenTableSize);
+        for (uint64_t L = 0; L < SmallLenTableSize; ++L)
+          Row.SmallLens[static_cast<size_t>(L)] =
+              foldChecksum16(crc32c(&L, sizeof(L), Row.IdCrc));
+      }
+    }
+    ChecksumCache.push_back(std::move(Row));
+  }
+}
+
+bool HeapHardening::pointerPlausible(const void *Ptr) const {
+  if (reinterpret_cast<uintptr_t>(Ptr) % alignof(ObjectHeader) != 0)
+    return false;
+  return AttachedHeap && AttachedHeap->contains(Ptr);
+}
+
+void HeapHardening::reportEdgeDefect(EdgeVerdict Verdict, ObjRef Obj,
+                                     std::vector<ObjRef> Path) {
+  noteSeveredEdge();
+  if (Verdict == EdgeVerdict::Quarantined)
+    return; // Already reported when first detected; just contain.
+
+  HeapDefect Defect;
+  Defect.Path = std::move(Path);
+  switch (Verdict) {
+  case EdgeVerdict::BadReference:
+    // The pointer itself is implausible — never read its "header".
+    Defect.Kind = DefectKind::BadReference;
+    Defect.Description = format(
+        "trace edge target %p is outside the heap or misaligned",
+        static_cast<const void *>(Obj));
+    BadReferences.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case EdgeVerdict::BadTypeId:
+    Defect.Obj = Obj;
+    Defect.Kind = DefectKind::BadTypeId;
+    Defect.Description =
+        format("object %p carries invalid type id %u (registry has %u)",
+                     static_cast<const void *>(Obj),
+                     static_cast<unsigned>(Obj->header().Type),
+                     static_cast<unsigned>(Types->size()));
+    BadTypeIds.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case EdgeVerdict::ChecksumMismatch:
+    Defect.Obj = Obj;
+    Defect.Kind = DefectKind::ChecksumMismatch;
+    Defect.Description = format(
+        "object %p (type id %u) header checksum 0x%04x != expected 0x%04x",
+        static_cast<const void *>(Obj),
+        static_cast<unsigned>(Obj->header().Type),
+        static_cast<unsigned>(Obj->header().storedChecksum()),
+        static_cast<unsigned>(expectedChecksum(Obj)));
+    ChecksumFailures.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case EdgeVerdict::Ok:
+  case EdgeVerdict::Quarantined:
+    return;
+  }
+  // Quarantine keyed on the raw address even for BadReference verdicts, so
+  // repeated encounters of the same bad pointer short-circuit through the
+  // quarantine fast path instead of re-reporting.
+  if (!Defect.Obj)
+    quarantine(Obj);
+  reportDefect(std::move(Defect));
+}
+
+void HeapHardening::quarantine(const void *Ptr) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Quarantine.insert(Ptr).second) {
+    LiveQuarantined.fetch_add(1, std::memory_order_relaxed);
+    QuarantinedTotal.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HeapHardening::dropQuarantinedInRange(const void *Lo, const void *Hi) {
+  if (LiveQuarantined.load(std::memory_order_relaxed) == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto It = Quarantine.begin(); It != Quarantine.end();) {
+    if (*It >= Lo && *It < Hi) {
+      It = Quarantine.erase(It);
+      LiveQuarantined.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void HeapHardening::reportDefect(HeapDefect Defect) {
+  Defects.fetch_add(1, std::memory_order_relaxed);
+  switch (Defect.Kind) {
+  case DefectKind::PoisonDamage:
+    PoisonTrips.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case DefectKind::FreeListCorrupt:
+  case DefectKind::RememberedSetCorrupt:
+    StructuralDefects.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    break;
+  }
+  if (Defect.Obj)
+    quarantine(Defect.Obj);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (DefectLog.size() < DefectLogCapacity)
+      DefectLog.push_back(Defect);
+  }
+  applyPolicy(Defect);
+}
+
+void HeapHardening::applyPolicy(const HeapDefect &Defect) {
+  switch (Policy) {
+  case HardeningPolicy::Abort: {
+    std::string Msg = "heap corruption detected [";
+    Msg += defectKindName(Defect.Kind);
+    Msg += "]: ";
+    Msg += Defect.Description;
+    reportFatalErrorWithDiagnostics(Msg.c_str());
+  }
+  case HardeningPolicy::Callback:
+    if (Callback)
+      Callback(Defect);
+    return;
+  case HardeningPolicy::Quarantine:
+    return;
+  }
+}
+
+HardeningCounters HeapHardening::counters() const {
+  HardeningCounters C;
+  C.DefectsDetected = Defects.load(std::memory_order_relaxed);
+  C.ChecksumFailures = ChecksumFailures.load(std::memory_order_relaxed);
+  C.BadTypeIds = BadTypeIds.load(std::memory_order_relaxed);
+  C.PoisonTrips = PoisonTrips.load(std::memory_order_relaxed);
+  C.BadReferences = BadReferences.load(std::memory_order_relaxed);
+  C.StructuralDefects = StructuralDefects.load(std::memory_order_relaxed);
+  C.SeveredEdges = SeveredEdges.load(std::memory_order_relaxed);
+  C.QuarantinedTotal = QuarantinedTotal.load(std::memory_order_relaxed);
+  return C;
+}
+
+std::vector<HeapDefect> HeapHardening::defects() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return DefectLog;
+}
+
+std::string HeapHardening::describeState() const {
+  HardeningCounters C = counters();
+  std::string Out = format(
+      "hardening mode=%s policy=%s\n"
+      "  defects=%llu checksum=%llu bad-type=%llu poison=%llu bad-ref=%llu "
+      "structural=%llu severed-edges=%llu quarantined=%llu (total %llu)\n",
+      Mode == HardeningMode::Full    ? "full"
+      : Mode == HardeningMode::Check ? "check"
+                                     : "off",
+      Policy == HardeningPolicy::Abort    ? "abort"
+      : Policy == HardeningPolicy::Callback ? "callback"
+                                            : "quarantine",
+      static_cast<unsigned long long>(C.DefectsDetected),
+      static_cast<unsigned long long>(C.ChecksumFailures),
+      static_cast<unsigned long long>(C.BadTypeIds),
+      static_cast<unsigned long long>(C.PoisonTrips),
+      static_cast<unsigned long long>(C.BadReferences),
+      static_cast<unsigned long long>(C.StructuralDefects),
+      static_cast<unsigned long long>(C.SeveredEdges),
+      static_cast<unsigned long long>(quarantinedCount()),
+      static_cast<unsigned long long>(C.QuarantinedTotal));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const HeapDefect &D : DefectLog) {
+    Out += format("  [%s] %s\n", defectKindName(D.Kind),
+                        D.Description.c_str());
+  }
+  return Out;
+}

@@ -10,46 +10,70 @@
 
 using namespace gcassert;
 
+static HeapDefect makeDefect(ObjRef Obj, DefectKind Kind,
+                             std::string Description) {
+  HeapDefect D;
+  D.Obj = Obj;
+  D.Kind = Kind;
+  D.Description = std::move(Description);
+  return D;
+}
+
 void HeapVerifier::checkReference(ObjRef Holder, const char *What,
                                   ObjRef Target,
                                   std::vector<HeapDefect> &Defects) {
   if (!Target)
     return;
   if (reinterpret_cast<uintptr_t>(Target) % sizeof(void *) != 0) {
-    Defects.push_back(
-        {Holder, format("%s holds a misaligned reference %p", What,
-                        static_cast<void *>(Target))});
+    Defects.push_back(makeDefect(
+        Holder, DefectKind::BadReference,
+        format("%s holds a misaligned reference %p", What,
+               static_cast<void *>(Target))));
     return;
   }
   if (!TheHeap.contains(Target)) {
-    Defects.push_back(
-        {Holder, format("%s points outside the heap (%p)", What,
-                        static_cast<void *>(Target))});
+    Defects.push_back(makeDefect(
+        Holder, DefectKind::BadReference,
+        format("%s points outside the heap (%p)", What,
+               static_cast<void *>(Target))));
     return;
   }
   TypeId TargetType = Target->typeId();
   if (TargetType == InvalidTypeId || TargetType > TheHeap.types().size())
-    Defects.push_back(
-        {Holder, format("%s points at a non-object (type id %u)", What,
-                        TargetType)});
+    Defects.push_back(makeDefect(
+        Holder, DefectKind::BadTypeId,
+        format("%s points at a non-object (type id %u)", What, TargetType)));
 }
 
 std::vector<HeapDefect> HeapVerifier::verify() {
   std::vector<HeapDefect> Defects;
   TypeRegistry &Types = TheHeap.types();
+  HeapHardening *Hard = TheHeap.hardening();
 
   TheHeap.forEachObject([&](ObjRef Obj) {
     TypeId Id = Obj->typeId();
     if (Id == InvalidTypeId || Id > Types.size()) {
-      Defects.push_back({Obj, format("unregistered type id %u", Id)});
+      Defects.push_back(makeDefect(Obj, DefectKind::BadTypeId,
+                                   format("unregistered type id %u", Id)));
       return; // Layout unknown: nothing further to check safely.
     }
 
     const ObjectHeader &Hdr = Obj->header();
     if (Hdr.isMarked())
-      Defects.push_back({Obj, "mark bit set outside a collection"});
+      Defects.push_back(makeDefect(Obj, DefectKind::StaleGcState,
+                                   "mark bit set outside a collection"));
     if (Hdr.testFlag(HF_Forwarded))
-      Defects.push_back({Obj, "forwarding bit set outside a collection"});
+      Defects.push_back(makeDefect(Obj, DefectKind::StaleGcState,
+                                   "forwarding bit set outside a collection"));
+
+    // Hardened heaps stamp every header at allocation: recheck the stamp.
+    if (Hard && Hard->mode() != HardeningMode::Off &&
+        Hdr.storedChecksum() != Hard->expectedChecksum(Obj))
+      Defects.push_back(makeDefect(
+          Obj, DefectKind::ChecksumMismatch,
+          format("header checksum 0x%04x != expected 0x%04x",
+                 static_cast<unsigned>(Hdr.storedChecksum()),
+                 static_cast<unsigned>(Hard->expectedChecksum(Obj)))));
 
     const TypeInfo &Type = Types.get(Id);
     switch (Type.kind()) {
@@ -68,5 +92,9 @@ std::vector<HeapDefect> HeapVerifier::verify() {
       break;
     }
   });
+
+  // Heap-organization structural invariants (free lists, remembered set):
+  // read-only audit — GC-time repair is the collector's job.
+  TheHeap.auditStructure(Defects, /*Repair=*/false);
   return Defects;
 }

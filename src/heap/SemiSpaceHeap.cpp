@@ -45,6 +45,10 @@ ObjRef SemiSpaceHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   const TypeInfo &Type = Types.get(Id);
   if (Type.isArray())
     Obj->setArrayLength(ArrayLength);
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    Hard->stampObject(Obj, Type.isArray() ? ArrayLength : 0);
+    SizeLog.push_back(static_cast<uint32_t>(Size));
+  }
 
   Stats.BytesAllocated += Size;
   Stats.BytesInUse += Size;
@@ -62,6 +66,7 @@ void SemiSpaceHeap::beginCollection() {
   assert(!Collecting && "collection already in progress");
   Collecting = true;
   CopyBump = spaceBase(1 - CurrentSpace);
+  CopySizeLog.clear();
 }
 
 ObjRef SemiSpaceHeap::copyObject(ObjRef From) {
@@ -83,6 +88,10 @@ ObjRef SemiSpaceHeap::copyObject(ObjRef From) {
   auto *To = reinterpret_cast<ObjRef>(CopyBump);
   CopyBump += Size;
   std::memcpy(static_cast<void *>(To), static_cast<const void *>(From), Size);
+  // The copy carries the header checksum along; only the survivor order
+  // needs re-logging for the hardened walk.
+  if (GCA_UNLIKELY(Hard != nullptr))
+    CopySizeLog.push_back(static_cast<uint32_t>(Size));
   From->forwardTo(To);
   return To;
 }
@@ -97,9 +106,34 @@ void SemiSpaceHeap::finishCollection() {
   LiveBytesAfterGc =
       static_cast<uint64_t>(Bump - spaceBase(CurrentSpace));
   Stats.BytesInUse = LiveBytesAfterGc;
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    SizeLog = std::move(CopySizeLog);
+    CopySizeLog.clear();
+    // Evacuation self-heals this family: quarantined (corrupt) objects are
+    // never copied, their edges were severed, and the space they sat in is
+    // about to be recycled — drop their entries so fresh objects at the
+    // same addresses start clean.
+    uint8_t *OldSpace = spaceBase(1 - CurrentSpace);
+    Hard->dropQuarantinedInRange(OldSpace, OldSpace + HalfBytes);
+  }
 }
 
 void SemiSpaceHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    // Hardened walk: strides come from the allocation-order size log, so a
+    // corrupt header is stepped over instead of derailing the cursor.
+    uint8_t *Cursor = spaceBase(CurrentSpace);
+    for (uint32_t Size : SizeLog) {
+      auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+      Cursor += Size;
+      if (GCA_UNLIKELY(!Hard->validObjectHeader(Obj)) ||
+          GCA_UNLIKELY(Hard->isQuarantined(Obj)))
+        continue;
+      Fn(Obj);
+    }
+    assert(Cursor == Bump && "size log out of sync with bump pointer");
+    return;
+  }
   uint8_t *Cursor = spaceBase(CurrentSpace);
   while (Cursor < Bump) {
     auto *Obj = reinterpret_cast<ObjRef>(Cursor);

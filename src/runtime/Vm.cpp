@@ -77,6 +77,15 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector), OnOom(Config.OnOom) {
   }
   }
   TheCollector->setGcConfig(Config.Gc);
+  if (Config.Gc.Hardening != HardeningMode::Off) {
+    // Must precede the first allocation: stamping starts at attachment,
+    // and an unstamped object would read as a checksum mismatch.
+    Hard = std::make_unique<HeapHardening>(
+        Config.Gc.Hardening, Config.Gc.OnDefect, Config.Gc.OnDefectCallback);
+    Hard->attachHeap(*TheHeap);
+    TheHeap->setHardening(Hard.get());
+    TheCollector->setHardening(Hard.get());
+  }
   Threads.push_back(std::make_unique<MutatorThread>(0, "main"));
   CrashDump.emplace("vm state", [this] { dumpCrashDiagnostics(); });
 }
@@ -94,10 +103,40 @@ void Vm::forEachThread(const std::function<void(MutatorThread &)> &Fn) {
     Fn(*Thread);
 }
 
+void Vm::runCollectorCycle(const char *Cause) {
+  // Cover types registered since the last cycle before the trace loops
+  // start reading the checksum cache lock-free.
+  if (GCA_UNLIKELY(Hard != nullptr))
+    Hard->syncChecksumCache();
+  TheCollector->collect(Cause);
+  if (GCA_UNLIKELY(static_cast<bool>(PostGcCallback)))
+    PostGcCallback();
+}
+
+void Vm::injectHeaderCorruption(ObjRef Obj) {
+  // One flipped high bit and one low bit in the type word — the classic
+  // single-word memory error. Pushes the id out of the registry's range,
+  // so even Check mode (no pointer plausibility) detects it.
+  Obj->header().Type ^= 0x00100001u;
+}
+
+void Vm::injectRefCorruption(ObjRef Obj) {
+  // Scribbles the first reference slot with a pointer into this object's
+  // own payload: in-heap and pointer-aligned (so chasing it is not UB),
+  // but its "header" is payload bytes — BadTypeId or ChecksumMismatch at
+  // the next trace. Objects with no reference slots are left alone.
+  const TypeInfo &Type = Types.get(Obj->typeId());
+  auto *Interior = reinterpret_cast<ObjRef>(Obj->payload());
+  if (Type.kind() == TypeKind::Class && !Type.refOffsets().empty())
+    *Obj->refSlot(Type.refOffsets().front()) = Interior;
+  else if (Type.kind() == TypeKind::RefArray && Obj->arrayLength() > 0)
+    *Obj->elementSlot(0) = Interior;
+}
+
 ObjRef Vm::allocateSlowPath(TypeId Id, uint64_t ArrayLength) {
   // Stage 1: the cheapest collection that can help — a generational minor
   // collection under allocation pressure, a full collection otherwise.
-  TheCollector->collect("allocation failure");
+  runCollectorCycle("allocation failure");
   ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
   if (Obj)
     return Obj;
@@ -108,7 +147,7 @@ ObjRef Vm::allocateSlowPath(TypeId Id, uint64_t ArrayLength) {
   // first so it can shed optional work for this cycle.
   TheCollector->noteEmergencyCollection();
   notifyMemoryPressure(MemoryPressure::High);
-  TheCollector->collect("emergency");
+  runCollectorCycle("emergency");
   Obj = TheHeap->allocate(Id, ArrayLength);
   if (Obj)
     return Obj;
@@ -131,7 +170,7 @@ ObjRef Vm::handleAllocationExhausted(TypeId Id, uint64_t ArrayLength) {
       if (!Fn || !Fn(Needed))
         continue;
       TheCollector->noteOomHandlerRun();
-      TheCollector->collect("emergency");
+      runCollectorCycle("emergency");
       if (ObjRef Obj = TheHeap->allocate(Id, ArrayLength)) {
         InOomHandlers = false;
         return Obj;
@@ -187,6 +226,12 @@ void Vm::dumpCrashDiagnostics() {
       << " shed-cycles=" << GS.PathShedCycles << "/"
       << GS.BookkeepingShedCycles
       << " worker-start-failures=" << GS.WorkerStartFailures << "\n";
+  if (Hard) {
+    const HardeningCounters HC = Hard->counters();
+    Out << "hardening: defects=" << HC.DefectsDetected
+        << " quarantined=" << HC.QuarantinedTotal
+        << " severed-edges=" << HC.SeveredEdges << "\n";
+  }
   if (TheHeap->safeToEnumerate()) {
     printHeapHistogram(Out, takeHeapHistogram(*TheHeap), 10);
   } else {
@@ -199,7 +244,7 @@ void Vm::setAllocationListener(std::function<void(ObjRef)> Listener) {
   HasAllocListener = static_cast<bool>(AllocListener);
 }
 
-void Vm::collectNow(const char *Cause) { TheCollector->collect(Cause); }
+void Vm::collectNow(const char *Cause) { runCollectorCycle(Cause); }
 
 GlobalRootId Vm::addGlobalRoot(ObjRef Obj) {
   if (!FreeGlobalSlots.empty()) {

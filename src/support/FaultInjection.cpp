@@ -6,6 +6,8 @@
 
 #include "gcassert/support/FaultInjection.h"
 
+#include "gcassert/support/ErrorHandling.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -185,6 +187,22 @@ void gcassert::disarmAllFailpoints() {
 
 namespace {
 
+/// The policy grammar, appended to malformed-policy diagnostics.
+constexpr const char *PolicyGrammar =
+    "valid policies: off, always, once[:skip], every:N, prob:P[:seed]";
+
+/// Comma-separated list of every registered site name, for unknown-site
+/// diagnostics.
+std::string registeredSiteNames() {
+  std::string Names;
+  forEachFailpoint([&Names](Failpoint &FP) {
+    if (!Names.empty())
+      Names += ", ";
+    Names += FP.name();
+  });
+  return Names;
+}
+
 bool parseUint(std::string_view Text, uint64_t &Out) {
   if (Text.empty())
     return false;
@@ -202,7 +220,7 @@ bool applyPolicy(Failpoint &FP, std::string_view Policy, std::string *Error) {
   auto Fail = [&](const char *Why) {
     if (Error)
       *Error = std::string(Why) + " in policy '" + std::string(Policy) +
-               "' for failpoint '" + FP.name() + "'";
+               "' for failpoint '" + FP.name() + "'; " + PolicyGrammar;
     return false;
   };
 
@@ -275,7 +293,8 @@ bool gcassert::armFailpointsFromSpec(std::string_view Spec,
     Failpoint *FP = findFailpoint(Site);
     if (!FP) {
       if (Error)
-        *Error = "unknown failpoint '" + std::string(Site) + "'";
+        *Error = "unknown failpoint '" + std::string(Site) +
+                 "'; registered sites: " + registeredSiteNames();
       return false;
     }
     if (!applyPolicy(*FP, Clause.substr(Eq + 1), Error))
@@ -290,8 +309,10 @@ size_t gcassert::armFailpointsFromEnv() {
     return 0;
   std::string Error;
   if (!armFailpointsFromSpec(Spec, &Error)) {
-    std::fprintf(stderr, "gcassert: GCASSERT_FAILPOINTS: %s\n", Error.c_str());
-    return 0;
+    // Fatal, not a warning: a typo here means the program runs with no
+    // faults armed while the harness believes it is injecting.
+    std::string Msg = "GCASSERT_FAILPOINTS: " + Error;
+    reportFatalError(Msg.c_str());
   }
   size_t Clauses = 1;
   for (const char *C = Spec; *C; ++C)
@@ -315,5 +336,10 @@ Failpoint GenPromoteGuard("gen.promote.guard");
 Failpoint GcWorkerStart("gc.worker.start");
 Failpoint SinkWrite("sink.write");
 Failpoint EngineShed("engine.shed");
+Failpoint CorruptHeader("corrupt.header");
+Failpoint CorruptRef("corrupt.ref");
+Failpoint CorruptFreeCell("corrupt.freelist");
+Failpoint CorruptFreeLink("corrupt.freelist.link");
+Failpoint CorruptRemSet("corrupt.remset");
 } // namespace faults
 } // namespace gcassert

@@ -6,6 +6,9 @@
 
 #include "gcassert/workloads/Harness.h"
 
+#include "gcassert/heap/HeapVerifier.h"
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/Format.h"
 #include "gcassert/support/Timer.h"
 
 using namespace gcassert;
@@ -33,7 +36,25 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
                                                 : TheWorkload->heapBytes();
   Config2.Collector = Options.Collector;
   Config2.Gc.Threads = Options.GcThreads;
+  Config2.Gc.Hardening = Options.Hardening;
   Vm TheVm(Config2);
+
+  if (Options.VerifyHeapAfterGc) {
+    // A defect here means a collector invariant broke (or an injected
+    // corruption slipped past the hardened trace): abort loudly rather
+    // than measure a corrupted run.
+    TheVm.setPostGcCallback([&TheVm] {
+      HeapVerifier Verifier(TheVm.heap());
+      std::vector<HeapDefect> Defects = Verifier.verify();
+      if (!Defects.empty()) {
+        std::string Msg = format(
+            "--verify-heap: %zu defect(s) after collection; first: [%s] %s",
+            Defects.size(), defectKindName(Defects.front().Kind),
+            Defects.front().Description.c_str());
+        reportFatalErrorWithDiagnostics(Msg.c_str());
+      }
+    });
+  }
 
   std::unique_ptr<AssertionEngine> Engine;
   if (Config != BenchConfig::Base) {

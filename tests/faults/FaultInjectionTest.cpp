@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -197,6 +198,49 @@ TEST_F(FaultInjectionTest, SpecEarlierClausesSurviveLaterError) {
   Failpoint A("test.spec.first");
   EXPECT_FALSE(armFailpointsFromSpec("test.spec.first=always,bogus=always"));
   EXPECT_TRUE(A.armed());
+}
+
+TEST_F(FaultInjectionTest, UnknownSiteErrorListsRegisteredSites) {
+  // A typo'd site name must not fail silently: the diagnostic enumerates
+  // what *is* registered so the operator can fix the spec.
+  std::string Error;
+  EXPECT_FALSE(armFailpointsFromSpec("no.such.site=always", &Error));
+  EXPECT_NE(Error.find("registered sites:"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("corrupt.header"), std::string::npos) << Error;
+}
+
+TEST_F(FaultInjectionTest, BadPolicyErrorListsValidPolicies) {
+  Failpoint FP("test.spec.grammar");
+  std::string Error;
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.grammar=nope", &Error));
+  EXPECT_NE(Error.find("valid policies:"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("prob:P"), std::string::npos) << Error;
+
+  Error.clear();
+  EXPECT_FALSE(armFailpointsFromSpec("test.spec.grammar=every:x", &Error));
+  EXPECT_NE(Error.find("valid policies:"), std::string::npos) << Error;
+}
+
+TEST_F(FaultInjectionTest, MalformedEnvSpecIsFatal) {
+  // A malformed GCASSERT_FAILPOINTS means the program would run with no
+  // faults armed while the harness believes it is injecting — strict
+  // parsing aborts instead.
+  EXPECT_DEATH(
+      {
+        setenv("GCASSERT_FAILPOINTS", "definitely.not.a.site=always", 1);
+        armFailpointsFromEnv();
+      },
+      "GCASSERT_FAILPOINTS");
+}
+
+TEST_F(FaultInjectionTest, WellFormedEnvSpecArms) {
+  Failpoint FP("test.env.ok");
+  setenv("GCASSERT_FAILPOINTS", "test.env.ok=once", 1);
+  EXPECT_EQ(armFailpointsFromEnv(), 1u);
+  unsetenv("GCASSERT_FAILPOINTS");
+  EXPECT_TRUE(FP.armed());
+  EXPECT_TRUE(FP.shouldFail());
+  EXPECT_FALSE(FP.shouldFail());
 }
 
 } // namespace

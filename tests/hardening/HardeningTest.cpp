@@ -1,0 +1,492 @@
+//===- HardeningTest.cpp - Hardened heap mode tests ---------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the hardened heap mode end to end: header checksum stamping,
+// trace-piggybacked edge validation (sequential and parallel mark),
+// quarantine containment, poison-on-free, structural audits and the three
+// defect policies — across all four collector families, with every
+// corrupt.* failpoint fired at least once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+#include "gcassert/heap/Hardening.h"
+#include "gcassert/support/Checksum.h"
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Checksum primitives (no VM involved)
+//===----------------------------------------------------------------------===//
+
+TEST(HardeningChecksumTest, PairChecksumIsDeterministic) {
+  EXPECT_EQ(checksum16Pair(1, 0), checksum16Pair(1, 0));
+  EXPECT_EQ(checksum16Pair(7, 1234), checksum16Pair(7, 1234));
+  EXPECT_EQ(HeapHardening::headerChecksum(3, 16), checksum16Pair(3, 16));
+}
+
+TEST(HardeningChecksumTest, PairChecksumIsSensitiveToBothInputs) {
+  // Single-bit flips in either word must change the folded checksum — the
+  // exact corruptions the header stamp exists to catch.
+  uint16_t Base = checksum16Pair(1, 0);
+  EXPECT_NE(checksum16Pair(2, 0), Base);
+  EXPECT_NE(checksum16Pair(1, 1), Base);
+  EXPECT_NE(checksum16Pair(0x00100001u ^ 1u, 0), Base);
+}
+
+TEST(HardeningChecksumTest, Crc32cMatchesKnownVector) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parameterized over the four collector families
+//===----------------------------------------------------------------------===//
+
+class HardeningTest : public ::testing::TestWithParam<CollectorKind> {
+protected:
+  ~HardeningTest() override { disarmAllFailpoints(); }
+
+  VmConfig makeConfig(HardeningMode Mode = HardeningMode::Full,
+                      HardeningPolicy Policy = HardeningPolicy::Quarantine,
+                      size_t HeapBytes = 8u << 20) {
+    VmConfig Config;
+    Config.HeapBytes = HeapBytes;
+    Config.Collector = GetParam();
+    Config.Gc.Hardening = Mode;
+    Config.Gc.OnDefect = Policy;
+    return Config;
+  }
+};
+
+TEST_P(HardeningTest, NewObjectsAreStamped) {
+  Vm TheVm(makeConfig(HardeningMode::Check));
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  ASSERT_NE(TheVm.hardening(), nullptr);
+
+  HandleScope Scope(T);
+  Local Node = Scope.handle(newNode(TheVm, T, 42));
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 8));
+
+  EXPECT_EQ(Node.get()->header().storedChecksum(),
+            HeapHardening::headerChecksum(G.Node, 0));
+  EXPECT_EQ(Arr.get()->header().storedChecksum(),
+            HeapHardening::headerChecksum(G.Array, 8));
+
+  // The stamp must survive a collection (copy / slide / promote all memcpy
+  // the header; flag mutation only touches the low half).
+  TheVm.collectNow();
+  EXPECT_EQ(Node.get()->header().storedChecksum(),
+            HeapHardening::headerChecksum(G.Node, 0));
+  EXPECT_EQ(Arr.get()->header().storedChecksum(),
+            HeapHardening::headerChecksum(G.Array, 8));
+  EXPECT_EQ(TheVm.hardening()->counters().DefectsDetected, 0u);
+}
+
+TEST_P(HardeningTest, OffModeLeavesHeadersUntouched) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = GetParam();
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+
+  EXPECT_EQ(TheVm.hardening(), nullptr);
+  HandleScope Scope(T);
+  Local Node = Scope.handle(newNode(TheVm, T, 1));
+  EXPECT_EQ(Node.get()->header().storedChecksum(), 0u);
+}
+
+TEST_P(HardeningTest, CorruptHeaderIsDetectedAndQuarantined) {
+  Vm TheVm(makeConfig());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T, 1));
+  faults::CorruptHeader.armOnce();
+  ObjRef Victim = newNode(TheVm, T, 2); // header scribbled at allocation
+  Holder.get()->setRef(G.FieldA, Victim);
+
+  TheVm.collectNow();
+
+  const HardeningCounters C = TheVm.hardening()->counters();
+  EXPECT_GE(C.DefectsDetected, 1u);
+  EXPECT_GE(C.BadTypeIds, 1u);
+  EXPECT_GE(C.SeveredEdges, 1u);
+  EXPECT_GE(C.QuarantinedTotal, 1u);
+  EXPECT_EQ(Holder.get()->getRef(G.FieldA), nullptr)
+      << "the edge to the corrupted object must be severed";
+
+  // GcStats mirrors the counters at cycle end.
+  EXPECT_EQ(TheVm.gcStats().HeapDefects, C.DefectsDetected);
+  EXPECT_EQ(TheVm.gcStats().Quarantined, C.QuarantinedTotal);
+
+  // Containment, not collapse: the VM keeps allocating and collecting.
+  Local After = Scope.handle(newNode(TheVm, T, 3));
+  TheVm.collectNow();
+  EXPECT_EQ(After.get()->getScalar<int64_t>(G.FieldValue), 3);
+  EXPECT_EQ(Holder.get()->getScalar<int64_t>(G.FieldValue), 1);
+}
+
+TEST_P(HardeningTest, CheckModeAlsoDetectsHeaderCorruption) {
+  // The injected corruption pushes the type id out of range, so even Check
+  // mode (no pointer-plausibility pass) must catch it.
+  Vm TheVm(makeConfig(HardeningMode::Check));
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T, 1));
+  faults::CorruptHeader.armOnce();
+  Holder.get()->setRef(G.FieldA, newNode(TheVm, T, 2));
+
+  TheVm.collectNow();
+  EXPECT_GE(TheVm.hardening()->counters().BadTypeIds, 1u);
+  EXPECT_EQ(Holder.get()->getRef(G.FieldA), nullptr);
+}
+
+TEST_P(HardeningTest, CorruptRefIsDetectedAndSevered) {
+  Vm TheVm(makeConfig());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  faults::CorruptRef.armOnce();
+  // The victim's first reference slot now points into its own payload:
+  // in-heap and aligned, but no object header lives there.
+  Local Victim = Scope.handle(newNode(TheVm, T, 7));
+  ASSERT_NE(Victim.get()->getRef(G.FieldA), nullptr);
+
+  TheVm.collectNow();
+
+  const HardeningCounters C = TheVm.hardening()->counters();
+  EXPECT_GE(C.DefectsDetected, 1u);
+  EXPECT_GE(C.SeveredEdges, 1u);
+  EXPECT_GE(C.BadTypeIds + C.ChecksumFailures + C.BadReferences, 1u);
+  EXPECT_EQ(Victim.get()->getRef(G.FieldA), nullptr)
+      << "the garbage edge must be severed, not chased";
+  EXPECT_EQ(Victim.get()->getScalar<int64_t>(G.FieldValue), 7)
+      << "the victim itself is intact and stays live";
+}
+
+TEST_P(HardeningTest, QuarantinePolicySurvivesWorkloadAfterInjection) {
+  // The acceptance bar: after an injected corruption, the Quarantine policy
+  // lets the VM complete a workload that forces many further collections.
+  Vm TheVm(makeConfig(HardeningMode::Full, HardeningPolicy::Quarantine,
+                      /*HeapBytes=*/2u << 20));
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  // Slot 16 holds the victim; the loop below only cycles slots 0-15, so
+  // the corrupted object stays reachable until the trace severs the edge.
+  Local Keep = Scope.handle(TheVm.allocate(T, G.Array, 17));
+  faults::CorruptHeader.armOnce();
+  Keep.get()->setElement(16, newNode(TheVm, T, 0)); // corrupted at allocation
+
+  for (int64_t I = 0; I < 150000; ++I) {
+    ObjRef Node = newNode(TheVm, T, I);
+    Keep.get()->setElement(static_cast<uint64_t>(I) % 16, Node);
+  }
+
+  EXPECT_GT(TheVm.gcStats().Cycles + TheVm.gcStats().MinorCycles, 0u);
+  EXPECT_GE(TheVm.hardening()->counters().DefectsDetected, 1u);
+  // The surviving graph is readable and consistent.
+  for (uint64_t I = 0; I < 16; ++I) {
+    if (ObjRef Node = Keep.get()->getElement(I)) {
+      EXPECT_EQ(static_cast<uint64_t>(
+                    Node->getScalar<int64_t>(G.FieldValue)) % 16,
+                I);
+    }
+  }
+}
+
+TEST_P(HardeningTest, AbortPolicyFailsStopOnCorruption) {
+  EXPECT_DEATH(
+      {
+        VmConfig Config;
+        Config.HeapBytes = 8u << 20;
+        Config.Collector = GetParam();
+        Config.Gc.Hardening = HardeningMode::Full;
+        Config.Gc.OnDefect = HardeningPolicy::Abort;
+        Vm TheVm(Config);
+        MutatorThread &T = TheVm.mainThread();
+        const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+        HandleScope Scope(T);
+        Local Holder = Scope.handle(newNode(TheVm, T, 1));
+        faults::CorruptHeader.armOnce();
+        Holder.get()->setRef(G.FieldA, newNode(TheVm, T, 2));
+        TheVm.collectNow();
+      },
+      "heap corruption detected");
+}
+
+TEST_P(HardeningTest, CallbackPolicyObservesDefectsAndContinues) {
+  VmConfig Config = makeConfig(HardeningMode::Full, HardeningPolicy::Callback);
+  int Calls = 0;
+  DefectKind LastKind = DefectKind::StaleGcState;
+  Config.Gc.OnDefectCallback = [&](const HeapDefect &Defect) {
+    ++Calls;
+    LastKind = Defect.Kind;
+  };
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T, 1));
+  faults::CorruptHeader.armOnce();
+  Holder.get()->setRef(G.FieldA, newNode(TheVm, T, 2));
+  TheVm.collectNow();
+
+  EXPECT_GE(Calls, 1);
+  EXPECT_EQ(LastKind, DefectKind::BadTypeId);
+  // The callback observes; containment still happens.
+  EXPECT_EQ(Holder.get()->getRef(G.FieldA), nullptr);
+  EXPECT_GE(TheVm.hardening()->counters().QuarantinedTotal, 1u);
+}
+
+TEST_P(HardeningTest, DefectLogRecordsTheCorruption) {
+  Vm TheVm(makeConfig());
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T, 1));
+  faults::CorruptHeader.armOnce();
+  Holder.get()->setRef(G.FieldA, newNode(TheVm, T, 2));
+  TheVm.collectNow();
+
+  std::vector<HeapDefect> Defects = TheVm.hardening()->defects();
+  ASSERT_FALSE(Defects.empty());
+  EXPECT_EQ(Defects.front().Kind, DefectKind::BadTypeId);
+  EXPECT_FALSE(Defects.front().Description.empty());
+  EXPECT_NE(TheVm.hardening()->describeState().find("bad-type-id"),
+            std::string::npos);
+}
+
+TEST_P(HardeningTest, CheckModeHeapMatchesOffModeHeap) {
+  // Hardening must be observation-only: the same program produces the same
+  // live graph with and without it.
+  auto RunProgram = [this](HardeningMode Mode) -> size_t {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = GetParam();
+    Config.Gc.Hardening = Mode;
+    Vm TheVm(Config);
+    MutatorThread &T = TheVm.mainThread();
+    const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+    HandleScope Scope(T);
+    Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 32));
+    for (int64_t I = 0; I < 2000; ++I) {
+      ObjRef Node = newNode(TheVm, T, I);
+      if (I % 3 == 0)
+        Arr.get()->setElement(static_cast<uint64_t>(I) % 32, Node);
+    }
+    TheVm.collectNow();
+    return heapObjectCount(TheVm);
+  };
+
+  EXPECT_EQ(RunProgram(HardeningMode::Off), RunProgram(HardeningMode::Check));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, HardeningTest,
+                         ::testing::Values(CollectorKind::MarkSweep,
+                                           CollectorKind::SemiSpace,
+                                           CollectorKind::MarkCompact,
+                                           CollectorKind::Generational),
+                         [](const ::testing::TestParamInfo<CollectorKind> &I) {
+                           return std::string(collectorName(I.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// Parallel mark (mark-sweep family, 2 and 4 GC threads)
+//===----------------------------------------------------------------------===//
+
+class HardeningParallelTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  ~HardeningParallelTest() override { disarmAllFailpoints(); }
+};
+
+TEST_P(HardeningParallelTest, ParallelMarkDetectsCorruptHeader) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.Gc.Threads = GetParam();
+  Config.Gc.Hardening = HardeningMode::Check;
+  Config.Gc.OnDefect = HardeningPolicy::Quarantine;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  // A wide graph so the work-stealing trace actually fans out.
+  HandleScope Scope(T);
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 256));
+  for (uint64_t I = 0; I < 256; ++I) {
+    ObjRef Node = newNode(TheVm, T, static_cast<int64_t>(I));
+    Arr.get()->setElement(I, Node);
+    if (I > 0)
+      Node->setRef(G.FieldA, Arr.get()->getElement(I - 1));
+  }
+  Local Holder = Scope.handle(newNode(TheVm, T, -1));
+  faults::CorruptHeader.armOnce();
+  Holder.get()->setRef(G.FieldB, newNode(TheVm, T, -2));
+
+  TheVm.collectNow();
+
+  const HardeningCounters C = TheVm.hardening()->counters();
+  EXPECT_GE(C.DefectsDetected, 1u);
+  EXPECT_GE(C.BadTypeIds, 1u);
+  EXPECT_GE(C.SeveredEdges, 1u);
+  EXPECT_EQ(Holder.get()->getRef(G.FieldB), nullptr);
+
+  // The rest of the graph marked correctly despite the mid-trace defect.
+  for (uint64_t I = 0; I < 256; ++I) {
+    ObjRef Node = Arr.get()->getElement(I);
+    ASSERT_NE(Node, nullptr);
+    EXPECT_EQ(Node->getScalar<int64_t>(G.FieldValue), static_cast<int64_t>(I));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GcThreads, HardeningParallelTest,
+                         ::testing::Values(2u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned> &I) {
+                           return "Threads" + std::to_string(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Free-list heap specifics: poison-on-free and structural audits
+//===----------------------------------------------------------------------===//
+
+class HardeningFreeListTest : public ::testing::Test {
+protected:
+  ~HardeningFreeListTest() override { disarmAllFailpoints(); }
+
+  static VmConfig markSweepConfig() {
+    VmConfig Config;
+    Config.HeapBytes = 8u << 20;
+    Config.Collector = CollectorKind::MarkSweep;
+    Config.Gc.Hardening = HardeningMode::Full;
+    Config.Gc.OnDefect = HardeningPolicy::Quarantine;
+    return Config;
+  }
+};
+
+TEST_F(HardeningFreeListTest, PoisonDamageIsDetectedOnReuse) {
+  Vm TheVm(markSweepConfig());
+  MutatorThread &T = TheVm.mainThread();
+
+  // "corrupt.freelist" scribbles the head free cell's poisoned area right
+  // before it is reused — a use-after-free write. The reuse check must trip
+  // on it, quarantine the cell and serve the allocation from the next one.
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  faults::CorruptFreeCell.armOnce();
+  HandleScope Scope(T);
+  Local Node = Scope.handle(newNode(TheVm, T, 5));
+  ASSERT_NE(Node.get(), nullptr);
+  EXPECT_EQ(Node.get()->getScalar<int64_t>(G.FieldValue), 5);
+
+  const HardeningCounters C = TheVm.hardening()->counters();
+  EXPECT_GE(C.PoisonTrips, 1u);
+  EXPECT_GE(C.DefectsDetected, 1u);
+  EXPECT_GE(C.QuarantinedTotal, 1u);
+
+  std::vector<HeapDefect> Defects = TheVm.hardening()->defects();
+  ASSERT_FALSE(Defects.empty());
+  EXPECT_EQ(Defects.front().Kind, DefectKind::PoisonDamage);
+
+  // The quarantined cell is pinned through later sweeps without incident.
+  TheVm.collectNow();
+  TheVm.collectNow();
+  EXPECT_EQ(Node.get()->header().isObject(), true);
+}
+
+TEST_F(HardeningFreeListTest, FreeListAuditDetectsAndRepairsCrossLink) {
+  Vm TheVm(markSweepConfig());
+  MutatorThread &T = TheVm.mainThread();
+
+  // "corrupt.freelist.link" points the head cell's next link at the cell
+  // itself; after the pop the class list heads at a live object.
+  faults::CorruptFreeLink.armOnce();
+  HandleScope Scope(T);
+  Local Node = Scope.handle(newNode(TheVm, T, 9));
+  ASSERT_NE(Node.get(), nullptr);
+
+  std::vector<HeapDefect> Defects;
+  TheVm.heap().auditStructure(Defects, /*Repair=*/true);
+  ASSERT_FALSE(Defects.empty());
+  EXPECT_EQ(Defects.front().Kind, DefectKind::FreeListCorrupt);
+  EXPECT_NE(Defects.front().Description.find("live object"),
+            std::string::npos);
+
+  // Repair truncated the list at the bad link: allocation stays safe and
+  // never hands out the live cell a second time.
+  for (int64_t I = 0; I < 1000; ++I)
+    ASSERT_NE(newNode(TheVm, T, I), nullptr);
+  EXPECT_EQ(Node.get()->getScalar<int64_t>(
+                GraphTypes::ensure(TheVm.types()).FieldValue),
+            9);
+
+  // A clean audit after a collection rebuilt the lists.
+  TheVm.collectNow();
+  Defects.clear();
+  TheVm.heap().auditStructure(Defects, /*Repair=*/false);
+  EXPECT_TRUE(Defects.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Generational specifics: remembered-set validation
+//===----------------------------------------------------------------------===//
+
+TEST(HardeningGenerationalTest, CorruptRememberedSetEntryIsDetected) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::Generational;
+  Config.Gc.Hardening = HardeningMode::Full;
+  Config.Gc.OnDefect = HardeningPolicy::Quarantine;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+
+  HandleScope Scope(T);
+  Local Holder = Scope.handle(newNode(TheVm, T, 1));
+  TheVm.collectNow(); // Major: Holder is now in the old generation.
+
+  // "corrupt.remset" slips an interior pointer into the remembered set
+  // alongside the legitimate entry the barrier records.
+  faults::CorruptRemSet.armOnce();
+  ObjRef Young = newNode(TheVm, T, 2);
+  Holder.get()->setRef(G.FieldA, Young);
+
+  uint64_t MinorsBefore = TheVm.gcStats().MinorCycles;
+  for (int I = 0; I < 300000; ++I)
+    newNode(TheVm, T);
+  ASSERT_GT(TheVm.gcStats().MinorCycles, MinorsBefore);
+
+  const HardeningCounters C = TheVm.hardening()->counters();
+  EXPECT_GE(C.DefectsDetected, 1u);
+  bool FoundRemSetDefect = false;
+  for (const HeapDefect &Defect : TheVm.hardening()->defects())
+    if (Defect.Kind == DefectKind::RememberedSetCorrupt)
+      FoundRemSetDefect = true;
+  EXPECT_TRUE(FoundRemSetDefect);
+
+  // The legitimate entry still did its job across the minor collections.
+  ObjRef Survivor = Holder.get()->getRef(G.FieldA);
+  ASSERT_NE(Survivor, nullptr);
+  EXPECT_EQ(Survivor->getScalar<int64_t>(G.FieldValue), 2);
+
+  disarmAllFailpoints();
+}
+
+} // namespace

@@ -111,6 +111,67 @@ TEST_P(HeapVerifierTest, DetectsMisalignedReference) {
   Holder.get()->setRef(G.FieldB, nullptr);
 }
 
+TEST_P(HeapVerifierTest, LargeObjectWithRefPayloadIsVerified) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+
+  // Big enough to land in the free-list heap's large-object space (and to
+  // exercise the bump heaps' large-allocation paths): 2000 elements is a
+  // ~16 KiB payload, well past the 8 KiB small-object ceiling.
+  constexpr uint64_t Len = 2000;
+  Local Arr = Scope.handle(TheVm.allocate(T, G.Array, Len));
+  Local Blob = Scope.handle(TheVm.allocate(T, G.Blob, 100000));
+  (void)Blob;
+  for (uint64_t I = 0; I < Len; I += 100)
+    Arr.get()->setElement(I, newNode(TheVm, T, static_cast<int64_t>(I)));
+
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.isClean());
+
+  // A scribbled element deep in the large payload must be found.
+  Arr.get()->setElement(
+      1500, reinterpret_cast<ObjRef>(
+                reinterpret_cast<uintptr_t>(Arr.get()->getElement(0)) + 1));
+  std::vector<HeapDefect> Defects = Verifier.verify();
+  ASSERT_EQ(Defects.size(), 1u);
+  EXPECT_EQ(Defects[0].Obj, Arr.get());
+  EXPECT_EQ(Defects[0].Kind, DefectKind::BadReference);
+  Arr.get()->setElement(1500, nullptr);
+  EXPECT_TRUE(Verifier.isClean());
+}
+
+TEST_P(HeapVerifierTest, TypeIdUpperBoundIsExactlyRegistrySize) {
+  MutatorThread &T = TheVm.mainThread();
+  const GraphTypes &G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+
+  // GraphTypes registers Blob last, so its id is exactly types().size():
+  // the largest valid id. A verifier bound of ">= size()" (the classic
+  // off-by-one) would reject every object of the newest type.
+  ASSERT_EQ(G.Blob, TheVm.types().size());
+  Local Blob = Scope.handle(TheVm.allocate(T, G.Blob, 16));
+
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.isClean());
+
+  // The mutation half needs a heap walk that does not derive strides from
+  // the (now invalid) type: only the free-list heap's block metadata walk
+  // qualifies without hardening attached.
+  if (GetParam() != CollectorKind::MarkSweep)
+    return;
+
+  // One past the registry is invalid and must be flagged.
+  Blob.get()->header().Type = static_cast<TypeId>(TheVm.types().size() + 1);
+  std::vector<HeapDefect> Defects = Verifier.verify();
+  ASSERT_EQ(Defects.size(), 1u);
+  EXPECT_EQ(Defects[0].Kind, DefectKind::BadTypeId);
+  EXPECT_NE(Defects[0].Description.find("unregistered type id"),
+            std::string::npos);
+  Blob.get()->header().Type = G.Blob; // Repair before the VM collects.
+  EXPECT_TRUE(Verifier.isClean());
+}
+
 INSTANTIATE_TEST_SUITE_P(AllCollectors, HeapVerifierTest,
                          ::testing::Values(CollectorKind::MarkSweep,
                                            CollectorKind::SemiSpace,
