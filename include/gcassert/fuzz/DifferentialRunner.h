@@ -1,0 +1,64 @@
+//===- gcassert/fuzz/DifferentialRunner.h - Cross-config check --*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential runner: executes one trace across the collector matrix
+/// (4 collector families x {1,2,4} GC threads x hardening {Off, Check}),
+/// checks every run against the shadow-heap oracle, and cross-checks the
+/// runs against each other — violation multisets, live-object multisets,
+/// and GcStats invariants must all agree. Any divergence is reported with
+/// enough detail to reproduce and can be handed to the TraceReducer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_FUZZ_DIFFERENTIALRUNNER_H
+#define GCASSERT_FUZZ_DIFFERENTIALRUNNER_H
+
+#include "gcassert/fuzz/TraceInterpreter.h"
+
+namespace gcassert {
+namespace fuzz {
+
+/// Matrix selection.
+enum class MatrixKind : uint8_t {
+  /// 4 collectors x {1,2,4} threads x hardening {Off, Check} = 24 configs.
+  Full,
+  /// 4 collectors x 1 thread x hardening Off = 4 configs (fast paths only).
+  Quick,
+  /// 4 collectors x 1 thread x hardening Check — the only matrix safe to
+  /// run with a corrupt.* failpoint armed (Off-mode tracing would chase the
+  /// scribbled reference into unscreened garbage).
+  HardenedOnly,
+};
+
+std::vector<RunConfig> buildMatrix(MatrixKind Kind);
+
+/// Outcome of one differential run.
+struct DiffReport {
+  bool Diverged = false;
+  /// Human-readable description of the first divergence found.
+  std::string Description;
+  /// Config that diverged (description string), empty for oracle-side
+  /// context.
+  std::string Config;
+
+  /// When true, runs are additionally required to report zero hardening
+  /// defects/quarantines; a seeded corrupt.* failpoint trips this.
+  bool ExpectDefectFree = true;
+};
+
+/// Runs \p Program across \p Matrix and against the oracle. With
+/// \p ExpectDefectFree (the default) any nonzero HeapDefects/Quarantined
+/// count is itself a divergence — this is how a seeded corrupt.* failpoint
+/// surfaces even when the severed edge does not change the live set.
+DiffReport runDifferential(const TraceProgram &Program,
+                           const std::vector<RunConfig> &Matrix,
+                           bool ExpectDefectFree = true);
+
+} // namespace fuzz
+} // namespace gcassert
+
+#endif // GCASSERT_FUZZ_DIFFERENTIALRUNNER_H

@@ -1,0 +1,97 @@
+//===- gcassert/fuzz/ShadowHeap.h - Ground-truth heap oracle ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shadow-heap oracle: a plain-STL mirror of the managed heap that
+/// executes the same trace the real interpreter runs and computes, from
+/// first principles (graph reachability over integer node ids — no object
+/// headers, no tracing, no collector), exactly which assertion violations
+/// every checking collection must report and exactly which objects must
+/// survive it. Every engine verdict is checked against this independent
+/// implementation; DESIGN.md §10 documents the oracle semantics and why
+/// they are collector-independent for the programs the fuzzer emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_FUZZ_SHADOWHEAP_H
+#define GCASSERT_FUZZ_SHADOWHEAP_H
+
+#include "gcassert/core/Violation.h"
+#include "gcassert/fuzz/TraceProgram.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+namespace fuzz {
+
+/// The comparison key for one violation: which cycle, which assertion, what
+/// type of object. Paths and messages are presentation, not semantics, and
+/// OwnershipOverlap warnings depend on the address order of the owner scan,
+/// so neither participates in differential comparison.
+struct ViolationKey {
+  uint64_t Cycle;
+  AssertionKind Kind;
+  std::string TypeName;
+
+  bool operator==(const ViolationKey &O) const {
+    return Cycle == O.Cycle && Kind == O.Kind && TypeName == O.TypeName;
+  }
+  bool operator<(const ViolationKey &O) const {
+    if (Cycle != O.Cycle)
+      return Cycle < O.Cycle;
+    if (Kind != O.Kind)
+      return Kind < O.Kind;
+    return TypeName < O.TypeName;
+  }
+};
+
+/// Sorted multiset of violation keys.
+using ViolationMultiset = std::vector<ViolationKey>;
+
+std::string describeViolations(const ViolationMultiset &Violations);
+
+/// The live set right after one collection, in collector-independent form:
+/// every class object carries its allocation serial (stamped into the
+/// payload by the interpreter, mirrored by node id in the shadow), and every
+/// type its instance count and byte volume (TypeRegistry::allocationSize
+/// units, so moving and non-moving heaps agree).
+struct LiveSnapshot {
+  /// Sorted (FuzzType index, serial) pairs, class types only.
+  std::vector<std::pair<uint8_t, uint64_t>> ClassSerials;
+  /// Sorted (FuzzType index, instances, bytes), zero rows dropped.
+  std::vector<std::array<uint64_t, 3>> PerType;
+
+  bool operator==(const LiveSnapshot &O) const {
+    return ClassSerials == O.ClassSerials && PerType == O.PerType;
+  }
+};
+
+std::string describeSnapshot(const LiveSnapshot &Snapshot);
+
+/// What the oracle predicts for a whole trace.
+struct ShadowResult {
+  /// Sorted multiset over all cycles (OwnershipOverlap never included; the
+  /// OwneeOutlivedOwner entries are in ExtendedViolations only).
+  ViolationMultiset CoreViolations;
+  /// CoreViolations plus the OwneeOutlivedOwner watch verdicts — the full
+  /// expectation for an engine running at DegradationLevel::Full.
+  ViolationMultiset Violations;
+  /// One snapshot per Collect op, in order.
+  std::vector<LiveSnapshot> Snapshots;
+  /// Total objects the trace allocated.
+  uint64_t ObjectsAllocated = 0;
+};
+
+/// Runs \p Program against the shadow heap.
+ShadowResult runShadowOracle(const TraceProgram &Program);
+
+} // namespace fuzz
+} // namespace gcassert
+
+#endif // GCASSERT_FUZZ_SHADOWHEAP_H

@@ -1,0 +1,38 @@
+//===- gcassert/fuzz/TraceGenerator.h - Random trace generator --*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random-program generator. One seed, one program, forever:
+/// the generator draws every decision from a support/Random SplitMix64
+/// stream, so a "seed:<n>" replay spec reproduces the trace bit-for-bit on
+/// any host (tests/support/RandomTest.cpp pins the stream).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_FUZZ_TRACEGENERATOR_H
+#define GCASSERT_FUZZ_TRACEGENERATOR_H
+
+#include "gcassert/fuzz/TraceProgram.h"
+
+namespace gcassert {
+namespace fuzz {
+
+struct GeneratorOptions {
+  /// Approximate number of ops per trace (the trailing collects are
+  /// appended on top).
+  size_t TargetOps = 96;
+};
+
+/// Generates the deterministic program for \p Seed. Every program ends with
+/// two Collect ops (the second resolves the orphaned-ownee watch), and the
+/// generator keeps allocation between consecutive collects far below the
+/// smallest nursery so no implicit collection can ever fire.
+TraceProgram generateTrace(uint64_t Seed, const GeneratorOptions &Options = {});
+
+} // namespace fuzz
+} // namespace gcassert
+
+#endif // GCASSERT_FUZZ_TRACEGENERATOR_H

@@ -1,0 +1,67 @@
+//===- gcassert/fuzz/TraceInterpreter.h - Trace execution -------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a TraceProgram against a real Vm + AssertionEngine under one
+/// collector configuration and extracts the collector-independent result:
+/// the violation multiset, the post-collection live snapshots, and the
+/// GcStats invariants every clean run must satisfy.
+///
+/// The interpreter never caches an ObjRef across ops: moving collectors
+/// invalidate raw references, so objects are only reached through the Vm's
+/// global root slots, which every collector updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_FUZZ_TRACEINTERPRETER_H
+#define GCASSERT_FUZZ_TRACEINTERPRETER_H
+
+#include "gcassert/fuzz/ShadowHeap.h"
+#include "gcassert/fuzz/TraceProgram.h"
+#include "gcassert/runtime/Vm.h"
+
+namespace gcassert {
+namespace fuzz {
+
+/// One cell of the differential matrix.
+struct RunConfig {
+  CollectorKind Collector = CollectorKind::MarkSweep;
+  unsigned Threads = 1;
+  HardeningMode Hardening = HardeningMode::Off;
+};
+
+std::string describeRunConfig(const RunConfig &Config);
+
+/// What one execution produced.
+struct RunResult {
+  /// False when the run broke a structural precondition (allocation
+  /// returned null, an implicit collection fired, ...). Generated traces
+  /// never produce invalid runs; arbitrary replay specs might.
+  bool Valid = true;
+  std::string InvalidReason;
+
+  /// Sorted multiset excluding OwnershipOverlap (order-dependent, see
+  /// ShadowHeap.h).
+  ViolationMultiset Violations;
+  /// OwnershipOverlap warnings seen (counted, not compared).
+  uint64_t OverlapWarnings = 0;
+  /// One snapshot per Collect op.
+  std::vector<LiveSnapshot> Snapshots;
+
+  GcStats Stats;
+  uint64_t EngineGcCycles = 0;
+  uint64_t CollectOps = 0;
+};
+
+/// Runs \p Program on a fresh Vm configured per \p Config. Threads > 1
+/// disables §2.7 path recording so the parallel tracer actually engages
+/// (with recording on, the mark-sweep family forces the sequential loop).
+RunResult runTrace(const TraceProgram &Program, const RunConfig &Config);
+
+} // namespace fuzz
+} // namespace gcassert
+
+#endif // GCASSERT_FUZZ_TRACEINTERPRETER_H

@@ -1,0 +1,147 @@
+//===- gcassert/fuzz/TraceProgram.h - Heap-mutation traces ------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzer's program representation: a heap-mutation trace
+/// is a flat list of small ops over a fixed bank of global root slots and a
+/// fixed universe of five managed types. Traces are closed under
+/// subsequence: every op is defined as a no-op when its preconditions do
+/// not hold (empty slot, wrong type, no open region), so the delta-debugging
+/// reducer can drop arbitrary ops and the remainder is still a valid
+/// program. Two invariants the op semantics enforce (rather than trusting
+/// the generator) keep the oracle collector-independent:
+///
+///  * no heap edge ever points at an Owner-type object (owners are reachable
+///    only from root slots), so the ownership phase's address-ordered owner
+///    scan cannot change what is live or which violations fire;
+///  * programs allocate far less than a nursery between collections, so no
+///    implicit (unchecked) collection ever runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_FUZZ_TRACEPROGRAM_H
+#define GCASSERT_FUZZ_TRACEPROGRAM_H
+
+#include "gcassert/heap/TypeRegistry.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcassert {
+namespace fuzz {
+
+/// Number of global root slots every trace runs over.
+inline constexpr unsigned SlotCount = 24;
+
+/// The fixed type universe. Small/Node are ordinary class types, Owner is
+/// the only type assert-ownedby owners are drawn from (and the only type
+/// Store refuses as a value), RefArray/DataArray exercise the array paths.
+enum class FuzzType : uint8_t {
+  Small,     ///< class: 2 ref fields + 8-byte serial
+  Node,      ///< class: 3 ref fields + 8-byte serial
+  Owner,     ///< class: 4 ref fields + 8-byte serial; never a field target
+  RefArray,  ///< variable-length reference array
+  DataArray, ///< variable-length byte array (untraced)
+};
+inline constexpr unsigned NumFuzzTypes = 5;
+
+/// Registered type name for \p Type (stable across VMs, used as the
+/// violation-comparison key).
+const char *fuzzTypeName(FuzzType Type);
+
+/// Reference-field count of a class FuzzType (0 for arrays).
+unsigned fuzzRefFieldCount(FuzzType Type);
+
+/// Mirror of TypeRegistry::allocationSize for the shadow heap: header +
+/// payload (classes) or header + length word + elements (arrays), with the
+/// same 16-byte minimum. Keeping this formula in one visible place is what
+/// lets the oracle predict assert-volume byte counts and histogram bytes
+/// without asking the real heap.
+uint64_t fuzzAllocationSize(FuzzType Type, uint64_t ArrayLength);
+
+/// The per-VM registration of the universe: TypeIds plus the field offsets
+/// the interpreter needs.
+struct FuzzTypeSet {
+  TypeId Ids[NumFuzzTypes] = {};
+  /// Ref-field payload offsets per class type (empty for arrays).
+  std::vector<uint32_t> RefOffsets[NumFuzzTypes];
+  /// Payload offset of the 8-byte serial scalar (class types only).
+  uint32_t SerialOffset[NumFuzzTypes] = {};
+
+  /// The FuzzType with TypeId \p Id, or NumFuzzTypes if foreign.
+  unsigned indexOf(TypeId Id) const {
+    for (unsigned I = 0; I != NumFuzzTypes; ++I)
+      if (Ids[I] == Id)
+        return I;
+    return NumFuzzTypes;
+  }
+};
+
+/// Registers the five fuzz types in \p Types.
+FuzzTypeSet registerFuzzTypes(TypeRegistry &Types);
+
+/// Trace operations. Slot operands are root-slot indices in [0, SlotCount).
+enum class OpKind : uint8_t {
+  New,             ///< A=dst slot, B=FuzzType, Aux=array length
+  Store,           ///< A=dst slot, B=field/element selector, C=src slot
+  NullField,       ///< A=dst slot, B=field/element selector
+  Load,            ///< A=dst slot, B=src slot, C=field/element selector
+  Drop,            ///< A=slot: null the root slot
+  Collect,         ///< run an explicit (checking) collection
+  AssertDead,      ///< A=slot
+  AssertUnshared,  ///< A=slot
+  AssertOwnedBy,   ///< A=owner slot, B=owner field selector, C=ownee slot;
+                   ///< also stores owner.field = ownee so ownership can hold
+  AssertInstances, ///< B=FuzzType, Aux=limit
+  AssertVolume,    ///< B=FuzzType, Aux=limit bytes
+  RegionBegin,     ///< open an allocation region on the main thread
+  RegionEnd,       ///< close it and assert-alldead (no-op when none open)
+};
+
+/// One trace operation. Field/element selectors are reduced modulo the
+/// target's ref-field count or array length at execution time.
+struct TraceOp {
+  OpKind Kind;
+  uint8_t A = 0;
+  uint8_t B = 0;
+  uint8_t C = 0;
+  uint32_t Aux = 0;
+
+  bool operator==(const TraceOp &O) const {
+    return Kind == O.Kind && A == O.A && B == O.B && C == O.C && Aux == O.Aux;
+  }
+};
+
+/// A full trace plus its provenance. The one-line replay spec is either
+/// "seed:<n>[:ops=<n>]" (regenerate through TraceGenerator) or
+/// "prog:<op>;<op>;..." (explicit op list, what the reducer prints).
+struct TraceProgram {
+  std::vector<TraceOp> Ops;
+  /// Nonzero when this program came out of the generator.
+  uint64_t Seed = 0;
+  bool HasSeed = false;
+  size_t SeedTargetOps = 0;
+
+  /// Serializes the explicit op-list form ("prog:...").
+  std::string serializeOps() const;
+
+  /// The shortest faithful replay spec: the seed form when available,
+  /// otherwise the op-list form.
+  std::string replaySpec() const;
+
+  size_t collectCount() const;
+};
+
+/// Parses either spec form. Returns false (and fills \p Error) on malformed
+/// input; a "seed:" spec is expanded through the generator.
+bool parseTraceSpec(const std::string &Spec, TraceProgram &Out,
+                    std::string *Error = nullptr);
+
+} // namespace fuzz
+} // namespace gcassert
+
+#endif // GCASSERT_FUZZ_TRACEPROGRAM_H

@@ -1,0 +1,47 @@
+//===- gcassert/fuzz/TraceReducer.h - Delta-debugging reducer ---*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ddmin-style trace minimizer. Because every TraceOp is a guarded no-op
+/// when its preconditions fail (see TraceProgram.h), any subsequence of a
+/// trace is itself a valid trace, which makes chunk removal trivially sound:
+/// the reducer repeatedly deletes op ranges while the caller's predicate
+/// (usually "the differential run still diverges") keeps holding, down to a
+/// 1-minimal trace whose replay spec is printed for the bug report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_FUZZ_TRACEREDUCER_H
+#define GCASSERT_FUZZ_TRACEREDUCER_H
+
+#include "gcassert/fuzz/TraceProgram.h"
+
+#include <functional>
+
+namespace gcassert {
+namespace fuzz {
+
+struct ReducerStats {
+  /// Predicate evaluations spent.
+  size_t Probes = 0;
+  /// Ops in / ops out.
+  size_t InitialOps = 0;
+  size_t FinalOps = 0;
+};
+
+/// Shrinks \p Program to a 1-minimal trace for which \p StillFails returns
+/// true. \p StillFails must return true for \p Program itself (the reducer
+/// asserts this with its first probe). \p MaxProbes bounds the work; the
+/// best program found so far is returned when the budget runs out.
+TraceProgram
+reduceTrace(const TraceProgram &Program,
+            const std::function<bool(const TraceProgram &)> &StillFails,
+            ReducerStats *Stats = nullptr, size_t MaxProbes = 4000);
+
+} // namespace fuzz
+} // namespace gcassert
+
+#endif // GCASSERT_FUZZ_TRACEREDUCER_H

@@ -38,12 +38,20 @@ public:
   /// the engine's tables are translated via onMinorGcComplete.
   void collectMinor();
 
-  /// Runs one major collection: evacuates the nursery, then runs the full
-  /// checking mark-sweep over the old generation.
+  /// Runs one major collection: the full checking mark-sweep over the
+  /// whole graph, the old generation's sweep, then a mark-driven nursery
+  /// evacuation (exactly the objects the checking trace marked survive).
   void collectMajor();
 
 private:
+  /// Re-traces the nursery from roots and the remembered set (minor
+  /// collections, where no full-graph mark information exists).
   void evacuateNursery();
+
+  /// Promotes exactly the marked nursery objects (major collections,
+  /// after the full checking trace) — including ownership-phase-retained
+  /// objects no root path reaches.
+  void evacuateNurseryMarked();
 
   GenerationalHeap &TheHeap;
 };

@@ -71,10 +71,12 @@ public:
     // costs a single predictable branch. Every edge passes the screen
     // (which in Full mode validates the whole header before isVisited may
     // read a fake flag word); Check mode defers header validation to the
-    // first encounter below — a damaged object enters the cycle unmarked,
-    // so whichever edge reaches it first detects it, and later edges trip
-    // the quarantine screen. A defective edge is severed so the corruption
-    // cannot propagate through the rest of the cycle.
+    // first encounter below — a damaged object normally enters the cycle
+    // unmarked, so whichever edge reaches it first detects it, and later
+    // edges trip the quarantine screen. The exception — a fake flag word
+    // that impersonates a visited object — is refuted by the type-id gate
+    // on the visited path below. A defective edge is severed so the
+    // corruption cannot propagate through the rest of the cycle.
     if (GCA_UNLIKELY(Hard != nullptr)) {
       EdgeVerdict V = Hard->screenEdge(Obj);
       if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
@@ -105,12 +107,41 @@ public:
       return;
     }
 
+    // Check mode: the first-encounter validation above never ran if the
+    // fake flag word of a scribbled reference impersonates a visited (or
+    // forwarded) object — visitedAddress would then read a bogus forwarding
+    // pointer out of payload bytes. One type-id compare refutes such fakes
+    // before any further header bit is trusted; genuinely visited objects
+    // were fully validated when first reached this cycle.
+    if (GCA_UNLIKELY(Hard != nullptr) && !Hard->full() &&
+        GCA_UNLIKELY(!Hard->plausibleVisitedHeader(Obj))) {
+      Hard->reportEdgeDefect(EdgeVerdict::BadTypeId, Obj, capturePath(Obj));
+      *Slot = nullptr;
+      return;
+    }
+
     ObjRef NewAddr = Space.visitedAddress(Obj);
     if (NewAddr != Obj)
       *Slot = NewAddr;
-    if constexpr (EnableChecks)
-      if (GCA_UNLIKELY(NewAddr->header().testFlag(HF_Unshared)))
+    if constexpr (EnableChecks) {
+      if (GCA_UNLIKELY(NewAddr->header().testFlag(HF_Unshared))) {
+        // Check mode defers header validation to the first (unvisited)
+        // encounter, so a scribbled reference whose fake flag word shows
+        // both the visited bit and HF_Unshared arrives here without ever
+        // having been classified. Validate before handing the "object" to
+        // the engine; a bad header is a defective edge like any other.
+        // Cold: only unshared-flagged re-encounters pay the checksum.
+        if (GCA_UNLIKELY(Hard != nullptr) && !Hard->full()) {
+          EdgeVerdict V = Hard->classifyObjectHeader(NewAddr);
+          if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
+            Hard->reportEdgeDefect(V, NewAddr, capturePath(NewAddr));
+            *Slot = nullptr;
+            return;
+          }
+        }
         Hooks->onUnsharedShared(NewAddr, capturePath(NewAddr));
+      }
+    }
   }
 
   /// Scans every reference field of \p Obj through processSlot.

@@ -59,14 +59,19 @@ enum class PreRootAction : uint8_t {
 };
 
 /// Engine-facing view of one collection's liveness result, valid during
-/// TraceHooks::onTraceComplete (after tracing, before reclamation).
+/// TraceHooks::onTraceComplete (after tracing, before dead storage is
+/// reclaimed).
 class PostTraceContext {
 public:
   virtual ~PostTraceContext();
 
   /// Returns the object's post-GC address: the object itself (mark-sweep),
-  /// its to-space copy (semispace), or null if it was found dead. Engine
-  /// tables that hold weak references use this to prune and rewrite.
+  /// its to-space copy (semispace), its post-slide address (mark-compact),
+  /// or null if it was found dead. Engine tables that hold weak references
+  /// use this to prune and rewrite. The contract requires the returned
+  /// address to be *dereferenceable* — the engine reads headers and clears
+  /// ownership flags through it — so a moving collector must not invoke
+  /// onTraceComplete until survivors occupy their final addresses.
   virtual ObjRef currentAddress(ObjRef Obj) const = 0;
 
   /// The collection cycle number, for violation records.
@@ -134,9 +139,10 @@ public:
   /// header carries the Owner or Ownee flag.
   virtual PreRootAction classifyPreRoot(ObjRef Obj) = 0;
 
-  /// Tracing is complete; reclamation has not happened yet. The engine
-  /// checks instance limits, prunes tables of dead entries, and reports
-  /// deferred violations.
+  /// Tracing is complete and every survivor sits at its final,
+  /// dereferenceable post-GC address (a moving collector calls this only
+  /// after copying or sliding). The engine checks instance limits, prunes
+  /// tables of dead entries, and reports deferred violations.
   virtual void onTraceComplete(PostTraceContext &Ctx) = 0;
 
   /// A generational *minor* collection finished: nursery survivors moved to

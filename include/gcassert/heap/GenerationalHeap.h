@@ -106,6 +106,11 @@ public:
   /// nursery objects too, but only the old generation's sweep clears bits).
   void clearNurseryMarks();
 
+  /// Walks nursery objects in address order (the hardened walk strides the
+  /// size log and skips corrupt or quarantined headers). Must not run
+  /// during an active evacuation — forwarded shells are not enumerable.
+  void forEachNurseryObject(const std::function<void(ObjRef)> &Fn);
+
   /// The old generation, for the major (mark-sweep) collection.
   FreeListHeap &oldGen() { return *OldGen; }
 

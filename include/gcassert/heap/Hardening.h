@@ -251,6 +251,19 @@ public:
     return classifyObjectHeader(Obj) == EdgeVerdict::Ok;
   }
 
+  /// Cheap sanity gate for edges whose target claims to be already visited
+  /// (Check mode): a scribbled reference's fake flag word can impersonate a
+  /// visited -- or worse, forwarded -- object and bypass the
+  /// first-encounter validation entirely, letting visitedAddress read a
+  /// bogus forwarding pointer out of payload bytes. The type-id range check
+  /// alone refutes such fakes (their "id" is the low half of a pointer) at
+  /// the cost of one compare, preserving Check mode's
+  /// one-branch-per-visited-edge economy. Pure and thread-safe.
+  bool plausibleVisitedHeader(ObjRef Obj) const {
+    TypeId Id = Obj->header().Type;
+    return GCA_LIKELY(Id != InvalidTypeId && Id <= Types->size());
+  }
+
   /// Classifies the header itself: type-id range, then the header checksum
   /// (skipped on forwarded shells — their first payload word now holds the
   /// forwarding pointer, and they were validated when first reached). In

@@ -403,6 +403,10 @@ void AssertionEngine::onTraceComplete(PostTraceContext &Ctx) {
       Violation V;
       V.Kind = AssertionKind::OwneeOutlivedOwner;
       V.Cycle = CurrentCycle;
+      // currentAddress() must return a dereferenceable post-GC address (the
+      // PostTraceContext contract — moving collectors invoke this hook only
+      // after survivors are in place). Orphan, the pre-GC address, may be
+      // stale by now.
       V.ObjectType = TheVm.types().get(Current->typeId()).name();
       V.Message = "an owned object is still reachable although its owner "
                   "was collected";

@@ -145,11 +145,17 @@ void OwnershipTable::pruneAfterGc(
   // Clear the Owner bit through the *translated* addresses: under a moving
   // collector the surviving copy carries the stale bit, and a stale Owner
   // bit would make a future ownership phase truncate scanning at this
-  // object — an under-marking soundness bug. (rebuildOwners() also clears
-  // through the old addresses, which is harmless but not sufficient here.)
+  // object — an under-marking soundness bug.
   for (ObjRef Owner : Owners)
     if (ObjRef NewOwner = CurrentAddress(Owner))
       NewOwner->header().clearFlag(HF_Owner);
+
+  // The old owner list must NOT be handed to rebuildOwners(): its clearing
+  // pass would write through pre-GC addresses, and after a compacting slide
+  // those alias the interior of other live objects (a one-bit flag clear in
+  // the middle of someone's reference field). The translated clears above
+  // already retired every stale bit.
+  Owners.clear();
 
   // Addresses change only under a moving collector; a non-moving cycle
   // leaves the surviving subsequence already sorted.

@@ -1,0 +1,118 @@
+//===- DifferentialRunner.cpp - Cross-collector differential check -------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/DifferentialRunner.h"
+#include "gcassert/support/Format.h"
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+std::vector<RunConfig> gcassert::fuzz::buildMatrix(MatrixKind Kind) {
+  const CollectorKind Collectors[] = {
+      CollectorKind::MarkSweep, CollectorKind::SemiSpace,
+      CollectorKind::MarkCompact, CollectorKind::Generational};
+  std::vector<RunConfig> Matrix;
+  switch (Kind) {
+  case MatrixKind::Full:
+    for (CollectorKind Collector : Collectors)
+      for (unsigned Threads : {1u, 2u, 4u})
+        for (HardeningMode Hardening :
+             {HardeningMode::Off, HardeningMode::Check})
+          Matrix.push_back({Collector, Threads, Hardening});
+    break;
+  case MatrixKind::Quick:
+    for (CollectorKind Collector : Collectors)
+      Matrix.push_back({Collector, 1, HardeningMode::Off});
+    break;
+  case MatrixKind::HardenedOnly:
+    for (CollectorKind Collector : Collectors)
+      Matrix.push_back({Collector, 1, HardeningMode::Check});
+    break;
+  }
+  return Matrix;
+}
+
+DiffReport gcassert::fuzz::runDifferential(const TraceProgram &Program,
+                                           const std::vector<RunConfig> &Matrix,
+                                           bool ExpectDefectFree) {
+  DiffReport Report;
+  Report.ExpectDefectFree = ExpectDefectFree;
+  auto Diverge = [&](const std::string &Config, std::string Description) {
+    if (Report.Diverged)
+      return;
+    Report.Diverged = true;
+    Report.Config = Config;
+    Report.Description = std::move(Description);
+  };
+
+  ShadowResult Oracle = runShadowOracle(Program);
+  uint64_t ExpectedCollects = Program.collectCount();
+
+  for (const RunConfig &Config : Matrix) {
+    std::string Name = describeRunConfig(Config);
+    RunResult Run = runTrace(Program, Config);
+
+    if (!Run.Valid) {
+      Diverge(Name, "structurally invalid run: " + Run.InvalidReason);
+      break;
+    }
+
+    // Per-run GcStats invariants every clean fuzz trace must satisfy.
+    const GcStats &S = Run.Stats;
+    if (S.Cycles != ExpectedCollects || Run.EngineGcCycles != ExpectedCollects)
+      Diverge(Name,
+              format("cycle accounting: collector ran %llu cycles, engine "
+                     "observed %llu, trace has %llu collect ops",
+                     static_cast<unsigned long long>(S.Cycles),
+                     static_cast<unsigned long long>(Run.EngineGcCycles),
+                     static_cast<unsigned long long>(ExpectedCollects)));
+    else if (S.EmergencyCollections || S.GuardTrips || S.WorkerStartFailures)
+      Diverge(Name,
+              format("resilience counters moved on a clean trace: "
+                     "emergency=%llu guard=%llu workerfail=%llu",
+                     static_cast<unsigned long long>(S.EmergencyCollections),
+                     static_cast<unsigned long long>(S.GuardTrips),
+                     static_cast<unsigned long long>(S.WorkerStartFailures)));
+    else if (S.PathShedCycles || S.BookkeepingShedCycles)
+      Diverge(Name, format("degradation ladder engaged unexpectedly "
+                           "(pathshed=%llu bookshed=%llu)",
+                           static_cast<unsigned long long>(S.PathShedCycles),
+                           static_cast<unsigned long long>(
+                               S.BookkeepingShedCycles)));
+    else if (ExpectDefectFree && (S.HeapDefects || S.Quarantined))
+      Diverge(Name,
+              format("hardened heap reported defects on a clean trace: "
+                     "defects=%llu quarantined=%llu",
+                     static_cast<unsigned long long>(S.HeapDefects),
+                     static_cast<unsigned long long>(S.Quarantined)));
+
+    // Oracle checks: the violation multiset and every post-collection live
+    // snapshot must match the shadow heap's prediction exactly.
+    if (!Report.Diverged && Run.Violations != Oracle.Violations)
+      Diverge(Name, "violation multiset differs from oracle:\n  run:    " +
+                        describeViolations(Run.Violations) +
+                        "\n  oracle: " +
+                        describeViolations(Oracle.Violations));
+    if (!Report.Diverged && Run.Snapshots.size() != Oracle.Snapshots.size())
+      Diverge(Name, format("run took %llu snapshots, oracle predicts %llu",
+                           static_cast<unsigned long long>(
+                               Run.Snapshots.size()),
+                           static_cast<unsigned long long>(
+                               Oracle.Snapshots.size())));
+    for (size_t I = 0; !Report.Diverged && I != Run.Snapshots.size(); ++I)
+      if (!(Run.Snapshots[I] == Oracle.Snapshots[I]))
+        Diverge(Name,
+                format("live set after collection %llu differs from "
+                       "oracle:\n  run:    ",
+                       static_cast<unsigned long long>(I)) +
+                    describeSnapshot(Run.Snapshots[I]) + "\n  oracle: " +
+                    describeSnapshot(Oracle.Snapshots[I]));
+
+    if (Report.Diverged)
+      break;
+  }
+  return Report;
+}

@@ -1,0 +1,219 @@
+//===- FuzzMain.cpp - The gcassert-fuzz command-line driver --------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// Differential fuzzing front end:
+//
+//   gcassert-fuzz                          # 500-trace campaign, full matrix
+//   gcassert-fuzz --traces=50 --seed=7     # smaller campaign, other seeds
+//   gcassert-fuzz --replay='seed:123:ops=96'   # re-run one trace
+//   gcassert-fuzz --replay='prog:n,0,0,0;c'    # re-run an explicit op list
+//   gcassert-fuzz --demo-divergence        # seeded corrupt.ref must be
+//                                          # caught and reduced (exit 0)
+//
+// Exit status: 0 = clean (or demo divergence caught), 1 = divergence (or
+// demo divergence missed), 2 = usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/DifferentialRunner.h"
+#include "gcassert/fuzz/TraceGenerator.h"
+#include "gcassert/fuzz/TraceReducer.h"
+#include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+namespace {
+
+struct Options {
+  uint64_t Traces = 500;
+  uint64_t BaseSeed = 1;
+  uint64_t TargetOps = 96;
+  MatrixKind Matrix = MatrixKind::Full;
+  std::string Replay;
+  bool DemoDivergence = false;
+};
+
+void printUsage() {
+  outs() << "usage: gcassert-fuzz [options]\n"
+            "  --traces=N         traces to run (default 500)\n"
+            "  --seed=N           base seed; trace i uses seed N+i "
+            "(default 1)\n"
+            "  --ops=N            generator ops per trace (default 96)\n"
+            "  --matrix=M         full | quick | hardened (default full)\n"
+            "  --replay=SPEC      run one replay spec ('seed:...' or "
+            "'prog:...') and exit\n"
+            "  --demo-divergence  arm the corrupt.ref failpoint, require "
+            "the harness to\n"
+            "                     catch and minimize the divergence; exit 0 "
+            "iff it does\n";
+}
+
+bool parseValue(const std::string &Arg, const char *Name, uint64_t &Out) {
+  std::string Prefix = std::string(Name) + "=";
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Arg.c_str() + Prefix.size(), &End, 10);
+  return End && *End == '\0';
+}
+
+/// Shrinks a diverging trace and prints the minimal replay spec.
+void reduceAndReport(const TraceProgram &Program,
+                     const std::vector<RunConfig> &Matrix,
+                     bool ExpectDefectFree) {
+  errs() << "minimizing (this re-runs the matrix per probe)...\n";
+  ReducerStats Stats;
+  TraceProgram Minimal = reduceTrace(
+      Program,
+      [&](const TraceProgram &Candidate) {
+        return runDifferential(Candidate, Matrix, ExpectDefectFree).Diverged;
+      },
+      &Stats, /*MaxProbes=*/400);
+  DiffReport Final = runDifferential(Minimal, Matrix, ExpectDefectFree);
+  errs() << format("reduced %llu ops -> %llu ops in %llu probes\n",
+                   static_cast<unsigned long long>(Stats.InitialOps),
+                   static_cast<unsigned long long>(Stats.FinalOps),
+                   static_cast<unsigned long long>(Stats.Probes));
+  errs() << "minimal divergence [" << Final.Config
+         << "]: " << Final.Description << "\n";
+  errs() << "replay with: gcassert-fuzz --replay='" << Minimal.replaySpec()
+         << "'\n";
+}
+
+int runReplay(const Options &Opts) {
+  TraceProgram Program;
+  std::string Error;
+  if (!parseTraceSpec(Opts.Replay, Program, &Error)) {
+    errs() << "bad replay spec: " << Error << "\n";
+    return 2;
+  }
+  std::vector<RunConfig> Matrix = buildMatrix(Opts.Matrix);
+  DiffReport Report = runDifferential(Program, Matrix);
+  outs() << "replayed " << Program.replaySpec()
+         << format(" (%llu ops) over %llu configs\n",
+                   static_cast<unsigned long long>(Program.Ops.size()),
+                   static_cast<unsigned long long>(Matrix.size()));
+  if (!Report.Diverged) {
+    outs() << "no divergence.\n";
+    return 0;
+  }
+  errs() << "DIVERGENCE [" << Report.Config << "]: " << Report.Description
+         << "\n";
+  reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true);
+  return 1;
+}
+
+int runDemoDivergence(const Options &Opts) {
+  // corrupt.ref scribbles a non-reference bit pattern into the first
+  // reference slot of every allocation. Only the hardened matrix may run
+  // with it armed: an unhardened trace would chase the scribble into
+  // unscreened memory.
+  std::vector<RunConfig> Matrix = buildMatrix(MatrixKind::HardenedOnly);
+  faults::CorruptRef.armAlways();
+  GeneratorOptions Gen;
+  Gen.TargetOps = Opts.TargetOps;
+  TraceProgram Program = generateTrace(Opts.BaseSeed, Gen);
+  DiffReport Report = runDifferential(Program, Matrix);
+  if (!Report.Diverged) {
+    disarmAllFailpoints();
+    errs() << "FAIL: seeded corrupt.ref divergence was NOT caught\n";
+    return 1;
+  }
+  outs() << "seeded divergence caught [" << Report.Config
+         << "]: " << Report.Description << "\n";
+  reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true);
+  disarmAllFailpoints();
+  outs() << "demo ok: divergence caught and minimized.\n";
+  return 0;
+}
+
+int runCampaign(const Options &Opts) {
+  std::vector<RunConfig> Matrix = buildMatrix(Opts.Matrix);
+  outs() << format("fuzzing %llu traces (seeds %llu..%llu, %llu ops each) "
+                   "over %llu configs\n",
+                   static_cast<unsigned long long>(Opts.Traces),
+                   static_cast<unsigned long long>(Opts.BaseSeed),
+                   static_cast<unsigned long long>(Opts.BaseSeed +
+                                                   Opts.Traces - 1),
+                   static_cast<unsigned long long>(Opts.TargetOps),
+                   static_cast<unsigned long long>(Matrix.size()));
+  GeneratorOptions Gen;
+  Gen.TargetOps = Opts.TargetOps;
+  for (uint64_t I = 0; I != Opts.Traces; ++I) {
+    uint64_t Seed = Opts.BaseSeed + I;
+    TraceProgram Program = generateTrace(Seed, Gen);
+    DiffReport Report = runDifferential(Program, Matrix);
+    if (Report.Diverged) {
+      errs() << format("DIVERGENCE at seed %llu [",
+                       static_cast<unsigned long long>(Seed))
+             << Report.Config << "]: " << Report.Description << "\n";
+      errs() << "replay with: gcassert-fuzz --replay='"
+             << Program.replaySpec() << "'\n";
+      reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true);
+      return 1;
+    }
+    if ((I + 1) % 50 == 0)
+      outs() << format("  %llu/%llu traces clean\n",
+                       static_cast<unsigned long long>(I + 1),
+                       static_cast<unsigned long long>(Opts.Traces));
+  }
+  outs() << format("all %llu traces agree with the oracle across the "
+                   "matrix.\n",
+                   static_cast<unsigned long long>(Opts.Traces));
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opts;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--demo-divergence") {
+      Opts.DemoDivergence = true;
+      continue;
+    }
+    if (Arg.rfind("--replay=", 0) == 0) {
+      Opts.Replay = Arg.substr(9);
+      continue;
+    }
+    if (Arg.rfind("--matrix=", 0) == 0) {
+      std::string Value = Arg.substr(9);
+      if (Value == "full")
+        Opts.Matrix = MatrixKind::Full;
+      else if (Value == "quick")
+        Opts.Matrix = MatrixKind::Quick;
+      else if (Value == "hardened")
+        Opts.Matrix = MatrixKind::HardenedOnly;
+      else {
+        errs() << "unknown matrix: " << Value << "\n";
+        return 2;
+      }
+      continue;
+    }
+    if (parseValue(Arg, "--traces", Opts.Traces) ||
+        parseValue(Arg, "--seed", Opts.BaseSeed) ||
+        parseValue(Arg, "--ops", Opts.TargetOps))
+      continue;
+    errs() << "unknown argument: " << Arg << "\n";
+    printUsage();
+    return 2;
+  }
+
+  if (Opts.DemoDivergence)
+    return runDemoDivergence(Opts);
+  if (!Opts.Replay.empty())
+    return runReplay(Opts);
+  return runCampaign(Opts);
+}

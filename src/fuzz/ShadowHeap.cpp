@@ -1,0 +1,408 @@
+//===- ShadowHeap.cpp - The ground-truth oracle --------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// The shadow machine executes the same guarded op semantics as the real
+// TraceInterpreter, but over integer node ids in plain STL containers, and
+// computes each collection's outcome from first principles:
+//
+//   live set   M = closure(owner-field targets) ∪ closure(root slots)
+//              (phase 1 scans from EVERY owner in the table, live or not —
+//              the paper's §2.5.2 caveat — so a dead owner's region can
+//              keep objects alive for one extra cycle; the oracle models
+//              that exactly rather than "fixing" it);
+//   dead       one violation per cycle per dead-flagged node in M;
+//   unshared   one violation per cycle per flagged node in M whose
+//              encounter count is >= 2, where encounters = root slots
+//              pointing at it + in-edges from scanned nodes, and a live
+//              (rooted) owner's fields are scanned twice — once by the
+//              ownership phase, once by the root trace;
+//   ownedby    violation iff the ownee is first reached by the root trace,
+//              i.e. root-reachable but not in any owner's phase-1 region
+//              (reachability from a *foreign* owner hides the violation —
+//              "overlap can hide but never fabricate");
+//   instances/ per-type tallies over M against the limits active at this
+//   volume     collection, bytes in TypeRegistry::allocationSize units;
+//   ownee-     an ownee whose owner died enters a one-cycle watch; if it is
+//   outlived   still in M at the NEXT collection the violation fires.
+//
+// These rules are collector-independent only because the op semantics
+// guarantee no heap edge ever points at an owner: with that invariant the
+// address-ordered owner scan cannot affect what is marked or which core
+// checks fire (OwnershipOverlap warnings remain order-dependent and are
+// excluded from comparison everywhere).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/ShadowHeap.h"
+#include "gcassert/support/Format.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+std::string gcassert::fuzz::describeViolations(
+    const ViolationMultiset &Violations) {
+  std::string Text;
+  for (const ViolationKey &V : Violations) {
+    if (!Text.empty())
+      Text += ", ";
+    Text += format("(cycle %llu, %s, %s)",
+                   static_cast<unsigned long long>(V.Cycle),
+                   assertionKindName(V.Kind), V.TypeName.c_str());
+  }
+  return Text.empty() ? "<none>" : Text;
+}
+
+std::string gcassert::fuzz::describeSnapshot(const LiveSnapshot &Snapshot) {
+  std::string Text = format("%llu class objects; per-type:",
+                            static_cast<unsigned long long>(
+                                Snapshot.ClassSerials.size()));
+  for (const std::array<uint64_t, 3> &Row : Snapshot.PerType)
+    Text += format(" %s=%llux%lluB",
+                   fuzzTypeName(static_cast<FuzzType>(Row[0])),
+                   static_cast<unsigned long long>(Row[1]),
+                   static_cast<unsigned long long>(Row[2]));
+  return Text;
+}
+
+namespace {
+
+struct ShadowNode {
+  FuzzType Type;
+  uint64_t Length = 0;
+  /// Field/element slots; 0 is null. Class types have ref-field-count
+  /// entries, RefArrays Length entries, DataArrays none.
+  std::vector<uint64_t> Fields;
+  bool DeadFlagged = false;
+  bool UnsharedFlagged = false;
+};
+
+struct TypeLimit {
+  bool Tracked = false;
+  uint64_t Limit = 0;
+};
+
+class ShadowMachine {
+public:
+  ShadowResult run(const TraceProgram &Program) {
+    for (const TraceOp &Op : Program.Ops)
+      step(Op);
+    std::sort(Result.Violations.begin(), Result.Violations.end());
+    std::sort(Result.CoreViolations.begin(), Result.CoreViolations.end());
+    Result.ObjectsAllocated = NextId - 1;
+    return std::move(Result);
+  }
+
+private:
+  ShadowNode *node(uint64_t Id) {
+    auto It = Nodes.find(Id);
+    return It == Nodes.end() ? nullptr : &It->second;
+  }
+
+  bool isClass(FuzzType Type) const {
+    return Type == FuzzType::Small || Type == FuzzType::Node ||
+           Type == FuzzType::Owner;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Op semantics — guard-for-guard identical to TraceInterpreter.cpp.
+  //===--------------------------------------------------------------------===//
+
+  void step(const TraceOp &Op) {
+    switch (Op.Kind) {
+    case OpKind::New: {
+      FuzzType Type = static_cast<FuzzType>(Op.B % NumFuzzTypes);
+      uint64_t Length = 0;
+      if (Type == FuzzType::RefArray)
+        Length = Op.Aux % 64;
+      else if (Type == FuzzType::DataArray)
+        Length = Op.Aux % 256;
+      uint64_t Id = NextId++;
+      ShadowNode Node;
+      Node.Type = Type;
+      Node.Length = Length;
+      Node.Fields.resize(Type == FuzzType::RefArray
+                             ? Length
+                             : fuzzRefFieldCount(Type),
+                         0);
+      Nodes.emplace(Id, std::move(Node));
+      if (!Regions.empty())
+        Regions.back().push_back(Id);
+      Slots[Op.A % SlotCount] = Id;
+      break;
+    }
+    case OpKind::Store: {
+      uint64_t Dst = Slots[Op.A % SlotCount];
+      uint64_t Src = Slots[Op.C % SlotCount];
+      ShadowNode *DstNode = node(Dst);
+      if (!DstNode)
+        break;
+      if (ShadowNode *SrcNode = node(Src))
+        if (SrcNode->Type == FuzzType::Owner)
+          break; // Invariant: no heap edge may point at an owner.
+      if (DstNode->Fields.empty())
+        break; // DataArray, zero-length RefArray, or ref-less class.
+      DstNode->Fields[Op.B % DstNode->Fields.size()] = Src;
+      break;
+    }
+    case OpKind::NullField: {
+      ShadowNode *DstNode = node(Slots[Op.A % SlotCount]);
+      if (!DstNode || DstNode->Fields.empty())
+        break;
+      DstNode->Fields[Op.B % DstNode->Fields.size()] = 0;
+      break;
+    }
+    case OpKind::Load: {
+      ShadowNode *SrcNode = node(Slots[Op.B % SlotCount]);
+      if (!SrcNode || SrcNode->Type == FuzzType::DataArray ||
+          SrcNode->Fields.empty())
+        break;
+      Slots[Op.A % SlotCount] =
+          SrcNode->Fields[Op.C % SrcNode->Fields.size()];
+      break;
+    }
+    case OpKind::Drop:
+      Slots[Op.A % SlotCount] = 0;
+      break;
+    case OpKind::Collect:
+      collect();
+      break;
+    case OpKind::AssertDead:
+      if (ShadowNode *Node = node(Slots[Op.A % SlotCount]))
+        Node->DeadFlagged = true;
+      break;
+    case OpKind::AssertUnshared:
+      if (ShadowNode *Node = node(Slots[Op.A % SlotCount]))
+        Node->UnsharedFlagged = true;
+      break;
+    case OpKind::AssertOwnedBy: {
+      uint64_t Owner = Slots[Op.A % SlotCount];
+      uint64_t Ownee = Slots[Op.C % SlotCount];
+      ShadowNode *OwnerNode = node(Owner);
+      ShadowNode *OwneeNode = node(Ownee);
+      if (!OwnerNode || OwnerNode->Type != FuzzType::Owner || !OwneeNode ||
+          OwneeNode->Type == FuzzType::Owner)
+        break;
+      OwnerNode->Fields[Op.B % OwnerNode->Fields.size()] = Ownee;
+      PendingPairs.emplace_back(Owner, Ownee);
+      break;
+    }
+    case OpKind::AssertInstances: {
+      TypeLimit &L = InstanceLimits[Op.B % NumFuzzTypes];
+      L.Tracked = true;
+      L.Limit = Op.Aux;
+      break;
+    }
+    case OpKind::AssertVolume: {
+      TypeLimit &L = VolumeLimits[Op.B % NumFuzzTypes];
+      L.Tracked = true;
+      L.Limit = Op.Aux;
+      break;
+    }
+    case OpKind::RegionBegin:
+      Regions.emplace_back();
+      break;
+    case OpKind::RegionEnd:
+      if (Regions.empty())
+        break;
+      for (uint64_t Id : Regions.back())
+        if (ShadowNode *Node = node(Id))
+          Node->DeadFlagged = true;
+      Regions.pop_back();
+      break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // The checking collection
+  //===--------------------------------------------------------------------===//
+
+  void addViolation(uint64_t Cycle, AssertionKind Kind, FuzzType Type,
+                    bool Core) {
+    ViolationKey Key{Cycle, Kind, fuzzTypeName(Type)};
+    if (Core)
+      Result.CoreViolations.push_back(Key);
+    Result.Violations.push_back(std::move(Key));
+  }
+
+  void collect() {
+    uint64_t Cycle = CycleIndex++;
+
+    // Pending assert-ownedby pairs become active now; a later assertion for
+    // the same ownee replaces the owner (OwnershipTable::beginCycle).
+    for (const auto &[Owner, Ownee] : PendingPairs)
+      PairsByOwnee[Ownee] = Owner;
+    PendingPairs.clear();
+
+    std::set<uint64_t> Owners;
+    for (const auto &[Ownee, Owner] : PairsByOwnee)
+      Owners.insert(Owner);
+
+    // Phase 1: the ownership phase scans the region below every owner in
+    // the table — whether or not the owner itself is still rooted.
+    std::set<uint64_t> Phase1;
+    std::vector<uint64_t> Worklist;
+    auto Visit1 = [&](uint64_t Id) {
+      if (Id && Phase1.insert(Id).second)
+        Worklist.push_back(Id);
+    };
+    for (uint64_t Owner : Owners)
+      for (uint64_t Field : node(Owner)->Fields)
+        Visit1(Field);
+    while (!Worklist.empty()) {
+      uint64_t Id = Worklist.back();
+      Worklist.pop_back();
+      for (uint64_t Field : node(Id)->Fields)
+        Visit1(Field);
+    }
+
+    // Phase 2: the root trace. Nodes first reached here were not covered by
+    // any owner's region.
+    std::set<uint64_t> Phase2;
+    auto Visit2 = [&](uint64_t Id) {
+      if (Id && !Phase1.count(Id) && Phase2.insert(Id).second)
+        Worklist.push_back(Id);
+    };
+    for (uint64_t Slot : Slots)
+      Visit2(Slot);
+    while (!Worklist.empty()) {
+      uint64_t Id = Worklist.back();
+      Worklist.pop_back();
+      for (uint64_t Field : node(Id)->Fields)
+        Visit2(Field);
+    }
+
+    std::set<uint64_t> Marked = Phase1;
+    Marked.insert(Phase2.begin(), Phase2.end());
+
+    // assert-dead: every marked node with the flag, once per cycle.
+    for (uint64_t Id : Marked)
+      if (node(Id)->DeadFlagged)
+        addViolation(Cycle, AssertionKind::Dead, node(Id)->Type, true);
+
+    // assert-unshared: total encounters the trace performs per node. Every
+    // marked node's fields are scanned exactly once, except an owner's:
+    // once by its phase-1 region scan, and — when the owner is itself
+    // rooted — once more when the root trace marks it.
+    std::unordered_map<uint64_t, unsigned> Encounters;
+    for (uint64_t Slot : Slots)
+      if (Slot)
+        ++Encounters[Slot];
+    for (uint64_t Id : Marked) {
+      if (Owners.count(Id))
+        continue;
+      for (uint64_t Field : node(Id)->Fields)
+        if (Field)
+          ++Encounters[Field];
+    }
+    for (uint64_t Owner : Owners) {
+      unsigned Scans = Marked.count(Owner) ? 2 : 1;
+      for (uint64_t Field : node(Owner)->Fields)
+        if (Field)
+          Encounters[Field] += Scans;
+    }
+    for (uint64_t Id : Marked)
+      if (node(Id)->UnsharedFlagged && Encounters[Id] >= 2)
+        addViolation(Cycle, AssertionKind::Unshared, node(Id)->Type, true);
+
+    // assert-ownedby: the ownee was reached by the root trace without any
+    // owner's region having covered it first.
+    for (const auto &[Ownee, Owner] : PairsByOwnee)
+      if (Phase2.count(Ownee))
+        addViolation(Cycle, AssertionKind::OwnedBy, node(Ownee)->Type, true);
+
+    // assert-instances / assert-volume over the marked set.
+    uint64_t Instances[NumFuzzTypes] = {};
+    uint64_t Volumes[NumFuzzTypes] = {};
+    for (uint64_t Id : Marked) {
+      ShadowNode *N = node(Id);
+      unsigned T = static_cast<unsigned>(N->Type);
+      ++Instances[T];
+      Volumes[T] += fuzzAllocationSize(N->Type, N->Length);
+    }
+    for (unsigned T = 0; T != NumFuzzTypes; ++T) {
+      if (InstanceLimits[T].Tracked && Instances[T] > InstanceLimits[T].Limit)
+        addViolation(Cycle, AssertionKind::Instances,
+                     static_cast<FuzzType>(T), true);
+      if (VolumeLimits[T].Tracked && Volumes[T] > VolumeLimits[T].Limit)
+        addViolation(Cycle, AssertionKind::Volume, static_cast<FuzzType>(T),
+                     true);
+    }
+
+    // Resolve the previous cycle's orphaned ownees (extended bookkeeping,
+    // not a core check: a CoreOnly engine sheds it).
+    for (uint64_t Orphan : Orphans)
+      if (Marked.count(Orphan))
+        addViolation(Cycle, AssertionKind::OwneeOutlivedOwner,
+                     node(Orphan)->Type, false);
+    Orphans.clear();
+
+    // Prune the ownership table: dead ownees retire their assertion, live
+    // ownees of dead owners enter the one-cycle watch.
+    for (auto It = PairsByOwnee.begin(); It != PairsByOwnee.end();) {
+      if (!Marked.count(It->first)) {
+        It = PairsByOwnee.erase(It);
+      } else if (!Marked.count(It->second)) {
+        Orphans.push_back(It->first);
+        It = PairsByOwnee.erase(It);
+      } else {
+        ++It;
+      }
+    }
+
+    // Prune region logs.
+    for (std::vector<uint64_t> &Log : Regions) {
+      size_t Out = 0;
+      for (uint64_t Id : Log)
+        if (Marked.count(Id))
+          Log[Out++] = Id;
+      Log.resize(Out);
+    }
+
+    // Snapshot the survivors, then reclaim everything else.
+    LiveSnapshot Snapshot;
+    uint64_t Counts[NumFuzzTypes] = {};
+    uint64_t Bytes[NumFuzzTypes] = {};
+    for (uint64_t Id : Marked) {
+      ShadowNode *N = node(Id);
+      unsigned T = static_cast<unsigned>(N->Type);
+      ++Counts[T];
+      Bytes[T] += fuzzAllocationSize(N->Type, N->Length);
+      if (isClass(N->Type))
+        Snapshot.ClassSerials.emplace_back(static_cast<uint8_t>(T), Id);
+    }
+    for (unsigned T = 0; T != NumFuzzTypes; ++T)
+      if (Counts[T])
+        Snapshot.PerType.push_back({T, Counts[T], Bytes[T]});
+    std::sort(Snapshot.ClassSerials.begin(), Snapshot.ClassSerials.end());
+    Result.Snapshots.push_back(std::move(Snapshot));
+
+    for (auto It = Nodes.begin(); It != Nodes.end();)
+      It = Marked.count(It->first) ? std::next(It) : Nodes.erase(It);
+  }
+
+  std::unordered_map<uint64_t, ShadowNode> Nodes;
+  uint64_t Slots[SlotCount] = {};
+  std::vector<std::vector<uint64_t>> Regions;
+  std::map<uint64_t, uint64_t> PairsByOwnee;
+  std::vector<std::pair<uint64_t, uint64_t>> PendingPairs;
+  std::vector<uint64_t> Orphans;
+  TypeLimit InstanceLimits[NumFuzzTypes];
+  TypeLimit VolumeLimits[NumFuzzTypes];
+  uint64_t NextId = 1;
+  uint64_t CycleIndex = 0;
+  ShadowResult Result;
+};
+
+} // namespace
+
+ShadowResult gcassert::fuzz::runShadowOracle(const TraceProgram &Program) {
+  return ShadowMachine().run(Program);
+}

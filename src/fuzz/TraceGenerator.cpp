@@ -1,0 +1,183 @@
+//===- TraceGenerator.cpp - Deterministic random trace generation --------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/TraceGenerator.h"
+#include "gcassert/support/Random.h"
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+namespace {
+
+/// What the generator statically knows about a root slot. Only a hit-rate
+/// heuristic: the op guards make every op safe regardless, but picking an
+/// Owner-holding slot for assert-ownedby (say) keeps most generated ops
+/// semantically active instead of degenerating to no-ops.
+enum class SlotGuess : uint8_t { Empty, HoldsOwner, HoldsObject };
+
+class Generator {
+public:
+  Generator(uint64_t Seed, const GeneratorOptions &Options)
+      : Rng(Seed), Options(Options) {
+    Program.Seed = Seed;
+    Program.HasSeed = true;
+    Program.SeedTargetOps = Options.TargetOps;
+  }
+
+  TraceProgram run() {
+    for (size_t I = 0; I != Options.TargetOps; ++I) {
+      emitOne();
+      // Force a collection well before the allocation between two collects
+      // could approach the smallest generational nursery: an implicit
+      // (unchecked) collection would desynchronize the checking points
+      // across collectors and invalidate the oracle.
+      if (++OpsSinceCollect >= 28)
+        collect();
+    }
+    // Close with two collections: the first checks everything the tail of
+    // the trace set up, the second resolves the ownee-outlived-owner watch
+    // (its verdict is deferred one cycle by design).
+    collect();
+    collect();
+    return std::move(Program);
+  }
+
+private:
+  uint8_t randomSlot() {
+    return static_cast<uint8_t>(Rng.nextBelow(SlotCount));
+  }
+
+  /// A slot currently believed to hold a non-owner object, or SlotCount.
+  unsigned findSlot(SlotGuess Wanted) {
+    unsigned Start = static_cast<unsigned>(Rng.nextBelow(SlotCount));
+    for (unsigned I = 0; I != SlotCount; ++I) {
+      unsigned S = (Start + I) % SlotCount;
+      if (Slots[S] == Wanted)
+        return S;
+    }
+    return SlotCount;
+  }
+
+  void push(TraceOp Op) { Program.Ops.push_back(Op); }
+
+  void collect() {
+    push({OpKind::Collect});
+    OpsSinceCollect = 0;
+  }
+
+  uint8_t emitNew(FuzzType Type, uint8_t Slot) {
+    uint32_t Length = 0;
+    if (Type == FuzzType::RefArray)
+      Length = static_cast<uint32_t>(Rng.nextBelow(13));
+    else if (Type == FuzzType::DataArray)
+      Length = static_cast<uint32_t>(Rng.nextBelow(65));
+    push({OpKind::New, Slot, static_cast<uint8_t>(Type), 0, Length});
+    Slots[Slot] = Type == FuzzType::Owner ? SlotGuess::HoldsOwner
+                                          : SlotGuess::HoldsObject;
+    return Slot;
+  }
+
+  FuzzType randomNewType() {
+    uint64_t R = Rng.nextBelow(100);
+    if (R < 38)
+      return FuzzType::Small;
+    if (R < 66)
+      return FuzzType::Node;
+    if (R < 78)
+      return FuzzType::Owner;
+    if (R < 90)
+      return FuzzType::RefArray;
+    return FuzzType::DataArray;
+  }
+
+  void emitOne() {
+    uint64_t R = Rng.nextBelow(100);
+    if (R < 24) {
+      emitNew(randomNewType(), randomSlot());
+    } else if (R < 42) {
+      push({OpKind::Store, randomSlot(),
+            static_cast<uint8_t>(Rng.nextBelow(12)), randomSlot()});
+    } else if (R < 48) {
+      push({OpKind::NullField, randomSlot(),
+            static_cast<uint8_t>(Rng.nextBelow(12))});
+    } else if (R < 55) {
+      uint8_t Dst = randomSlot();
+      push({OpKind::Load, Dst, randomSlot(),
+            static_cast<uint8_t>(Rng.nextBelow(12))});
+      // The loaded value is never an owner (no heap edge points at one)
+      // but may be null; HoldsObject is close enough for a guess.
+      Slots[Dst] = SlotGuess::HoldsObject;
+    } else if (R < 62) {
+      uint8_t Slot = randomSlot();
+      push({OpKind::Drop, Slot});
+      Slots[Slot] = SlotGuess::Empty;
+    } else if (R < 69) {
+      unsigned Slot = findSlot(SlotGuess::HoldsObject);
+      if (Slot == SlotCount)
+        Slot = emitNew(FuzzType::Small, randomSlot());
+      push({OpKind::AssertDead, static_cast<uint8_t>(Slot)});
+      // Usually honor the assertion so both outcomes are exercised.
+      if (Rng.chancePercent(60)) {
+        push({OpKind::Drop, static_cast<uint8_t>(Slot)});
+        Slots[Slot] = SlotGuess::Empty;
+      }
+    } else if (R < 75) {
+      unsigned Slot = findSlot(SlotGuess::HoldsObject);
+      if (Slot == SlotCount)
+        Slot = emitNew(FuzzType::Node, randomSlot());
+      push({OpKind::AssertUnshared, static_cast<uint8_t>(Slot)});
+    } else if (R < 83) {
+      unsigned Owner = findSlot(SlotGuess::HoldsOwner);
+      if (Owner == SlotCount)
+        Owner = emitNew(FuzzType::Owner, randomSlot());
+      unsigned Ownee = findSlot(SlotGuess::HoldsObject);
+      if (Ownee == SlotCount)
+        Ownee = emitNew(randomNewType() == FuzzType::RefArray
+                            ? FuzzType::RefArray
+                            : FuzzType::Small,
+                        randomSlot());
+      push({OpKind::AssertOwnedBy, static_cast<uint8_t>(Owner),
+            static_cast<uint8_t>(Rng.nextBelow(4)),
+            static_cast<uint8_t>(Ownee)});
+      // Sometimes sever the owner's edge or the owner itself later-ish;
+      // plain mutation ops already do that organically.
+    } else if (R < 86) {
+      push({OpKind::AssertInstances, 0,
+            static_cast<uint8_t>(Rng.nextBelow(NumFuzzTypes)), 0,
+            static_cast<uint32_t>(Rng.nextBelow(7))});
+    } else if (R < 88) {
+      push({OpKind::AssertVolume, 0,
+            static_cast<uint8_t>(Rng.nextBelow(NumFuzzTypes)), 0,
+            static_cast<uint32_t>(Rng.nextInRange(16, 640))});
+    } else if (R < 93) {
+      if (RegionDepth < 2 && Rng.chancePercent(60)) {
+        push({OpKind::RegionBegin});
+        ++RegionDepth;
+      } else if (RegionDepth > 0) {
+        push({OpKind::RegionEnd});
+        --RegionDepth;
+      } else {
+        emitNew(randomNewType(), randomSlot());
+      }
+    } else {
+      collect();
+    }
+  }
+
+  SplitMix64 Rng;
+  GeneratorOptions Options;
+  TraceProgram Program;
+  SlotGuess Slots[SlotCount] = {};
+  unsigned RegionDepth = 0;
+  size_t OpsSinceCollect = 0;
+};
+
+} // namespace
+
+TraceProgram gcassert::fuzz::generateTrace(uint64_t Seed,
+                                           const GeneratorOptions &Options) {
+  return Generator(Seed, Options).run();
+}

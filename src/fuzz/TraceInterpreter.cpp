@@ -1,0 +1,317 @@
+//===- TraceInterpreter.cpp - Trace execution on the real VM -------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// Every op guard here must stay byte-for-byte equivalent to the shadow
+// machine's (ShadowHeap.cpp): the differential harness's soundness rests on
+// the two interpreters agreeing on which ops are no-ops. The guards are
+// deliberately written against the object's *dynamic* type, not the
+// generator's slot guesses, so arbitrary replay specs execute identically
+// in both worlds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/TraceInterpreter.h"
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/heap/Hardening.h"
+#include "gcassert/heap/HeapHistogram.h"
+#include "gcassert/support/Format.h"
+
+#include <algorithm>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+std::string gcassert::fuzz::describeRunConfig(const RunConfig &Config) {
+  const char *Collector = "?";
+  switch (Config.Collector) {
+  case CollectorKind::MarkSweep:
+    Collector = "marksweep";
+    break;
+  case CollectorKind::SemiSpace:
+    Collector = "semispace";
+    break;
+  case CollectorKind::MarkCompact:
+    Collector = "markcompact";
+    break;
+  case CollectorKind::Generational:
+    Collector = "generational";
+    break;
+  }
+  return format("%s/t%u/%s", Collector, Config.Threads,
+                Config.Hardening == HardeningMode::Off     ? "off"
+                : Config.Hardening == HardeningMode::Check ? "check"
+                                                           : "full");
+}
+
+namespace {
+
+/// Traces allocate a few hundred KiB at most between forced collections;
+/// 8 MiB leaves an order of magnitude of slack in every heap organization
+/// (the semispace heap halves it, the generational heap carves out its
+/// nursery) so no implicit collection can fire for generated programs.
+constexpr size_t FuzzHeapBytes = 8u << 20;
+
+class Interpreter {
+public:
+  Interpreter(const TraceProgram &Program, const RunConfig &Config)
+      : Program(Program) {
+    VmConfig VC;
+    VC.HeapBytes = FuzzHeapBytes;
+    VC.Collector = Config.Collector;
+    VC.Gc.Threads = Config.Threads;
+    VC.Gc.Hardening = Config.Hardening;
+    // Arbitrary replay specs may exhaust the heap; surface that as an
+    // invalid run instead of aborting the whole fuzzing process.
+    VC.OnOom = OomPolicy::ReturnNull;
+    TheVm.emplace(VC);
+    Types = registerFuzzTypes(TheVm->types());
+    for (unsigned I = 0; I != SlotCount; ++I)
+      Roots[I] = TheVm->addGlobalRoot();
+    Engine.emplace(*TheVm, &Sink);
+    if (Config.Threads > 1) {
+      // With §2.7 path recording on, the mark-sweep family forces the
+      // sequential trace loop; turn it off so Threads > 1 actually
+      // exercises the parallel tracer.
+      TheVm->collector().setPathRecording(false);
+    }
+  }
+
+  RunResult run() {
+    for (const TraceOp &Op : Program.Ops) {
+      step(Op);
+      if (!Result.Valid)
+        break;
+    }
+    finish();
+    return std::move(Result);
+  }
+
+private:
+  ObjRef root(uint8_t Slot) {
+    return TheVm->globalRoot(Roots[Slot % SlotCount]);
+  }
+  void setRoot(uint8_t Slot, ObjRef Obj) {
+    TheVm->setGlobalRoot(Roots[Slot % SlotCount], Obj);
+  }
+
+  unsigned typeIndexOf(ObjRef Obj) { return Types.indexOf(Obj->typeId()); }
+
+  bool isOwner(ObjRef Obj) {
+    return Obj && typeIndexOf(Obj) == static_cast<unsigned>(FuzzType::Owner);
+  }
+
+  /// Number of mutable reference slots of \p Obj: ref-field count for class
+  /// types, length for RefArrays, 0 for DataArrays. The shadow machine's
+  /// Fields vector has exactly this size.
+  uint64_t refSlotCount(ObjRef Obj) {
+    unsigned I = typeIndexOf(Obj);
+    if (I == static_cast<unsigned>(FuzzType::DataArray))
+      return 0;
+    if (I == static_cast<unsigned>(FuzzType::RefArray))
+      return Obj->arrayLength();
+    return Types.RefOffsets[I].size();
+  }
+
+  void writeRefSlot(ObjRef Obj, uint64_t Slot, ObjRef Value) {
+    unsigned I = typeIndexOf(Obj);
+    if (I == static_cast<unsigned>(FuzzType::RefArray))
+      Obj->setElement(Slot, Value);
+    else
+      Obj->setRef(Types.RefOffsets[I][Slot], Value);
+  }
+
+  ObjRef readRefSlot(ObjRef Obj, uint64_t Slot) {
+    unsigned I = typeIndexOf(Obj);
+    if (I == static_cast<unsigned>(FuzzType::RefArray))
+      return Obj->getElement(Slot);
+    return Obj->getRef(Types.RefOffsets[I][Slot]);
+  }
+
+  void invalid(std::string Reason) {
+    if (!Result.Valid)
+      return;
+    Result.Valid = false;
+    Result.InvalidReason = std::move(Reason);
+  }
+
+  void step(const TraceOp &Op) {
+    switch (Op.Kind) {
+    case OpKind::New: {
+      FuzzType Type = static_cast<FuzzType>(Op.B % NumFuzzTypes);
+      uint64_t Length = 0;
+      if (Type == FuzzType::RefArray)
+        Length = Op.Aux % 64;
+      else if (Type == FuzzType::DataArray)
+        Length = Op.Aux % 256;
+      unsigned I = static_cast<unsigned>(Type);
+      ObjRef Obj = TheVm->allocate(TheVm->mainThread(), Types.Ids[I], Length);
+      if (!Obj) {
+        invalid("allocation returned null (heap exhausted)");
+        return;
+      }
+      ++Serial;
+      if (Type == FuzzType::Small || Type == FuzzType::Node ||
+          Type == FuzzType::Owner)
+        Obj->setScalar<uint64_t>(Types.SerialOffset[I], Serial);
+      setRoot(Op.A, Obj);
+      break;
+    }
+    case OpKind::Store: {
+      ObjRef Dst = root(Op.A);
+      ObjRef Src = root(Op.C);
+      if (!Dst)
+        break;
+      if (isOwner(Src))
+        break; // Invariant: no heap edge may point at an owner.
+      uint64_t Slots = refSlotCount(Dst);
+      if (!Slots)
+        break;
+      writeRefSlot(Dst, Op.B % Slots, Src);
+      break;
+    }
+    case OpKind::NullField: {
+      ObjRef Dst = root(Op.A);
+      if (!Dst)
+        break;
+      uint64_t Slots = refSlotCount(Dst);
+      if (!Slots)
+        break;
+      writeRefSlot(Dst, Op.B % Slots, nullptr);
+      break;
+    }
+    case OpKind::Load: {
+      ObjRef Src = root(Op.B);
+      if (!Src)
+        break;
+      uint64_t Slots = refSlotCount(Src);
+      if (!Slots)
+        break;
+      ObjRef Value = readRefSlot(Src, Op.C % Slots);
+      // A corrupt.* failpoint can leave a scribbled non-object value in a
+      // ref slot. The hardened trace screens such edges at the next
+      // collection, but the mutator reaches them first: apply the same
+      // header validation here, loading null for anything it refuses (the
+      // verdict the trace's severing would produce). Never fires on clean
+      // runs, so guard parity with the shadow machine is unaffected.
+      if (Value) {
+        if (HeapHardening *Hard = TheVm->heap().hardening()) {
+          if (!Hard->validObjectHeader(Value))
+            Value = nullptr;
+        } else if (Types.indexOf(Value->typeId()) == NumFuzzTypes) {
+          // Unhardened best effort: refuse values whose header does not
+          // name a fuzz type (arbitrary replays with corruption armed).
+          Value = nullptr;
+        }
+      }
+      setRoot(Op.A, Value);
+      break;
+    }
+    case OpKind::Drop:
+      setRoot(Op.A, nullptr);
+      break;
+    case OpKind::Collect:
+      TheVm->collectNow("fuzz trace");
+      ++Result.CollectOps;
+      snapshot();
+      break;
+    case OpKind::AssertDead:
+      if (ObjRef Obj = root(Op.A))
+        Engine->assertDead(Obj);
+      break;
+    case OpKind::AssertUnshared:
+      if (ObjRef Obj = root(Op.A))
+        Engine->assertUnshared(Obj);
+      break;
+    case OpKind::AssertOwnedBy: {
+      ObjRef Owner = root(Op.A);
+      ObjRef Ownee = root(Op.C);
+      if (!isOwner(Owner) || !Ownee || isOwner(Ownee))
+        break;
+      uint64_t Slots = refSlotCount(Owner);
+      writeRefSlot(Owner, Op.B % Slots, Ownee);
+      Engine->assertOwnedBy(Owner, Ownee);
+      break;
+    }
+    case OpKind::AssertInstances:
+      Engine->assertInstances(Types.Ids[Op.B % NumFuzzTypes], Op.Aux);
+      break;
+    case OpKind::AssertVolume:
+      Engine->assertVolume(Types.Ids[Op.B % NumFuzzTypes], Op.Aux);
+      break;
+    case OpKind::RegionBegin:
+      Engine->startRegion(TheVm->mainThread());
+      ++RegionDepth;
+      break;
+    case OpKind::RegionEnd:
+      if (!RegionDepth)
+        break; // assert-alldead without an open region is a usage error.
+      Engine->assertAllDead(TheVm->mainThread());
+      --RegionDepth;
+      break;
+    }
+  }
+
+  /// Records the post-collection live set in collector-independent form.
+  void snapshot() {
+    LiveSnapshot S;
+    TheVm->heap().forEachObject([&](ObjRef Obj) {
+      unsigned I = typeIndexOf(Obj);
+      if (I == static_cast<unsigned>(FuzzType::Small) ||
+          I == static_cast<unsigned>(FuzzType::Node) ||
+          I == static_cast<unsigned>(FuzzType::Owner))
+        S.ClassSerials.emplace_back(
+            static_cast<uint8_t>(I),
+            Obj->getScalar<uint64_t>(Types.SerialOffset[I]));
+    });
+    std::sort(S.ClassSerials.begin(), S.ClassSerials.end());
+    for (const TypeOccupancy &Row : takeHeapHistogram(TheVm->heap())) {
+      unsigned I = Types.indexOf(Row.Type);
+      if (I != NumFuzzTypes)
+        S.PerType.push_back({I, Row.Instances, Row.Bytes});
+    }
+    std::sort(S.PerType.begin(), S.PerType.end());
+    Result.Snapshots.push_back(std::move(S));
+  }
+
+  void finish() {
+    Result.Stats = TheVm->gcStats();
+    Result.EngineGcCycles = Engine->counters().GcCycles;
+    for (const Violation &V : Sink.violations()) {
+      if (V.Kind == AssertionKind::OwnershipOverlap) {
+        ++Result.OverlapWarnings;
+        continue;
+      }
+      Result.Violations.push_back({V.Cycle, V.Kind, V.ObjectType});
+    }
+    std::sort(Result.Violations.begin(), Result.Violations.end());
+    if (Result.Valid && TheVm->oomNullReturns())
+      invalid("allocation went through the OOM cascade");
+    if (Result.Valid && Result.Stats.MinorCycles)
+      invalid(format("%llu implicit minor collections ran",
+                     static_cast<unsigned long long>(
+                         Result.Stats.MinorCycles)));
+    if (Result.Valid && Result.Stats.Cycles != Result.CollectOps)
+      invalid(format("%llu collections for %llu collect ops (an implicit "
+                     "collection desynchronized the checking points)",
+                     static_cast<unsigned long long>(Result.Stats.Cycles),
+                     static_cast<unsigned long long>(Result.CollectOps)));
+  }
+
+  const TraceProgram &Program;
+  std::optional<Vm> TheVm;
+  std::optional<AssertionEngine> Engine;
+  RecordingViolationSink Sink;
+  FuzzTypeSet Types;
+  GlobalRootId Roots[SlotCount] = {};
+  uint64_t Serial = 0;
+  unsigned RegionDepth = 0;
+  RunResult Result;
+};
+
+} // namespace
+
+RunResult gcassert::fuzz::runTrace(const TraceProgram &Program,
+                                   const RunConfig &Config) {
+  return Interpreter(Program, Config).run();
+}

@@ -1,0 +1,253 @@
+//===- TraceProgram.cpp - Trace representation and replay specs ----------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/TraceProgram.h"
+#include "gcassert/fuzz/TraceGenerator.h"
+#include "gcassert/support/Format.h"
+
+#include <cstdlib>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Type universe
+//===----------------------------------------------------------------------===//
+
+const char *gcassert::fuzz::fuzzTypeName(FuzzType Type) {
+  switch (Type) {
+  case FuzzType::Small:
+    return "LFuzzSmall;";
+  case FuzzType::Node:
+    return "LFuzzNode;";
+  case FuzzType::Owner:
+    return "LFuzzOwner;";
+  case FuzzType::RefArray:
+    return "[LFuzzRef;";
+  case FuzzType::DataArray:
+    return "[BFuzzData;";
+  }
+  return "?";
+}
+
+unsigned gcassert::fuzz::fuzzRefFieldCount(FuzzType Type) {
+  switch (Type) {
+  case FuzzType::Small:
+    return 2;
+  case FuzzType::Node:
+    return 3;
+  case FuzzType::Owner:
+    return 4;
+  case FuzzType::RefArray:
+  case FuzzType::DataArray:
+    return 0;
+  }
+  return 0;
+}
+
+uint64_t gcassert::fuzz::fuzzAllocationSize(FuzzType Type,
+                                            uint64_t ArrayLength) {
+  const uint64_t Header = 8;
+  uint64_t Size = 0;
+  switch (Type) {
+  case FuzzType::Small:
+    Size = Header + 2 * 8 + 8;
+    break;
+  case FuzzType::Node:
+    Size = Header + 3 * 8 + 8;
+    break;
+  case FuzzType::Owner:
+    Size = Header + 4 * 8 + 8;
+    break;
+  case FuzzType::RefArray:
+    Size = Header + 8 + ArrayLength * 8;
+    break;
+  case FuzzType::DataArray:
+    Size = Header + 8 + ArrayLength;
+    break;
+  }
+  const uint64_t MinObjectSize = Header + 8;
+  return Size < MinObjectSize ? MinObjectSize : Size;
+}
+
+FuzzTypeSet gcassert::fuzz::registerFuzzTypes(TypeRegistry &Types) {
+  FuzzTypeSet Set;
+  for (FuzzType T :
+       {FuzzType::Small, FuzzType::Node, FuzzType::Owner}) {
+    unsigned I = static_cast<unsigned>(T);
+    TypeBuilder B(Types, fuzzTypeName(T));
+    for (unsigned F = 0, E = fuzzRefFieldCount(T); F != E; ++F)
+      Set.RefOffsets[I].push_back(B.addRef(format("f%u", F)));
+    Set.SerialOffset[I] = B.addScalar("serial", 8);
+    Set.Ids[I] = B.build();
+  }
+  Set.Ids[static_cast<unsigned>(FuzzType::RefArray)] =
+      Types.registerRefArray(fuzzTypeName(FuzzType::RefArray));
+  Set.Ids[static_cast<unsigned>(FuzzType::DataArray)] =
+      Types.registerDataArray(fuzzTypeName(FuzzType::DataArray), 1);
+  return Set;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct OpSpec {
+  OpKind Kind;
+  const char *Mnemonic;
+  unsigned Operands; ///< How many of A,B,C are meaningful.
+  bool HasAux;
+};
+
+constexpr OpSpec OpSpecs[] = {
+    {OpKind::New, "n", 2, true},
+    {OpKind::Store, "s", 3, false},
+    {OpKind::NullField, "z", 2, false},
+    {OpKind::Load, "l", 3, false},
+    {OpKind::Drop, "d", 1, false},
+    {OpKind::Collect, "c", 0, false},
+    {OpKind::AssertDead, "ad", 1, false},
+    {OpKind::AssertUnshared, "au", 1, false},
+    {OpKind::AssertOwnedBy, "ao", 3, false},
+    {OpKind::AssertInstances, "ai", 2, true},
+    {OpKind::AssertVolume, "av", 2, true},
+    {OpKind::RegionBegin, "rb", 0, false},
+    {OpKind::RegionEnd, "re", 0, false},
+};
+
+const OpSpec *specFor(OpKind Kind) {
+  for (const OpSpec &S : OpSpecs)
+    if (S.Kind == Kind)
+      return &S;
+  return nullptr;
+}
+
+const OpSpec *specFor(const std::string &Mnemonic) {
+  for (const OpSpec &S : OpSpecs)
+    if (Mnemonic == S.Mnemonic)
+      return &S;
+  return nullptr;
+}
+
+std::vector<std::string> splitOn(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Next = Text.find(Sep, Pos);
+    if (Next == std::string::npos) {
+      Parts.push_back(Text.substr(Pos));
+      break;
+    }
+    Parts.push_back(Text.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+  return Parts;
+}
+
+bool parseU64(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+} // namespace
+
+std::string TraceProgram::serializeOps() const {
+  std::string Text = "prog:";
+  for (size_t I = 0, E = Ops.size(); I != E; ++I) {
+    const TraceOp &Op = Ops[I];
+    const OpSpec *Spec = specFor(Op.Kind);
+    if (I)
+      Text += ';';
+    Text += Spec->Mnemonic;
+    const uint8_t Operands[3] = {Op.A, Op.B, Op.C};
+    for (unsigned J = 0; J != Spec->Operands; ++J)
+      Text += format(",%u", Operands[J]);
+    if (Spec->HasAux)
+      Text += format(",%u", Op.Aux);
+  }
+  return Text;
+}
+
+std::string TraceProgram::replaySpec() const {
+  if (HasSeed)
+    return format("seed:%llu:ops=%llu",
+                  static_cast<unsigned long long>(Seed),
+                  static_cast<unsigned long long>(SeedTargetOps));
+  return serializeOps();
+}
+
+size_t TraceProgram::collectCount() const {
+  size_t N = 0;
+  for (const TraceOp &Op : Ops)
+    N += Op.Kind == OpKind::Collect;
+  return N;
+}
+
+bool gcassert::fuzz::parseTraceSpec(const std::string &Spec, TraceProgram &Out,
+                                    std::string *Error) {
+  auto Fail = [&](std::string Message) {
+    if (Error)
+      *Error = std::move(Message);
+    return false;
+  };
+
+  if (Spec.rfind("seed:", 0) == 0) {
+    std::vector<std::string> Parts = splitOn(Spec.substr(5), ':');
+    uint64_t Seed = 0;
+    if (Parts.empty() || !parseU64(Parts[0], Seed))
+      return Fail("malformed seed spec: " + Spec);
+    GeneratorOptions Options;
+    for (size_t I = 1; I < Parts.size(); ++I) {
+      uint64_t Value = 0;
+      if (Parts[I].rfind("ops=", 0) == 0 && parseU64(Parts[I].substr(4), Value))
+        Options.TargetOps = Value;
+      else
+        return Fail("unknown seed spec field: " + Parts[I]);
+    }
+    Out = generateTrace(Seed, Options);
+    return true;
+  }
+
+  if (Spec.rfind("prog:", 0) != 0)
+    return Fail("replay spec must start with \"seed:\" or \"prog:\"");
+
+  Out = TraceProgram();
+  std::string Body = Spec.substr(5);
+  if (Body.empty())
+    return true;
+  for (const std::string &Clause : splitOn(Body, ';')) {
+    std::vector<std::string> Fields = splitOn(Clause, ',');
+    const OpSpec *OpDesc = specFor(Fields[0]);
+    if (!OpDesc)
+      return Fail("unknown op mnemonic: " + Fields[0]);
+    unsigned Expected = OpDesc->Operands + (OpDesc->HasAux ? 1u : 0u);
+    if (Fields.size() != Expected + 1)
+      return Fail("wrong operand count for op: " + Clause);
+    TraceOp Op;
+    Op.Kind = OpDesc->Kind;
+    uint8_t *Operands[3] = {&Op.A, &Op.B, &Op.C};
+    for (unsigned J = 0; J != OpDesc->Operands; ++J) {
+      uint64_t Value = 0;
+      if (!parseU64(Fields[1 + J], Value) || Value > 255)
+        return Fail("bad operand in op: " + Clause);
+      *Operands[J] = static_cast<uint8_t>(Value);
+    }
+    if (OpDesc->HasAux) {
+      uint64_t Value = 0;
+      if (!parseU64(Fields[1 + OpDesc->Operands], Value) ||
+          Value > UINT32_MAX)
+        return Fail("bad aux operand in op: " + Clause);
+      Op.Aux = static_cast<uint32_t>(Value);
+    }
+    Out.Ops.push_back(Op);
+  }
+  return true;
+}

@@ -1,0 +1,76 @@
+//===- TraceReducer.cpp - ddmin over heap-mutation traces ----------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// Classic ddmin (Zeller & Hildebrandt), made trivially sound by the trace
+// representation: every op is a guarded no-op when its preconditions fail,
+// so any subsequence of a failing trace is a well-formed program and the
+// only question is whether it still fails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/TraceReducer.h"
+
+#include <algorithm>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+TraceProgram gcassert::fuzz::reduceTrace(
+    const TraceProgram &Program,
+    const std::function<bool(const TraceProgram &)> &StillFails,
+    ReducerStats *Stats, size_t MaxProbes) {
+  ReducerStats Local;
+  ReducerStats &S = Stats ? *Stats : Local;
+  S.Probes = 0;
+  S.InitialOps = Program.Ops.size();
+
+  auto Probe = [&](std::vector<TraceOp> Ops) {
+    ++S.Probes;
+    TraceProgram Candidate;
+    Candidate.Ops = std::move(Ops);
+    return StillFails(Candidate);
+  };
+
+  // The contract requires the input itself to fail; a predicate that does
+  // not hold initially would "minimize" to a meaningless trace.
+  if (!Probe(Program.Ops)) {
+    S.FinalOps = S.InitialOps;
+    return Program;
+  }
+
+  std::vector<TraceOp> Current = Program.Ops;
+  size_t Chunks = 2;
+  while (Current.size() >= 2 && S.Probes < MaxProbes) {
+    size_t ChunkLen = (Current.size() + Chunks - 1) / Chunks;
+    bool Reduced = false;
+    for (size_t Start = 0; Start < Current.size() && S.Probes < MaxProbes;
+         Start += ChunkLen) {
+      size_t End = std::min(Start + ChunkLen, Current.size());
+      std::vector<TraceOp> Complement;
+      Complement.reserve(Current.size() - (End - Start));
+      Complement.insert(Complement.end(), Current.begin(),
+                        Current.begin() + Start);
+      Complement.insert(Complement.end(), Current.begin() + End,
+                        Current.end());
+      if (Complement.size() == Current.size())
+        continue;
+      if (Probe(Complement)) {
+        Current = std::move(Complement);
+        Chunks = std::max<size_t>(Chunks - 1, 2);
+        Reduced = true;
+        break;
+      }
+    }
+    if (!Reduced) {
+      if (Chunks >= Current.size())
+        break; // 1-minimal: no single op can be removed.
+      Chunks = std::min(Chunks * 2, Current.size());
+    }
+  }
+
+  S.FinalOps = Current.size();
+  TraceProgram Result;
+  Result.Ops = std::move(Current);
+  return Result;
+}

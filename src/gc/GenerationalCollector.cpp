@@ -97,6 +97,68 @@ void GenerationalCollector::evacuateNursery() {
   TheHeap.finishMinorCollection();
 }
 
+void GenerationalCollector::evacuateNurseryMarked() {
+  // After a full-heap checking trace the nursery mark bits are the ground
+  // truth for survival: they include ownees retained only by the ownership
+  // phase of a dead owner, which no root or remembered-set path reaches.
+  // Re-tracing from roots here (as a plain minor collection does) would
+  // drop those objects and the surviving live set would diverge from the
+  // non-generational collectors'.
+  TheHeap.beginMinorCollection();
+
+  // Pass 1: promote every marked nursery survivor, leaving a forwarding
+  // pointer behind. The copy inherits the mark bit; clear it so the next
+  // full trace does not see the promoted object as already visited (the
+  // old generation's sweep has already run this cycle).
+  std::vector<ObjRef> Promoted;
+  TheHeap.forEachNurseryObject([&](ObjRef Obj) {
+    if (!Obj->header().isMarked())
+      return;
+    ObjRef New = TheHeap.promote(Obj);
+    New->header().clearMarked();
+    Promoted.push_back(New);
+  });
+
+  // Pass 2: forward every edge that can reach the nursery — root slots,
+  // remembered old objects' fields, and the promoted copies' own fields.
+  // A nursery target without a forwarding pointer is dead storage about to
+  // be recycled (reachable only as a back edge into a dead owner); every
+  // collector family leaves such an edge dangling, so it stays untouched.
+  TypeRegistry &Types = TheHeap.types();
+  auto Forward = [&](ObjRef *Slot) {
+    if (*Slot && TheHeap.inNursery(*Slot) && (*Slot)->isForwarded())
+      *Slot = (*Slot)->forwardingAddress();
+  };
+  auto ForwardFields = [&](ObjRef Obj) {
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    if (Type.kind() == TypeKind::Class) {
+      for (uint32_t Offset : Type.refOffsets())
+        Forward(Obj->refSlot(Offset));
+    } else if (Type.kind() == TypeKind::RefArray) {
+      for (uint64_t I = 0, E = Obj->arrayLength(); I != E; ++I)
+        Forward(Obj->elementSlot(I));
+    }
+  };
+  Roots.forEachRootSlot(Forward);
+  for (Object *Remembered : TheHeap.rememberedSet()) {
+    if (GCA_UNLIKELY(Hard != nullptr) &&
+        GCA_UNLIKELY(!Hard->validObjectHeader(Remembered)))
+      continue; // Corrupt entry: never scan through it (audit reports it).
+    ForwardFields(Remembered);
+  }
+  for (ObjRef New : Promoted)
+    ForwardFields(New);
+
+  Stats.ObjectsVisited += Promoted.size();
+
+  if (Hooks) {
+    MinorPostTrace Ctx(TheHeap, Stats.Cycles);
+    Hooks->onMinorGcComplete(Ctx);
+  }
+
+  TheHeap.finishMinorCollection();
+}
+
 void GenerationalCollector::collectMinor() {
   // Pre-flight promotion guard: a worst-case minor collection promotes
   // every nursery byte. If the old generation cannot absorb that — or the
@@ -128,14 +190,9 @@ void GenerationalCollector::collectMajor() {
   // Order matters: the checking trace runs over the *whole* graph first
   // (assertions see every object at its current address), the old
   // generation is swept — maximizing room — and only then is the nursery
-  // evacuated. Sweeping first also keeps the fatal promotion-failure path
+  // evacuated, driven by the mark bits the full trace left behind.
+  // Sweeping first also keeps the fatal promotion-failure path
   // unreachable as long as live data fits the old generation at all.
-  //
-  // The full-graph trace marks nursery objects too; only the old
-  // generation's sweep clears bits, so the nursery's marks are cleared by
-  // hand before evacuation (a marked nursery object would look "visited"
-  // to nothing — the minor trace keys on forwarding, not marks — but stale
-  // bits must not leak into promoted headers).
   FreeListHeap &OldGen = TheHeap.oldGen();
   std::function<void()> PruneRemSet = [this] {
     TheHeap.pruneRememberedSetUnmarked();
@@ -155,9 +212,7 @@ void GenerationalCollector::collectMajor() {
     detail::runMarkSweepCycle<false, false>(OldGen, Roots, nullptr, Stats,
                                             Pool, PruneRemSet, Hard);
   }
-  TheHeap.clearNurseryMarks();
-
-  evacuateNursery();
+  evacuateNurseryMarked();
   finishHardenedCycle(TheHeap);
 
   uint64_t Elapsed = monotonicNanos() - Start;

@@ -13,15 +13,21 @@ using namespace gcassert;
 
 namespace {
 
-/// Liveness view between marking and sliding: live objects answer with
-/// their *planned* post-compaction address.
+/// Liveness view handed to the engine *after* the slide: pre-compaction
+/// addresses are pure lookup keys into the plan (never dereferenced — the
+/// storage they named has been overwritten), and the returned post-slide
+/// addresses are live objects the engine may read and write, which the
+/// PostTraceContext contract requires (the engine clears header flags and
+/// reads type ids through them).
 class CompactPostTrace : public PostTraceContext {
 public:
   CompactPostTrace(const CompactionPlan &Plan, uint64_t Cycle)
       : Plan(Plan), Cycle(Cycle) {}
 
   ObjRef currentAddress(ObjRef Obj) const override {
-    return Obj->header().isMarked() ? Plan.lookup(Obj) : nullptr;
+    // Dead objects are simply absent from the plan; no header read needed
+    // (the mark bits are gone by now anyway).
+    return Plan.lookup(Obj);
   }
 
   uint64_t cycle() const override { return Cycle; }
@@ -80,14 +86,7 @@ void MarkCompactCollector::runCycle() {
   uint64_t BytesBefore = TheHeap.stats().BytesInUse;
   CompactionPlan Plan = TheHeap.planCompaction();
 
-  // Phase 3: the engine rewrites its weak tables against the plan; no
-  // object may be dereferenced through the new addresses until the slide.
-  if constexpr (EnableChecks) {
-    CompactPostTrace Ctx(Plan, Cycle);
-    Hooks->onTraceComplete(Ctx);
-  }
-
-  // Phase 4: rewrite every reference — root slots and the fields of every
+  // Phase 3: rewrite every reference — root slots and the fields of every
   // live object (still at their old addresses).
   Roots.forEachRootSlot([&](ObjRef *Slot) {
     if (*Slot)
@@ -111,8 +110,18 @@ void MarkCompactCollector::runCycle() {
     }
   });
 
-  // Phase 5: slide.
+  // Phase 4: slide.
   TheHeap.executeCompaction(Plan);
+
+  // Phase 5: only now — with every live object at its final, populated
+  // address — may the engine rewrite its weak tables. Running this before
+  // the slide handed the engine planned addresses whose storage was not
+  // yet populated; clearing ownership flags or reading a type id through
+  // them scribbled over unrelated live objects.
+  if constexpr (EnableChecks) {
+    CompactPostTrace Ctx(Plan, Cycle);
+    Hooks->onTraceComplete(Ctx);
+  }
 
   Stats.ObjectsVisited += Tracer.objectsVisited();
   uint64_t BytesAfter = TheHeap.stats().BytesInUse;

@@ -176,6 +176,32 @@ void GenerationalHeap::clearNurseryMarks() {
   }
 }
 
+void GenerationalHeap::forEachNurseryObject(
+    const std::function<void(ObjRef)> &Fn) {
+  if (GCA_UNLIKELY(Hard != nullptr)) {
+    uint8_t *Cursor = Nursery.get();
+    for (uint32_t Size : NurserySizeLog) {
+      auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+      Cursor += Size;
+      if (GCA_UNLIKELY(!Hard->validObjectHeader(Obj)) ||
+          GCA_UNLIKELY(Hard->isQuarantined(Obj)))
+        continue;
+      Fn(Obj);
+    }
+    assert(Cursor == NurseryBump && "size log out of sync with nursery bump");
+    return;
+  }
+  uint8_t *Cursor = Nursery.get();
+  while (Cursor < NurseryBump) {
+    auto *Obj = reinterpret_cast<ObjRef>(Cursor);
+    assert(Obj->header().isObject() && "nursery walk hit a non-object");
+    const TypeInfo &Type = Types.get(Obj->typeId());
+    uint64_t Length = Type.isArray() ? Obj->arrayLength() : 0;
+    Cursor += alignUp(Types.allocationSize(Obj->typeId(), Length));
+    Fn(Obj);
+  }
+}
+
 void GenerationalHeap::forEachObject(const std::function<void(ObjRef)> &Fn) {
   OldGen->forEachObject(Fn);
   if (GCA_UNLIKELY(Hard != nullptr)) {

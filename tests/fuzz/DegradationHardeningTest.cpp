@@ -1,0 +1,99 @@
+//===- DegradationHardeningTest.cpp - Shedding under hardened fuzz runs --===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// The degradation ladder and the hardened heap compose: with the
+// engine.shed failpoint tripping the Full -> NoPaths -> CoreOnly ladder
+// while Check-mode header screening is active, the core-check verdicts of a
+// fuzz trace must not change. CoreOnly sheds path recording, the
+// OwnershipOverlap warnings, and the orphaned-ownee watch — all outside the
+// core comparison — while region logs and every core assertion keep
+// running, so the run's core violation multiset must still equal the
+// oracle's prediction exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/TraceGenerator.h"
+#include "gcassert/fuzz/TraceInterpreter.h"
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+namespace {
+
+/// The run's violations restricted to the kinds a CoreOnly engine still
+/// checks (everything the oracle puts in CoreViolations).
+ViolationMultiset coreOnly(const ViolationMultiset &Violations) {
+  ViolationMultiset Out;
+  for (const ViolationKey &V : Violations)
+    if (V.Kind != AssertionKind::OwneeOutlivedOwner &&
+        V.Kind != AssertionKind::OwnershipOverlap)
+      Out.push_back(V);
+  return Out;
+}
+
+/// A fixed seed whose trace actually trips core assertions, found
+/// deterministically so the comparison below is not vacuous.
+TraceProgram findTraceWithCoreViolations() {
+  for (uint64_t Seed = 1; Seed != 64; ++Seed) {
+    TraceProgram Program = generateTrace(Seed, {.TargetOps = 96});
+    if (!runShadowOracle(Program).CoreViolations.empty())
+      return Program;
+  }
+  ADD_FAILURE() << "no seed in 1..63 produced core violations";
+  return TraceProgram();
+}
+
+class DegradationHardeningTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+} // namespace
+
+TEST_F(DegradationHardeningTest, CoreVerdictsSurviveSheddingUnderCheckMode) {
+  TraceProgram Program = findTraceWithCoreViolations();
+  ASSERT_FALSE(Program.Ops.empty());
+  ShadowResult Oracle = runShadowOracle(Program);
+  ASSERT_FALSE(Oracle.CoreViolations.empty());
+  // Enough collects for the ladder to reach CoreOnly (one level per cycle)
+  // and then run at least one full cycle there.
+  ASSERT_GE(Program.collectCount(), 4u);
+
+  RunConfig Config;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.Threads = 1;
+  Config.Hardening = HardeningMode::Check;
+
+  faults::EngineShed.armAlways();
+  RunResult Degraded = runTrace(Program, Config);
+  disarmAllFailpoints();
+
+  ASSERT_TRUE(Degraded.Valid) << Degraded.InvalidReason;
+  // The ladder actually engaged: cycles ran below Full.
+  EXPECT_GE(Degraded.Stats.PathShedCycles, 2u);
+  // Shedding never invents or drops a core verdict.
+  EXPECT_EQ(coreOnly(Degraded.Violations), Oracle.CoreViolations);
+  // The live set is untouched by degradation.
+  ASSERT_EQ(Degraded.Snapshots.size(), Oracle.Snapshots.size());
+  for (size_t I = 0; I != Degraded.Snapshots.size(); ++I)
+    EXPECT_EQ(Degraded.Snapshots[I], Oracle.Snapshots[I]) << "snapshot " << I;
+}
+
+TEST_F(DegradationHardeningTest, UndegradedRunMatchesFullOracleSet) {
+  // Control: the same trace without the failpoint reports the extended set
+  // too, confirming the delta really is the shed bookkeeping.
+  TraceProgram Program = findTraceWithCoreViolations();
+  ASSERT_FALSE(Program.Ops.empty());
+  ShadowResult Oracle = runShadowOracle(Program);
+
+  RunConfig Config;
+  Config.Hardening = HardeningMode::Check;
+  RunResult Clean = runTrace(Program, Config);
+  ASSERT_TRUE(Clean.Valid) << Clean.InvalidReason;
+  EXPECT_EQ(Clean.Stats.PathShedCycles, 0u);
+  EXPECT_EQ(Clean.Violations, Oracle.Violations);
+}

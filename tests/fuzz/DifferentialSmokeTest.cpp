@@ -1,0 +1,100 @@
+//===- DifferentialSmokeTest.cpp - Differential runner smoke coverage ----===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// The in-tree slice of the fuzzing acceptance campaign: a batch of fixed
+// seeds over the quick matrix on every ctest run, one seed over the full
+// 24-config matrix, and the structural matrix/interpreter properties the
+// campaign relies on. The long campaign itself lives behind the
+// gcassert-fuzz CLI (see tests/CMakeLists.txt for the smoke invocation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/DifferentialRunner.h"
+
+#include "gcassert/fuzz/TraceGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+TEST(DifferentialSmokeTest, MatrixShapes) {
+  std::vector<RunConfig> Full = buildMatrix(MatrixKind::Full);
+  EXPECT_EQ(Full.size(), 24u);
+
+  std::vector<RunConfig> Quick = buildMatrix(MatrixKind::Quick);
+  EXPECT_EQ(Quick.size(), 4u);
+  for (const RunConfig &C : Quick) {
+    EXPECT_EQ(C.Threads, 1u);
+    EXPECT_EQ(C.Hardening, HardeningMode::Off);
+  }
+
+  std::vector<RunConfig> Hardened = buildMatrix(MatrixKind::HardenedOnly);
+  EXPECT_EQ(Hardened.size(), 4u);
+  for (const RunConfig &C : Hardened)
+    EXPECT_NE(C.Hardening, HardeningMode::Off);
+
+  // All four collector families appear in every matrix.
+  for (const std::vector<RunConfig> *M : {&Full, &Quick, &Hardened}) {
+    std::set<CollectorKind> Kinds;
+    for (const RunConfig &C : *M)
+      Kinds.insert(C.Collector);
+    EXPECT_EQ(Kinds.size(), 4u);
+  }
+}
+
+TEST(DifferentialSmokeTest, QuickMatrixBatchIsClean) {
+  std::vector<RunConfig> Matrix = buildMatrix(MatrixKind::Quick);
+  for (uint64_t Seed = 100; Seed != 140; ++Seed) {
+    TraceProgram Program = generateTrace(Seed, {.TargetOps = 64});
+    DiffReport Report = runDifferential(Program, Matrix);
+    ASSERT_FALSE(Report.Diverged)
+        << "seed " << Seed << " [" << Report.Config
+        << "]: " << Report.Description
+        << "\nreplay: " << Program.replaySpec();
+  }
+}
+
+TEST(DifferentialSmokeTest, FullMatrixSingleSeedIsClean) {
+  std::vector<RunConfig> Matrix = buildMatrix(MatrixKind::Full);
+  TraceProgram Program = generateTrace(4242, {.TargetOps = 96});
+  DiffReport Report = runDifferential(Program, Matrix);
+  EXPECT_FALSE(Report.Diverged)
+      << "[" << Report.Config << "]: " << Report.Description
+      << "\nreplay: " << Program.replaySpec();
+}
+
+TEST(DifferentialSmokeTest, RunResultStatsInvariantsHold) {
+  // The interpreter's structural requirements on a clean run: every Collect
+  // op produced exactly one engine cycle (no implicit collections), and a
+  // snapshot per collect.
+  TraceProgram Program = generateTrace(77, {.TargetOps = 64});
+  for (const RunConfig &Config : buildMatrix(MatrixKind::Quick)) {
+    RunResult R = runTrace(Program, Config);
+    ASSERT_TRUE(R.Valid) << describeRunConfig(Config) << ": "
+                         << R.InvalidReason;
+    EXPECT_EQ(R.CollectOps, Program.collectCount());
+    EXPECT_EQ(R.EngineGcCycles, R.CollectOps);
+    EXPECT_EQ(R.Snapshots.size(), R.CollectOps);
+  }
+}
+
+TEST(DifferentialSmokeTest, InterpreterAgreesWithOracleAcrossThreadCounts) {
+  // Parallel tracing must not change verdicts: compare a 4-thread hardened
+  // run directly against the oracle.
+  TraceProgram Program = generateTrace(31, {.TargetOps = 80});
+  ShadowResult Expected = runShadowOracle(Program);
+  RunConfig Config;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.Threads = 4;
+  Config.Hardening = HardeningMode::Check;
+  RunResult R = runTrace(Program, Config);
+  ASSERT_TRUE(R.Valid) << R.InvalidReason;
+  EXPECT_EQ(R.Violations, Expected.Violations);
+  ASSERT_EQ(R.Snapshots.size(), Expected.Snapshots.size());
+  for (size_t I = 0; I != R.Snapshots.size(); ++I)
+    EXPECT_EQ(R.Snapshots[I], Expected.Snapshots[I]) << "snapshot " << I;
+}

@@ -1,0 +1,202 @@
+//===- ShadowOracleTest.cpp - Shadow-heap oracle unit tests --------------===//
+//
+// Handcrafted traces with violation multisets and live sets worked out by
+// hand. The differential harness checks the oracle against four collector
+// implementations; these tests check it against pencil and paper, so a bug
+// that slipped into both sides of the differential comparison still shows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/ShadowHeap.h"
+
+#include "gcassert/fuzz/TraceInterpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+namespace {
+
+TraceProgram parse(const std::string &Spec) {
+  TraceProgram Program;
+  std::string Error;
+  EXPECT_TRUE(parseTraceSpec(Spec, Program, &Error)) << Error;
+  return Program;
+}
+
+ShadowResult oracle(const std::string &Spec) {
+  return runShadowOracle(parse(Spec));
+}
+
+size_t countKind(const ViolationMultiset &Violations, AssertionKind Kind) {
+  size_t N = 0;
+  for (const ViolationKey &V : Violations)
+    if (V.Kind == Kind)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(ShadowOracleTest, EmptyTraceIsClean) {
+  ShadowResult R = oracle("prog:c");
+  EXPECT_TRUE(R.Violations.empty());
+  ASSERT_EQ(R.Snapshots.size(), 1u);
+  EXPECT_TRUE(R.Snapshots[0].ClassSerials.empty());
+  EXPECT_TRUE(R.Snapshots[0].PerType.empty());
+  EXPECT_EQ(R.ObjectsAllocated, 0u);
+}
+
+TEST(ShadowOracleTest, RootedObjectSurvivesWithSerial) {
+  // One Small allocated into slot 0, still rooted at the collect.
+  ShadowResult R = oracle("prog:n,0,0,0;c");
+  EXPECT_TRUE(R.Violations.empty());
+  ASSERT_EQ(R.Snapshots.size(), 1u);
+  // First allocation gets serial 1; FuzzType::Small is index 0.
+  ASSERT_EQ(R.Snapshots[0].ClassSerials.size(), 1u);
+  EXPECT_EQ(R.Snapshots[0].ClassSerials[0],
+            (std::pair<uint8_t, uint64_t>{0, 1}));
+  ASSERT_EQ(R.Snapshots[0].PerType.size(), 1u);
+  EXPECT_EQ(R.Snapshots[0].PerType[0][0], 0u); // type index
+  EXPECT_EQ(R.Snapshots[0].PerType[0][1], 1u); // instances
+  EXPECT_EQ(R.Snapshots[0].PerType[0][2],
+            fuzzAllocationSize(FuzzType::Small, 0));
+  EXPECT_EQ(R.ObjectsAllocated, 1u);
+}
+
+TEST(ShadowOracleTest, DroppedObjectDies) {
+  ShadowResult R = oracle("prog:n,0,0,0;d,0;c");
+  EXPECT_TRUE(R.Violations.empty());
+  ASSERT_EQ(R.Snapshots.size(), 1u);
+  EXPECT_TRUE(R.Snapshots[0].ClassSerials.empty());
+}
+
+TEST(ShadowOracleTest, AssertDeadViolatedWhileRooted) {
+  // Flagged dead but still rooted: a Dead violation at the collect, and --
+  // the flag is sticky, matching the engine -- at every later collect while
+  // the object survives.
+  ShadowResult R = oracle("prog:n,0,0,0;ad,0;c;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::Dead), 2u);
+  EXPECT_EQ(R.Violations.size(), 2u);
+  EXPECT_EQ(R.Violations[0].Cycle, 0u);
+  EXPECT_EQ(R.Violations[1].Cycle, 1u);
+  EXPECT_EQ(R.Violations[0].TypeName, fuzzTypeName(FuzzType::Small));
+}
+
+TEST(ShadowOracleTest, AssertDeadSatisfiedWhenDropped) {
+  ShadowResult R = oracle("prog:n,0,0,0;ad,0;d,0;c;c");
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(ShadowOracleTest, AssertUnsharedCountsRootsAndFieldsAsEncounters) {
+  // The Small in slot 0 is reachable from its root slot AND from a field of
+  // the rooted Node in slot 1: two encounters, so the unshared assertion is
+  // violated.
+  ShadowResult R = oracle("prog:n,0,0,0;n,1,1,0;s,1,0,0;au,0;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::Unshared), 1u);
+
+  // A single root and no heap in-edges: one encounter, clean.
+  ShadowResult Clean = oracle("prog:n,0,0,0;au,0;c");
+  EXPECT_EQ(countKind(Clean.Violations, AssertionKind::Unshared), 0u);
+}
+
+TEST(ShadowOracleTest, AssertInstancesLimitTrips) {
+  // Limit Small instances to 1, allocate two rooted Smalls.
+  ShadowResult R = oracle("prog:ai,0,0,1;n,0,0,0;n,1,0,0;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::Instances), 1u);
+
+  // Exactly at the limit: no violation (the check is count > limit).
+  ShadowResult AtLimit = oracle("prog:ai,0,0,1;n,0,0,0;c");
+  EXPECT_EQ(countKind(AtLimit.Violations, AssertionKind::Instances), 0u);
+}
+
+TEST(ShadowOracleTest, AssertVolumeLimitTrips) {
+  uint64_t OneSmall = fuzzAllocationSize(FuzzType::Small, 0);
+  // Limit the byte volume of Small to one instance's worth, allocate two.
+  ShadowResult R = oracle("prog:av,0,0," + std::to_string(OneSmall) +
+                          ";n,0,0,0;n,1,0,0;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::Volume), 1u);
+}
+
+TEST(ShadowOracleTest, OwnedByHoldsWhileOwnerFieldCoversOwnee) {
+  // The ao op stores owner.field = ownee, so even a rooted ownee sits in
+  // the owner's phase-1 region: the ownership phase claims it before the
+  // root trace can, and no violation fires.
+  ShadowResult Covered = oracle("prog:n,0,2,0;n,1,0,0;ao,0,0,1;c");
+  EXPECT_EQ(countKind(Covered.Violations, AssertionKind::OwnedBy), 0u);
+
+  // Null the owner's field after asserting ownership: now the rooted ownee
+  // is first reached by the root trace, outside any owner's region.
+  ShadowResult R = oracle("prog:n,0,2,0;n,1,0,0;ao,0,0,1;z,0,0;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::OwnedBy), 1u);
+
+  // Drop the ownee's root but keep the owner's field: reachable only
+  // through the owner, clean, and the ownee stays live.
+  ShadowResult Clean = oracle("prog:n,0,2,0;n,1,0,0;ao,0,0,1;d,1;c");
+  EXPECT_EQ(countKind(Clean.Violations, AssertionKind::OwnedBy), 0u);
+  ASSERT_EQ(Clean.Snapshots.size(), 1u);
+  EXPECT_EQ(Clean.Snapshots[0].ClassSerials.size(), 2u);
+}
+
+TEST(ShadowOracleTest, OwneeOutlivedOwnerIsDeferredOneCycle) {
+  // The owner dies at the first collect while the ownee stays rooted; the
+  // watch resolves at the *next* collect, and only in the extended set.
+  ShadowResult R = oracle("prog:n,0,2,0;n,1,0,0;ao,0,0,1;d,0;c;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::OwneeOutlivedOwner), 1u);
+  EXPECT_EQ(countKind(R.CoreViolations, AssertionKind::OwneeOutlivedOwner),
+            0u);
+  for (const ViolationKey &V : R.Violations) {
+    if (V.Kind == AssertionKind::OwneeOutlivedOwner) {
+      EXPECT_EQ(V.Cycle, 1u);
+    }
+  }
+}
+
+TEST(ShadowOracleTest, DeadOwnerRegionRetainsOwneeOneCycle) {
+  // Paper section 2.5.2: the ownership phase scans from every owner in the
+  // table, live or not, so an unrooted ownee of a dead owner survives the
+  // first collect through the owner's field and dies at the second.
+  ShadowResult R = oracle("prog:n,0,2,0;n,1,0,0;ao,0,0,1;d,0;d,1;c;c");
+  ASSERT_EQ(R.Snapshots.size(), 2u);
+  EXPECT_EQ(R.Snapshots[0].ClassSerials.size(), 1u); // the ownee, cycle 0
+  EXPECT_TRUE(R.Snapshots[1].ClassSerials.empty());  // gone by cycle 1
+}
+
+TEST(ShadowOracleTest, RegionEndFlagsSurvivorsDead) {
+  // An object allocated inside a region and still rooted when the region
+  // closes: region-end asserts it dead, the next collect reports it.
+  ShadowResult R = oracle("prog:rb;n,0,0,0;re;c");
+  EXPECT_EQ(countKind(R.Violations, AssertionKind::Dead), 1u);
+
+  // Dropped before the collect: clean.
+  ShadowResult Clean = oracle("prog:rb;n,0,0,0;re;d,0;c");
+  EXPECT_TRUE(Clean.Violations.empty());
+}
+
+TEST(ShadowOracleTest, StoreRefusesOwnerValues) {
+  // Storing an Owner into another object's field must be a no-op (the
+  // no-heap-edges-to-owners invariant): dropping the owner's root kills it
+  // even though a store was attempted.
+  ShadowResult R = oracle("prog:n,0,2,0;n,1,1,0;s,1,0,0;d,0;c");
+  ASSERT_EQ(R.Snapshots.size(), 1u);
+  // Only the Node survives.
+  ASSERT_EQ(R.Snapshots[0].ClassSerials.size(), 1u);
+  EXPECT_EQ(R.Snapshots[0].ClassSerials[0].first,
+            static_cast<uint8_t>(FuzzType::Node));
+}
+
+// Every handcrafted expectation above must also hold on a real VM -- pin
+// the oracle and one real collector together on the trickiest trace.
+TEST(ShadowOracleTest, OracleMatchesRealRunOnOwnershipTrace) {
+  TraceProgram Program =
+      parse("prog:n,0,2,0;n,1,0,0;ao,0,0,1;d,0;c;n,2,1,0;c");
+  ShadowResult Expected = runShadowOracle(Program);
+  RunConfig Config; // marksweep / 1 thread / hardening off
+  RunResult Actual = runTrace(Program, Config);
+  ASSERT_TRUE(Actual.Valid) << Actual.InvalidReason;
+  EXPECT_EQ(Actual.Violations, Expected.Violations);
+  ASSERT_EQ(Actual.Snapshots.size(), Expected.Snapshots.size());
+  for (size_t I = 0; I != Expected.Snapshots.size(); ++I)
+    EXPECT_EQ(Actual.Snapshots[I], Expected.Snapshots[I]);
+}

@@ -1,0 +1,98 @@
+//===- TraceGeneratorTest.cpp - Generator determinism and replay specs ---===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/fuzz/TraceGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::fuzz;
+
+TEST(TraceGeneratorTest, SameSeedSameProgram) {
+  TraceProgram A = generateTrace(7);
+  TraceProgram B = generateTrace(7);
+  ASSERT_EQ(A.Ops.size(), B.Ops.size());
+  for (size_t I = 0; I != A.Ops.size(); ++I)
+    EXPECT_EQ(A.Ops[I], B.Ops[I]) << "op " << I;
+  EXPECT_TRUE(A.HasSeed);
+  EXPECT_EQ(A.Seed, 7u);
+  EXPECT_EQ(A.SeedTargetOps, GeneratorOptions().TargetOps);
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiffer) {
+  TraceProgram A = generateTrace(1);
+  TraceProgram B = generateTrace(2);
+  EXPECT_NE(A.serializeOps(), B.serializeOps());
+}
+
+TEST(TraceGeneratorTest, EveryProgramEndsWithTwoCollects) {
+  // The trailing pair is load-bearing: the second collect resolves the
+  // one-cycle ownee-outlived-owner watch.
+  for (uint64_t Seed = 1; Seed != 20; ++Seed) {
+    TraceProgram P = generateTrace(Seed);
+    ASSERT_GE(P.Ops.size(), 2u);
+    EXPECT_EQ(P.Ops[P.Ops.size() - 1].Kind, OpKind::Collect);
+    EXPECT_EQ(P.Ops[P.Ops.size() - 2].Kind, OpKind::Collect);
+    EXPECT_GE(P.collectCount(), 2u);
+  }
+}
+
+TEST(TraceGeneratorTest, SeedSpecRoundTrip) {
+  TraceProgram Generated = generateTrace(123, {.TargetOps = 40});
+  EXPECT_EQ(Generated.replaySpec(), "seed:123:ops=40");
+
+  TraceProgram Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTraceSpec("seed:123:ops=40", Parsed, &Error)) << Error;
+  EXPECT_EQ(Parsed.serializeOps(), Generated.serializeOps());
+  EXPECT_TRUE(Parsed.HasSeed);
+  EXPECT_EQ(Parsed.replaySpec(), Generated.replaySpec());
+}
+
+TEST(TraceGeneratorTest, OpListSpecRoundTrip) {
+  TraceProgram Generated = generateTrace(55, {.TargetOps = 30});
+  std::string Spec = Generated.serializeOps();
+  ASSERT_EQ(Spec.rfind("prog:", 0), 0u);
+
+  TraceProgram Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseTraceSpec(Spec, Parsed, &Error)) << Error;
+  ASSERT_EQ(Parsed.Ops.size(), Generated.Ops.size());
+  for (size_t I = 0; I != Parsed.Ops.size(); ++I)
+    EXPECT_EQ(Parsed.Ops[I], Generated.Ops[I]) << "op " << I;
+  // The op-list form carries no seed; its replay spec is the op list again.
+  EXPECT_FALSE(Parsed.HasSeed);
+  EXPECT_EQ(Parsed.replaySpec(), Spec);
+}
+
+TEST(TraceGeneratorTest, MalformedSpecsAreRejected) {
+  TraceProgram Out;
+  std::string Error;
+  EXPECT_FALSE(parseTraceSpec("nonsense", Out, &Error));
+  EXPECT_FALSE(parseTraceSpec("seed:", Out, &Error));
+  EXPECT_FALSE(parseTraceSpec("seed:12:bogus=3", Out, &Error));
+  EXPECT_FALSE(parseTraceSpec("prog:qq,1", Out, &Error));
+  EXPECT_FALSE(parseTraceSpec("prog:n,1", Out, &Error));     // missing operands
+  EXPECT_FALSE(parseTraceSpec("prog:d,999", Out, &Error));   // operand > 255
+  EXPECT_FALSE(parseTraceSpec("prog:c,1", Out, &Error));     // extra operand
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(TraceGeneratorTest, EmptyProgSpecParses) {
+  TraceProgram Out;
+  std::string Error;
+  ASSERT_TRUE(parseTraceSpec("prog:", Out, &Error)) << Error;
+  EXPECT_TRUE(Out.Ops.empty());
+}
+
+TEST(TraceGeneratorTest, TargetOpsScalesProgramLength) {
+  // emitOne may push up to three ops per step and forced collects ride on
+  // top, so only the ordering is pinned, not an exact length.
+  TraceProgram Short = generateTrace(9, {.TargetOps = 20});
+  TraceProgram Long = generateTrace(9, {.TargetOps = 200});
+  EXPECT_GT(Long.Ops.size(), Short.Ops.size());
+  EXPECT_GE(Short.Ops.size(), 22u); // 20 steps + 2 trailing collects
+}

@@ -211,8 +211,14 @@ TEST(GenerationalCollectorTest, MinorCyclesAreFasterThanMajor) {
   // touch the (mostly dead) nursery.
   HandleScope Scope(T);
   Local Arr = Scope.handle(TheVm.allocate(T, G.Array, 50000));
-  for (uint64_t I = 0; I < 50000; ++I)
-    Arr.get()->setElement(I, newNode(TheVm, T, static_cast<int64_t>(I)));
+  for (uint64_t I = 0; I < 50000; ++I) {
+    // The allocation can trigger a minor collection that moves the array,
+    // so the receiver must be re-fetched from the handle afterwards —
+    // evaluating it as `Arr.get()->setElement(I, newNode(…))` leaves the
+    // receiver's evaluation order against the GC point unspecified.
+    ObjRef N = newNode(TheVm, T, static_cast<int64_t>(I));
+    Arr.get()->setElement(I, N);
+  }
   TheVm.collectNow(); // Promote the lot.
 
   uint64_t MajorNanos = TheVm.gcStats().LastGcNanos;

@@ -1,0 +1,79 @@
+//===- ChecksumTest.cpp - support/Checksum unit tests ------------------------===//
+
+#include "gcassert/support/Checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+using namespace gcassert;
+
+// The canonical CRC-32C check value: every conforming Castagnoli
+// implementation maps the ASCII digits "123456789" to 0xE3069283
+// (RFC 3720 appendix B.4, and the value the SSE4.2 crc32 instruction
+// family produces).
+TEST(Crc32cTest, Rfc3720CheckValue) {
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(crc32c("", 0), 0u);
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, SingleByteVector) {
+  EXPECT_EQ(crc32c("a", 1), 0xC1D04330u);
+}
+
+// Chaining through the Seed parameter must be equivalent to one pass over
+// the concatenation — the hardened heap checksums headers piecewise.
+TEST(Crc32cTest, SeedChainingMatchesOnePass) {
+  const char *Full = "hello world";
+  uint32_t OnePass = crc32c(Full, std::strlen(Full));
+  uint32_t First = crc32c("hello ", 6);
+  EXPECT_EQ(crc32c("world", 5, First), OnePass);
+  EXPECT_EQ(OnePass, 0xC99465AAu);
+
+  // Chaining is associative at every split point, not just one.
+  std::string S(Full);
+  for (size_t Split = 0; Split <= S.size(); ++Split) {
+    uint32_t Head = crc32c(S.data(), Split);
+    EXPECT_EQ(crc32c(S.data() + Split, S.size() - Split, Head), OnePass);
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  uint8_t Buf[16] = {0};
+  uint32_t Base = crc32c(Buf, sizeof(Buf));
+  for (size_t I = 0; I < sizeof(Buf); ++I) {
+    Buf[I] = 1;
+    EXPECT_NE(crc32c(Buf, sizeof(Buf)), Base) << "byte " << I;
+    Buf[I] = 0;
+  }
+}
+
+TEST(FoldChecksum16Test, XorsHalves) {
+  EXPECT_EQ(foldChecksum16(0x12345678u), 0x444Cu);
+  EXPECT_EQ(foldChecksum16(0), 0u);
+  EXPECT_EQ(foldChecksum16(0xFFFF0000u), 0xFFFFu);
+  EXPECT_EQ(foldChecksum16(0xABCDABCDu), 0u); // Equal halves cancel.
+}
+
+// The object-header domain: (type id, logical length) pairs. Pinned values
+// guard the on-disk/on-header format — a table or polynomial change would
+// silently invalidate every hardened header in a mixed-version heap dump.
+TEST(Checksum16PairTest, PinnedHeaderVectors) {
+  EXPECT_EQ(checksum16Pair(7, 99), 0xC17Eu);
+  EXPECT_EQ(checksum16Pair(7, 100), 0x3E23u);
+  EXPECT_NE(checksum16Pair(8, 99), checksum16Pair(7, 99));
+}
+
+TEST(Checksum16PairTest, MatchesManualComposition) {
+  uint32_t A = 31;
+  uint64_t B = 0xDEADBEEFCAFEULL;
+  uint8_t Buf[12];
+  std::memcpy(Buf, &A, 4);
+  std::memcpy(Buf + 4, &B, 8);
+  EXPECT_EQ(checksum16Pair(A, B), foldChecksum16(crc32c(Buf, sizeof(Buf))));
+}

@@ -1,0 +1,157 @@
+//===- WorkStealingDequeTest.cpp - support/WorkStealingDeque tests -----------===//
+
+#include "gcassert/support/WorkStealingDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace gcassert;
+
+TEST(WorkStealingDequeTest, StartsEmpty) {
+  WorkStealingDeque D;
+  uintptr_t V;
+  EXPECT_TRUE(D.empty());
+  EXPECT_FALSE(D.pop(V));
+  EXPECT_FALSE(D.steal(V));
+}
+
+TEST(WorkStealingDequeTest, OwnerPopsLifo) {
+  WorkStealingDeque D;
+  for (uintptr_t I = 1; I <= 5; ++I)
+    D.push(I);
+  uintptr_t V;
+  for (uintptr_t Expected = 5; Expected >= 1; --Expected) {
+    ASSERT_TRUE(D.pop(V));
+    EXPECT_EQ(V, Expected);
+  }
+  EXPECT_FALSE(D.pop(V));
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(WorkStealingDequeTest, ThiefStealsFifo) {
+  WorkStealingDeque D;
+  for (uintptr_t I = 1; I <= 5; ++I)
+    D.push(I);
+  uintptr_t V;
+  for (uintptr_t Expected = 1; Expected <= 5; ++Expected) {
+    ASSERT_TRUE(D.steal(V));
+    EXPECT_EQ(V, Expected);
+  }
+  EXPECT_FALSE(D.steal(V));
+}
+
+TEST(WorkStealingDequeTest, PopAfterEmptyRestoresCanonicalState) {
+  WorkStealingDeque D;
+  uintptr_t V;
+  EXPECT_FALSE(D.pop(V));
+  // The failed pop decrements and restores Bottom; a subsequent push/pop
+  // round-trip must still work.
+  D.push(42);
+  ASSERT_TRUE(D.pop(V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_TRUE(D.empty());
+}
+
+TEST(WorkStealingDequeTest, GrowsPastInitialCapacity) {
+  WorkStealingDeque D(/*InitialCapacity=*/16);
+  const uintptr_t N = 1000; // Forces several doublings.
+  for (uintptr_t I = 0; I < N; ++I)
+    D.push(I);
+  uintptr_t V;
+  for (uintptr_t Expected = N; Expected-- > 0;) {
+    ASSERT_TRUE(D.pop(V));
+    EXPECT_EQ(V, Expected);
+  }
+  EXPECT_FALSE(D.pop(V));
+  D.reset(); // Frees the retired buffers; the deque stays usable.
+  D.push(7);
+  ASSERT_TRUE(D.pop(V));
+  EXPECT_EQ(V, 7u);
+}
+
+TEST(WorkStealingDequeTest, GrowthPreservesPendingEntriesForThieves) {
+  WorkStealingDeque D(/*InitialCapacity=*/16);
+  for (uintptr_t I = 0; I < 100; ++I)
+    D.push(I);
+  // Steal everything after growth: oldest-first order must survive the
+  // buffer copies.
+  uintptr_t V;
+  for (uintptr_t Expected = 0; Expected < 100; ++Expected) {
+    ASSERT_TRUE(D.steal(V));
+    EXPECT_EQ(V, Expected);
+  }
+}
+
+TEST(WorkStealingDequeTest, MixedPopAndStealPartitionTheEntries) {
+  WorkStealingDeque D;
+  for (uintptr_t I = 1; I <= 10; ++I)
+    D.push(I);
+  std::set<uintptr_t> Seen;
+  uintptr_t V;
+  for (int I = 0; I < 5; ++I) {
+    ASSERT_TRUE(D.pop(V));
+    EXPECT_TRUE(Seen.insert(V).second);
+    ASSERT_TRUE(D.steal(V));
+    EXPECT_TRUE(Seen.insert(V).second);
+  }
+  EXPECT_EQ(Seen.size(), 10u);
+  EXPECT_TRUE(D.empty());
+}
+
+// Concurrent conservation: one owner pushing and popping, several thieves
+// stealing; every pushed value is consumed exactly once.
+TEST(WorkStealingDequeTest, ConcurrentStealConservesEntries) {
+  WorkStealingDeque D(/*InitialCapacity=*/16);
+  constexpr uintptr_t N = 20000;
+  constexpr int Thieves = 3;
+
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> StolenSum{0};
+  std::atomic<uint64_t> StolenCount{0};
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < Thieves; ++T) {
+    Threads.emplace_back([&] {
+      uintptr_t V;
+      while (!Done.load(std::memory_order_acquire) || !D.empty()) {
+        if (D.steal(V)) {
+          StolenSum.fetch_add(V, std::memory_order_relaxed);
+          StolenCount.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  uint64_t PoppedSum = 0, PoppedCount = 0;
+  for (uintptr_t I = 1; I <= N; ++I) {
+    D.push(I);
+    if (I % 3 == 0) {
+      uintptr_t V;
+      if (D.pop(V)) {
+        PoppedSum += V;
+        PoppedCount += 1;
+      }
+    }
+  }
+  uintptr_t V;
+  while (D.pop(V)) {
+    PoppedSum += V;
+    PoppedCount += 1;
+  }
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  // Late drain: thieves may have exited while the owner still held items.
+  while (D.pop(V)) {
+    PoppedSum += V;
+    PoppedCount += 1;
+  }
+
+  EXPECT_EQ(PoppedCount + StolenCount.load(), N);
+  EXPECT_EQ(PoppedSum + StolenSum.load(), N * (N + 1) / 2);
+  EXPECT_TRUE(D.empty());
+}

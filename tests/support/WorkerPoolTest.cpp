@@ -1,0 +1,121 @@
+//===- WorkerPoolTest.cpp - support/WorkerPool unit tests --------------------===//
+
+#include "gcassert/support/WorkerPool.h"
+
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace gcassert;
+
+namespace {
+
+class WorkerPoolTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+} // namespace
+
+TEST_F(WorkerPoolTest, SingleWorkerRunsOnCallerThread) {
+  WorkerPool Pool(1);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+  EXPECT_EQ(Pool.spawnFailures(), 0u);
+
+  std::thread::id Caller = std::this_thread::get_id();
+  unsigned Calls = 0;
+  Pool.run([&](unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST_F(WorkerPoolTest, EveryWorkerIndexRunsExactlyOnce) {
+  WorkerPool Pool(4);
+  ASSERT_EQ(Pool.workerCount(), 4u);
+
+  std::mutex M;
+  std::multiset<unsigned> Indices;
+  Pool.run([&](unsigned Worker) {
+    std::lock_guard<std::mutex> Lock(M);
+    Indices.insert(Worker);
+  });
+  EXPECT_EQ(Indices, (std::multiset<unsigned>{0, 1, 2, 3}));
+}
+
+// The pool parks threads between cycles: repeated fork-joins must reuse
+// them, and plain memory written by one run() must be visible to the next
+// (the GC writes mark bits in cycle N and reads them in cycle N+1).
+TEST_F(WorkerPoolTest, ForkJoinReusesParkedThreads) {
+  WorkerPool Pool(3);
+  ASSERT_EQ(Pool.workerCount(), 3u);
+
+  std::vector<uint64_t> PerWorker(3, 0);
+  for (int Cycle = 0; Cycle < 50; ++Cycle) {
+    Pool.run([&](unsigned Worker) { PerWorker[Worker] += Worker + 1; });
+    // run() returned, so every worker's write is visible here.
+    for (unsigned W = 0; W < 3; ++W)
+      ASSERT_EQ(PerWorker[W], static_cast<uint64_t>(W + 1) * (Cycle + 1));
+  }
+}
+
+TEST_F(WorkerPoolTest, WorkersRunConcurrently) {
+  WorkerPool Pool(3);
+  ASSERT_EQ(Pool.workerCount(), 3u);
+
+  // Barrier inside the job: it can only be passed if all three workers are
+  // inside run() at the same time.
+  std::atomic<unsigned> Arrived{0};
+  Pool.run([&](unsigned) {
+    Arrived.fetch_add(1);
+    while (Arrived.load() < 3)
+      std::this_thread::yield();
+  });
+  EXPECT_EQ(Arrived.load(), 3u);
+}
+
+// A spawn failure must shrink the pool with contiguous indices, not abort
+// or leave index holes: the parallel tracer indexes per-worker deques by
+// worker id.
+TEST_F(WorkerPoolTest, SpawnFailureShrinksPool) {
+  faults::GcWorkerStart.armAlways();
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+  EXPECT_EQ(Pool.spawnFailures(), 3u);
+
+  unsigned Calls = 0;
+  Pool.run([&](unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST_F(WorkerPoolTest, PartialSpawnFailureKeepsIndicesContiguous) {
+  // Fail the first spawn only: the pool should still reach 3 of 4 workers
+  // with ids 0..2.
+  faults::GcWorkerStart.armOnce();
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 3u);
+  EXPECT_EQ(Pool.spawnFailures(), 1u);
+
+  std::mutex M;
+  std::set<unsigned> Indices;
+  Pool.run([&](unsigned Worker) {
+    std::lock_guard<std::mutex> Lock(M);
+    Indices.insert(Worker);
+  });
+  EXPECT_EQ(Indices, (std::set<unsigned>{0, 1, 2}));
+}
+
+TEST_F(WorkerPoolTest, ZeroWorkerRequestClampsToOne) {
+  WorkerPool Pool(0);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+}
