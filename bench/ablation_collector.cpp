@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -22,6 +23,8 @@ using namespace gcassert::bench;
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("ablation_collector");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "Ablation: assertion infrastructure under two collectors\n";
   outs() << format("trials per configuration: %d\n\n", Trials);
@@ -50,6 +53,9 @@ int main(int Argc, char **Argv) {
                        Samples[0].GcMs.mean(), Samples[1].GcMs.mean(),
                        overheadPercent(Samples[0].GcMs, Samples[1].GcMs));
       outs().flush();
+      std::string Prefix = Workload + "." + Collector.Name;
+      Report.addSeries(Prefix + ".gc_ms.base", Samples[0].GcMs);
+      Report.addSeries(Prefix + ".gc_ms.infra", Samples[1].GcMs);
     }
   }
 
@@ -58,5 +64,5 @@ int main(int Argc, char **Argv) {
             "under mark-sweep,\nevacuating under semispace, and marking-"
             "then-sliding under mark-compact; the\nassertion infrastructure "
             "piggybacks on all three (paper §2.2).\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

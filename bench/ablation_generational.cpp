@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 #include "gcassert/core/AssertionEngine.h"
 #include "gcassert/workloads/Common.h"
 
@@ -85,6 +86,7 @@ Outcome runScenario(CollectorKind Kind) {
 } // namespace
 
 int main() {
+  JsonReport Report("ablation_generational");
   outs() << "Ablation: assertion checking under a full-heap vs a "
             "generational collector (§2.2)\n";
   outs() << "A request loop leaks one asserted-dead Record per batch; "
@@ -112,6 +114,17 @@ int main() {
                    static_cast<unsigned long long>(Generational.MinorGcs),
                    Generational.MeanPauseMs);
 
+  auto Record = [&](const char *Name, const Outcome &O) {
+    std::string Prefix = Name;
+    Report.addScalar(Prefix + ".detected_at_batch",
+                     static_cast<double>(O.BatchesUntilDetection));
+    Report.addScalar(Prefix + ".total_gcs", static_cast<double>(O.TotalGcs));
+    Report.addScalar(Prefix + ".minor_gcs", static_cast<double>(O.MinorGcs));
+    Report.addScalar(Prefix + ".mean_pause_ms", O.MeanPauseMs);
+  };
+  Record("marksweep", MarkSweep);
+  Record("generational", Generational);
+
   printRule();
   outs() << "Mark-sweep checks at every collection, so the leak surfaces "
             "at the first GC\nafter the bug. The generational collector "
@@ -119,5 +132,5 @@ int main() {
             "the assertions unchecked until old-generation\npressure forces "
             "a major collection — exactly the paper's reason for \nevaluating "
             "on a full-heap collector.\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 #include "gcassert/core/AssertionEngine.h"
 #include "gcassert/support/Timer.h"
 #include "gcassert/workloads/Common.h"
@@ -148,6 +149,7 @@ size_t naiveCheckAll(Vm &TheVm, ObjRef Owner,
 
 int main() {
   registerBuiltinWorkloads();
+  JsonReport Report("ablation_ownership_phase");
 
   outs() << "Ablation: owner-first two-phase trace (paper §2.5.2) vs naive "
             "per-pair reachability\n\n";
@@ -178,11 +180,14 @@ int main() {
     outs().flush();
     if (Confirmed != N)
       outs() << "  WARNING: naive checker disagreed with the table\n";
+    std::string Prefix = format("n%llu", static_cast<unsigned long long>(N));
+    Report.addScalar(Prefix + ".two_phase_ms_per_gc", TwoPhaseMs);
+    Report.addScalar(Prefix + ".naive_ms", NaiveMs);
   }
 
   printRule();
   outs() << "The naive cost grows with pairs x region size; the paper's "
             "two-phase scan\nstays linear in the region and pays one binary "
             "search per ownee.\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

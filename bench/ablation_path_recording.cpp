@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -24,6 +25,8 @@ using namespace gcassert::bench;
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("ablation_path_recording");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "Ablation: §2.7 full-path recording on vs off "
             "(Infrastructure configuration)\n";
@@ -63,6 +66,8 @@ int main(int Argc, char **Argv) {
                      ratioConfidence(NoPaths.GcMs, Paths.GcMs));
     outs().flush();
     Ratios.push_back(Paths.GcMs.mean() / NoPaths.GcMs.mean());
+    Report.addSeries(Workload + ".gc_ms.paths_off", NoPaths.GcMs);
+    Report.addSeries(Workload + ".gc_ms.paths_on", Paths.GcMs);
   }
 
   printRule();
@@ -74,5 +79,7 @@ int main(int Argc, char **Argv) {
             "tagging adds one branch, one bit-write and one extra pop per\n"
             "object, which does not surface above code-generation noise —\n"
             "the paper's claim, reproduced.\n";
-  return 0;
+  Report.addScalar("geomean_gc_delta_pct",
+                   (geometricMean(Ratios) - 1.0) * 100.0);
+  return Report.write() ? 0 : 1;
 }

@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 #include "gcassert/core/AssertionEngine.h"
 #include "gcassert/leakdetect/StalenessDetector.h"
 #include "gcassert/leakdetect/TypeGrowthDetector.h"
@@ -155,5 +156,18 @@ int main() {
             "grow for several collections (type growth), and cannot\n"
             "separate rarely-used-but-needed data from leaks (paper §1, "
             "§4).\n";
-  return 0;
+  JsonReport Report("baseline_leak_detectors");
+  Report.addScalar("gc_assertions.first_epoch",
+                   static_cast<double>(AssertFirstEpoch));
+  Report.addScalar("gc_assertions.reports",
+                   static_cast<double>(AssertReports));
+  Report.addScalar("staleness.first_epoch",
+                   static_cast<double>(StaleFirstEpoch));
+  Report.addScalar("staleness.candidates",
+                   static_cast<double>(StaleCandidates));
+  Report.addScalar("staleness.false_positives",
+                   static_cast<double>(StaleFalse));
+  Report.addScalar("type_growth.first_epoch",
+                   static_cast<double>(GrowthFirstEpoch));
+  return Report.write() ? 0 : 1;
 }

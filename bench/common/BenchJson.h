@@ -1,0 +1,162 @@
+//===- bench/common/BenchJson.h - Machine-readable bench output -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable half of the benchmark pipeline (DESIGN.md §12):
+/// every bench binary emits a BENCH_<name>.json next to its text output —
+/// run configuration, every per-trial sample, and the derived mean / 90% CI
+/// statistics — so tools/bench_compare can diff two runs and CI can gate on
+/// regressions. The GCASSERT_BENCH_JSON_DIR environment variable redirects
+/// the file (unset: current directory; "0": suppressed).
+///
+/// Schema:
+///   {"benchmark": "<name>",
+///    "schema_version": 1,
+///    "config": {<key>: <string|number>, ...},
+///    "series": {<name>: {"samples": [..], "mean": m, "ci90": c,
+///                        "stddev": s, "min": lo, "max": hi}, ...},
+///    "scalars": {<name>: <number>, ...}}
+///
+/// Series are trial-sample sets (lower is better: milliseconds, percents);
+/// scalars are derived single numbers (geomeans, speedups) reported for
+/// information and compared with a looser gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_BENCH_JSON_H
+#define GCASSERT_BENCH_JSON_H
+
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/support/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gcassert {
+namespace bench {
+
+/// Accumulates one benchmark's machine-readable report; write() emits
+/// BENCH_<name>.json. Keys are recorded in insertion order.
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  /// \name Run configuration (trial counts, seeds, host facts).
+  /// @{
+  void setConfig(const std::string &Key, const std::string &Value) {
+    Config.emplace_back(Key, "\"" + jsonEscape(Value) + "\"");
+  }
+  void setConfig(const std::string &Key, int64_t Value) {
+    Config.emplace_back(Key, format("%lld", static_cast<long long>(Value)));
+  }
+  void setConfig(const std::string &Key, uint64_t Value) {
+    Config.emplace_back(Key,
+                        format("%llu", static_cast<unsigned long long>(Value)));
+  }
+  /// @}
+
+  /// Records \p Samples (all trial values plus derived stats) under
+  /// \p SeriesName. Lower is better — bench_compare gates on the mean.
+  void addSeries(const std::string &SeriesName, const SampleSet &Samples) {
+    Series.emplace_back(SeriesName, Samples);
+  }
+
+  /// Records a derived single number (geomean overhead, speedup).
+  void addScalar(const std::string &ScalarName, double Value) {
+    Scalars.emplace_back(ScalarName, Value);
+  }
+
+  /// Serializes the report to \p Out.
+  void render(OStream &Out) const {
+    Out << "{\n  \"benchmark\": \"" << jsonEscape(Name)
+        << "\",\n  \"schema_version\": 1,\n  \"config\": {";
+    bool First = true;
+    for (const auto &[Key, Value] : Config) {
+      Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(Key)
+          << "\": " << Value;
+      First = false;
+    }
+    Out << "\n  },\n  \"series\": {";
+    First = true;
+    for (const auto &[SeriesName, Samples] : Series) {
+      Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(SeriesName)
+          << "\": {\"samples\": [";
+      for (size_t I = 0; I != Samples.size(); ++I)
+        Out << (I ? "," : "") << format("%.6g", Samples.values()[I]);
+      Out << format("], \"mean\": %.6g, \"ci90\": %.6g, \"stddev\": %.6g, "
+                    "\"min\": %.6g, \"max\": %.6g}",
+                    Samples.empty() ? 0.0 : Samples.mean(),
+                    Samples.confidence90(), Samples.stddev(),
+                    Samples.empty() ? 0.0 : Samples.min(),
+                    Samples.empty() ? 0.0 : Samples.max());
+      First = false;
+    }
+    Out << "\n  },\n  \"scalars\": {";
+    First = true;
+    for (const auto &[ScalarName, Value] : Scalars) {
+      Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(ScalarName)
+          << "\": " << format("%.6g", Value);
+      First = false;
+    }
+    Out << "\n  }\n}\n";
+  }
+
+  /// Writes BENCH_<name>.json into GCASSERT_BENCH_JSON_DIR (default ".";
+  /// the value "0" suppresses the file). Returns false on I/O failure,
+  /// which the caller should surface as a nonzero exit — CI hard-fails on
+  /// a missing or malformed report.
+  bool write() const {
+    const char *Dir = std::getenv("GCASSERT_BENCH_JSON_DIR");
+    if (Dir && !std::strcmp(Dir, "0"))
+      return true;
+    std::string Path =
+        std::string(Dir && *Dir ? Dir : ".") + "/BENCH_" + Name + ".json";
+    std::FILE *Handle = std::fopen(Path.c_str(), "w");
+    if (!Handle) {
+      errs() << "warning: cannot write " << Path << '\n';
+      return false;
+    }
+    {
+      FileOStream Out(Handle);
+      render(Out);
+      Out.flush();
+    }
+    std::fclose(Handle);
+    outs() << "\n[bench-json] wrote " << Path << '\n';
+    outs().flush();
+    return true;
+  }
+
+private:
+  static std::string jsonEscape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20) {
+        Out += format("\\u%04x", C);
+        continue;
+      }
+      Out += C;
+    }
+    return Out;
+  }
+
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Config;
+  std::vector<std::pair<std::string, SampleSet>> Series;
+  std::vector<std::pair<std::string, double>> Scalars;
+};
+
+} // namespace bench
+} // namespace gcassert
+
+#endif // GCASSERT_BENCH_JSON_H

@@ -1,0 +1,72 @@
+//===- GBenchJsonMain.h - BENCH_*.json emission for google-benchmark -----------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replacement for BENCHMARK_MAIN() that mirrors every benchmark's adjusted
+// real time into a BENCH_<name>.json report (BenchJson.h) while keeping the
+// normal console output. Aggregate rows (mean/median/stddev from
+// --benchmark_repetitions) are skipped: the per-iteration rows already carry
+// the timing, and bench_compare consumes the scalar per benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_BENCH_COMMON_GBENCHJSONMAIN_H
+#define GCASSERT_BENCH_COMMON_GBENCHJSONMAIN_H
+
+#include "BenchJson.h"
+
+#include <benchmark/benchmark.h>
+
+namespace gcassert {
+namespace bench {
+
+/// Console reporter that additionally records each run's adjusted real time
+/// (and items/sec when set) into a JsonReport.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit JsonCapturingReporter(JsonReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred || R.run_type != Run::RT_Iteration)
+        continue;
+      std::string Name = R.benchmark_name();
+      // Slashes from ->Arg(N) ranges ("BM_Foo/10000") are fine in JSON keys
+      // but awkward in shells; keep them as-is, bench_compare treats names
+      // opaquely.
+      Report.addScalar(Name + ".real_time_ns", R.GetAdjustedRealTime());
+      if (R.counters.find("items_per_second") != R.counters.end())
+        Report.addScalar(Name + ".items_per_second",
+                         R.counters.at("items_per_second"));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  JsonReport &Report;
+};
+
+inline int gbenchJsonMain(const char *ReportName, int Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  JsonReport Report(ReportName);
+  JsonCapturingReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return Report.write() ? 0 : 1;
+}
+
+} // namespace bench
+} // namespace gcassert
+
+/// Use instead of BENCHMARK_MAIN() to get BENCH_<name>.json alongside the
+/// console table.
+#define GCASSERT_GBENCH_JSON_MAIN(NAME)                                        \
+  int main(int argc, char **argv) {                                            \
+    return gcassert::bench::gbenchJsonMain(NAME, argc, argv);                  \
+  }
+
+#endif // GCASSERT_BENCH_COMMON_GBENCHJSONMAIN_H

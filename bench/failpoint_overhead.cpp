@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "common/GBenchJsonMain.h"
 #include "gcassert/support/FaultInjection.h"
 #include "gcassert/runtime/Vm.h"
 
@@ -97,4 +98,4 @@ BENCHMARK(BM_AllocateNoRegionSitesArmed);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GCASSERT_GBENCH_JSON_MAIN("failpoint_overhead")

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -22,6 +23,8 @@ using namespace gcassert::bench;
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("fig2_runtime_overhead");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "Figure 2: run-time overhead of the GC assertion "
             "infrastructure (Base -> Infrastructure)\n";
@@ -49,6 +52,8 @@ int main(int Argc, char **Argv) {
     outs().flush();
     TotalRatios.push_back(Infra.TotalMs.mean() / Base.TotalMs.mean());
     MutatorRatios.push_back(Infra.MutatorMs.mean() / Base.MutatorMs.mean());
+    Report.addSeries(Workload + ".total_ms.base", Base.TotalMs);
+    Report.addSeries(Workload + ".total_ms.infra", Infra.TotalMs);
   }
 
   printRule();
@@ -57,5 +62,9 @@ int main(int Argc, char **Argv) {
   outs() << format("geomean mutator overhead: %+6.2f %%   (paper: +1.12 %%, "
                    "within noise)\n",
                    (geometricMean(MutatorRatios) - 1.0) * 100.0);
-  return 0;
+  Report.addScalar("geomean_total_overhead_pct",
+                   (geometricMean(TotalRatios) - 1.0) * 100.0);
+  Report.addScalar("geomean_mutator_overhead_pct",
+                   (geometricMean(MutatorRatios) - 1.0) * 100.0);
+  return Report.write() ? 0 : 1;
 }

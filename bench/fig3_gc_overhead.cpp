@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 #include <algorithm>
 
@@ -24,6 +25,8 @@ using namespace gcassert::bench;
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("fig3_gc_overhead");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "Figure 3: GC-time overhead of the GC assertion infrastructure "
             "(Base -> Infrastructure)\n";
@@ -55,6 +58,8 @@ int main(int Argc, char **Argv) {
                      ratioConfidence(Base.GcMs, Infra.GcMs));
     outs().flush();
     GcRatios.push_back(Infra.GcMs.mean() / Base.GcMs.mean());
+    Report.addSeries(Workload + ".gc_ms.base", Base.GcMs);
+    Report.addSeries(Workload + ".gc_ms.infra", Infra.GcMs);
     if (GcOvh > WorstOvh) {
       WorstOvh = GcOvh;
       WorstName = Workload;
@@ -67,5 +72,7 @@ int main(int Argc, char **Argv) {
       (geometricMean(GcRatios) - 1.0) * 100.0);
   outs() << format("worst case: %s %+.2f %%          (paper: bloat, ~+30 %%)\n",
                    WorstName.c_str(), WorstOvh);
-  return 0;
+  Report.addScalar("geomean_gc_overhead_pct",
+                   (geometricMean(GcRatios) - 1.0) * 100.0);
+  return Report.write() ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -26,6 +27,8 @@ using namespace gcassert::bench;
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("fig4_assertions_runtime");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "Figure 4: run-time overhead with GC assertions added\n";
   outs() << format("trials per configuration: %d\n\n", Trials);
@@ -59,6 +62,10 @@ int main(int Argc, char **Argv) {
     outs() << format("%-12s %11s %11s %11s %15.2f %15.2f   (paper)\n", "",
                      "", "", "", Row.PaperVsBase, Row.PaperVsInfra);
     outs().flush();
+    std::string W = Row.Workload;
+    Report.addSeries(W + ".total_ms.base", Base.TotalMs);
+    Report.addSeries(W + ".total_ms.infra", Infra.TotalMs);
+    Report.addSeries(W + ".total_ms.assert", Assert.TotalMs);
   }
 
   printRule();
@@ -77,5 +84,5 @@ int main(int Argc, char **Argv) {
   }
   outs() << "  (paper: db 695 assert-dead + 15,553 assert-ownedby; "
             "pseudojbb 1 assert-instances + 31,038 assert-ownedby)\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -24,6 +25,8 @@ using namespace gcassert::bench;
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("fig5_assertions_gctime");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "Figure 5: GC-time overhead with GC assertions added\n";
   outs() << format("trials per configuration: %d\n\n", Trials);
@@ -57,6 +60,10 @@ int main(int Argc, char **Argv) {
     outs() << format("%-12s %11s %11s %11s %15.2f %15.2f   (paper)\n", "",
                      "", "", "", Row.PaperVsBase, Row.PaperVsInfra);
     outs().flush();
+    std::string W = Row.Workload;
+    Report.addSeries(W + ".gc_ms.base", Base.GcMs);
+    Report.addSeries(W + ".gc_ms.infra", Infra.GcMs);
+    Report.addSeries(W + ".gc_ms.assert", Assert.GcMs);
   }
 
   printRule();
@@ -65,5 +72,5 @@ int main(int Argc, char **Argv) {
             "work shows up as a larger *relative* GC overhead; the shape —\n"
             "assertion cost concentrated in GC time while total time moves\n"
             "by a few percent (Figure 4) — is what this bench checks.\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

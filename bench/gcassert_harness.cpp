@@ -1,0 +1,180 @@
+//===- gcassert_harness.cpp - Telemetry-aware workload harness -----------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The user-facing workload runner with the telemetry subsystem wired in
+// (DESIGN.md §12). Runs one workload under one configuration and can export
+// a Chrome trace_event JSON timeline (--trace-out, Perfetto-loadable) and a
+// metrics-registry JSON snapshot (--metrics-out).
+//
+//   gcassert-harness --workload=<name> [--config=base|infra|assert]
+//                    [--collector=marksweep|semispace|markcompact|generational]
+//                    [--gc-threads=N] [--iters=N] [--seed=N]
+//                    [--hardening=off|check|full] [--verify-heap]
+//                    [--trace-out=FILE] [--metrics-out=FILE] [--list]
+//
+// The GCASSERT_TRACE environment variable arms tracing without flags: set
+// it to a path and the harness exports there on exit (set it to "1" to arm
+// without exporting — for wrappers that export themselves). An explicit
+// --trace-out overrides the env path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/telemetry/Metrics.h"
+#include "gcassert/telemetry/TraceEvents.h"
+#include "gcassert/workloads/Harness.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace gcassert;
+
+namespace {
+
+[[noreturn]] void usage(const char *Bad) {
+  if (Bad)
+    errs() << "gcassert-harness: unrecognized argument '" << Bad << "'\n";
+  errs() << "usage: gcassert-harness --workload=<name> [--config=base|infra|"
+            "assert]\n"
+            "         [--collector=marksweep|semispace|markcompact|"
+            "generational]\n"
+            "         [--gc-threads=N] [--iters=N] [--seed=N]\n"
+            "         [--hardening=off|check|full] [--verify-heap]\n"
+            "         [--trace-out=FILE] [--metrics-out=FILE] [--list]\n";
+  std::exit(Bad ? 2 : 0);
+}
+
+/// Returns the value of "--opt=value" when \p Arg matches \p Opt, else null.
+const char *matchOpt(const char *Arg, const char *Opt) {
+  size_t N = std::strlen(Opt);
+  if (!std::strncmp(Arg, Opt, N) && Arg[N] == '=')
+    return Arg + N + 1;
+  return nullptr;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  registerBuiltinWorkloads();
+
+  std::string WorkloadName;
+  BenchConfig Config = BenchConfig::WithAssertions;
+  HarnessOptions Options;
+  std::string TraceOut = telemetry::armTracingFromEnv();
+  if (TraceOut == "1")
+    TraceOut.clear(); // Armed, but export is the caller's business.
+  std::string MetricsOut;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (const char *V = matchOpt(Arg, "--workload")) {
+      WorkloadName = V;
+    } else if (const char *V = matchOpt(Arg, "--config")) {
+      if (!std::strcmp(V, "base"))
+        Config = BenchConfig::Base;
+      else if (!std::strcmp(V, "infra"))
+        Config = BenchConfig::Infrastructure;
+      else if (!std::strcmp(V, "assert"))
+        Config = BenchConfig::WithAssertions;
+      else
+        usage(Arg);
+    } else if (const char *V = matchOpt(Arg, "--collector")) {
+      if (!std::strcmp(V, "marksweep"))
+        Options.Collector = CollectorKind::MarkSweep;
+      else if (!std::strcmp(V, "semispace"))
+        Options.Collector = CollectorKind::SemiSpace;
+      else if (!std::strcmp(V, "markcompact"))
+        Options.Collector = CollectorKind::MarkCompact;
+      else if (!std::strcmp(V, "generational"))
+        Options.Collector = CollectorKind::Generational;
+      else
+        usage(Arg);
+    } else if (const char *V = matchOpt(Arg, "--gc-threads")) {
+      Options.GcThreads = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = matchOpt(Arg, "--iters")) {
+      Options.MeasuredIterations = std::atoi(V);
+    } else if (const char *V = matchOpt(Arg, "--seed")) {
+      Options.Seed = std::strtoull(V, nullptr, 0);
+    } else if (const char *V = matchOpt(Arg, "--hardening")) {
+      if (!std::strcmp(V, "off"))
+        Options.Hardening = HardeningMode::Off;
+      else if (!std::strcmp(V, "check"))
+        Options.Hardening = HardeningMode::Check;
+      else if (!std::strcmp(V, "full"))
+        Options.Hardening = HardeningMode::Full;
+      else
+        usage(Arg);
+    } else if (const char *V = matchOpt(Arg, "--trace-out")) {
+      TraceOut = V;
+      telemetry::setTracingEnabled(true);
+    } else if (const char *V = matchOpt(Arg, "--metrics-out")) {
+      MetricsOut = V;
+    } else if (!std::strcmp(Arg, "--verify-heap")) {
+      Options.VerifyHeapAfterGc = true;
+    } else if (!std::strcmp(Arg, "--list")) {
+      for (const std::string &Name : WorkloadRegistry::names())
+        outs() << Name << '\n';
+      return 0;
+    } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      usage(nullptr);
+    } else {
+      usage(Arg);
+    }
+  }
+
+  if (WorkloadName.empty()) {
+    errs() << "gcassert-harness: --workload is required (--list shows the "
+              "registered names)\n";
+    return 2;
+  }
+
+  RecordingViolationSink Sink;
+  Options.Sink = &Sink;
+  RunResult Result = runWorkload(WorkloadName, Config, Options);
+
+  outs() << format(
+      "%-20s %-15s total %8.1f ms  gc %8.1f ms (%4.1f%%)  cycles %llu\n",
+      WorkloadName.c_str(), benchConfigName(Config), Result.TotalMillis,
+      Result.GcMillis,
+      Result.TotalMillis > 0 ? 100.0 * Result.GcMillis / Result.TotalMillis
+                             : 0.0,
+      static_cast<unsigned long long>(Result.GcCycles));
+  if (!Sink.violations().empty())
+    outs() << format("violations: %llu\n",
+                     static_cast<unsigned long long>(Sink.violations().size()));
+  outs().flush();
+
+  // The engine's counters are mirrored into the metrics registry here (the
+  // per-cycle gc.* mirror runs inside the collector).
+  telemetry::snapshotEngineCounters(Result.Counters);
+
+  int Exit = 0;
+  std::string Error;
+  if (!TraceOut.empty()) {
+    if (telemetry::writeChromeTraceFile(TraceOut, &Error)) {
+      outs() << "trace written to " << TraceOut << " ("
+             << telemetry::totalEvents() << " events, "
+             << telemetry::totalDropped() << " dropped)\n";
+    } else {
+      errs() << "gcassert-harness: " << Error << '\n';
+      Exit = 1;
+    }
+  }
+  if (!MetricsOut.empty()) {
+    if (telemetry::MetricsRegistry::global().writeJsonFile(MetricsOut,
+                                                           &Error)) {
+      outs() << "metrics written to " << MetricsOut << '\n';
+    } else {
+      errs() << "gcassert-harness: " << Error << '\n';
+      Exit = 1;
+    }
+  }
+  outs().flush();
+  return Exit;
+}

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -49,6 +50,8 @@ std::vector<std::string> hardeningWorkloads() {
 int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
+  JsonReport Report("hardening_overhead");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
 
   outs() << "ABL-HARD: run-time overhead of the hardened heap mode "
             "(Off -> Check -> Full)\n";
@@ -95,14 +98,22 @@ int main(int Argc, char **Argv) {
       outs().flush();
       CheckRatios.push_back(Check.TotalMs.mean() / Off.TotalMs.mean());
       FullRatios.push_back(Full.TotalMs.mean() / Off.TotalMs.mean());
+      std::string Prefix = std::string(Family.Name) + "." + Workload;
+      Report.addSeries(Prefix + ".total_ms.off", Off.TotalMs);
+      Report.addSeries(Prefix + ".total_ms.check", Check.TotalMs);
+      Report.addSeries(Prefix + ".total_ms.full", Full.TotalMs);
     }
     outs() << format("%-14s %-12s %12s %+12.2f%% %9s %+12.2f%%\n",
                      Family.Name, "geomean", "",
                      (geometricMean(CheckRatios) - 1.0) * 100.0, "",
                      (geometricMean(FullRatios) - 1.0) * 100.0);
+    Report.addScalar(std::string(Family.Name) + ".geomean_check_ovh_pct",
+                     (geometricMean(CheckRatios) - 1.0) * 100.0);
+    Report.addScalar(std::string(Family.Name) + ".geomean_full_ovh_pct",
+                     (geometricMean(FullRatios) - 1.0) * 100.0);
     printRule();
   }
   outs() << "bar: Check-mode geomean tracks the paper's ~3% "
             "infrastructure overhead (paper Fig. 2: +2.75%)\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

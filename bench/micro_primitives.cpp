@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "common/GBenchJsonMain.h"
 #include "gcassert/core/AssertionEngine.h"
 #include "gcassert/workloads/Common.h"
 
@@ -161,4 +162,4 @@ BENCHMARK(BM_GcOwnershipChecked)->Arg(10000)->Arg(100000);
 
 } // namespace
 
-BENCHMARK_MAIN();
+GCASSERT_GBENCH_JSON_MAIN("micro_primitives")

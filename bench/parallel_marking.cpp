@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 #include <thread>
 
@@ -44,6 +45,9 @@ int main(int Argc, char **Argv) {
   registerBuiltinWorkloads();
   int Trials = trialCount(Argc, Argv, 10);
   unsigned HostCores = std::thread::hardware_concurrency();
+  JsonReport Report("parallel_marking");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
+  Report.setConfig("host_cores", static_cast<uint64_t>(HostCores));
 
   outs() << "Parallel marking & sweeping: scaling over GC thread count\n";
   outs() << format("host cores: %u   trials per configuration: %d\n",
@@ -85,6 +89,7 @@ int main(int Argc, char **Argv) {
         }
       }
 
+      const char *Mode = WithChecks ? "infra" : "base";
       for (size_t C = 0; C != std::size(ThreadCounts); ++C) {
         double MarkSpeedup = Samples[0].MarkMs.mean() / Samples[C].MarkMs.mean();
         double SweepSpeedup =
@@ -93,10 +98,13 @@ int main(int Argc, char **Argv) {
                          C ? "" : Workload.c_str(), ThreadCounts[C],
                          Samples[C].GcMs.mean(), Samples[C].MarkMs.mean(),
                          Samples[C].SweepMs.mean(), MarkSpeedup, SweepSpeedup);
+        Report.addSeries(Workload + format(".gc_ms.%s.t%u", Mode,
+                                           ThreadCounts[C]),
+                         Samples[C].GcMs);
       }
     }
     outs() << '\n';
   }
   outs().flush();
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -19,12 +19,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
+#include "common/BenchJson.h"
 
 using namespace gcassert;
 using namespace gcassert::bench;
 
 int main() {
   registerBuiltinWorkloads();
+  JsonReport Report("tab_assertion_counts");
 
   outs() << "Assertion-volume counts (WithAssertions runs)\n\n";
   outs() << format("%-12s %16s %16s %16s %16s\n", "benchmark", "assert-dead",
@@ -66,11 +68,19 @@ int main() {
                      static_cast<unsigned long long>(OwneesPerGc));
     outs() << Row.PaperLine << "\n";
     outs().flush();
+    std::string W = Row.Workload;
+    Report.addScalar(W + ".assert_dead_calls",
+                     static_cast<double>(C.AssertDeadCalls));
+    Report.addScalar(W + ".assert_ownedby_calls",
+                     static_cast<double>(C.AssertOwnedByCalls));
+    Report.addScalar(W + ".assert_instances_calls",
+                     static_cast<double>(C.AssertInstancesCalls));
+    Report.addScalar(W + ".ownees_per_gc", static_cast<double>(OwneesPerGc));
   }
 
   printRule();
   outs() << "db's ownee checks track its full 15,000-entry table; "
             "pseudojbb's Orders\nchurn out of the orderTable before most "
             "GCs see them (§3.1.2).\n";
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -87,6 +87,10 @@ struct GcStats {
   /// Generational collectors only: how many of Cycles were minor (nursery)
   /// collections. Full-heap collectors leave this at zero.
   uint64_t MinorCycles = 0;
+  /// Successful steals by the parallel mark phase's work-stealing deques
+  /// across all cycles. Zero for sequential cycles and the copying
+  /// collectors.
+  uint64_t Steals = 0;
 
   /// \name Resilience counters
   /// Accounting for the fault-tolerance layer (DESIGN.md §8): how often
@@ -179,6 +183,15 @@ protected:
   /// audits (with repair) over \p TheHeap, routing any defects through the
   /// hardening policy, then mirrors the hardening counters into stats().
   void finishHardenedCycle(Heap &TheHeap);
+
+  /// Common cycle epilogue: accrues wall time from \p StartNanos into
+  /// stats() (LastGcNanos, TotalGcNanos, Cycles, MinorCycles) and forwards
+  /// the updated stats into the telemetry metrics registry — the pause
+  /// histogram, the "gc.*" counter mirror, and the occupancy gauge read
+  /// from \p TheHeap. Every collector family's collect() funnels through
+  /// here, so GcStats and the metrics snapshot can never drift apart.
+  void finishCycleTiming(uint64_t StartNanos, Heap &TheHeap,
+                         bool MinorCycle = false);
 
   /// The worker pool for parallel phases, or null when Config.Threads <= 1.
   /// Spawned on first use and parked between cycles; re-spawned when the

@@ -152,6 +152,14 @@ bool armFailpointsFromSpec(std::string_view Spec, std::string *Error = nullptr);
 /// run the program with no faults armed while the harness believes it is
 /// injecting — exactly the silent failure this variable exists to prevent.
 size_t armFailpointsFromEnv();
+
+/// Installs a callback invoked (under the failpoint's state mutex, so keep
+/// it cheap) each time any armed site fires, with the site name. One
+/// observer slot: the telemetry layer uses it to emit failpoint-trip trace
+/// events without this support library depending on telemetry. Pass null to
+/// uninstall. The previous observer is returned.
+using FailpointFireObserver = void (*)(const char *SiteName);
+FailpointFireObserver setFailpointFireObserver(FailpointFireObserver Obs);
 /// @}
 
 /// The named sites wired into the runtime. See DESIGN.md §8 for the

@@ -1,0 +1,164 @@
+//===- gcassert/telemetry/Metrics.h - GC metrics registry -------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters, gauges, and histograms for the collector
+/// (DESIGN.md §12): pause times, bytes marked/swept per phase, steal counts
+/// from the Chase-Lev deques, per-assertion-kind check and violation
+/// counts, heap occupancy. Snapshotted at cycle end by the Collector base
+/// class (the structured façade GcStats forwards into) and dumpable as JSON
+/// via the harness's --metrics-out flag.
+///
+/// Counters and gauges are relaxed atomics — safe to bump from parallel GC
+/// workers. Histograms use power-of-two buckets with atomic counts, so
+/// recording is wait-free. Instrument lookup by name takes a mutex and is
+/// meant for setup paths; hot paths hold the returned reference (instrument
+/// storage is never invalidated while the registry lives).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_TELEMETRY_METRICS_H
+#define GCASSERT_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace gcassert {
+
+class OStream;
+struct GcStats;
+struct EngineCounters;
+
+namespace telemetry {
+
+/// A monotone event count.
+class Counter {
+public:
+  void add(uint64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  /// Sets the absolute value — for counters mirrored from an external
+  /// cumulative source (GcStats) rather than bumped in place.
+  void set(uint64_t N) { Value.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A point-in-time level (occupancy, live bytes). Stored in millionths for
+/// fractional levels via setRatio().
+class Gauge {
+public:
+  void set(uint64_t N) { Value.store(N, std::memory_order_relaxed); }
+  /// Stores \p Ratio (e.g. 0.37 occupancy) scaled by 1e6.
+  void setRatio(double Ratio) {
+    set(static_cast<uint64_t>(Ratio < 0 ? 0 : Ratio * 1e6));
+  }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  double ratio() const { return static_cast<double>(value()) / 1e6; }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A log2-bucketed histogram of uint64 samples (nanosecond pauses, byte
+/// volumes). Bucket B counts samples with bit_width(sample) == B, i.e.
+/// bucket 0 holds zeros and bucket B >= 1 holds [2^(B-1), 2^B).
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65; // bit_width ranges 0..64
+
+  void record(uint64_t Sample);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const;
+  uint64_t bucketCount(size_t B) const {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// The named-instrument registry. One process-wide instance (global());
+/// tests may build private ones.
+class MetricsRegistry {
+public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// The process-wide registry the collectors report into.
+  static MetricsRegistry &global();
+
+  /// Returns the instrument registered under \p Name, creating it on first
+  /// use. A name is bound to one instrument kind for the registry's life;
+  /// requesting it as another kind is a fatal error (it would silently
+  /// split the metric).
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Writes every instrument as one JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {count, sum, min, max, mean, buckets:{...}}}}
+  /// Histogram buckets are keyed by their lower bound and elide empties.
+  void writeJson(OStream &Out) const;
+
+  /// writeJson to \p Path. Returns false (and fills \p Error) on I/O
+  /// failure.
+  bool writeJsonFile(const std::string &Path, std::string *Error) const;
+
+  /// Drops every instrument (names and values). Test teardown only —
+  /// references returned earlier dangle after this.
+  void reset();
+
+private:
+  struct Instrument;
+  Instrument &get(std::string_view Name, uint8_t Kind);
+
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Instrument>, std::less<>> Instruments;
+};
+
+/// \name Collector façade
+/// The per-cycle snapshot points. Collector::finishCycleTiming calls
+/// snapshotCycle after every collection; the harness calls
+/// snapshotEngineCounters before dumping.
+/// @{
+
+/// Mirrors \p Stats into the global registry ("gc.*" counters), records
+/// the cycle's pause in the "gc.pause_ns" histogram (and
+/// "gc.minor_pause_ns" for minor cycles), and sets the "gc.occupancy"
+/// gauge from \p LiveBytes / \p CapacityBytes when the capacity is known.
+void snapshotCycle(const GcStats &Stats, bool MinorCycle, uint64_t LiveBytes,
+                   uint64_t CapacityBytes);
+
+/// Mirrors \p Counters into the global registry ("engine.*" counters):
+/// per-assertion-kind check calls, violations, ownee scans.
+void snapshotEngineCounters(const EngineCounters &Counters);
+/// @}
+
+} // namespace telemetry
+} // namespace gcassert
+
+#endif // GCASSERT_TELEMETRY_METRICS_H

@@ -1,0 +1,233 @@
+//===- gcassert/telemetry/TraceEvents.h - Structured GC tracing -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured event tracing for the collector (DESIGN.md §12).
+///
+/// Every GC-interesting moment — cycle begin/end, the per-phase spans of
+/// each collector family, the per-worker spans of the parallel mark and
+/// sweep, assertion-engine passes, degradation-ladder transitions, hardening
+/// defects, failpoint trips — is recorded as a typed TraceEvent in a
+/// per-thread ring buffer and exported on demand in Chrome `trace_event`
+/// JSON, loadable in chrome://tracing or Perfetto.
+///
+/// The cost model mirrors support/FaultInjection.h: disarmed (the default),
+/// every instrumentation site is one relaxed atomic load and a predicted
+/// branch — see bench/telemetry_overhead.cpp. Armed, an event is a
+/// monotonic-clock read plus a handful of stores into a thread-local ring;
+/// no locks, no allocation (the ring is allocated once per thread on first
+/// armed use). When a ring wraps, the oldest events are overwritten and a
+/// per-ring drop counter records how many were lost — telemetry never
+/// stalls the collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_TELEMETRY_TRACEEVENTS_H
+#define GCASSERT_TELEMETRY_TRACEEVENTS_H
+
+#include "gcassert/support/Compiler.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gcassert {
+
+class OStream;
+
+namespace telemetry {
+
+/// What a TraceEvent describes. Duration kinds come in B/E pairs (Chrome
+/// "B"/"E" phases); the *Mark/Sweep worker kinds nest inside a phase span
+/// on their own worker thread's timeline; the last group are instants.
+enum class EventKind : uint8_t {
+  /// One whole stop-the-world collection (arg: cycle number).
+  GcCycle,
+  /// The engine-driven pre-root ownership phase (§2.5.2 Phase 1).
+  OwnershipPhase,
+  /// The root-driven trace (mark or copy) phase.
+  MarkPhase,
+  /// Reclamation over the free-list heap (arg: bytes reclaimed on 'E').
+  SweepPhase,
+  /// Mark-compact: plan + reference rewrite + slide.
+  CompactPhase,
+  /// Copying evacuation (semispace cycle, generational nursery).
+  EvacuatePhase,
+  /// One parallel-mark worker's trace participation (arg: worker index).
+  MarkWorker,
+  /// One parallel-sweep worker's participation (arg: worker index).
+  SweepWorker,
+  /// The assertion engine's post-trace pass (instance checks, table
+  /// pruning, deferred violations).
+  AssertionPass,
+  /// Instant: the degradation ladder changed level (arg: new level).
+  DegradationShift,
+  /// Instant: the hardened heap reported a defect (arg: DefectKind).
+  HardeningDefect,
+  /// Instant: an armed failpoint fired (name: the site name).
+  FailpointTrip,
+  /// Instant: an assertion violation was emitted (arg: AssertionKind).
+  Violation,
+};
+
+/// Number of distinct EventKind values (for per-kind tables).
+inline constexpr size_t NumEventKinds =
+    static_cast<size_t>(EventKind::Violation) + 1;
+
+/// Stable lower-case name for \p Kind (the exported span name).
+const char *eventKindName(EventKind Kind);
+
+/// Chrome trace_event phase letter: begin, end, or instant.
+enum class EventPhase : uint8_t { Begin = 'B', End = 'E', Instant = 'i' };
+
+/// One recorded event. 32 bytes; rings hold RingCapacity of them.
+struct TraceEvent {
+  uint64_t Nanos = 0;      ///< monotonicNanos() at emission.
+  const char *Name = nullptr; ///< Override span name (static storage only).
+  uint64_t Arg = 0;        ///< Kind-specific payload (see EventKind).
+  EventKind Kind = EventKind::GcCycle;
+  EventPhase Phase = EventPhase::Instant;
+  uint16_t Tid = 0;        ///< Small per-thread id assigned at registration.
+};
+
+/// Events each thread's ring holds before wrapping. Power of two so the
+/// wrap is a mask, not a division.
+inline constexpr size_t RingCapacity = 1u << 14;
+
+/// A single-writer ring buffer of TraceEvents. The owning thread pushes;
+/// the exporter reads only while the world is stopped (writeChromeTrace
+/// documents the contract), so no per-event synchronization is needed
+/// beyond the release publication of Head.
+class TraceRing {
+public:
+  explicit TraceRing(uint16_t Tid);
+  ~TraceRing();
+
+  TraceRing(const TraceRing &) = delete;
+  TraceRing &operator=(const TraceRing &) = delete;
+
+  uint16_t tid() const { return Tid; }
+
+  /// Appends one event, overwriting the oldest when full.
+  void push(EventKind Kind, EventPhase Phase, uint64_t Arg, const char *Name);
+
+  /// Events ever pushed (monotone; size() = min(pushed, RingCapacity)).
+  uint64_t pushed() const { return Head.load(std::memory_order_acquire); }
+
+  /// Events lost to wraparound: max(pushed - RingCapacity, 0).
+  uint64_t dropped() const;
+
+  /// Events currently held.
+  size_t size() const;
+
+  /// The \p I-th oldest held event (0 <= I < size()).
+  const TraceEvent &at(size_t I) const;
+
+  void clear() { Head.store(0, std::memory_order_release); }
+
+private:
+  TraceEvent *Slots; ///< RingCapacity entries, allocated at construction.
+  std::atomic<uint64_t> Head{0};
+  uint16_t Tid;
+
+  friend struct RingRegistry;
+  TraceRing *NextRegistered = nullptr;
+};
+
+/// \name Arming
+/// @{
+
+/// True when tracing is armed. One relaxed load — the only cost every
+/// disarmed instrumentation site pays.
+bool tracingEnabled();
+
+/// Arms or disarms tracing process-wide. Existing events are kept.
+void setTracingEnabled(bool Enable);
+
+/// Arms tracing if the GCASSERT_TRACE environment variable is set to
+/// anything but "0"/"". Returns the variable's value (a path when the
+/// caller should also export on exit, per the harness contract) or empty.
+std::string armTracingFromEnv();
+/// @}
+
+/// \name Emission (instrumentation sites)
+/// @{
+
+/// Emits a begin event for \p Kind on this thread's ring.
+GCA_NOINLINE void emitSlow(EventKind Kind, EventPhase Phase, uint64_t Arg,
+                           const char *Name);
+
+inline void begin(EventKind Kind, uint64_t Arg = 0) {
+  if (GCA_LIKELY(!tracingEnabled()))
+    return;
+  emitSlow(Kind, EventPhase::Begin, Arg, nullptr);
+}
+
+inline void end(EventKind Kind, uint64_t Arg = 0) {
+  if (GCA_LIKELY(!tracingEnabled()))
+    return;
+  emitSlow(Kind, EventPhase::End, Arg, nullptr);
+}
+
+/// Emits an instant event. \p Name, when given, must point to static
+/// storage (site names, phase literals); it overrides the kind name in the
+/// export.
+inline void instant(EventKind Kind, uint64_t Arg = 0,
+                    const char *Name = nullptr) {
+  if (GCA_LIKELY(!tracingEnabled()))
+    return;
+  emitSlow(Kind, EventPhase::Instant, Arg, Name);
+}
+
+/// RAII B/E span for \p Kind. The end event repeats the begin arg unless
+/// setEndArg() supplies a result (e.g. bytes reclaimed).
+class Span {
+public:
+  explicit Span(EventKind Kind, uint64_t Arg = 0) : Kind(Kind), Arg(Arg) {
+    begin(Kind, Arg);
+  }
+  ~Span() { end(Kind, Arg); }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  void setEndArg(uint64_t NewArg) { Arg = NewArg; }
+
+private:
+  EventKind Kind;
+  uint64_t Arg;
+};
+/// @}
+
+/// \name Export & bookkeeping
+/// @{
+
+/// Writes every held event from every thread's ring as Chrome trace_event
+/// JSON (the {"traceEvents": [...]} object form, timestamps in
+/// microseconds) to \p Out. Events are merged in timestamp order. Must not
+/// race with event emission — call it with the world stopped (after the
+/// workload, between cycles, or from the owning thread in tests).
+void writeChromeTrace(OStream &Out);
+
+/// writeChromeTrace to \p Path. Returns false (and fills \p Error) when
+/// the file cannot be written.
+bool writeChromeTraceFile(const std::string &Path, std::string *Error);
+
+/// Total events held across all rings.
+uint64_t totalEvents();
+
+/// Total events lost to ring wraparound across all rings.
+uint64_t totalDropped();
+
+/// Clears every ring (events and drop accounting). Test teardown.
+void clearAllRings();
+/// @}
+
+} // namespace telemetry
+} // namespace gcassert
+
+#endif // GCASSERT_TELEMETRY_TRACEEVENTS_H

@@ -9,6 +9,7 @@
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Format.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 #include <algorithm>
 
@@ -189,6 +190,9 @@ void AssertionEngine::updateDegradationLevel() {
       Target = Next;
   }
 
+  if (Target != Level)
+    telemetry::instant(telemetry::EventKind::DegradationShift,
+                       static_cast<uint64_t>(Target));
   Level = Target;
 }
 
@@ -201,8 +205,11 @@ void AssertionEngine::onMemoryPressure(MemoryPressure Pressure) {
   PressureHoldRemaining = Shed.PressureHoldCycles;
   // Escalate immediately, not just at the next onGcBegin: the emergency
   // collection that follows samples allowPathRecording() first.
-  if (Wanted > Level)
+  if (Wanted > Level) {
+    telemetry::instant(telemetry::EventKind::DegradationShift,
+                       static_cast<uint64_t>(Wanted));
     Level = Wanted;
+  }
 }
 
 void AssertionEngine::onGcBegin(uint64_t Cycle) {
@@ -534,6 +541,8 @@ AssertionEngine::buildPath(const std::vector<ObjRef> &Chain) const {
 
 void AssertionEngine::emit(Violation V) {
   ++Counters.ViolationsReported;
+  telemetry::instant(telemetry::EventKind::Violation,
+                     static_cast<uint64_t>(V.Kind));
   ReactionPolicy Policy = reaction(V.Kind);
   Sink->report(V);
   if (Policy == ReactionPolicy::LogAndHalt)

@@ -22,7 +22,9 @@
 #include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Format.h"
 #include "gcassert/support/OStream.h"
+#include "gcassert/support/Timer.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -35,8 +37,10 @@ struct Options {
   uint64_t Traces = 500;
   uint64_t BaseSeed = 1;
   uint64_t TargetOps = 96;
+  uint64_t TimeBudgetSecs = 0;
   MatrixKind Matrix = MatrixKind::Full;
   std::string Replay;
+  std::string ArtifactDir;
   bool DemoDivergence = false;
 };
 
@@ -47,6 +51,14 @@ void printUsage() {
             "(default 1)\n"
             "  --ops=N            generator ops per trace (default 96)\n"
             "  --matrix=M         full | quick | hardened (default full)\n"
+            "  --time-budget-secs=N  stop the campaign after N seconds even "
+            "if traces\n"
+            "                     remain (0 = no budget; nightly CI uses "
+            "this)\n"
+            "  --artifact-dir=D   on divergence, write the reduced replay "
+            "spec to\n"
+            "                     D/divergence_reduced.txt for artifact "
+            "upload\n"
             "  --replay=SPEC      run one replay spec ('seed:...' or "
             "'prog:...') and exit\n"
             "  --demo-divergence  arm the corrupt.ref failpoint, require "
@@ -64,10 +76,38 @@ bool parseValue(const std::string &Arg, const char *Name, uint64_t &Out) {
   return End && *End == '\0';
 }
 
+/// Writes the reduced divergence to ArtifactDir/divergence_reduced.txt so CI
+/// can upload it; a failed open is reported but never masks the divergence
+/// exit status.
+void writeDivergenceArtifact(const std::string &ArtifactDir,
+                             const TraceProgram &Original,
+                             const TraceProgram &Minimal,
+                             const DiffReport &Final) {
+  if (ArtifactDir.empty())
+    return;
+  std::string Path = ArtifactDir + "/divergence_reduced.txt";
+  std::FILE *Handle = std::fopen(Path.c_str(), "w");
+  if (!Handle) {
+    errs() << "warning: cannot write " << Path << "\n";
+    return;
+  }
+  FileOStream Out(Handle);
+  Out << "config: " << Final.Config << "\n";
+  Out << "divergence: " << Final.Description << "\n";
+  Out << "reduced replay: gcassert-fuzz --replay='" << Minimal.replaySpec()
+      << "'\n";
+  Out << "original replay: gcassert-fuzz --replay='" << Original.replaySpec()
+      << "'\n";
+  Out.flush();
+  std::fclose(Handle);
+  errs() << "wrote " << Path << "\n";
+}
+
 /// Shrinks a diverging trace and prints the minimal replay spec.
 void reduceAndReport(const TraceProgram &Program,
                      const std::vector<RunConfig> &Matrix,
-                     bool ExpectDefectFree) {
+                     bool ExpectDefectFree,
+                     const std::string &ArtifactDir = std::string()) {
   errs() << "minimizing (this re-runs the matrix per probe)...\n";
   ReducerStats Stats;
   TraceProgram Minimal = reduceTrace(
@@ -85,6 +125,7 @@ void reduceAndReport(const TraceProgram &Program,
          << "]: " << Final.Description << "\n";
   errs() << "replay with: gcassert-fuzz --replay='" << Minimal.replaySpec()
          << "'\n";
+  writeDivergenceArtifact(ArtifactDir, Program, Minimal, Final);
 }
 
 int runReplay(const Options &Opts) {
@@ -128,7 +169,7 @@ int runDemoDivergence(const Options &Opts) {
   }
   outs() << "seeded divergence caught [" << Report.Config
          << "]: " << Report.Description << "\n";
-  reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true);
+  reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true, Opts.ArtifactDir);
   disarmAllFailpoints();
   outs() << "demo ok: divergence caught and minimized.\n";
   return 0;
@@ -144,29 +185,42 @@ int runCampaign(const Options &Opts) {
                                                    Opts.Traces - 1),
                    static_cast<unsigned long long>(Opts.TargetOps),
                    static_cast<unsigned long long>(Matrix.size()));
+  if (Opts.TimeBudgetSecs)
+    outs() << format("time budget: %llu s\n",
+                     static_cast<unsigned long long>(Opts.TimeBudgetSecs));
   GeneratorOptions Gen;
   Gen.TargetOps = Opts.TargetOps;
+  uint64_t CampaignStart = monotonicNanos();
+  uint64_t Done = 0;
   for (uint64_t I = 0; I != Opts.Traces; ++I) {
+    if (Opts.TimeBudgetSecs &&
+        monotonicNanos() - CampaignStart >= Opts.TimeBudgetSecs * 1000000000ull) {
+      outs() << format("time budget reached after %llu traces\n",
+                       static_cast<unsigned long long>(Done));
+      break;
+    }
     uint64_t Seed = Opts.BaseSeed + I;
     TraceProgram Program = generateTrace(Seed, Gen);
     DiffReport Report = runDifferential(Program, Matrix);
+    ++Done;
     if (Report.Diverged) {
       errs() << format("DIVERGENCE at seed %llu [",
                        static_cast<unsigned long long>(Seed))
              << Report.Config << "]: " << Report.Description << "\n";
       errs() << "replay with: gcassert-fuzz --replay='"
              << Program.replaySpec() << "'\n";
-      reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true);
+      reduceAndReport(Program, Matrix, /*ExpectDefectFree=*/true,
+                      Opts.ArtifactDir);
       return 1;
     }
-    if ((I + 1) % 50 == 0)
+    if (Done % 50 == 0)
       outs() << format("  %llu/%llu traces clean\n",
-                       static_cast<unsigned long long>(I + 1),
+                       static_cast<unsigned long long>(Done),
                        static_cast<unsigned long long>(Opts.Traces));
   }
-  outs() << format("all %llu traces agree with the oracle across the "
+  outs() << format("%llu traces run, all agree with the oracle across the "
                    "matrix.\n",
-                   static_cast<unsigned long long>(Opts.Traces));
+                   static_cast<unsigned long long>(Done));
   return 0;
 }
 
@@ -188,6 +242,10 @@ int main(int argc, char **argv) {
       Opts.Replay = Arg.substr(9);
       continue;
     }
+    if (Arg.rfind("--artifact-dir=", 0) == 0) {
+      Opts.ArtifactDir = Arg.substr(15);
+      continue;
+    }
     if (Arg.rfind("--matrix=", 0) == 0) {
       std::string Value = Arg.substr(9);
       if (Value == "full")
@@ -204,7 +262,8 @@ int main(int argc, char **argv) {
     }
     if (parseValue(Arg, "--traces", Opts.Traces) ||
         parseValue(Arg, "--seed", Opts.BaseSeed) ||
-        parseValue(Arg, "--ops", Opts.TargetOps))
+        parseValue(Arg, "--ops", Opts.TargetOps) ||
+        parseValue(Arg, "--time-budget-secs", Opts.TimeBudgetSecs))
       continue;
     errs() << "unknown argument: " << Arg << "\n";
     printUsage();

@@ -7,7 +7,9 @@
 #include "gcassert/gc/Collector.h"
 
 #include "gcassert/heap/Heap.h"
+#include "gcassert/support/Timer.h"
 #include "gcassert/support/WorkerPool.h"
+#include "gcassert/telemetry/Metrics.h"
 
 using namespace gcassert;
 
@@ -45,6 +47,18 @@ void Collector::finishHardenedCycle(Heap &TheHeap) {
   const HardeningCounters &C = Hard->counters();
   Stats.Quarantined = C.QuarantinedTotal;
   Stats.HeapDefects = C.DefectsDetected;
+}
+
+void Collector::finishCycleTiming(uint64_t StartNanos, Heap &TheHeap,
+                                  bool MinorCycle) {
+  uint64_t Elapsed = monotonicNanos() - StartNanos;
+  Stats.LastGcNanos = Elapsed;
+  Stats.TotalGcNanos += Elapsed;
+  ++Stats.Cycles;
+  if (MinorCycle)
+    ++Stats.MinorCycles;
+  telemetry::snapshotCycle(Stats, MinorCycle, TheHeap.liveBytesAfterLastGc(),
+                           TheHeap.stats().BytesCapacity);
 }
 
 WorkerPool *Collector::workerPool() {

@@ -60,6 +60,7 @@ void GenerationalCollector::evacuateNursery() {
   // The minor trace runs with no assertion checks and no path recording:
   // the paper's generational caveat is exactly that these collections skip
   // the checking work.
+  telemetry::Span EvacuateSpan(telemetry::EventKind::EvacuatePhase);
   using Core = TraceCore<MinorSpaceOps, false, false>;
   Core Tracer(MinorSpaceOps{&TheHeap}, TheHeap.types(), nullptr, Hard);
 
@@ -88,6 +89,7 @@ void GenerationalCollector::evacuateNursery() {
   }
 
   Stats.ObjectsVisited += Tracer.objectsVisited();
+  EvacuateSpan.setEndArg(Tracer.objectsVisited());
 
   if (Hooks) {
     MinorPostTrace Ctx(TheHeap, Stats.Cycles);
@@ -104,6 +106,7 @@ void GenerationalCollector::evacuateNurseryMarked() {
   // Re-tracing from roots here (as a plain minor collection does) would
   // drop those objects and the surviving live set would diverge from the
   // non-generational collectors'.
+  telemetry::Span EvacuateSpan(telemetry::EventKind::EvacuatePhase);
   TheHeap.beginMinorCollection();
 
   // Pass 1: promote every marked nursery survivor, leaving a forwarding
@@ -150,6 +153,7 @@ void GenerationalCollector::evacuateNurseryMarked() {
     ForwardFields(New);
 
   Stats.ObjectsVisited += Promoted.size();
+  EvacuateSpan.setEndArg(Promoted.size());
 
   if (Hooks) {
     MinorPostTrace Ctx(TheHeap, Stats.Cycles);
@@ -175,17 +179,15 @@ void GenerationalCollector::collectMinor() {
   }
 
   uint64_t Start = monotonicNanos();
+  telemetry::Span Cycle(telemetry::EventKind::GcCycle, Stats.Cycles);
   evacuateNursery();
   finishHardenedCycle(TheHeap);
-  uint64_t Elapsed = monotonicNanos() - Start;
-  Stats.LastGcNanos = Elapsed;
-  Stats.TotalGcNanos += Elapsed;
-  ++Stats.Cycles;
-  ++Stats.MinorCycles;
+  finishCycleTiming(Start, TheHeap, /*MinorCycle=*/true);
 }
 
 void GenerationalCollector::collectMajor() {
   uint64_t Start = monotonicNanos();
+  telemetry::Span Cycle(telemetry::EventKind::GcCycle, Stats.Cycles);
 
   // Order matters: the checking trace runs over the *whole* graph first
   // (assertions see every object at its current address), the old
@@ -214,11 +216,7 @@ void GenerationalCollector::collectMajor() {
   }
   evacuateNurseryMarked();
   finishHardenedCycle(TheHeap);
-
-  uint64_t Elapsed = monotonicNanos() - Start;
-  Stats.LastGcNanos = Elapsed;
-  Stats.TotalGcNanos += Elapsed;
-  ++Stats.Cycles;
+  finishCycleTiming(Start, TheHeap);
 }
 
 void GenerationalCollector::collect(const char *Cause) {

@@ -8,6 +8,7 @@
 
 #include "gcassert/gc/TraceCore.h"
 #include "gcassert/support/Timer.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 using namespace gcassert;
 
@@ -70,20 +71,26 @@ void MarkCompactCollector::runCycle() {
     Hooks->onGcBegin(Cycle);
 
     uint64_t OwnershipStart = monotonicNanos();
+    telemetry::Span OwnershipSpan(telemetry::EventKind::OwnershipPhase);
     Tracer.setPhase(TracePhase::Ownership);
     CompactOwnershipDriver<Core> Driver(Tracer);
     Hooks->runOwnershipPhase(Driver);
     Stats.OwnershipNanos += monotonicNanos() - OwnershipStart;
   }
 
+  uint64_t MarkStart = monotonicNanos();
+  telemetry::begin(telemetry::EventKind::MarkPhase);
   Tracer.setPhase(TracePhase::Roots);
   Roots.forEachRootSlot([&](ObjRef *Slot) {
     Tracer.processSlot(Slot);
     Tracer.drain();
   });
+  Stats.MarkNanos += monotonicNanos() - MarkStart;
+  telemetry::end(telemetry::EventKind::MarkPhase, Tracer.objectsVisited());
 
   // Phase 2: relocation plan.
   uint64_t BytesBefore = TheHeap.stats().BytesInUse;
+  telemetry::begin(telemetry::EventKind::CompactPhase);
   CompactionPlan Plan = TheHeap.planCompaction();
 
   // Phase 3: rewrite every reference — root slots and the fields of every
@@ -112,6 +119,7 @@ void MarkCompactCollector::runCycle() {
 
   // Phase 4: slide.
   TheHeap.executeCompaction(Plan);
+  telemetry::end(telemetry::EventKind::CompactPhase, Plan.liveObjects());
 
   // Phase 5: only now — with every live object at its final, populated
   // address — may the engine rewrite its weak tables. Running this before
@@ -119,6 +127,7 @@ void MarkCompactCollector::runCycle() {
   // yet populated; clearing ownership flags or reading a type id through
   // them scribbled over unrelated live objects.
   if constexpr (EnableChecks) {
+    telemetry::Span AssertSpan(telemetry::EventKind::AssertionPass);
     CompactPostTrace Ctx(Plan, Cycle);
     Hooks->onTraceComplete(Ctx);
   }
@@ -132,6 +141,7 @@ void MarkCompactCollector::runCycle() {
 void MarkCompactCollector::collect(const char *Cause) {
   (void)Cause;
   uint64_t Start = monotonicNanos();
+  telemetry::Span Cycle(telemetry::EventKind::GcCycle, Stats.Cycles);
 
   if (Hooks) {
     if (RecordPaths && Hooks->allowPathRecording())
@@ -142,9 +152,5 @@ void MarkCompactCollector::collect(const char *Cause) {
     runCycle<false, false>();
   }
   finishHardenedCycle(TheHeap);
-
-  uint64_t Elapsed = monotonicNanos() - Start;
-  Stats.LastGcNanos = Elapsed;
-  Stats.TotalGcNanos += Elapsed;
-  ++Stats.Cycles;
+  finishCycleTiming(Start, TheHeap);
 }

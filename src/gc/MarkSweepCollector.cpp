@@ -8,11 +8,14 @@
 
 #include "MarkSweepCycle.h"
 
+#include "gcassert/telemetry/TraceEvents.h"
+
 using namespace gcassert;
 
 void MarkSweepCollector::collect(const char *Cause) {
   (void)Cause;
   uint64_t Start = monotonicNanos();
+  telemetry::Span Cycle(telemetry::EventKind::GcCycle, Stats.Cycles);
 
   WorkerPool *Pool = workerPool();
   if (Hooks) {
@@ -31,9 +34,5 @@ void MarkSweepCollector::collect(const char *Cause) {
                                             Pool, {}, Hard);
   }
   finishHardenedCycle(TheHeap);
-
-  uint64_t Elapsed = monotonicNanos() - Start;
-  Stats.LastGcNanos = Elapsed;
-  Stats.TotalGcNanos += Elapsed;
-  ++Stats.Cycles;
+  finishCycleTiming(Start, TheHeap);
 }

@@ -20,6 +20,7 @@
 #include "gcassert/heap/FreeListHeap.h"
 #include "gcassert/support/Timer.h"
 #include "gcassert/support/WorkerPool.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 namespace gcassert {
 namespace detail {
@@ -85,6 +86,7 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
     Hooks->onGcBegin(Cycle);
 
     uint64_t OwnershipStart = monotonicNanos();
+    telemetry::Span OwnershipSpan(telemetry::EventKind::OwnershipPhase);
     Tracer.setPhase(TracePhase::Ownership);
     MarkSweepOwnershipDriver<Core> Driver(Tracer);
     Hooks->runOwnershipPhase(Driver);
@@ -92,6 +94,7 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
   }
 
   uint64_t MarkStart = monotonicNanos();
+  telemetry::begin(telemetry::EventKind::MarkPhase);
   uint64_t RootVisited = 0;
   bool RanParallel = false;
   if constexpr (!RecordPathsT) {
@@ -101,6 +104,7 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
           Hard);
       Marker.markFromRoots(*Pool, Roots);
       RootVisited = Marker.objectsVisited();
+      Stats.Steals += Marker.steals();
       RanParallel = true;
     }
   }
@@ -116,8 +120,11 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
     });
   }
   Stats.MarkNanos += monotonicNanos() - MarkStart;
+  telemetry::end(telemetry::EventKind::MarkPhase,
+                 Tracer.objectsVisited() + RootVisited);
 
   if constexpr (EnableChecks) {
+    telemetry::Span AssertSpan(telemetry::EventKind::AssertionPass);
     MarkSweepPostTrace Ctx(Cycle);
     Hooks->onTraceComplete(Ctx);
   }
@@ -128,7 +135,10 @@ void runMarkSweepCycle(FreeListHeap &TheHeap, RootProvider &Roots,
   Stats.ObjectsVisited += Tracer.objectsVisited() + RootVisited;
 
   uint64_t SweepStart = monotonicNanos();
-  Stats.BytesReclaimed += TheHeap.sweep(Pool);
+  telemetry::Span SweepSpan(telemetry::EventKind::SweepPhase);
+  size_t Reclaimed = TheHeap.sweep(Pool);
+  SweepSpan.setEndArg(Reclaimed);
+  Stats.BytesReclaimed += Reclaimed;
   Stats.SweepNanos += monotonicNanos() - SweepStart;
 }
 

@@ -40,6 +40,7 @@
 #include "gcassert/gc/TraceCore.h"
 #include "gcassert/support/WorkStealingDeque.h"
 #include "gcassert/support/WorkerPool.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 #include <atomic>
 #include <thread>
@@ -77,10 +78,17 @@ public:
     return Visited.load(std::memory_order_relaxed);
   }
 
+  /// Successful steals across all workers this trace.
+  uint64_t steals() const { return Steals.load(std::memory_order_relaxed); }
+
 private:
   static constexpr size_t RootChunkSize = 16;
 
   void workerMain(unsigned W) {
+    // Each worker's span lands on its own thread-local ring, so the
+    // exported trace shows one mark_worker lane per GC thread.
+    telemetry::Span WorkerSpan(telemetry::EventKind::MarkWorker, W);
+
     // Phase A: claim and process root-slot chunks. Gray children pile up on
     // this worker's deque; draining starts only once all roots are claimed,
     // which seeds every deque before stealing begins.
@@ -122,6 +130,7 @@ private:
         IdleWorkers.fetch_sub(1, std::memory_order_seq_cst);
         uintptr_t Entry;
         if (Victim.steal(Entry)) {
+          Steals.fetch_add(1, std::memory_order_relaxed);
           scanObjectFields(W, reinterpret_cast<ObjRef>(Entry));
           return true;
         }
@@ -235,6 +244,7 @@ private:
   std::atomic<size_t> NextRootChunk{0};
   std::atomic<unsigned> IdleWorkers{0};
   std::atomic<uint64_t> Visited{0};
+  std::atomic<uint64_t> Steals{0};
 };
 
 } // namespace detail

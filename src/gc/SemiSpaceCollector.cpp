@@ -10,6 +10,7 @@
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Timer.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 using namespace gcassert;
 
@@ -90,23 +91,29 @@ void SemiSpaceCollector::runCycle() {
     Hooks->onGcBegin(Cycle);
 
     uint64_t OwnershipStart = monotonicNanos();
+    telemetry::Span OwnershipSpan(telemetry::EventKind::OwnershipPhase);
     Tracer.setPhase(TracePhase::Ownership);
     SemiSpaceOwnershipDriver<Core> Driver(Tracer);
     Hooks->runOwnershipPhase(Driver);
     Stats.OwnershipNanos += monotonicNanos() - OwnershipStart;
   }
 
-  // Drain after each root: see MarkSweepCollector.cpp — path reports then
-  // originate from the first root that reaches an object.
-  Tracer.setPhase(TracePhase::Roots);
-  Roots.forEachRootSlot([&](ObjRef *Slot) {
-    Tracer.processSlot(Slot);
-    Tracer.drain();
-  });
+  {
+    telemetry::Span EvacuateSpan(telemetry::EventKind::EvacuatePhase);
+    // Drain after each root: see MarkSweepCollector.cpp — path reports then
+    // originate from the first root that reaches an object.
+    Tracer.setPhase(TracePhase::Roots);
+    Roots.forEachRootSlot([&](ObjRef *Slot) {
+      Tracer.processSlot(Slot);
+      Tracer.drain();
+    });
+    EvacuateSpan.setEndArg(Tracer.objectsVisited());
+  }
 
   if constexpr (EnableChecks) {
     // Forwarding pointers in the from-space are still intact here; the
     // engine uses them to rewrite its weak tables.
+    telemetry::Span AssertSpan(telemetry::EventKind::AssertionPass);
     SemiSpacePostTrace Ctx(Cycle);
     Hooks->onTraceComplete(Ctx);
   }
@@ -121,6 +128,7 @@ void SemiSpaceCollector::runCycle() {
 void SemiSpaceCollector::collect(const char *Cause) {
   (void)Cause;
   uint64_t Start = monotonicNanos();
+  telemetry::Span Cycle(telemetry::EventKind::GcCycle, Stats.Cycles);
 
   // Pre-flight occupancy guard: evacuation copies at most the bytes
   // allocate() admitted into the current space, which is bounded by one
@@ -143,9 +151,5 @@ void SemiSpaceCollector::collect(const char *Cause) {
     runCycle<false, false>();
   }
   finishHardenedCycle(TheHeap);
-
-  uint64_t Elapsed = monotonicNanos() - Start;
-  Stats.LastGcNanos = Elapsed;
-  Stats.TotalGcNanos += Elapsed;
-  ++Stats.Cycles;
+  finishCycleTiming(Start, TheHeap);
 }

@@ -11,6 +11,7 @@
 #include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/Format.h"
 #include "gcassert/support/WorkerPool.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 #include <algorithm>
 #include <atomic>
@@ -345,11 +346,17 @@ void FreeListHeap::sweepBlocksParallel(WorkerPool &Pool, size_t &Reclaimed,
   std::vector<uint64_t> LivePerChunk(NumChunks, 0);
 
   std::atomic<size_t> NextChunk{0};
-  Pool.run([&](unsigned) {
+  Pool.run([&](unsigned W) {
+    // One sweep_worker lane per GC thread in the exported trace; the end
+    // arg is the bytes this worker reclaimed across its claimed chunks.
+    telemetry::Span WorkerSpan(telemetry::EventKind::SweepWorker, W);
+    size_t MyReclaimed = 0;
     for (;;) {
       size_t Chunk = NextChunk.fetch_add(1, std::memory_order_relaxed);
-      if (Chunk >= NumChunks)
+      if (Chunk >= NumChunks) {
+        WorkerSpan.setEndArg(MyReclaimed);
         return;
+      }
       size_t Begin = Chunk * SweepChunkBlocks;
       size_t End = std::min(Begin + SweepChunkBlocks, NumBlocks);
       for (size_t BlockIndex = Begin; BlockIndex != End; ++BlockIndex) {
@@ -362,6 +369,7 @@ void FreeListHeap::sweepBlocksParallel(WorkerPool &Pool, size_t &Reclaimed,
                               ReclaimedPerChunk[Chunk], LivePerChunk[Chunk]))
           FreedPerChunk[Chunk].push_back(BlockIndex);
       }
+      MyReclaimed += ReclaimedPerChunk[Chunk];
     }
   });
 

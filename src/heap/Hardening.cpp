@@ -8,6 +8,7 @@
 
 #include "gcassert/heap/Heap.h"
 #include "gcassert/support/Format.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 #include <cstdio>
 
@@ -156,6 +157,8 @@ void HeapHardening::dropQuarantinedInRange(const void *Lo, const void *Hi) {
 
 void HeapHardening::reportDefect(HeapDefect Defect) {
   Defects.fetch_add(1, std::memory_order_relaxed);
+  telemetry::instant(telemetry::EventKind::HardeningDefect,
+                     static_cast<uint64_t>(Defect.Kind));
   switch (Defect.Kind) {
   case DefectKind::PoisonDamage:
     PoisonTrips.fetch_add(1, std::memory_order_relaxed);

@@ -28,6 +28,10 @@ std::mutex &registryMutex() {
   static std::mutex M;
   return M;
 }
+
+// Single observer slot (see setFailpointFireObserver). Atomic so armed-path
+// reads never race installation from another thread.
+std::atomic<FailpointFireObserver> FireObserver{nullptr};
 } // namespace
 
 namespace gcassert {
@@ -47,6 +51,10 @@ void unregisterFailpoint(Failpoint &FP) {
       return;
     }
   }
+}
+
+FailpointFireObserver setFailpointFireObserver(FailpointFireObserver Obs) {
+  return FireObserver.exchange(Obs, std::memory_order_acq_rel);
 }
 
 } // namespace gcassert
@@ -91,8 +99,11 @@ bool Failpoint::evaluateSlow() {
     Fail = Rng.chancePercent(Percent);
     break;
   }
-  if (Fail)
+  if (Fail) {
     ++Fired;
+    if (FailpointFireObserver Obs = FireObserver.load(std::memory_order_acquire))
+      Obs(SiteName);
+  }
   return Fail;
 }
 

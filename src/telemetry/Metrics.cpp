@@ -1,0 +1,217 @@
+//===- Metrics.cpp - GC metrics registry --------------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/telemetry/Metrics.h"
+
+#include "gcassert/core/AssertionEngine.h"
+#include "gcassert/gc/Collector.h"
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+
+#include <bit>
+
+using namespace gcassert;
+using namespace gcassert::telemetry;
+
+void Histogram::record(uint64_t Sample) {
+  size_t B = static_cast<size_t>(std::bit_width(Sample));
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Seen = Min.load(std::memory_order_relaxed);
+  while (Sample < Seen &&
+         !Min.compare_exchange_weak(Seen, Sample, std::memory_order_relaxed))
+    ;
+  Seen = Max.load(std::memory_order_relaxed);
+  while (Sample > Seen &&
+         !Max.compare_exchange_weak(Seen, Sample, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const {
+  uint64_t M = Min.load(std::memory_order_relaxed);
+  return M == UINT64_MAX ? 0 : M;
+}
+
+double Histogram::mean() const {
+  uint64_t N = count();
+  return N ? static_cast<double>(sum()) / static_cast<double>(N) : 0.0;
+}
+
+/// One registered instrument: exactly one of the three members is live,
+/// selected by Kind. A tagged struct rather than a variant keeps the
+/// atomics' addresses stable and the header light.
+struct MetricsRegistry::Instrument {
+  enum Kind : uint8_t { KCounter, KGauge, KHistogram };
+  explicit Instrument(uint8_t K) : Kind(K) {}
+  uint8_t Kind;
+  Counter TheCounter;
+  Gauge TheGauge;
+  Histogram TheHistogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *Registry = new MetricsRegistry();
+  return *Registry;
+}
+
+MetricsRegistry::Instrument &MetricsRegistry::get(std::string_view Name,
+                                                  uint8_t Kind) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Instruments.find(Name);
+  if (It == Instruments.end())
+    It = Instruments
+             .emplace(std::string(Name), std::make_unique<Instrument>(Kind))
+             .first;
+  if (It->second->Kind != Kind)
+    reportFatalError(
+        format("metric '%s' requested as two different instrument kinds",
+               It->first.c_str())
+            .c_str());
+  return *It->second;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  return get(Name, Instrument::KCounter).TheCounter;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  return get(Name, Instrument::KGauge).TheGauge;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  return get(Name, Instrument::KHistogram).TheHistogram;
+}
+
+void MetricsRegistry::writeJson(OStream &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto WriteSection = [&](const char *Title, uint8_t Kind, auto &&Body) {
+    Out << "\"" << Title << "\":{";
+    bool First = true;
+    for (const auto &[Name, Inst] : Instruments) {
+      if (Inst->Kind != Kind)
+        continue;
+      if (!First)
+        Out << ',';
+      First = false;
+      Out << "\n  \"" << Name << "\":";
+      Body(*Inst);
+    }
+    Out << "}";
+  };
+
+  Out << "{\n";
+  WriteSection("counters", Instrument::KCounter, [&](const Instrument &I) {
+    Out << I.TheCounter.value();
+  });
+  Out << ",\n";
+  WriteSection("gauges", Instrument::KGauge,
+               [&](const Instrument &I) { Out << I.TheGauge.value(); });
+  Out << ",\n";
+  WriteSection("histograms", Instrument::KHistogram,
+               [&](const Instrument &I) {
+                 const Histogram &H = I.TheHistogram;
+                 Out << format("{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+                               "\"max\":%llu,\"mean\":%.1f,\"buckets\":{",
+                               static_cast<unsigned long long>(H.count()),
+                               static_cast<unsigned long long>(H.sum()),
+                               static_cast<unsigned long long>(H.min()),
+                               static_cast<unsigned long long>(H.max()),
+                               H.mean());
+                 bool FirstBucket = true;
+                 for (size_t B = 0; B != Histogram::NumBuckets; ++B) {
+                   uint64_t N = H.bucketCount(B);
+                   if (!N)
+                     continue;
+                   if (!FirstBucket)
+                     Out << ',';
+                   FirstBucket = false;
+                   uint64_t Lo = B == 0 ? 0 : (uint64_t(1) << (B - 1));
+                   Out << format("\"%llu\":%llu",
+                                 static_cast<unsigned long long>(Lo),
+                                 static_cast<unsigned long long>(N));
+                 }
+                 Out << "}}";
+               });
+  Out << "\n}\n";
+}
+
+bool MetricsRegistry::writeJsonFile(const std::string &Path,
+                                    std::string *Error) const {
+  std::FILE *Handle = std::fopen(Path.c_str(), "w");
+  if (!Handle) {
+    if (Error)
+      *Error = format("cannot open '%s' for writing", Path.c_str());
+    return false;
+  }
+  {
+    FileOStream Out(Handle);
+    writeJson(Out);
+    Out.flush();
+  }
+  std::fclose(Handle);
+  return true;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Instruments.clear();
+}
+
+void telemetry::snapshotCycle(const GcStats &Stats, bool MinorCycle,
+                              uint64_t LiveBytes, uint64_t CapacityBytes) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  // Cumulative GcStats fields mirror with set(): the struct is already the
+  // cross-cycle accumulation, so the metric tracks it exactly.
+  M.counter("gc.cycles").set(Stats.Cycles);
+  M.counter("gc.minor_cycles").set(Stats.MinorCycles);
+  M.counter("gc.total_ns").set(Stats.TotalGcNanos);
+  M.counter("gc.ownership_ns").set(Stats.OwnershipNanos);
+  M.counter("gc.mark_ns").set(Stats.MarkNanos);
+  M.counter("gc.sweep_ns").set(Stats.SweepNanos);
+  M.counter("gc.objects_visited").set(Stats.ObjectsVisited);
+  M.counter("gc.bytes_reclaimed").set(Stats.BytesReclaimed);
+  M.counter("gc.steals").set(Stats.Steals);
+  M.counter("gc.emergency_collections").set(Stats.EmergencyCollections);
+  M.counter("gc.oom_handler_runs").set(Stats.OomHandlerRuns);
+  M.counter("gc.path_shed_cycles").set(Stats.PathShedCycles);
+  M.counter("gc.bookkeeping_shed_cycles").set(Stats.BookkeepingShedCycles);
+  M.counter("gc.guard_trips").set(Stats.GuardTrips);
+  M.counter("gc.worker_start_failures").set(Stats.WorkerStartFailures);
+  M.counter("gc.quarantined").set(Stats.Quarantined);
+  M.counter("gc.heap_defects").set(Stats.HeapDefects);
+
+  M.histogram(MinorCycle ? "gc.minor_pause_ns" : "gc.pause_ns")
+      .record(Stats.LastGcNanos);
+
+  M.gauge("gc.live_bytes").set(LiveBytes);
+  if (CapacityBytes)
+    M.gauge("gc.occupancy")
+        .setRatio(static_cast<double>(LiveBytes) /
+                  static_cast<double>(CapacityBytes));
+}
+
+void telemetry::snapshotEngineCounters(const EngineCounters &Counters) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("engine.assert_dead_calls").set(Counters.AssertDeadCalls);
+  M.counter("engine.assert_unshared_calls").set(Counters.AssertUnsharedCalls);
+  M.counter("engine.assert_instances_calls")
+      .set(Counters.AssertInstancesCalls);
+  M.counter("engine.assert_volume_calls").set(Counters.AssertVolumeCalls);
+  M.counter("engine.assert_ownedby_calls").set(Counters.AssertOwnedByCalls);
+  M.counter("engine.regions_opened").set(Counters.RegionsOpened);
+  M.counter("engine.regions_closed").set(Counters.RegionsClosed);
+  M.counter("engine.region_objects_logged")
+      .set(Counters.RegionObjectsLogged);
+  M.counter("engine.violations").set(Counters.ViolationsReported);
+  M.counter("engine.ownees_checked").set(Counters.OwneesCheckedTotal);
+  M.counter("engine.owners_scanned").set(Counters.OwnersScannedTotal);
+  M.counter("engine.gc_cycles").set(Counters.GcCycles);
+}

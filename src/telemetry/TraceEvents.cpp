@@ -1,0 +1,282 @@
+//===- TraceEvents.cpp - Structured GC tracing --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/telemetry/TraceEvents.h"
+
+#include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/Format.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/support/Timer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::telemetry;
+
+const char *telemetry::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::GcCycle:
+    return "gc_cycle";
+  case EventKind::OwnershipPhase:
+    return "ownership";
+  case EventKind::MarkPhase:
+    return "mark";
+  case EventKind::SweepPhase:
+    return "sweep";
+  case EventKind::CompactPhase:
+    return "compact";
+  case EventKind::EvacuatePhase:
+    return "evacuate";
+  case EventKind::MarkWorker:
+    return "mark_worker";
+  case EventKind::SweepWorker:
+    return "sweep_worker";
+  case EventKind::AssertionPass:
+    return "assertion_pass";
+  case EventKind::DegradationShift:
+    return "degradation_shift";
+  case EventKind::HardeningDefect:
+    return "hardening_defect";
+  case EventKind::FailpointTrip:
+    return "failpoint_trip";
+  case EventKind::Violation:
+    return "violation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Tracing armed flag: the one relaxed load every disarmed site pays.
+std::atomic<bool> TracingArmed{false};
+
+} // namespace
+
+namespace gcassert {
+namespace telemetry {
+
+/// Process-wide list of every thread's ring. Registration takes the mutex
+/// (once per thread); the exporter takes it to walk the list. Rings are
+/// never freed while the process lives — a thread that exits leaves its
+/// events readable, exactly like the failpoint registry's intrusive list.
+struct RingRegistry {
+  std::mutex Mutex;
+  TraceRing *Head = nullptr;
+  uint16_t NextTid = 1;
+
+  static RingRegistry &get() {
+    static RingRegistry Registry;
+    return Registry;
+  }
+
+  void add(TraceRing &Ring) {
+    Ring.NextRegistered = Head;
+    Head = &Ring;
+  }
+
+  void forEach(const std::function<void(TraceRing &)> &Fn) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (TraceRing *Ring = Head; Ring; Ring = Ring->NextRegistered)
+      Fn(*Ring);
+  }
+};
+
+} // namespace telemetry
+} // namespace gcassert
+
+TraceRing::TraceRing(uint16_t Tid)
+    : Slots(new TraceEvent[RingCapacity]), Tid(Tid) {}
+
+TraceRing::~TraceRing() { delete[] Slots; }
+
+void TraceRing::push(EventKind Kind, EventPhase Phase, uint64_t Arg,
+                     const char *Name) {
+  uint64_t H = Head.load(std::memory_order_relaxed);
+  TraceEvent &Slot = Slots[H & (RingCapacity - 1)];
+  Slot.Nanos = monotonicNanos();
+  Slot.Name = Name;
+  Slot.Arg = Arg;
+  Slot.Kind = Kind;
+  Slot.Phase = Phase;
+  Slot.Tid = Tid;
+  Head.store(H + 1, std::memory_order_release);
+}
+
+uint64_t TraceRing::dropped() const {
+  uint64_t Pushed = pushed();
+  return Pushed > RingCapacity ? Pushed - RingCapacity : 0;
+}
+
+size_t TraceRing::size() const {
+  uint64_t Pushed = pushed();
+  return Pushed < RingCapacity ? static_cast<size_t>(Pushed) : RingCapacity;
+}
+
+const TraceEvent &TraceRing::at(size_t I) const {
+  uint64_t Pushed = pushed();
+  uint64_t Oldest = Pushed > RingCapacity ? Pushed - RingCapacity : 0;
+  return Slots[(Oldest + I) & (RingCapacity - 1)];
+}
+
+bool telemetry::tracingEnabled() {
+  return TracingArmed.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Failpoint-fire observer (support cannot depend on telemetry, so the
+/// bridge is this callback): each armed-site fire becomes an instant event
+/// named after the site.
+void onFailpointFired(const char *SiteName) {
+  instant(EventKind::FailpointTrip, 0, SiteName);
+}
+
+} // namespace
+
+void telemetry::setTracingEnabled(bool Enable) {
+  TracingArmed.store(Enable, std::memory_order_relaxed);
+  // Keep the observer installed only while armed — a disarmed process pays
+  // nothing on the failpoint fire path either.
+  setFailpointFireObserver(Enable ? &onFailpointFired : nullptr);
+}
+
+std::string telemetry::armTracingFromEnv() {
+  const char *Env = std::getenv("GCASSERT_TRACE");
+  if (!Env || !*Env || !std::strcmp(Env, "0"))
+    return std::string();
+  setTracingEnabled(true);
+  return std::string(Env);
+}
+
+namespace {
+
+/// Lazily builds and registers this thread's ring. The thread_local pointer
+/// keeps the armed emission path lock-free after the first event.
+TraceRing &myRing() {
+  thread_local TraceRing *Mine = nullptr;
+  if (GCA_UNLIKELY(!Mine)) {
+    RingRegistry &Registry = RingRegistry::get();
+    std::lock_guard<std::mutex> Lock(Registry.Mutex);
+    Mine = new TraceRing(Registry.NextTid++);
+    Registry.add(*Mine);
+  }
+  return *Mine;
+}
+
+} // namespace
+
+void telemetry::emitSlow(EventKind Kind, EventPhase Phase, uint64_t Arg,
+                         const char *Name) {
+  myRing().push(Kind, Phase, Arg, Name);
+}
+
+namespace {
+
+/// Escapes \p S for a JSON string body. Span names are static literals of
+/// printable ASCII, but failpoint site names come from client code.
+std::string jsonEscape(const char *S) {
+  std::string Out;
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      Out += format("\\u%04x", C);
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+void forEachRing(const std::function<void(TraceRing &)> &Fn) {
+  RingRegistry::get().forEach(Fn);
+}
+
+} // namespace
+
+void telemetry::writeChromeTrace(OStream &Out) {
+  // Snapshot every ring, then merge by timestamp: Perfetto tolerates
+  // unsorted events but chrome://tracing renders sorted input faster, and
+  // the unit tests assert monotonicity.
+  std::vector<TraceEvent> Events;
+  uint64_t Dropped = 0;
+  forEachRing([&](TraceRing &Ring) {
+    size_t N = Ring.size();
+    for (size_t I = 0; I != N; ++I)
+      Events.push_back(Ring.at(I));
+    Dropped += Ring.dropped();
+  });
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.Nanos < B.Nanos;
+                   });
+
+  Out << "{\"traceEvents\":[\n";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      Out << ",\n";
+    First = false;
+    const char *Name = E.Name ? E.Name : eventKindName(E.Kind);
+    // Microsecond timestamps with the sub-microsecond remainder kept as a
+    // fraction: chrome://tracing's native resolution without losing order.
+    uint64_t Micros = E.Nanos / 1000;
+    unsigned Rem = static_cast<unsigned>(E.Nanos % 1000);
+    Out << format("{\"name\":\"%s\",\"cat\":\"gc\",\"ph\":\"%c\","
+                  "\"ts\":%llu.%03u,\"pid\":1,\"tid\":%u",
+                  jsonEscape(Name).c_str(), static_cast<char>(E.Phase),
+                  static_cast<unsigned long long>(Micros), Rem,
+                  static_cast<unsigned>(E.Tid));
+    if (E.Phase == EventPhase::Instant)
+      Out << ",\"s\":\"t\"";
+    Out << format(",\"args\":{\"arg\":%llu}}",
+                  static_cast<unsigned long long>(E.Arg));
+  }
+  Out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << format("\"droppedEvents\":%llu",
+                static_cast<unsigned long long>(Dropped))
+      << "}}\n";
+}
+
+bool telemetry::writeChromeTraceFile(const std::string &Path,
+                                     std::string *Error) {
+  std::FILE *Handle = std::fopen(Path.c_str(), "w");
+  if (!Handle) {
+    if (Error)
+      *Error = format("cannot open '%s' for writing", Path.c_str());
+    return false;
+  }
+  {
+    FileOStream Out(Handle);
+    writeChromeTrace(Out);
+    Out.flush();
+  }
+  std::fclose(Handle);
+  return true;
+}
+
+uint64_t telemetry::totalEvents() {
+  uint64_t Total = 0;
+  forEachRing([&](TraceRing &Ring) { Total += Ring.size(); });
+  return Total;
+}
+
+uint64_t telemetry::totalDropped() {
+  uint64_t Total = 0;
+  forEachRing([&](TraceRing &Ring) { Total += Ring.dropped(); });
+  return Total;
+}
+
+void telemetry::clearAllRings() {
+  forEachRing([](TraceRing &Ring) { Ring.clear(); });
+}

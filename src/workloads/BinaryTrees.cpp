@@ -1,0 +1,111 @@
+//===- BinaryTrees.cpp - binarytrees allocation benchmark ----------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The classic binary-trees GC benchmark (Computer Language Benchmarks Game,
+// after Hans Boehm's GCBench): one long-lived perfect tree pins a stable
+// live set while waves of short-lived trees of stepped depths are built,
+// checksummed, and dropped. Nearly all allocation is the same small node
+// type, making it the canonical throughput stressor for tracing collectors
+// — and the acceptance workload for the telemetry subsystem's --trace-out
+// flag (DESIGN.md §12).
+//
+// Under WithAssertions each dropped wave runs inside an assertion region:
+// the nodes of a discarded tree are asserted all-dead at the next GC,
+// exercising the paper's assert-alldead region machinery on a pure
+// allocation workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/workloads/Common.h"
+#include "gcassert/workloads/Workload.h"
+
+using namespace gcassert;
+
+namespace {
+
+class BinaryTreesWorkload : public Workload {
+public:
+  static constexpr int MaxDepth = 12;   // Short-lived waves: 4 .. MaxDepth.
+  static constexpr int LongLivedDepth = 14; // ~16k pinned nodes.
+
+  const char *name() const override { return "binarytrees"; }
+  /// ~2x the long-lived tree (the paper's heap-sizing convention): each
+  /// iteration's ~1.5 MB of dropped trees then forces collections.
+  size_t heapBytes() const override { return 3u << 20; }
+
+  void setUp(WorkloadContext &Ctx) override {
+    TypeBuilder NodeB(Ctx.types(), "Lbinarytrees/Node;");
+    LeftField = NodeB.addRef("left");
+    RightField = NodeB.addRef("right");
+    ValueField = NodeB.addScalar("value", 8);
+    Node = NodeB.build();
+
+    LongLived = std::make_unique<RootedArray>(Ctx.vm(), Ctx.mainThread(), 1);
+    LongLived->set(0, buildTree(Ctx, LongLivedDepth, 0));
+  }
+
+  void runIteration(WorkloadContext &Ctx) override {
+    MutatorThread &T = Ctx.mainThread();
+    // Stepped depths, several trees per depth — deeper trees get fewer
+    // builds so each depth allocates a comparable node volume.
+    for (int Depth = 4; Depth <= MaxDepth; Depth += 2) {
+      int Builds = 2 << ((MaxDepth - Depth) / 2);
+      Ctx.startRegion(T);
+      uint64_t Check = 0;
+      for (int I = 0; I != Builds; ++I) {
+        HandleScope Scope(T);
+        Local Tree = Scope.handle(buildTree(Ctx, Depth, I));
+        Check += checksum(Tree.get());
+      }
+      // The whole wave is garbage now: every node logged in the region
+      // must be dead by the next collection.
+      Ctx.assertAllDead(T);
+      Sink ^= Check;
+    }
+    // The long-lived tree must have survived intact.
+    Sink ^= checksum(LongLived->get(0));
+  }
+
+  void tearDown(WorkloadContext &) override { LongLived.reset(); }
+
+private:
+  ObjRef buildTree(WorkloadContext &Ctx, int Depth, int Item) {
+    Vm &TheVm = Ctx.vm();
+    MutatorThread &T = Ctx.mainThread();
+    HandleScope Scope(T);
+    Local N = Scope.handle(TheVm.allocate(T, Node));
+    N.get()->setScalar<int64_t>(ValueField, Item);
+    if (Depth > 0) {
+      Local Left = Scope.handle(buildTree(Ctx, Depth - 1, 2 * Item - 1));
+      N.get()->setRef(LeftField, Left.get());
+      Local Right = Scope.handle(buildTree(Ctx, Depth - 1, 2 * Item + 1));
+      N.get()->setRef(RightField, Right.get());
+    }
+    return N.get();
+  }
+
+  uint64_t checksum(ObjRef N) const {
+    if (!N)
+      return 1;
+    return 1 + checksum(N->getRef(LeftField)) + checksum(N->getRef(RightField));
+  }
+
+  TypeId Node = InvalidTypeId;
+  uint32_t LeftField = 0, RightField = 0, ValueField = 0;
+  std::unique_ptr<RootedArray> LongLived;
+  uint64_t Sink = 0; ///< Keeps the checksums observable (not optimized out).
+};
+
+} // namespace
+
+namespace gcassert {
+
+void registerBinaryTreesWorkload() {
+  WorkloadRegistry::add("binarytrees",
+                        [] { return std::make_unique<BinaryTreesWorkload>(); });
+}
+
+} // namespace gcassert

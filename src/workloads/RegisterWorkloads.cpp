@@ -12,6 +12,7 @@ void registerSpecJvm98Workloads();
 void registerDaCapoWorkloads();
 void registerExtraWorkloads();
 void registerPseudoJbbWorkloads();
+void registerBinaryTreesWorkload();
 
 void registerBuiltinWorkloads() {
   static bool Done = false;
@@ -22,6 +23,7 @@ void registerBuiltinWorkloads() {
   registerDaCapoWorkloads();
   registerExtraWorkloads();
   registerPseudoJbbWorkloads();
+  registerBinaryTreesWorkload();
 }
 
 } // namespace gcassert

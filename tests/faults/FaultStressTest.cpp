@@ -108,8 +108,9 @@ TEST_P(FaultStormTest, SurvivesAllocationFailureStorm) {
   EXPECT_GT(Survived, 0u);
   EXPECT_EQ(TheVm.oomNullReturns(), Nulls);
   EXPECT_GT(Sink.countOf(AssertionKind::Dead), 0u);
-  if (GetParam().Kind == CollectorKind::SemiSpace)
+  if (GetParam().Kind == CollectorKind::SemiSpace) {
     EXPECT_GT(TheVm.gcStats().GuardTrips, 0u);
+  }
 
   // Faults cleared: the runtime recovers completely.
   disarmAllFailpoints();

@@ -1,0 +1,195 @@
+//===- JsonCheck.h - Minimal JSON syntax validator for tests ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Just enough of a recursive-descent JSON parser to assert that the
+// telemetry exporters emit syntactically valid documents. Accepts exactly
+// the RFC 8259 grammar the exporters use (no surrogate-pair validation).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_TESTS_TELEMETRY_JSONCHECK_H
+#define GCASSERT_TESTS_TELEMETRY_JSONCHECK_H
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace gcassert {
+namespace jsoncheck {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  /// True when the whole text is one valid JSON value.
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::char_traits<char>::length(Lit);
+    if (S.compare(Pos, N, Lit) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  bool string() {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 0; I != 4; ++I) {
+            ++Pos;
+            if (Pos >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[Pos])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(S[Pos]) < 0x20) {
+        return false;
+      }
+      ++Pos;
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+      return false;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    if (Pos < S.size() && S[Pos] == '.') {
+      ++Pos;
+      if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return false;
+      while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      if (Pos >= S.size() || !std::isdigit(static_cast<unsigned char>(S[Pos])))
+        return false;
+      while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool object() {
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= S.size() || S[Pos] != '}')
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool array() {
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    if (Pos >= S.size() || S[Pos] != ']')
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool value() {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+inline bool isValidJson(const std::string &Text) {
+  return Parser(Text).valid();
+}
+
+} // namespace jsoncheck
+} // namespace gcassert
+
+#endif // GCASSERT_TESTS_TELEMETRY_JSONCHECK_H

@@ -1,0 +1,159 @@
+//===- MetricsTest.cpp - telemetry/Metrics unit tests -------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JsonCheck.h"
+#include "common/TestGraph.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/telemetry/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace gcassert;
+using namespace gcassert::telemetry;
+using namespace gcassert::testgraph;
+
+namespace {
+
+TEST(MetricsTest, CounterGaugeBasics) {
+  MetricsRegistry Registry;
+  Counter &C = Registry.counter("test.count");
+  C.increment();
+  C.add(9);
+  EXPECT_EQ(C.value(), 10u);
+  EXPECT_EQ(&Registry.counter("test.count"), &C);
+  C.set(3);
+  EXPECT_EQ(C.value(), 3u);
+
+  Gauge &G = Registry.gauge("test.level");
+  G.set(42);
+  EXPECT_EQ(G.value(), 42u);
+  G.setRatio(0.25);
+  EXPECT_DOUBLE_EQ(G.ratio(), 0.25);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  MetricsRegistry Registry;
+  Histogram &H = Registry.histogram("test.hist");
+  H.record(0);    // bucket 0
+  H.record(1);    // bucket 1
+  H.record(2);    // bucket 2: [2, 4)
+  H.record(3);    // bucket 2
+  H.record(1024); // bucket 11: [1024, 2048)
+
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1030u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1024u);
+  EXPECT_DOUBLE_EQ(H.mean(), 206.0);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 2u);
+  EXPECT_EQ(H.bucketCount(11), 1u);
+  EXPECT_EQ(H.bucketCount(12), 0u);
+}
+
+TEST(MetricsTest, WriteJsonIsValidAndListsInstruments) {
+  MetricsRegistry Registry;
+  Registry.counter("a.count").add(7);
+  Registry.gauge("b.level").set(11);
+  Registry.histogram("c.hist").record(100);
+
+  StringOStream Out;
+  Registry.writeJson(Out);
+  const std::string &Json = Out.str();
+  EXPECT_TRUE(jsoncheck::isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"a.count\":7"), std::string::npos);
+  EXPECT_NE(Json.find("\"b.level\":11"), std::string::npos);
+  EXPECT_NE(Json.find("\"c.hist\""), std::string::npos);
+}
+
+TEST(MetricsTest, ResetDropsInstruments) {
+  MetricsRegistry Registry;
+  Registry.counter("gone.count").add(5);
+  Registry.reset();
+  EXPECT_EQ(Registry.counter("gone.count").value(), 0u);
+}
+
+struct SnapshotParam {
+  CollectorKind Kind;
+  unsigned Threads;
+  const char *Name;
+};
+
+class MetricsSnapshotTest : public testing::TestWithParam<SnapshotParam> {};
+
+/// The pull-based contract: after any collection, the global registry's
+/// gc.* instruments equal the collector's own GcStats — they cannot drift
+/// because snapshotCycle mirrors rather than double-counts.
+TEST_P(MetricsSnapshotTest, CycleSnapshotMatchesGcStats) {
+  MetricsRegistry::global().reset();
+
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = GetParam().Kind;
+  Config.Gc.Threads = GetParam().Threads;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+
+  HandleScope Scope(T);
+  Local Kept = Scope.handle(newNode(TheVm, T, 1)); // some live bytes
+  (void)Kept;
+  for (int Cycle = 0; Cycle != 3; ++Cycle) {
+    for (int I = 0; I != 200; ++I)
+      newNode(TheVm, T, I); // garbage
+    TheVm.collectNow();
+  }
+
+  const GcStats &Stats = TheVm.gcStats();
+  ASSERT_GE(Stats.Cycles, 3u);
+  MetricsRegistry &M = MetricsRegistry::global();
+  EXPECT_EQ(M.counter("gc.cycles").value(), Stats.Cycles);
+  EXPECT_EQ(M.counter("gc.minor_cycles").value(), Stats.MinorCycles);
+  EXPECT_EQ(M.counter("gc.total_ns").value(), Stats.TotalGcNanos);
+  EXPECT_EQ(M.counter("gc.ownership_ns").value(), Stats.OwnershipNanos);
+  EXPECT_EQ(M.counter("gc.mark_ns").value(), Stats.MarkNanos);
+  EXPECT_EQ(M.counter("gc.sweep_ns").value(), Stats.SweepNanos);
+  EXPECT_EQ(M.counter("gc.objects_visited").value(), Stats.ObjectsVisited);
+  EXPECT_EQ(M.counter("gc.bytes_reclaimed").value(), Stats.BytesReclaimed);
+  EXPECT_EQ(M.counter("gc.steals").value(), Stats.Steals);
+  EXPECT_EQ(M.counter("gc.quarantined").value(), Stats.Quarantined);
+  EXPECT_EQ(M.counter("gc.heap_defects").value(), Stats.HeapDefects);
+
+  // One pause sample per cycle, split between the major and minor
+  // histograms.
+  EXPECT_EQ(M.histogram("gc.pause_ns").count() +
+                M.histogram("gc.minor_pause_ns").count(),
+            Stats.Cycles);
+  EXPECT_EQ(M.histogram("gc.pause_ns").sum() +
+                M.histogram("gc.minor_pause_ns").sum(),
+            Stats.TotalGcNanos);
+
+  EXPECT_EQ(M.gauge("gc.live_bytes").value(),
+            TheVm.heap().liveBytesAfterLastGc());
+
+  MetricsRegistry::global().reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, MetricsSnapshotTest,
+    testing::Values(
+        SnapshotParam{CollectorKind::MarkSweep, 1, "marksweep_t1"},
+        SnapshotParam{CollectorKind::MarkSweep, 2, "marksweep_t2"},
+        SnapshotParam{CollectorKind::MarkSweep, 4, "marksweep_t4"},
+        SnapshotParam{CollectorKind::SemiSpace, 1, "semispace_t1"},
+        SnapshotParam{CollectorKind::SemiSpace, 2, "semispace_t2"},
+        SnapshotParam{CollectorKind::SemiSpace, 4, "semispace_t4"},
+        SnapshotParam{CollectorKind::MarkCompact, 1, "markcompact_t1"},
+        SnapshotParam{CollectorKind::MarkCompact, 2, "markcompact_t2"},
+        SnapshotParam{CollectorKind::MarkCompact, 4, "markcompact_t4"},
+        SnapshotParam{CollectorKind::Generational, 1, "generational_t1"},
+        SnapshotParam{CollectorKind::Generational, 2, "generational_t2"},
+        SnapshotParam{CollectorKind::Generational, 4, "generational_t4"}),
+    [](const testing::TestParamInfo<SnapshotParam> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- TraceJsonTest.cpp - Chrome trace_event exporter unit tests -------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "JsonCheck.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/telemetry/TraceEvents.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::telemetry;
+
+namespace {
+
+struct ScopedTracing {
+  ScopedTracing() {
+    clearAllRings();
+    setTracingEnabled(true);
+  }
+  ~ScopedTracing() {
+    setTracingEnabled(false);
+    clearAllRings();
+  }
+};
+
+/// Emits a representative event mix on the current thread.
+void emitSampleCycle() {
+  Span Cycle(EventKind::GcCycle, 1);
+  {
+    Span Ownership(EventKind::OwnershipPhase);
+  }
+  {
+    Span Mark(EventKind::MarkPhase);
+    Mark.setEndArg(123);
+  }
+  instant(EventKind::Violation, 2);
+  {
+    Span Sweep(EventKind::SweepPhase);
+    Sweep.setEndArg(4096);
+  }
+}
+
+std::string exportTrace() {
+  StringOStream Out;
+  writeChromeTrace(Out);
+  return Out.str();
+}
+
+/// Every "ts":N.NNN value, in document order.
+std::vector<double> timestamps(const std::string &Json) {
+  std::vector<double> Out;
+  const std::string Key = "\"ts\":";
+  for (size_t Pos = Json.find(Key); Pos != std::string::npos;
+       Pos = Json.find(Key, Pos + 1))
+    Out.push_back(std::strtod(Json.c_str() + Pos + Key.size(), nullptr));
+  return Out;
+}
+
+/// Per-name counts of one phase letter, keyed on the "name" preceding it.
+/// (Out-param so gtest's void-returning ASSERT macros work inside.)
+void phaseCounts(const std::string &Json, char Phase,
+                 std::map<std::string, int> &Out) {
+  const std::string NameKey = "\"name\":\"";
+  std::string PhaseKey = std::string("\"ph\":\"") + Phase + "\"";
+  for (size_t Pos = Json.find(NameKey); Pos != std::string::npos;
+       Pos = Json.find(NameKey, Pos + 1)) {
+    size_t NameStart = Pos + NameKey.size();
+    size_t NameEnd = Json.find('"', NameStart);
+    size_t EventEnd = Json.find('}', NameStart);
+    ASSERT_NE(NameEnd, std::string::npos);
+    // The phase field sits inside the same event object as the name; args
+    // objects close before the event does, so scanning to the first '}' is
+    // enough with the exporter's fixed field order.
+    if (Json.find(PhaseKey, NameStart) < EventEnd)
+      ++Out[Json.substr(NameStart, NameEnd - NameStart)];
+  }
+}
+
+TEST(TraceJsonTest, ExportIsValidJson) {
+  ScopedTracing Tracing;
+  emitSampleCycle();
+  std::string Json = exportTrace();
+  EXPECT_TRUE(jsoncheck::isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(TraceJsonTest, TimestampsAreMonotonic) {
+  ScopedTracing Tracing;
+  for (int I = 0; I != 5; ++I)
+    emitSampleCycle();
+  std::string Json = exportTrace();
+  std::vector<double> Ts = timestamps(Json);
+  ASSERT_EQ(Ts.size(), 5u * 9u); // 4 B/E pairs + 1 instant per cycle
+  for (size_t I = 1; I != Ts.size(); ++I)
+    EXPECT_GE(Ts[I], Ts[I - 1]) << "event " << I;
+}
+
+TEST(TraceJsonTest, BeginEndPairsBalance) {
+  ScopedTracing Tracing;
+  for (int I = 0; I != 3; ++I)
+    emitSampleCycle();
+  std::string Json = exportTrace();
+
+  std::map<std::string, int> Begins, Ends, Instants;
+  phaseCounts(Json, 'B', Begins);
+  phaseCounts(Json, 'E', Ends);
+  phaseCounts(Json, 'i', Instants);
+  EXPECT_EQ(Begins, Ends);
+  EXPECT_EQ(Begins.at("gc_cycle"), 3);
+  EXPECT_EQ(Begins.at("mark"), 3);
+  EXPECT_EQ(Begins.at("sweep"), 3);
+  EXPECT_EQ(Begins.at("ownership"), 3);
+  EXPECT_EQ(Instants.at("violation"), 3);
+  EXPECT_EQ(Instants.count("gc_cycle"), 0u);
+}
+
+TEST(TraceJsonTest, InstantEventsCarryScopeAndNameOverride) {
+  ScopedTracing Tracing;
+  static const char SiteName[] = "heap.block\"acquire";
+  instant(EventKind::FailpointTrip, 0, SiteName);
+  std::string Json = exportTrace();
+  EXPECT_TRUE(jsoncheck::isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"s\":\"t\""), std::string::npos);
+  // The quote in the site name must arrive escaped.
+  EXPECT_NE(Json.find("heap.block\\\"acquire"), std::string::npos);
+}
+
+TEST(TraceJsonTest, ReportsDropsAfterWraparound) {
+  ScopedTracing Tracing;
+  for (uint64_t I = 0; I != RingCapacity + 7; ++I)
+    instant(EventKind::AssertionPass, I);
+  std::string Json = exportTrace();
+  EXPECT_TRUE(jsoncheck::isValidJson(Json)) << "trace of size " << Json.size();
+  EXPECT_NE(Json.find("\"droppedEvents\":7"), std::string::npos);
+}
+
+TEST(TraceJsonTest, WriteFileRoundTripsAndReportsErrors) {
+  ScopedTracing Tracing;
+  emitSampleCycle();
+
+  std::string Path =
+      testing::TempDir() + "/gcassert_trace_json_test_trace.json";
+  std::string Error;
+  ASSERT_TRUE(writeChromeTraceFile(Path, &Error)) << Error;
+  std::FILE *Handle = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(Handle, nullptr);
+  std::string Contents;
+  char Buffer[4096];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), Handle)) > 0)
+    Contents.append(Buffer, N);
+  std::fclose(Handle);
+  std::remove(Path.c_str());
+  EXPECT_TRUE(jsoncheck::isValidJson(Contents));
+
+  EXPECT_FALSE(writeChromeTraceFile("/nonexistent-dir/t.json", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- TraceRingTest.cpp - telemetry/TraceEvents ring unit tests --------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/telemetry/TraceEvents.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::telemetry;
+
+namespace {
+
+/// Arms tracing for the test body and restores the disarmed default (and
+/// empty rings) on the way out, so tests cannot leak armed state into each
+/// other.
+struct ScopedTracing {
+  ScopedTracing() {
+    clearAllRings();
+    setTracingEnabled(true);
+  }
+  ~ScopedTracing() {
+    setTracingEnabled(false);
+    clearAllRings();
+  }
+};
+
+TEST(TraceRingTest, RecordsInOrder) {
+  TraceRing Ring(7);
+  for (uint64_t I = 0; I != 10; ++I)
+    Ring.push(EventKind::MarkPhase, EventPhase::Instant, I, nullptr);
+
+  ASSERT_EQ(Ring.size(), 10u);
+  EXPECT_EQ(Ring.pushed(), 10u);
+  EXPECT_EQ(Ring.dropped(), 0u);
+  uint64_t LastNanos = 0;
+  for (size_t I = 0; I != Ring.size(); ++I) {
+    const TraceEvent &E = Ring.at(I);
+    EXPECT_EQ(E.Arg, I);
+    EXPECT_EQ(E.Tid, 7u);
+    EXPECT_EQ(E.Kind, EventKind::MarkPhase);
+    EXPECT_GE(E.Nanos, LastNanos);
+    LastNanos = E.Nanos;
+  }
+}
+
+TEST(TraceRingTest, WrapsOverwritingOldestAndCountsDrops) {
+  TraceRing Ring(1);
+  const uint64_t Extra = 100;
+  for (uint64_t I = 0; I != RingCapacity + Extra; ++I)
+    Ring.push(EventKind::GcCycle, EventPhase::Begin, I, nullptr);
+
+  ASSERT_EQ(Ring.size(), RingCapacity);
+  EXPECT_EQ(Ring.pushed(), RingCapacity + Extra);
+  EXPECT_EQ(Ring.dropped(), Extra);
+  // The oldest Extra events were overwritten: the survivors are exactly
+  // [Extra, RingCapacity + Extra).
+  EXPECT_EQ(Ring.at(0).Arg, Extra);
+  EXPECT_EQ(Ring.at(Ring.size() - 1).Arg, RingCapacity + Extra - 1);
+}
+
+TEST(TraceRingTest, ClearResetsSizeAndDrops) {
+  TraceRing Ring(2);
+  for (uint64_t I = 0; I != RingCapacity + 5; ++I)
+    Ring.push(EventKind::SweepPhase, EventPhase::End, I, nullptr);
+  Ring.clear();
+  EXPECT_EQ(Ring.size(), 0u);
+  EXPECT_EQ(Ring.dropped(), 0u);
+  EXPECT_EQ(Ring.pushed(), 0u);
+}
+
+TEST(TraceRingTest, DisarmedEmissionIsDiscarded) {
+  clearAllRings();
+  setTracingEnabled(false);
+  instant(EventKind::Violation, 1);
+  begin(EventKind::MarkPhase);
+  end(EventKind::MarkPhase);
+  { Span S(EventKind::GcCycle, 9); }
+  EXPECT_EQ(totalEvents(), 0u);
+}
+
+TEST(TraceRingTest, SpanEmitsPairedBeginEndWithEndArg) {
+  ScopedTracing Tracing;
+  {
+    Span S(EventKind::SweepPhase, 3);
+    S.setEndArg(4096);
+  }
+  ASSERT_EQ(totalEvents(), 2u);
+}
+
+/// The TSan target: many threads emitting concurrently, each lazily
+/// registering its own ring; the registry's intrusive list and the armed
+/// flag are the only shared state.
+TEST(TraceRingTest, ConcurrentWritersUsePrivateRings) {
+  ScopedTracing Tracing;
+  const unsigned Writers = 4;
+  const uint64_t PerWriter = 2000;
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W != Writers; ++W)
+    Threads.emplace_back([W] {
+      for (uint64_t I = 0; I != PerWriter; ++I) {
+        begin(EventKind::MarkWorker, W);
+        end(EventKind::MarkWorker, I);
+      }
+    });
+  for (uint64_t I = 0; I != PerWriter; ++I)
+    instant(EventKind::AssertionPass, I);
+  for (std::thread &T : Threads)
+    T.join();
+
+  // 2 events per loop turn per writer thread, 1 per turn on this thread;
+  // every ring is large enough that nothing wrapped.
+  EXPECT_EQ(totalEvents(), (2 * Writers + 1) * PerWriter);
+  EXPECT_EQ(totalDropped(), 0u);
+}
+
+} // namespace
