@@ -18,11 +18,23 @@
 ///    "config": {<key>: <string|number>, ...},
 ///    "series": {<name>: {"samples": [..], "mean": m, "ci90": c,
 ///                        "stddev": s, "min": lo, "max": hi}, ...},
-///    "scalars": {<name>: <number>, ...}}
+///    "scalars": {<name>: <number>, ...},
+///    "floors": {<name>: <number>, ...}}
 ///
 /// Series are trial-sample sets (lower is better: milliseconds, percents);
 /// scalars are derived single numbers (geomeans, speedups) reported for
 /// information and compared with a looser gate.
+///
+/// Every report should call setTopology() so the config block records the
+/// host core count and the thread counts the run exercised: bench_compare
+/// downgrades regressions to warnings when baseline and current topology
+/// disagree (numbers from different hosts are not comparable).
+///
+/// Floors are absolute minimum acceptable values for a named metric
+/// (higher is better: speedups). A bench emits a floor only when the host
+/// can meaningfully attain it — e.g. a 4-thread speedup floor only when
+/// hardware_concurrency() >= 4 — and bench_compare then enforces it
+/// against the current run regardless of the baseline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +49,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -63,6 +76,17 @@ public:
   }
   /// @}
 
+  /// Records the host/run topology (core count plus the maximum GC and
+  /// mutator thread counts the run exercised). bench_compare treats these
+  /// three keys specially: a baseline/current mismatch downgrades every
+  /// regression in the report to a warning.
+  void setTopology(uint64_t GcThreads, uint64_t MutatorThreads) {
+    setConfig("host_cores",
+              static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    setConfig("gc_threads", GcThreads);
+    setConfig("mutator_threads", MutatorThreads);
+  }
+
   /// Records \p Samples (all trial values plus derived stats) under
   /// \p SeriesName. Lower is better — bench_compare gates on the mean.
   void addSeries(const std::string &SeriesName, const SampleSet &Samples) {
@@ -72,6 +96,14 @@ public:
   /// Records a derived single number (geomean overhead, speedup).
   void addScalar(const std::string &ScalarName, double Value) {
     Scalars.emplace_back(ScalarName, Value);
+  }
+
+  /// Declares that metric \p MetricName must be >= \p Minimum in THIS run —
+  /// bench_compare fails the comparison otherwise, baseline or no baseline.
+  /// Only emit a floor the host can attain (check hardware_concurrency()
+  /// before flooring a parallel speedup).
+  void addFloor(const std::string &MetricName, double Minimum) {
+    Floors.emplace_back(MetricName, Minimum);
   }
 
   /// Serializes the report to \p Out.
@@ -104,6 +136,13 @@ public:
     for (const auto &[ScalarName, Value] : Scalars) {
       Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(ScalarName)
           << "\": " << format("%.6g", Value);
+      First = false;
+    }
+    Out << "\n  },\n  \"floors\": {";
+    First = true;
+    for (const auto &[MetricName, Minimum] : Floors) {
+      Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(MetricName)
+          << "\": " << format("%.6g", Minimum);
       First = false;
     }
     Out << "\n  }\n}\n";
@@ -154,6 +193,7 @@ private:
   std::vector<std::pair<std::string, std::string>> Config;
   std::vector<std::pair<std::string, SampleSet>> Series;
   std::vector<std::pair<std::string, double>> Scalars;
+  std::vector<std::pair<std::string, double>> Floors;
 };
 
 } // namespace bench

@@ -53,6 +53,8 @@ inline int gbenchJsonMain(const char *ReportName, int Argc, char **Argv) {
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;
   JsonReport Report(ReportName);
+  // The google-benchmark micro benches are single-threaded by construction.
+  Report.setTopology(/*GcThreads=*/1, /*MutatorThreads=*/1);
   JsonCapturingReporter Reporter(Report);
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();

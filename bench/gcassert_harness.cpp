@@ -11,9 +11,14 @@
 //
 //   gcassert-harness --workload=<name> [--config=base|infra|assert]
 //                    [--collector=marksweep|semispace|markcompact|generational]
-//                    [--gc-threads=N] [--iters=N] [--seed=N]
-//                    [--hardening=off|check|full] [--verify-heap]
+//                    [--gc-threads=N] [--mutator-threads=N] [--iters=N]
+//                    [--seed=N] [--hardening=off|check|full] [--verify-heap]
 //                    [--trace-out=FILE] [--metrics-out=FILE] [--list]
+//
+// GCASSERT_MUTATOR_THREADS=N sets the mutator-thread count without flags
+// (an explicit --mutator-threads overrides it). Each thread beyond the
+// first is a real OS churn mutator and shows up as its own "mutator" lane
+// in the exported Perfetto timeline.
 //
 // The GCASSERT_TRACE environment variable arms tracing without flags: set
 // it to a path and the harness exports there on exit (set it to "1" to arm
@@ -44,9 +49,12 @@ namespace {
             "assert]\n"
             "         [--collector=marksweep|semispace|markcompact|"
             "generational]\n"
-            "         [--gc-threads=N] [--iters=N] [--seed=N]\n"
-            "         [--hardening=off|check|full] [--verify-heap]\n"
-            "         [--trace-out=FILE] [--metrics-out=FILE] [--list]\n";
+            "         [--gc-threads=N] [--mutator-threads=N] [--iters=N]\n"
+            "         [--seed=N] [--hardening=off|check|full] "
+            "[--verify-heap]\n"
+            "         [--trace-out=FILE] [--metrics-out=FILE] [--list]\n"
+            "  (GCASSERT_MUTATOR_THREADS=N is the env equivalent of "
+            "--mutator-threads)\n";
   std::exit(Bad ? 2 : 0);
 }
 
@@ -70,6 +78,9 @@ int main(int Argc, char **Argv) {
   if (TraceOut == "1")
     TraceOut.clear(); // Armed, but export is the caller's business.
   std::string MetricsOut;
+  if (const char *Env = std::getenv("GCASSERT_MUTATOR_THREADS"))
+    if (int N = std::atoi(Env); N > 0)
+      Options.MutatorThreads = static_cast<unsigned>(N);
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -97,6 +108,8 @@ int main(int Argc, char **Argv) {
         usage(Arg);
     } else if (const char *V = matchOpt(Arg, "--gc-threads")) {
       Options.GcThreads = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = matchOpt(Arg, "--mutator-threads")) {
+      Options.MutatorThreads = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = matchOpt(Arg, "--iters")) {
       Options.MeasuredIterations = std::atoi(V);
     } else if (const char *V = matchOpt(Arg, "--seed")) {

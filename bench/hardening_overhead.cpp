@@ -52,6 +52,7 @@ int main(int Argc, char **Argv) {
   int Trials = trialCount(Argc, Argv, 10);
   JsonReport Report("hardening_overhead");
   Report.setConfig("trials", static_cast<int64_t>(Trials));
+  Report.setTopology(/*GcThreads=*/1, /*MutatorThreads=*/1);
 
   outs() << "ABL-HARD: run-time overhead of the hardened heap mode "
             "(Off -> Check -> Full)\n";

@@ -14,17 +14,22 @@
 // piggybacked on the parallel trace; path recording on would fall back to
 // the sequential tracer, see DESIGN.md).
 //
-// NOTE on hosts: speedup is bounded by the machine's core count. The header
-// of the output records std::thread::hardware_concurrency() — on a 1-core
-// host every multi-thread configuration is oversubscribed and the numbers
-// show the coordination overhead instead of a speedup.
+// NOTE on hosts: speedup is bounded by the machine's core count. The
+// report's config block records the topology (host_cores/gc_threads), and
+// on a host with >= 4 cores the report emits a floor requiring >= 1.5x
+// geomean mark speedup at 4 GC threads — the honest-parallelism gate. On
+// fewer cores the floor is withheld: every multi-thread configuration is
+// oversubscribed there and the numbers show coordination overhead instead
+// of a speedup.
 //
 //===----------------------------------------------------------------------===//
 
 #include "common/BenchCommon.h"
 #include "common/BenchJson.h"
 
+#include <cmath>
 #include <thread>
+#include <vector>
 
 using namespace gcassert;
 using namespace gcassert::bench;
@@ -47,13 +52,14 @@ int main(int Argc, char **Argv) {
   unsigned HostCores = std::thread::hardware_concurrency();
   JsonReport Report("parallel_marking");
   Report.setConfig("trials", static_cast<int64_t>(Trials));
-  Report.setConfig("host_cores", static_cast<uint64_t>(HostCores));
+  Report.setTopology(/*GcThreads=*/8, /*MutatorThreads=*/1);
 
   outs() << "Parallel marking & sweeping: scaling over GC thread count\n";
   outs() << format("host cores: %u   trials per configuration: %d\n",
                    HostCores, Trials);
   outs() << "collector: marksweep   path recording: off (parallel trace)\n\n";
 
+  std::vector<double> BaseT4Speedups;
   for (bool WithChecks : {false, true}) {
     outs() << (WithChecks
                    ? "Infrastructure (assertion checks on the parallel trace)"
@@ -101,10 +107,38 @@ int main(int Argc, char **Argv) {
         Report.addSeries(Workload + format(".gc_ms.%s.t%u", Mode,
                                            ThreadCounts[C]),
                          Samples[C].GcMs);
+        Report.addSeries(Workload + format(".mark_ms.%s.t%u", Mode,
+                                           ThreadCounts[C]),
+                         Samples[C].MarkMs);
+        if (C) {
+          Report.addScalar(Workload + format(".mark_speedup.%s.t%u", Mode,
+                                             ThreadCounts[C]),
+                           MarkSpeedup);
+          if (!WithChecks && ThreadCounts[C] == 4)
+            BaseT4Speedups.push_back(MarkSpeedup);
+        }
       }
     }
     outs() << '\n';
   }
+
+  // The honest-parallelism gate: geomean of the base-mode 4-thread mark
+  // speedups across the workloads, floored at 1.5x — but only on hosts
+  // that can physically run 4 markers in parallel.
+  double LogSum = 0;
+  for (double S : BaseT4Speedups)
+    LogSum += std::log(S);
+  double Geomean =
+      BaseT4Speedups.empty()
+          ? 0.0
+          : std::exp(LogSum / static_cast<double>(BaseT4Speedups.size()));
+  Report.addScalar("mark_speedup.base.t4.geomean", Geomean);
+  if (HostCores >= 4)
+    Report.addFloor("mark_speedup.base.t4.geomean", 1.5);
+  outs() << format("geomean mark speedup at 4 GC threads (base): %.2fx%s\n",
+                   Geomean,
+                   HostCores >= 4 ? "  (floor: 1.50x)"
+                                  : "  (no floor: host has < 4 cores)");
   outs().flush();
   return Report.write() ? 0 : 1;
 }

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// The differential runner: executes one trace across the collector matrix
-/// (4 collector families x {1,2,4} GC threads x hardening {Off, Check}),
+/// (4 collector families x {1,2,4} GC threads x hardening {Off, Check} x
+/// {1,4} concurrent mutator threads),
 /// checks every run against the shadow-heap oracle, and cross-checks the
 /// runs against each other — violation multisets, live-object multisets,
 /// and GcStats invariants must all agree. Any divergence is reported with
@@ -24,13 +25,16 @@ namespace fuzz {
 
 /// Matrix selection.
 enum class MatrixKind : uint8_t {
-  /// 4 collectors x {1,2,4} threads x hardening {Off, Check} = 24 configs.
+  /// 4 collectors x {1,2,4} GC threads x hardening {Off, Check} x {1,4}
+  /// mutator threads = 48 configs.
   Full,
   /// 4 collectors x 1 thread x hardening Off = 4 configs (fast paths only).
   Quick,
   /// 4 collectors x 1 thread x hardening Check — the only matrix safe to
   /// run with a corrupt.* failpoint armed (Off-mode tracing would chase the
-  /// scribbled reference into unscreened garbage).
+  /// scribbled reference into unscreened garbage). Stays single-mutator:
+  /// EveryNth failpoints count allocations, and churn-thread allocations
+  /// would make the trip site nondeterministic.
   HardenedOnly,
 };
 

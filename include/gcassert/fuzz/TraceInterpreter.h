@@ -31,6 +31,12 @@ struct RunConfig {
   CollectorKind Collector = CollectorKind::MarkSweep;
   unsigned Threads = 1;
   HardeningMode Hardening = HardeningMode::Off;
+  /// Total mutator threads. The trace ops always run on the main thread;
+  /// each additional thread is a churn mutator allocating a budgeted
+  /// amount of oracle-invisible objects concurrently, so every safepoint,
+  /// TLAB and root-scan path is exercised without perturbing the
+  /// collector-independent result the oracle predicts.
+  unsigned MutatorThreads = 1;
 };
 
 std::string describeRunConfig(const RunConfig &Config);

@@ -22,6 +22,7 @@
 #include "gcassert/heap/Heap.h"
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace gcassert {
@@ -87,6 +88,9 @@ private:
   size_t CapacityBytes;
   uint8_t *Bump;
   uint64_t LiveBytesAfterGc = 0;
+  /// Serializes concurrent mutator allocations (the bump and the stats).
+  /// Collection-side paths run with the world stopped and stay lock-free.
+  mutable std::mutex AllocMutex;
 
   /// Hardened mode only: per-object allocation sizes in address order, so
   /// planCompaction / forEachObject can step over a corrupt header instead

@@ -14,14 +14,28 @@
 /// id is 0. Objects larger than the largest size class go to a malloc-backed
 /// large-object space charged against the same capacity budget.
 ///
+/// Concurrency: the shared allocation paths serialize on one allocation
+/// mutex. Concurrent mutators avoid it almost entirely through per-thread
+/// TLABs (allocateWithTlab): a thread bumps through a private run of cells
+/// and touches the mutex only to refill. The large-object path CAS-claims
+/// its budget and runs the host allocation outside any lock. Sweeping and
+/// enumeration require a stopped world (the Vm's safepoint protocol
+/// guarantees it).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCASSERT_HEAP_FREELISTHEAP_H
 #define GCASSERT_HEAP_FREELISTHEAP_H
 
 #include "gcassert/heap/Heap.h"
+#include "gcassert/heap/SizeClasses.h"
+#include "gcassert/heap/Tlab.h"
+#include "gcassert/support/Compiler.h"
 
+#include <atomic>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -41,7 +55,39 @@ public:
   FreeListHeap(TypeRegistry &Types, const FreeListHeapConfig &Config);
   ~FreeListHeap() override;
 
+  /// Shared (mutex-serialized) allocation path. Thread-safe.
   ObjRef allocate(TypeId Id, uint64_t ArrayLength) override;
+
+  /// \name TLAB allocation (DESIGN.md §13)
+  /// @{
+
+  /// The per-thread fast path: bump \p T's bin for the request's size
+  /// class, falling back to the private free chain, then to a locked
+  /// refill, then to the shared path. Large requests take the CAS-claimed
+  /// large-object path. Returns null only on genuine exhaustion (same
+  /// contract as allocate()). \p T must belong to the calling thread.
+  ObjRef allocateWithTlab(TlabSet &T, TypeId Id, uint64_t ArrayLength);
+
+  /// Restocks \p T's bin for \p ClassIndex under the allocation mutex:
+  /// first from the shared free list (a batch of recycled cells), else by
+  /// slicing a bump run from the class's TLAB block, carving a fresh block
+  /// when needed. Returns false when the heap is out of room for this
+  /// class (or the "tlab.refill" failpoint fired), leaving the bin empty.
+  bool refillTlab(TlabSet &T, uint32_t ClassIndex);
+
+  /// Retires \p T: folds its pending stats into the shared HeapStats and
+  /// drops its bins. Called for every mutator at each safepoint, before
+  /// the sweep — the abandoned cells still carry free headers, so the
+  /// sweep re-threads them. Safe to call from the stopping thread on
+  /// behalf of parked threads.
+  void retireTlab(TlabSet &T);
+
+  /// Drops the heap-side per-class TLAB blocks (their unconsumed cells are
+  /// re-threaded by the sweep, like retired bins). Called with the world
+  /// stopped, before sweeping; sweep() also does this defensively.
+  void dropTlabBlocks();
+  /// @}
+
   void forEachObject(const std::function<void(ObjRef)> &Fn) override;
   bool contains(const void *Ptr) const override;
 
@@ -69,7 +115,8 @@ public:
   /// cells free up, so treat this as an upper bound on what allocation can
   /// still deliver.
   uint64_t arenaBytesFree() const {
-    uint64_t ArenaInUse = Stats.BytesInUse - LargeBytesInUse;
+    uint64_t ArenaInUse =
+        Stats.BytesInUse - LargeBytesInUse.load(std::memory_order_relaxed);
     return ArenaBytes > ArenaInUse ? ArenaBytes - ArenaInUse : 0;
   }
 
@@ -92,6 +139,13 @@ private:
     uint32_t SizeClass = ~0u;
   };
 
+  /// A heap-owned bump region: the not-yet-handed-out tail of a block
+  /// carved for TLAB refills of one class.
+  struct TlabBlock {
+    uint8_t *Cur = nullptr;
+    uint8_t *End = nullptr;
+  };
+
   static constexpr size_t BlockSize = 64u * 1024;
   /// Blocks per parallel-sweep work unit: small enough to balance load,
   /// large enough that the per-chunk segment merge stays cheap.
@@ -102,8 +156,26 @@ private:
   }
 
   ObjRef allocateSmall(size_t CellSize, uint32_t ClassIndex);
-  ObjRef allocateLarge(size_t Size);
+  ObjRef allocateLarge(TypeId Id, uint64_t ArrayLength, size_t Size);
   bool carveBlock(uint32_t ClassIndex);
+  bool carveTlabBlock(uint32_t ClassIndex);
+  void flushTlabStats(TlabSet &T);
+  /// Hardened-mode poison check for a cell leaving a TLAB bin; quarantines
+  /// damaged cells and returns false so the caller takes another.
+  GCA_NOINLINE bool tlabCellClean(uint8_t *Cell, size_t CellSize,
+                                  uint32_t ClassIndex);
+  /// Stamps the header/array length/checksum of a fresh cell.
+  ObjRef finishObject(uint8_t *Cell, TypeId Id, uint64_t ArrayLength) {
+    auto Obj = reinterpret_cast<ObjRef>(Cell);
+    Obj->header().Type = Id;
+    Obj->header().Flags = 0;
+    const TypeInfo &Type = Types.get(Id);
+    if (Type.isArray())
+      Obj->setArrayLength(ArrayLength);
+    if (GCA_UNLIKELY(Hard != nullptr))
+      Hard->stampObject(Obj, Type.isArray() ? ArrayLength : 0);
+    return Obj;
+  }
   bool sweepCarvedBlock(size_t BlockIndex, size_t CellSize, void **Head,
                         void **TailOut, size_t &Reclaimed,
                         uint64_t &LiveBytes);
@@ -119,6 +191,13 @@ private:
   /// Head of the free-cell list per size class (null when empty). The next
   /// pointer of a free cell is stored in its first payload word.
   std::vector<void *> FreeLists;
+  /// Per-class TLAB bump regions (see TlabBlock).
+  std::vector<TlabBlock> TlabBlocks;
+
+  /// Serializes the shared small-object path, TLAB refills/retires, and
+  /// large-object bookkeeping. Never held across a host allocation or
+  /// while sweeping (the world is stopped there).
+  mutable std::mutex AllocMutex;
 
   struct LargeObject {
     void *Storage;
@@ -126,11 +205,53 @@ private:
   };
   std::vector<LargeObject> LargeObjects;
   std::unordered_set<const void *> LargeObjectSet;
-  size_t LargeBytesInUse = 0;
+  /// Atomic so the large-object path can CAS-claim budget without the
+  /// allocation mutex. Mutated outside the CAS only with the world stopped
+  /// (sweep).
+  std::atomic<size_t> LargeBytesInUse{0};
   size_t LargeBudget;
 
   uint64_t LiveBytesAfterSweep = 0;
 };
+
+inline ObjRef FreeListHeap::allocateWithTlab(TlabSet &T, TypeId Id,
+                                             uint64_t ArrayLength) {
+  size_t Size = Types.allocationSize(Id, ArrayLength);
+  if (GCA_UNLIKELY(Size > sizeclasses::MaxSmallSize))
+    return allocateLarge(Id, ArrayLength, Size);
+
+  uint32_t ClassIndex = sizeclasses::table().classFor(Size);
+  size_t CellSize = sizeclasses::table().CellSizes[ClassIndex];
+  TlabBin &Bin = T.bin(ClassIndex);
+  uint8_t *Cell;
+  for (;;) {
+    if (GCA_LIKELY(Bin.BumpCur != Bin.BumpEnd)) {
+      Cell = Bin.BumpCur;
+      Bin.BumpCur += CellSize;
+    } else if (Bin.LocalFree) {
+      Cell = static_cast<uint8_t *>(Bin.LocalFree);
+      std::memcpy(&Bin.LocalFree, Cell + sizeof(ObjectHeader),
+                  sizeof(void *));
+    } else if (refillTlab(T, ClassIndex)) {
+      continue;
+    } else {
+      // Refill failed (heap full for this class, or the "tlab.refill"
+      // failpoint): degrade to the shared path, which reports genuine
+      // exhaustion to the Vm's emergency cascade.
+      return allocate(Id, ArrayLength);
+    }
+    // Same dangling-write detection the shared path performs on free-list
+    // pops; a damaged cell is quarantined and the loop takes another.
+    if (GCA_UNLIKELY(Hard != nullptr) &&
+        !tlabCellClean(Cell, CellSize, ClassIndex))
+      continue;
+    break;
+  }
+  std::memset(Cell + sizeof(ObjectHeader), 0, CellSize - sizeof(ObjectHeader));
+  T.PendingBytes += CellSize;
+  ++T.PendingObjects;
+  return finishObject(Cell, Id, ArrayLength);
+}
 
 } // namespace gcassert
 

@@ -25,6 +25,7 @@
 #include "gcassert/heap/WriteBarrier.h"
 
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 
 namespace gcassert {
@@ -142,6 +143,12 @@ private:
   uint8_t *NurseryBump;
   std::unordered_set<Object *> RememberedSet;
   bool EvacuationActive = false;
+  /// Serializes concurrent mutator allocations (nursery bump + stats).
+  /// Collection-side paths run with the world stopped and stay lock-free.
+  mutable std::mutex AllocMutex;
+  /// Guards RememberedSet inserts from the store barrier, which runs on
+  /// mutator threads. The collector reads the set with the world stopped.
+  mutable std::mutex RemSetMutex;
 
   /// Hardened mode only: nursery allocation sizes in address order, so the
   /// nursery walks (clearNurseryMarks, forEachObject) can step over a

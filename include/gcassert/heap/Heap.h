@@ -18,6 +18,7 @@
 #include "gcassert/heap/Object.h"
 #include "gcassert/heap/TypeRegistry.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -76,7 +77,11 @@ public:
   virtual bool contains(const void *Ptr) const = 0;
 
   /// Why the most recent allocate() returned null (None after a success).
-  AllocFailureKind lastAllocFailure() const { return LastAllocFailure; }
+  /// Under concurrent mutators the value is advisory — it names *a* recent
+  /// failure, read by OOM diagnostics with the world effectively stopped.
+  AllocFailureKind lastAllocFailure() const {
+    return LastAllocFailure.load(std::memory_order_relaxed);
+  }
 
   /// Live bytes measured by the most recent completed collection (0 before
   /// the first). The assertion engine's degradation ladder reads this as
@@ -123,7 +128,9 @@ public:
 protected:
   TypeRegistry &Types;
   HeapStats Stats;
-  AllocFailureKind LastAllocFailure = AllocFailureKind::None;
+  /// Atomic (relaxed) because concurrent allocation paths record failures
+  /// without coordinating; see lastAllocFailure().
+  std::atomic<AllocFailureKind> LastAllocFailure{AllocFailureKind::None};
   HeapHardening *Hard = nullptr;
 };
 

@@ -19,6 +19,7 @@
 #include "gcassert/heap/Heap.h"
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace gcassert {
@@ -100,6 +101,9 @@ private:
   int CurrentSpace = 0;
   uint8_t *Bump;
   uint8_t *Limit;
+  /// Serializes concurrent mutator allocations (the bump and the stats).
+  /// Collection-side paths run with the world stopped and stay lock-free.
+  mutable std::mutex AllocMutex;
   /// Valid only between beginCollection() and finishCollection().
   uint8_t *CopyBump = nullptr;
   uint64_t LiveBytesAfterGc = 0;

@@ -1,0 +1,80 @@
+//===- gcassert/heap/SizeClasses.h - Segregated-fit size classes -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The segregated-fit size-class table shared by FreeListHeap's free lists
+/// and the per-thread TLAB bins (which must agree on the class geometry:
+/// a TLAB bin hands out cells of exactly one class). Previously private to
+/// FreeListHeap.cpp; hoisted so Tlab.h can size its per-class arrays at
+/// compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_SIZECLASSES_H
+#define GCASSERT_HEAP_SIZECLASSES_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gcassert {
+namespace sizeclasses {
+
+/// Requests above this go to the large-object space.
+inline constexpr size_t MaxSmallSize = 8192;
+
+/// Number of size classes the table below builds: 16..128 step 8 (15),
+/// 160..512 step 32 (12), 640..2048 step 128 (12), 2560..8192 step 512
+/// (12). Compile-time so per-class arrays (TLAB bins) need no allocation;
+/// the table constructor asserts agreement.
+inline constexpr size_t NumClasses = 15 + 12 + 12 + 12;
+
+/// The size classes: fine-grained steps for small objects, coarser steps
+/// up to 8 KiB.
+struct SizeClassTable {
+  std::vector<size_t> CellSizes;
+  /// Maps (size + 7) / 8 to a class index, for size in [1, MaxSmallSize].
+  std::vector<uint32_t> ClassForWord;
+
+  SizeClassTable() {
+    for (size_t S = 16; S <= 128; S += 8)
+      CellSizes.push_back(S);
+    for (size_t S = 160; S <= 512; S += 32)
+      CellSizes.push_back(S);
+    for (size_t S = 640; S <= 2048; S += 128)
+      CellSizes.push_back(S);
+    for (size_t S = 2560; S <= MaxSmallSize; S += 512)
+      CellSizes.push_back(S);
+    assert(CellSizes.size() == NumClasses && "NumClasses out of sync");
+
+    ClassForWord.resize(MaxSmallSize / 8 + 1);
+    uint32_t Class = 0;
+    for (size_t Words = 0; Words <= MaxSmallSize / 8; ++Words) {
+      size_t Size = Words * 8;
+      while (CellSizes[Class] < Size)
+        ++Class;
+      ClassForWord[Words] = Class;
+    }
+  }
+
+  uint32_t classFor(size_t Size) const {
+    assert(Size > 0 && Size <= MaxSmallSize && "not a small allocation");
+    return ClassForWord[(Size + 7) / 8];
+  }
+};
+
+/// The process-wide table (built once, read-only afterwards — safe to read
+/// from any thread).
+inline const SizeClassTable &table() {
+  static SizeClassTable Table;
+  return Table;
+}
+
+} // namespace sizeclasses
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_SIZECLASSES_H

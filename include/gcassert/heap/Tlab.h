@@ -1,0 +1,110 @@
+//===- gcassert/heap/Tlab.h - Thread-local allocation buffers ---*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread allocation state for FreeListHeap (DESIGN.md §13). Each
+/// mutator thread owns a TlabSet: one bin per size class holding a
+/// bump-pointer range (a contiguous run of cells sliced from a heap-owned
+/// "TLAB block") plus a private free-cell list detached in batches from the
+/// shared segregated free list. The fast path touches only this structure —
+/// no lock, no atomics — and falls into FreeListHeap::refillTlab (which
+/// takes the heap's allocation mutex) only when a bin runs dry.
+///
+/// Sizing adapts to the thread's allocation rate per class: every refill
+/// doubles the next chunk (refill frequency is the rate signal) up to
+/// MaxBytes; retiring — which happens at every safepoint, so the sweep sees
+/// a parseable heap and exact stats — halves it back toward the minimum.
+///
+/// Heap statistics are accumulated in the TlabSet (PendingBytes /
+/// PendingObjects) and folded into the shared HeapStats under the heap
+/// mutex at refill and retire, so the shared counters are exact whenever
+/// the world is stopped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_HEAP_TLAB_H
+#define GCASSERT_HEAP_TLAB_H
+
+#include "gcassert/heap/SizeClasses.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gcassert {
+
+/// One size class's thread-local allocation state.
+struct TlabBin {
+  /// Bump range: cells [BumpCur, BumpEnd) are owned by this thread and
+  /// carved from one block, all of this bin's cell size.
+  uint8_t *BumpCur = nullptr;
+  uint8_t *BumpEnd = nullptr;
+  /// Private free-cell chain (same in-cell link encoding as the shared
+  /// free list), detached from the shared list in batches.
+  void *LocalFree = nullptr;
+};
+
+/// All of one thread's TLAB state. Owned by the MutatorThread; touched by
+/// other threads only while the world is stopped (retire).
+class TlabSet {
+public:
+  /// Default ceiling for one bin's refill chunk: a whole heap block.
+  static constexpr size_t DefaultMaxBytes = 64u * 1024;
+  /// First refill chunk per class; doubles per refill up to MaxBytes.
+  static constexpr size_t MinBytes = 1024;
+
+  explicit TlabSet(size_t MaxBytes = DefaultMaxBytes)
+      : MaxBytes(std::max(MaxBytes, MinBytes)) {
+    for (size_t &D : Desired)
+      D = MinBytes;
+  }
+
+  TlabSet(const TlabSet &) = delete;
+  TlabSet &operator=(const TlabSet &) = delete;
+
+  TlabBin &bin(uint32_t ClassIndex) { return Bins[ClassIndex]; }
+
+  /// Chunk size (bytes) the next refill of \p ClassIndex should fetch.
+  size_t desiredBytes(uint32_t ClassIndex) const {
+    return Desired[ClassIndex];
+  }
+
+  /// Records one refill of \p ClassIndex: the thread is allocating this
+  /// class faster than its chunk lasts, so double the next chunk.
+  void noteRefill(uint32_t ClassIndex) {
+    ++RefillCount;
+    Desired[ClassIndex] = std::min(MaxBytes, Desired[ClassIndex] * 2);
+  }
+
+  /// Refills since construction (rate introspection for tests/benches).
+  uint64_t refillCount() const { return RefillCount; }
+
+  /// Drops every bin and decays the adaptive sizing. The abandoned cells
+  /// are all still headered as free (type InvalidTypeId), so the sweep
+  /// that every retire precedes re-threads them onto the shared free
+  /// lists; pending stats must be flushed by the heap first.
+  void retireBins() {
+    for (TlabBin &B : Bins)
+      B = TlabBin();
+    for (size_t &D : Desired)
+      D = std::max(MinBytes, D / 2);
+  }
+
+  /// \name Stats pending the next flush into the shared HeapStats.
+  /// @{
+  uint64_t PendingBytes = 0;
+  uint64_t PendingObjects = 0;
+  /// @}
+
+private:
+  TlabBin Bins[sizeclasses::NumClasses];
+  size_t Desired[sizeclasses::NumClasses];
+  size_t MaxBytes;
+  uint64_t RefillCount = 0;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_HEAP_TLAB_H

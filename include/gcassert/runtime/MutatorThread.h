@@ -10,10 +10,12 @@
 /// needs ("Each thread in Jikes RVM has a boolean flag to indicate whether
 /// it is currently in an alldead region, and a queue...", §2.3.2).
 ///
-/// Threads are cooperative: the runtime is single-OS-threaded, and a
-/// workload drives any number of logical threads deterministically. This
-/// substitutes for Jikes RVM's stop-the-world threading while preserving the
-/// per-thread region semantics (see DESIGN.md §5).
+/// A MutatorThread may be driven cooperatively (a workload stepping several
+/// logical threads from one OS thread, deterministically) or bound to a real
+/// OS thread via Vm::startMutator, in which case it also carries the
+/// thread's TLABs and its owner must reach safepoint polls (see DESIGN.md
+/// §5 and §13). Either way, a MutatorThread is touched by exactly one OS
+/// thread at a time outside a stop-the-world pause.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,7 +23,9 @@
 #define GCASSERT_RUNTIME_MUTATORTHREAD_H
 
 #include "gcassert/heap/Object.h"
+#include "gcassert/heap/Tlab.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -105,11 +109,22 @@ public:
   void setRegionLog(std::vector<ObjRef> *Log) { RegionLog = Log; }
   /// @}
 
+  /// \name Thread-local allocation buffers
+  ///
+  /// The VM attaches a TlabSet when the active heap supports TLAB
+  /// allocation (mark-sweep with VmConfig::Tlab on); null otherwise. Only
+  /// the owning OS thread touches it outside a stop-the-world pause.
+  /// @{
+  TlabSet *tlabs() const { return Tlabs.get(); }
+  void setTlabs(std::unique_ptr<TlabSet> T) { Tlabs = std::move(T); }
+  /// @}
+
 private:
   uint32_t Id;
   std::string Name;
   std::vector<ObjRef> Handles;
   std::vector<ObjRef> *RegionLog = nullptr;
+  std::unique_ptr<TlabSet> Tlabs;
 };
 
 inline ObjRef Local::get() const {

@@ -1,0 +1,160 @@
+//===- gcassert/runtime/Safepoint.h - Stop-the-world protocol ---*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The poll-based stop-the-world safepoint protocol (DESIGN.md §13).
+///
+/// Mutators are real OS threads. Before the collector (and the assertion
+/// checks that piggyback on it) may touch the heap, every registered mutator
+/// must be parked at a well-defined point where it holds no raw object
+/// pointer mid-initialization. The protocol is the classic poll-based
+/// rendezvous:
+///
+///   * Each mutator polls a request flag at cheap poll sites (every
+///     Vm::allocate, plus explicit Vm::safepointPoll calls at loop edges).
+///     The disarmed cost is one relaxed load and a predicted branch.
+///   * A thread that wants the world stopped (any mutator whose allocation
+///     failed, or an explicit collectNow) acquires the GC lock, raises the
+///     flag, and waits until every *other* registered thread is either
+///     parked at a poll or inside a SafepointSafeScope (the "native /
+///     blocked" state: such threads promise not to touch the heap and are
+///     stopped by definition).
+///   * After the protected work, the requester lowers the flag, bumps the
+///     epoch, and wakes the parked threads — then waits for them to actually
+///     leave the park so back-to-back stops never observe stale counts.
+///
+/// The coordinator counts threads; it does not need their identities. The
+/// thread that constructs the Vm is attached implicitly ("the owner");
+/// threads started through Vm::startMutator attach on entry and detach on
+/// exit, and both operations wait out a pending stop so the registered set
+/// is stable while a rendezvous is forming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_RUNTIME_SAFEPOINT_H
+#define GCASSERT_RUNTIME_SAFEPOINT_H
+
+#include "gcassert/support/Compiler.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace gcassert {
+
+/// Coordinates stop-the-world pauses between registered mutator threads.
+/// One per Vm.
+class SafepointCoordinator {
+public:
+  SafepointCoordinator();
+  ~SafepointCoordinator();
+
+  SafepointCoordinator(const SafepointCoordinator &) = delete;
+  SafepointCoordinator &operator=(const SafepointCoordinator &) = delete;
+
+  /// The poll every mutator executes at allocation and loop-edge sites.
+  /// One relaxed load when no stop is pending.
+  void poll() {
+    if (GCA_UNLIKELY(Requested.load(std::memory_order_relaxed)))
+      parkSlow();
+  }
+
+  /// \name Requester side
+  /// @{
+
+  /// Stops the world: serializes with other requesters (polling while it
+  /// waits, so a losing requester still parks for the winner), raises the
+  /// request flag, and returns once every other registered thread is parked
+  /// or safe. Aborts with diagnostics if a mutator fails to reach a poll
+  /// within the rendezvous timeout (the "safepoint.timeout" failpoint
+  /// forces that path deterministically).
+  void beginStopTheWorld();
+
+  /// Resumes the world: lowers the flag, bumps the epoch, wakes parked
+  /// threads, and drains the park so the next rendezvous starts clean.
+  void endStopTheWorld();
+  /// @}
+
+  /// \name Thread registry
+  /// @{
+
+  /// Registers the calling OS thread as a mutator. Waits out a pending
+  /// stop first, so a forming rendezvous never misses a newcomer.
+  void attachCurrentThread();
+
+  /// Unregisters the calling OS thread. Legal while a stop is pending:
+  /// the exiting thread will never poll again, so it reports itself out of
+  /// the rendezvous instead of parking.
+  void detachCurrentThread();
+
+  /// Currently registered OS threads (the owner counts as one).
+  unsigned registeredCount() const;
+
+  /// Completed stop-the-world pauses.
+  uint64_t epoch() const;
+  /// @}
+
+private:
+  friend class SafepointSafeScope;
+
+  GCA_NOINLINE void parkSlow();
+  void enterSafe();
+  void leaveSafe();
+
+  /// Serializes requesters; held for the whole stop-the-world window.
+  std::mutex GcMutex;
+
+  /// Guards every count below plus Requested's transitions (the flag itself
+  /// is atomic only so poll() can read it without the lock).
+  mutable std::mutex Mu;
+  std::condition_variable CvParked;  ///< A thread parked/went safe/detached.
+  std::condition_variable CvResume;  ///< The world resumed.
+  std::condition_variable CvDrained; ///< The last parked thread left.
+
+  std::atomic<bool> Requested{false};
+  unsigned Registered = 1; ///< The constructing thread is the owner.
+  unsigned Parked = 0;     ///< Threads waiting inside parkSlow().
+  unsigned Safe = 0;       ///< Threads inside a SafepointSafeScope.
+  uint64_t Epoch = 0;
+};
+
+/// Marks the calling registered mutator as "safe" (will not touch the heap)
+/// for the scope's lifetime, so it does not block a stop-the-world pause —
+/// the mutator analog of a native-code transition. Required around any
+/// blocking operation, most importantly joining another mutator (the joined
+/// thread may need a GC to finish). Leaving the scope waits out a pending
+/// stop: a stopped world never regains a running mutator.
+class SafepointSafeScope {
+public:
+  explicit SafepointSafeScope(SafepointCoordinator &C) : C(C) { C.enterSafe(); }
+  ~SafepointSafeScope() { C.leaveSafe(); }
+
+  SafepointSafeScope(const SafepointSafeScope &) = delete;
+  SafepointSafeScope &operator=(const SafepointSafeScope &) = delete;
+
+private:
+  SafepointCoordinator &C;
+};
+
+/// RAII stop-the-world window.
+class StopTheWorldScope {
+public:
+  explicit StopTheWorldScope(SafepointCoordinator &C) : C(C) {
+    C.beginStopTheWorld();
+  }
+  ~StopTheWorldScope() { C.endStopTheWorld(); }
+
+  StopTheWorldScope(const StopTheWorldScope &) = delete;
+  StopTheWorldScope &operator=(const StopTheWorldScope &) = delete;
+
+private:
+  SafepointCoordinator &C;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_RUNTIME_SAFEPOINT_H

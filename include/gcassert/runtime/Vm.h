@@ -16,15 +16,20 @@
 #define GCASSERT_RUNTIME_VM_H
 
 #include "gcassert/gc/Collector.h"
+#include "gcassert/heap/FreeListHeap.h"
 #include "gcassert/heap/Heap.h"
 #include "gcassert/runtime/MutatorThread.h"
+#include "gcassert/runtime/Safepoint.h"
 #include "gcassert/support/Compiler.h"
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/FaultInjection.h"
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace gcassert {
@@ -70,10 +75,50 @@ struct VmConfig {
   /// Out-of-memory policy; see OomPolicy (changeable later with
   /// Vm::setOomPolicy).
   OomPolicy OnOom = OomPolicy::Abort;
+  /// Thread-local allocation buffers for the mark-sweep heap: per-thread
+  /// bump allocation refilled in batches from the shared free lists, so
+  /// concurrent mutators do not serialize on the heap lock per object.
+  /// Ignored by the other collectors (their heaps are single bump pointers
+  /// already; they take one lock per allocation instead) and by the
+  /// hardened modes (hardening validates every free-list pop — exactly
+  /// what a batched refill would skip).
+  bool Tlab = true;
+  /// Per-(thread, size class) TLAB ceiling; adaptive sizing grows each
+  /// class's buffer from TlabSet::MinBytes toward this on every refill and
+  /// shrinks it again when a safepoint retires a mostly-unused buffer.
+  size_t TlabMaxBytes = TlabSet::DefaultMaxBytes;
 };
 
 /// A stable global root slot, releasable by id.
 using GlobalRootId = uint32_t;
+
+class Vm;
+
+/// Owns one OS mutator thread started with Vm::startMutator. join() marks
+/// the calling thread safe (SafepointSafeScope) while it waits, so a
+/// collection the joined mutator needs to finish can still stop the world.
+/// Destruction joins.
+class MutatorHandle {
+public:
+  MutatorHandle() = default;
+  MutatorHandle(MutatorHandle &&) = default;
+  MutatorHandle &operator=(MutatorHandle &&) = default;
+  ~MutatorHandle() { join(); }
+
+  /// Waits for the mutator to finish. Safe to call from any registered
+  /// mutator thread; no-op when already joined.
+  void join();
+
+  bool joinable() const { return Thread.joinable(); }
+
+private:
+  friend class Vm;
+  MutatorHandle(Vm *Owner, std::thread T)
+      : Owner(Owner), Thread(std::move(T)) {}
+
+  Vm *Owner = nullptr;
+  std::thread Thread;
+};
 
 /// The virtual machine: heap + collector + threads + roots.
 class Vm : public RootProvider {
@@ -88,13 +133,39 @@ public:
 
   /// \name Threads
   /// @{
-  MutatorThread &mainThread() { return *Threads.front(); }
+  MutatorThread &mainThread() { return *Main; }
 
-  /// Creates a new logical mutator thread owned by the VM.
+  /// Creates a new logical mutator thread owned by the VM. Thread-safe.
   MutatorThread &spawnThread(const std::string &Name);
 
-  /// Calls \p Fn for every thread.
+  /// Calls \p Fn for every thread. Thread-safe against concurrent
+  /// spawnThread/startMutator; \p Fn must not spawn threads itself.
   void forEachThread(const std::function<void(MutatorThread &)> &Fn);
+
+  /// Starts a real OS mutator thread: spawns a MutatorThread context,
+  /// registers the OS thread with the safepoint protocol, and runs \p Body
+  /// on it. The body must allocate only through Vm::allocate (a poll site)
+  /// and call safepointPoll() inside any long allocation-free loop.
+  MutatorHandle startMutator(const std::string &Name,
+                             std::function<void(Vm &, MutatorThread &)> Body);
+
+  /// Starts \p N mutators running \p Body and joins them all.
+  void runMutators(unsigned N, const std::string &NamePrefix,
+                   std::function<void(Vm &, MutatorThread &)> Body);
+  /// @}
+
+  /// \name Safepoints
+  /// @{
+  SafepointCoordinator &safepoints() { return Safepoints; }
+
+  /// Explicit poll site for allocation-free loops.
+  void safepointPoll() { Safepoints.poll(); }
+
+  /// Stops the world (every registered mutator parked at a poll or inside
+  /// a safe scope), runs \p Fn, resumes. This is how the collectors get
+  /// their stop-the-world window; tools that need a consistent heap view
+  /// (snapshots, verification outside a GC) use it too. Not reentrant.
+  void stopTheWorldAndRun(const std::function<void()> &Fn);
   /// @}
 
   /// \name Allocation
@@ -108,7 +179,14 @@ public:
   /// (the default) the process aborts with crash diagnostics instead.
   /// Array types require \p ArrayLength.
   ObjRef allocate(MutatorThread &Thread, TypeId Id, uint64_t ArrayLength = 0) {
-    ObjRef Obj = TheHeap->allocate(Id, ArrayLength);
+    Safepoints.poll();
+    // TLAB fast path (mark-sweep only): a pure bump in this thread's
+    // buffer, no lock taken. Everything else funnels through the heap's
+    // own (internally locked) allocate.
+    ObjRef Obj = TlabHeap
+                     ? TlabHeap->allocateWithTlab(*Thread.tlabs(), Id,
+                                                  ArrayLength)
+                     : TheHeap->allocate(Id, ArrayLength);
     if (GCA_UNLIKELY(!Obj))
       Obj = allocateSlowPath(Id, ArrayLength);
     // "corrupt.header" / "corrupt.ref" simulate the memory errors the
@@ -127,7 +205,9 @@ public:
   }
 
   /// Installs an observer for every successful allocation (used by the
-  /// heuristic leak detectors; null to remove).
+  /// heuristic leak detectors; null to remove). With concurrent mutators
+  /// the listener runs on every allocating thread and must synchronize its
+  /// own state.
   void setAllocationListener(std::function<void(ObjRef)> Listener);
   /// @}
 
@@ -186,18 +266,34 @@ private:
   GCA_NOINLINE void injectHeaderCorruption(ObjRef Obj);
   GCA_NOINLINE void injectRefCorruption(ObjRef Obj);
   /// All collections funnel through here so PostGcCallback fires on every
-  /// completed cycle.
+  /// completed cycle. Callers hold the stop-the-world window.
   void runCollectorCycle(const char *Cause);
+  /// Retires every thread's TLABs (and the heap's partially-carved TLAB
+  /// blocks) so the sweep sees a parseable heap. Stop-the-world only.
+  void retireAllTlabs();
   void notifyMemoryPressure(MemoryPressure Pressure);
   void dumpCrashDiagnostics();
 
   TypeRegistry Types;
   CollectorKind Kind;
+  SafepointCoordinator Safepoints;
   std::unique_ptr<Heap> TheHeap;
+  /// Non-null only for MarkSweep with VmConfig::Tlab: TheHeap, downcast
+  /// once so the inline fast path skips the virtual dispatch too.
+  FreeListHeap *TlabHeap = nullptr;
+  size_t TlabMaxBytes = 0;
   std::unique_ptr<Collector> TheCollector;
   std::unique_ptr<HeapHardening> Hard;
   std::function<void()> PostGcCallback;
+  /// Guards every access to Threads: spawning threads races with the
+  /// collection-side walks because the spawner is not yet a registered
+  /// mutator (stopping the world does not park it). Leaf lock — never
+  /// allocate or wait on a safepoint while holding it.
+  std::mutex ThreadsMutex;
   std::vector<std::unique_ptr<MutatorThread>> Threads;
+  /// Threads.front(), cached so mainThread() does not touch the vector
+  /// (whose slots move when a concurrent spawnThread reallocates it).
+  MutatorThread *Main = nullptr;
   std::vector<ObjRef> GlobalRoots;
   std::vector<GlobalRootId> FreeGlobalSlots;
   bool HasAllocListener = false;

@@ -179,6 +179,8 @@ extern Failpoint CorruptRef;        ///< "corrupt.ref"
 extern Failpoint CorruptFreeCell;   ///< "corrupt.freelist"
 extern Failpoint CorruptFreeLink;   ///< "corrupt.freelist.link"
 extern Failpoint CorruptRemSet;     ///< "corrupt.remset"
+extern Failpoint TlabRefill;        ///< "tlab.refill"
+extern Failpoint SafepointTimeout;  ///< "safepoint.timeout"
 } // namespace faults
 
 } // namespace gcassert

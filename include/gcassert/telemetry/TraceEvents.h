@@ -72,11 +72,19 @@ enum class EventKind : uint8_t {
   FailpointTrip,
   /// Instant: an assertion violation was emitted (arg: AssertionKind).
   Violation,
+  /// One OS mutator thread's whole body (arg: mutator thread id). Gives
+  /// every concurrent mutator its own lane next to the GC worker lanes.
+  Mutator,
+  /// A mutator parked at a safepoint poll, waiting out a pause.
+  SafepointPark,
+  /// The stop-the-world window, on the requesting thread's lane (arg:
+  /// safepoint epoch).
+  SafepointStw,
 };
 
 /// Number of distinct EventKind values (for per-kind tables).
 inline constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::Violation) + 1;
+    static_cast<size_t>(EventKind::SafepointStw) + 1;
 
 /// Stable lower-case name for \p Kind (the exported span name).
 const char *eventKindName(EventKind Kind);

@@ -53,6 +53,11 @@ struct HarnessOptions {
   /// GC worker threads (GcConfig::Threads): >1 enables parallel marking and
   /// sweeping for the mark-sweep family.
   unsigned GcThreads = 1;
+  /// Total mutator threads. The workload always runs on the main thread;
+  /// each additional thread is a real OS churn mutator allocating
+  /// continuously (bounded live set) through the whole warmup + measured
+  /// window, so the timings include safepoint and allocation contention.
+  unsigned MutatorThreads = 1;
   /// Hardened heap mode (GcConfig::Hardening): Check stamps header
   /// checksums and validates every traced edge; Full adds pointer
   /// plausibility and post-cycle structural audits.

@@ -21,7 +21,8 @@ std::vector<RunConfig> gcassert::fuzz::buildMatrix(MatrixKind Kind) {
       for (unsigned Threads : {1u, 2u, 4u})
         for (HardeningMode Hardening :
              {HardeningMode::Off, HardeningMode::Check})
-          Matrix.push_back({Collector, Threads, Hardening});
+          for (unsigned Mutators : {1u, 4u})
+            Matrix.push_back({Collector, Threads, Hardening, Mutators});
     break;
   case MatrixKind::Quick:
     for (CollectorKind Collector : Collectors)

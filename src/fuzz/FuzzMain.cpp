@@ -38,11 +38,23 @@ struct Options {
   uint64_t BaseSeed = 1;
   uint64_t TargetOps = 96;
   uint64_t TimeBudgetSecs = 0;
+  uint64_t Mutators = 0;
   MatrixKind Matrix = MatrixKind::Full;
   std::string Replay;
   std::string ArtifactDir;
   bool DemoDivergence = false;
 };
+
+/// --mutators=N pins every matrix cell to N mutator threads (the TSan CI
+/// smoke leg uses this to force concurrency through a quick matrix). 0
+/// keeps each matrix's own axis.
+std::vector<RunConfig> buildMatrixWithOverride(const Options &Opts) {
+  std::vector<RunConfig> Matrix = buildMatrix(Opts.Matrix);
+  if (Opts.Mutators)
+    for (RunConfig &Config : Matrix)
+      Config.MutatorThreads = static_cast<unsigned>(Opts.Mutators);
+  return Matrix;
+}
 
 void printUsage() {
   outs() << "usage: gcassert-fuzz [options]\n"
@@ -51,6 +63,10 @@ void printUsage() {
             "(default 1)\n"
             "  --ops=N            generator ops per trace (default 96)\n"
             "  --matrix=M         full | quick | hardened (default full)\n"
+            "  --mutators=N       pin every config to N mutator threads "
+            "(default: the\n"
+            "                     matrix's own {1,4} axis; hardened replay "
+            "ignores this)\n"
             "  --time-budget-secs=N  stop the campaign after N seconds even "
             "if traces\n"
             "                     remain (0 = no budget; nightly CI uses "
@@ -135,7 +151,7 @@ int runReplay(const Options &Opts) {
     errs() << "bad replay spec: " << Error << "\n";
     return 2;
   }
-  std::vector<RunConfig> Matrix = buildMatrix(Opts.Matrix);
+  std::vector<RunConfig> Matrix = buildMatrixWithOverride(Opts);
   DiffReport Report = runDifferential(Program, Matrix);
   outs() << "replayed " << Program.replaySpec()
          << format(" (%llu ops) over %llu configs\n",
@@ -176,7 +192,7 @@ int runDemoDivergence(const Options &Opts) {
 }
 
 int runCampaign(const Options &Opts) {
-  std::vector<RunConfig> Matrix = buildMatrix(Opts.Matrix);
+  std::vector<RunConfig> Matrix = buildMatrixWithOverride(Opts);
   outs() << format("fuzzing %llu traces (seeds %llu..%llu, %llu ops each) "
                    "over %llu configs\n",
                    static_cast<unsigned long long>(Opts.Traces),
@@ -263,6 +279,7 @@ int main(int argc, char **argv) {
     if (parseValue(Arg, "--traces", Opts.Traces) ||
         parseValue(Arg, "--seed", Opts.BaseSeed) ||
         parseValue(Arg, "--ops", Opts.TargetOps) ||
+        parseValue(Arg, "--mutators", Opts.Mutators) ||
         parseValue(Arg, "--time-budget-secs", Opts.TimeBudgetSecs))
       continue;
     errs() << "unknown argument: " << Arg << "\n";

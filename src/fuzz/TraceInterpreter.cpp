@@ -18,6 +18,8 @@
 #include "gcassert/support/Format.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 using namespace gcassert;
 using namespace gcassert::fuzz;
@@ -38,10 +40,11 @@ std::string gcassert::fuzz::describeRunConfig(const RunConfig &Config) {
     Collector = "generational";
     break;
   }
-  return format("%s/t%u/%s", Collector, Config.Threads,
+  return format("%s/t%u/%s/m%u", Collector, Config.Threads,
                 Config.Hardening == HardeningMode::Off     ? "off"
                 : Config.Hardening == HardeningMode::Check ? "check"
-                                                           : "full");
+                                                           : "full",
+                Config.MutatorThreads);
 }
 
 namespace {
@@ -52,10 +55,21 @@ namespace {
 /// nursery) so no implicit collection can fire for generated programs.
 constexpr size_t FuzzHeapBytes = 8u << 20;
 
+/// Churn-mutator sizing. The budget must be small enough that even every
+/// churn thread's whole output landing between two Collect ops cannot
+/// trigger an implicit collection in any heap organization (the tightest
+/// is the generational nursery: ~1 MiB at FuzzHeapBytes). 256 objects of a
+/// 16-byte data array is ~10 KiB per thread; the ring keeps the newest 16
+/// alive so root scanning and (for moving collectors) handle updates are
+/// exercised too.
+constexpr unsigned ChurnBudget = 256;
+constexpr unsigned ChurnRingSlots = 16;
+constexpr uint64_t ChurnArrayLength = 16;
+
 class Interpreter {
 public:
   Interpreter(const TraceProgram &Program, const RunConfig &Config)
-      : Program(Program) {
+      : Program(Program), MutatorThreads(Config.MutatorThreads) {
     VmConfig VC;
     VC.HeapBytes = FuzzHeapBytes;
     VC.Collector = Config.Collector;
@@ -66,6 +80,10 @@ public:
     VC.OnOom = OomPolicy::ReturnNull;
     TheVm.emplace(VC);
     Types = registerFuzzTypes(TheVm->types());
+    // The churn mutators allocate a type the oracle and the snapshots do
+    // not know (indexOf == NumFuzzTypes filters it everywhere), so their
+    // concurrent allocation cannot perturb the differential result.
+    ChurnType = TheVm->types().registerDataArray("fuzz.churn", 1);
     for (unsigned I = 0; I != SlotCount; ++I)
       Roots[I] = TheVm->addGlobalRoot();
     Engine.emplace(*TheVm, &Sink);
@@ -78,16 +96,49 @@ public:
   }
 
   RunResult run() {
+    std::vector<MutatorHandle> Churn;
+    for (unsigned I = 1; I < MutatorThreads; ++I)
+      Churn.push_back(TheVm->startMutator(
+          format("churn-%u", I),
+          [this](Vm &V, MutatorThread &T) { churnBody(V, T); }));
     for (const TraceOp &Op : Program.Ops) {
       step(Op);
       if (!Result.Valid)
         break;
     }
+    StopChurn.store(true, std::memory_order_relaxed);
+    for (MutatorHandle &H : Churn)
+      H.join();
     finish();
     return std::move(Result);
   }
 
 private:
+  /// Body of one churn mutator: allocates its budget of oracle-invisible
+  /// arrays through the full Vm::allocate path (poll site, TLAB fast path,
+  /// slow-path safepoints), keeping the newest ChurnRingSlots alive in
+  /// handles, then poll-spins until the trace finishes so collections keep
+  /// finding a registered concurrent mutator to rendezvous with.
+  void churnBody(Vm &V, MutatorThread &T) {
+    HandleScope Scope(T);
+    Local Ring[ChurnRingSlots];
+    for (Local &L : Ring)
+      L = Scope.handle();
+    unsigned Allocated = 0;
+    while (!StopChurn.load(std::memory_order_relaxed)) {
+      if (Allocated < ChurnBudget) {
+        ObjRef Obj = V.allocate(T, ChurnType, ChurnArrayLength);
+        if (!Obj)
+          return; // The main thread flags the run invalid via the OOM count.
+        Ring[Allocated % ChurnRingSlots].set(Obj);
+        ++Allocated;
+      } else {
+        V.safepointPoll();
+        std::this_thread::yield();
+      }
+    }
+  }
+
   ObjRef root(uint8_t Slot) {
     return TheVm->globalRoot(Roots[Slot % SlotCount]);
   }
@@ -213,7 +264,14 @@ private:
     case OpKind::Collect:
       TheVm->collectNow("fuzz trace");
       ++Result.CollectOps;
-      snapshot();
+      // The snapshot walk needs a parseable, quiescent heap; with churn
+      // mutators running it must happen inside its own stop-the-world
+      // window (whatever churn lands between the collection and the walk
+      // is filtered out by type anyway).
+      if (MutatorThreads > 1)
+        TheVm->stopTheWorldAndRun([this] { snapshot(); });
+      else
+        snapshot();
       break;
     case OpKind::AssertDead:
       if (ObjRef Obj = root(Op.A))
@@ -299,10 +357,13 @@ private:
   }
 
   const TraceProgram &Program;
+  unsigned MutatorThreads;
   std::optional<Vm> TheVm;
   std::optional<AssertionEngine> Engine;
   RecordingViolationSink Sink;
   FuzzTypeSet Types;
+  TypeId ChurnType = 0;
+  std::atomic<bool> StopChurn{false};
   GlobalRootId Roots[SlotCount] = {};
   uint64_t Serial = 0;
   unsigned RegionDepth = 0;

@@ -27,6 +27,7 @@ CompactHeap::CompactHeap(TypeRegistry &Types, const CompactHeapConfig &Config)
 
 ObjRef CompactHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
+  std::lock_guard<std::mutex> L(AllocMutex);
   if (GCA_UNLIKELY(Bump + Size > Storage.get() + CapacityBytes)) {
     LastAllocFailure = AllocFailureKind::HeapFull;
     return nullptr;

@@ -23,54 +23,18 @@ using namespace gcassert;
 
 Heap::~Heap() = default;
 
-namespace {
+// The size-class table lives in heap/SizeClasses.h (shared with the TLAB
+// bins, which must agree on the class geometry).
+using sizeclasses::MaxSmallSize;
 
-/// The segregated-fit size classes: fine-grained steps for small objects,
-/// coarser steps up to 8 KiB. Larger requests go to the large-object space.
-constexpr size_t MaxSmallSize = 8192;
-
-struct SizeClassTable {
-  std::vector<size_t> CellSizes;
-  /// Maps (size + 7) / 8 to a class index, for size in [1, MaxSmallSize].
-  std::vector<uint32_t> ClassForWord;
-
-  SizeClassTable() {
-    for (size_t S = 16; S <= 128; S += 8)
-      CellSizes.push_back(S);
-    for (size_t S = 160; S <= 512; S += 32)
-      CellSizes.push_back(S);
-    for (size_t S = 640; S <= 2048; S += 128)
-      CellSizes.push_back(S);
-    for (size_t S = 2560; S <= MaxSmallSize; S += 512)
-      CellSizes.push_back(S);
-
-    ClassForWord.resize(MaxSmallSize / 8 + 1);
-    uint32_t Class = 0;
-    for (size_t Words = 0; Words <= MaxSmallSize / 8; ++Words) {
-      size_t Size = Words * 8;
-      while (CellSizes[Class] < Size)
-        ++Class;
-      ClassForWord[Words] = Class;
-    }
-  }
-
-  uint32_t classFor(size_t Size) const {
-    assert(Size > 0 && Size <= MaxSmallSize && "not a small allocation");
-    return ClassForWord[(Size + 7) / 8];
-  }
-};
-
-const SizeClassTable &sizeClasses() {
-  static SizeClassTable Table;
-  return Table;
+static const sizeclasses::SizeClassTable &sizeClasses() {
+  return sizeclasses::table();
 }
-
-} // namespace
 
 size_t FreeListHeap::sizeClassCellSize(size_t Bytes) {
   if (Bytes > MaxSmallSize)
     return 0;
-  const SizeClassTable &Table = sizeClasses();
+  const sizeclasses::SizeClassTable &Table = sizeClasses();
   return Table.CellSizes[Table.classFor(Bytes)];
 }
 
@@ -98,6 +62,7 @@ FreeListHeap::FreeListHeap(TypeRegistry &Types,
   for (size_t I = BlockCount; I != 0; --I)
     FreeBlocks.push_back(I - 1);
   FreeLists.assign(sizeClasses().CellSizes.size(), nullptr);
+  TlabBlocks.assign(sizeClasses().CellSizes.size(), TlabBlock());
   // The large-object space is a bounded overflow area on top of the arena.
   LargeBudget = ArenaBytes / 4;
   Stats.BytesCapacity = ArenaBytes + LargeBudget;
@@ -192,52 +157,169 @@ ObjRef FreeListHeap::allocateSmall(size_t CellSize, uint32_t ClassIndex) {
   }
 }
 
-ObjRef FreeListHeap::allocateLarge(size_t Size) {
-  if (LargeBytesInUse + Size > LargeBudget)
-    return nullptr;
+ObjRef FreeListHeap::allocateLarge(TypeId Id, uint64_t ArrayLength,
+                                   size_t Size) {
+  // CAS-claim the budget so concurrent large allocations never serialize
+  // on the allocation mutex for admission, and the (possibly slow) host
+  // allocation below runs outside every lock.
+  size_t Cur = LargeBytesInUse.load(std::memory_order_relaxed);
+  do {
+    if (Cur + Size > LargeBudget) {
+      LastAllocFailure = AllocFailureKind::HeapFull;
+      return nullptr;
+    }
+  } while (!LargeBytesInUse.compare_exchange_weak(
+      Cur, Cur + Size, std::memory_order_relaxed));
+
   void *Storage = GCA_UNLIKELY(faults::HeapHostAlloc.shouldFail())
                       ? nullptr
                       : std::calloc(1, Size);
   if (!Storage) {
-    // Not fatal: report the failure kind and let the cascade retry after
-    // collections free large objects (sweepLargeObjects returns their
-    // storage to the host allocator).
+    // Not fatal: return the claimed budget, report the failure kind and
+    // let the cascade retry after collections free large objects
+    // (sweepLargeObjects returns their storage to the host allocator).
+    LargeBytesInUse.fetch_sub(Size, std::memory_order_relaxed);
     LastAllocFailure = AllocFailureKind::HostAllocFailed;
     return nullptr;
   }
-  LargeObjects.push_back({Storage, Size});
-  LargeObjectSet.insert(Storage);
-  LargeBytesInUse += Size;
-  Stats.BytesAllocated += Size;
-  Stats.BytesInUse += Size;
-  ++Stats.ObjectsAllocated;
-  return reinterpret_cast<ObjRef>(Storage);
+  {
+    std::lock_guard<std::mutex> L(AllocMutex);
+    LargeObjects.push_back({Storage, Size});
+    LargeObjectSet.insert(Storage);
+    Stats.BytesAllocated += Size;
+    Stats.BytesInUse += Size;
+    ++Stats.ObjectsAllocated;
+  }
+  LastAllocFailure = AllocFailureKind::None;
+  return finishObject(static_cast<uint8_t *>(Storage), Id, ArrayLength);
 }
 
 ObjRef FreeListHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   size_t Size = Types.allocationSize(Id, ArrayLength);
+  if (GCA_UNLIKELY(Size > MaxSmallSize))
+    return allocateLarge(Id, ArrayLength, Size);
+
   ObjRef Obj;
-  // allocateLarge refines this to HostAllocFailed when the host, not the
-  // budget, is what failed.
-  LastAllocFailure = AllocFailureKind::HeapFull;
-  if (GCA_LIKELY(Size <= MaxSmallSize)) {
+  {
+    std::lock_guard<std::mutex> L(AllocMutex);
     uint32_t ClassIndex = sizeClasses().classFor(Size);
     Obj = allocateSmall(sizeClasses().CellSizes[ClassIndex], ClassIndex);
-  } else {
-    Obj = allocateLarge(Size);
   }
-  if (GCA_UNLIKELY(!Obj))
+  if (GCA_UNLIKELY(!Obj)) {
+    LastAllocFailure = AllocFailureKind::HeapFull;
     return nullptr;
+  }
   LastAllocFailure = AllocFailureKind::None;
+  return finishObject(reinterpret_cast<uint8_t *>(Obj), Id, ArrayLength);
+}
 
-  Obj->header().Type = Id;
-  Obj->header().Flags = 0;
-  const TypeInfo &Type = Types.get(Id);
-  if (Type.isArray())
-    Obj->setArrayLength(ArrayLength);
-  if (GCA_UNLIKELY(Hard != nullptr))
-    Hard->stampObject(Obj, Type.isArray() ? ArrayLength : 0);
-  return Obj;
+bool FreeListHeap::carveTlabBlock(uint32_t ClassIndex) {
+  // Like carveBlock, but the cells become a heap-owned bump region instead
+  // of free-list entries: headers are stamped free and the poison laid
+  // down, yet no links are threaded — refills slice contiguous runs off
+  // the region, and the sweep re-threads whatever was never handed out.
+  if (FreeBlocks.empty() || GCA_UNLIKELY(faults::HeapBlockAcquire.shouldFail()))
+    return false;
+  size_t BlockIndex = FreeBlocks.back();
+  FreeBlocks.pop_back();
+  Blocks[BlockIndex].SizeClass = ClassIndex;
+
+  size_t CellSize = sizeClasses().CellSizes[ClassIndex];
+  uint8_t *Base = blockBase(BlockIndex);
+  size_t CellCount = BlockSize / CellSize;
+  for (size_t I = 0; I != CellCount; ++I) {
+    uint8_t *Cell = Base + I * CellSize;
+    auto *Hdr = reinterpret_cast<ObjectHeader *>(Cell);
+    Hdr->Type = InvalidTypeId;
+    Hdr->Flags = 0;
+    if (GCA_UNLIKELY(Hard != nullptr) && CellSize > PoisonOffset)
+      HeapHardening::poisonRange(Cell + PoisonOffset, poisonSpan(CellSize));
+  }
+  TlabBlocks[ClassIndex] = {Base, Base + CellCount * CellSize};
+  return true;
+}
+
+void FreeListHeap::flushTlabStats(TlabSet &T) {
+  Stats.BytesAllocated += T.PendingBytes;
+  Stats.BytesInUse += T.PendingBytes;
+  Stats.ObjectsAllocated += T.PendingObjects;
+  T.PendingBytes = 0;
+  T.PendingObjects = 0;
+}
+
+bool FreeListHeap::refillTlab(TlabSet &T, uint32_t ClassIndex) {
+  std::lock_guard<std::mutex> L(AllocMutex);
+  flushTlabStats(T);
+  // "tlab.refill" simulates the refill finding no memory — the same
+  // observable failure as genuine exhaustion, so the TLAB leg of the
+  // emergency cascade can be driven deterministically.
+  if (GCA_UNLIKELY(faults::TlabRefill.shouldFail()))
+    return false;
+
+  size_t CellSize = sizeClasses().CellSizes[ClassIndex];
+  size_t WantCells = std::max<size_t>(1, T.desiredBytes(ClassIndex) / CellSize);
+  T.noteRefill(ClassIndex);
+  TlabBin &Bin = T.bin(ClassIndex);
+
+  // Recycled cells first: detach a batch from the shared free list into
+  // the bin's private chain. Keeps fragmentation behavior close to the
+  // shared path (fresh blocks are carved only when nothing is free).
+  size_t Got = 0;
+  while (Got < WantCells && FreeLists[ClassIndex]) {
+    uint8_t *Cell = static_cast<uint8_t *>(FreeLists[ClassIndex]);
+    void *Next;
+    std::memcpy(&Next, Cell + sizeof(ObjectHeader), sizeof(void *));
+    FreeLists[ClassIndex] = Next;
+    std::memcpy(Cell + sizeof(ObjectHeader), &Bin.LocalFree, sizeof(void *));
+    Bin.LocalFree = Cell;
+    ++Got;
+  }
+  if (Got)
+    return true;
+
+  // Else slice a bump run off the class's TLAB block, carving a new block
+  // when the current one is spent.
+  TlabBlock &Block = TlabBlocks[ClassIndex];
+  if (Block.Cur == Block.End && !carveTlabBlock(ClassIndex))
+    return false;
+  size_t Avail = static_cast<size_t>(Block.End - Block.Cur) / CellSize;
+  size_t Take = std::min(WantCells, Avail);
+  Bin.BumpCur = Block.Cur;
+  Bin.BumpEnd = Block.Cur + Take * CellSize;
+  Block.Cur = Bin.BumpEnd;
+  return true;
+}
+
+void FreeListHeap::retireTlab(TlabSet &T) {
+  std::lock_guard<std::mutex> L(AllocMutex);
+  flushTlabStats(T);
+  T.retireBins();
+}
+
+void FreeListHeap::dropTlabBlocks() {
+  std::lock_guard<std::mutex> L(AllocMutex);
+  for (TlabBlock &Block : TlabBlocks)
+    Block = TlabBlock();
+}
+
+bool FreeListHeap::tlabCellClean(uint8_t *Cell, size_t CellSize,
+                                 uint32_t ClassIndex) {
+  if (CellSize <= PoisonOffset)
+    return true;
+  std::optional<size_t> Damage = HeapHardening::findPoisonDamage(
+      Cell + PoisonOffset, CellSize - PoisonOffset);
+  if (GCA_LIKELY(!Damage))
+    return true;
+  // Someone wrote through a dangling pointer into this free cell.
+  // Quarantine it (it is never reused) and have the caller take another.
+  HeapDefect D;
+  D.Obj = reinterpret_cast<ObjRef>(Cell);
+  D.Kind = DefectKind::PoisonDamage;
+  D.Description =
+      format("tlab cell %p (class %u) poison damaged at offset %zu",
+             static_cast<void *>(Cell), ClassIndex, PoisonOffset + *Damage);
+  Hard->reportDefect(std::move(D));
+  return false;
 }
 
 bool FreeListHeap::sweepCarvedBlock(size_t BlockIndex, size_t CellSize,
@@ -408,6 +490,10 @@ size_t FreeListHeap::sweep(WorkerPool *Pool) {
   uint64_t LiveBytes = 0;
 
   std::fill(FreeLists.begin(), FreeLists.end(), nullptr);
+  // Defensive for heap-direct tests that sweep without the Vm's retire
+  // pass: any outstanding bump regions become plain free cells below.
+  for (TlabBlock &Block : TlabBlocks)
+    Block = TlabBlock();
 
   if (Pool && Pool->workerCount() > 1)
     sweepBlocksParallel(*Pool, Reclaimed, LiveBytes);
@@ -415,7 +501,7 @@ size_t FreeListHeap::sweep(WorkerPool *Pool) {
     sweepBlocksSequential(Reclaimed, LiveBytes);
 
   sweepLargeObjects(Reclaimed);
-  LiveBytes += LargeBytesInUse;
+  LiveBytes += LargeBytesInUse.load(std::memory_order_relaxed);
 
   LiveBytesAfterSweep = LiveBytes;
   Stats.BytesInUse = LiveBytes;
@@ -440,7 +526,7 @@ void FreeListHeap::sweepLargeObjects(size_t &Reclaimed) {
       continue;
     }
     Reclaimed += Large.Size;
-    LargeBytesInUse -= Large.Size;
+    LargeBytesInUse.fetch_sub(Large.Size, std::memory_order_relaxed);
     LargeObjectSet.erase(Large.Storage);
     // Poison before returning to the host so dangling reads surface as
     // poison, not as stale-but-plausible object bytes.

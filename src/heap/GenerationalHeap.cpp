@@ -67,6 +67,7 @@ ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   // in the old generation (pretenuring large arrays, the usual policy).
   if (GCA_UNLIKELY(Size > NurseryBytes / 4)) {
     ObjRef Pretenured = OldGen->allocate(Id, ArrayLength);
+    std::lock_guard<std::mutex> L(AllocMutex);
     if (Pretenured) {
       Stats.BytesAllocated += Size;
       ++Stats.ObjectsAllocated;
@@ -77,6 +78,7 @@ ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
     return Pretenured;
   }
 
+  std::lock_guard<std::mutex> L(AllocMutex);
   ObjRef Obj = allocateInNursery(Size);
   if (GCA_UNLIKELY(!Obj)) {
     // Nursery full: the VM runs a (minor) collection.
@@ -103,6 +105,7 @@ ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
 
 void GenerationalHeap::recordStore(Object *Holder, Object *Value) {
   if (inNursery(Value) && !inNursery(Holder)) {
+    std::lock_guard<std::mutex> L(RemSetMutex);
     RememberedSet.insert(Holder);
     // "corrupt.remset" slips an interior pointer into the remembered set —
     // the kind of entry a buggy barrier would record. It points into the

@@ -32,6 +32,7 @@ SemiSpaceHeap::SemiSpaceHeap(TypeRegistry &Types,
 
 ObjRef SemiSpaceHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   size_t Size = alignUp(Types.allocationSize(Id, ArrayLength));
+  std::lock_guard<std::mutex> L(AllocMutex);
   if (GCA_UNLIKELY(Bump + Size > Limit)) {
     LastAllocFailure = AllocFailureKind::HeapFull;
     return nullptr;

@@ -1,0 +1,145 @@
+//===- Safepoint.cpp - Stop-the-world protocol -------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/runtime/Safepoint.h"
+
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/FaultInjection.h"
+#include "gcassert/support/OStream.h"
+#include "gcassert/telemetry/TraceEvents.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace gcassert;
+
+/// How long a rendezvous may wait for the last mutator before the process
+/// aborts. A mutator that stays away this long is not slow, it is stuck —
+/// a poll-free loop or a deadlock — and waiting longer only converts a
+/// diagnosable hang into a silent one. Generous because sanitizer builds
+/// run an order of magnitude slower than release.
+static constexpr std::chrono::seconds RendezvousTimeout(60);
+
+SafepointCoordinator::SafepointCoordinator() = default;
+
+SafepointCoordinator::~SafepointCoordinator() {
+  assert(Registered == 1 &&
+         "Vm destroyed while mutator threads are still attached");
+}
+
+void SafepointCoordinator::beginStopTheWorld() {
+  // Requesters serialize on GcMutex, but a losing requester must keep
+  // polling while it waits: the winner's rendezvous counts this thread,
+  // and a blocking lock() here would deadlock the pause.
+  while (!GcMutex.try_lock()) {
+    poll();
+    std::this_thread::yield();
+  }
+
+  std::unique_lock<std::mutex> L(Mu);
+  assert(!Requested.load(std::memory_order_relaxed) &&
+         "nested stop-the-world request");
+  Requested.store(true, std::memory_order_relaxed);
+  telemetry::begin(telemetry::EventKind::SafepointStw, Epoch);
+
+  // "safepoint.timeout" simulates a mutator that never reaches a poll, so
+  // the abort diagnostics can be exercised deterministically (the real
+  // timeout would need a genuinely wedged thread and a 60 s test).
+  bool TimedOut = faults::SafepointTimeout.shouldFail();
+  if (!TimedOut) {
+    auto Deadline = std::chrono::steady_clock::now() + RendezvousTimeout;
+    while (Parked + Safe != Registered - 1) {
+      if (CvParked.wait_until(L, Deadline) == std::cv_status::timeout &&
+          Parked + Safe != Registered - 1) {
+        TimedOut = true;
+        break;
+      }
+    }
+  }
+  if (GCA_UNLIKELY(TimedOut)) {
+    // Diagnostics before dying: how many threads the rendezvous was still
+    // missing. The crash-dump providers append the VM state.
+    errs() << "safepoint: rendezvous timed out with " << Parked << " parked + "
+           << Safe << " safe of " << (Registered - 1)
+           << " expected mutators\n";
+    reportFatalErrorWithDiagnostics(
+        "safepoint rendezvous timed out: a mutator thread failed to reach "
+        "a poll site");
+  }
+}
+
+void SafepointCoordinator::endStopTheWorld() {
+  std::unique_lock<std::mutex> L(Mu);
+  Requested.store(false, std::memory_order_relaxed);
+  ++Epoch;
+  CvResume.notify_all();
+  // Drain the park before the next requester can begin: a thread still
+  // inside parkSlow() from this pause must not be double-counted by the
+  // next rendezvous.
+  CvDrained.wait(L, [this] { return Parked == 0; });
+  telemetry::end(telemetry::EventKind::SafepointStw, Epoch);
+  L.unlock();
+  GcMutex.unlock();
+}
+
+void SafepointCoordinator::parkSlow() {
+  std::unique_lock<std::mutex> L(Mu);
+  // The flag may have dropped between the poll's relaxed load and here.
+  if (!Requested.load(std::memory_order_relaxed))
+    return;
+  telemetry::begin(telemetry::EventKind::SafepointPark);
+  ++Parked;
+  CvParked.notify_all();
+  uint64_t E = Epoch;
+  CvResume.wait(L, [this, E] { return Epoch != E; });
+  --Parked;
+  if (Parked == 0)
+    CvDrained.notify_all();
+  telemetry::end(telemetry::EventKind::SafepointPark);
+}
+
+void SafepointCoordinator::enterSafe() {
+  std::lock_guard<std::mutex> L(Mu);
+  ++Safe;
+  CvParked.notify_all();
+}
+
+void SafepointCoordinator::leaveSafe() {
+  std::unique_lock<std::mutex> L(Mu);
+  // A stopped world must not regain a running mutator mid-pause.
+  CvResume.wait(L,
+                [this] { return !Requested.load(std::memory_order_relaxed); });
+  --Safe;
+}
+
+void SafepointCoordinator::attachCurrentThread() {
+  std::unique_lock<std::mutex> L(Mu);
+  // Wait out a pending stop: the forming rendezvous counted the threads
+  // registered when it began, and a newcomer running managed code during
+  // the pause would race the collector.
+  CvResume.wait(L,
+                [this] { return !Requested.load(std::memory_order_relaxed); });
+  ++Registered;
+}
+
+void SafepointCoordinator::detachCurrentThread() {
+  std::lock_guard<std::mutex> L(Mu);
+  assert(Registered > 1 && "detach without attach");
+  --Registered;
+  // A pending rendezvous may be waiting on this thread; report it gone.
+  CvParked.notify_all();
+}
+
+unsigned SafepointCoordinator::registeredCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Registered;
+}
+
+uint64_t SafepointCoordinator::epoch() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Epoch;
+}

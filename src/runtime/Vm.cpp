@@ -18,6 +18,7 @@
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/FaultInjection.h"
 #include "gcassert/support/OStream.h"
+#include "gcassert/telemetry/TraceEvents.h"
 
 #include <mutex>
 
@@ -48,6 +49,11 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector), OnOom(Config.OnOom) {
     HeapConfig.CapacityBytes = Config.HeapBytes;
     auto Heap = std::make_unique<FreeListHeap>(Types, HeapConfig);
     TheCollector = std::make_unique<MarkSweepCollector>(*Heap, *this);
+    // Hardened modes stay on the shared path: its per-pop validation
+    // (poison reuse checks, link plausibility) is the point of hardening,
+    // and a batched TLAB refill would bypass it.
+    if (Config.Tlab && Config.Gc.Hardening == HardeningMode::Off)
+      TlabHeap = Heap.get();
     TheHeap = std::move(Heap);
     break;
   }
@@ -86,24 +92,93 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector), OnOom(Config.OnOom) {
     TheHeap->setHardening(Hard.get());
     TheCollector->setHardening(Hard.get());
   }
+  TlabMaxBytes = Config.TlabMaxBytes;
   Threads.push_back(std::make_unique<MutatorThread>(0, "main"));
+  if (TlabHeap)
+    Threads.back()->setTlabs(std::make_unique<TlabSet>(TlabMaxBytes));
+  Main = Threads.back().get();
   CrashDump.emplace("vm state", [this] { dumpCrashDiagnostics(); });
 }
 
 Vm::~Vm() = default;
 
 MutatorThread &Vm::spawnThread(const std::string &Name) {
+  std::lock_guard<std::mutex> L(ThreadsMutex);
   Threads.push_back(std::make_unique<MutatorThread>(
       static_cast<uint32_t>(Threads.size()), Name));
+  if (TlabHeap)
+    Threads.back()->setTlabs(std::make_unique<TlabSet>(TlabMaxBytes));
   return *Threads.back();
 }
 
+// Every walk over Threads takes ThreadsMutex: a thread calling
+// startMutator is not yet registered with the safepoint protocol when
+// spawnThread pushes into the vector, so stopping the world does not
+// serialize the push against a concurrent collection's walk. The mutex is
+// a leaf lock — spawnThread neither allocates from the GC heap nor waits
+// on a safepoint while holding it — so the walks cannot deadlock against
+// an attaching thread. Callbacks must not call spawnThread/startMutator.
 void Vm::forEachThread(const std::function<void(MutatorThread &)> &Fn) {
+  std::lock_guard<std::mutex> L(ThreadsMutex);
   for (auto &Thread : Threads)
     Fn(*Thread);
 }
 
+MutatorHandle Vm::startMutator(const std::string &Name,
+                               std::function<void(Vm &, MutatorThread &)> Body) {
+  MutatorThread &Thread = spawnThread(Name);
+  // The MutatorThread context exists before the OS thread runs; the OS
+  // thread registers *itself* with the safepoint protocol so a rendezvous
+  // forming in this gap simply does not count it yet (its handle stack is
+  // empty, so the root scan loses nothing).
+  std::thread OsThread([this, &Thread, Body = std::move(Body)] {
+    Safepoints.attachCurrentThread();
+    {
+      telemetry::Span MutatorSpan(telemetry::EventKind::Mutator, Thread.id());
+      Body(*this, Thread);
+    }
+    Safepoints.detachCurrentThread();
+  });
+  return MutatorHandle(this, std::move(OsThread));
+}
+
+void Vm::runMutators(unsigned N, const std::string &NamePrefix,
+                     std::function<void(Vm &, MutatorThread &)> Body) {
+  std::vector<MutatorHandle> Handles;
+  Handles.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Handles.push_back(startMutator(NamePrefix + "-" + std::to_string(I), Body));
+  for (MutatorHandle &H : Handles)
+    H.join();
+}
+
+void MutatorHandle::join() {
+  if (!Thread.joinable())
+    return;
+  // The joined mutator may need a collection to finish; mark this thread
+  // safe so it does not block the rendezvous while it waits.
+  SafepointSafeScope Safe(Owner->safepoints());
+  Thread.join();
+}
+
+void Vm::stopTheWorldAndRun(const std::function<void()> &Fn) {
+  StopTheWorldScope Stw(Safepoints);
+  Fn();
+}
+
+void Vm::retireAllTlabs() {
+  std::lock_guard<std::mutex> L(ThreadsMutex);
+  for (auto &Thread : Threads)
+    if (TlabSet *T = Thread->tlabs())
+      TlabHeap->retireTlab(*T);
+  TlabHeap->dropTlabBlocks();
+}
+
 void Vm::runCollectorCycle(const char *Cause) {
+  // Give back every thread's TLABs first: the sweep walks blocks cell by
+  // cell and must see the unbumped remainder as ordinary free cells.
+  if (TlabHeap)
+    retireAllTlabs();
   // Cover types registered since the last cycle before the trace loops
   // start reading the checksum cache lock-free.
   if (GCA_UNLIKELY(Hard != nullptr))
@@ -134,6 +209,13 @@ void Vm::injectRefCorruption(ObjRef Obj) {
 }
 
 ObjRef Vm::allocateSlowPath(TypeId Id, uint64_t ArrayLength) {
+  StopTheWorldScope Stw(Safepoints);
+
+  // Another thread's collection may have freed room while this one waited
+  // for the world to stop — retry before paying for a cycle of its own.
+  if (ObjRef Obj = TheHeap->allocate(Id, ArrayLength))
+    return Obj;
+
   // Stage 1: the cheapest collection that can help — a generational minor
   // collection under allocation pressure, a full collection otherwise.
   runCollectorCycle("allocation failure");
@@ -244,7 +326,10 @@ void Vm::setAllocationListener(std::function<void(ObjRef)> Listener) {
   HasAllocListener = static_cast<bool>(AllocListener);
 }
 
-void Vm::collectNow(const char *Cause) { runCollectorCycle(Cause); }
+void Vm::collectNow(const char *Cause) {
+  StopTheWorldScope Stw(Safepoints);
+  runCollectorCycle(Cause);
+}
 
 GlobalRootId Vm::addGlobalRoot(ObjRef Obj) {
   if (!FreeGlobalSlots.empty()) {
@@ -281,6 +366,10 @@ void Vm::removeGlobalRoot(GlobalRootId Id) {
 void Vm::forEachRootSlot(const std::function<void(ObjRef *)> &Fn) {
   for (ObjRef &Slot : GlobalRoots)
     Fn(&Slot);
+  // ThreadsMutex, not the safepoint, orders this against spawnThread: see
+  // forEachThread. A thread pushed mid-rendezvous has an empty handle
+  // stack, so scanning it early loses nothing.
+  std::lock_guard<std::mutex> L(ThreadsMutex);
   for (auto &Thread : Threads)
     Thread->forEachHandleSlot([&](ObjRef *Slot) { Fn(Slot); });
 }

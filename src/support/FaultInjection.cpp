@@ -352,5 +352,7 @@ Failpoint CorruptRef("corrupt.ref");
 Failpoint CorruptFreeCell("corrupt.freelist");
 Failpoint CorruptFreeLink("corrupt.freelist.link");
 Failpoint CorruptRemSet("corrupt.remset");
+Failpoint TlabRefill("tlab.refill");
+Failpoint SafepointTimeout("safepoint.timeout");
 } // namespace faults
 } // namespace gcassert

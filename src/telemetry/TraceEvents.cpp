@@ -49,6 +49,12 @@ const char *telemetry::eventKindName(EventKind Kind) {
     return "failpoint_trip";
   case EventKind::Violation:
     return "violation";
+  case EventKind::Mutator:
+    return "mutator";
+  case EventKind::SafepointPark:
+    return "safepoint_park";
+  case EventKind::SafepointStw:
+    return "safepoint_stw";
   }
   return "unknown";
 }

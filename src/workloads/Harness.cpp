@@ -11,7 +11,37 @@
 #include "gcassert/support/Format.h"
 #include "gcassert/support/Timer.h"
 
+#include <atomic>
+#include <vector>
+
 using namespace gcassert;
+
+namespace {
+
+/// Live set each churn mutator keeps rooted: small enough (16 x 256-byte
+/// arrays = 4 KiB) never to threaten a workload-sized heap, large enough
+/// that every collection has churn roots to scan (and, for the moving
+/// collectors, handles to rewrite).
+constexpr unsigned ChurnRingSlots = 16;
+constexpr uint64_t ChurnArrayLength = 256;
+
+void churnBody(Vm &V, MutatorThread &T, TypeId ChurnType,
+               const std::atomic<bool> &Stop) {
+  HandleScope Scope(T);
+  Local Ring[ChurnRingSlots];
+  for (Local &L : Ring)
+    L = Scope.handle();
+  uint64_t N = 0;
+  while (!Stop.load(std::memory_order_relaxed)) {
+    // Vm::allocate is itself a poll site; churn allocating flat out is the
+    // point — it contends on the TLAB refill / heap lock and gives every
+    // collection concurrent mutators to stop.
+    if (ObjRef Obj = V.allocate(T, ChurnType, ChurnArrayLength))
+      Ring[N++ % ChurnRingSlots].set(Obj);
+  }
+}
+
+} // namespace
 
 const char *gcassert::benchConfigName(BenchConfig Config) {
   switch (Config) {
@@ -66,6 +96,19 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
                       Config == BenchConfig::WithAssertions, Options.Seed);
 
   TheWorkload->setUp(Ctx);
+
+  std::atomic<bool> StopChurn{false};
+  std::vector<MutatorHandle> Churn;
+  if (Options.MutatorThreads > 1) {
+    TypeId ChurnType = TheVm.types().registerDataArray("harness.churn", 1);
+    for (unsigned I = 1; I < Options.MutatorThreads; ++I)
+      Churn.push_back(TheVm.startMutator(
+          format("churn-%u", I),
+          [ChurnType, &StopChurn](Vm &V, MutatorThread &T) {
+            churnBody(V, T, ChurnType, StopChurn);
+          }));
+  }
+
   for (int I = 0; I < Options.WarmupIterations; ++I)
     TheWorkload->runIteration(Ctx);
 
@@ -77,6 +120,11 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
   for (int I = 0; I < Options.MeasuredIterations; ++I)
     TheWorkload->runIteration(Ctx);
   uint64_t TotalNanos = monotonicNanos() - Start;
+
+  StopChurn.store(true, std::memory_order_relaxed);
+  for (MutatorHandle &H : Churn)
+    H.join();
+
   uint64_t GcNanos = TheVm.gcStats().TotalGcNanos - GcNanosBefore;
 
   RunResult Result;

@@ -4,7 +4,7 @@
 //
 // The in-tree slice of the fuzzing acceptance campaign: a batch of fixed
 // seeds over the quick matrix on every ctest run, one seed over the full
-// 24-config matrix, and the structural matrix/interpreter properties the
+// 48-config matrix, and the structural matrix/interpreter properties the
 // campaign relies on. The long campaign itself lives behind the
 // gcassert-fuzz CLI (see tests/CMakeLists.txt for the smoke invocation).
 //
@@ -23,19 +23,29 @@ using namespace gcassert::fuzz;
 
 TEST(DifferentialSmokeTest, MatrixShapes) {
   std::vector<RunConfig> Full = buildMatrix(MatrixKind::Full);
-  EXPECT_EQ(Full.size(), 24u);
+  EXPECT_EQ(Full.size(), 48u);
+  // Both halves of the mutator-thread axis are present.
+  std::set<unsigned> Mutators;
+  for (const RunConfig &C : Full)
+    Mutators.insert(C.MutatorThreads);
+  EXPECT_EQ(Mutators, (std::set<unsigned>{1u, 4u}));
 
   std::vector<RunConfig> Quick = buildMatrix(MatrixKind::Quick);
   EXPECT_EQ(Quick.size(), 4u);
   for (const RunConfig &C : Quick) {
     EXPECT_EQ(C.Threads, 1u);
     EXPECT_EQ(C.Hardening, HardeningMode::Off);
+    EXPECT_EQ(C.MutatorThreads, 1u);
   }
 
   std::vector<RunConfig> Hardened = buildMatrix(MatrixKind::HardenedOnly);
   EXPECT_EQ(Hardened.size(), 4u);
-  for (const RunConfig &C : Hardened)
+  // Hardened configs run single-mutator: EveryNth failpoint policies are
+  // only deterministic on a sequential trace loop.
+  for (const RunConfig &C : Hardened) {
     EXPECT_NE(C.Hardening, HardeningMode::Off);
+    EXPECT_EQ(C.MutatorThreads, 1u);
+  }
 
   // All four collector families appear in every matrix.
   for (const std::vector<RunConfig> *M : {&Full, &Quick, &Hardened}) {

@@ -1,0 +1,201 @@
+//===- TlabTest.cpp - Thread-local allocation buffer tests ---------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// The TLAB fast path against its contract (DESIGN.md §13): objects come out
+// zeroed and distinct, retire leaves a heap the sweep can parse, the shared
+// counters are exact whenever the world is stopped, the adaptive sizing
+// reacts to refills, and the "tlab.refill" failpoint degrades to the shared
+// path / the collection cascade instead of failing the allocation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+
+#include "gcassert/heap/HeapVerifier.h"
+#include "gcassert/heap/SizeClasses.h"
+#include "gcassert/support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+VmConfig tlabVm(bool Tlab = true) {
+  VmConfig Config;
+  Config.HeapBytes = 8u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.Tlab = Tlab;
+  return Config;
+}
+
+TEST(TlabTest, ActiveOnlyWhereItIsSound) {
+  // Mark-sweep without hardening gets a TlabSet; the copying collectors and
+  // the hardened modes (whose per-pop validation a batched refill would
+  // bypass) stay on the shared path.
+  Vm On(tlabVm());
+  EXPECT_NE(On.mainThread().tlabs(), nullptr);
+
+  Vm Off(tlabVm(/*Tlab=*/false));
+  EXPECT_EQ(Off.mainThread().tlabs(), nullptr);
+
+  VmConfig Hardened = tlabVm();
+  Hardened.Gc.Hardening = HardeningMode::Check;
+  Vm HardenedVm(Hardened);
+  EXPECT_EQ(HardenedVm.mainThread().tlabs(), nullptr);
+
+  VmConfig Copying = tlabVm();
+  Copying.Collector = CollectorKind::SemiSpace;
+  Vm CopyingVm(Copying);
+  EXPECT_EQ(CopyingVm.mainThread().tlabs(), nullptr);
+}
+
+TEST(TlabTest, ObjectsAreZeroedAndDistinct) {
+  Vm TheVm(tlabVm());
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  std::set<ObjRef> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    ObjRef Node = TheVm.allocate(T, G.Node);
+    ASSERT_NE(Node, nullptr);
+    EXPECT_TRUE(Seen.insert(Node).second) << "allocator handed a cell twice";
+    EXPECT_EQ(Node->getRef(G.FieldA), nullptr) << "payload not zeroed";
+    EXPECT_EQ(Node->getScalar<int64_t>(G.FieldValue), 0);
+    Node->setScalar<int64_t>(G.FieldValue, I);
+  }
+}
+
+TEST(TlabTest, RefillsHappenAndSizingAdapts) {
+  Vm TheVm(tlabVm());
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  TlabSet *Tlabs = TheVm.mainThread().tlabs();
+  ASSERT_NE(Tlabs, nullptr);
+  // Burn well past the first chunk of Node's size class; the bin must have
+  // refilled at least once, and each refill doubles the next chunk.
+  uint64_t Before = Tlabs->refillCount();
+  for (int I = 0; I != 2000; ++I)
+    ASSERT_NE(TheVm.allocate(T, G.Node), nullptr);
+  EXPECT_GT(Tlabs->refillCount(), Before);
+
+  uint32_t NodeClass = sizeclasses::table().classFor(
+      TheVm.types().allocationSize(G.Node, 0));
+  EXPECT_GT(Tlabs->desiredBytes(NodeClass), TlabSet::MinBytes);
+}
+
+TEST(TlabTest, RetirePreservesLiveObjectsAcrossCollections) {
+  Vm TheVm(tlabVm());
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  HandleScope Scope(T);
+  constexpr int Live = 64;
+  Local Keep[Live];
+  for (int I = 0; I != Live; ++I) {
+    Keep[I] = Scope.handle();
+    Keep[I].set(newNode(TheVm, T, I));
+  }
+  // Garbage interleaved with the live set, some of it still sitting in
+  // un-bumped TLAB space when the collection hits.
+  for (int I = 0; I != 5000; ++I)
+    ASSERT_NE(TheVm.allocate(T, G.Blob, 48), nullptr);
+
+  TheVm.collectNow("tlab-retire-test");
+  EXPECT_EQ(heapObjectCount(TheVm), static_cast<size_t>(Live));
+  for (int I = 0; I != Live; ++I)
+    EXPECT_EQ(Keep[I].get()->getScalar<int64_t>(G.FieldValue), I);
+
+  // The heap the sweep left behind must parse clean: retire left every
+  // unused TLAB cell headered as free.
+  HeapVerifier Verifier(TheVm.heap());
+  EXPECT_TRUE(Verifier.verify().empty());
+}
+
+TEST(TlabTest, SharedStatsExactAfterStopTheWorld) {
+  Vm TheVm(tlabVm());
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  TheVm.collectNow("flush-baseline"); // Flush type-registration allocs.
+  uint64_t Before = TheVm.heap().stats().ObjectsAllocated;
+  constexpr uint64_t N = 3000;
+  for (uint64_t I = 0; I != N; ++I)
+    ASSERT_NE(TheVm.allocate(T, G.Blob, 16), nullptr);
+  // Deferred per-thread counters are folded in at refill and retire; after
+  // a stop-the-world cycle the shared number must be exact, not a lower
+  // bound.
+  TheVm.collectNow("flush-test");
+  EXPECT_EQ(TheVm.heap().stats().ObjectsAllocated - Before, N);
+}
+
+TEST(TlabTest, OnOffRunsAgree) {
+  // The same allocation program with the fast path on and off must leave
+  // identical observable heaps.
+  auto Run = [](bool Tlab) {
+    Vm TheVm(tlabVm(Tlab));
+    MutatorThread &T = TheVm.mainThread();
+    GraphTypes G = GraphTypes::ensure(TheVm.types());
+    HandleScope Scope(T);
+    Local Ring[8];
+    for (Local &L : Ring)
+      L = Scope.handle();
+    for (int I = 0; I != 4000; ++I) {
+      ObjRef Obj = TheVm.allocate(T, G.Blob, 1 + (I % 96));
+      EXPECT_NE(Obj, nullptr);
+      Ring[I % 8].set(Obj);
+    }
+    TheVm.collectNow("equivalence-test");
+    return std::pair<size_t, uint64_t>(heapObjectCount(TheVm),
+                                       TheVm.heap().stats().ObjectsAllocated);
+  };
+  EXPECT_EQ(Run(true), Run(false));
+}
+
+TEST(TlabTest, RefillFailpointDegradesToSharedPath) {
+  Vm TheVm(tlabVm());
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  // Prime the TLAB, then cut off refills: allocation must keep succeeding
+  // through the shared free-list path once the bump range runs dry.
+  ASSERT_NE(TheVm.allocate(T, G.Blob, 16), nullptr);
+  faults::TlabRefill.armAlways();
+  for (int I = 0; I != 2000; ++I)
+    ASSERT_NE(TheVm.allocate(T, G.Blob, 16), nullptr);
+  EXPECT_GT(faults::TlabRefill.firedCount(), 0u);
+  disarmAllFailpoints();
+}
+
+TEST(TlabTest, RefillFailureEntersCollectionCascade) {
+  // With refills dead AND the shared lists exhausted, the slow path must
+  // fall into the normal collect-and-retry cascade, not report OOM while
+  // garbage is reclaimable.
+  VmConfig Config = tlabVm();
+  Config.HeapBytes = 1u << 20;
+  Vm TheVm(Config);
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  faults::TlabRefill.armAlways();
+  uint64_t CyclesBefore = TheVm.gcStats().Cycles;
+  // ~3x the heap in unrooted garbage: only collections can make this fit.
+  for (int I = 0; I != 12000; ++I)
+    ASSERT_NE(TheVm.allocate(T, G.Blob, 240), nullptr);
+  EXPECT_GT(TheVm.gcStats().Cycles, CyclesBefore);
+  disarmAllFailpoints();
+}
+
+TEST(TlabTest, LargeObjectsBypassTheTlab) {
+  Vm TheVm(tlabVm());
+  MutatorThread &T = TheVm.mainThread();
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  // Far past MaxSmallSize: takes the CAS-claimed large-object path.
+  ObjRef Big = TheVm.allocate(T, G.Blob, 256 * 1024);
+  ASSERT_NE(Big, nullptr);
+  HandleScope Scope(T);
+  Local Keep = Scope.handle();
+  Keep.set(Big);
+  TheVm.collectNow("large-object-test");
+  EXPECT_EQ(Keep.get(), Big) << "mark-sweep must not move the large object";
+}
+
+} // namespace
