@@ -19,7 +19,8 @@
 ///    "series": {<name>: {"samples": [..], "mean": m, "ci90": c,
 ///                        "stddev": s, "min": lo, "max": hi}, ...},
 ///    "scalars": {<name>: <number>, ...},
-///    "floors": {<name>: <number>, ...}}
+///    "floors": {<name>: <number>, ...},
+///    "ceilings": {<name>: <number>, ...}}
 ///
 /// Series are trial-sample sets (lower is better: milliseconds, percents);
 /// scalars are derived single numbers (geomeans, speedups) reported for
@@ -35,6 +36,12 @@
 /// can meaningfully attain it — e.g. a 4-thread speedup floor only when
 /// hardware_concurrency() >= 4 — and bench_compare then enforces it
 /// against the current run regardless of the baseline.
+///
+/// Ceilings are the mirror image: absolute maximum acceptable values for
+/// metrics where lower is better (latency percentiles, pause times). The
+/// latency-SLO suite emits them so CI can hard-fail a p99 blowup even when
+/// the baseline moved too. The same emit-only-where-attainable rule
+/// applies, and like floors they ignore --soft.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +113,13 @@ public:
     Floors.emplace_back(MetricName, Minimum);
   }
 
+  /// Declares that metric \p MetricName must be <= \p Maximum in THIS run —
+  /// the lower-is-better counterpart of addFloor, for latency SLOs. The
+  /// same rule applies: only emit a ceiling the host can meet.
+  void addCeiling(const std::string &MetricName, double Maximum) {
+    Ceilings.emplace_back(MetricName, Maximum);
+  }
+
   /// Serializes the report to \p Out.
   void render(OStream &Out) const {
     Out << "{\n  \"benchmark\": \"" << jsonEscape(Name)
@@ -143,6 +157,13 @@ public:
     for (const auto &[MetricName, Minimum] : Floors) {
       Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(MetricName)
           << "\": " << format("%.6g", Minimum);
+      First = false;
+    }
+    Out << "\n  },\n  \"ceilings\": {";
+    First = true;
+    for (const auto &[MetricName, Maximum] : Ceilings) {
+      Out << (First ? "\n" : ",\n") << "    \"" << jsonEscape(MetricName)
+          << "\": " << format("%.6g", Maximum);
       First = false;
     }
     Out << "\n  }\n}\n";
@@ -194,6 +215,7 @@ private:
   std::vector<std::pair<std::string, SampleSet>> Series;
   std::vector<std::pair<std::string, double>> Scalars;
   std::vector<std::pair<std::string, double>> Floors;
+  std::vector<std::pair<std::string, double>> Ceilings;
 };
 
 } // namespace bench

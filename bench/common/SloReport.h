@@ -1,0 +1,91 @@
+//===- bench/common/SloReport.h - Latency-SLO report helpers ----*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared rendering of serving-suite results (DESIGN.md §14) into the
+/// BENCH_*.json schema, used by bench/latency_slo.cpp and by the SLO
+/// pipeline integration test (which must emit byte-compatible reports to
+/// exercise tools/bench_compare).
+///
+/// Metric naming: <workload>.t<threads>.<percentile>_ms — the "_ms" suffix
+/// opts every percentile into bench_compare's time-like regression gate,
+/// and the per-percentile ceilings ride the schema's "ceilings" section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_BENCH_SLO_REPORT_H
+#define GCASSERT_BENCH_SLO_REPORT_H
+
+#include "common/BenchJson.h"
+#include "gcassert/serving/ServingHarness.h"
+
+#include <string>
+
+namespace gcassert {
+namespace bench {
+
+/// Per-configuration percentile samples across trials.
+struct SloTrialSamples {
+  SampleSet P50Ms;
+  SampleSet P95Ms;
+  SampleSet P99Ms;
+  SampleSet P999Ms;
+  SampleSet MaxMs;
+  uint64_t Requests = 0;
+  uint64_t OverlappingPause = 0;
+  uint64_t GcCycles = 0;
+  uint64_t Violations = 0;
+
+  void add(const serving::ServingResult &Result) {
+    auto Ms = [](uint64_t Nanos) {
+      return static_cast<double>(Nanos) / 1e6;
+    };
+    P50Ms.add(Ms(Result.Latency.valueAtPercentile(50)));
+    P95Ms.add(Ms(Result.Latency.valueAtPercentile(95)));
+    P99Ms.add(Ms(Result.Latency.valueAtPercentile(99)));
+    P999Ms.add(Ms(Result.Latency.valueAtPercentile(99.9)));
+    MaxMs.add(Ms(Result.Latency.max()));
+    Requests += Result.Requests;
+    OverlappingPause += Result.RequestsOverlappingPause;
+    GcCycles += Result.GcCycles;
+    Violations += Result.Violations;
+  }
+};
+
+/// Emits one configuration's series + scalars under \p Prefix (e.g.
+/// "kv.t1"). Every percentile series carries the "_ms" suffix so
+/// bench_compare gates it as time-like.
+inline void addSloSeries(JsonReport &Report, const std::string &Prefix,
+                         const SloTrialSamples &Samples) {
+  Report.addSeries(Prefix + ".p50_ms", Samples.P50Ms);
+  Report.addSeries(Prefix + ".p95_ms", Samples.P95Ms);
+  Report.addSeries(Prefix + ".p99_ms", Samples.P99Ms);
+  Report.addSeries(Prefix + ".p999_ms", Samples.P999Ms);
+  Report.addSeries(Prefix + ".max_ms", Samples.MaxMs);
+  Report.addScalar(Prefix + ".requests",
+                   static_cast<double>(Samples.Requests));
+  Report.addScalar(Prefix + ".requests_overlapping_pause",
+                   static_cast<double>(Samples.OverlappingPause));
+  Report.addScalar(Prefix + ".gc_cycles",
+                   static_cast<double>(Samples.GcCycles));
+  Report.addScalar(Prefix + ".violations",
+                   static_cast<double>(Samples.Violations));
+}
+
+/// Declares the per-percentile SLO ceilings for \p Prefix. Callers gate
+/// this on host topology (emit-only-where-attainable; see BenchJson.h) —
+/// an oversubscribed host queues requests behind timeslices, not GC, and
+/// its tail says nothing about the runtime.
+inline void addSloCeilings(JsonReport &Report, const std::string &Prefix,
+                           double P99MaxMs, double P999MaxMs) {
+  Report.addCeiling(Prefix + ".p99_ms", P99MaxMs);
+  Report.addCeiling(Prefix + ".p999_ms", P999MaxMs);
+}
+
+} // namespace bench
+} // namespace gcassert
+
+#endif // GCASSERT_BENCH_SLO_REPORT_H

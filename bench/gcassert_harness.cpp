@@ -15,6 +15,20 @@
 //                    [--seed=N] [--hardening=off|check|full] [--verify-heap]
 //                    [--trace-out=FILE] [--metrics-out=FILE] [--list]
 //
+// The serving suite rides the same binary: --workload=kv or --workload=oltp
+// selects the latency-SLO request workloads (DESIGN.md §14) instead of an
+// iteration workload. Serving-only knobs:
+//
+//   [--requests=N]        total requests across all threads (default 2000)
+//   [--offered-rate=N]    aggregate offered req/s, open loop (default 2000)
+//   [--open-loop]         Poisson arrivals at the offered rate (default);
+//                         latency is measured from scheduled arrival, so
+//                         queueing behind GC pauses lands in the tail
+//   [--closed-loop]       issue the next request when the last returns
+//                         (measures service time; coordinated omission)
+//
+// --mutator-threads must divide the workload's partition count (8).
+//
 // GCASSERT_MUTATOR_THREADS=N sets the mutator-thread count without flags
 // (an explicit --mutator-threads overrides it). Each thread beyond the
 // first is a real OS churn mutator and shows up as its own "mutator" lane
@@ -27,6 +41,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "gcassert/serving/ServingHarness.h"
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/Format.h"
 #include "gcassert/support/OStream.h"
@@ -54,7 +69,10 @@ namespace {
             "[--verify-heap]\n"
             "         [--trace-out=FILE] [--metrics-out=FILE] [--list]\n"
             "  (GCASSERT_MUTATOR_THREADS=N is the env equivalent of "
-            "--mutator-threads)\n";
+            "--mutator-threads)\n"
+            "serving workloads (--workload=kv|oltp) additionally accept:\n"
+            "         [--requests=N] [--offered-rate=N] [--open-loop] "
+            "[--closed-loop]\n";
   std::exit(Bad ? 2 : 0);
 }
 
@@ -74,6 +92,9 @@ int main(int Argc, char **Argv) {
   std::string WorkloadName;
   BenchConfig Config = BenchConfig::WithAssertions;
   HarnessOptions Options;
+  uint64_t ServingRequests = 2000;
+  double ServingOfferedRate = 2000.0;
+  serving::LoopMode ServingLoop = serving::LoopMode::Open;
   std::string TraceOut = telemetry::armTracingFromEnv();
   if (TraceOut == "1")
     TraceOut.clear(); // Armed, but export is the caller's business.
@@ -123,6 +144,14 @@ int main(int Argc, char **Argv) {
         Options.Hardening = HardeningMode::Full;
       else
         usage(Arg);
+    } else if (const char *V = matchOpt(Arg, "--requests")) {
+      ServingRequests = std::strtoull(V, nullptr, 0);
+    } else if (const char *V = matchOpt(Arg, "--offered-rate")) {
+      ServingOfferedRate = std::strtod(V, nullptr);
+    } else if (!std::strcmp(Arg, "--open-loop")) {
+      ServingLoop = serving::LoopMode::Open;
+    } else if (!std::strcmp(Arg, "--closed-loop")) {
+      ServingLoop = serving::LoopMode::Closed;
     } else if (const char *V = matchOpt(Arg, "--trace-out")) {
       TraceOut = V;
       telemetry::setTracingEnabled(true);
@@ -133,6 +162,8 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--list")) {
       for (const std::string &Name : WorkloadRegistry::names())
         outs() << Name << '\n';
+      // The serving suite's request workloads (DESIGN.md §14).
+      outs() << "kv\noltp\n";
       return 0;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       usage(nullptr);
@@ -149,23 +180,71 @@ int main(int Argc, char **Argv) {
 
   RecordingViolationSink Sink;
   Options.Sink = &Sink;
-  RunResult Result = runWorkload(WorkloadName, Config, Options);
 
-  outs() << format(
-      "%-20s %-15s total %8.1f ms  gc %8.1f ms (%4.1f%%)  cycles %llu\n",
-      WorkloadName.c_str(), benchConfigName(Config), Result.TotalMillis,
-      Result.GcMillis,
-      Result.TotalMillis > 0 ? 100.0 * Result.GcMillis / Result.TotalMillis
-                             : 0.0,
-      static_cast<unsigned long long>(Result.GcCycles));
-  if (!Sink.violations().empty())
-    outs() << format("violations: %llu\n",
-                     static_cast<unsigned long long>(Sink.violations().size()));
-  outs().flush();
+  if (WorkloadName == "kv" || WorkloadName == "oltp") {
+    // Serving path (DESIGN.md §14): request workloads under a load
+    // generator, reporting tail latency instead of iteration time. For
+    // these, --mutator-threads is the worker count and must divide the
+    // workload's partition count (8).
+    serving::ServingOptions SOpts;
+    SOpts.Workload = WorkloadName == "kv" ? serving::ServingWorkload::Kv
+                                          : serving::ServingWorkload::Oltp;
+    SOpts.Collector = Options.Collector;
+    SOpts.GcThreads = Options.GcThreads;
+    SOpts.Threads = Options.MutatorThreads;
+    SOpts.Loop = ServingLoop;
+    SOpts.OfferedRatePerSec = ServingOfferedRate;
+    SOpts.Requests = ServingRequests;
+    SOpts.Seed = Options.Seed;
+    SOpts.Config = Config;
+    SOpts.Sink = &Sink;
+    serving::ServingResult Result = serving::runServing(SOpts);
 
-  // The engine's counters are mirrored into the metrics registry here (the
-  // per-cycle gc.* mirror runs inside the collector).
-  telemetry::snapshotEngineCounters(Result.Counters);
+    auto Ms = [](uint64_t Nanos) { return static_cast<double>(Nanos) / 1e6; };
+    outs() << format(
+        "%-8s %-15s %s  offered %.0f req/s  achieved %.0f req/s\n",
+        WorkloadName.c_str(), benchConfigName(Config),
+        SOpts.Loop == serving::LoopMode::Open ? "open-loop " : "closed-loop",
+        Result.OfferedRatePerSec, Result.AchievedRatePerSec);
+    outs() << format(
+        "requests %llu  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  p99.9 %.3f ms"
+        "  max %.3f ms\n",
+        static_cast<unsigned long long>(Result.Requests),
+        Ms(Result.Latency.valueAtPercentile(50)),
+        Ms(Result.Latency.valueAtPercentile(95)),
+        Ms(Result.Latency.valueAtPercentile(99)),
+        Ms(Result.Latency.valueAtPercentile(99.9)), Ms(Result.Latency.max()));
+    outs() << format(
+        "gc cycles %llu  requests overlapping a pause %llu  state digest "
+        "%016llx\n",
+        static_cast<unsigned long long>(Result.GcCycles),
+        static_cast<unsigned long long>(Result.RequestsOverlappingPause),
+        static_cast<unsigned long long>(Result.StateDigest));
+    if (Result.Violations)
+      outs() << format("violations: %llu\n",
+                       static_cast<unsigned long long>(Result.Violations));
+    outs().flush();
+    telemetry::snapshotEngineCounters(Result.Counters);
+  } else {
+    RunResult Result = runWorkload(WorkloadName, Config, Options);
+
+    outs() << format(
+        "%-20s %-15s total %8.1f ms  gc %8.1f ms (%4.1f%%)  cycles %llu\n",
+        WorkloadName.c_str(), benchConfigName(Config), Result.TotalMillis,
+        Result.GcMillis,
+        Result.TotalMillis > 0 ? 100.0 * Result.GcMillis / Result.TotalMillis
+                               : 0.0,
+        static_cast<unsigned long long>(Result.GcCycles));
+    if (!Sink.violations().empty())
+      outs() << format(
+          "violations: %llu\n",
+          static_cast<unsigned long long>(Sink.violations().size()));
+    outs().flush();
+
+    // The engine's counters are mirrored into the metrics registry here (the
+    // per-cycle gc.* mirror runs inside the collector).
+    telemetry::snapshotEngineCounters(Result.Counters);
+  }
 
   int Exit = 0;
   std::string Error;

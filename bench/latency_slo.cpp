@@ -1,0 +1,123 @@
+//===- latency_slo.cpp - Serving-suite tail-latency bench ----------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The latency-SLO leg of the bench pipeline (DESIGN.md §14): runs the
+// managed KV and order-entry OLTP request workloads under an open-loop
+// Poisson load generator at a fixed offered rate — open loop so queueing
+// behind stop-the-world pauses lands in the tail instead of being absorbed
+// by a coordinated-omission feedback loop — and reports p50/p95/p99/p99.9
+// and max request latency per workload × mutator-thread-count into
+// BENCH_latency_slo.json.
+//
+// On hosts with >= 4 cores the report emits per-percentile ceilings
+// (absolute lower-is-better SLO bounds enforced by tools/bench_compare even
+// under --soft). On smaller hosts the ceilings are withheld: the 4-thread
+// configurations are oversubscribed there, and the tail measures scheduler
+// timeslices, not the runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+#include "common/SloReport.h"
+
+#include <thread>
+
+using namespace gcassert;
+using namespace gcassert::bench;
+using namespace gcassert::serving;
+
+namespace {
+
+/// Generous absolute bounds (milliseconds): a healthy run at this offered
+/// rate sits far below them; only a pathological pause regression (or a
+/// collector bug serializing the request path) crosses them.
+constexpr double P99CeilingMs = 250.0;
+constexpr double P999CeilingMs = 1000.0;
+
+/// One measured configuration. The Base rows re-run the single-threaded
+/// configurations with the assertion engine absent, so the report carries
+/// the paper's question in SLO units: what do armed assertions cost the
+/// tail at the same offered rate?
+struct SloConfig {
+  ServingWorkload Workload;
+  unsigned Threads;
+  BenchConfig Config;
+};
+
+const SloConfig Configs[] = {
+    {ServingWorkload::Kv, 1, BenchConfig::WithAssertions},
+    {ServingWorkload::Kv, 4, BenchConfig::WithAssertions},
+    {ServingWorkload::Oltp, 1, BenchConfig::WithAssertions},
+    {ServingWorkload::Oltp, 4, BenchConfig::WithAssertions},
+    {ServingWorkload::Kv, 1, BenchConfig::Base},
+    {ServingWorkload::Oltp, 1, BenchConfig::Base},
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Trials = trialCount(Argc, Argv, 5);
+  unsigned HostCores = std::thread::hardware_concurrency();
+  bool EmitCeilings = HostCores >= 4;
+
+  JsonReport Report("latency_slo");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
+  Report.setConfig("loop", "open");
+  Report.setConfig("offered_rate_per_sec", static_cast<int64_t>(2000));
+  Report.setConfig("requests_per_trial", static_cast<int64_t>(2000));
+  Report.setConfig("collector", "marksweep");
+  Report.setConfig("latency_basis", "scheduled-arrival (queueing included)");
+  Report.setTopology(/*GcThreads=*/1, /*MutatorThreads=*/4);
+
+  outs() << "Latency-SLO serving suite: open-loop tail latency\n";
+  outs() << format("host cores: %u   trials per configuration: %d\n",
+                   HostCores, Trials);
+  outs() << format("offered rate: 2000 req/s   requests per trial: 2000   "
+                   "ceilings: %s\n\n",
+                   EmitCeilings ? "on" : "off (host has < 4 cores)");
+  outs() << format("%-6s %8s %-7s %10s %10s %10s %10s %10s %8s\n", "wl",
+                   "threads", "config", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+                   "p99.9(ms)", "max (ms)", "w/pause");
+  printRule();
+
+  for (const SloConfig &C : Configs) {
+    bool Assert = C.Config == BenchConfig::WithAssertions;
+    SloTrialSamples Samples;
+    for (int Trial = 0; Trial != Trials; ++Trial) {
+      ServingOptions Options;
+      Options.Workload = C.Workload;
+      Options.Threads = C.Threads;
+      Options.Loop = LoopMode::Open;
+      Options.OfferedRatePerSec = 2000.0;
+      Options.Requests = 2000;
+      Options.Seed = 0x5eed + static_cast<uint64_t>(Trial);
+      Options.Config = C.Config;
+      ServingResult Result = runServing(Options);
+      Samples.add(Result);
+    }
+    std::string Prefix = std::string(servingWorkloadName(C.Workload)) +
+                         format(".t%u", C.Threads) +
+                         (Assert ? "" : ".base");
+    outs() << format("%-6s %8u %-7s %10.2f %10.2f %10.2f %10.2f %10.2f "
+                     "%8llu\n",
+                     servingWorkloadName(C.Workload), C.Threads,
+                     Assert ? "assert" : "base", Samples.P50Ms.mean(),
+                     Samples.P95Ms.mean(), Samples.P99Ms.mean(),
+                     Samples.P999Ms.mean(), Samples.MaxMs.mean(),
+                     static_cast<unsigned long long>(
+                         Samples.OverlappingPause));
+    addSloSeries(Report, Prefix, Samples);
+    // SLO ceilings bind on what would ship: the assertion-armed rows.
+    if (EmitCeilings && Assert)
+      addSloCeilings(Report, Prefix, P99CeilingMs, P999CeilingMs);
+  }
+
+  outs() << "\nOpen-loop latency is measured from each request's scheduled "
+            "arrival, so time\nspent queued behind a stop-the-world pause "
+            "counts against the tail.\n";
+  outs().flush();
+  return Report.write() ? 0 : 1;
+}

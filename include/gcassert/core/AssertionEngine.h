@@ -258,9 +258,24 @@ private:
 
   /// Serializes the three hooks a parallel mark phase may fire from several
   /// workers at once (onDeadReachable, onUnsharedShared, onUnownedOwnee):
-  /// they mutate the dedup sets, the counters, and the sink. All other
-  /// engine entry points run on the collecting thread only.
+  /// they mutate the dedup sets, the counters, and the sink. The remaining
+  /// TraceHooks run on the collecting thread only.
   std::mutex ParallelHookMutex;
+
+  /// Serializes the registration entry points (assertDead, assertUnshared,
+  /// assertInstances, assertVolume, assertOwnedBy, startRegion,
+  /// assertAllDead) against each other: the serving workloads register
+  /// assertions from concurrent mutator threads. Registration never
+  /// allocates managed memory or reaches a safepoint poll while holding
+  /// this lock, so a holder can never park and stall a stop-the-world
+  /// rendezvous; and a registering mutator is by definition not parked, so
+  /// registration never overlaps the GC-time hooks above (which run with
+  /// the world stopped).
+  std::mutex RegistrationMutex;
+
+  /// assertDead's body without the lock, for assertAllDead (which flags a
+  /// whole region log under one acquisition).
+  void assertDeadLocked(ObjRef Obj);
 
   EngineCounters Counters;
 };

@@ -1,0 +1,123 @@
+//===- gcassert/serving/KvService.h - Managed KV serving workload -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A masstree-style key/value service over the managed B+ tree, shaped as a
+/// request workload for the latency-SLO suite (DESIGN.md §14): sharded
+/// trees, a FIFO eviction policy with a fixed live cap, and GC assertions
+/// woven into the request path — assertDead on every evicted or erased
+/// value, assertUnshared on values read back (the tree's entry array holds
+/// their only edge), and a per-request allocation region for the response
+/// scratch.
+///
+/// Determinism across collectors AND thread counts: request \p Index is
+/// routed to shard Index % Shards, and the harness routes request Index to
+/// worker thread Index % Threads with Threads dividing Shards — so each
+/// shard is touched by exactly one thread, and that thread visits its
+/// requests in increasing Index order. The per-request RNG is derived from
+/// (Seed, Index) alone. The final tree contents (and so digest()) are
+/// therefore identical for every collector and every dividing thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SERVING_KVSERVICE_H
+#define GCASSERT_SERVING_KVSERVICE_H
+
+#include "gcassert/workloads/BTree.h"
+#include "gcassert/workloads/Workload.h"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace gcassert {
+namespace serving {
+
+/// KV service shape. Shards must stay a multiple of every worker-thread
+/// count the harness runs (the suite uses 1 and 4).
+struct KvConfig {
+  uint32_t Shards = 8;
+  /// FIFO eviction keeps at most this many entries live per shard.
+  uint32_t LiveCapPerShard = 256;
+  /// Key space per shard; keys collide (overwrites) well before eviction.
+  uint32_t KeysPerShard = 2048;
+  /// Payload bytes per value (>= 8; the first 8 carry the writer's stamp).
+  uint32_t ValueBytes = 512;
+  /// Max pairs visited per scan request.
+  uint32_t ScanLimit = 32;
+};
+
+/// Cumulative request counters (summed over shards).
+struct KvStats {
+  uint64_t Gets = 0;
+  uint64_t GetHits = 0;
+  uint64_t Puts = 0;
+  uint64_t Overwrites = 0;
+  uint64_t Scans = 0;
+  uint64_t ScannedPairs = 0;
+  uint64_t Erases = 0;
+  uint64_t Evictions = 0;
+  uint64_t LeakedEvictions = 0; ///< "kv.evict.leak" fired: erase skipped.
+};
+
+/// The service. Construct (and prefill) on the main thread before any
+/// worker starts; execute() is then safe from concurrent mutator threads.
+class KvService {
+public:
+  KvService(WorkloadContext &Ctx, const KvConfig &Config, uint64_t Seed);
+  ~KvService();
+
+  KvService(const KvService &) = delete;
+  KvService &operator=(const KvService &) = delete;
+
+  const KvConfig &config() const { return Cfg; }
+
+  /// Runs request \p Index on \p T (which must be \p T's own registered
+  /// mutator context). Allocates through Vm::allocate only, so every
+  /// blocking point is a safepoint poll site.
+  void execute(WorkloadContext &Ctx, MutatorThread &T, uint64_t Index);
+
+  /// Deterministic digest of the final KV state (key + value stamp of
+  /// every live pair, shards in order, keys ascending). Call after the
+  /// workers joined.
+  uint64_t digest() const;
+
+  /// Total live pairs across shards.
+  uint64_t liveEntries() const;
+
+  KvStats stats() const;
+
+private:
+  struct Shard {
+    std::mutex Mutex;
+    std::unique_ptr<ManagedBTree> Tree;
+    /// Insertion-order queue of keys for FIFO eviction. May hold stale
+    /// keys (erased by a request before their eviction turn); eviction
+    /// skips those.
+    std::deque<int64_t> Fifo;
+    KvStats Stats;
+  };
+
+  /// Acquires \p S.Mutex without ever stalling a stop-the-world pause: a
+  /// failed try_lock waits inside a SafepointSafeScope, so a blocked
+  /// waiter counts as stopped while the lock holder (which may be parked
+  /// at an allocation poll mid-request) finishes.
+  static void lockShard(Vm &V, Shard &S);
+
+  /// Evicts FIFO-oldest entries until \p S is back under the live cap.
+  /// Caller holds the shard lock. Never allocates.
+  void evictOverCap(WorkloadContext &Ctx, Shard &S);
+
+  KvConfig Cfg;
+  uint64_t Seed;
+  TypeId ValueType;
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace serving
+} // namespace gcassert
+
+#endif // GCASSERT_SERVING_KVSERVICE_H

@@ -1,0 +1,75 @@
+//===- gcassert/serving/LoadGenerator.h - Open/closed-loop load -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arrival-time generation for the latency-SLO serving harness
+/// (DESIGN.md §14).
+///
+/// Open-loop mode draws Poisson arrivals at a fixed offered rate: the
+/// schedule is independent of service times, so when the server falls
+/// behind, later requests queue and their measured latency includes the
+/// queueing delay — the behavior that makes GC pauses visible as p99/p99.9
+/// spikes. Closed-loop mode issues the next request as soon as the previous
+/// one completes (think back-to-back RPC client), which measures service
+/// time but hides queueing (coordinated omission).
+///
+/// Schedules are precomputed per serving thread from a pinned SplitMix64
+/// stream, so the arrival pattern for (seed, thread, rate, count) is
+/// bit-identical across runs, collectors, and hosts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SERVING_LOADGENERATOR_H
+#define GCASSERT_SERVING_LOADGENERATOR_H
+
+#include "gcassert/support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gcassert {
+namespace serving {
+
+/// How request issue times are chosen.
+enum class LoopMode : uint8_t {
+  /// Poisson arrivals at a fixed offered rate; latency is measured from the
+  /// scheduled arrival, so queueing delay counts.
+  Open,
+  /// Next request issues when the previous completes; latency is pure
+  /// service time.
+  Closed,
+};
+
+const char *loopModeName(LoopMode Mode);
+
+/// One thread's precomputed open-loop arrival schedule: nanosecond offsets
+/// from the run's start time, strictly non-decreasing.
+class ArrivalSchedule {
+public:
+  /// Draws \p Count exponential inter-arrival gaps at \p RatePerSec from a
+  /// SplitMix64 stream seeded with \p Seed. RatePerSec must be positive.
+  ArrivalSchedule(uint64_t Seed, double RatePerSec, uint64_t Count);
+
+  uint64_t count() const { return Offsets.size(); }
+  uint64_t offsetNanos(uint64_t I) const { return Offsets[I]; }
+
+  /// The offered rate realized by this schedule: count / last offset. The
+  /// law of large numbers pulls it toward the requested rate as the count
+  /// grows; the unit tests pin the tolerance.
+  double offeredRatePerSec() const;
+
+private:
+  std::vector<uint64_t> Offsets;
+};
+
+/// One exponential inter-arrival gap in nanoseconds at \p RatePerSec, drawn
+/// from \p Rng. Exposed for the unit tests, which replay the pinned stream.
+uint64_t exponentialGapNanos(SplitMix64 &Rng, double RatePerSec);
+
+} // namespace serving
+} // namespace gcassert
+
+#endif // GCASSERT_SERVING_LOADGENERATOR_H

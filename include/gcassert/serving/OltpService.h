@@ -1,0 +1,125 @@
+//===- gcassert/serving/OltpService.h - Order-entry OLTP workload -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shore-style order-entry OLTP request workload mirroring PseudoJbb's
+/// object shapes, reframed as a serving workload for the latency-SLO suite
+/// (DESIGN.md §14). Each district is an order book (a managed B+ tree keyed
+/// by order sequence number); a new-order request builds an Order object
+/// with a line array and per-line item payloads, inserts it, and asserts it
+/// owned by its district's tree (§2.5.2); request-scratch allocations run
+/// inside an allocation region closed with assert-alldead; delivery removes
+/// the oldest open orders and asserts each dead (§2.3.1).
+///
+/// Determinism follows the same routing contract as KvService: request
+/// Index targets district Index % Districts, the harness routes Index to
+/// worker Index % Threads with Threads dividing Districts, so each district
+/// has a single owning thread that visits its requests in Index order, and
+/// every request's content derives from (Seed, Index) alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SERVING_OLTPSERVICE_H
+#define GCASSERT_SERVING_OLTPSERVICE_H
+
+#include "gcassert/workloads/BTree.h"
+#include "gcassert/workloads/Workload.h"
+
+#include <memory>
+#include <mutex>
+
+namespace gcassert {
+namespace serving {
+
+/// Order-entry shape. Warehouses * DistrictsPerWarehouse must stay a
+/// multiple of every worker-thread count the harness runs.
+struct OltpConfig {
+  uint32_t Warehouses = 2;
+  uint32_t DistrictsPerWarehouse = 4;
+  /// Auto-delivery keeps at most this many open orders per district.
+  uint32_t MaxOpenOrders = 64;
+  /// New-order requests carry 1..MaxItemsPerOrder lines.
+  uint32_t MaxItemsPerOrder = 8;
+  /// Payload bytes per order line item.
+  uint32_t ItemBytes = 64;
+
+  uint32_t districts() const { return Warehouses * DistrictsPerWarehouse; }
+};
+
+/// Cumulative request counters (summed over districts).
+struct OltpStats {
+  uint64_t NewOrders = 0;
+  uint64_t OrderLines = 0;
+  uint64_t StatusChecks = 0;
+  uint64_t StatusOrdersRead = 0;
+  uint64_t Deliveries = 0;
+  uint64_t OrdersDelivered = 0;
+};
+
+/// The service. Construct on the main thread before any worker starts;
+/// execute() is then safe from concurrent mutator threads.
+class OltpService {
+public:
+  OltpService(WorkloadContext &Ctx, const OltpConfig &Config, uint64_t Seed);
+  ~OltpService();
+
+  OltpService(const OltpService &) = delete;
+  OltpService &operator=(const OltpService &) = delete;
+
+  const OltpConfig &config() const { return Cfg; }
+
+  /// Runs request \p Index on \p T.
+  void execute(WorkloadContext &Ctx, MutatorThread &T, uint64_t Index);
+
+  /// Deterministic digest of the final order books (districts in order,
+  /// orders by ascending sequence; mixes seq, amount and line count).
+  uint64_t digest() const;
+
+  /// Total open orders across districts.
+  uint64_t openOrders() const;
+
+  OltpStats stats() const;
+
+private:
+  struct District {
+    std::mutex Mutex;
+    std::unique_ptr<ManagedBTree> Orders;
+    int64_t NextSeq = 0;
+    OltpStats Stats;
+  };
+
+  static void lockDistrict(Vm &V, District &D);
+
+  /// Builds one order (line array + item payloads + Order object) from
+  /// \p Rng and commits it to \p D: assigns the next sequence number,
+  /// inserts, asserts the order owned by the district's tree, and
+  /// auto-delivers down to MaxOpenOrders. \p TakeLock is false only during
+  /// prefill, before any worker exists.
+  void newOrder(WorkloadContext &Ctx, MutatorThread &T, District &D,
+                SplitMix64 &Rng, bool TakeLock);
+
+  /// Delivers (erases + assertDead, §2.3.1) the oldest orders while \p D
+  /// holds more than \p FloorSize of them, up to \p MaxBatch. Caller holds
+  /// the district lock. Never allocates.
+  void deliverOldest(WorkloadContext &Ctx, District &D, uint32_t MaxBatch,
+                     uint64_t FloorSize);
+
+  OltpConfig Cfg;
+  uint64_t Seed;
+  TypeId OrderType;
+  TypeId LineArrayType;
+  TypeId ItemType;
+  TypeId ScratchType;
+  uint32_t OrderLinesField;
+  uint32_t OrderSeqField;
+  uint32_t OrderAmountField;
+  std::vector<std::unique_ptr<District>> Districts;
+};
+
+} // namespace serving
+} // namespace gcassert
+
+#endif // GCASSERT_SERVING_OLTPSERVICE_H

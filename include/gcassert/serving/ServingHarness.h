@@ -1,0 +1,97 @@
+//===- gcassert/serving/ServingHarness.h - Latency-SLO harness --*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the serving workloads (KvService, OltpService) with real OS
+/// mutator threads through the safepoint protocol, under an open-loop
+/// (Poisson arrivals at a fixed offered rate, so queueing behind GC pauses
+/// is visible in the tail) or closed-loop load generator, and records
+/// request latencies into an allocation-free histogram (DESIGN.md §14).
+///
+/// Request routing: request Index runs on worker Index % Threads, and both
+/// services route Index to partition Index % Partitions — with Threads
+/// dividing the partition count, each partition has a single owning thread,
+/// which makes the final service state identical across collectors and
+/// across every dividing thread count (the determinism the workload tests
+/// pin down).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SERVING_SERVINGHARNESS_H
+#define GCASSERT_SERVING_SERVINGHARNESS_H
+
+#include "gcassert/serving/KvService.h"
+#include "gcassert/serving/LatencyHistogram.h"
+#include "gcassert/serving/LoadGenerator.h"
+#include "gcassert/serving/OltpService.h"
+#include "gcassert/workloads/Harness.h"
+
+namespace gcassert {
+namespace serving {
+
+/// Which request workload to serve.
+enum class ServingWorkload : uint8_t { Kv, Oltp };
+
+const char *servingWorkloadName(ServingWorkload Workload);
+
+/// Knobs for one serving run.
+struct ServingOptions {
+  ServingWorkload Workload = ServingWorkload::Kv;
+  CollectorKind Collector = CollectorKind::MarkSweep;
+  unsigned GcThreads = 1;
+  /// Worker mutator threads. Must divide the workload's partition count
+  /// (KvConfig::Shards / OltpConfig::districts()).
+  unsigned Threads = 1;
+  LoopMode Loop = LoopMode::Open;
+  /// Aggregate offered request rate across all threads (open loop only).
+  double OfferedRatePerSec = 2000.0;
+  /// Total requests across all threads.
+  uint64_t Requests = 2000;
+  uint64_t Seed = 0x5eed;
+  BenchConfig Config = BenchConfig::WithAssertions;
+  /// Heap size; 0 means the suite default (4 MiB — small enough that the
+  /// per-request garbage forces regular collections under load).
+  size_t HeapBytes = 0;
+  /// When set, violations are recorded here; otherwise the harness counts
+  /// them in an internal recording sink (they are never printed).
+  RecordingViolationSink *Sink = nullptr;
+  KvConfig Kv;
+  OltpConfig Oltp;
+};
+
+/// What one serving run produced.
+struct ServingResult {
+  /// Merged request-latency histogram (open loop: measured from each
+  /// request's scheduled arrival, so queueing delay counts; closed loop:
+  /// service time only).
+  LatencyHistogram Latency;
+  uint64_t Requests = 0;
+  /// Requests whose execution overlapped at least one stop-the-world
+  /// pause (safepoint epoch advanced while they ran) — the pause/outlier
+  /// correlation counter.
+  uint64_t RequestsOverlappingPause = 0;
+  double ElapsedMillis = 0;
+  double AchievedRatePerSec = 0;
+  double OfferedRatePerSec = 0;
+  uint64_t GcCycles = 0;
+  /// Service state digest after the run (collector- and thread-count
+  /// independent for a fixed seed and request count).
+  uint64_t StateDigest = 0;
+  /// Live entries / open orders at the end.
+  uint64_t LiveEntries = 0;
+  uint64_t Violations = 0;
+  EngineCounters Counters;
+};
+
+/// Builds a VM, runs \p Options.Requests requests of the selected workload
+/// under the selected loop mode, runs a final collection (which executes
+/// any still-pending GC assertions), and returns the merged result.
+ServingResult runServing(const ServingOptions &Options);
+
+} // namespace serving
+} // namespace gcassert
+
+#endif // GCASSERT_SERVING_SERVINGHARNESS_H

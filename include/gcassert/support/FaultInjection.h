@@ -181,6 +181,7 @@ extern Failpoint CorruptFreeLink;   ///< "corrupt.freelist.link"
 extern Failpoint CorruptRemSet;     ///< "corrupt.remset"
 extern Failpoint TlabRefill;        ///< "tlab.refill"
 extern Failpoint SafepointTimeout;  ///< "safepoint.timeout"
+extern Failpoint KvEvictLeak;       ///< "kv.evict.leak"
 } // namespace faults
 
 } // namespace gcassert

@@ -80,11 +80,15 @@ enum class EventKind : uint8_t {
   /// The stop-the-world window, on the requesting thread's lane (arg:
   /// safepoint epoch).
   SafepointStw,
+  /// One serving request's execution on its mutator thread (arg: global
+  /// request index). Lining these up against SafepointStw spans is how the
+  /// latency-SLO harness attributes tail outliers to GC pauses.
+  Request,
 };
 
 /// Number of distinct EventKind values (for per-kind tables).
 inline constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::SafepointStw) + 1;
+    static_cast<size_t>(EventKind::Request) + 1;
 
 /// Stable lower-case name for \p Kind (the exported span name).
 const char *eventKindName(EventKind Kind);

@@ -76,8 +76,20 @@ public:
   /// overwrite.
   void insert(int64_t Key, Local Value);
 
+  /// Same, but pushes the handles insertion needs onto \p T instead of the
+  /// thread bound at construction — the form the serving threads use, where
+  /// a tree built on the main thread is operated on by whichever OS mutator
+  /// holds its shard lock. \p Value must be a handle on \p T.
+  void insert(MutatorThread &T, int64_t Key, Local Value);
+
   /// Returns the value for \p Key, or null.
   ObjRef find(int64_t Key) const;
+
+  /// Calls \p Fn(Key, Value) for up to \p Limit pairs with Key >= \p
+  /// StartKey, in ascending key order; returns how many were visited.
+  /// Never allocates, so raw references stay stable for the duration.
+  uint64_t scanFrom(int64_t StartKey, uint64_t Limit,
+                    const std::function<void(int64_t, ObjRef)> &Fn) const;
 
   /// Removes \p Key; returns true if it was present.
   bool erase(int64_t Key);
@@ -94,8 +106,10 @@ public:
 
 private:
   ObjRef rootNode() const;
-  ObjRef allocNode(bool IsLeaf, HandleScope &Scope, Local &Out);
-  void splitChild(Local Parent, uint32_t Index, HandleScope &Scope);
+  ObjRef allocNode(MutatorThread &T, bool IsLeaf, HandleScope &Scope,
+                   Local &Out);
+  void splitChild(MutatorThread &T, Local Parent, uint32_t Index,
+                  HandleScope &Scope);
 
   Vm &TheVm;
   MutatorThread &Thread;

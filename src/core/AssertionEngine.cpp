@@ -49,19 +49,26 @@ void AssertionEngine::setSink(ViolationSink *NewSink) {
 // Assertion interface
 //===----------------------------------------------------------------------===//
 
-void AssertionEngine::assertDead(ObjRef Obj) {
+void AssertionEngine::assertDeadLocked(ObjRef Obj) {
   assert(Obj && "assert-dead requires a non-null object");
   ++Counters.AssertDeadCalls;
   Obj->header().setFlag(HF_Dead);
 }
 
+void AssertionEngine::assertDead(ObjRef Obj) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
+  assertDeadLocked(Obj);
+}
+
 void AssertionEngine::assertUnshared(ObjRef Obj) {
   assert(Obj && "assert-unshared requires a non-null object");
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertUnsharedCalls;
   Obj->header().setFlag(HF_Unshared);
 }
 
 void AssertionEngine::assertInstances(TypeId Type, uint32_t Limit) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertInstancesCalls;
   TheVm.types().get(Type).setInstanceLimit(Limit);
   if (std::find(TrackedTypes.begin(), TrackedTypes.end(), Type) ==
@@ -70,6 +77,7 @@ void AssertionEngine::assertInstances(TypeId Type, uint32_t Limit) {
 }
 
 void AssertionEngine::clearInstances(TypeId Type) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   TheVm.types().get(Type).clearInstanceLimit();
   TrackedTypes.erase(
       std::remove(TrackedTypes.begin(), TrackedTypes.end(), Type),
@@ -77,6 +85,7 @@ void AssertionEngine::clearInstances(TypeId Type) {
 }
 
 void AssertionEngine::assertVolume(TypeId Type, uint64_t LimitBytes) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertVolumeCalls;
   TheVm.types().get(Type).setVolumeLimit(LimitBytes);
   if (std::find(VolumeTrackedTypes.begin(), VolumeTrackedTypes.end(),
@@ -85,6 +94,7 @@ void AssertionEngine::assertVolume(TypeId Type, uint64_t LimitBytes) {
 }
 
 void AssertionEngine::clearVolume(TypeId Type) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   TheVm.types().get(Type).clearVolumeLimit();
   VolumeTrackedTypes.erase(std::remove(VolumeTrackedTypes.begin(),
                                        VolumeTrackedTypes.end(), Type),
@@ -92,6 +102,7 @@ void AssertionEngine::clearVolume(TypeId Type) {
 }
 
 void AssertionEngine::assertOwnedBy(ObjRef Owner, ObjRef Ownee) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertOwnedByCalls;
   Ownership.add(Owner, Ownee);
 }
@@ -106,6 +117,7 @@ AssertionEngine::regionStateFor(MutatorThread &Thread) {
 }
 
 void AssertionEngine::startRegion(MutatorThread &Thread) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.RegionsOpened;
   ThreadRegionState &State = regionStateFor(Thread);
   State.Stack.push_back(std::make_unique<std::vector<ObjRef>>());
@@ -113,6 +125,7 @@ void AssertionEngine::startRegion(MutatorThread &Thread) {
 }
 
 void AssertionEngine::assertAllDead(MutatorThread &Thread) {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ThreadRegionState &State = regionStateFor(Thread);
   if (State.Stack.empty())
     reportFatalError("assert-alldead without a matching start-region");
@@ -128,7 +141,7 @@ void AssertionEngine::assertAllDead(MutatorThread &Thread) {
   // pruned after each intervening GC, so everything left is still live.
   Counters.RegionObjectsLogged += Log->size();
   for (ObjRef Obj : *Log)
-    assertDead(Obj);
+    assertDeadLocked(Obj);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,218 @@
+//===- KvService.cpp - Managed KV serving workload ----------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/KvService.h"
+
+#include "gcassert/support/FaultInjection.h"
+#include "gcassert/workloads/Common.h"
+
+#include <cstring>
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+namespace {
+
+/// Per-request RNG seed: a SplitMix64 step over (Seed, Index) so adjacent
+/// indices get uncorrelated streams.
+uint64_t requestSeed(uint64_t Seed, uint64_t Index) {
+  SplitMix64 G(Seed ^ ((Index + 1) * 0x9e3779b97f4a7c15ULL));
+  return G.next();
+}
+
+void stampValue(ObjRef Val, uint64_t Stamp) {
+  std::memcpy(Val->arrayData(), &Stamp, sizeof(Stamp));
+}
+
+uint64_t readStamp(ObjRef Val) {
+  uint64_t Stamp;
+  std::memcpy(&Stamp, Val->arrayData(), sizeof(Stamp));
+  return Stamp;
+}
+
+} // namespace
+
+KvService::KvService(WorkloadContext &Ctx, const KvConfig &Config,
+                     uint64_t Seed)
+    : Cfg(Config), Seed(Seed) {
+  Vm &V = Ctx.vm();
+  ValueType = ensureByteArrayType(V.types());
+  MutatorThread &Main = V.mainThread();
+  Shards.reserve(Cfg.Shards);
+  for (uint32_t I = 0; I != Cfg.Shards; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Tree = std::make_unique<ManagedBTree>(V, Main);
+    Shards.push_back(std::move(S));
+  }
+  // Prefill every shard to its live cap so eviction pressure exists from
+  // the first request. Runs on the main thread before any worker starts,
+  // so no shard lock is needed.
+  for (uint32_t I = 0; I != Cfg.Shards; ++I) {
+    Shard &S = *Shards[I];
+    for (uint32_t K = 0; K != Cfg.LiveCapPerShard; ++K) {
+      int64_t Key = static_cast<int64_t>(I) +
+                    static_cast<int64_t>(Cfg.Shards) * static_cast<int64_t>(K);
+      HandleScope Scope(Main);
+      Local Val = Scope.handle(V.allocate(Main, ValueType, Cfg.ValueBytes));
+      stampValue(Val.get(), static_cast<uint64_t>(Key));
+      S.Tree->insert(Key, Val);
+      S.Fifo.push_back(Key);
+    }
+  }
+}
+
+KvService::~KvService() = default;
+
+void KvService::lockShard(Vm &V, Shard &S) {
+  if (S.Mutex.try_lock())
+    return;
+  // The holder may be parked at an allocation poll mid-request; waiting
+  // inside a safe scope lets the stop-the-world rendezvous count us as
+  // stopped so that collection (and then the holder) can finish.
+  SafepointSafeScope Safe(V.safepoints());
+  S.Mutex.lock();
+}
+
+void KvService::evictOverCap(WorkloadContext &Ctx, Shard &S) {
+  while (S.Tree->size() > Cfg.LiveCapPerShard && !S.Fifo.empty()) {
+    int64_t Victim = S.Fifo.front();
+    S.Fifo.pop_front();
+    ObjRef Val = S.Tree->find(Victim);
+    if (!Val)
+      continue; // Stale FIFO entry: a request erased this key already.
+    ++S.Stats.Evictions;
+    if (faults::KvEvictLeak.shouldFail()) {
+      // Simulated eviction leak: the policy forgets the entry but the tree
+      // keeps it, so the value stays reachable forever. The assertDead
+      // below is the §2.3.1 check that catches exactly this at the next
+      // collection.
+      ++S.Stats.LeakedEvictions;
+    } else {
+      S.Tree->erase(Victim);
+    }
+    Ctx.assertDead(Val);
+  }
+}
+
+void KvService::execute(WorkloadContext &Ctx, MutatorThread &T,
+                        uint64_t Index) {
+  Vm &V = Ctx.vm();
+  SplitMix64 Rng(requestSeed(Seed, Index));
+  Shard &S = *Shards[Index % Cfg.Shards];
+  uint64_t Op = Rng.nextBelow(100);
+  int64_t Key =
+      static_cast<int64_t>(Index % Cfg.Shards) +
+      static_cast<int64_t>(Cfg.Shards) *
+          static_cast<int64_t>(Rng.nextBelow(Cfg.KeysPerShard));
+
+  if (Op < 55) {
+    // GET: read the value back and assert it unshared — the tree's entry
+    // array holds its only incoming edge, and this path takes no handle
+    // and performs no allocation between find() and registration, so the
+    // raw reference is stable and no extra edge ever exists.
+    lockShard(V, S);
+    std::lock_guard<std::mutex> Lock(S.Mutex, std::adopt_lock);
+    ++S.Stats.Gets;
+    if (ObjRef Val = S.Tree->find(Key)) {
+      ++S.Stats.GetHits;
+      (void)readStamp(Val);
+      Ctx.assertUnshared(Val);
+    }
+  } else if (Op < 85) {
+    // PUT: allocate the new value outside the lock, then swap it in. An
+    // overwritten value becomes unreachable the moment insert() replaces
+    // the entry slot; it is flagged dead after insert returns, with no
+    // poll between the flag and the handle scope closing.
+    HandleScope Scope(T);
+    Local NewVal = Scope.handle(V.allocate(T, ValueType, Cfg.ValueBytes));
+    stampValue(NewVal.get(), Index);
+    lockShard(V, S);
+    std::lock_guard<std::mutex> Lock(S.Mutex, std::adopt_lock);
+    ++S.Stats.Puts;
+    Local OldVal = Scope.handle(S.Tree->find(Key));
+    S.Tree->insert(T, Key, NewVal);
+    if (OldVal) {
+      ++S.Stats.Overwrites;
+      ObjRef Old = OldVal.get();
+      OldVal.set(nullptr);
+      Ctx.assertDead(Old);
+    } else {
+      S.Fifo.push_back(Key);
+      evictOverCap(Ctx, S);
+    }
+  } else if (Op < 95) {
+    // SCAN: a bounded range read. scanFrom never allocates, so the raw
+    // references handed to the callback stay stable throughout.
+    lockShard(V, S);
+    std::lock_guard<std::mutex> Lock(S.Mutex, std::adopt_lock);
+    ++S.Stats.Scans;
+    uint64_t Sum = 0;
+    S.Stats.ScannedPairs += S.Tree->scanFrom(
+        Key, Cfg.ScanLimit, [&Sum](int64_t K, ObjRef Val) {
+          Sum ^= readStamp(Val) + static_cast<uint64_t>(K);
+        });
+    (void)Sum;
+  } else {
+    // ERASE: remove and flag dead. No allocation on this path.
+    lockShard(V, S);
+    std::lock_guard<std::mutex> Lock(S.Mutex, std::adopt_lock);
+    ++S.Stats.Erases;
+    if (ObjRef Val = S.Tree->find(Key)) {
+      S.Tree->erase(Key);
+      Ctx.assertDead(Val);
+    }
+  }
+
+  // Response scratch: per-request garbage in an allocation region, closed
+  // with assert-alldead (§2.3.2) — the serving analog of a request arena.
+  // Sized so a trial's worth of requests turns the heap over and the run
+  // actually serves across collections (the suite heap is 4 MiB).
+  Ctx.startRegion(T);
+  {
+    HandleScope Scope(T);
+    uint64_t Len = 1024 + Rng.nextBelow(1024);
+    Local Resp = Scope.handle(V.allocate(T, ValueType, Len));
+    if (Resp)
+      stampValue(Resp.get(), Index);
+  }
+  Ctx.assertAllDead(T);
+}
+
+uint64_t KvService::digest() const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const auto &S : Shards) {
+    S->Tree->forEach([&H](int64_t Key, ObjRef Val) {
+      H ^= static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL;
+      H *= 0x100000001b3ULL;
+      H ^= Val ? readStamp(Val) : 0;
+      H *= 0x100000001b3ULL;
+    });
+  }
+  return H;
+}
+
+uint64_t KvService::liveEntries() const {
+  uint64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->Tree->size();
+  return Total;
+}
+
+KvStats KvService::stats() const {
+  KvStats Out;
+  for (const auto &S : Shards) {
+    Out.Gets += S->Stats.Gets;
+    Out.GetHits += S->Stats.GetHits;
+    Out.Puts += S->Stats.Puts;
+    Out.Overwrites += S->Stats.Overwrites;
+    Out.Scans += S->Stats.Scans;
+    Out.ScannedPairs += S->Stats.ScannedPairs;
+    Out.Erases += S->Stats.Erases;
+    Out.Evictions += S->Stats.Evictions;
+    Out.LeakedEvictions += S->Stats.LeakedEvictions;
+  }
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- LoadGenerator.cpp - Open/closed-loop load --------------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/LoadGenerator.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+const char *gcassert::serving::loopModeName(LoopMode Mode) {
+  switch (Mode) {
+  case LoopMode::Open:
+    return "open";
+  case LoopMode::Closed:
+    return "closed";
+  }
+  return "unknown";
+}
+
+uint64_t gcassert::serving::exponentialGapNanos(SplitMix64 &Rng,
+                                                double RatePerSec) {
+  assert(RatePerSec > 0 && "offered rate must be positive");
+  // Inverse-CDF sampling: gap = -ln(1 - U) / rate. nextDouble() is in
+  // [0, 1), so 1 - U is in (0, 1] and the log is finite.
+  double U = Rng.nextDouble();
+  double GapSeconds = -std::log(1.0 - U) / RatePerSec;
+  return static_cast<uint64_t>(GapSeconds * 1e9);
+}
+
+ArrivalSchedule::ArrivalSchedule(uint64_t Seed, double RatePerSec,
+                                 uint64_t Count) {
+  SplitMix64 Rng(Seed);
+  Offsets.reserve(Count);
+  uint64_t Now = 0;
+  for (uint64_t I = 0; I != Count; ++I) {
+    Now += exponentialGapNanos(Rng, RatePerSec);
+    Offsets.push_back(Now);
+  }
+}
+
+double ArrivalSchedule::offeredRatePerSec() const {
+  if (Offsets.empty() || Offsets.back() == 0)
+    return 0.0;
+  return static_cast<double>(Offsets.size()) * 1e9 /
+         static_cast<double>(Offsets.back());
+}

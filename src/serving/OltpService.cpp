@@ -1,0 +1,241 @@
+//===- OltpService.cpp - Order-entry OLTP workload -----------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/OltpService.h"
+
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/workloads/Common.h"
+
+#include <cstring>
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+namespace {
+
+/// Byte offset of the named field; aborts if absent (layout mismatch).
+uint32_t fieldOffset(const TypeInfo &Info, const char *Name) {
+  for (const FieldInfo &Field : Info.fields())
+    if (Field.Name == Name)
+      return Field.Offset;
+  reportFatalError("serving order type is missing an expected field");
+}
+
+uint64_t requestSeed(uint64_t Seed, uint64_t Index) {
+  SplitMix64 G(Seed ^ ((Index + 1) * 0x9e3779b97f4a7c15ULL));
+  return G.next();
+}
+
+/// How many open orders each district starts with.
+constexpr uint32_t PrefillOrders = 32;
+
+} // namespace
+
+OltpService::OltpService(WorkloadContext &Ctx, const OltpConfig &Config,
+                         uint64_t Seed)
+    : Cfg(Config), Seed(Seed) {
+  Vm &V = Ctx.vm();
+  LineArrayType = ensureObjectArrayType(V.types());
+  ItemType = ensureByteArrayType(V.types());
+  ScratchType = ensureLongArrayType(V.types());
+  if (const TypeInfo *Info = V.types().lookup("Lserving/Order;")) {
+    OrderType = Info->id();
+    OrderLinesField = fieldOffset(*Info, "lines");
+    OrderSeqField = fieldOffset(*Info, "seq");
+    OrderAmountField = fieldOffset(*Info, "amount");
+  } else {
+    TypeBuilder B(V.types(), "Lserving/Order;");
+    OrderLinesField = B.addRef("lines");
+    OrderSeqField = B.addScalar("seq", 8);
+    OrderAmountField = B.addScalar("amount", 8);
+    OrderType = B.build();
+  }
+
+  MutatorThread &Main = V.mainThread();
+  uint32_t N = Cfg.districts();
+  Districts.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    auto D = std::make_unique<District>();
+    D->Orders = std::make_unique<ManagedBTree>(V, Main);
+    Districts.push_back(std::move(D));
+  }
+  // Prefill each order book; runs on the main thread before any worker
+  // starts, so the locks are not needed yet.
+  for (uint32_t I = 0; I != N; ++I) {
+    for (uint32_t K = 0; K != PrefillOrders; ++K) {
+      SplitMix64 Rng(requestSeed(Seed ^ 0xfeedULL, I * PrefillOrders + K));
+      newOrder(Ctx, Main, *Districts[I], Rng, /*TakeLock=*/false);
+    }
+  }
+}
+
+OltpService::~OltpService() = default;
+
+void OltpService::lockDistrict(Vm &V, District &D) {
+  if (D.Mutex.try_lock())
+    return;
+  // Same discipline as KvService::lockShard: wait as a safepoint-safe
+  // thread so a holder parked at an allocation poll can never deadlock
+  // the stop-the-world rendezvous against us.
+  SafepointSafeScope Safe(V.safepoints());
+  D.Mutex.lock();
+}
+
+void OltpService::deliverOldest(WorkloadContext &Ctx, District &D,
+                                uint32_t MaxBatch, uint64_t FloorSize) {
+  while (MaxBatch-- && D.Orders->size() > FloorSize) {
+    int64_t Key;
+    ObjRef Order = D.Orders->minValue(&Key);
+    if (!Order)
+      return;
+    D.Orders->erase(Key);
+    // The order (with its line array and items) just became unreachable;
+    // no allocation happens before our caller's handles unwind, so the
+    // flag is registered on a stable, truly-dead reference.
+    Ctx.assertDead(Order);
+    ++D.Stats.OrdersDelivered;
+  }
+}
+
+void OltpService::newOrder(WorkloadContext &Ctx, MutatorThread &T,
+                           District &D, SplitMix64 &Rng, bool TakeLock) {
+  Vm &V = Ctx.vm();
+  HandleScope Scope(T);
+
+  // Build the order outside the district lock: a line array referencing
+  // 1..MaxItemsPerOrder item payloads, then the Order object itself.
+  uint32_t Lines = 1 + static_cast<uint32_t>(
+                           Rng.nextBelow(Cfg.MaxItemsPerOrder));
+  Local LinesArr = Scope.handle(V.allocate(T, LineArrayType, Lines));
+  uint64_t Amount = 0;
+  for (uint32_t I = 0; I != Lines; ++I) {
+    Local Item = Scope.handle(V.allocate(T, ItemType, Cfg.ItemBytes));
+    uint64_t Price = Rng.nextBelow(1000);
+    std::memcpy(Item.get()->arrayData(), &Price, sizeof(Price));
+    Amount += Price;
+    LinesArr.get()->setElement(I, Item.get());
+    Item.set(nullptr);
+  }
+  Local Order = Scope.handle(V.allocate(T, OrderType));
+  Order.get()->setRef(OrderLinesField, LinesArr.get());
+  Order.get()->setScalar<int64_t>(OrderAmountField,
+                                  static_cast<int64_t>(Amount));
+
+  if (TakeLock)
+    lockDistrict(V, D);
+  std::unique_lock<std::mutex> Lock(D.Mutex, std::defer_lock);
+  if (TakeLock)
+    Lock = std::unique_lock<std::mutex>(D.Mutex, std::adopt_lock);
+
+  ++D.Stats.NewOrders;
+  D.Stats.OrderLines += Lines;
+  int64_t Seq = D.NextSeq++;
+  Order.get()->setScalar<int64_t>(OrderSeqField, Seq);
+  D.Orders->insert(T, Seq, Order);
+  // §2.5.2: the order must stay reachable through its district's book
+  // until delivery erases it. Registered after insert so the ownership
+  // holds at the very next collection; our handle is an extra root edge,
+  // which the ownership phase tolerates (it marks ownees before the root
+  // trace runs).
+  Ctx.assertOwnedBy(D.Orders->treeObject(), Order.get());
+  deliverOldest(Ctx, D, Cfg.MaxOpenOrders, Cfg.MaxOpenOrders);
+}
+
+void OltpService::execute(WorkloadContext &Ctx, MutatorThread &T,
+                          uint64_t Index) {
+  Vm &V = Ctx.vm();
+  SplitMix64 Rng(requestSeed(Seed, Index));
+  District &D = *Districts[Index % Cfg.districts()];
+  uint64_t Op = Rng.nextBelow(100);
+
+  if (Op < 70) {
+    newOrder(Ctx, T, D, Rng, /*TakeLock=*/true);
+  } else if (Op < 90) {
+    // Order status: a bounded scan over recent orders summing amounts and
+    // line counts. scanFrom never allocates, so the raw references the
+    // callback sees stay stable.
+    lockDistrict(V, D);
+    std::lock_guard<std::mutex> Lock(D.Mutex, std::adopt_lock);
+    ++D.Stats.StatusChecks;
+    int64_t Start =
+        D.NextSeq > 0
+            ? static_cast<int64_t>(
+                  Rng.nextBelow(static_cast<uint64_t>(D.NextSeq)))
+            : 0;
+    uint64_t Sum = 0;
+    D.Stats.StatusOrdersRead += D.Orders->scanFrom(
+        Start, 8, [&Sum, this](int64_t, ObjRef Order) {
+          Sum += static_cast<uint64_t>(
+              Order->getScalar<int64_t>(OrderAmountField));
+          ObjRef Lines = Order->getRef(OrderLinesField);
+          Sum ^= Lines ? Lines->arrayLength() : 0;
+        });
+    (void)Sum;
+  } else {
+    // Delivery batch: pop up to 4 oldest open orders.
+    lockDistrict(V, D);
+    std::lock_guard<std::mutex> Lock(D.Mutex, std::adopt_lock);
+    ++D.Stats.Deliveries;
+    deliverOldest(Ctx, D, 4, 0);
+  }
+
+  // Request scratch in an allocation region closed with assert-alldead
+  // (§2.3.2) — the per-request arena. Sized (longs, so 8x bytes) so a
+  // trial's worth of requests turns the heap over and the run serves
+  // across collections.
+  Ctx.startRegion(T);
+  {
+    HandleScope Scope(T);
+    uint64_t Len = 96 + Rng.nextBelow(160);
+    Local Scratch = Scope.handle(V.allocate(T, ScratchType, Len));
+    if (Scratch) {
+      uint64_t Tag = Index;
+      std::memcpy(Scratch.get()->arrayData(), &Tag, sizeof(Tag));
+    }
+  }
+  Ctx.assertAllDead(T);
+}
+
+uint64_t OltpService::digest() const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const auto &D : Districts) {
+    H ^= static_cast<uint64_t>(D->NextSeq);
+    H *= 0x100000001b3ULL;
+    D->Orders->forEach([&H, this](int64_t Key, ObjRef Order) {
+      H ^= static_cast<uint64_t>(Key) * 0x9e3779b97f4a7c15ULL;
+      H *= 0x100000001b3ULL;
+      if (Order) {
+        H ^= static_cast<uint64_t>(
+            Order->getScalar<int64_t>(OrderAmountField));
+        H *= 0x100000001b3ULL;
+        ObjRef Lines = Order->getRef(OrderLinesField);
+        H ^= Lines ? Lines->arrayLength() : 0;
+        H *= 0x100000001b3ULL;
+      }
+    });
+  }
+  return H;
+}
+
+uint64_t OltpService::openOrders() const {
+  uint64_t Total = 0;
+  for (const auto &D : Districts)
+    Total += D->Orders->size();
+  return Total;
+}
+
+OltpStats OltpService::stats() const {
+  OltpStats Out;
+  for (const auto &D : Districts) {
+    Out.NewOrders += D->Stats.NewOrders;
+    Out.OrderLines += D->Stats.OrderLines;
+    Out.StatusChecks += D->Stats.StatusChecks;
+    Out.StatusOrdersRead += D->Stats.StatusOrdersRead;
+    Out.Deliveries += D->Stats.Deliveries;
+    Out.OrdersDelivered += D->Stats.OrdersDelivered;
+  }
+  return Out;
+}

@@ -1,0 +1,194 @@
+//===- ServingHarness.cpp - Latency-SLO harness --------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/ServingHarness.h"
+
+#include "gcassert/support/ErrorHandling.h"
+#include "gcassert/support/Timer.h"
+#include "gcassert/telemetry/TraceEvents.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+const char *serving::servingWorkloadName(ServingWorkload Workload) {
+  switch (Workload) {
+  case ServingWorkload::Kv:
+    return "kv";
+  case ServingWorkload::Oltp:
+    return "oltp";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Suite-default heap: small enough that per-request garbage keeps the
+/// collector busy (the KV live set is ~1.4 MiB at the default config).
+constexpr size_t DefaultHeapBytes = 4u << 20;
+
+/// Sleeps until \p DueNanos on the monotonic clock without ever blocking a
+/// stop-the-world pause: long waits sleep inside a safepoint-safe scope,
+/// the final stretch spins on the poll.
+void waitUntilNanos(Vm &V, uint64_t DueNanos) {
+  constexpr uint64_t SpinThresholdNanos = 2'000'000;
+  for (;;) {
+    uint64_t Now = monotonicNanos();
+    if (Now >= DueNanos)
+      return;
+    uint64_t Remaining = DueNanos - Now;
+    if (Remaining > SpinThresholdNanos) {
+      SafepointSafeScope Safe(V.safepoints());
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(Remaining - SpinThresholdNanos / 2));
+    } else {
+      V.safepointPoll();
+      std::this_thread::yield();
+    }
+  }
+}
+
+} // namespace
+
+ServingResult serving::runServing(const ServingOptions &Options) {
+  unsigned Threads = Options.Threads ? Options.Threads : 1;
+  uint32_t Partitions = Options.Workload == ServingWorkload::Kv
+                            ? Options.Kv.Shards
+                            : Options.Oltp.districts();
+  if (Partitions == 0 || Partitions % Threads != 0)
+    reportFatalError("runServing: Threads must divide the workload's "
+                     "partition count (see ServingOptions::Threads)");
+
+  VmConfig Config;
+  Config.HeapBytes =
+      Options.HeapBytes ? Options.HeapBytes : DefaultHeapBytes;
+  Config.Collector = Options.Collector;
+  Config.Gc.Threads = Options.GcThreads;
+  Vm TheVm(Config);
+
+  RecordingViolationSink LocalSink;
+  RecordingViolationSink *Sink = Options.Sink ? Options.Sink : &LocalSink;
+  std::unique_ptr<AssertionEngine> Engine;
+  if (Options.Config != BenchConfig::Base)
+    Engine = std::make_unique<AssertionEngine>(TheVm, Sink);
+
+  WorkloadContext Ctx(TheVm, Engine.get(),
+                      Options.Config == BenchConfig::WithAssertions,
+                      Options.Seed);
+
+  // Build + prefill on the main thread before any worker exists.
+  std::unique_ptr<KvService> Kv;
+  std::unique_ptr<OltpService> Oltp;
+  if (Options.Workload == ServingWorkload::Kv)
+    Kv = std::make_unique<KvService>(Ctx, Options.Kv, Options.Seed);
+  else
+    Oltp = std::make_unique<OltpService>(Ctx, Options.Oltp, Options.Seed);
+
+  // Per-thread state, indexed by worker id; no synchronization needed —
+  // each worker touches only its own slot, and the main thread reads them
+  // after the join.
+  bool Open = Options.Loop == LoopMode::Open;
+  std::vector<ArrivalSchedule> Schedules;
+  std::vector<LatencyHistogram> Histograms(Threads);
+  std::vector<uint64_t> Overlaps(Threads, 0);
+  double OfferedRate = 0;
+  for (unsigned T = 0; T != Threads; ++T) {
+    uint64_t Count =
+        Options.Requests > T ? (Options.Requests - T + Threads - 1) / Threads
+                             : 0;
+    if (Open) {
+      Schedules.emplace_back(Options.Seed ^ (0xA550000ULL + T),
+                             Options.OfferedRatePerSec / Threads, Count);
+      OfferedRate += Schedules.back().offeredRatePerSec();
+    }
+  }
+  if (!Open)
+    OfferedRate = 0; // Closed loop has no offered rate; see below.
+
+  std::atomic<uint64_t> StartNanos{0};
+  std::vector<MutatorHandle> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T != Threads; ++T) {
+    uint64_t Count =
+        Options.Requests > T ? (Options.Requests - T + Threads - 1) / Threads
+                             : 0;
+    Workers.push_back(TheVm.startMutator(
+        "serve-" + std::to_string(T),
+        [&, T, Count](Vm &V, MutatorThread &Me) {
+          // Wait for the common start signal so every thread's schedule
+          // shares one time origin.
+          uint64_t Start;
+          while ((Start = StartNanos.load(std::memory_order_acquire)) == 0) {
+            V.safepointPoll();
+            SafepointSafeScope Safe(V.safepoints());
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+          const ArrivalSchedule *Sched = Open ? &Schedules[T] : nullptr;
+          LatencyHistogram &Hist = Histograms[T];
+          for (uint64_t K = 0; K != Count; ++K) {
+            uint64_t Index = T + K * Threads;
+            uint64_t Due = Start;
+            if (Sched) {
+              Due = Start + Sched->offsetNanos(K);
+              waitUntilNanos(V, Due);
+            }
+            uint64_t Begin = monotonicNanos();
+            uint64_t EpochBefore = V.safepoints().epoch();
+            {
+              telemetry::Span Span(telemetry::EventKind::Request, Index);
+              if (Kv)
+                Kv->execute(Ctx, Me, Index);
+              else
+                Oltp->execute(Ctx, Me, Index);
+            }
+            uint64_t End = monotonicNanos();
+            if (V.safepoints().epoch() != EpochBefore)
+              ++Overlaps[T];
+            // Open loop charges queueing delay to the request (measured
+            // from its scheduled arrival); closed loop measures service
+            // time only — the classic coordinated-omission caveat, noted
+            // in the report config.
+            uint64_t Latency =
+                Sched ? (End > Due ? End - Due : 0) : End - Begin;
+            Hist.record(Latency);
+          }
+        }));
+  }
+
+  uint64_t RunStart = monotonicNanos();
+  StartNanos.store(RunStart, std::memory_order_release);
+  for (MutatorHandle &Worker : Workers)
+    Worker.join();
+  uint64_t ElapsedNanos = monotonicNanos() - RunStart;
+
+  // Final collection: runs every still-pending GC assertion (this is what
+  // catches an eviction leak whose victim never saw another cycle).
+  TheVm.collectNow("serving-final");
+
+  ServingResult Result;
+  for (const LatencyHistogram &Hist : Histograms)
+    Result.Latency.merge(Hist);
+  Result.Requests = Result.Latency.count();
+  for (uint64_t N : Overlaps)
+    Result.RequestsOverlappingPause += N;
+  Result.ElapsedMillis = static_cast<double>(ElapsedNanos) / 1e6;
+  Result.AchievedRatePerSec =
+      ElapsedNanos ? static_cast<double>(Result.Requests) * 1e9 /
+                         static_cast<double>(ElapsedNanos)
+                   : 0;
+  Result.OfferedRatePerSec = Open ? OfferedRate : Result.AchievedRatePerSec;
+  Result.GcCycles = TheVm.gcStats().Cycles;
+  Result.StateDigest = Kv ? Kv->digest() : Oltp->digest();
+  Result.LiveEntries = Kv ? Kv->liveEntries() : Oltp->openOrders();
+  Result.Violations = Sink->violations().size();
+  if (Engine)
+    Result.Counters = Engine->counters();
+  return Result;
+}

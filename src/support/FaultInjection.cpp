@@ -354,5 +354,6 @@ Failpoint CorruptFreeLink("corrupt.freelist.link");
 Failpoint CorruptRemSet("corrupt.remset");
 Failpoint TlabRefill("tlab.refill");
 Failpoint SafepointTimeout("safepoint.timeout");
+Failpoint KvEvictLeak("kv.evict.leak");
 } // namespace faults
 } // namespace gcassert

@@ -55,6 +55,8 @@ const char *telemetry::eventKindName(EventKind Kind) {
     return "safepoint_park";
   case EventKind::SafepointStw:
     return "safepoint_stw";
+  case EventKind::Request:
+    return "request";
   }
   return "unknown";
 }

@@ -120,7 +120,7 @@ ManagedBTree::ManagedBTree(Vm &TheVm, MutatorThread &Thread)
   Root = TheVm.addGlobalRoot();
   HandleScope Scope(Thread);
   Local LRoot;
-  allocNode(/*IsLeaf=*/true, Scope, LRoot);
+  allocNode(Thread, /*IsLeaf=*/true, Scope, LRoot);
   ObjRef Tree = TheVm.allocate(Thread, L.Tree);
   Tree->setRef(L.TreeRootField, LRoot.get());
   Tree->setScalar<int64_t>(L.TreeSizeField, 0);
@@ -140,11 +140,12 @@ uint64_t ManagedBTree::size() const {
 
 /// Allocates a node plus its key and entry arrays, each rooted in \p Scope
 /// so the intermediate objects survive the allocations of the later ones.
-ObjRef ManagedBTree::allocNode(bool IsLeaf, HandleScope &Scope, Local &Out) {
-  Local LKeys = Scope.handle(TheVm.allocate(Thread, L.KeyArray, MaxKeys));
+ObjRef ManagedBTree::allocNode(MutatorThread &T, bool IsLeaf,
+                               HandleScope &Scope, Local &Out) {
+  Local LKeys = Scope.handle(TheVm.allocate(T, L.KeyArray, MaxKeys));
   Local LEntries =
-      Scope.handle(TheVm.allocate(Thread, L.EntryArray, MaxKeys + 1));
-  ObjRef Node = TheVm.allocate(Thread, L.Node);
+      Scope.handle(TheVm.allocate(T, L.EntryArray, MaxKeys + 1));
+  ObjRef Node = TheVm.allocate(T, L.Node);
   Node->setRef(L.NodeKeysField, LKeys.get());
   Node->setRef(L.NodeEntriesField, LEntries.get());
   Node->setScalar<uint32_t>(L.NodeCountField, 0);
@@ -155,14 +156,14 @@ ObjRef ManagedBTree::allocNode(bool IsLeaf, HandleScope &Scope, Local &Out) {
 
 /// Splits the full child at \p Index of \p Parent. Allocation-safe: both
 /// nodes are re-read through handles after the sibling is allocated.
-void ManagedBTree::splitChild(Local Parent, uint32_t Index,
+void ManagedBTree::splitChild(MutatorThread &T, Local Parent, uint32_t Index,
                               HandleScope &Scope) {
   Local LChild =
       Scope.handle(NodeView{L, Parent.get()}.entry(Index));
   bool ChildIsLeaf = NodeView{L, LChild.get()}.isLeaf();
 
   Local LSib;
-  allocNode(ChildIsLeaf, Scope, LSib);
+  allocNode(T, ChildIsLeaf, Scope, LSib);
 
   NodeView Child{L, LChild.get()};
   NodeView Sib{L, LSib.get()};
@@ -209,17 +210,21 @@ void ManagedBTree::splitChild(Local Parent, uint32_t Index,
 }
 
 void ManagedBTree::insert(int64_t Key, Local Value) {
-  HandleScope Scope(Thread);
+  insert(Thread, Key, Value);
+}
+
+void ManagedBTree::insert(MutatorThread &T, int64_t Key, Local Value) {
+  HandleScope Scope(T);
 
   // Grow the tree if the root is full.
   if (NodeView{L, rootNode()}.count() == MaxKeys) {
     Local LOldRoot = Scope.handle(rootNode());
     Local LNewRoot;
-    allocNode(/*IsLeaf=*/false, Scope, LNewRoot);
+    allocNode(T, /*IsLeaf=*/false, Scope, LNewRoot);
     NodeView NewRoot{L, LNewRoot.get()};
     NewRoot.setEntry(0, LOldRoot.get());
     treeObject()->setRef(L.TreeRootField, LNewRoot.get());
-    splitChild(LNewRoot, 0, Scope);
+    splitChild(T, LNewRoot, 0, Scope);
   }
 
   Local LCur = Scope.handle(rootNode());
@@ -230,7 +235,7 @@ void ManagedBTree::insert(int64_t Key, Local Value) {
     uint32_t Index = Cur.childIndexFor(Key);
     ObjRef Child = Cur.entry(Index);
     if (NodeView{L, Child}.count() == MaxKeys) {
-      splitChild(LCur, Index, Scope);
+      splitChild(T, LCur, Index, Scope);
       continue; // Re-derive the child index against the updated node.
     }
     LCur.set(Child);
@@ -327,6 +332,22 @@ void ManagedBTree::forEach(
     Fn(Key, Value);
     return true;
   });
+}
+
+uint64_t ManagedBTree::scanFrom(
+    int64_t StartKey, uint64_t Limit,
+    const std::function<void(int64_t, ObjRef)> &Fn) const {
+  uint64_t Visited = 0;
+  walk(L, rootNode(), [&](int64_t Key, ObjRef Value) {
+    if (Key < StartKey)
+      return true;
+    if (Visited == Limit)
+      return false;
+    Fn(Key, Value);
+    ++Visited;
+    return Visited != Limit;
+  });
+  return Visited;
 }
 
 ObjRef ManagedBTree::minValue(int64_t *KeyOut) const {

@@ -1,0 +1,152 @@
+//===- LatencyHistogramTest.cpp - Latency recorder unit tests -----------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving suite's percentile numbers are only as trustworthy as the
+// recorder behind them, so these tests pin the histogram's exact-percentile
+// behavior on small values, the log-linear bucket boundaries, the
+// conservative (never-under-reporting) tail rounding, and per-thread merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/LatencyHistogram.h"
+
+#include "gtest/gtest.h"
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+  EXPECT_EQ(H.valueAtPercentile(50), 0u);
+  EXPECT_EQ(H.valueAtPercentile(99.9), 0u);
+}
+
+TEST(LatencyHistogram, ExactPercentilesBelowLinearMax) {
+  // Values below 64 ns land in exact unit buckets, so percentiles over
+  // them must be exact order statistics (upper-bound convention: the
+  // ceil(P/100*N)-th smallest sample).
+  LatencyHistogram H;
+  for (uint64_t V = 1; V <= 50; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), 50u);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 50u);
+  EXPECT_EQ(H.valueAtPercentile(2), 1u);   // rank 1
+  EXPECT_EQ(H.valueAtPercentile(50), 25u); // rank 25
+  EXPECT_EQ(H.valueAtPercentile(90), 45u); // rank 45
+  EXPECT_EQ(H.valueAtPercentile(99), 50u); // rank ceil(49.5) = 50
+  EXPECT_EQ(H.valueAtPercentile(100), 50u);
+}
+
+TEST(LatencyHistogram, DecimalPercentileRankIsExact) {
+  // 99.9 * 1000 / 100 computes to 999.0000000000001 in doubles; the rank
+  // computation must treat that as exactly 999, not round up to 1000.
+  LatencyHistogram H;
+  for (int I = 0; I != 999; ++I)
+    H.record(10);
+  H.record(50);
+  EXPECT_EQ(H.valueAtPercentile(99.9), 10u); // rank 999: the last 10
+  EXPECT_EQ(H.valueAtPercentile(100), 50u);
+  EXPECT_EQ(H.max(), 50u);
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Unit buckets end at 63; the first octave [64, 128) has 32 sub-buckets
+  // of width 2.
+  EXPECT_EQ(LatencyHistogram::bucketFor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(63), 63u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(64), 64u);
+  EXPECT_EQ(LatencyHistogram::bucketFor(65), 64u); // shares 64's bucket
+  EXPECT_EQ(LatencyHistogram::bucketFor(66), 65u);
+  EXPECT_EQ(LatencyHistogram::bucketUpperBound(63), 63u);
+  EXPECT_EQ(LatencyHistogram::bucketUpperBound(64), 65u);
+
+  // Every power of two starts a fresh octave: 2^k and 2^k - 1 never share
+  // a bucket, and the upper bound of 2^k - 1's bucket is exactly 2^k - 1.
+  for (unsigned K = 7; K != 63; ++K) {
+    uint64_t P = uint64_t(1) << K;
+    size_t Below = LatencyHistogram::bucketFor(P - 1);
+    size_t At = LatencyHistogram::bucketFor(P);
+    EXPECT_LT(Below, At) << "k=" << K;
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(Below), P - 1) << "k=" << K;
+  }
+}
+
+TEST(LatencyHistogram, BucketErrorBoundedByOneThirtySecond) {
+  // The bucket upper bound never under-reports a value and never
+  // over-reports by more than one sub-bucket width (1/32 relative).
+  for (uint64_t V : {64u, 100u, 1000u, 4095u, 4096u, 123456u, 999999937u}) {
+    uint64_t Upper =
+        LatencyHistogram::bucketUpperBound(LatencyHistogram::bucketFor(V));
+    EXPECT_GE(Upper, V);
+    EXPECT_LE(static_cast<double>(Upper - V), static_cast<double>(V) / 32.0 + 1)
+        << "value " << V;
+  }
+}
+
+TEST(LatencyHistogram, PercentileClampedToTrackedMinMax) {
+  // A single large sample: every percentile must report exactly it (the
+  // bucket upper bound is clamped to the exact max).
+  LatencyHistogram H;
+  H.record(1000003);
+  EXPECT_EQ(H.valueAtPercentile(50), 1000003u);
+  EXPECT_EQ(H.valueAtPercentile(99.9), 1000003u);
+  EXPECT_EQ(H.min(), 1000003u);
+  EXPECT_EQ(H.max(), 1000003u);
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleRecorder) {
+  // Recording a sample set split across two histograms and merging must
+  // be indistinguishable from one histogram that saw everything.
+  LatencyHistogram A, B, All;
+  for (uint64_t V = 0; V != 2000; ++V) {
+    uint64_t Sample = (V * 37) % 100000;
+    (V % 2 ? A : B).record(Sample);
+    All.record(Sample);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_EQ(A.sum(), All.sum());
+  EXPECT_EQ(A.min(), All.min());
+  EXPECT_EQ(A.max(), All.max());
+  for (double P : {50.0, 95.0, 99.0, 99.9, 100.0})
+    EXPECT_EQ(A.valueAtPercentile(P), All.valueAtPercentile(P)) << "p" << P;
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram A, Empty;
+  A.record(7);
+  A.record(9000);
+  LatencyHistogram Copy = A;
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), Copy.count());
+  EXPECT_EQ(A.min(), Copy.min());
+  EXPECT_EQ(A.max(), Copy.max());
+
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), A.count());
+  EXPECT_EQ(Empty.min(), A.min());
+  EXPECT_EQ(Empty.max(), A.max());
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram H;
+  H.record(42);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.valueAtPercentile(99), 0u);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- LoadGeneratorTest.cpp - Open-loop arrival schedule tests ----------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The open-loop schedule is the part of the serving harness that must be
+// bit-reproducible: the determinism tests over the KV/OLTP workloads pin
+// final state across collectors, and that only holds if (seed, rate,
+// count) always produces the same arrival times. These tests pin that,
+// plus the statistical contract (exponential gaps at the offered rate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/LoadGenerator.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+namespace {
+
+TEST(ArrivalSchedule, PinnedSeedReproduces) {
+  ArrivalSchedule A(42, 1000.0, 500);
+  ArrivalSchedule B(42, 1000.0, 500);
+  ASSERT_EQ(A.count(), 500u);
+  ASSERT_EQ(B.count(), 500u);
+  for (uint64_t I = 0; I != 500; ++I)
+    ASSERT_EQ(A.offsetNanos(I), B.offsetNanos(I)) << "offset " << I;
+}
+
+TEST(ArrivalSchedule, DifferentSeedsDiverge) {
+  ArrivalSchedule A(1, 1000.0, 64);
+  ArrivalSchedule B(2, 1000.0, 64);
+  bool AnyDiffer = false;
+  for (uint64_t I = 0; I != 64 && !AnyDiffer; ++I)
+    AnyDiffer = A.offsetNanos(I) != B.offsetNanos(I);
+  EXPECT_TRUE(AnyDiffer);
+}
+
+TEST(ArrivalSchedule, OffsetsNonDecreasing) {
+  ArrivalSchedule S(7, 50000.0, 2000);
+  for (uint64_t I = 1; I != S.count(); ++I)
+    ASSERT_GE(S.offsetNanos(I), S.offsetNanos(I - 1)) << "offset " << I;
+}
+
+TEST(ArrivalSchedule, OfferedRateConvergesToRequested) {
+  // With 20k exponential gaps the realized rate is within a few percent
+  // of the requested one (stderr of the mean gap is rate/sqrt(n) ~ 0.7%);
+  // 10% leaves ample slack while still catching a units bug (ms vs ns,
+  // off-by-1000) outright.
+  for (double Rate : {500.0, 2000.0, 100000.0}) {
+    ArrivalSchedule S(0x5eed, Rate, 20000);
+    double Realized = S.offeredRatePerSec();
+    EXPECT_GT(Realized, Rate * 0.9) << "rate " << Rate;
+    EXPECT_LT(Realized, Rate * 1.1) << "rate " << Rate;
+  }
+}
+
+TEST(ArrivalSchedule, AccountingMatchesOffsets) {
+  // offeredRatePerSec is defined as count / last offset.
+  ArrivalSchedule S(9, 1000.0, 1000);
+  uint64_t Last = S.offsetNanos(S.count() - 1);
+  ASSERT_GT(Last, 0u);
+  double Expected =
+      static_cast<double>(S.count()) * 1e9 / static_cast<double>(Last);
+  EXPECT_NEAR(S.offeredRatePerSec(), Expected, Expected * 1e-9);
+}
+
+TEST(ExponentialGap, MeanMatchesRate) {
+  // The mean of n exponential draws at rate R concentrates around 1/R
+  // seconds. Pinned stream, so no flake tolerance games.
+  SplitMix64 Rng(123);
+  constexpr int N = 50000;
+  double Rate = 10000.0;
+  double SumNanos = 0;
+  for (int I = 0; I != N; ++I)
+    SumNanos += static_cast<double>(exponentialGapNanos(Rng, Rate));
+  double MeanNanos = SumNanos / N;
+  double ExpectedNanos = 1e9 / Rate;
+  EXPECT_GT(MeanNanos, ExpectedNanos * 0.95);
+  EXPECT_LT(MeanNanos, ExpectedNanos * 1.05);
+}
+
+TEST(LoopMode, Names) {
+  EXPECT_STREQ(loopModeName(LoopMode::Open), "open");
+  EXPECT_STREQ(loopModeName(LoopMode::Closed), "closed");
+}
+
+} // namespace

@@ -1,0 +1,230 @@
+//===- SloPipelineTest.cpp - BENCH_latency_slo.json pipeline test --------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end over the latency-SLO reporting pipeline: run a small serving
+// configuration, emit a BENCH_latency_slo.json through the same SloReport.h
+// helpers the bench binary uses, check the document parses (JsonCheck.h),
+// and drive tools/bench_compare over it — a clean baseline/current pair
+// must pass, and an injected floor or ceiling violation must exit 1.
+//
+// bench_compare needs a python3; when the host has none the compare cases
+// skip (the JSON-shape assertions still run everywhere).
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/SloReport.h"
+#include "gcassert/serving/ServingHarness.h"
+#include "telemetry/JsonCheck.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace gcassert;
+using namespace gcassert::bench;
+using namespace gcassert::serving;
+
+namespace {
+
+#ifndef GCASSERT_BENCH_COMPARE
+#error "GCASSERT_BENCH_COMPARE must point at tools/bench_compare"
+#endif
+
+bool havePython3() {
+  int Rc = std::system("python3 -c pass > /dev/null 2>&1");
+  return Rc != -1 && WIFEXITED(Rc) && WEXITSTATUS(Rc) == 0;
+}
+
+/// Runs "python3 tools/bench_compare [--soft] BASELINE CURRENT"; returns
+/// the exit code (or -1 when the shell itself failed).
+int runBenchCompare(const std::string &Baseline, const std::string &Current,
+                    bool Soft = false) {
+  std::string Cmd = std::string("python3 '") + GCASSERT_BENCH_COMPARE + "' " +
+                    (Soft ? "--soft " : "") + "'" + Baseline + "' '" +
+                    Current + "' > /dev/null 2>&1";
+  int Rc = std::system(Cmd.c_str());
+  if (Rc == -1 || !WIFEXITED(Rc))
+    return -1;
+  return WEXITSTATUS(Rc);
+}
+
+std::string makeTempDir() {
+  char Template[] = "/tmp/gcassert-slo-XXXXXX";
+  const char *Dir = mkdtemp(Template);
+  EXPECT_NE(Dir, nullptr);
+  return Dir ? Dir : "";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Emits one BENCH_latency_slo.json built from \p Samples into \p Dir via
+/// the env-var redirection the bench binaries use. \p Decorate may add
+/// floors/ceilings before the write.
+void emitReport(const std::string &Dir, const SloTrialSamples &Samples,
+                void (*Decorate)(JsonReport &)) {
+  JsonReport Report("latency_slo");
+  Report.setConfig("trials", static_cast<int64_t>(2));
+  Report.setConfig("loop", "closed");
+  Report.setTopology(/*GcThreads=*/1, /*MutatorThreads=*/1);
+  addSloSeries(Report, "kv.t1", Samples);
+  if (Decorate)
+    Decorate(Report);
+
+  const char *Old = std::getenv("GCASSERT_BENCH_JSON_DIR");
+  std::string Saved = Old ? Old : "";
+  setenv("GCASSERT_BENCH_JSON_DIR", Dir.c_str(), 1);
+  EXPECT_TRUE(Report.write());
+  if (Old)
+    setenv("GCASSERT_BENCH_JSON_DIR", Saved.c_str(), 1);
+  else
+    unsetenv("GCASSERT_BENCH_JSON_DIR");
+}
+
+/// One small closed-loop KV run per trial — the real harness, so the
+/// emitted numbers are genuine percentiles, not fabricated ones.
+SloTrialSamples collectSamples() {
+  SloTrialSamples Samples;
+  for (int Trial = 0; Trial != 2; ++Trial) {
+    ServingOptions Options;
+    Options.Workload = ServingWorkload::Kv;
+    Options.Threads = 1;
+    Options.Loop = LoopMode::Closed;
+    Options.Requests = 300;
+    Options.Seed = 0x510 + static_cast<uint64_t>(Trial);
+    Samples.add(runServing(Options));
+  }
+  return Samples;
+}
+
+TEST(SloPipeline, EmittedReportIsValidSchemaV1Json) {
+  SloTrialSamples Samples = collectSamples();
+  std::string Dir = makeTempDir();
+  ASSERT_FALSE(Dir.empty());
+  emitReport(Dir, Samples, nullptr);
+
+  std::string Text = readFile(Dir + "/BENCH_latency_slo.json");
+  EXPECT_TRUE(jsoncheck::isValidJson(Text)) << Text;
+  EXPECT_NE(Text.find("\"schema_version\": 1"), std::string::npos);
+  // Every percentile series plus the correlation scalars must be present.
+  for (const char *Metric :
+       {"kv.t1.p50_ms", "kv.t1.p95_ms", "kv.t1.p99_ms", "kv.t1.p999_ms",
+        "kv.t1.max_ms", "kv.t1.requests", "kv.t1.requests_overlapping_pause",
+        "kv.t1.gc_cycles", "kv.t1.violations"})
+    EXPECT_NE(Text.find(std::string("\"") + Metric + "\""), std::string::npos)
+        << Metric;
+}
+
+TEST(SloPipeline, BenchCompareAcceptsCleanPair) {
+  if (!havePython3())
+    GTEST_SKIP() << "no python3 on this host";
+  SloTrialSamples Samples = collectSamples();
+  std::string Baseline = makeTempDir();
+  std::string Current = makeTempDir();
+  ASSERT_FALSE(Baseline.empty());
+  ASSERT_FALSE(Current.empty());
+  // Identical reports with attainable bounds on both sides: no regression,
+  // no floor/ceiling violation.
+  auto Attainable = +[](JsonReport &Report) {
+    addSloCeilings(Report, "kv.t1", /*P99MaxMs=*/1e9, /*P999MaxMs=*/1e9);
+  };
+  emitReport(Baseline, Samples, Attainable);
+  emitReport(Current, Samples, Attainable);
+  EXPECT_EQ(runBenchCompare(Baseline, Current), 0);
+}
+
+TEST(SloPipeline, BenchCompareFailsInjectedFloorViolation) {
+  if (!havePython3())
+    GTEST_SKIP() << "no python3 on this host";
+  SloTrialSamples Samples = collectSamples();
+  std::string Baseline = makeTempDir();
+  std::string Current = makeTempDir();
+  ASSERT_FALSE(Baseline.empty());
+  ASSERT_FALSE(Current.empty());
+  emitReport(Baseline, Samples, nullptr);
+  // A p99 floor of 1e9 ms is unattainable by construction: floors bind on
+  // the CURRENT run, so only the current copy carries it.
+  emitReport(Current, Samples, +[](JsonReport &Report) {
+    Report.addFloor("kv.t1.p99_ms", 1e9);
+  });
+  EXPECT_EQ(runBenchCompare(Baseline, Current), 1);
+}
+
+TEST(SloPipeline, BenchCompareFailsInjectedCeilingViolation) {
+  if (!havePython3())
+    GTEST_SKIP() << "no python3 on this host";
+  SloTrialSamples Samples = collectSamples();
+  // Closed-loop service time is always strictly positive, so max_ms
+  // cannot squeeze under a 1e-9 ms ceiling.
+  ASSERT_GT(Samples.MaxMs.mean(), 0.0);
+  std::string Baseline = makeTempDir();
+  std::string Current = makeTempDir();
+  ASSERT_FALSE(Baseline.empty());
+  ASSERT_FALSE(Current.empty());
+  emitReport(Baseline, Samples, nullptr);
+  emitReport(Current, Samples, +[](JsonReport &Report) {
+    Report.addCeiling("kv.t1.max_ms", 1e-9);
+  });
+  EXPECT_EQ(runBenchCompare(Baseline, Current), 1);
+}
+
+TEST(SloPipeline, BenchCompareAcceptsCommittedBaseline) {
+  if (!havePython3())
+    GTEST_SKIP() << "no python3 on this host";
+  // The committed bench_results/baseline snapshot must accept a freshly
+  // emitted report under the CI invocation (--soft: shared-runner tails
+  // drift, and the baseline's floors/ceilings — the only hard gates —
+  // were emitted on a host that could meet them).
+  std::string Committed =
+      std::string(GCASSERT_COMMITTED_BASELINE) + "/BENCH_latency_slo.json";
+  std::ifstream In(Committed);
+  if (!In.good())
+    GTEST_SKIP() << "no committed baseline at " << Committed;
+
+  std::string Baseline = makeTempDir();
+  std::string Current = makeTempDir();
+  ASSERT_FALSE(Baseline.empty());
+  ASSERT_FALSE(Current.empty());
+  {
+    std::ofstream Out(Baseline + "/BENCH_latency_slo.json");
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Out << Buf.str();
+  }
+  SloTrialSamples Samples = collectSamples();
+  emitReport(Current, Samples, nullptr);
+  EXPECT_EQ(runBenchCompare(Baseline, Current, /*Soft=*/true), 0);
+}
+
+TEST(SloPipeline, BenchCompareFailsCeilingOnMissingMetric) {
+  if (!havePython3())
+    GTEST_SKIP() << "no python3 on this host";
+  SloTrialSamples Samples = collectSamples();
+  std::string Baseline = makeTempDir();
+  std::string Current = makeTempDir();
+  ASSERT_FALSE(Baseline.empty());
+  ASSERT_FALSE(Current.empty());
+  emitReport(Baseline, Samples, nullptr);
+  // A ceiling over a metric the report does not emit must fail too: a
+  // renamed series would otherwise silently void the SLO.
+  emitReport(Current, Samples, +[](JsonReport &Report) {
+    Report.addCeiling("kv.t1.no_such_metric_ms", 100.0);
+  });
+  EXPECT_EQ(runBenchCompare(Baseline, Current), 1);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- KvServiceTest.cpp - Managed KV serving workload tests -------------------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The KV serving workload's two contracts: (1) for a fixed seed and
+// request count the final service state is identical across all four
+// collectors and across every partition-dividing mutator-thread count,
+// with zero assertion violations — which is what lets the suite assert
+// "the collector changed nothing"; (2) a seeded eviction leak (the FIFO
+// forgets an entry the tree still holds) is caught by the assertDead the
+// eviction path registers, within the run's own collections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/serving/ServingHarness.h"
+#include "gcassert/support/FaultInjection.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::serving;
+
+namespace {
+
+const CollectorKind AllCollectors[] = {
+    CollectorKind::MarkSweep, CollectorKind::SemiSpace,
+    CollectorKind::MarkCompact, CollectorKind::Generational};
+
+ServingOptions kvOptions(CollectorKind Collector, unsigned Threads) {
+  ServingOptions Options;
+  Options.Workload = ServingWorkload::Kv;
+  Options.Collector = Collector;
+  Options.Threads = Threads;
+  // Closed loop: same request stream as open loop (arrival times never
+  // feed the per-request RNG), without the wall-clock cost of pacing.
+  Options.Loop = LoopMode::Closed;
+  Options.Requests = 600;
+  Options.Seed = 0x6b76; // "kv"
+  return Options;
+}
+
+class KvServiceTest : public ::testing::Test {
+protected:
+  void TearDown() override { disarmAllFailpoints(); }
+};
+
+TEST_F(KvServiceTest, FinalStateIdenticalAcrossCollectorsAndThreadCounts) {
+  std::vector<ServingResult> Results;
+  for (CollectorKind Collector : AllCollectors)
+    for (unsigned Threads : {1u, 4u})
+      Results.push_back(runServing(kvOptions(Collector, Threads)));
+
+  ASSERT_FALSE(Results.empty());
+  const ServingResult &First = Results.front();
+  EXPECT_NE(First.StateDigest, 0u);
+  EXPECT_GT(First.LiveEntries, 0u);
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const ServingResult &R = Results[I];
+    EXPECT_EQ(R.StateDigest, First.StateDigest) << "configuration " << I;
+    EXPECT_EQ(R.LiveEntries, First.LiveEntries) << "configuration " << I;
+    EXPECT_EQ(R.Violations, 0u) << "configuration " << I;
+    EXPECT_EQ(R.Requests, 600u) << "configuration " << I;
+  }
+}
+
+TEST_F(KvServiceTest, ExercisesTheAssertionSurface) {
+  ServingResult Result = runServing(kvOptions(CollectorKind::MarkSweep, 1));
+  // GETs flag values unshared, evictions/erases/overwrites flag them dead,
+  // and every request closes an assert-alldead region.
+  EXPECT_GT(Result.Counters.AssertUnsharedCalls, 0u);
+  EXPECT_GT(Result.Counters.AssertDeadCalls, 0u);
+  EXPECT_GE(Result.Counters.RegionsOpened, Result.Requests);
+  EXPECT_EQ(Result.Counters.RegionsOpened, Result.Counters.RegionsClosed);
+  EXPECT_GT(Result.GcCycles, 0u);
+  EXPECT_EQ(Result.Violations, 0u);
+}
+
+TEST_F(KvServiceTest, LoopModeDoesNotChangeFinalState) {
+  ServingOptions Closed = kvOptions(CollectorKind::MarkSweep, 1);
+  ServingOptions Open = Closed;
+  Open.Loop = LoopMode::Open;
+  Open.OfferedRatePerSec = 50000.0; // keep the paced run short
+  ServingResult A = runServing(Closed);
+  ServingResult B = runServing(Open);
+  EXPECT_EQ(A.StateDigest, B.StateDigest);
+  EXPECT_EQ(A.LiveEntries, B.LiveEntries);
+}
+
+TEST_F(KvServiceTest, SeededEvictionLeakCaughtByAssertDead) {
+  // Arm the leak failpoint once: the first eviction pops the FIFO entry
+  // but leaves the tree edge in place, so the "dead" value stays
+  // reachable. The assertDead registered at eviction must flag it at a
+  // collection before the run ends (the harness's final collection runs
+  // all still-pending assertions) — under open-loop load, as the suite
+  // serves it.
+  faults::KvEvictLeak.resetCounters();
+  faults::KvEvictLeak.armOnce();
+
+  ServingOptions Options = kvOptions(CollectorKind::MarkSweep, 1);
+  Options.Loop = LoopMode::Open;
+  Options.OfferedRatePerSec = 20000.0;
+  ServingResult Result = runServing(Options);
+
+  EXPECT_EQ(faults::KvEvictLeak.firedCount(), 1u)
+      << "the run produced no eviction to leak";
+  EXPECT_GE(Result.Violations, 1u)
+      << "leaked eviction was not flagged by assertDead";
+}
+
+TEST_F(KvServiceTest, NoLeakMeansNoViolations) {
+  // Control for the leak test: the identical run with the failpoint
+  // disarmed is violation-free.
+  ServingOptions Options = kvOptions(CollectorKind::MarkSweep, 1);
+  Options.Loop = LoopMode::Open;
+  Options.OfferedRatePerSec = 20000.0;
+  ServingResult Result = runServing(Options);
+  EXPECT_EQ(Result.Violations, 0u);
+}
+
+} // namespace
