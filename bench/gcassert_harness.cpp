@@ -13,6 +13,7 @@
 //                    [--collector=marksweep|semispace|markcompact|generational]
 //                    [--gc-threads=N] [--mutator-threads=N] [--iters=N]
 //                    [--seed=N] [--hardening=off|check|full] [--verify-heap]
+//                    [--incremental] [--mark-budget=N]
 //                    [--trace-out=FILE] [--metrics-out=FILE] [--list]
 //
 // The serving suite rides the same binary: --workload=kv or --workload=oltp
@@ -67,6 +68,7 @@ namespace {
             "         [--gc-threads=N] [--mutator-threads=N] [--iters=N]\n"
             "         [--seed=N] [--hardening=off|check|full] "
             "[--verify-heap]\n"
+            "         [--incremental] [--mark-budget=N]\n"
             "         [--trace-out=FILE] [--metrics-out=FILE] [--list]\n"
             "  (GCASSERT_MUTATOR_THREADS=N is the env equivalent of "
             "--mutator-threads)\n"
@@ -159,6 +161,12 @@ int main(int Argc, char **Argv) {
       MetricsOut = V;
     } else if (!std::strcmp(Arg, "--verify-heap")) {
       Options.VerifyHeapAfterGc = true;
+    } else if (!std::strcmp(Arg, "--incremental")) {
+      // SATB incremental marking (DESIGN.md §15) — mark-sweep only; the
+      // other collector families ignore the knob.
+      Options.Incremental = true;
+    } else if (const char *V = matchOpt(Arg, "--mark-budget")) {
+      Options.MarkBudget = std::strtoull(V, nullptr, 0);
     } else if (!std::strcmp(Arg, "--list")) {
       for (const std::string &Name : WorkloadRegistry::names())
         outs() << Name << '\n';

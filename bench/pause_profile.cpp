@@ -1,0 +1,266 @@
+//===- pause_profile.cpp - STW vs incremental pause distribution ---------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The bounded-pause claim, measured (DESIGN.md §15): build a large live
+// graph under the mark-sweep collector, then compare the stop-the-world
+// pause distribution (one pause = one full collection) against the
+// incremental SATB drive (one pause = the snapshot begin, one budgeted
+// mark slice, or the terminal drain+sweep) at two mark budgets. The graph
+// is rewired and churned between pauses in both modes, so the incremental
+// numbers include deletion-barrier logging and black allocation, not an
+// idle heap.
+//
+// Every pause is timed from the driving thread around the call that stops
+// the world, which is exactly the latency a request thread would see. The
+// report publishes the full pause series per mode plus max/p99 scalars,
+// and cross-checks the collector's own GcStats::MaxPauseNanos against the
+// externally timed maximum.
+//
+// NOTE on hosts: the pause-reduction floor (stw max / incremental max)
+// compares two numbers measured on the same host and needs no parallelism,
+// but on a single-core machine a preempted slice can inflate the
+// incremental maximum arbitrarily, so the floor is emitted only when
+// hardware_concurrency() >= 2 — elsewhere the numbers are published
+// ungated (bench_compare still warns on regressions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/BenchCommon.h"
+#include "common/BenchJson.h"
+
+#include "gcassert/runtime/Vm.h"
+#include "gcassert/support/Timer.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::bench;
+
+namespace {
+
+/// Live graph size: enough nodes that a full mark is a visibly long pause
+/// on any host, small enough that a trial stays in milliseconds.
+constexpr unsigned LiveNodes = 60000;
+/// Out-degree of each node (RefArray length).
+constexpr uint64_t NodeDegree = 4;
+/// Root slots the graph hangs from.
+constexpr unsigned RootSlots = 8;
+/// Checking collections measured per trial in stop-the-world mode (and
+/// incremental cycles per trial in incremental mode).
+constexpr unsigned CyclesPerTrial = 4;
+/// Graph edges rewired + garbage objects allocated between two pauses —
+/// the mutation the SATB barrier and black allocation must absorb.
+constexpr unsigned MutationsBetweenPauses = 256;
+
+/// Mark budgets (objects per slice) for the incremental mode.
+const uint64_t MarkBudgets[] = {512, 4096};
+
+struct ModeResult {
+  std::vector<double> PauseMs; ///< every pause, in order
+  double StatsMaxPauseMs = 0;  ///< the collector's own accounting
+  uint64_t MarkSlices = 0;
+  uint64_t SatbLoggedSlots = 0;
+};
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Index = static_cast<size_t>(P / 100.0 *
+                                     static_cast<double>(Sorted.size() - 1));
+  return Sorted[Index];
+}
+
+class xorshift {
+public:
+  explicit xorshift(uint64_t Seed) : State(Seed | 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// One trial of one mode. MarkBudget == 0 selects the stop-the-world
+/// drive; otherwise the incremental drive at that budget. Pacing is
+/// disabled (IncrementalSliceAllocs pushed out of reach) so every pause
+/// happens inside a timed call here, none between them.
+ModeResult runTrial(uint64_t MarkBudget, uint64_t Seed) {
+  VmConfig Config;
+  Config.HeapBytes = 64u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  if (MarkBudget) {
+    Config.Gc.Incremental = true;
+    Config.Gc.MarkBudget = MarkBudget;
+    Config.Gc.IncrementalSliceAllocs = 1u << 30;
+  }
+  Vm TheVm(Config);
+  TypeId Node = TheVm.types().registerRefArray("pause.node");
+  TypeId Junk = TheVm.types().registerDataArray("pause.junk", 1);
+
+  MutatorThread &Main = TheVm.mainThread();
+  std::vector<GlobalRootId> Roots;
+  for (unsigned I = 0; I != RootSlots; ++I)
+    Roots.push_back(TheVm.addGlobalRoot());
+
+  // Build the live graph: a spine threaded through every root slot plus
+  // random back edges, so marking must chase real pointers.
+  xorshift Rng(Seed);
+  {
+    HandleScope Scope(Main);
+    std::vector<Local> Recent;
+    for (unsigned I = 0; I != 64; ++I)
+      Recent.push_back(Scope.handle());
+    for (unsigned I = 0; I != LiveNodes; ++I) {
+      ObjRef Obj = TheVm.allocate(Main, Node, NodeDegree);
+      if (!Obj)
+        break;
+      ObjRef Prev = TheVm.globalRoot(Roots[I % RootSlots]);
+      Obj->setElement(0, Prev);
+      ObjRef Back = Recent[Rng.next() % Recent.size()].get();
+      if (Back)
+        Obj->setElement(1 + Rng.next() % (NodeDegree - 1), Back);
+      Recent[I % Recent.size()].set(Obj);
+      TheVm.setGlobalRoot(Roots[I % RootSlots], Obj);
+    }
+  }
+
+  // Rewires a few edges near the roots and drops some short-lived garbage:
+  // the inter-pause mutation both modes pay for identically.
+  auto Mutate = [&] {
+    for (unsigned I = 0; I != MutationsBetweenPauses; ++I) {
+      ObjRef A = TheVm.globalRoot(Roots[Rng.next() % RootSlots]);
+      ObjRef B = TheVm.globalRoot(Roots[Rng.next() % RootSlots]);
+      if (A && B)
+        A->setElement(1 + Rng.next() % (NodeDegree - 1), B);
+      TheVm.allocate(Main, Junk, 16);
+    }
+  };
+
+  ModeResult Result;
+  auto TimedPause = [&](auto &&Fn) {
+    uint64_t Start = monotonicNanos();
+    Fn();
+    Result.PauseMs.push_back(
+        static_cast<double>(monotonicNanos() - Start) / 1e6);
+  };
+
+  // One untimed warmup collection so both modes start from a swept heap.
+  TheVm.collectNow("pause-profile warmup");
+
+  for (unsigned Cycle = 0; Cycle != CyclesPerTrial; ++Cycle) {
+    Mutate();
+    if (!MarkBudget) {
+      TimedPause([&] { TheVm.collectNow("pause-profile stw"); });
+      continue;
+    }
+    TimedPause([&] { TheVm.incrementalBeginNow("pause-profile"); });
+    while (TheVm.incrementalCycleActive()) {
+      Mutate();
+      // The final slice auto-finishes the cycle (terminal drain + sweep),
+      // so the terminal pause is timed like every other slice.
+      TimedPause([&] { TheVm.incrementalStepNow(); });
+    }
+  }
+
+  const GcStats &S = TheVm.gcStats();
+  Result.StatsMaxPauseMs = static_cast<double>(S.MaxPauseNanos) / 1e6;
+  Result.MarkSlices = S.MarkSlices;
+  Result.SatbLoggedSlots = S.SatbLoggedSlots;
+  return Result;
+}
+
+std::string modeName(uint64_t MarkBudget) {
+  return MarkBudget ? format("inc_b%llu",
+                             static_cast<unsigned long long>(MarkBudget))
+                    : std::string("stw");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  int Trials = trialCount(Argc, Argv, 5);
+  unsigned HostCores = std::thread::hardware_concurrency();
+  JsonReport Report("pause_profile");
+  Report.setConfig("trials", static_cast<int64_t>(Trials));
+  Report.setConfig("live_nodes", static_cast<uint64_t>(LiveNodes));
+  Report.setConfig("cycles_per_trial", static_cast<uint64_t>(CyclesPerTrial));
+  Report.setTopology(/*GcThreads=*/1, /*MutatorThreads=*/1);
+
+  outs() << "Pause profile: stop-the-world vs incremental SATB marking\n";
+  outs() << format("host cores: %u   trials: %d   live graph: %u nodes\n\n",
+                   HostCores, Trials, LiveNodes);
+  outs() << format("%-10s %8s %10s %10s %10s %10s %8s\n", "mode", "pauses",
+                   "mean (ms)", "p99 (ms)", "max (ms)", "stats max",
+                   "slices");
+  printRule();
+
+  double StwMax = 0;
+  std::vector<std::pair<uint64_t, double>> IncMaxByBudget;
+  std::vector<uint64_t> Modes = {0};
+  Modes.insert(Modes.end(), std::begin(MarkBudgets), std::end(MarkBudgets));
+
+  for (uint64_t Budget : Modes) {
+    SampleSet Pauses;
+    double StatsMax = 0;
+    uint64_t Slices = 0, Logged = 0;
+    for (int Trial = 0; Trial != Trials; ++Trial) {
+      ModeResult R = runTrial(Budget, 0x9a5e + static_cast<uint64_t>(Trial));
+      for (double Ms : R.PauseMs)
+        Pauses.add(Ms);
+      StatsMax = std::max(StatsMax, R.StatsMaxPauseMs);
+      Slices += R.MarkSlices;
+      Logged += R.SatbLoggedSlots;
+    }
+    std::string Mode = modeName(Budget);
+    double P99 = percentile(Pauses.values(), 99.0);
+    outs() << format("%-10s %8llu %10.3f %10.3f %10.3f %10.3f %8llu\n",
+                     Mode.c_str(),
+                     static_cast<unsigned long long>(Pauses.size()),
+                     Pauses.mean(), P99, Pauses.max(), StatsMax,
+                     static_cast<unsigned long long>(Slices));
+
+    Report.addSeries(Mode + ".pause_ms", Pauses);
+    Report.addScalar(Mode + ".p99_ms", P99);
+    Report.addScalar(Mode + ".max_pause_ms", Pauses.max());
+    Report.addScalar(Mode + ".stats_max_pause_ms", StatsMax);
+    if (Budget) {
+      Report.addScalar(Mode + ".mark_slices", static_cast<double>(Slices));
+      Report.addScalar(Mode + ".satb_logged_slots",
+                       static_cast<double>(Logged));
+      IncMaxByBudget.emplace_back(Budget, Pauses.max());
+    } else {
+      StwMax = Pauses.max();
+    }
+  }
+
+  outs() << '\n';
+  for (const auto &[Budget, IncMax] : IncMaxByBudget) {
+    double Reduction = IncMax > 0 ? StwMax / IncMax : 0;
+    std::string Metric =
+        format("pause_reduction.b%llu",
+               static_cast<unsigned long long>(Budget));
+    Report.addScalar(Metric, Reduction);
+    // The tail actually dropped: the worst incremental pause must be a
+    // multiple shorter than the worst stop-the-world pause. Hard floor
+    // only where a slice cannot be preempted into dishonesty.
+    bool Gated = HostCores >= 2;
+    if (Gated)
+      Report.addFloor(Metric, 3.0);
+    outs() << format("max-pause reduction at budget %llu: %.1fx%s\n",
+                     static_cast<unsigned long long>(Budget), Reduction,
+                     Gated ? "  (floor: 3.0x)"
+                           : "  (no floor: single-core host)");
+  }
+  outs().flush();
+  return Report.write() ? 0 : 1;
+}

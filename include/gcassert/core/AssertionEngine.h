@@ -189,6 +189,8 @@ public:
     return Level == DegradationLevel::Full;
   }
   void onMemoryPressure(MemoryPressure Pressure) override;
+  void onSnapshotOpen() override;
+  void onSnapshotClose() override;
   /// @}
 
 private:
@@ -276,6 +278,54 @@ private:
   /// assertDead's body without the lock, for assertAllDead (which flags a
   /// whole region log under one acquisition).
   void assertDeadLocked(ObjRef Obj);
+
+  /// \name Snapshot-cycle registration deferral (DESIGN.md §15)
+  ///
+  /// Between onSnapshotOpen and onSnapshotClose an incremental cycle is
+  /// checking the heap as of its snapshot pause. A registration landing
+  /// mid-cycle must not perturb that check — setting HF_Dead now could make
+  /// this cycle's trace report an object that was not dead-asserted at the
+  /// snapshot; changing an instance limit would corrupt the census being
+  /// accumulated. So the state mutations queue here (FIFO, under
+  /// RegistrationMutex) and apply at onSnapshotClose, after the sweep —
+  /// which is exactly when a stop-the-world run would first see them: after
+  /// collection K, checked at K+1. Counters still bump at call time (the
+  /// call happened); only the heap/table mutations wait. Every queued
+  /// target is either snapshot-reachable or allocated black during the
+  /// cycle (a mutator can only name such objects), so it survives the
+  /// terminal sweep and the deferred mutation lands on a live object.
+  /// @{
+  struct DeferredRegistration {
+    enum class Op : uint8_t {
+      Dead,
+      Unshared,
+      Instances,
+      ClearInstances,
+      Volume,
+      ClearVolume,
+      OwnedBy,
+    };
+    Op Kind;
+    ObjRef A = nullptr; ///< Dead/Unshared target; OwnedBy owner.
+    ObjRef B = nullptr; ///< OwnedBy ownee.
+    TypeId Type = 0;    ///< Instances/Volume type.
+    uint64_t Limit = 0; ///< Instances/Volume limit.
+  };
+  /// Applies one queued registration's state mutation (no counters).
+  void applyRegistration(const DeferredRegistration &R);
+  /// Pure state mutations shared by the immediate and deferred paths.
+  void applyInstances(TypeId Type, uint32_t Limit);
+  void applyClearInstances(TypeId Type);
+  void applyVolume(TypeId Type, uint64_t LimitBytes);
+  void applyClearVolume(TypeId Type);
+
+  /// Guarded by RegistrationMutex (the GC-time toggles in
+  /// onSnapshotOpen/Close run with the world stopped, where no mutator can
+  /// be inside a registration; they still take the mutex so the
+  /// happens-before story is trivial).
+  bool SnapshotActive = false;
+  std::vector<DeferredRegistration> DeferredRegs;
+  /// @}
 
   EngineCounters Counters;
 };

@@ -36,6 +36,11 @@ enum class MatrixKind : uint8_t {
   /// EveryNth failpoints count allocations, and churn-thread allocations
   /// would make the trip site nondeterministic.
   HardenedOnly,
+  /// Stop-the-world mark-sweep next to its incremental (SATB snapshot)
+  /// drive: {stw, incremental} x {1,2,4} GC threads x hardening {Off,
+  /// Check} x {1,4} mutator threads = 24 configs. The nightly incremental
+  /// campaign leg runs this.
+  Incremental,
 };
 
 std::vector<RunConfig> buildMatrix(MatrixKind Kind);

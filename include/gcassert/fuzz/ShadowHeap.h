@@ -84,6 +84,11 @@ struct ShadowResult {
   ViolationMultiset Violations;
   /// One snapshot per Collect op, in order.
   std::vector<LiveSnapshot> Snapshots;
+  /// The end-of-run live set: plain root closure over the final graph, the
+  /// prediction for every run's checks-detached cleanup collection (no
+  /// ownership phase — a dead owner's region does not keep objects alive
+  /// here).
+  LiveSnapshot Final;
   /// Total objects the trace allocated.
   uint64_t ObjectsAllocated = 0;
 };

@@ -37,6 +37,17 @@ struct RunConfig {
   /// TLAB and root-scan path is exercised without perturbing the
   /// collector-independent result the oracle predicts.
   unsigned MutatorThreads = 1;
+  /// Drive the mark-sweep family incrementally (SATB snapshot cycles,
+  /// DESIGN.md §15): each Collect op finishes the in-flight cycle — whose
+  /// snapshot was pinned at the *previous* Collect op — and opens the next
+  /// one, with allocation-paced mark slices advancing it between ops.
+  /// Because every cycle is checked against the heap exactly as it stood
+  /// at a Collect op, the violation multiset must still match the oracle
+  /// bit-for-bit; only the per-Collect live snapshots are skipped (black
+  /// allocation retains floating garbage until the next cycle), replaced
+  /// by the end-of-run Final snapshot every config must agree on.
+  /// Ignored for the other collector families.
+  bool Incremental = false;
 };
 
 std::string describeRunConfig(const RunConfig &Config);
@@ -54,8 +65,14 @@ struct RunResult {
   ViolationMultiset Violations;
   /// OwnershipOverlap warnings seen (counted, not compared).
   uint64_t OverlapWarnings = 0;
-  /// One snapshot per Collect op.
+  /// One snapshot per Collect op. Empty for incremental runs (floating
+  /// garbage makes mid-run live sets collector-dependent); Final is the
+  /// cross-config anchor instead.
   std::vector<LiveSnapshot> Snapshots;
+  /// The end-of-run live set, taken after a final checks-detached
+  /// stop-the-world collection: exactly the objects reachable from the
+  /// roots when the program ended, identical for every config.
+  LiveSnapshot Final;
 
   GcStats Stats;
   uint64_t EngineGcCycles = 0;

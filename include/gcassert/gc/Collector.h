@@ -63,6 +63,39 @@ struct GcConfig {
 
   /// Invoked per defect under HardeningPolicy::Callback.
   HeapHardening::DefectCallback OnDefectCallback;
+
+  /// \name Incremental marking (mark-sweep family only, DESIGN.md §15)
+  /// @{
+
+  /// Enables snapshot-at-the-beginning incremental marking: cycles begun
+  /// through MarkSweepCollector::incrementalBegin (the Vm's slice scheduler
+  /// drives this) mark in budgeted stop-the-world slices interleaved with
+  /// mutation, with a Yuasa-style deletion barrier keeping the trace exact,
+  /// and finish with a short terminal pause that runs the post-trace checks
+  /// and the sweep. collect() still completes a whole cycle — it finishes
+  /// the active one, or runs begin-to-terminal back to back — so every
+  /// trigger path stays correct. Other collector families ignore the knob
+  /// (the generational heap owns the store barrier the snapshot needs).
+  bool Incremental = false;
+
+  /// Objects scanned per incremental mark slice. An object-count budget is
+  /// deterministic across hosts (the fuzzer's differential matrix depends
+  /// on that); at the default ~512 a slice is tens of microseconds. 0 means
+  /// unbounded — the first slice finishes the whole mark.
+  uint64_t MarkBudget = 512;
+
+  /// Allocations per mutator thread between incremental pacing polls
+  /// (Vm::allocate ticks a per-thread countdown; on expiry it runs a mark
+  /// slice, or begins a cycle when IncrementalTriggerOccupancy says so).
+  uint32_t IncrementalSliceAllocs = 64;
+
+  /// Heap occupancy (BytesInUse / BytesCapacity) at or above which the
+  /// pacing poll begins a new incremental cycle on its own, so marking is
+  /// already spread across slices before allocation failure would force a
+  /// full synchronous cycle. 0 (the default) disables the trigger: cycles
+  /// begin only at explicit collections and allocation failure.
+  double IncrementalTriggerOccupancy = 0.0;
+  /// @}
 };
 
 /// Cumulative statistics across all collections of one collector.
@@ -91,6 +124,26 @@ struct GcStats {
   /// across all cycles. Zero for sequential cycles and the copying
   /// collectors.
   uint64_t Steals = 0;
+
+  /// \name Incremental marking (DESIGN.md §15)
+  /// @{
+
+  /// Cycles that ran incrementally (snapshot pause + mark slices +
+  /// terminal pause) rather than as one atomic stop-the-world collection.
+  /// Also counted in Cycles.
+  uint64_t IncrementalCycles = 0;
+  /// Budgeted mark slices run across all incremental cycles (snapshot and
+  /// terminal pauses not included).
+  uint64_t MarkSlices = 0;
+  /// Longest single stop-the-world pause, nanoseconds: for atomic
+  /// collections the whole cycle, for incremental cycles the longest of
+  /// the snapshot pause, any one slice, and the terminal pause. This is
+  /// the number bounded-pause collection exists to shrink.
+  uint64_t MaxPauseNanos = 0;
+  /// Slots logged by the SATB deletion barrier across all incremental
+  /// cycles (mutator stores that overwrote a snapshot-era value).
+  uint64_t SatbLoggedSlots = 0;
+  /// @}
 
   /// \name Resilience counters
   /// Accounting for the fault-tolerance layer (DESIGN.md §8): how often
@@ -190,8 +243,13 @@ protected:
   /// histogram, the "gc.*" counter mirror, and the occupancy gauge read
   /// from \p TheHeap. Every collector family's collect() funnels through
   /// here, so GcStats and the metrics snapshot can never drift apart.
+  ///
+  /// \p RecordMaxPause: atomic collections are one pause, so the elapsed
+  /// time also feeds Stats.MaxPauseNanos. Incremental cycles pass false —
+  /// their elapsed time spans several short pauses, and the incremental
+  /// engine maxes each pause into the stat individually.
   void finishCycleTiming(uint64_t StartNanos, Heap &TheHeap,
-                         bool MinorCycle = false);
+                         bool MinorCycle = false, bool RecordMaxPause = true);
 
   /// The worker pool for parallel phases, or null when Config.Threads <= 1.
   /// Spawned on first use and parked between cycles; re-spawned when the

@@ -9,6 +9,13 @@
 /// ("We implemented these assertions in Jikes RVM 3.0.0 using the MarkSweep
 /// collector", §2.2). Works over a FreeListHeap.
 ///
+/// Besides the atomic collect() every collector provides, this family can
+/// run a cycle *incrementally* (DESIGN.md §15): a snapshot pause that fixes
+/// the traced graph, budgeted mark slices interleaved with mutation, and a
+/// short terminal pause that checks and sweeps. The Vm's allocation tick
+/// drives the slice schedule; the assertion results are bit-for-bit those of
+/// a stop-the-world collection at the snapshot pause.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCASSERT_GC_MARKSWEEPCOLLECTOR_H
@@ -17,17 +24,70 @@
 #include "gcassert/gc/Collector.h"
 #include "gcassert/heap/FreeListHeap.h"
 
+#include <memory>
+
 namespace gcassert {
+
+namespace detail {
+class IncrementalCycleBase;
+}
 
 class MarkSweepCollector : public Collector {
 public:
-  MarkSweepCollector(FreeListHeap &TheHeap, RootProvider &Roots)
-      : Collector(Roots), TheHeap(TheHeap) {}
+  MarkSweepCollector(FreeListHeap &TheHeap, RootProvider &Roots);
+  ~MarkSweepCollector() override;
 
+  /// Runs one whole collection. With an incremental cycle in flight, that
+  /// means finishing it (final drain + checks + sweep in this one pause) —
+  /// the snapshot was taken when the cycle began, so this is the collection
+  /// the cycle has been running all along. Otherwise a normal atomic cycle.
   void collect(const char *Cause) override;
 
+  /// \name Incremental marking (DESIGN.md §15)
+  /// The Vm calls all of these with the world stopped (slices are short
+  /// stop-the-world pauses; there is no concurrent marking). A cycle is:
+  /// incrementalBegin, then markStep while incrementalHasWork, then
+  /// finishCycle — with the world running between calls. The caller owns
+  /// the same pre-collection duties as for collect() only where noted.
+  /// @{
+
+  /// True while a cycle is in flight (begun, not yet finished).
+  bool incrementalActive() const { return Active != nullptr; }
+
+  /// True while the in-flight cycle has marking left. False once the
+  /// worklist drains — the caller should proceed to finishCycle (which is
+  /// cheap at that point: checks + sweep only).
+  bool incrementalHasWork() const;
+
+  /// Snapshot pause: begins a cycle (roots scanned, SATB barrier + black
+  /// allocation armed). Requires no cycle in flight and, under hardening,
+  /// a synced checksum cache (same as collect()). TLABs need not be
+  /// retired — nothing sweeps here.
+  void incrementalBegin(const char *Cause);
+
+  /// One budgeted mark slice (Config.MarkBudget objects; 0 = unbounded).
+  void markStep();
+
+  /// Terminal pause: final drain, assertion checks, sweep, barrier
+  /// teardown. Requires the same caller duties as collect() (TLABs
+  /// retired — the sweep re-threads abandoned cells).
+  void finishCycle();
+  /// @}
+
 private:
+  /// Folds one stop-the-world pause into the cycle's accounting:
+  /// accumulates toward the cycle's total GC time and maxes into
+  /// Stats.MaxPauseNanos (incremental cycles record per-pause maxima;
+  /// see finishCycleTiming's RecordMaxPause).
+  void notePause(uint64_t PauseNanos);
+
   FreeListHeap &TheHeap;
+  /// The in-flight incremental cycle, or null.
+  std::unique_ptr<detail::IncrementalCycleBase> Active;
+  /// GC work time accumulated across the in-flight cycle's pauses, so the
+  /// terminal finishCycleTiming reports the cycle's total work (not its
+  /// wall-clock span, which includes mutator time between slices).
+  uint64_t CyclePauseNanos = 0;
 };
 
 } // namespace gcassert

@@ -1,0 +1,96 @@
+//===- gcassert/gc/Satb.h - SATB deletion-barrier slot log ------*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The snapshot-at-the-beginning slot log behind incremental mark-sweep
+/// (DESIGN.md §15).
+///
+/// While an incremental cycle is active, a SatbSnapshot is installed as the
+/// process store barrier. It implements an *exact virtual snapshot*: for
+/// every reference slot the mutators overwrite during the cycle it records
+/// the slot's value as of the first overwrite — which, because the log opens
+/// at the snapshot pause, is the slot's snapshot-time value. The tracer
+/// resolves every slot it scans through snapshotValue(), so the incremental
+/// trace walks exactly the object graph that existed at the snapshot pause,
+/// no matter how the mutators rewire the heap between slices.
+///
+/// This is stronger than the classic Yuasa barrier (which greys deleted
+/// values and over-approximates liveness): the assertion checks piggybacked
+/// on the trace — dead, unshared encounter counts, ownership reachability,
+/// census totals — produce bit-for-bit the violations a stop-the-world
+/// collection at the snapshot point would have produced.
+///
+/// Concurrency: mutators append under the log mutex while the world runs;
+/// the tracer reads during stop-the-world mark slices. Reads take the mutex
+/// too — slices run with every mutator parked, so the lock is uncontended
+/// there and merely keeps the happens-before story trivial under TSan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_GC_SATB_H
+#define GCASSERT_GC_SATB_H
+
+#include "gcassert/heap/Object.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace gcassert {
+
+/// The deletion-barrier slot log for one incremental marking cycle.
+/// activate()/deactivate() run inside stop-the-world pauses (the snapshot
+/// and terminal pauses), so installation is ordered against every mutator
+/// store by the safepoint rendezvous.
+class SatbSnapshot final : public StoreBarrier {
+public:
+  ~SatbSnapshot() override;
+
+  /// Installs this log as the process store barrier. Stop-the-world only;
+  /// fails fatally if another barrier (a generational heap) owns the hook.
+  void activate();
+
+  /// Uninstalls and clears the log. Stop-the-world only.
+  void deactivate();
+
+  bool active() const { return Active; }
+
+  /// StoreBarrier: first overwrite of a slot logs its snapshot-time value.
+  void recordStore(Object *Holder, Object **Slot, Object *Old,
+                   Object *New) override;
+
+  /// The snapshot-time value of \p Slot, given its current contents
+  /// \p Current: the logged old value if the mutators overwrote the slot
+  /// since the snapshot pause, else \p Current.
+  ObjRef snapshotValue(ObjRef *Slot, ObjRef Current) const {
+    std::lock_guard<std::mutex> L(Mutex);
+    auto It = Log.find(Slot);
+    return It == Log.end() ? Current : It->second;
+  }
+
+  /// True when the mutators overwrote \p Slot after the snapshot pause. The
+  /// tracer must not write through such a slot (severing a dead reference
+  /// there would clobber the mutator's newer value).
+  bool overwrittenSinceSnapshot(ObjRef *Slot) const {
+    std::lock_guard<std::mutex> L(Mutex);
+    return Log.find(Slot) != Log.end();
+  }
+
+  /// Slots logged so far this cycle.
+  size_t loggedSlots() const {
+    std::lock_guard<std::mutex> L(Mutex);
+    return Log.size();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  /// slot -> value at the snapshot pause (first-overwrite-wins).
+  std::unordered_map<Object **, Object *> Log;
+  bool Active = false;
+};
+
+} // namespace gcassert
+
+#endif // GCASSERT_GC_SATB_H

@@ -24,6 +24,7 @@
 #ifndef GCASSERT_GC_TRACECORE_H
 #define GCASSERT_GC_TRACECORE_H
 
+#include "gcassert/gc/Satb.h"
 #include "gcassert/gc/TraceHooks.h"
 #include "gcassert/heap/Hardening.h"
 #include "gcassert/heap/TypeRegistry.h"
@@ -59,10 +60,18 @@ public:
 
   void setPhase(TracePhase NewPhase) { Phase = NewPhase; }
 
+  /// Attaches the SATB slot log of an active incremental cycle: every slot
+  /// this tracer scans resolves to its snapshot-time value, and severs are
+  /// suppressed on slots the mutators overwrote since the snapshot. Null
+  /// (the default) restores plain stop-the-world reads.
+  void setSnapshot(const SatbSnapshot *S) { Snapshot = S; }
+
   /// Processes one reference slot: visits the referent if new, updates the
   /// slot under a moving space, and performs the assertion checks.
   void processSlot(ObjRef *Slot) {
     ObjRef Obj = *Slot;
+    if (GCA_UNLIKELY(Snapshot != nullptr))
+      Obj = Snapshot->snapshotValue(Slot, Obj);
     if (!Obj)
       return;
 
@@ -81,7 +90,7 @@ public:
       EdgeVerdict V = Hard->screenEdge(Obj);
       if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
         Hard->reportEdgeDefect(V, Obj, capturePath(Obj));
-        *Slot = nullptr;
+        severSlot(Slot);
         return;
       }
     }
@@ -91,7 +100,7 @@ public:
         EdgeVerdict V = Hard->classifyObjectHeader(Obj);
         if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
           Hard->reportEdgeDefect(V, Obj, capturePath(Obj));
-          *Slot = nullptr;
+          severSlot(Slot);
           return;
         }
       }
@@ -116,7 +125,7 @@ public:
     if (GCA_UNLIKELY(Hard != nullptr) && !Hard->full() &&
         GCA_UNLIKELY(!Hard->plausibleVisitedHeader(Obj))) {
       Hard->reportEdgeDefect(EdgeVerdict::BadTypeId, Obj, capturePath(Obj));
-      *Slot = nullptr;
+      severSlot(Slot);
       return;
     }
 
@@ -135,7 +144,7 @@ public:
           EdgeVerdict V = Hard->classifyObjectHeader(NewAddr);
           if (GCA_UNLIKELY(V != EdgeVerdict::Ok)) {
             Hard->reportEdgeDefect(V, NewAddr, capturePath(NewAddr));
-            *Slot = nullptr;
+            severSlot(Slot);
             return;
           }
         }
@@ -182,6 +191,35 @@ public:
     }
   }
 
+  /// Budgeted drain for incremental mark slices: scans at most
+  /// \p MaxObjects objects off the worklist, then returns how many it
+  /// scanned. The worklist (including any tagged path prefix under
+  /// RecordPaths) carries over to the next call unchanged, so a trace split
+  /// across slices scans exactly the objects one uninterrupted drain()
+  /// would have.
+  size_t drainUpTo(size_t MaxObjects) {
+    size_t Scanned = 0;
+    while (Scanned < MaxObjects && !Worklist.empty()) {
+      uintptr_t Entry = Worklist.back();
+      if constexpr (RecordPaths) {
+        if (Entry & 1) {
+          Worklist.pop_back();
+          continue;
+        }
+        Worklist.back() = Entry | 1;
+      } else {
+        Worklist.pop_back();
+      }
+      scanObjectFields(reinterpret_cast<ObjRef>(Entry));
+      ++Scanned;
+    }
+    return Scanned;
+  }
+
+  /// True while objects (or, under RecordPaths, finished path entries)
+  /// remain on the worklist.
+  bool hasWork() const { return !Worklist.empty(); }
+
   /// Like scanObjectFields + drain, but for an unvisited scan origin (an
   /// owner in the ownership phase): with path recording the origin is pushed
   /// tagged so reports include it, without ever marking it.
@@ -218,6 +256,18 @@ public:
 private:
   void push(ObjRef Obj) { Worklist.push_back(reinterpret_cast<uintptr_t>(Obj)); }
 
+  /// Nulls \p Slot (a defective or force-severed reference) unless an
+  /// active snapshot says the mutators already replaced its value — the
+  /// snapshot-time referent is gone from the slot, and the newer value must
+  /// not be clobbered. A stop-the-world collection at the snapshot point
+  /// would have severed the slot and the mutator would have overwritten it
+  /// afterwards, so skipping the write converges to the same heap state.
+  void severSlot(ObjRef *Slot) {
+    if (GCA_LIKELY(Snapshot == nullptr) ||
+        !Snapshot->overwrittenSinceSnapshot(Slot))
+      *Slot = nullptr;
+  }
+
   /// The slow(er) path for first encounters when checks are enabled.
   /// Returns false if the reference was severed and the object must not be
   /// visited.
@@ -227,7 +277,7 @@ private:
 
     if (GCA_UNLIKELY(Flags & HF_Dead)) {
       if (Hooks->severDeadReferences()) {
-        *Slot = nullptr;
+        severSlot(Slot);
         return false;
       }
       Hooks->onDeadReachable(Obj, capturePath(Obj), Phase);
@@ -267,6 +317,8 @@ private:
   TypeRegistry &Types;
   TraceHooks *Hooks;
   HeapHardening *Hard;
+  /// Active incremental cycle's slot log, or null for atomic traces.
+  const SatbSnapshot *Snapshot = nullptr;
   std::vector<uintptr_t> Worklist;
   TracePhase Phase = TracePhase::Roots;
   uint64_t Visited = 0;

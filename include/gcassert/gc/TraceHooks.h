@@ -163,6 +163,22 @@ public:
   /// Memory-pressure notice from the runtime's emergency cascade or a
   /// collector's pre-flight occupancy guard. Default: ignore.
   virtual void onMemoryPressure(MemoryPressure Pressure) { (void)Pressure; }
+
+  /// An incremental cycle opened its SATB snapshot (DESIGN.md §15): the
+  /// world is stopped, onGcBegin and the ownership phase are about to run,
+  /// and the world will then resume with the cycle still active. Between
+  /// open and close the engine defers assertion registrations that would
+  /// mutate in-flight trace state (they apply at the terminal pause, after
+  /// the sweep, and take effect at the next cycle — exactly the cycle a
+  /// stop-the-world run would first check them in). Default: ignore, for
+  /// atomic collections and hook implementations that predate incremental
+  /// marking.
+  virtual void onSnapshotOpen() {}
+
+  /// The incremental cycle's terminal pause finished (checks ran, sweep
+  /// done). The engine applies registrations deferred since
+  /// onSnapshotOpen(). Called before the world resumes. Default: ignore.
+  virtual void onSnapshotClose() {}
 };
 
 } // namespace gcassert

@@ -133,6 +133,27 @@ public:
   /// cell. With \p Repair, a corrupt list is truncated at the bad link.
   void auditStructure(std::vector<HeapDefect> &Defects, bool Repair) override;
 
+  /// Lock-free approximation of stats().BytesInUse for pacing heuristics
+  /// (the Vm's incremental occupancy trigger polls this from mutator
+  /// context, where taking the allocation mutex or stopping the world per
+  /// poll would defeat the point). Updated under the allocation mutex at
+  /// every in-use change, so it lags true occupancy only by in-flight TLAB
+  /// bumps (flushed at each refill/retire).
+  uint64_t bytesInUseApprox() const {
+    return InUseMirror.load(std::memory_order_relaxed);
+  }
+
+  /// Black allocation for incremental marking (DESIGN.md §15): while set,
+  /// every fresh object is born with the mark bit, so objects allocated
+  /// during an active incremental cycle survive the terminal sweep without
+  /// ever being scanned (they cannot hold snapshot-era references the
+  /// trace needs). Toggled only inside stop-the-world pauses. The mark bit
+  /// is outside the header checksum's coverage (type id + array length),
+  /// so hardened stamping is unaffected.
+  void setAllocateBlack(bool B) {
+    AllocateBlack.store(B, std::memory_order_relaxed);
+  }
+
 private:
   struct BlockInfo {
     /// Index into the size-class table; ~0u when the block is uncarved.
@@ -169,6 +190,8 @@ private:
     auto Obj = reinterpret_cast<ObjRef>(Cell);
     Obj->header().Type = Id;
     Obj->header().Flags = 0;
+    if (GCA_UNLIKELY(AllocateBlack.load(std::memory_order_relaxed)))
+      Obj->header().setMarked();
     const TypeInfo &Type = Types.get(Id);
     if (Type.isArray())
       Obj->setArrayLength(ArrayLength);
@@ -212,6 +235,15 @@ private:
   size_t LargeBudget;
 
   uint64_t LiveBytesAfterSweep = 0;
+
+  /// Born-marked allocation while an incremental cycle is active. Atomic
+  /// only to keep the unsynchronized mutator reads well-defined: the flag
+  /// flips exclusively inside stop-the-world pauses, so every mutator
+  /// observes the new value via the safepoint rendezvous before it can
+  /// allocate again.
+  std::atomic<bool> AllocateBlack{false};
+  /// See bytesInUseApprox().
+  std::atomic<uint64_t> InUseMirror{0};
 };
 
 inline ObjRef FreeListHeap::allocateWithTlab(TlabSet &T, TypeId Id,

@@ -52,9 +52,12 @@ public:
   bool contains(const void *Ptr) const override;
   /// @}
 
-  /// StoreBarrier: records old-to-nursery stores. Out of line for the
-  /// "corrupt.remset" failpoint (validation of the remembered-set audit).
-  void recordStore(Object *Holder, Object *Value) override;
+  /// StoreBarrier: records old-to-nursery stores (the slot and outgoing
+  /// value the SATB-oriented signature carries are irrelevant here). Out of
+  /// line for the "corrupt.remset" failpoint (validation of the
+  /// remembered-set audit).
+  void recordStore(Object *Holder, Object **Slot, Object *Old,
+                   Object *New) override;
 
   /// Attaches hardening to the nursery bookkeeping and the old generation.
   void setHardening(HeapHardening *H) override {

@@ -59,7 +59,7 @@ public:
   }
 
   void setRef(uint32_t Offset, ObjRef Value) {
-    storeBarrier(this, Value);
+    storeBarrier(this, reinterpret_cast<ObjRef *>(payload() + Offset), Value);
     std::memcpy(payload() + Offset, &Value, sizeof(ObjRef));
   }
 
@@ -106,7 +106,7 @@ public:
 
   void setElement(uint64_t Index, ObjRef Value) {
     assert(Index < arrayLength() && "array index out of bounds");
-    storeBarrier(this, Value);
+    storeBarrier(this, reinterpret_cast<ObjRef *>(arrayData()) + Index, Value);
     std::memcpy(arrayData() + Index * sizeof(ObjRef), &Value, sizeof(ObjRef));
   }
 

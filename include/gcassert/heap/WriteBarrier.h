@@ -5,13 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The mutator store barrier used by the generational heap.
+/// The mutator store barrier shared by the generational heap and the
+/// incremental mark-sweep snapshot.
 ///
 /// Every mutator reference store (Object::setRef / setElement) consults a
-/// process-wide hook. The non-generational heaps leave it null — one
-/// predictable branch per store — while a GenerationalHeap installs itself
-/// to record old-to-nursery references in its remembered set. GC-internal
-/// slot updates write through raw slots and deliberately bypass the barrier.
+/// process-wide hook. The plain heaps leave it null — one predictable branch
+/// per store. A GenerationalHeap installs itself for its whole lifetime to
+/// record old-to-nursery references in its remembered set; an incremental
+/// mark-sweep cycle installs a SatbSnapshot (gc/Satb.h) for the duration of
+/// the cycle to log the *old* value of every overwritten slot — the
+/// Yuasa-style deletion barrier that keeps the snapshot-at-the-beginning
+/// trace exact. The barrier therefore sees the slot address and the
+/// outgoing value, not just the incoming one. GC-internal slot updates
+/// write through raw slots and deliberately bypass the barrier.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,20 +35,26 @@ class StoreBarrier {
 public:
   virtual ~StoreBarrier();
 
-  /// \p Holder just stored a reference to \p Value (non-null).
-  virtual void recordStore(Object *Holder, Object *Value) = 0;
+  /// \p Holder is about to overwrite the reference slot \p Slot — whose
+  /// current value is \p Old — with \p New (either may be null). Called
+  /// before the store lands.
+  virtual void recordStore(Object *Holder, Object **Slot, Object *Old,
+                           Object *New) = 0;
 };
 
 namespace detail {
-/// The active barrier, or null. At most one generational heap may be live
-/// per process.
+/// The active barrier, or null. At most one barrier may be installed at a
+/// time: a generational heap owns it for its lifetime, an incremental
+/// mark-sweep cycle for the duration of the cycle (the two cannot coexist
+/// in one process — incremental marking is a mark-sweep-family mode).
 extern StoreBarrier *ActiveStoreBarrier;
 } // namespace detail
 
-/// Called from every mutator reference store.
-inline void storeBarrier(Object *Holder, Object *Value) {
-  if (GCA_UNLIKELY(detail::ActiveStoreBarrier != nullptr) && Value)
-    detail::ActiveStoreBarrier->recordStore(Holder, Value);
+/// Called from every mutator reference store. The old value is loaded only
+/// on the cold path (a barrier is installed).
+inline void storeBarrier(Object *Holder, Object **Slot, Object *New) {
+  if (GCA_UNLIKELY(detail::ActiveStoreBarrier != nullptr))
+    detail::ActiveStoreBarrier->recordStore(Holder, Slot, *Slot, New);
 }
 
 } // namespace gcassert

@@ -119,12 +119,25 @@ public:
   void setTlabs(std::unique_ptr<TlabSet> T) { Tlabs = std::move(T); }
   /// @}
 
+  /// \name Incremental pacing (DESIGN.md §15)
+  ///
+  /// Allocations remaining until this thread's next incremental pacing
+  /// poll. The Vm seeds it with GcConfig::IncrementalSliceAllocs when
+  /// incremental marking is configured and decrements it at every
+  /// Vm::allocate; on expiry the thread runs a mark slice (or begins a
+  /// cycle) and reloads. Touched only by the owning OS thread.
+  /// @{
+  uint32_t &incrementalCountdown() { return IncrementalCountdown; }
+  /// @}
+
 private:
   uint32_t Id;
   std::string Name;
   std::vector<ObjRef> Handles;
   std::vector<ObjRef> *RegionLog = nullptr;
   std::unique_ptr<TlabSet> Tlabs;
+  /// 0 disables pacing for this thread (the Vm seeds it when configured).
+  uint32_t IncrementalCountdown = 0;
 };
 
 inline ObjRef Local::get() const {

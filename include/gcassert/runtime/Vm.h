@@ -24,6 +24,7 @@
 #include "gcassert/support/ErrorHandling.h"
 #include "gcassert/support/FaultInjection.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,8 @@
 #include <vector>
 
 namespace gcassert {
+
+class MarkSweepCollector;
 
 /// Which collector/heap pair the VM runs.
 enum class CollectorKind : uint8_t {
@@ -180,6 +183,15 @@ public:
   /// Array types require \p ArrayLength.
   ObjRef allocate(MutatorThread &Thread, TypeId Id, uint64_t ArrayLength = 0) {
     Safepoints.poll();
+    // Incremental pacing tick (DESIGN.md §15), before the allocation: a
+    // cycle beginning here must take its snapshot before this object
+    // exists, so the fresh object is born black (allocated during the
+    // cycle) rather than snapshot-unreachable and swept out from under
+    // the caller. Pacing off: one predicted branch.
+    if (GCA_UNLIKELY(IncPacing) && --Thread.incrementalCountdown() == 0) {
+      Thread.incrementalCountdown() = IncPaceAllocs;
+      incrementalPacePoll();
+    }
     // TLAB fast path (mark-sweep only): a pure bump in this thread's
     // buffer, no lock taken. Everything else funnels through the heap's
     // own (internally locked) allocate.
@@ -213,6 +225,33 @@ public:
 
   /// Runs a collection immediately.
   void collectNow(const char *Cause = "explicit");
+
+  /// \name Incremental marking (DESIGN.md §15)
+  /// Explicit driving of incremental cycles, for harnesses and tests that
+  /// want deterministic phase boundaries instead of (or on top of) the
+  /// allocation-tick pacing. Valid only when the VM was built with
+  /// CollectorKind::MarkSweep and VmConfig::Gc.Incremental; no-ops
+  /// otherwise. Each call stops the world for its pause.
+  /// @{
+
+  /// True while an incremental cycle is in flight.
+  bool incrementalCycleActive() const {
+    return IncCycleRunning.load(std::memory_order_relaxed);
+  }
+
+  /// Begins an incremental cycle (snapshot pause). No-op if one is
+  /// already in flight.
+  void incrementalBeginNow(const char *Cause = "explicit");
+
+  /// Runs one budgeted mark slice of the in-flight cycle; when the slice
+  /// drains the worklist the terminal pause (checks + sweep) runs in the
+  /// same stop-the-world window. No-op with no cycle in flight.
+  void incrementalStepNow();
+
+  /// Completes the in-flight cycle: remaining mark work, checks, sweep,
+  /// barrier teardown. No-op with no cycle in flight.
+  void incrementalFinishNow();
+  /// @}
 
   /// \name Out-of-memory handling
   /// @{
@@ -268,6 +307,15 @@ private:
   /// All collections funnel through here so PostGcCallback fires on every
   /// completed cycle. Callers hold the stop-the-world window.
   void runCollectorCycle(const char *Cause);
+  /// The allocation tick's slow path: advances the in-flight incremental
+  /// cycle by one slice (finishing it when marking is done) or begins one
+  /// when the occupancy trigger says so. Called every
+  /// GcConfig::IncrementalSliceAllocs allocations per thread.
+  GCA_NOINLINE void incrementalPacePoll();
+  /// Terminal pause body shared by every finish path: TLAB retirement,
+  /// checksum sync, MarkSweepCollector::finishCycle, PostGcCallback.
+  /// Caller holds the stop-the-world window.
+  void finishIncrementalLocked();
   /// Retires every thread's TLABs (and the heap's partially-carved TLAB
   /// blocks) so the sweep sees a parseable heap. Stop-the-world only.
   void retireAllTlabs();
@@ -283,6 +331,19 @@ private:
   FreeListHeap *TlabHeap = nullptr;
   size_t TlabMaxBytes = 0;
   std::unique_ptr<Collector> TheCollector;
+  /// Non-null only for MarkSweep with VmConfig::Gc.Incremental: TheCollector
+  /// downcast once, like TlabHeap.
+  MarkSweepCollector *IncCollector = nullptr;
+  /// Mirror of "pacing configured" for the allocation fast path.
+  bool IncPacing = false;
+  /// Countdown reload value (GcConfig::IncrementalSliceAllocs, min 1).
+  uint32_t IncPaceAllocs = 0;
+  /// GcConfig::IncrementalTriggerOccupancy, cached.
+  double IncTrigger = 0.0;
+  /// Mirror of IncCollector->incrementalActive(), readable without the
+  /// stop-the-world window (the collector's own state is only touched
+  /// inside one). Relaxed: the pace poll re-checks under the window.
+  std::atomic<bool> IncCycleRunning{false};
   std::unique_ptr<HeapHardening> Hard;
   std::function<void()> PostGcCallback;
   /// Guards every access to Threads: spawning threads races with the

@@ -84,11 +84,16 @@ enum class EventKind : uint8_t {
   /// request index). Lining these up against SafepointStw spans is how the
   /// latency-SLO harness attributes tail outliers to GC pauses.
   Request,
+  /// One budgeted incremental mark slice (DESIGN.md §15): a short
+  /// stop-the-world pause that drains part of the worklist (arg: objects
+  /// scanned on 'E'). Nested inside the cycle's GcCycle span, which for an
+  /// incremental cycle covers snapshot pause through terminal pause.
+  MarkSlice,
 };
 
 /// Number of distinct EventKind values (for per-kind tables).
 inline constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::Request) + 1;
+    static_cast<size_t>(EventKind::MarkSlice) + 1;
 
 /// Stable lower-case name for \p Kind (the exported span name).
 const char *eventKindName(EventKind Kind);

@@ -66,6 +66,15 @@ struct HarnessOptions {
   /// defect — the belt-and-suspenders mode behind the harness's
   /// --verify-heap flag.
   bool VerifyHeapAfterGc = false;
+  /// Incremental SATB marking (GcConfig::Incremental, DESIGN.md §15):
+  /// mark-sweep cycles run as a snapshot pause, budgeted mark slices
+  /// interleaved with the workload, and a short terminal pause. The
+  /// harness arms the occupancy pacing trigger so cycles actually begin
+  /// between allocation failures. Ignored by the other collector families.
+  bool Incremental = false;
+  /// Objects scanned per incremental mark slice (GcConfig::MarkBudget).
+  /// Smaller budgets mean shorter pauses and more slices; 0 is unbounded.
+  uint64_t MarkBudget = 512;
   /// When set, violations are recorded here instead of printed.
   RecordingViolationSink *Sink = nullptr;
 };

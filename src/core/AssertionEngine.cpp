@@ -49,9 +49,70 @@ void AssertionEngine::setSink(ViolationSink *NewSink) {
 // Assertion interface
 //===----------------------------------------------------------------------===//
 
+void AssertionEngine::applyInstances(TypeId Type, uint32_t Limit) {
+  TheVm.types().get(Type).setInstanceLimit(Limit);
+  if (std::find(TrackedTypes.begin(), TrackedTypes.end(), Type) ==
+      TrackedTypes.end())
+    TrackedTypes.push_back(Type);
+}
+
+void AssertionEngine::applyClearInstances(TypeId Type) {
+  TheVm.types().get(Type).clearInstanceLimit();
+  TrackedTypes.erase(
+      std::remove(TrackedTypes.begin(), TrackedTypes.end(), Type),
+      TrackedTypes.end());
+}
+
+void AssertionEngine::applyVolume(TypeId Type, uint64_t LimitBytes) {
+  TheVm.types().get(Type).setVolumeLimit(LimitBytes);
+  if (std::find(VolumeTrackedTypes.begin(), VolumeTrackedTypes.end(),
+                Type) == VolumeTrackedTypes.end())
+    VolumeTrackedTypes.push_back(Type);
+}
+
+void AssertionEngine::applyClearVolume(TypeId Type) {
+  TheVm.types().get(Type).clearVolumeLimit();
+  VolumeTrackedTypes.erase(std::remove(VolumeTrackedTypes.begin(),
+                                       VolumeTrackedTypes.end(), Type),
+                           VolumeTrackedTypes.end());
+}
+
+void AssertionEngine::applyRegistration(const DeferredRegistration &R) {
+  switch (R.Kind) {
+  case DeferredRegistration::Op::Dead:
+    R.A->header().setFlag(HF_Dead);
+    break;
+  case DeferredRegistration::Op::Unshared:
+    R.A->header().setFlag(HF_Unshared);
+    break;
+  case DeferredRegistration::Op::Instances:
+    applyInstances(R.Type, static_cast<uint32_t>(R.Limit));
+    break;
+  case DeferredRegistration::Op::ClearInstances:
+    applyClearInstances(R.Type);
+    break;
+  case DeferredRegistration::Op::Volume:
+    applyVolume(R.Type, R.Limit);
+    break;
+  case DeferredRegistration::Op::ClearVolume:
+    applyClearVolume(R.Type);
+    break;
+  case DeferredRegistration::Op::OwnedBy:
+    Ownership.add(R.A, R.B);
+    break;
+  }
+}
+
 void AssertionEngine::assertDeadLocked(ObjRef Obj) {
   assert(Obj && "assert-dead requires a non-null object");
   ++Counters.AssertDeadCalls;
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::Dead;
+    R.A = Obj;
+    DeferredRegs.push_back(R);
+    return;
+  }
   Obj->header().setFlag(HF_Dead);
 }
 
@@ -64,46 +125,79 @@ void AssertionEngine::assertUnshared(ObjRef Obj) {
   assert(Obj && "assert-unshared requires a non-null object");
   std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertUnsharedCalls;
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::Unshared;
+    R.A = Obj;
+    DeferredRegs.push_back(R);
+    return;
+  }
   Obj->header().setFlag(HF_Unshared);
 }
 
 void AssertionEngine::assertInstances(TypeId Type, uint32_t Limit) {
   std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertInstancesCalls;
-  TheVm.types().get(Type).setInstanceLimit(Limit);
-  if (std::find(TrackedTypes.begin(), TrackedTypes.end(), Type) ==
-      TrackedTypes.end())
-    TrackedTypes.push_back(Type);
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::Instances;
+    R.Type = Type;
+    R.Limit = Limit;
+    DeferredRegs.push_back(R);
+    return;
+  }
+  applyInstances(Type, Limit);
 }
 
 void AssertionEngine::clearInstances(TypeId Type) {
   std::lock_guard<std::mutex> Lock(RegistrationMutex);
-  TheVm.types().get(Type).clearInstanceLimit();
-  TrackedTypes.erase(
-      std::remove(TrackedTypes.begin(), TrackedTypes.end(), Type),
-      TrackedTypes.end());
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::ClearInstances;
+    R.Type = Type;
+    DeferredRegs.push_back(R);
+    return;
+  }
+  applyClearInstances(Type);
 }
 
 void AssertionEngine::assertVolume(TypeId Type, uint64_t LimitBytes) {
   std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertVolumeCalls;
-  TheVm.types().get(Type).setVolumeLimit(LimitBytes);
-  if (std::find(VolumeTrackedTypes.begin(), VolumeTrackedTypes.end(),
-                Type) == VolumeTrackedTypes.end())
-    VolumeTrackedTypes.push_back(Type);
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::Volume;
+    R.Type = Type;
+    R.Limit = LimitBytes;
+    DeferredRegs.push_back(R);
+    return;
+  }
+  applyVolume(Type, LimitBytes);
 }
 
 void AssertionEngine::clearVolume(TypeId Type) {
   std::lock_guard<std::mutex> Lock(RegistrationMutex);
-  TheVm.types().get(Type).clearVolumeLimit();
-  VolumeTrackedTypes.erase(std::remove(VolumeTrackedTypes.begin(),
-                                       VolumeTrackedTypes.end(), Type),
-                           VolumeTrackedTypes.end());
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::ClearVolume;
+    R.Type = Type;
+    DeferredRegs.push_back(R);
+    return;
+  }
+  applyClearVolume(Type);
 }
 
 void AssertionEngine::assertOwnedBy(ObjRef Owner, ObjRef Ownee) {
   std::lock_guard<std::mutex> Lock(RegistrationMutex);
   ++Counters.AssertOwnedByCalls;
+  if (SnapshotActive) {
+    DeferredRegistration R;
+    R.Kind = DeferredRegistration::Op::OwnedBy;
+    R.A = Owner;
+    R.B = Ownee;
+    DeferredRegs.push_back(R);
+    return;
+  }
   Ownership.add(Owner, Ownee);
 }
 
@@ -223,6 +317,26 @@ void AssertionEngine::onMemoryPressure(MemoryPressure Pressure) {
                        static_cast<uint64_t>(Wanted));
     Level = Wanted;
   }
+}
+
+void AssertionEngine::onSnapshotOpen() {
+  // Runs with the world stopped, so no mutator can hold RegistrationMutex;
+  // taking it anyway makes the flag's visibility to later registrations a
+  // plain same-mutex story.
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
+  SnapshotActive = true;
+  assert(DeferredRegs.empty() && "leftover deferred registrations");
+}
+
+void AssertionEngine::onSnapshotClose() {
+  std::lock_guard<std::mutex> Lock(RegistrationMutex);
+  SnapshotActive = false;
+  // FIFO replay: a clear must not undo a later assert. The sweep already
+  // ran, and every deferred target was nameable by a mutator during the
+  // cycle — hence snapshot-reachable or allocated black — so it survived.
+  for (const DeferredRegistration &R : DeferredRegs)
+    applyRegistration(R);
+  DeferredRegs.clear();
 }
 
 void AssertionEngine::onGcBegin(uint64_t Cycle) {

@@ -23,14 +23,37 @@ std::vector<RunConfig> gcassert::fuzz::buildMatrix(MatrixKind Kind) {
              {HardeningMode::Off, HardeningMode::Check})
           for (unsigned Mutators : {1u, 4u})
             Matrix.push_back({Collector, Threads, Hardening, Mutators});
+    // The incremental axis: the mark-sweep family again, driven as SATB
+    // snapshot cycles. Same violation multiset required; the Final
+    // snapshot anchors its live-set comparison.
+    for (unsigned Threads : {1u, 2u, 4u})
+      for (HardeningMode Hardening :
+           {HardeningMode::Off, HardeningMode::Check})
+        for (unsigned Mutators : {1u, 4u})
+          Matrix.push_back({CollectorKind::MarkSweep, Threads, Hardening,
+                            Mutators, /*Incremental=*/true});
     break;
   case MatrixKind::Quick:
     for (CollectorKind Collector : Collectors)
       Matrix.push_back({Collector, 1, HardeningMode::Off});
+    Matrix.push_back({CollectorKind::MarkSweep, 1, HardeningMode::Off, 1,
+                      /*Incremental=*/true});
     break;
   case MatrixKind::HardenedOnly:
     for (CollectorKind Collector : Collectors)
       Matrix.push_back({Collector, 1, HardeningMode::Check});
+    break;
+  case MatrixKind::Incremental:
+    // Nightly campaign leg: stop-the-world mark-sweep next to its
+    // incremental drive across the thread/hardening/mutator axes, pinning
+    // the two modes to the same oracle verdicts cell for cell.
+    for (unsigned Threads : {1u, 2u, 4u})
+      for (HardeningMode Hardening :
+           {HardeningMode::Off, HardeningMode::Check})
+        for (unsigned Mutators : {1u, 4u})
+          for (bool Incremental : {false, true})
+            Matrix.push_back({CollectorKind::MarkSweep, Threads, Hardening,
+                              Mutators, Incremental});
     break;
   }
   return Matrix;
@@ -61,9 +84,12 @@ DiffReport gcassert::fuzz::runDifferential(const TraceProgram &Program,
       break;
     }
 
-    // Per-run GcStats invariants every clean fuzz trace must satisfy.
+    // Per-run GcStats invariants every clean fuzz trace must satisfy. The
+    // collector runs one cycle per Collect op plus the end-of-run cleanup
+    // collection (hooks detached, so the engine never sees that one).
     const GcStats &S = Run.Stats;
-    if (S.Cycles != ExpectedCollects || Run.EngineGcCycles != ExpectedCollects)
+    if (S.Cycles != ExpectedCollects + 1 ||
+        Run.EngineGcCycles != ExpectedCollects)
       Diverge(Name,
               format("cycle accounting: collector ran %llu cycles, engine "
                      "observed %llu, trace has %llu collect ops",
@@ -97,20 +123,32 @@ DiffReport gcassert::fuzz::runDifferential(const TraceProgram &Program,
                         describeViolations(Run.Violations) +
                         "\n  oracle: " +
                         describeViolations(Oracle.Violations));
-    if (!Report.Diverged && Run.Snapshots.size() != Oracle.Snapshots.size())
+    // Per-Collect live snapshots exist only for the stop-the-world drive
+    // (incremental runs retain floating garbage mid-run; see
+    // RunConfig::Incremental). The end-of-run Final snapshot is the anchor
+    // every config must hit.
+    bool ExpectPerCollectSnapshots =
+        !(Config.Incremental && Config.Collector == CollectorKind::MarkSweep);
+    if (!Report.Diverged && ExpectPerCollectSnapshots &&
+        Run.Snapshots.size() != Oracle.Snapshots.size())
       Diverge(Name, format("run took %llu snapshots, oracle predicts %llu",
                            static_cast<unsigned long long>(
                                Run.Snapshots.size()),
                            static_cast<unsigned long long>(
                                Oracle.Snapshots.size())));
-    for (size_t I = 0; !Report.Diverged && I != Run.Snapshots.size(); ++I)
-      if (!(Run.Snapshots[I] == Oracle.Snapshots[I]))
-        Diverge(Name,
-                format("live set after collection %llu differs from "
-                       "oracle:\n  run:    ",
-                       static_cast<unsigned long long>(I)) +
-                    describeSnapshot(Run.Snapshots[I]) + "\n  oracle: " +
-                    describeSnapshot(Oracle.Snapshots[I]));
+    if (ExpectPerCollectSnapshots)
+      for (size_t I = 0; !Report.Diverged && I != Run.Snapshots.size(); ++I)
+        if (!(Run.Snapshots[I] == Oracle.Snapshots[I]))
+          Diverge(Name,
+                  format("live set after collection %llu differs from "
+                         "oracle:\n  run:    ",
+                         static_cast<unsigned long long>(I)) +
+                      describeSnapshot(Run.Snapshots[I]) + "\n  oracle: " +
+                      describeSnapshot(Oracle.Snapshots[I]));
+    if (!Report.Diverged && !(Run.Final == Oracle.Final))
+      Diverge(Name, "end-of-run live set differs from oracle:\n  run:    " +
+                        describeSnapshot(Run.Final) + "\n  oracle: " +
+                        describeSnapshot(Oracle.Final));
 
     if (Report.Diverged)
       break;

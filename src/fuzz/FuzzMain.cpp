@@ -62,7 +62,12 @@ void printUsage() {
             "  --seed=N           base seed; trace i uses seed N+i "
             "(default 1)\n"
             "  --ops=N            generator ops per trace (default 96)\n"
-            "  --matrix=M         full | quick | hardened (default full)\n"
+            "  --matrix=M         full | quick | hardened | incremental "
+            "(default full)\n"
+            "  --incremental      shorthand for --matrix=incremental: pin "
+            "stop-the-world\n"
+            "                     and SATB-incremental mark-sweep to the "
+            "same verdicts\n"
             "  --mutators=N       pin every config to N mutator threads "
             "(default: the\n"
             "                     matrix's own {1,4} axis; hardened replay "
@@ -254,6 +259,10 @@ int main(int argc, char **argv) {
       Opts.DemoDivergence = true;
       continue;
     }
+    if (Arg == "--incremental") {
+      Opts.Matrix = MatrixKind::Incremental;
+      continue;
+    }
     if (Arg.rfind("--replay=", 0) == 0) {
       Opts.Replay = Arg.substr(9);
       continue;
@@ -270,6 +279,8 @@ int main(int argc, char **argv) {
         Opts.Matrix = MatrixKind::Quick;
       else if (Value == "hardened")
         Opts.Matrix = MatrixKind::HardenedOnly;
+      else if (Value == "incremental")
+        Opts.Matrix = MatrixKind::Incremental;
       else {
         errs() << "unknown matrix: " << Value << "\n";
         return 2;

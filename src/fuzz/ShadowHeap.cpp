@@ -94,6 +94,7 @@ public:
   ShadowResult run(const TraceProgram &Program) {
     for (const TraceOp &Op : Program.Ops)
       step(Op);
+    finalSnapshot();
     std::sort(Result.Violations.begin(), Result.Violations.end());
     std::sort(Result.CoreViolations.begin(), Result.CoreViolations.end());
     Result.ObjectsAllocated = NextId - 1;
@@ -386,6 +387,44 @@ private:
 
     for (auto It = Nodes.begin(); It != Nodes.end();)
       It = Marked.count(It->first) ? std::next(It) : Nodes.erase(It);
+  }
+
+  /// The end-of-run prediction: what a plain checks-detached collection
+  /// leaves behind. Root closure only — with no assertion hooks there is
+  /// no ownership phase, so a dead owner's region keeps nothing alive.
+  /// (A slot may hold the id of a node erased by an earlier collect only
+  /// if ops never read it since; guard through node() like every op does.)
+  void finalSnapshot() {
+    std::set<uint64_t> Live;
+    std::vector<uint64_t> Worklist;
+    auto Visit = [&](uint64_t Id) {
+      if (Id && node(Id) && Live.insert(Id).second)
+        Worklist.push_back(Id);
+    };
+    for (uint64_t Slot : Slots)
+      Visit(Slot);
+    while (!Worklist.empty()) {
+      uint64_t Id = Worklist.back();
+      Worklist.pop_back();
+      for (uint64_t Field : node(Id)->Fields)
+        Visit(Field);
+    }
+
+    uint64_t Counts[NumFuzzTypes] = {};
+    uint64_t Bytes[NumFuzzTypes] = {};
+    for (uint64_t Id : Live) {
+      ShadowNode *N = node(Id);
+      unsigned T = static_cast<unsigned>(N->Type);
+      ++Counts[T];
+      Bytes[T] += fuzzAllocationSize(N->Type, N->Length);
+      if (isClass(N->Type))
+        Result.Final.ClassSerials.emplace_back(static_cast<uint8_t>(T), Id);
+    }
+    for (unsigned T = 0; T != NumFuzzTypes; ++T)
+      if (Counts[T])
+        Result.Final.PerType.push_back({T, Counts[T], Bytes[T]});
+    std::sort(Result.Final.ClassSerials.begin(),
+              Result.Final.ClassSerials.end());
   }
 
   std::unordered_map<uint64_t, ShadowNode> Nodes;

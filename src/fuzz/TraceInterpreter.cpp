@@ -40,7 +40,8 @@ std::string gcassert::fuzz::describeRunConfig(const RunConfig &Config) {
     Collector = "generational";
     break;
   }
-  return format("%s/t%u/%s/m%u", Collector, Config.Threads,
+  return format("%s%s/t%u/%s/m%u", Collector,
+                Config.Incremental ? "-inc" : "", Config.Threads,
                 Config.Hardening == HardeningMode::Off     ? "off"
                 : Config.Hardening == HardeningMode::Check ? "check"
                                                            : "full",
@@ -69,12 +70,19 @@ constexpr uint64_t ChurnArrayLength = 16;
 class Interpreter {
 public:
   Interpreter(const TraceProgram &Program, const RunConfig &Config)
-      : Program(Program), MutatorThreads(Config.MutatorThreads) {
+      : Program(Program), MutatorThreads(Config.MutatorThreads),
+        Incremental(Config.Incremental &&
+                    Config.Collector == CollectorKind::MarkSweep) {
     VmConfig VC;
     VC.HeapBytes = FuzzHeapBytes;
     VC.Collector = Config.Collector;
     VC.Gc.Threads = Config.Threads;
     VC.Gc.Hardening = Config.Hardening;
+    // Incremental cycles are begun and finished by the Collect ops below;
+    // allocation pacing advances the mark between them. The occupancy
+    // trigger stays off (its default) so no cycle begins at a point the
+    // oracle cannot see.
+    VC.Gc.Incremental = Incremental;
     // Arbitrary replay specs may exhaust the heap; surface that as an
     // invalid run instead of aborting the whole fuzzing process.
     VC.OnOom = OomPolicy::ReturnNull;
@@ -262,6 +270,20 @@ private:
       setRoot(Op.A, nullptr);
       break;
     case OpKind::Collect:
+      if (Incremental) {
+        // Finish the in-flight cycle — its snapshot was pinned at the
+        // previous Collect op, so its checks report exactly what a
+        // stop-the-world collection there reported — then open the next
+        // cycle's snapshot at this program point. A no-op finish (the
+        // cycle drained early under allocation pacing and auto-finished)
+        // leaves the accounting identical. No per-Collect live snapshot:
+        // black allocation retains floating garbage here, and the Final
+        // snapshot anchors the cross-config live-set comparison instead.
+        TheVm->incrementalFinishNow();
+        TheVm->incrementalBeginNow("fuzz trace");
+        ++Result.CollectOps;
+        break;
+      }
       TheVm->collectNow("fuzz trace");
       ++Result.CollectOps;
       // The snapshot walk needs a parseable, quiescent heap; with churn
@@ -311,7 +333,9 @@ private:
   }
 
   /// Records the post-collection live set in collector-independent form.
-  void snapshot() {
+  void snapshot() { Result.Snapshots.push_back(takeSnapshot()); }
+
+  LiveSnapshot takeSnapshot() {
     LiveSnapshot S;
     TheVm->heap().forEachObject([&](ObjRef Obj) {
       unsigned I = typeIndexOf(Obj);
@@ -329,10 +353,24 @@ private:
         S.PerType.push_back({I, Row.Instances, Row.Bytes});
     }
     std::sort(S.PerType.begin(), S.PerType.end());
-    Result.Snapshots.push_back(std::move(S));
+    return S;
   }
 
   void finish() {
+    // Complete whatever incremental cycle is still in flight (checking the
+    // snapshot pinned at the last Collect op), then detach the assertion
+    // hooks and run one plain stop-the-world collection so the final walk
+    // sees exactly the end-of-run reachable set in every family — the
+    // incremental family otherwise retains floating garbage, and a
+    // hooks-detached collection has no ownership phase to keep a dead
+    // owner's region alive. Churn threads are already joined, so the walk
+    // needs no stop-the-world window of its own.
+    if (Incremental)
+      TheVm->incrementalFinishNow();
+    TheVm->collector().setHooks(nullptr);
+    TheVm->collectNow("fuzz final");
+    Result.Final = takeSnapshot();
+
     Result.Stats = TheVm->gcStats();
     Result.EngineGcCycles = Engine->counters().GcCycles;
     for (const Violation &V : Sink.violations()) {
@@ -349,15 +387,23 @@ private:
       invalid(format("%llu implicit minor collections ran",
                      static_cast<unsigned long long>(
                          Result.Stats.MinorCycles)));
-    if (Result.Valid && Result.Stats.Cycles != Result.CollectOps)
-      invalid(format("%llu collections for %llu collect ops (an implicit "
-                     "collection desynchronized the checking points)",
+    // Every Collect op completes exactly one full cycle (stop-the-world
+    // directly; incrementally through a begin whose matching finish runs
+    // by the incrementalFinishNow above at the latest), and the cleanup
+    // collection adds one more.
+    if (Result.Valid && Result.Stats.Cycles != Result.CollectOps + 1)
+      invalid(format("%llu collections for %llu collect ops plus cleanup "
+                     "(an implicit collection desynchronized the checking "
+                     "points)",
                      static_cast<unsigned long long>(Result.Stats.Cycles),
                      static_cast<unsigned long long>(Result.CollectOps)));
   }
 
   const TraceProgram &Program;
   unsigned MutatorThreads;
+  /// Config.Incremental, effective: only the mark-sweep family has an
+  /// incremental mode.
+  bool Incremental;
   std::optional<Vm> TheVm;
   std::optional<AssertionEngine> Engine;
   RecordingViolationSink Sink;

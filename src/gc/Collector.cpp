@@ -50,10 +50,12 @@ void Collector::finishHardenedCycle(Heap &TheHeap) {
 }
 
 void Collector::finishCycleTiming(uint64_t StartNanos, Heap &TheHeap,
-                                  bool MinorCycle) {
+                                  bool MinorCycle, bool RecordMaxPause) {
   uint64_t Elapsed = monotonicNanos() - StartNanos;
   Stats.LastGcNanos = Elapsed;
   Stats.TotalGcNanos += Elapsed;
+  if (RecordMaxPause && Elapsed > Stats.MaxPauseNanos)
+    Stats.MaxPauseNanos = Elapsed;
   ++Stats.Cycles;
   if (MinorCycle)
     ++Stats.MinorCycles;

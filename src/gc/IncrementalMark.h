@@ -1,0 +1,200 @@
+//===- src/gc/IncrementalMark.h - Incremental mark-sweep cycle -*- C++ -*-===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-flight state of one incremental mark-sweep cycle (DESIGN.md §15).
+///
+/// An incremental cycle splits the atomic collection of MarkSweepCycle.h
+/// into three kinds of stop-the-world pauses:
+///
+///  * the *snapshot pause* (begin): onGcBegin, the engine-driven ownership
+///    phase (drained to completion — it is engine-ordered and cheap), and a
+///    scan of every root slot *without* draining. The SATB deletion barrier
+///    and black allocation are switched on before the world resumes, fixing
+///    the traced graph to its snapshot-pause shape;
+///  * budgeted *mark slices* (step): each drains at most MarkBudget objects
+///    off the carried-over worklist, resolving every slot through the SATB
+///    log so the trace sees the snapshot-time graph regardless of mutator
+///    rewiring between slices;
+///  * the *terminal pause* (complete): drains whatever work remains, runs
+///    the engine's post-trace checks, sweeps, and tears the barrier down.
+///
+/// Because the SATB log makes the snapshot exact (WriteBarrier.h, Satb.h),
+/// every per-object assertion check fires on exactly the objects and edges a
+/// stop-the-world collection at the snapshot pause would have seen: the
+/// violation multiset is bit-for-bit identical, which the differential
+/// fuzzer's --incremental axis pins.
+///
+/// Type-erased base + template implementation, mirroring how
+/// runMarkSweepCycle is instantiated per (EnableChecks, RecordPaths):
+/// MarkSweepCollector picks the instantiation when the cycle begins. Slices
+/// always run the sequential tracer — a stealable deque cannot carry the
+/// worklist across pauses (nor the §2.7 tagged-path invariant); the terminal
+/// sweep may still use the worker pool.
+///
+/// Private implementation header (not installed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCASSERT_SRC_GC_INCREMENTALMARK_H
+#define GCASSERT_SRC_GC_INCREMENTALMARK_H
+
+#include "MarkSweepCycle.h"
+#include "gcassert/gc/Satb.h"
+
+#include <memory>
+
+namespace gcassert {
+namespace detail {
+
+/// One incremental cycle, begin-to-terminal. Every method runs with the
+/// world stopped; the object lives across pauses (owned by the collector)
+/// and carries the tracer worklist and SATB log between them.
+class IncrementalCycleBase {
+public:
+  virtual ~IncrementalCycleBase() = default;
+
+  /// Snapshot pause body. On return the store barrier and black allocation
+  /// are armed and the world may resume.
+  virtual void begin() = 0;
+
+  /// One mark slice: scans at most \p MaxObjects objects (0 = unbounded).
+  /// Returns the number scanned. Never sweeps, never runs hooks.
+  virtual size_t step(uint64_t MaxObjects) = 0;
+
+  /// True while marking work remains (step() should keep running).
+  virtual bool hasWork() const = 0;
+
+  /// Terminal pause body: final drain, post-trace checks, sweep (parallel
+  /// over \p Pool when non-null), barrier teardown, stats roll-up.
+  virtual void complete(WorkerPool *Pool) = 0;
+};
+
+template <bool EnableChecks, bool RecordPathsT>
+class IncrementalCycle final : public IncrementalCycleBase {
+  using Core = TraceCore<MarkSpaceOps, EnableChecks, RecordPathsT>;
+
+public:
+  IncrementalCycle(FreeListHeap &TheHeap, RootProvider &Roots,
+                   TraceHooks *Hooks, GcStats &Stats, HeapHardening *Hard)
+      : TheHeap(TheHeap), Roots(Roots), Hooks(Hooks), Stats(Stats),
+        Tracer(MarkSpaceOps(), TheHeap.types(), Hooks, Hard) {}
+
+  void begin() override {
+    Cycle = Stats.Cycles;
+
+    if constexpr (EnableChecks) {
+      // The engine defers registrations that would mutate in-flight trace
+      // state from here until onSnapshotClose().
+      Hooks->onSnapshotOpen();
+      Hooks->onGcBegin(Cycle);
+
+      // The whole ownership phase runs inside the snapshot pause: it is
+      // engine-ordered (owners first, deferred ownees after) and drains
+      // each owner's subgraph as it goes, so splitting it across slices
+      // would buy little and complicate the §2.5.2 two-phase contract.
+      uint64_t OwnershipStart = monotonicNanos();
+      telemetry::Span OwnershipSpan(telemetry::EventKind::OwnershipPhase);
+      Tracer.setPhase(TracePhase::Ownership);
+      MarkSweepOwnershipDriver<Core> Driver(Tracer);
+      Hooks->runOwnershipPhase(Driver);
+      Stats.OwnershipNanos += monotonicNanos() - OwnershipStart;
+    }
+
+    // Scan every root slot but do not drain: draining is what the budgeted
+    // slices are for. Root slots are only ever read here, with the world
+    // stopped, so the snapshot needs no root barrier — a handle overwritten
+    // later can only come to point at a black or already-snapshot-reachable
+    // object.
+    uint64_t MarkStart = monotonicNanos();
+    Tracer.setPhase(TracePhase::Roots);
+    Roots.forEachRootSlot([&](ObjRef *Slot) { Tracer.processSlot(Slot); });
+    Stats.MarkNanos += monotonicNanos() - MarkStart;
+
+    // Arm the snapshot machinery last, still inside the pause: the
+    // safepoint rendezvous orders these stores before any mutator runs.
+    Snapshot.activate();
+    Tracer.setSnapshot(&Snapshot);
+    TheHeap.setAllocateBlack(true);
+  }
+
+  size_t step(uint64_t MaxObjects) override {
+    uint64_t SliceStart = monotonicNanos();
+    telemetry::Span Slice(telemetry::EventKind::MarkSlice, Cycle);
+    size_t Scanned = Tracer.drainUpTo(
+        MaxObjects == 0 ? ~size_t(0) : static_cast<size_t>(MaxObjects));
+    Slice.setEndArg(Scanned);
+    Stats.MarkNanos += monotonicNanos() - SliceStart;
+    ++Stats.MarkSlices;
+    return Scanned;
+  }
+
+  bool hasWork() const override { return Tracer.hasWork(); }
+
+  void complete(WorkerPool *Pool) override {
+    // Whatever marking remains is finished here, unbudgeted: the terminal
+    // pause must leave a fully-traced heap for the checks and the sweep.
+    uint64_t MarkStart = monotonicNanos();
+    Tracer.drain();
+    Stats.MarkNanos += monotonicNanos() - MarkStart;
+
+    if constexpr (EnableChecks) {
+      telemetry::Span AssertSpan(telemetry::EventKind::AssertionPass);
+      MarkSweepPostTrace Ctx(Cycle);
+      Hooks->onTraceComplete(Ctx);
+    }
+
+    Stats.ObjectsVisited += Tracer.objectsVisited();
+    Stats.SatbLoggedSlots += Snapshot.loggedSlots();
+
+    uint64_t SweepStart = monotonicNanos();
+    telemetry::Span SweepSpan(telemetry::EventKind::SweepPhase);
+    size_t Reclaimed = TheHeap.sweep(Pool);
+    SweepSpan.setEndArg(Reclaimed);
+    Stats.BytesReclaimed += Reclaimed;
+    Stats.SweepNanos += monotonicNanos() - SweepStart;
+
+    // Disarm before the world resumes; mutator stores after this pause
+    // belong to the next cycle's snapshot (if any).
+    TheHeap.setAllocateBlack(false);
+    Tracer.setSnapshot(nullptr);
+    Snapshot.deactivate();
+    if constexpr (EnableChecks)
+      Hooks->onSnapshotClose();
+  }
+
+private:
+  FreeListHeap &TheHeap;
+  RootProvider &Roots;
+  TraceHooks *Hooks;
+  GcStats &Stats;
+  Core Tracer;
+  SatbSnapshot Snapshot;
+  uint64_t Cycle = 0;
+};
+
+/// Instantiates the cycle variant matching the collector's hook/path
+/// configuration at begin time (same dispatch as MarkSweepCollector's
+/// atomic collect()).
+inline std::unique_ptr<IncrementalCycleBase>
+makeIncrementalCycle(bool EnableChecks, bool RecordPathsT,
+                     FreeListHeap &TheHeap, RootProvider &Roots,
+                     TraceHooks *Hooks, GcStats &Stats, HeapHardening *Hard) {
+  if (EnableChecks) {
+    if (RecordPathsT)
+      return std::make_unique<IncrementalCycle<true, true>>(TheHeap, Roots,
+                                                            Hooks, Stats, Hard);
+    return std::make_unique<IncrementalCycle<true, false>>(TheHeap, Roots,
+                                                           Hooks, Stats, Hard);
+  }
+  return std::make_unique<IncrementalCycle<false, false>>(TheHeap, Roots,
+                                                          nullptr, Stats, Hard);
+}
+
+} // namespace detail
+} // namespace gcassert
+
+#endif // GCASSERT_SRC_GC_INCREMENTALMARK_H

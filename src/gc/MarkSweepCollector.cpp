@@ -6,13 +6,29 @@
 
 #include "gcassert/gc/MarkSweepCollector.h"
 
+#include "IncrementalMark.h"
 #include "MarkSweepCycle.h"
 
 #include "gcassert/telemetry/TraceEvents.h"
 
 using namespace gcassert;
 
+MarkSweepCollector::MarkSweepCollector(FreeListHeap &TheHeap,
+                                       RootProvider &Roots)
+    : Collector(Roots), TheHeap(TheHeap) {}
+
+MarkSweepCollector::~MarkSweepCollector() = default;
+
 void MarkSweepCollector::collect(const char *Cause) {
+  if (Active) {
+    // An allocation failure (or explicit collection) while a cycle is in
+    // flight: finishing it is the collection — the remaining mark work and
+    // the sweep all happen in this pause, reclaiming everything dead at
+    // the snapshot.
+    finishCycle();
+    return;
+  }
+
   (void)Cause;
   uint64_t Start = monotonicNanos();
   telemetry::Span Cycle(telemetry::EventKind::GcCycle, Stats.Cycles);
@@ -35,4 +51,58 @@ void MarkSweepCollector::collect(const char *Cause) {
   }
   finishHardenedCycle(TheHeap);
   finishCycleTiming(Start, TheHeap);
+}
+
+bool MarkSweepCollector::incrementalHasWork() const {
+  return Active && Active->hasWork();
+}
+
+void MarkSweepCollector::incrementalBegin(const char *Cause) {
+  (void)Cause;
+  assert(!Active && "incremental cycle already in flight");
+  uint64_t Start = monotonicNanos();
+  // The matching end fires in finishCycle; for an incremental cycle the
+  // GcCycle span covers snapshot pause through terminal pause, with the
+  // MarkSlice spans nested inside.
+  telemetry::begin(telemetry::EventKind::GcCycle, Stats.Cycles);
+
+  bool EnableChecks = Hooks != nullptr;
+  bool Paths = EnableChecks && RecordPaths && Hooks->allowPathRecording();
+  Active = detail::makeIncrementalCycle(EnableChecks, Paths, TheHeap, Roots,
+                                        Hooks, Stats, Hard);
+  Active->begin();
+  notePause(monotonicNanos() - Start);
+}
+
+void MarkSweepCollector::markStep() {
+  assert(Active && "no incremental cycle in flight");
+  uint64_t Start = monotonicNanos();
+  Active->step(Config.MarkBudget);
+  notePause(monotonicNanos() - Start);
+}
+
+void MarkSweepCollector::finishCycle() {
+  assert(Active && "no incremental cycle in flight");
+  uint64_t Start = monotonicNanos();
+  // Incremental cycles never hand the slice worklist to the parallel
+  // marker, but the terminal sweep can still use the pool.
+  Active->complete(workerPool());
+  Active.reset();
+  finishHardenedCycle(TheHeap);
+  notePause(monotonicNanos() - Start);
+  ++Stats.IncrementalCycles;
+  telemetry::end(telemetry::EventKind::GcCycle, Stats.Cycles);
+  // Report the cycle's accumulated pause time as its duration: backdate
+  // the start so finishCycleTiming's "now - start" equals the sum of this
+  // cycle's pauses. RecordMaxPause=false — notePause already tracked the
+  // per-pause maximum, and the sum must not masquerade as one pause.
+  finishCycleTiming(monotonicNanos() - CyclePauseNanos, TheHeap,
+                    /*MinorCycle=*/false, /*RecordMaxPause=*/false);
+  CyclePauseNanos = 0;
+}
+
+void MarkSweepCollector::notePause(uint64_t PauseNanos) {
+  CyclePauseNanos += PauseNanos;
+  if (PauseNanos > Stats.MaxPauseNanos)
+    Stats.MaxPauseNanos = PauseNanos;
 }

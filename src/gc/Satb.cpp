@@ -1,0 +1,42 @@
+//===- Satb.cpp - SATB deletion-barrier slot log ------------------------------//
+//
+// Part of the gcassert project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gcassert/gc/Satb.h"
+
+#include "gcassert/support/ErrorHandling.h"
+
+using namespace gcassert;
+
+SatbSnapshot::~SatbSnapshot() {
+  if (Active)
+    deactivate();
+}
+
+void SatbSnapshot::activate() {
+  if (detail::ActiveStoreBarrier)
+    reportFatalError("incremental marking cannot share the store barrier "
+                     "(a generational heap owns it)");
+  Active = true;
+  detail::ActiveStoreBarrier = this;
+}
+
+void SatbSnapshot::deactivate() {
+  assert(detail::ActiveStoreBarrier == this && "barrier hijacked");
+  detail::ActiveStoreBarrier = nullptr;
+  Active = false;
+  std::lock_guard<std::mutex> L(Mutex);
+  Log.clear();
+}
+
+void SatbSnapshot::recordStore(Object *Holder, Object **Slot, Object *Old,
+                               Object *New) {
+  (void)Holder;
+  (void)New;
+  std::lock_guard<std::mutex> L(Mutex);
+  // First overwrite wins: the log opened at the snapshot pause, so the
+  // first old value observed per slot *is* the snapshot-time value.
+  Log.emplace(Slot, Old);
+}

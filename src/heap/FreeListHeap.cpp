@@ -152,6 +152,7 @@ ObjRef FreeListHeap::allocateSmall(size_t CellSize, uint32_t ClassIndex) {
                 CellSize - sizeof(ObjectHeader));
     Stats.BytesAllocated += CellSize;
     Stats.BytesInUse += CellSize;
+    InUseMirror.store(Stats.BytesInUse, std::memory_order_relaxed);
     ++Stats.ObjectsAllocated;
     return reinterpret_cast<ObjRef>(Cell);
   }
@@ -188,6 +189,7 @@ ObjRef FreeListHeap::allocateLarge(TypeId Id, uint64_t ArrayLength,
     LargeObjectSet.insert(Storage);
     Stats.BytesAllocated += Size;
     Stats.BytesInUse += Size;
+    InUseMirror.store(Stats.BytesInUse, std::memory_order_relaxed);
     ++Stats.ObjectsAllocated;
   }
   LastAllocFailure = AllocFailureKind::None;
@@ -242,6 +244,7 @@ bool FreeListHeap::carveTlabBlock(uint32_t ClassIndex) {
 void FreeListHeap::flushTlabStats(TlabSet &T) {
   Stats.BytesAllocated += T.PendingBytes;
   Stats.BytesInUse += T.PendingBytes;
+  InUseMirror.store(Stats.BytesInUse, std::memory_order_relaxed);
   Stats.ObjectsAllocated += T.PendingObjects;
   T.PendingBytes = 0;
   T.PendingObjects = 0;
@@ -505,6 +508,7 @@ size_t FreeListHeap::sweep(WorkerPool *Pool) {
 
   LiveBytesAfterSweep = LiveBytes;
   Stats.BytesInUse = LiveBytes;
+  InUseMirror.store(LiveBytes, std::memory_order_relaxed);
   return Reclaimed;
 }
 

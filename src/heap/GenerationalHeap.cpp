@@ -103,8 +103,11 @@ ObjRef GenerationalHeap::allocate(TypeId Id, uint64_t ArrayLength) {
   return Obj;
 }
 
-void GenerationalHeap::recordStore(Object *Holder, Object *Value) {
-  if (inNursery(Value) && !inNursery(Holder)) {
+void GenerationalHeap::recordStore(Object *Holder, Object **Slot, Object *Old,
+                                   Object *New) {
+  (void)Slot;
+  (void)Old;
+  if (New && inNursery(New) && !inNursery(Holder)) {
     std::lock_guard<std::mutex> L(RemSetMutex);
     RememberedSet.insert(Holder);
     // "corrupt.remset" slips an interior pointer into the remembered set —

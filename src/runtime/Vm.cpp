@@ -48,12 +48,21 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector), OnOom(Config.OnOom) {
     FreeListHeapConfig HeapConfig;
     HeapConfig.CapacityBytes = Config.HeapBytes;
     auto Heap = std::make_unique<FreeListHeap>(Types, HeapConfig);
-    TheCollector = std::make_unique<MarkSweepCollector>(*Heap, *this);
+    auto Collector = std::make_unique<MarkSweepCollector>(*Heap, *this);
     // Hardened modes stay on the shared path: its per-pop validation
     // (poison reuse checks, link plausibility) is the point of hardening,
     // and a batched TLAB refill would bypass it.
     if (Config.Tlab && Config.Gc.Hardening == HardeningMode::Off)
       TlabHeap = Heap.get();
+    if (Config.Gc.Incremental) {
+      IncCollector = Collector.get();
+      IncPacing = true;
+      IncPaceAllocs = Config.Gc.IncrementalSliceAllocs > 0
+                          ? Config.Gc.IncrementalSliceAllocs
+                          : 1;
+      IncTrigger = Config.Gc.IncrementalTriggerOccupancy;
+    }
+    TheCollector = std::move(Collector);
     TheHeap = std::move(Heap);
     break;
   }
@@ -96,6 +105,8 @@ Vm::Vm(const VmConfig &Config) : Kind(Config.Collector), OnOom(Config.OnOom) {
   Threads.push_back(std::make_unique<MutatorThread>(0, "main"));
   if (TlabHeap)
     Threads.back()->setTlabs(std::make_unique<TlabSet>(TlabMaxBytes));
+  if (IncPacing)
+    Threads.back()->incrementalCountdown() = IncPaceAllocs;
   Main = Threads.back().get();
   CrashDump.emplace("vm state", [this] { dumpCrashDiagnostics(); });
 }
@@ -108,6 +119,8 @@ MutatorThread &Vm::spawnThread(const std::string &Name) {
       static_cast<uint32_t>(Threads.size()), Name));
   if (TlabHeap)
     Threads.back()->setTlabs(std::make_unique<TlabSet>(TlabMaxBytes));
+  if (IncPacing)
+    Threads.back()->incrementalCountdown() = IncPaceAllocs;
   return *Threads.back();
 }
 
@@ -184,8 +197,96 @@ void Vm::runCollectorCycle(const char *Cause) {
   if (GCA_UNLIKELY(Hard != nullptr))
     Hard->syncChecksumCache();
   TheCollector->collect(Cause);
+  // collect() with an incremental cycle in flight finishes it (see
+  // MarkSweepCollector::collect); either way no cycle survives a collect.
+  if (GCA_UNLIKELY(IncCollector != nullptr))
+    IncCycleRunning.store(false, std::memory_order_relaxed);
   if (GCA_UNLIKELY(static_cast<bool>(PostGcCallback)))
     PostGcCallback();
+}
+
+void Vm::finishIncrementalLocked() {
+  // Same pre-sweep duties as runCollectorCycle: the terminal pause sweeps,
+  // so the heap must be parseable and the checksum cache current.
+  if (TlabHeap)
+    retireAllTlabs();
+  if (GCA_UNLIKELY(Hard != nullptr))
+    Hard->syncChecksumCache();
+  IncCollector->finishCycle();
+  IncCycleRunning.store(false, std::memory_order_relaxed);
+  if (GCA_UNLIKELY(static_cast<bool>(PostGcCallback)))
+    PostGcCallback();
+}
+
+void Vm::incrementalPacePoll() {
+  // Cheap pre-checks outside the stop-the-world window: with no cycle in
+  // flight and the occupancy trigger off (or unmet), there is nothing to
+  // do. bytesInUseApprox is a relaxed mirror, so this read is clean even
+  // against concurrent allocators; the real decision repeats under the
+  // window below.
+  if (!IncCycleRunning.load(std::memory_order_relaxed)) {
+    if (IncTrigger <= 0.0)
+      return;
+    // IncCollector is only set for MarkSweep, so TheHeap is a FreeListHeap.
+    auto &FLH = static_cast<FreeListHeap &>(*TheHeap);
+    uint64_t Capacity = TheHeap->stats().BytesCapacity;
+    if (Capacity == 0 ||
+        static_cast<double>(FLH.bytesInUseApprox()) <
+            IncTrigger * static_cast<double>(Capacity))
+      return;
+  }
+
+  StopTheWorldScope Stw(Safepoints);
+  if (IncCollector->incrementalActive()) {
+    // Types registered since the last pause must be in the checksum cache
+    // before this slice's trace reads it lock-free.
+    if (GCA_UNLIKELY(Hard != nullptr))
+      Hard->syncChecksumCache();
+    if (IncCollector->incrementalHasWork())
+      IncCollector->markStep();
+    if (!IncCollector->incrementalHasWork())
+      finishIncrementalLocked();
+  } else if (IncTrigger > 0.0) {
+    if (GCA_UNLIKELY(Hard != nullptr))
+      Hard->syncChecksumCache();
+    IncCollector->incrementalBegin("occupancy");
+    IncCycleRunning.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Vm::incrementalBeginNow(const char *Cause) {
+  if (!IncCollector)
+    return;
+  StopTheWorldScope Stw(Safepoints);
+  if (IncCollector->incrementalActive())
+    return;
+  if (GCA_UNLIKELY(Hard != nullptr))
+    Hard->syncChecksumCache();
+  IncCollector->incrementalBegin(Cause);
+  IncCycleRunning.store(true, std::memory_order_relaxed);
+}
+
+void Vm::incrementalStepNow() {
+  if (!IncCollector)
+    return;
+  StopTheWorldScope Stw(Safepoints);
+  if (!IncCollector->incrementalActive())
+    return;
+  if (GCA_UNLIKELY(Hard != nullptr))
+    Hard->syncChecksumCache();
+  if (IncCollector->incrementalHasWork())
+    IncCollector->markStep();
+  if (!IncCollector->incrementalHasWork())
+    finishIncrementalLocked();
+}
+
+void Vm::incrementalFinishNow() {
+  if (!IncCollector)
+    return;
+  StopTheWorldScope Stw(Safepoints);
+  if (!IncCollector->incrementalActive())
+    return;
+  finishIncrementalLocked();
 }
 
 void Vm::injectHeaderCorruption(ObjRef Obj) {

@@ -187,6 +187,10 @@ void telemetry::snapshotCycle(const GcStats &Stats, bool MinorCycle,
   M.counter("gc.worker_start_failures").set(Stats.WorkerStartFailures);
   M.counter("gc.quarantined").set(Stats.Quarantined);
   M.counter("gc.heap_defects").set(Stats.HeapDefects);
+  M.counter("gc.incremental_cycles").set(Stats.IncrementalCycles);
+  M.counter("gc.mark_slices").set(Stats.MarkSlices);
+  M.counter("gc.satb_logged_slots").set(Stats.SatbLoggedSlots);
+  M.counter("gc.max_pause_ns").set(Stats.MaxPauseNanos);
 
   M.histogram(MinorCycle ? "gc.minor_pause_ns" : "gc.pause_ns")
       .record(Stats.LastGcNanos);

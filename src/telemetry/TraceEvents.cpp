@@ -57,6 +57,8 @@ const char *telemetry::eventKindName(EventKind Kind) {
     return "safepoint_stw";
   case EventKind::Request:
     return "request";
+  case EventKind::MarkSlice:
+    return "mark_slice";
   }
   return "unknown";
 }

@@ -67,6 +67,16 @@ RunResult gcassert::runWorkload(const std::string &WorkloadName,
   Config2.Collector = Options.Collector;
   Config2.Gc.Threads = Options.GcThreads;
   Config2.Gc.Hardening = Options.Hardening;
+  if (Options.Incremental) {
+    Config2.Gc.Incremental = true;
+    Config2.Gc.MarkBudget = Options.MarkBudget;
+    // Arm the pacing trigger: with GcConfig's default of 0, cycles would
+    // begin only at allocation failure, where collect() runs the whole
+    // cycle synchronously and nothing actually runs in slices. Beginning
+    // at half occupancy leaves headroom for the mark to spread across
+    // slices before the heap fills.
+    Config2.Gc.IncrementalTriggerOccupancy = 0.5;
+  }
   Vm TheVm(Config2);
 
   if (Options.VerifyHeapAfterGc) {

@@ -23,20 +23,29 @@ using namespace gcassert::fuzz;
 
 TEST(DifferentialSmokeTest, MatrixShapes) {
   std::vector<RunConfig> Full = buildMatrix(MatrixKind::Full);
-  EXPECT_EQ(Full.size(), 48u);
+  // 48 stop-the-world configs plus the 12-config incremental axis.
+  EXPECT_EQ(Full.size(), 60u);
   // Both halves of the mutator-thread axis are present.
   std::set<unsigned> Mutators;
-  for (const RunConfig &C : Full)
+  unsigned FullIncremental = 0;
+  for (const RunConfig &C : Full) {
     Mutators.insert(C.MutatorThreads);
+    if (C.Incremental) {
+      ++FullIncremental;
+      EXPECT_EQ(C.Collector, CollectorKind::MarkSweep);
+    }
+  }
   EXPECT_EQ(Mutators, (std::set<unsigned>{1u, 4u}));
+  EXPECT_EQ(FullIncremental, 12u);
 
   std::vector<RunConfig> Quick = buildMatrix(MatrixKind::Quick);
-  EXPECT_EQ(Quick.size(), 4u);
+  EXPECT_EQ(Quick.size(), 5u);
   for (const RunConfig &C : Quick) {
     EXPECT_EQ(C.Threads, 1u);
     EXPECT_EQ(C.Hardening, HardeningMode::Off);
     EXPECT_EQ(C.MutatorThreads, 1u);
   }
+  EXPECT_TRUE(Quick.back().Incremental);
 
   std::vector<RunConfig> Hardened = buildMatrix(MatrixKind::HardenedOnly);
   EXPECT_EQ(Hardened.size(), 4u);
@@ -45,9 +54,21 @@ TEST(DifferentialSmokeTest, MatrixShapes) {
   for (const RunConfig &C : Hardened) {
     EXPECT_NE(C.Hardening, HardeningMode::Off);
     EXPECT_EQ(C.MutatorThreads, 1u);
+    EXPECT_FALSE(C.Incremental);
   }
 
-  // All four collector families appear in every matrix.
+  // The incremental leg pairs each mark-sweep cell with its SATB drive.
+  std::vector<RunConfig> Incremental = buildMatrix(MatrixKind::Incremental);
+  EXPECT_EQ(Incremental.size(), 24u);
+  unsigned IncCount = 0;
+  for (const RunConfig &C : Incremental) {
+    EXPECT_EQ(C.Collector, CollectorKind::MarkSweep);
+    if (C.Incremental)
+      ++IncCount;
+  }
+  EXPECT_EQ(IncCount, 12u);
+
+  // All four collector families appear in the general matrices.
   for (const std::vector<RunConfig> *M : {&Full, &Quick, &Hardened}) {
     std::set<CollectorKind> Kinds;
     for (const RunConfig &C : *M)
@@ -79,8 +100,10 @@ TEST(DifferentialSmokeTest, FullMatrixSingleSeedIsClean) {
 
 TEST(DifferentialSmokeTest, RunResultStatsInvariantsHold) {
   // The interpreter's structural requirements on a clean run: every Collect
-  // op produced exactly one engine cycle (no implicit collections), and a
-  // snapshot per collect.
+  // op produced exactly one engine cycle (no implicit collections), one
+  // extra checks-detached cleanup collection ran at the end, and the
+  // stop-the-world drive took a snapshot per collect (the incremental
+  // drive relies on the Final snapshot instead).
   TraceProgram Program = generateTrace(77, {.TargetOps = 64});
   for (const RunConfig &Config : buildMatrix(MatrixKind::Quick)) {
     RunResult R = runTrace(Program, Config);
@@ -88,7 +111,17 @@ TEST(DifferentialSmokeTest, RunResultStatsInvariantsHold) {
                          << R.InvalidReason;
     EXPECT_EQ(R.CollectOps, Program.collectCount());
     EXPECT_EQ(R.EngineGcCycles, R.CollectOps);
-    EXPECT_EQ(R.Snapshots.size(), R.CollectOps);
+    EXPECT_EQ(R.Stats.Cycles, R.CollectOps + 1);
+    if (Config.Incremental) {
+      EXPECT_TRUE(R.Snapshots.empty());
+      // Every Collect op begins one incremental cycle and every begun
+      // cycle is finished exactly once; the cleanup collection runs with
+      // no cycle in flight, via the atomic path.
+      EXPECT_EQ(R.Stats.IncrementalCycles, R.CollectOps);
+    } else {
+      EXPECT_EQ(R.Snapshots.size(), R.CollectOps);
+      EXPECT_EQ(R.Stats.IncrementalCycles, 0u);
+    }
   }
 }
 

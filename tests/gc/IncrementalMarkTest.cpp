@@ -1,0 +1,230 @@
+//===- IncrementalMarkTest.cpp - SATB incremental marking unit tests ----------===//
+//
+// Part of the gcassert project, under the MIT License.
+//
+// The incremental mark-sweep cycle's two load-bearing guarantees
+// (DESIGN.md §15), tested at deterministic phase boundaries via the Vm's
+// explicit incremental driving API: the Yuasa deletion barrier retains
+// every snapshot-reachable object across mutation between slices, and a
+// budgeted slice never scans more than GcConfig::MarkBudget objects.
+// Lives in the incremental_tests binary (ctest label "incremental").
+//
+//===----------------------------------------------------------------------===//
+
+#include "common/TestGraph.h"
+
+#include "gcassert/support/OStream.h"
+#include "gcassert/telemetry/TraceEvents.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace gcassert;
+using namespace gcassert::testgraph;
+
+namespace {
+
+/// A mark-sweep VM with incremental marking on and allocation-tick pacing
+/// pushed out of reach, so every pause happens inside an explicit
+/// incrementalBeginNow/StepNow call and the tests own the phase boundaries.
+VmConfig incrementalConfig(uint64_t MarkBudget) {
+  VmConfig Config;
+  Config.HeapBytes = 16u << 20;
+  Config.Collector = CollectorKind::MarkSweep;
+  Config.Gc.Incremental = true;
+  Config.Gc.MarkBudget = MarkBudget;
+  Config.Gc.IncrementalSliceAllocs = 1u << 30;
+  return Config;
+}
+
+struct ScopedTracing {
+  ScopedTracing() {
+    telemetry::clearAllRings();
+    telemetry::setTracingEnabled(true);
+  }
+  ~ScopedTracing() {
+    telemetry::setTracingEnabled(false);
+    telemetry::clearAllRings();
+  }
+};
+
+/// Objects-scanned counts of every completed mark slice, in emission
+/// order, pulled from the telemetry export (the MarkSlice end event's arg;
+/// see IncrementalMark.h). Out-param so gtest's void-returning ASSERT
+/// macros work inside (same idiom as TraceJsonTest).
+void markSliceScanCounts(std::vector<uint64_t> &Counts) {
+  StringOStream Out;
+  telemetry::writeChromeTrace(Out);
+  std::string Json = Out.str();
+  const std::string NameKey = "\"name\":\"mark_slice\"";
+  for (size_t Pos = Json.find(NameKey); Pos != std::string::npos;
+       Pos = Json.find(NameKey, Pos + 1)) {
+    // The exporter's field order is fixed: name, then ph, then args, all
+    // inside one flat event object closed by the first '}'.
+    size_t EventEnd = Json.find('}', Pos);
+    ASSERT_NE(EventEnd, std::string::npos);
+    if (Json.find("\"ph\":\"E\"", Pos) > EventEnd)
+      continue; // begin event — the arg is the cycle number, not a count
+    size_t Arg = Json.find("\"arg\":", Pos);
+    ASSERT_LT(Arg, EventEnd);
+    Counts.push_back(std::strtoull(Json.c_str() + Arg + 6, nullptr, 10));
+  }
+}
+
+TEST(IncrementalMarkTest, DeletionBarrierRetainsSnapshotReferent) {
+  Vm TheVm(incrementalConfig(/*MarkBudget=*/1));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &Main = TheVm.mainThread();
+
+  // Root -> A -> B; B is reachable only through A's field.
+  ObjRef A = newNode(TheVm, Main, 1);
+  GlobalRootId Root = TheVm.addGlobalRoot(A);
+  {
+    HandleScope Scope(Main);
+    Local KeepA = Scope.handle();
+    KeepA.set(A);
+    ObjRef B = newNode(TheVm, Main, 42);
+    A->setRef(G.FieldA, B);
+  }
+  TheVm.collectNow("baseline");
+  size_t Baseline = heapObjectCount(TheVm);
+
+  // Snapshot pause: the root scan pushes A but (budget 1, no draining at
+  // begin) has not yet traced through to B.
+  TheVm.incrementalBeginNow("retention test");
+  ASSERT_TRUE(TheVm.incrementalCycleActive());
+
+  // The write during marking: severing the only edge to B must log the old
+  // value, or the trace loses a snapshot-reachable object.
+  ObjRef B = A->getRef(G.FieldA);
+  ASSERT_NE(B, nullptr);
+  A->setRef(G.FieldA, nullptr);
+
+  while (TheVm.incrementalCycleActive())
+    TheVm.incrementalStepNow();
+
+  const GcStats &S = TheVm.gcStats();
+  EXPECT_EQ(S.IncrementalCycles, 1u);
+  EXPECT_GE(S.SatbLoggedSlots, 1u);
+  // B survived the sweep: its payload is intact (mark-sweep never moves)
+  // and the heap still holds the baseline object count.
+  EXPECT_EQ(B->getScalar<int64_t>(G.FieldValue), 42);
+  EXPECT_EQ(heapObjectCount(TheVm), Baseline);
+
+  // The next (stop-the-world) collection sees the post-snapshot graph, in
+  // which B really is unreachable, and reclaims exactly it.
+  TheVm.collectNow("reclaim");
+  EXPECT_EQ(heapObjectCount(TheVm), Baseline - 1);
+  EXPECT_EQ(TheVm.globalRoot(Root), A);
+}
+
+TEST(IncrementalMarkTest, MarkSliceBudgetAccounting) {
+  constexpr uint64_t Budget = 64;
+  constexpr int ChainLength = 1000;
+  Vm TheVm(incrementalConfig(Budget));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &Main = TheVm.mainThread();
+
+  // A rooted chain of 1000 nodes: enough marking work for many slices.
+  GlobalRootId Root = TheVm.addGlobalRoot();
+  for (int I = 0; I != ChainLength; ++I) {
+    ObjRef Node = newNode(TheVm, Main, I);
+    Node->setRef(G.FieldA, TheVm.globalRoot(Root));
+    TheVm.setGlobalRoot(Root, Node);
+  }
+  TheVm.collectNow("baseline");
+
+  ScopedTracing Tracing;
+  TheVm.incrementalBeginNow("budget test");
+  while (TheVm.incrementalCycleActive())
+    TheVm.incrementalStepNow();
+
+  std::vector<uint64_t> Slices;
+  markSliceScanCounts(Slices);
+  const GcStats &S = TheVm.gcStats();
+  ASSERT_EQ(Slices.size(), S.MarkSlices);
+  // The chain alone needs ceil(1000/64) slices.
+  EXPECT_GE(Slices.size(),
+            static_cast<size_t>(ChainLength) / static_cast<size_t>(Budget));
+  uint64_t Total = 0;
+  for (size_t I = 0; I != Slices.size(); ++I) {
+    // The hard bound: a slice never exceeds its object budget. Every slice
+    // but the last scans the budget exactly (drainUpTo stops only on the
+    // budget or an empty worklist).
+    EXPECT_LE(Slices[I], Budget) << "slice " << I;
+    if (I + 1 != Slices.size())
+      EXPECT_EQ(Slices[I], Budget) << "slice " << I;
+    Total += Slices[I];
+  }
+  // The slices did all the marking: at least every chain node was scanned
+  // inside some budgeted slice (the terminal pause found a drained list).
+  EXPECT_GE(Total, static_cast<uint64_t>(ChainLength));
+}
+
+TEST(IncrementalMarkTest, ObjectsAllocatedDuringCycleSurviveItsSweep) {
+  Vm TheVm(incrementalConfig(/*MarkBudget=*/8));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &Main = TheVm.mainThread();
+
+  // Some marking work so the cycle spans several slices.
+  GlobalRootId Root = TheVm.addGlobalRoot();
+  for (int I = 0; I != 64; ++I) {
+    ObjRef Node = newNode(TheVm, Main, I);
+    Node->setRef(G.FieldA, TheVm.globalRoot(Root));
+    TheVm.setGlobalRoot(Root, Node);
+  }
+  TheVm.collectNow("baseline");
+  size_t Baseline = heapObjectCount(TheVm);
+
+  TheVm.incrementalBeginNow("black allocation test");
+  // Allocated mid-cycle, never rooted, never referenced: only black
+  // allocation keeps these off this cycle's sweep.
+  constexpr size_t MidCycleAllocs = 10;
+  for (size_t I = 0; I != MidCycleAllocs; ++I) {
+    newNode(TheVm, Main, -1);
+    TheVm.incrementalStepNow();
+  }
+  while (TheVm.incrementalCycleActive())
+    TheVm.incrementalStepNow();
+  EXPECT_EQ(heapObjectCount(TheVm), Baseline + MidCycleAllocs);
+
+  // They are floating garbage, not a leak: the next collection, whose
+  // trace starts fresh, reclaims all of them.
+  TheVm.collectNow("reclaim");
+  EXPECT_EQ(heapObjectCount(TheVm), Baseline);
+}
+
+TEST(IncrementalMarkTest, CollectFinishesTheActiveCycle) {
+  Vm TheVm(incrementalConfig(/*MarkBudget=*/4));
+  GraphTypes G = GraphTypes::ensure(TheVm.types());
+  MutatorThread &Main = TheVm.mainThread();
+
+  GlobalRootId Root = TheVm.addGlobalRoot();
+  for (int I = 0; I != 32; ++I) {
+    ObjRef Node = newNode(TheVm, Main, I);
+    Node->setRef(G.FieldA, TheVm.globalRoot(Root));
+    TheVm.setGlobalRoot(Root, Node);
+  }
+
+  TheVm.incrementalBeginNow("to be finished by collect");
+  ASSERT_TRUE(TheVm.incrementalCycleActive());
+  uint64_t CyclesBefore = TheVm.gcStats().Cycles;
+
+  // collect() with a cycle in flight means "finish it" — one cycle total,
+  // counted as incremental, never a nested atomic collection.
+  TheVm.collectNow("finish");
+  EXPECT_FALSE(TheVm.incrementalCycleActive());
+  const GcStats &S = TheVm.gcStats();
+  EXPECT_EQ(S.Cycles, CyclesBefore + 1);
+  EXPECT_EQ(S.IncrementalCycles, 1u);
+
+  // And with no cycle in flight, collect() is the plain atomic path.
+  TheVm.collectNow("atomic");
+  EXPECT_EQ(TheVm.gcStats().Cycles, CyclesBefore + 2);
+  EXPECT_EQ(TheVm.gcStats().IncrementalCycles, 1u);
+}
+
+} // namespace
